@@ -1,0 +1,171 @@
+//! Criterion benchmarks, one group per table/figure of the paper.
+//!
+//! Each benchmark measures the wall-clock cost of regenerating (a quick-
+//! sized version of) the corresponding experiment — a regression guard on
+//! both the simulator's and the detector's performance. The *contents* of
+//! the tables are validated by the harness's tests; these benches track how
+//! fast the reproduction itself runs.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Keep multi-second experiment iterations from blowing up total bench
+/// time: criterion's minimum sample count with a short measurement window.
+fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+}
+
+use scord_harness as h;
+use scord_sim::{DetectionMode, Gpu, GpuConfig};
+
+/// Table I / Table VIII substrate: the 32 microbenchmarks under ScoRD.
+fn table1_micros(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_micro_suite");
+    tune(&mut g);
+    g.bench_function("scord", |b| {
+        b.iter(|| black_box(h::table1::run()));
+    });
+    g.finish();
+}
+
+/// Table VI: racey applications under both detector builds (quick sizes).
+fn table6_races(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_races");
+    tune(&mut g);
+    g.bench_function("quick", |b| {
+        b.iter(|| black_box(h::table6::run(true)));
+    });
+    g.finish();
+}
+
+/// Table VII: the granularity sweep (quick sizes).
+fn table7_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_granularity");
+    tune(&mut g);
+    g.bench_function("quick", |b| {
+        b.iter(|| black_box(h::table7::run(true)));
+    });
+    g.finish();
+}
+
+/// Figure 8: per-application overhead runs, one benchmark per app.
+fn fig8_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_overhead");
+    tune(&mut g);
+    for (i, app) in h::apps(true).iter().enumerate() {
+        for (mode_name, mode) in [
+            ("off", DetectionMode::Off),
+            ("scord", DetectionMode::scord()),
+        ] {
+            g.bench_function(format!("{}_{}", app.name(), mode_name), |b| {
+                b.iter(|| {
+                    black_box(h::run_app(
+                        h::apps(true)[i].as_ref(),
+                        mode,
+                        h::MemoryVariant::Default,
+                    ))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 9's DRAM-traffic collection (bundled with the fig8 runs, but
+/// exercised separately so the split counters stay covered).
+fn fig9_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_dram");
+    tune(&mut g);
+    g.bench_function("quick", |b| b.iter(|| black_box(h::fig9::run(true))));
+    g.finish();
+}
+
+/// Figure 10: the four-toggle attribution runs for one representative app.
+fn fig10_breakdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_breakdown");
+    tune(&mut g);
+    g.bench_function("quick", |b| b.iter(|| black_box(h::fig10::run(true))));
+    g.finish();
+}
+
+/// Figure 11: the memory-sensitivity sweep.
+fn fig11_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_sensitivity");
+    tune(&mut g);
+    g.bench_function("quick", |b| b.iter(|| black_box(h::fig11::run(true))));
+    g.finish();
+}
+
+/// Table VIII: the three detector models over the microbenchmarks.
+fn table8_detectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table8_detectors");
+    tune(&mut g);
+    g.bench_function("all_models", |b| b.iter(|| black_box(h::table8::run())));
+    g.finish();
+}
+
+/// Raw simulator throughput: a streaming kernel without detection — the
+/// substrate's own speed, independent of any experiment.
+fn simulator_throughput(c: &mut Criterion) {
+    use scord_isa::KernelBuilder;
+    let mut k = KernelBuilder::new("stream", 2);
+    let a = k.ld_param(0);
+    let b_ = k.ld_param(1);
+    let g = k.global_tid();
+    let aa = k.index_addr(a, g, 4);
+    let v = k.ld_global(aa, 0);
+    let v2 = k.mul(v, 3u32);
+    let ba = k.index_addr(b_, g, 4);
+    k.st_global(ba, 0, v2);
+    let prog = k.finish().unwrap();
+
+    let mut g = c.benchmark_group("simulator");
+    tune(&mut g);
+    g.bench_function("streaming_kernel", |bch| {
+        bch.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::paper_default());
+            let n = 64 * 128;
+            let a = gpu.mem_mut().alloc_words(n);
+            let b = gpu.mem_mut().alloc_words(n);
+            let stats = gpu.launch(&prog, 64, 128, &[a.addr(), b.addr()]).unwrap();
+            black_box(stats.cycles)
+        });
+    });
+    g.finish();
+}
+
+/// Ablation sweeps over ScoRD's design choices (lock-table size, metadata
+/// cache ratio, detector throughput).
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    tune(&mut g);
+    g.bench_function("lock_table_sizes", |b| {
+        b.iter(|| black_box(h::ablations::lock_table(&[1, 4])))
+    });
+    g.bench_function("cache_ratios", |b| {
+        b.iter(|| black_box(h::ablations::cache_ratio(true, &[1, 16])))
+    });
+    g.bench_function("detector_throughput", |b| {
+        b.iter(|| black_box(h::ablations::throughput(true, &[4, 32])))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_micros,
+    table6_races,
+    table7_granularity,
+    fig8_overhead,
+    fig9_dram,
+    fig10_breakdown,
+    fig11_sensitivity,
+    table8_detectors,
+    ablations,
+    simulator_throughput
+);
+criterion_main!(benches);

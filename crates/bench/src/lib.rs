@@ -1,0 +1,2 @@
+//! Criterion benchmark crate for the ScoRD reproduction; see `benches/experiments.rs`.
+#![warn(missing_docs)]

@@ -1,0 +1,203 @@
+//! Baseline detectors for the capability comparison of Table VIII.
+//!
+//! The paper compares ScoRD against prior GPU race detectors. Two of them
+//! are reproducible as *scope-erasing* variants of the same machinery:
+//!
+//! | Detector        | Fences | Locks | Scoped fences | Scoped atomics |
+//! |-----------------|--------|-------|---------------|----------------|
+//! | HAccRG-like     | ✓      | ✓     | ✗             | ✗              |
+//! | Barracuda-like  | ✓      | ✓     | ✓             | ✗              |
+//! | ScoRD           | ✓      | ✓     | ✓             | ✓              |
+//!
+//! (LDetector — value-snapshot diffing with no fence/atomic awareness — is
+//! qualitatively different and is represented in the harness's Table VIII
+//! output as a static row, as in the paper.)
+
+use crate::{DetectorConfig, ScordDetector};
+
+/// Which detector model to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorKind {
+    /// Full ScoRD: scope-aware happens-before + scoped lockset.
+    Scord,
+    /// Barracuda/CURD-like: scoped fences honoured, atomic scopes ignored
+    /// (every atomic treated as device scope).
+    BarracudaLike,
+    /// HAccRG-like: hardware happens-before with no scope awareness at all
+    /// (fences and atomics both treated as device scope).
+    HaccrgLike,
+}
+
+impl DetectorKind {
+    /// All reproducible detector models.
+    pub const ALL: [DetectorKind; 3] = [
+        DetectorKind::Scord,
+        DetectorKind::BarracudaLike,
+        DetectorKind::HaccrgLike,
+    ];
+
+    /// Human-readable name matching Table VIII's rows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorKind::Scord => "ScoRD",
+            DetectorKind::BarracudaLike => "Barracuda-like",
+            DetectorKind::HaccrgLike => "HAccRG-like",
+        }
+    }
+
+    /// `true` if the model detects scoped-fence races.
+    #[must_use]
+    pub fn detects_scoped_fences(self) -> bool {
+        !matches!(self, DetectorKind::HaccrgLike)
+    }
+
+    /// `true` if the model detects scoped-atomic races.
+    #[must_use]
+    pub fn detects_scoped_atomics(self) -> bool {
+        matches!(self, DetectorKind::Scord)
+    }
+}
+
+/// Builds the detector model `kind` over `config`.
+///
+/// ```
+/// use scord_core::{build_detector, Detector, DetectorConfig, DetectorKind};
+/// let det = build_detector(DetectorKind::BarracudaLike,
+///                          DetectorConfig::paper_default(1 << 20));
+/// assert_eq!(det.races().unique_count(), 0);
+/// ```
+#[must_use]
+pub fn build_detector(kind: DetectorKind, config: DetectorConfig) -> ScordDetector {
+    match kind {
+        DetectorKind::Scord => ScordDetector::new(config),
+        DetectorKind::BarracudaLike => ScordDetector::with_scope_handling(config, true, false),
+        DetectorKind::HaccrgLike => ScordDetector::with_scope_handling(config, true, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, Accessor, AtomKind, Detector, MemAccess};
+    use scord_isa::Scope;
+
+    fn acc(block: u8, sm: u8) -> Accessor {
+        Accessor {
+            sm,
+            block_slot: block,
+            warp_slot: 0,
+        }
+    }
+
+    /// Two blocks exchange through a block-scoped atomic — a scoped-atomic
+    /// race only ScoRD sees.
+    fn scoped_atomic_race(det: &mut ScordDetector) -> usize {
+        det.on_access(&MemAccess {
+            kind: AccessKind::Atomic {
+                kind: AtomKind::Other,
+                scope: Scope::Block,
+            },
+            addr: 0x40,
+            strong: true,
+            pc: 1,
+            who: acc(0, 0),
+        });
+        det.on_access(&MemAccess {
+            kind: AccessKind::Atomic {
+                kind: AtomKind::Other,
+                scope: Scope::Block,
+            },
+            addr: 0x40,
+            strong: true,
+            pc: 2,
+            who: acc(8, 1),
+        });
+        det.races().unique_count()
+    }
+
+    /// Producer publishes with only a block-scope fence, consumer is in
+    /// another block — a scoped-fence race Barracuda-like also sees.
+    fn scoped_fence_race(det: &mut ScordDetector) -> usize {
+        det.on_access(&MemAccess {
+            kind: AccessKind::Store,
+            addr: 0x80,
+            strong: true,
+            pc: 3,
+            who: acc(0, 0),
+        });
+        det.on_fence(0, 0, Scope::Block);
+        det.on_access(&MemAccess {
+            kind: AccessKind::Load,
+            addr: 0x80,
+            strong: true,
+            pc: 4,
+            who: acc(8, 1),
+        });
+        det.races().unique_count()
+    }
+
+    #[test]
+    fn scord_catches_both_scoped_races() {
+        let mut det = build_detector(DetectorKind::Scord, DetectorConfig::paper_default(1 << 20));
+        assert_eq!(scoped_atomic_race(&mut det), 1);
+        assert_eq!(scoped_fence_race(&mut det), 2);
+    }
+
+    #[test]
+    fn barracuda_like_misses_scoped_atomics_only() {
+        let mut det = build_detector(
+            DetectorKind::BarracudaLike,
+            DetectorConfig::paper_default(1 << 20),
+        );
+        assert_eq!(scoped_atomic_race(&mut det), 0, "atomic scopes erased");
+        assert_eq!(scoped_fence_race(&mut det), 1, "fence scopes honoured");
+    }
+
+    #[test]
+    fn haccrg_like_misses_all_scoped_races() {
+        let mut det = build_detector(
+            DetectorKind::HaccrgLike,
+            DetectorConfig::paper_default(1 << 20),
+        );
+        assert_eq!(scoped_atomic_race(&mut det), 0);
+        assert_eq!(scoped_fence_race(&mut det), 0, "block fence looks global");
+    }
+
+    #[test]
+    fn all_models_catch_plain_missing_sync() {
+        for kind in DetectorKind::ALL {
+            let mut det = build_detector(kind, DetectorConfig::paper_default(1 << 20));
+            det.on_access(&MemAccess {
+                kind: AccessKind::Store,
+                addr: 0xC0,
+                strong: true,
+                pc: 5,
+                who: acc(0, 0),
+            });
+            det.on_access(&MemAccess {
+                kind: AccessKind::Load,
+                addr: 0xC0,
+                strong: true,
+                pc: 6,
+                who: acc(8, 1),
+            });
+            assert_eq!(
+                det.races().unique_count(),
+                1,
+                "{} must catch unsynchronized sharing",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn capability_matrix_matches_table8() {
+        assert!(DetectorKind::Scord.detects_scoped_fences());
+        assert!(DetectorKind::Scord.detects_scoped_atomics());
+        assert!(DetectorKind::BarracudaLike.detects_scoped_fences());
+        assert!(!DetectorKind::BarracudaLike.detects_scoped_atomics());
+        assert!(!DetectorKind::HaccrgLike.detects_scoped_fences());
+        assert!(!DetectorKind::HaccrgLike.detects_scoped_atomics());
+    }
+}

@@ -1,0 +1,185 @@
+//! Detector configuration.
+
+/// Hardware geometry the detector's tables are sized for.
+///
+/// Matches Table V of the paper by default: 15 SMs, 8 resident blocks per SM,
+/// 32 warp slots per SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Resident threadblock slots per SM.
+    pub blocks_per_sm: u32,
+    /// Hardware warp slots per SM.
+    pub warps_per_sm: u32,
+}
+
+impl Geometry {
+    /// The paper's default geometry (Table V).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Geometry {
+            num_sms: 15,
+            blocks_per_sm: 8,
+            warps_per_sm: 32,
+        }
+    }
+
+    /// Total hardware block slots.
+    #[must_use]
+    pub fn total_block_slots(&self) -> u32 {
+        self.num_sms * self.blocks_per_sm
+    }
+
+    /// Total hardware warp slots (the fence file size).
+    #[must_use]
+    pub fn total_warp_slots(&self) -> u32 {
+        self.num_sms * self.warps_per_sm
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::paper_default()
+    }
+}
+
+/// How per-location metadata is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// One entry per `granularity`-byte granule of device memory.
+    ///
+    /// `granularity = 4` is the paper's base design (200% memory overhead);
+    /// 8 and 16 are the coarser variants of Table VII (100% / 50% overhead,
+    /// trading false positives for space).
+    Full {
+        /// Bytes of data covered by one entry.
+        granularity: u64,
+    },
+    /// The paper's software cache: a direct-mapped store with one entry per
+    /// `ratio` 4-byte granules, disambiguated by a 4-bit tag (12.5% overhead
+    /// at the default `ratio = 16`). Aliasing granules overwrite each other,
+    /// which can cause (rare) false negatives but never false positives.
+    Cached {
+        /// Granules sharing one entry slot.
+        ratio: u64,
+    },
+}
+
+impl StoreKind {
+    /// Metadata memory overhead as a fraction of tracked data size.
+    ///
+    /// ```
+    /// use scord_core::StoreKind;
+    /// assert_eq!(StoreKind::Full { granularity: 4 }.overhead_fraction(), 2.0);
+    /// assert_eq!(StoreKind::Cached { ratio: 16 }.overhead_fraction(), 0.125);
+    /// ```
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        match *self {
+            StoreKind::Full { granularity } => 8.0 / granularity as f64,
+            StoreKind::Cached { ratio } => 8.0 / (4.0 * ratio as f64),
+        }
+    }
+}
+
+/// Full configuration of a [`crate::ScordDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Hardware geometry.
+    pub geometry: Geometry,
+    /// Metadata organisation.
+    pub store: StoreKind,
+    /// Size of the tracked device-memory region in bytes.
+    pub mem_bytes: u64,
+    /// Base physical address of the metadata region (used only for timing
+    /// attribution of metadata traffic).
+    pub metadata_base: u64,
+    /// Entries in each per-warp lock table (4 in the paper).
+    pub lock_table_entries: usize,
+    /// Maximum number of full race records retained (unique counting is
+    /// unaffected).
+    pub max_race_records: usize,
+}
+
+impl DetectorConfig {
+    /// The paper's default: cached store at ratio 16, 4-entry lock tables.
+    #[must_use]
+    pub fn paper_default(mem_bytes: u64) -> Self {
+        DetectorConfig {
+            geometry: Geometry::paper_default(),
+            store: StoreKind::Cached { ratio: 16 },
+            mem_bytes,
+            metadata_base: mem_bytes, // metadata region sits after data
+            lock_table_entries: 4,
+            max_race_records: 4096,
+        }
+    }
+
+    /// The base design without metadata caching (4-byte granularity,
+    /// 200% overhead) — the first bar of Figures 8/9 and Table VI's
+    /// "Base design w/o metadata caching" column.
+    #[must_use]
+    pub fn base_design(mem_bytes: u64) -> Self {
+        DetectorConfig {
+            store: StoreKind::Full { granularity: 4 },
+            ..Self::paper_default(mem_bytes)
+        }
+    }
+
+    /// A coarse-granularity variant for the Table VII sweep.
+    #[must_use]
+    pub fn with_granularity(mem_bytes: u64, granularity: u64) -> Self {
+        DetectorConfig {
+            store: StoreKind::Full { granularity },
+            ..Self::paper_default(mem_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_table5() {
+        let g = Geometry::paper_default();
+        assert_eq!(g.total_block_slots(), 120);
+        assert_eq!(g.total_warp_slots(), 480);
+    }
+
+    #[test]
+    fn overheads_match_table7() {
+        assert_eq!(
+            StoreKind::Full { granularity: 4 }.overhead_fraction(),
+            2.0,
+            "200%"
+        );
+        assert_eq!(
+            StoreKind::Full { granularity: 8 }.overhead_fraction(),
+            1.0,
+            "100%"
+        );
+        assert_eq!(
+            StoreKind::Full { granularity: 16 }.overhead_fraction(),
+            0.5,
+            "50%"
+        );
+        assert_eq!(
+            StoreKind::Cached { ratio: 16 }.overhead_fraction(),
+            0.125,
+            "12.5%"
+        );
+    }
+
+    #[test]
+    fn config_constructors() {
+        let c = DetectorConfig::paper_default(1 << 20);
+        assert_eq!(c.store, StoreKind::Cached { ratio: 16 });
+        assert_eq!(c.lock_table_entries, 4);
+        let b = DetectorConfig::base_design(1 << 20);
+        assert_eq!(b.store, StoreKind::Full { granularity: 4 });
+        let g8 = DetectorConfig::with_granularity(1 << 20, 8);
+        assert_eq!(g8.store, StoreKind::Full { granularity: 8 });
+    }
+}

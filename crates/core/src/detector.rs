@@ -1,0 +1,420 @@
+//! The ScoRD detection pipeline (paper §IV-A).
+//!
+//! Per global-memory access the detector:
+//!
+//! 1. loads the metadata entry covering the address,
+//! 2. runs the **preliminary checks** (Table III) that filter trivially
+//!    race-free accesses — first touch after (re-)initialization, program
+//!    order within one warp, or a barrier separating same-block accesses,
+//! 3. if those fail, runs the **happens-before checks** (Table IV (a)–(d))
+//!    against the fence file and the **lockset check** (Table IV (e)/(f))
+//!    against the lock bloom filters, and
+//! 4. unconditionally updates the metadata with the latest access.
+//!
+//! Metadata update discipline (reconciling §IV-A with Figure 7): every access
+//! refreshes the accessor identity, fence/barrier snapshots and lock bloom;
+//! stores and atomics *set* `Modified` while loads *clear* it. Clearing on
+//! loads is what makes a once-published value readable by many consumers
+//! without false positives — the first reader is checked against the writer,
+//! after which the location is in a read-only epoch until the next store.
+
+use scord_isa::Scope;
+
+use crate::{
+    build_store, AccessKind, AtomKind, DetectorConfig, FenceFile, LockTables, MemAccess,
+    MetadataStore, RaceKind, RaceLog, RaceReport,
+};
+
+/// Per-access outcome, consumed by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEffects {
+    /// Metadata-region byte address read and written for this access.
+    pub md_addr: u64,
+    /// The metadata lookup found no usable entry (never-touched, or a tag
+    /// mismatch in the cached store).
+    pub md_fresh: bool,
+    /// The preliminary checks classified the access as trivially race-free.
+    pub prelim_pass: bool,
+    /// Number of races reported by this access (0–2: one happens-before,
+    /// one lockset).
+    pub races: u8,
+}
+
+/// A race detector attachable to the simulator.
+///
+/// All detectors consume the same event stream; the baselines of Table VIII
+/// are scope-erasing wrappers around [`ScordDetector`].
+pub trait Detector: std::fmt::Debug {
+    /// A barrier (`__syncthreads`) completed for the block in `block_slot`.
+    fn on_barrier(&mut self, sm: u8, block_slot: u8);
+
+    /// A warp executed a scoped fence.
+    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope);
+
+    /// A warp slot was (re)assigned to a fresh threadblock — clears its
+    /// inferred-lock state.
+    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8);
+
+    /// One lane's global-memory access.
+    fn on_access(&mut self, access: &MemAccess) -> AccessEffects;
+
+    /// The accumulated race buffer.
+    fn races(&self) -> &RaceLog;
+
+    /// Clears all detector state (metadata, fence file, lock tables,
+    /// barrier counters and the race log) for a fresh run.
+    fn reset(&mut self);
+
+    /// A kernel launch boundary: a device-wide synchronization point.
+    ///
+    /// Resets metadata and hardware sync state so accesses from the previous
+    /// kernel cannot produce false conflicts, but keeps the accumulated race
+    /// log (one application may span several kernels).
+    fn on_kernel_boundary(&mut self);
+}
+
+/// The ScoRD detector.
+///
+/// ```
+/// use scord_core::{
+///     AccessKind, Accessor, Detector, DetectorConfig, MemAccess, ScordDetector,
+/// };
+///
+/// let mut det = ScordDetector::new(DetectorConfig::paper_default(1 << 20));
+/// let writer = Accessor { sm: 0, block_slot: 0, warp_slot: 0 };
+/// let reader = Accessor { sm: 1, block_slot: 8, warp_slot: 0 };
+/// // A store in block 0 followed by a load in another block with no
+/// // intervening device fence is a device-scope race.
+/// det.on_access(&MemAccess {
+///     kind: AccessKind::Store, addr: 0x100, strong: true, pc: 1, who: writer,
+/// });
+/// det.on_access(&MemAccess {
+///     kind: AccessKind::Load, addr: 0x100, strong: true, pc: 2, who: reader,
+/// });
+/// assert_eq!(det.races().unique_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ScordDetector {
+    config: DetectorConfig,
+    store: Box<dyn MetadataStore>,
+    fence_file: FenceFile,
+    lock_tables: LockTables,
+    barrier_ids: Vec<u8>,
+    races: RaceLog,
+    erase_atomic_scope: bool,
+    erase_fence_scope: bool,
+}
+
+impl ScordDetector {
+    /// Builds a detector for `config`.
+    #[must_use]
+    pub fn new(config: DetectorConfig) -> Self {
+        Self::with_scope_handling(config, false, false)
+    }
+
+    /// Builds a detector that optionally *erases* scope information, for the
+    /// baseline detectors of Table VIII:
+    ///
+    /// * `erase_atomic_scope`: every atomic is treated as device-scoped
+    ///   (Barracuda/CURD-like — scoped-atomic races are invisible);
+    /// * `erase_fence_scope`: every fence is treated as device-scoped as
+    ///   well (HAccRG-like — all scoped races are invisible).
+    #[must_use]
+    pub fn with_scope_handling(
+        config: DetectorConfig,
+        erase_atomic_scope: bool,
+        erase_fence_scope: bool,
+    ) -> Self {
+        let store = build_store(config.store, config.metadata_base);
+        ScordDetector {
+            store,
+            fence_file: FenceFile::new(config.geometry),
+            lock_tables: LockTables::new(config.geometry, config.lock_table_entries),
+            barrier_ids: vec![0; config.geometry.total_block_slots() as usize],
+            races: RaceLog::new(config.max_race_records),
+            config,
+            erase_atomic_scope,
+            erase_fence_scope,
+        }
+    }
+
+    /// The configuration this detector was built with.
+    #[must_use]
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Metadata footprint in bytes for the configured device-memory size.
+    #[must_use]
+    pub fn metadata_footprint_bytes(&self) -> u64 {
+        self.store.footprint_bytes(self.config.mem_bytes)
+    }
+
+    /// Total detector hardware state in bits (fence file + lock tables +
+    /// barrier counters), for the paper's §IV-C accounting (~2.9 KB).
+    #[must_use]
+    pub fn hardware_state_bits(&self) -> usize {
+        self.fence_file.state_bits() + self.lock_tables.state_bits() + self.barrier_ids.len() * 8
+    }
+
+    fn effective_atomic_scope(&self, scope: Scope) -> Scope {
+        if self.erase_atomic_scope {
+            Scope::Device
+        } else {
+            scope
+        }
+    }
+
+    fn effective_fence_scope(&self, scope: Scope) -> Scope {
+        if self.erase_fence_scope {
+            Scope::Device
+        } else {
+            scope
+        }
+    }
+
+    fn sm_of_block_slot(&self, block_slot: u8) -> u8 {
+        (u32::from(block_slot) / self.config.geometry.blocks_per_sm) as u8
+    }
+
+    fn report(&mut self, kind: RaceKind, access: &MemAccess, md: crate::MetadataEntry) -> u8 {
+        let same_block = md.block_id() == access.who.block_slot;
+        self.races.record(RaceReport {
+            kind,
+            pc: access.pc,
+            addr: access.addr,
+            who: access.who,
+            prev_block: md.block_id(),
+            prev_warp: md.warp_id(),
+            conflict_scope: if same_block {
+                Scope::Block
+            } else {
+                Scope::Device
+            },
+        });
+        1
+    }
+}
+
+impl Detector for ScordDetector {
+    fn on_barrier(&mut self, _sm: u8, block_slot: u8) {
+        let b = &mut self.barrier_ids[block_slot as usize];
+        *b = b.wrapping_add(1);
+    }
+
+    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) {
+        let scope = self.effective_fence_scope(scope);
+        self.fence_file.on_fence(sm, warp_slot, scope);
+        self.lock_tables.table_mut(sm, warp_slot).on_fence(scope);
+    }
+
+    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) {
+        self.lock_tables.table_mut(sm, warp_slot).reset();
+    }
+
+    fn on_access(&mut self, access: &MemAccess) -> AccessEffects {
+        self.check_access(access, None)
+    }
+
+    fn races(&self) -> &RaceLog {
+        &self.races
+    }
+
+    fn reset(&mut self) {
+        self.store.reset();
+        self.fence_file.reset();
+        self.lock_tables.reset();
+        self.barrier_ids.fill(0);
+        self.races.reset();
+    }
+
+    fn on_kernel_boundary(&mut self) {
+        self.store.reset();
+        self.fence_file.reset();
+        self.lock_tables.reset();
+        self.barrier_ids.fill(0);
+    }
+}
+
+impl ScordDetector {
+    /// An access in Independent-Thread-Scheduling mode (paper §VI): the
+    /// accessor's lane is recorded in the metadata's unused bits, and
+    /// same-warp accesses by *different lanes during divergence* are
+    /// treated as potential conflicts instead of program-ordered.
+    pub fn on_access_its(&mut self, its: &crate::ItsAccess) -> AccessEffects {
+        debug_assert!(its.lane < 32, "lane must be a warp lane index");
+        self.check_access(&its.access, Some((its.lane, its.diverged)))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn check_access(
+        &mut self,
+        access: &MemAccess,
+        its: Option<(u8, bool)>,
+    ) -> AccessEffects {
+        let who = access.who;
+        debug_assert!(
+            access.addr.is_multiple_of(4),
+            "global accesses are 4-byte aligned (got 0x{:x})",
+            access.addr
+        );
+
+        let bloom = self.lock_tables.table(who.sm, who.warp_slot).bloom();
+        let cur_barrier = self.barrier_ids[who.block_slot as usize];
+        let cur_fences = self.fence_file.counters(who.sm, who.warp_slot);
+
+        let lookup = self.store.load(access.addr);
+        let mut md = lookup.entry;
+        let fresh = lookup.fresh || md.is_initialized();
+
+        let cur_is_load = !access.kind.is_write();
+        let cur_is_atomic = access.kind.is_atomic();
+
+        // ITS (§VI): same-warp accesses are only program-ordered when they
+        // come from the same *lane*, or when neither side was diverged.
+        let same_thread = match its {
+            Some((lane, diverged)) if diverged || md.diverged() => md.lane_id() == lane,
+            _ => true,
+        };
+
+        // ---- preliminary checks (Table III) ----------------------------
+        let prelim_pass = if fresh {
+            true // (a) first access after (re-)initialization
+        } else {
+            let program_order = md.warp_id() == who.warp_slot
+                && md.block_id() == who.block_slot
+                && same_thread
+                && !md.blk_shared()
+                && !md.dev_shared(); // (b)
+            let barrier_sep = md.block_id() == who.block_slot
+                && md.barrier_id() != cur_barrier
+                && !md.dev_shared(); // (c)
+            program_order || barrier_sep
+        };
+
+        // ---- race checks (Table IV) -------------------------------------
+        let mut races = 0u8;
+        if !prelim_pass {
+            let same_block = md.block_id() == who.block_slot;
+            let same_warp =
+                same_block && md.warp_id() == who.warp_slot && same_thread;
+            let prev_sm = self.sm_of_block_slot(md.block_id());
+            let prev_ff = self.fence_file.counters(prev_sm, md.warp_id());
+
+            // Happens-before family: skipped for load-after-load.
+            // Load-after-load is never a conflict.
+            let hb_relevant = !cur_is_load || md.modified();
+            if hb_relevant {
+                if md.is_atom() {
+                    // (d) scoped-atomic race: a block-scoped atomic is
+                    // invisible outside its block, whatever follows it.
+                    if md.scope() == Scope::Block && !same_block {
+                        races += self.report(RaceKind::ScopedAtomic, access, md);
+                    } else if !same_warp
+                        && !(md.strong() && (access.strong || cur_is_atomic))
+                    {
+                        // (c) still applies: a *weak* access conflicting
+                        // with an atomically-updated location is unordered.
+                        races += self.report(RaceKind::NotStrong, access, md);
+                    }
+                    // Otherwise: atomics take effect at the shared cache, so
+                    // an adequately-scoped atomic needs no fence to be seen.
+                } else {
+                    let hb_race = if same_block {
+                        // (a) block-level conflict with no fence of any scope
+                        // executed by the previous accessor since its access.
+                        (!same_warp)
+                            && md.blk_fence_id() == prev_ff.blk
+                            && md.dev_fence_id() == prev_ff.dev
+                    } else {
+                        // (b) cross-block conflict with no *device* fence.
+                        md.dev_fence_id() == prev_ff.dev
+                    };
+                    if hb_race {
+                        let kind = if same_block {
+                            RaceKind::MissingBlockFence
+                        } else {
+                            RaceKind::MissingDeviceFence
+                        };
+                        races += self.report(kind, access, md);
+                    } else if !same_warp
+                        && !(md.strong() && (access.strong || cur_is_atomic))
+                    {
+                        // (c) fences only order strong operations: a
+                        // conflicting weak access races even across a fence.
+                        races += self.report(RaceKind::NotStrong, access, md);
+                    }
+                }
+            }
+
+            // Lockset family (e)/(f): loads/stores to data guarded by
+            // inferred locks. Atomic accesses are the locks themselves.
+            if !cur_is_atomic && !md.is_atom() && (md.lock_bloom() != 0 || bloom != 0) {
+                let common = md.lock_bloom() & bloom;
+                if cur_is_load {
+                    if md.modified() && common == 0 {
+                        races += self.report(RaceKind::MissingLockLoad, access, md);
+                    }
+                } else if common == 0 {
+                    races += self.report(RaceKind::MissingLockStore, access, md);
+                }
+            }
+        }
+
+        // ---- lock inference side effects --------------------------------
+        if let AccessKind::Atomic { kind, scope } = access.kind {
+            let scope = self.effective_atomic_scope(scope);
+            let table = self.lock_tables.table_mut(who.sm, who.warp_slot);
+            match kind {
+                AtomKind::Cas => table.on_cas(access.addr, scope),
+                AtomKind::Exch => table.on_exch(access.addr, scope),
+                AtomKind::Other => {}
+            }
+        }
+
+        // ---- metadata update --------------------------------------------
+        let old_block = md.block_id();
+        let old_warp = md.warp_id();
+        if fresh {
+            md = crate::MetadataEntry::from_bits(0);
+            md.set_strong(access.effective_strong());
+        } else {
+            if !access.effective_strong() {
+                md.set_strong(false);
+            }
+            if cur_is_load {
+                if old_block != who.block_slot {
+                    md.set_dev_shared(true);
+                } else if old_warp != who.warp_slot {
+                    md.set_blk_shared(true);
+                }
+            }
+        }
+        md.set_block_id(who.block_slot);
+        md.set_warp_id(who.warp_slot);
+        if let Some((lane, diverged)) = its {
+            md.set_lane_id(lane);
+            md.set_diverged(diverged);
+        }
+        md.set_barrier_id(cur_barrier);
+        md.set_blk_fence_id(cur_fences.blk);
+        md.set_dev_fence_id(cur_fences.dev);
+        md.set_lock_bloom(bloom);
+        md.set_modified(access.kind.is_write());
+        match access.kind {
+            AccessKind::Atomic { scope, .. } => {
+                md.set_is_atom(true);
+                md.set_scope(self.effective_atomic_scope(scope));
+            }
+            _ => md.set_is_atom(false),
+        }
+        self.store.store(access.addr, md);
+
+        AccessEffects {
+            md_addr: lookup.md_addr,
+            md_fresh: lookup.fresh,
+            prelim_pass,
+            races,
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Events observed by the race detector.
+//!
+//! The simulator (or any other driver) translates executed instructions into
+//! these events. Everything the detector needs travels with the event; the
+//! detector holds only the hardware state the paper describes (fence file,
+//! lock tables, barrier counters) plus the in-memory metadata.
+
+use scord_isa::Scope;
+
+/// Identity of the hardware context performing an access.
+///
+/// ScoRD tracks accessors at *hardware slot* granularity because that is all
+/// the 7-bit `BlockID` / 5-bit `WarpID` metadata fields can hold: the block
+/// slot is `sm * blocks_per_sm + slot` (0–119 in the default configuration)
+/// and the warp slot is the warp's scheduler slot within its SM (0–31).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Accessor {
+    /// SM index.
+    pub sm: u8,
+    /// Global hardware block slot (`sm * blocks_per_sm + resident slot`).
+    pub block_slot: u8,
+    /// Hardware warp slot within the SM.
+    pub warp_slot: u8,
+}
+
+/// The flavour of atomic operation, as far as lock inference cares.
+///
+/// The paper's lock table reacts to `atomicCAS` (acquire candidate) and
+/// `atomicExch` (release); all other RMWs are plain atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomKind {
+    /// `atomicCAS` — inserted into the lock table as a held-lock candidate.
+    Cas,
+    /// `atomicExch` — releases a matching lock-table entry.
+    Exch,
+    /// Any other RMW (`atomicAdd`, `atomicMin`, ...).
+    Other,
+}
+
+/// What kind of memory access an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A global load.
+    Load,
+    /// A global store.
+    Store,
+    /// A scoped atomic RMW.
+    Atomic {
+        /// Lock-inference flavour.
+        kind: AtomKind,
+        /// Scope of the operation.
+        scope: Scope,
+    },
+}
+
+impl AccessKind {
+    /// `true` for stores and atomics.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Load)
+    }
+
+    /// `true` for atomics.
+    #[must_use]
+    pub fn is_atomic(self) -> bool {
+        matches!(self, AccessKind::Atomic { .. })
+    }
+}
+
+/// One 32-bit global-memory access by one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Kind of access.
+    pub kind: AccessKind,
+    /// Byte address (4-byte aligned).
+    pub addr: u64,
+    /// `true` for volatile loads/stores; atomics are inherently strong.
+    pub strong: bool,
+    /// Static instruction address (program counter) — reported with races.
+    pub pc: u32,
+    /// Who performed the access.
+    pub who: Accessor,
+}
+
+impl MemAccess {
+    /// Whether the access is *strong* in the paper's sense (volatile or
+    /// atomic).
+    #[must_use]
+    pub fn effective_strong(&self) -> bool {
+        self.strong || self.kind.is_atomic()
+    }
+}
+
+/// A lane-attributed access for Independent-Thread-Scheduling mode
+/// (paper §VI).
+///
+/// With ITS (Volta onward), threads of one warp can interleave on divergent
+/// paths, so same-warp accesses are no longer program-ordered. The ITS
+/// extension attributes each access to its lane and marks whether the warp
+/// was diverged; [`crate::ScordDetector::on_access_its`] then treats
+/// same-warp/different-lane accesses during divergence as potential
+/// conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItsAccess {
+    /// The underlying access.
+    pub access: MemAccess,
+    /// Lane (thread id within the warp) performing the access.
+    pub lane: u8,
+    /// `true` if the warp was diverged when the access executed.
+    pub diverged: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomics_are_writes_and_strong() {
+        let kind = AccessKind::Atomic {
+            kind: AtomKind::Other,
+            scope: Scope::Device,
+        };
+        assert!(kind.is_write());
+        assert!(kind.is_atomic());
+        let a = MemAccess {
+            kind,
+            addr: 0,
+            strong: false,
+            pc: 0,
+            who: Accessor {
+                sm: 0,
+                block_slot: 0,
+                warp_slot: 0,
+            },
+        };
+        assert!(a.effective_strong());
+    }
+
+    #[test]
+    fn loads_are_not_writes() {
+        assert!(!AccessKind::Load.is_write());
+        assert!(AccessKind::Store.is_write());
+        assert!(!AccessKind::Store.is_atomic());
+    }
+}

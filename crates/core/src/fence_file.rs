@@ -1,0 +1,133 @@
+//! The hardware fence file (paper Figure 6).
+//!
+//! One entry per hardware warp slot, holding two 6-bit wrapping counters:
+//! the number of block-scope and device-scope fences the warp has executed.
+//! A device-scope fence subsumes block scope, so it bumps *both* counters —
+//! that way "has any fence of at-least-block scope happened since?" is a
+//! plain equality check on the pair.
+
+use crate::Geometry;
+
+/// A fence-file entry: the warp's latest fence counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FenceCounters {
+    /// Block-scope fence counter (6-bit wrapping).
+    pub blk: u8,
+    /// Device-scope fence counter (6-bit wrapping).
+    pub dev: u8,
+}
+
+const FENCE_MASK: u8 = 0x3F;
+
+/// The fence file: per-hardware-warp fence counters, indexed by
+/// `(sm, warp_slot)`.
+///
+/// Size in the default geometry: 480 entries × 12 bits = 720 bytes, matching
+/// the paper's hardware-overhead accounting (§IV-C).
+#[derive(Debug, Clone)]
+pub struct FenceFile {
+    warps_per_sm: u32,
+    entries: Vec<FenceCounters>,
+}
+
+impl FenceFile {
+    /// Creates a zeroed fence file for `geometry`.
+    #[must_use]
+    pub fn new(geometry: Geometry) -> Self {
+        FenceFile {
+            warps_per_sm: geometry.warps_per_sm,
+            entries: vec![FenceCounters::default(); geometry.total_warp_slots() as usize],
+        }
+    }
+
+    fn index(&self, sm: u8, warp_slot: u8) -> usize {
+        let idx = u32::from(sm) * self.warps_per_sm + u32::from(warp_slot);
+        idx as usize
+    }
+
+    /// Records a fence executed by `(sm, warp_slot)` at `scope`.
+    pub fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: scord_isa::Scope) {
+        let idx = self.index(sm, warp_slot);
+        let e = &mut self.entries[idx];
+        match scope {
+            scord_isa::Scope::Block => {
+                e.blk = e.blk.wrapping_add(1) & FENCE_MASK;
+            }
+            scord_isa::Scope::Device => {
+                // Device scope includes block scope.
+                e.blk = e.blk.wrapping_add(1) & FENCE_MASK;
+                e.dev = e.dev.wrapping_add(1) & FENCE_MASK;
+            }
+        }
+    }
+
+    /// Reads the current counters of `(sm, warp_slot)`.
+    #[must_use]
+    pub fn counters(&self, sm: u8, warp_slot: u8) -> FenceCounters {
+        self.entries[self.index(sm, warp_slot)]
+    }
+
+    /// Zeroes every entry.
+    pub fn reset(&mut self) {
+        self.entries.fill(FenceCounters::default());
+    }
+
+    /// Hardware state size in bits (for the §IV-C overhead accounting).
+    #[must_use]
+    pub fn state_bits(&self) -> usize {
+        self.entries.len() * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_isa::Scope;
+
+    #[test]
+    fn counters_start_zero_and_advance_by_scope() {
+        let mut f = FenceFile::new(Geometry::paper_default());
+        assert_eq!(f.counters(3, 7), FenceCounters { blk: 0, dev: 0 });
+        f.on_fence(3, 7, Scope::Block);
+        assert_eq!(f.counters(3, 7), FenceCounters { blk: 1, dev: 0 });
+        f.on_fence(3, 7, Scope::Device);
+        assert_eq!(
+            f.counters(3, 7),
+            FenceCounters { blk: 2, dev: 1 },
+            "device fence bumps both counters"
+        );
+        assert_eq!(
+            f.counters(3, 8),
+            FenceCounters::default(),
+            "other warps unaffected"
+        );
+    }
+
+    #[test]
+    fn counters_wrap_at_six_bits() {
+        let mut f = FenceFile::new(Geometry::paper_default());
+        for _ in 0..64 {
+            f.on_fence(0, 0, Scope::Block);
+        }
+        assert_eq!(
+            f.counters(0, 0).blk,
+            0,
+            "64 fences wrap a 6-bit counter — the paper's theoretical false-positive source"
+        );
+    }
+
+    #[test]
+    fn state_size_matches_paper() {
+        let f = FenceFile::new(Geometry::paper_default());
+        assert_eq!(f.state_bits(), 480 * 12);
+        assert_eq!(f.state_bits() / 8, 720, "720 bytes per §IV-C");
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut f = FenceFile::new(Geometry::paper_default());
+        f.on_fence(1, 1, Scope::Device);
+        f.reset();
+        assert_eq!(f.counters(1, 1), FenceCounters::default());
+    }
+}

@@ -1,0 +1,50 @@
+//! # scord-core
+//!
+//! The ScoRD scoped race detector (Kamath, George & Basu, *ScoRD: A Scoped
+//! Race Detector for GPUs*, ISCA 2020), reimplemented as a library.
+//!
+//! ScoRD detects global-memory races in GPU programs — including *scoped
+//! races*, where a synchronization operation exists but its scope does not
+//! cover both the producer and the consumer. It combines:
+//!
+//! * **happens-before detection** extended with scopes, using per-location
+//!   metadata ([`MetadataEntry`]) and a per-warp fence file ([`FenceFile`]),
+//!   to catch races due to insufficiently-scoped atomics and fences or
+//!   missing synchronization, and
+//! * **lockset detection** extended with scopes, inferring lock/unlock from
+//!   `atomicCAS`+fence / fence+`atomicExch` pairs ([`LockTable`]) and
+//!   intersecting 16-bit lock bloom filters.
+//!
+//! The detector is driven by a stream of [`MemAccess`] / fence / barrier
+//! events. In this repository the stream comes from the `scord-sim` GPU
+//! simulator, but the crate is self-contained: any driver producing the event
+//! types can use it (see the doc example on [`ScordDetector`]).
+//!
+//! Metadata can live in a full per-granule layout or in the paper's
+//! direct-mapped software cache that cuts the memory overhead from 200% to
+//! 12.5% ([`StoreKind`]); the scope-blind baseline detectors of the paper's
+//! Table VIII are available through [`build_detector`].
+
+#![warn(missing_docs)]
+
+mod baselines;
+mod config;
+mod detector;
+mod event;
+mod fence_file;
+mod lock_table;
+mod metadata;
+mod report;
+mod store;
+mod trace;
+
+pub use baselines::{build_detector, DetectorKind};
+pub use config::{DetectorConfig, Geometry, StoreKind};
+pub use detector::{AccessEffects, Detector, ScordDetector};
+pub use event::{AccessKind, Accessor, AtomKind, ItsAccess, MemAccess};
+pub use fence_file::{FenceCounters, FenceFile};
+pub use lock_table::{bloom_bit, lock_hash, LockTable, LockTables};
+pub use metadata::MetadataEntry;
+pub use report::{RaceKind, RaceLog, RaceReport};
+pub use store::{build_store, CachedStore, FullStore, MetadataLookup, MetadataStore};
+pub use trace::{ParseTraceError, RecordingDetector, Trace, TraceEvent};

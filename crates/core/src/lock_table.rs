@@ -1,0 +1,320 @@
+//! Per-warp lock tables and the 16-bit lock bloom filter (paper §IV-A).
+//!
+//! ScoRD *infers* lock and unlock operations from the CUDA acquire/release
+//! idiom: `atomicCAS` on the lock word followed by a fence acquires;
+//! a fence followed by `atomicExch` releases. Each hardware warp has a
+//! 4-entry circular buffer:
+//!
+//! * `atomicCAS` inserts an entry (valid, **inactive**) recording a 6-bit
+//!   hash of the lock address and the CAS's scope;
+//! * a fence **activates** every valid entry of matching-or-lesser scope —
+//!   an active entry means the warp holds that lock;
+//! * `atomicExch` invalidates the entry with matching hash and scope.
+//!
+//! On every load/store the warp's *active* entries are summarised into a
+//! 16-bit bloom filter that travels with the access and is stored in the
+//! metadata; lockset detection intersects the two filters (Table IV (e)/(f)).
+
+use scord_isa::Scope;
+
+use crate::Geometry;
+
+/// 6-bit hash of a lock variable's address, as stored in a lock-table entry.
+#[must_use]
+pub fn lock_hash(addr: u64) -> u8 {
+    let g = addr / 4;
+    ((g ^ (g >> 6) ^ (g >> 12) ^ (g >> 18)) & 0x3F) as u8
+}
+
+/// Bloom-filter bit index for a (lock hash, scope) pair.
+///
+/// Distinct locks, or the same lock at different scopes, may collide in the
+/// 16-bit filter — the paper accepts this as a rare false-negative source.
+#[must_use]
+pub fn bloom_bit(hash: u8, scope: Scope) -> u16 {
+    let scope_bit = u16::from(scope == Scope::Device);
+    // Multiplicative mixing spreads all 6 hash bits plus the scope bit over
+    // the 16 filter positions; a plain modulo would collide for any two
+    // hashes equal mod 16.
+    let v = (u16::from(hash) << 1) | scope_bit;
+    let idx = (v.wrapping_mul(37) >> 3) & 15;
+    1 << idx
+}
+
+/// One lock-table entry: 6-bit hash + scope + valid + active = 9 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LockEntry {
+    hash: u8,
+    scope_device: bool,
+    valid: bool,
+    active: bool,
+}
+
+/// A single warp's 4-entry circular lock table.
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    entries: Vec<LockEntry>,
+    next: usize,
+}
+
+impl LockTable {
+    /// Creates an empty table with `capacity` entries (4 in the paper).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "lock table needs at least one entry");
+        LockTable {
+            entries: vec![LockEntry::default(); capacity],
+            next: 0,
+        }
+    }
+
+    /// Records an `atomicCAS` on `addr` at `scope` — a lock-acquire
+    /// candidate. Re-CASing an already-tracked lock does not duplicate the
+    /// entry (spin loops CAS repeatedly).
+    pub fn on_cas(&mut self, addr: u64, scope: Scope) {
+        let hash = lock_hash(addr);
+        let scope_device = scope == Scope::Device;
+        if self
+            .entries
+            .iter()
+            .any(|e| e.valid && e.hash == hash && e.scope_device == scope_device)
+        {
+            return;
+        }
+        self.entries[self.next] = LockEntry {
+            hash,
+            scope_device,
+            valid: true,
+            active: false,
+        };
+        self.next = (self.next + 1) % self.entries.len();
+    }
+
+    /// A fence at `scope` activates valid entries of matching-or-lesser
+    /// scope: a device fence completes both block- and device-scoped
+    /// acquires; a block fence only block-scoped ones.
+    pub fn on_fence(&mut self, scope: Scope) {
+        for e in &mut self.entries {
+            if e.valid {
+                let entry_scope = if e.scope_device {
+                    Scope::Device
+                } else {
+                    Scope::Block
+                };
+                if scope.includes(entry_scope) {
+                    e.active = true;
+                }
+            }
+        }
+    }
+
+    /// Records an `atomicExch` on `addr` at `scope` — releases the matching
+    /// entry if one is held.
+    pub fn on_exch(&mut self, addr: u64, scope: Scope) {
+        let hash = lock_hash(addr);
+        let scope_device = scope == Scope::Device;
+        for e in &mut self.entries {
+            if e.valid && e.hash == hash && e.scope_device == scope_device {
+                e.valid = false;
+                e.active = false;
+            }
+        }
+    }
+
+    /// The 16-bit bloom summary of the locks this warp currently holds
+    /// (valid **and** active entries).
+    #[must_use]
+    pub fn bloom(&self) -> u16 {
+        self.entries
+            .iter()
+            .filter(|e| e.valid && e.active)
+            .map(|e| {
+                bloom_bit(
+                    e.hash,
+                    if e.scope_device {
+                        Scope::Device
+                    } else {
+                        Scope::Block
+                    },
+                )
+            })
+            .fold(0, |acc, b| acc | b)
+    }
+
+    /// Clears the table (warp slot reassigned to a new threadblock).
+    pub fn reset(&mut self) {
+        self.entries.fill(LockEntry::default());
+        self.next = 0;
+    }
+}
+
+/// All per-warp lock tables, indexed by `(sm, warp_slot)`.
+#[derive(Debug, Clone)]
+pub struct LockTables {
+    warps_per_sm: u32,
+    tables: Vec<LockTable>,
+}
+
+impl LockTables {
+    /// Creates empty tables for `geometry`, `capacity` entries each.
+    #[must_use]
+    pub fn new(geometry: Geometry, capacity: usize) -> Self {
+        LockTables {
+            warps_per_sm: geometry.warps_per_sm,
+            tables: vec![LockTable::new(capacity); geometry.total_warp_slots() as usize],
+        }
+    }
+
+    fn index(&self, sm: u8, warp_slot: u8) -> usize {
+        (u32::from(sm) * self.warps_per_sm + u32::from(warp_slot)) as usize
+    }
+
+    /// The table of one hardware warp.
+    #[must_use]
+    pub fn table(&self, sm: u8, warp_slot: u8) -> &LockTable {
+        &self.tables[self.index(sm, warp_slot)]
+    }
+
+    /// Mutable access to one hardware warp's table.
+    pub fn table_mut(&mut self, sm: u8, warp_slot: u8) -> &mut LockTable {
+        let idx = self.index(sm, warp_slot);
+        &mut self.tables[idx]
+    }
+
+    /// Clears every table.
+    pub fn reset(&mut self) {
+        for t in &mut self.tables {
+            t.reset();
+        }
+    }
+
+    /// Hardware state size in bits: 9 bits × entries × warps (paper §IV-C:
+    /// 36 bits per warp, 32 warps per SM).
+    #[must_use]
+    pub fn state_bits(&self) -> usize {
+        self.tables.len() * self.tables[0].entries.len() * 9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_requires_cas_then_fence() {
+        let mut t = LockTable::new(4);
+        t.on_cas(0x100, Scope::Device);
+        assert_eq!(t.bloom(), 0, "CAS alone does not hold the lock");
+        t.on_fence(Scope::Device);
+        assert_ne!(t.bloom(), 0, "fence activates the acquire");
+    }
+
+    #[test]
+    fn block_fence_does_not_activate_device_cas() {
+        let mut t = LockTable::new(4);
+        t.on_cas(0x100, Scope::Device);
+        t.on_fence(Scope::Block);
+        assert_eq!(
+            t.bloom(),
+            0,
+            "a block fence cannot complete a device-scope acquire"
+        );
+        t.on_fence(Scope::Device);
+        assert_ne!(t.bloom(), 0);
+    }
+
+    #[test]
+    fn device_fence_activates_block_cas() {
+        let mut t = LockTable::new(4);
+        t.on_cas(0x100, Scope::Block);
+        t.on_fence(Scope::Device);
+        assert_ne!(t.bloom(), 0, "matching-or-lesser scope is activated");
+    }
+
+    #[test]
+    fn exch_releases_matching_entry_only() {
+        let mut t = LockTable::new(4);
+        t.on_cas(0x100, Scope::Device);
+        t.on_cas(0x200, Scope::Device);
+        t.on_fence(Scope::Device);
+        let both = t.bloom();
+        t.on_exch(0x100, Scope::Device);
+        let one = t.bloom();
+        assert_ne!(one, 0);
+        assert_ne!(both, one, "releasing one lock keeps the other");
+        t.on_exch(0x200, Scope::Device);
+        assert_eq!(t.bloom(), 0);
+    }
+
+    #[test]
+    fn exch_with_wrong_scope_does_not_release() {
+        let mut t = LockTable::new(4);
+        t.on_cas(0x100, Scope::Device);
+        t.on_fence(Scope::Device);
+        t.on_exch(0x100, Scope::Block);
+        assert_ne!(t.bloom(), 0, "scope must match to release");
+    }
+
+    #[test]
+    fn repeated_cas_does_not_duplicate() {
+        let mut t = LockTable::new(4);
+        for _ in 0..10 {
+            t.on_cas(0x100, Scope::Device); // spin loop
+        }
+        t.on_fence(Scope::Device);
+        t.on_cas(0x200, Scope::Device);
+        t.on_fence(Scope::Device);
+        // If the spin had consumed all four slots, 0x200 would have evicted
+        // 0x100's entry.
+        t.on_exch(0x200, Scope::Device);
+        assert_ne!(t.bloom(), 0, "0x100 still tracked after the spin");
+    }
+
+    #[test]
+    fn circular_buffer_evicts_oldest() {
+        let mut t = LockTable::new(2);
+        t.on_cas(0x100, Scope::Device);
+        t.on_cas(0x200, Scope::Device);
+        t.on_cas(0x300, Scope::Device); // evicts 0x100
+        t.on_fence(Scope::Device);
+        let b = t.bloom();
+        assert_eq!(
+            b & bloom_bit(lock_hash(0x100), Scope::Device),
+            0,
+            "oldest entry evicted (assuming no hash collision here)"
+        );
+    }
+
+    #[test]
+    fn bloom_distinguishes_scope() {
+        let blk = bloom_bit(lock_hash(0x100), Scope::Block);
+        let dev = bloom_bit(lock_hash(0x100), Scope::Device);
+        assert_ne!(
+            blk, dev,
+            "the same lock at different scopes must not look common"
+        );
+    }
+
+    #[test]
+    fn tables_are_per_warp_and_sized_per_paper() {
+        let mut ts = LockTables::new(Geometry::paper_default(), 4);
+        ts.table_mut(0, 0).on_cas(0x100, Scope::Device);
+        ts.table_mut(0, 0).on_fence(Scope::Device);
+        assert_ne!(ts.table(0, 0).bloom(), 0);
+        assert_eq!(ts.table(0, 1).bloom(), 0);
+        assert_eq!(
+            ts.state_bits(),
+            480 * 36,
+            "36 bits per warp, 480 warps (paper §IV-C)"
+        );
+        ts.reset();
+        assert_eq!(ts.table(0, 0).bloom(), 0);
+    }
+
+    #[test]
+    fn lock_hash_is_six_bits() {
+        for addr in (0..4096u64).step_by(4) {
+            assert!(lock_hash(addr) < 64);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The per-location in-memory metadata entry (paper Figure 7).
+//!
+//! ScoRD keeps one 8-byte metadata entry per tracked unit of global memory
+//! (by default every 4 bytes). The entry records the identity of the last
+//! accessor (hardware block slot + warp slot), the fence and barrier epochs
+//! observed at the time of the access, per-location state flags, and a bloom
+//! filter summarising the locks held by the last accessor.
+//!
+//! Bit layout (MSB..LSB), exactly as in the paper:
+//!
+//! ```text
+//! [63-58] [57-54] [53-47]  [46-42] [41-36]    [35-30]    [29-22]   [21-16] [15-0]
+//! Unused  Tag     BlockID  WarpID  DevFenceID BlkFenceID BarrierID Flags   LockBloom
+//! ```
+//!
+//! Flags (bit 16 upward): `Modified`, `BlkShared`, `DevShared`, `IsAtom`,
+//! `Scope`, `Strong`.
+
+use scord_isa::Scope;
+
+/// Field widths and positions of the packed entry.
+mod layout {
+    // §VI (ITS extension): the otherwise-unused bits [63:58] hold the
+    // accessor's lane id plus a "accessed during divergence" flag.
+    pub const LANE_SHIFT: u32 = 58;
+    pub const LANE_BITS: u32 = 5;
+    pub const FLAG_DIVERGED: u64 = 1 << 63;
+
+    pub const BLOOM_SHIFT: u32 = 0;
+    pub const BLOOM_BITS: u32 = 16;
+    pub const FLAGS_SHIFT: u32 = 16;
+    pub const BARRIER_SHIFT: u32 = 22;
+    pub const BARRIER_BITS: u32 = 8;
+    pub const BLK_FENCE_SHIFT: u32 = 30;
+    pub const FENCE_BITS: u32 = 6;
+    pub const DEV_FENCE_SHIFT: u32 = 36;
+    pub const WARP_SHIFT: u32 = 42;
+    pub const WARP_BITS: u32 = 5;
+    pub const BLOCK_SHIFT: u32 = 47;
+    pub const BLOCK_BITS: u32 = 7;
+    pub const TAG_SHIFT: u32 = 54;
+    pub const TAG_BITS: u32 = 4;
+
+    pub const FLAG_MODIFIED: u64 = 1 << FLAGS_SHIFT;
+    pub const FLAG_BLK_SHARED: u64 = 1 << (FLAGS_SHIFT + 1);
+    pub const FLAG_DEV_SHARED: u64 = 1 << (FLAGS_SHIFT + 2);
+    pub const FLAG_IS_ATOM: u64 = 1 << (FLAGS_SHIFT + 3);
+    pub const FLAG_SCOPE: u64 = 1 << (FLAGS_SHIFT + 4);
+    pub const FLAG_STRONG: u64 = 1 << (FLAGS_SHIFT + 5);
+}
+
+fn mask(bits: u32) -> u64 {
+    (1u64 << bits) - 1
+}
+
+/// One packed 8-byte metadata entry.
+///
+/// A fresh entry is in the *(re-)initialized* state: `Modified`, `BlkShared`
+/// and `DevShared` all set (paper Table III condition (a)); every other field
+/// is zero.
+///
+/// ```
+/// use scord_core::MetadataEntry;
+/// let e = MetadataEntry::initialized();
+/// assert!(e.is_initialized());
+/// assert_eq!(e.lock_bloom(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetadataEntry(u64);
+
+impl MetadataEntry {
+    /// The boot-time / re-initialized entry value.
+    #[must_use]
+    pub fn initialized() -> Self {
+        MetadataEntry(
+            layout::FLAG_MODIFIED | layout::FLAG_BLK_SHARED | layout::FLAG_DEV_SHARED,
+        )
+    }
+
+    /// Reconstructs an entry from its raw 64-bit representation.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        MetadataEntry(bits)
+    }
+
+    /// The raw 64-bit representation (what would sit in device memory).
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// `true` while the entry is in the (re-)initialized state — the
+    /// "trivially race-free first access" signature of Table III (a).
+    #[must_use]
+    pub fn is_initialized(self) -> bool {
+        self.modified() && self.blk_shared() && self.dev_shared()
+    }
+
+    fn get(self, shift: u32, bits: u32) -> u64 {
+        (self.0 >> shift) & mask(bits)
+    }
+
+    fn set(&mut self, shift: u32, bits: u32, value: u64) {
+        debug_assert!(
+            value <= mask(bits),
+            "metadata field value {value} exceeds {bits} bits"
+        );
+        self.0 = (self.0 & !(mask(bits) << shift)) | ((value & mask(bits)) << shift);
+    }
+
+    fn flag(self, bit: u64) -> bool {
+        self.0 & bit != 0
+    }
+
+    fn set_flag(&mut self, bit: u64, value: bool) {
+        if value {
+            self.0 |= bit;
+        } else {
+            self.0 &= !bit;
+        }
+    }
+
+    /// Software-cache tag distinguishing aliasing granules (4 bits).
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        self.get(layout::TAG_SHIFT, layout::TAG_BITS) as u8
+    }
+
+    /// Sets the software-cache tag.
+    pub fn set_tag(&mut self, tag: u8) {
+        self.set(layout::TAG_SHIFT, layout::TAG_BITS, u64::from(tag));
+    }
+
+    /// Hardware block slot (0–119 with the default 15 SMs × 8 blocks) of the
+    /// last accessor.
+    #[must_use]
+    pub fn block_id(self) -> u8 {
+        self.get(layout::BLOCK_SHIFT, layout::BLOCK_BITS) as u8
+    }
+
+    /// Sets the last accessor's block slot.
+    pub fn set_block_id(&mut self, id: u8) {
+        self.set(layout::BLOCK_SHIFT, layout::BLOCK_BITS, u64::from(id));
+    }
+
+    /// Hardware warp slot within the SM (0–31) of the last accessor.
+    #[must_use]
+    pub fn warp_id(self) -> u8 {
+        self.get(layout::WARP_SHIFT, layout::WARP_BITS) as u8
+    }
+
+    /// Sets the last accessor's warp slot.
+    pub fn set_warp_id(&mut self, id: u8) {
+        self.set(layout::WARP_SHIFT, layout::WARP_BITS, u64::from(id));
+    }
+
+    /// Device-scope fence counter of the last writer at the time of its
+    /// access (6 bits, wrapping).
+    #[must_use]
+    pub fn dev_fence_id(self) -> u8 {
+        self.get(layout::DEV_FENCE_SHIFT, layout::FENCE_BITS) as u8
+    }
+
+    /// Sets the device-scope fence snapshot.
+    pub fn set_dev_fence_id(&mut self, id: u8) {
+        self.set(layout::DEV_FENCE_SHIFT, layout::FENCE_BITS, u64::from(id));
+    }
+
+    /// Block-scope fence counter of the last writer at the time of its
+    /// access (6 bits, wrapping).
+    #[must_use]
+    pub fn blk_fence_id(self) -> u8 {
+        self.get(layout::BLK_FENCE_SHIFT, layout::FENCE_BITS) as u8
+    }
+
+    /// Sets the block-scope fence snapshot.
+    pub fn set_blk_fence_id(&mut self, id: u8) {
+        self.set(layout::BLK_FENCE_SHIFT, layout::FENCE_BITS, u64::from(id));
+    }
+
+    /// Barrier epoch of the last writer's threadblock at the time of its
+    /// access (8 bits, wrapping).
+    #[must_use]
+    pub fn barrier_id(self) -> u8 {
+        self.get(layout::BARRIER_SHIFT, layout::BARRIER_BITS) as u8
+    }
+
+    /// Sets the barrier-epoch snapshot.
+    pub fn set_barrier_id(&mut self, id: u8) {
+        self.set(layout::BARRIER_SHIFT, layout::BARRIER_BITS, u64::from(id));
+    }
+
+    /// Bloom-filter summary of the locks held by the last accessor.
+    #[must_use]
+    pub fn lock_bloom(self) -> u16 {
+        self.get(layout::BLOOM_SHIFT, layout::BLOOM_BITS) as u16
+    }
+
+    /// Sets the lock bloom summary.
+    pub fn set_lock_bloom(&mut self, bloom: u16) {
+        self.set(layout::BLOOM_SHIFT, layout::BLOOM_BITS, u64::from(bloom));
+    }
+
+    /// `Modified`: the last conflicting access wrote the location.
+    #[must_use]
+    pub fn modified(self) -> bool {
+        self.flag(layout::FLAG_MODIFIED)
+    }
+
+    /// Sets `Modified`.
+    pub fn set_modified(&mut self, v: bool) {
+        self.set_flag(layout::FLAG_MODIFIED, v);
+    }
+
+    /// `BlkShared`: accessed by more than one warp of the same block.
+    #[must_use]
+    pub fn blk_shared(self) -> bool {
+        self.flag(layout::FLAG_BLK_SHARED)
+    }
+
+    /// Sets `BlkShared`.
+    pub fn set_blk_shared(&mut self, v: bool) {
+        self.set_flag(layout::FLAG_BLK_SHARED, v);
+    }
+
+    /// `DevShared`: accessed by more than one threadblock.
+    #[must_use]
+    pub fn dev_shared(self) -> bool {
+        self.flag(layout::FLAG_DEV_SHARED)
+    }
+
+    /// Sets `DevShared`.
+    pub fn set_dev_shared(&mut self, v: bool) {
+        self.set_flag(layout::FLAG_DEV_SHARED, v);
+    }
+
+    /// `IsAtom`: the last access was an atomic RMW.
+    #[must_use]
+    pub fn is_atom(self) -> bool {
+        self.flag(layout::FLAG_IS_ATOM)
+    }
+
+    /// Sets `IsAtom`.
+    pub fn set_is_atom(&mut self, v: bool) {
+        self.set_flag(layout::FLAG_IS_ATOM, v);
+    }
+
+    /// Scope of the last atomic access (meaningful only when
+    /// [`MetadataEntry::is_atom`] is set).
+    #[must_use]
+    pub fn scope(self) -> Scope {
+        if self.flag(layout::FLAG_SCOPE) {
+            Scope::Device
+        } else {
+            Scope::Block
+        }
+    }
+
+    /// Sets the recorded atomic scope.
+    pub fn set_scope(&mut self, scope: Scope) {
+        self.set_flag(layout::FLAG_SCOPE, scope == Scope::Device);
+    }
+
+    /// `Strong`: every access since (re-)initialization was strong (volatile
+    /// or atomic).
+    #[must_use]
+    pub fn strong(self) -> bool {
+        self.flag(layout::FLAG_STRONG)
+    }
+
+    /// Sets `Strong`.
+    pub fn set_strong(&mut self, v: bool) {
+        self.set_flag(layout::FLAG_STRONG, v);
+    }
+
+    /// Lane (thread id within the warp) of the last accessor — the §VI
+    /// Independent-Thread-Scheduling extension, stored in the otherwise
+    /// unused bits \[62:58\].
+    #[must_use]
+    pub fn lane_id(self) -> u8 {
+        self.get(layout::LANE_SHIFT, layout::LANE_BITS) as u8
+    }
+
+    /// Sets the last accessor's lane id (ITS extension).
+    pub fn set_lane_id(&mut self, lane: u8) {
+        self.set(layout::LANE_SHIFT, layout::LANE_BITS, u64::from(lane));
+    }
+
+    /// `true` if the last access was performed while its warp was diverged
+    /// (ITS extension, bit 63).
+    #[must_use]
+    pub fn diverged(self) -> bool {
+        self.flag(layout::FLAG_DIVERGED)
+    }
+
+    /// Sets the divergence marker (ITS extension).
+    pub fn set_diverged(&mut self, v: bool) {
+        self.set_flag(layout::FLAG_DIVERGED, v);
+    }
+}
+
+impl Default for MetadataEntry {
+    fn default() -> Self {
+        MetadataEntry::initialized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialized_signature() {
+        let e = MetadataEntry::initialized();
+        assert!(e.modified() && e.blk_shared() && e.dev_shared());
+        assert!(e.is_initialized());
+        assert!(!e.is_atom());
+        assert!(!e.strong());
+        assert_eq!(e.tag(), 0);
+    }
+
+    #[test]
+    fn fields_are_independent() {
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_tag(0xF);
+        e.set_block_id(119);
+        e.set_warp_id(31);
+        e.set_dev_fence_id(63);
+        e.set_blk_fence_id(42);
+        e.set_barrier_id(255);
+        e.set_lock_bloom(0xBEEF);
+        e.set_is_atom(true);
+        e.set_scope(Scope::Device);
+        e.set_strong(true);
+
+        assert_eq!(e.tag(), 0xF);
+        assert_eq!(e.block_id(), 119);
+        assert_eq!(e.warp_id(), 31);
+        assert_eq!(e.dev_fence_id(), 63);
+        assert_eq!(e.blk_fence_id(), 42);
+        assert_eq!(e.barrier_id(), 255);
+        assert_eq!(e.lock_bloom(), 0xBEEF);
+        assert!(e.is_atom());
+        assert_eq!(e.scope(), Scope::Device);
+        assert!(e.strong());
+        assert!(!e.modified());
+
+        // Clearing one field leaves the others alone.
+        e.set_lock_bloom(0);
+        assert_eq!(e.block_id(), 119);
+        assert_eq!(e.barrier_id(), 255);
+    }
+
+    #[test]
+    fn scope_flag_roundtrip() {
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_scope(Scope::Block);
+        assert_eq!(e.scope(), Scope::Block);
+        e.set_scope(Scope::Device);
+        assert_eq!(e.scope(), Scope::Device);
+    }
+
+    #[test]
+    fn bit_positions_match_figure7() {
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_lock_bloom(1);
+        assert_eq!(e.to_bits(), 1, "bloom occupies bit 0");
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_modified(true);
+        assert_eq!(e.to_bits(), 1 << 16, "flags start at bit 16");
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_barrier_id(1);
+        assert_eq!(e.to_bits(), 1 << 22, "barrier at bit 22");
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_blk_fence_id(1);
+        assert_eq!(e.to_bits(), 1 << 30, "blk fence at bit 30");
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_dev_fence_id(1);
+        assert_eq!(e.to_bits(), 1 << 36, "dev fence at bit 36");
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_warp_id(1);
+        assert_eq!(e.to_bits(), 1 << 42, "warp at bit 42");
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_block_id(1);
+        assert_eq!(e.to_bits(), 1 << 47, "block at bit 47");
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_tag(1);
+        assert_eq!(e.to_bits(), 1 << 54, "tag at bit 54");
+    }
+
+    #[test]
+    fn unused_bits_stay_clear() {
+        let mut e = MetadataEntry::from_bits(0);
+        e.set_tag(0xF);
+        e.set_block_id(0x7F);
+        e.set_warp_id(0x1F);
+        e.set_dev_fence_id(0x3F);
+        e.set_blk_fence_id(0x3F);
+        e.set_barrier_id(0xFF);
+        e.set_lock_bloom(0xFFFF);
+        e.set_modified(true);
+        e.set_blk_shared(true);
+        e.set_dev_shared(true);
+        e.set_is_atom(true);
+        e.set_scope(Scope::Device);
+        e.set_strong(true);
+        assert_eq!(e.to_bits() >> 58, 0, "bits 63..58 are unused");
+    }
+}

@@ -1,0 +1,248 @@
+//! Race reports and accumulation.
+//!
+//! ScoRD does not stop at the first race: it accumulates reports in a memory
+//! buffer so one execution surfaces many bugs (paper §IV). A report carries
+//! the faulting instruction pointer, the data address, the race type and
+//! whether the conflict was within a threadblock or across threadblocks.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use scord_isa::Scope;
+
+use crate::Accessor;
+
+/// The type of a detected race, matching the conditions of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceKind {
+    /// Conflicting accesses within a block with no intervening fence
+    /// (Table IV (a)).
+    MissingBlockFence,
+    /// Conflicting accesses across blocks with no intervening device-scope
+    /// fence (Table IV (b)) — includes *scoped-fence races*, where a fence
+    /// existed but only at block scope.
+    MissingDeviceFence,
+    /// Conflicting accesses where one side is not a strong (volatile/atomic)
+    /// operation, which fences cannot order (Table IV (c)).
+    NotStrong,
+    /// A block-scoped atomic observed by a different threadblock
+    /// (Table IV (d)) — the *scoped-atomic race*.
+    ScopedAtomic,
+    /// A load of modified data without a lock in common with the last
+    /// accessor (Table IV (e)).
+    MissingLockLoad,
+    /// A store without a lock in common with the last accessor
+    /// (Table IV (f)).
+    MissingLockStore,
+}
+
+impl RaceKind {
+    /// All kinds, for tabulation.
+    pub const ALL: [RaceKind; 6] = [
+        RaceKind::MissingBlockFence,
+        RaceKind::MissingDeviceFence,
+        RaceKind::NotStrong,
+        RaceKind::ScopedAtomic,
+        RaceKind::MissingLockLoad,
+        RaceKind::MissingLockStore,
+    ];
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceKind::MissingBlockFence => "missing-block-fence",
+            RaceKind::MissingDeviceFence => "missing-device-fence",
+            RaceKind::NotStrong => "not-strong-access",
+            RaceKind::ScopedAtomic => "scoped-atomic",
+            RaceKind::MissingLockLoad => "missing-lock-load",
+            RaceKind::MissingLockStore => "missing-lock-store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The race type.
+    pub kind: RaceKind,
+    /// Instruction pointer of the access that exposed the race.
+    pub pc: u32,
+    /// Data byte address involved.
+    pub addr: u64,
+    /// The accessor that triggered detection.
+    pub who: Accessor,
+    /// Block slot recorded in metadata for the previous conflicting access.
+    pub prev_block: u8,
+    /// Warp slot recorded in metadata for the previous conflicting access.
+    pub prev_warp: u8,
+    /// `Block` if both accesses came from the same threadblock, `Device`
+    /// otherwise — the paper reports this to help localise the bug.
+    pub conflict_scope: Scope,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race at pc {} on 0x{:x} ({}-level conflict, block {} warp {} vs block {} warp {})",
+            self.kind,
+            self.pc,
+            self.addr,
+            self.conflict_scope,
+            self.who.block_slot,
+            self.who.warp_slot,
+            self.prev_block,
+            self.prev_warp,
+        )
+    }
+}
+
+/// The accumulating race buffer.
+///
+/// *Unique* races are deduplicated by `(pc, kind)` — the same static bug hit
+/// by many threads counts once, which is how the paper's per-application race
+/// counts (Table VI) are tallied.
+#[derive(Debug, Clone, Default)]
+pub struct RaceLog {
+    records: Vec<RaceReport>,
+    unique: HashSet<(u32, RaceKind)>,
+    total: u64,
+    capacity: usize,
+}
+
+impl RaceLog {
+    /// Creates a log retaining at most `capacity` full records (the unique
+    /// and total counters are unaffected by the cap).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        RaceLog {
+            records: Vec::new(),
+            unique: HashSet::new(),
+            total: 0,
+            capacity,
+        }
+    }
+
+    /// Records a race; returns `true` if its `(pc, kind)` pair is new.
+    pub fn record(&mut self, report: RaceReport) -> bool {
+        self.total += 1;
+        if self.records.len() < self.capacity {
+            self.records.push(report);
+        }
+        self.unique.insert((report.pc, report.kind))
+    }
+
+    /// Number of unique `(pc, kind)` races seen.
+    #[must_use]
+    pub fn unique_count(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Total dynamic race detections (every lane access counts).
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Unique races of a given kind.
+    #[must_use]
+    pub fn unique_of_kind(&self, kind: RaceKind) -> usize {
+        self.unique.iter().filter(|(_, k)| *k == kind).count()
+    }
+
+    /// The retained reports (up to the capacity), in detection order.
+    #[must_use]
+    pub fn records(&self) -> &[RaceReport] {
+        &self.records
+    }
+
+    /// The set of unique `(pc, kind)` pairs.
+    pub fn unique_races(&self) -> impl Iterator<Item = (u32, RaceKind)> + '_ {
+        self.unique.iter().copied()
+    }
+
+    /// `true` if no race has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.unique.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pc: u32, kind: RaceKind) -> RaceReport {
+        RaceReport {
+            kind,
+            pc,
+            addr: 0x40,
+            who: Accessor {
+                sm: 0,
+                block_slot: 1,
+                warp_slot: 2,
+            },
+            prev_block: 3,
+            prev_warp: 4,
+            conflict_scope: Scope::Device,
+        }
+    }
+
+    #[test]
+    fn unique_counting_dedups_by_pc_and_kind() {
+        let mut log = RaceLog::new(16);
+        assert!(log.record(report(10, RaceKind::ScopedAtomic)));
+        assert!(!log.record(report(10, RaceKind::ScopedAtomic)), "duplicate");
+        assert!(log.record(report(10, RaceKind::MissingDeviceFence)));
+        assert!(log.record(report(11, RaceKind::ScopedAtomic)));
+        assert_eq!(log.unique_count(), 3);
+        assert_eq!(log.total_count(), 4);
+        assert_eq!(log.unique_of_kind(RaceKind::ScopedAtomic), 2);
+    }
+
+    #[test]
+    fn record_cap_preserves_counters() {
+        let mut log = RaceLog::new(2);
+        for pc in 0..10 {
+            log.record(report(pc, RaceKind::NotStrong));
+        }
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.unique_count(), 10);
+        assert_eq!(log.total_count(), 10);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut log = RaceLog::new(4);
+        log.record(report(1, RaceKind::MissingLockLoad));
+        assert!(!log.is_empty());
+        log.reset();
+        assert!(log.is_empty());
+        assert_eq!(log.unique_count(), 0);
+    }
+
+    #[test]
+    fn display_mentions_kind_and_scope() {
+        let r = report(5, RaceKind::MissingBlockFence);
+        let s = r.to_string();
+        assert!(s.contains("missing-block-fence"), "{s}");
+        assert!(s.contains("device-level"), "{s}");
+    }
+
+    #[test]
+    fn all_kinds_distinct_display() {
+        let mut seen = std::collections::HashSet::new();
+        for k in RaceKind::ALL {
+            assert!(seen.insert(k.to_string()));
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! Recording and replaying detector event streams.
+//!
+//! ScoRD's inputs are a stream of accesses, fences, barriers and warp
+//! assignments. Capturing that stream makes the detector usable far beyond
+//! one simulator: traces can be recorded once (from this repo's simulator,
+//! a binary instrumenter, or another simulator), stored as plain text,
+//! diffed, minimized, and replayed against any [`Detector`] configuration —
+//! e.g., to compare the full store with the software cache on the same
+//! execution.
+//!
+//! The format is line-based, one event per line:
+//!
+//! ```text
+//! # comment
+//! A L|S 0xADDR strong|weak PC SM BLOCK WARP        # load / store
+//! A C|X|O b|d 0xADDR PC SM BLOCK WARP              # atomic cas/exch/other at block|device scope
+//! F SM WARP b|d                                    # fence
+//! B SM BLOCK                                       # barrier
+//! W SM WARP                                        # warp slot assigned
+//! K                                                # kernel boundary
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use scord_isa::Scope;
+
+use crate::{AccessKind, Accessor, AtomKind, Detector, MemAccess};
+
+/// One recorded detector event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A lane's global-memory access.
+    Access(MemAccess),
+    /// A scoped fence by a warp.
+    Fence {
+        /// SM index.
+        sm: u8,
+        /// Warp slot.
+        warp_slot: u8,
+        /// Fence scope.
+        scope: Scope,
+    },
+    /// A barrier completion for a block.
+    Barrier {
+        /// SM index.
+        sm: u8,
+        /// Global block slot.
+        block_slot: u8,
+    },
+    /// A warp slot assigned to a fresh block.
+    WarpAssigned {
+        /// SM index.
+        sm: u8,
+        /// Warp slot.
+        warp_slot: u8,
+    },
+    /// A kernel-launch boundary (device-wide synchronization).
+    KernelBoundary,
+}
+
+fn scope_letter(scope: Scope) -> char {
+    match scope {
+        Scope::Block => 'b',
+        Scope::Device => 'd',
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Access(a) => {
+                let who = a.who;
+                match a.kind {
+                    AccessKind::Load | AccessKind::Store => write!(
+                        f,
+                        "A {} 0x{:x} {} {} {} {} {}",
+                        if a.kind == AccessKind::Load { 'L' } else { 'S' },
+                        a.addr,
+                        if a.strong { "strong" } else { "weak" },
+                        a.pc,
+                        who.sm,
+                        who.block_slot,
+                        who.warp_slot
+                    ),
+                    AccessKind::Atomic { kind, scope } => {
+                        let k = match kind {
+                            AtomKind::Cas => 'C',
+                            AtomKind::Exch => 'X',
+                            AtomKind::Other => 'O',
+                        };
+                        write!(
+                            f,
+                            "A {k} {} 0x{:x} {} {} {} {}",
+                            scope_letter(scope),
+                            a.addr,
+                            a.pc,
+                            who.sm,
+                            who.block_slot,
+                            who.warp_slot
+                        )
+                    }
+                }
+            }
+            TraceEvent::Fence {
+                sm,
+                warp_slot,
+                scope,
+            } => write!(f, "F {sm} {warp_slot} {}", scope_letter(*scope)),
+            TraceEvent::Barrier { sm, block_slot } => write!(f, "B {sm} {block_slot}"),
+            TraceEvent::WarpAssigned { sm, warp_slot } => write!(f, "W {sm} {warp_slot}"),
+            TraceEvent::KernelBoundary => write!(f, "K"),
+        }
+    }
+}
+
+/// Error parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number within the parsed text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+fn parse_scope(s: &str) -> Result<Scope, String> {
+    match s {
+        "b" => Ok(Scope::Block),
+        "d" => Ok(Scope::Device),
+        other => Err(format!("bad scope {other:?} (expected b or d)")),
+    }
+}
+
+fn parse_num<T: FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn parse_addr(s: &str) -> Result<u64, String> {
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("address must be hex (0x...): {s:?}"))?;
+    u64::from_str_radix(hex, 16).map_err(|_| format!("bad address: {s:?}"))
+}
+
+impl FromStr for TraceEvent {
+    type Err = String;
+
+    fn from_str(line: &str) -> Result<Self, String> {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        let accessor = |f: &[&str], at: usize| -> Result<Accessor, String> {
+            Ok(Accessor {
+                sm: parse_num(f[at], "sm")?,
+                block_slot: parse_num(f[at + 1], "block")?,
+                warp_slot: parse_num(f[at + 2], "warp")?,
+            })
+        };
+        match f.as_slice() {
+            ["A", ls @ ("L" | "S"), addr, strength, pc, _, _, _] => {
+                let strong = match *strength {
+                    "strong" => true,
+                    "weak" => false,
+                    other => return Err(format!("bad strength {other:?}")),
+                };
+                Ok(TraceEvent::Access(MemAccess {
+                    kind: if *ls == "L" {
+                        AccessKind::Load
+                    } else {
+                        AccessKind::Store
+                    },
+                    addr: parse_addr(addr)?,
+                    strong,
+                    pc: parse_num(pc, "pc")?,
+                    who: accessor(&f, 5)?,
+                }))
+            }
+            ["A", k @ ("C" | "X" | "O"), scope, addr, pc, _, _, _] => {
+                let kind = match *k {
+                    "C" => AtomKind::Cas,
+                    "X" => AtomKind::Exch,
+                    _ => AtomKind::Other,
+                };
+                Ok(TraceEvent::Access(MemAccess {
+                    kind: AccessKind::Atomic {
+                        kind,
+                        scope: parse_scope(scope)?,
+                    },
+                    addr: parse_addr(addr)?,
+                    strong: true,
+                    pc: parse_num(pc, "pc")?,
+                    who: accessor(&f, 5)?,
+                }))
+            }
+            ["F", sm, warp, scope] => Ok(TraceEvent::Fence {
+                sm: parse_num(sm, "sm")?,
+                warp_slot: parse_num(warp, "warp")?,
+                scope: parse_scope(scope)?,
+            }),
+            ["B", sm, block] => Ok(TraceEvent::Barrier {
+                sm: parse_num(sm, "sm")?,
+                block_slot: parse_num(block, "block")?,
+            }),
+            ["W", sm, warp] => Ok(TraceEvent::WarpAssigned {
+                sm: parse_num(sm, "sm")?,
+                warp_slot: parse_num(warp, "warp")?,
+            }),
+            ["K"] => Ok(TraceEvent::KernelBoundary),
+            _ => Err(format!("unrecognized event: {line:?}")),
+        }
+    }
+}
+
+/// A recorded event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes to the line format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the line format (blank lines and `#` comments allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTraceError`] naming the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, ParseTraceError> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            events.push(trimmed.parse().map_err(|message| ParseTraceError {
+                line: i + 1,
+                message,
+            })?);
+        }
+        Ok(Trace { events })
+    }
+
+    /// Feeds every event into `detector`, in order.
+    pub fn replay(&self, detector: &mut dyn Detector) {
+        for e in &self.events {
+            match *e {
+                TraceEvent::Access(ref a) => {
+                    detector.on_access(a);
+                }
+                TraceEvent::Fence {
+                    sm,
+                    warp_slot,
+                    scope,
+                } => detector.on_fence(sm, warp_slot, scope),
+                TraceEvent::Barrier { sm, block_slot } => detector.on_barrier(sm, block_slot),
+                TraceEvent::WarpAssigned { sm, warp_slot } => {
+                    detector.on_warp_assigned(sm, warp_slot);
+                }
+                TraceEvent::KernelBoundary => detector.on_kernel_boundary(),
+            }
+        }
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A [`Detector`] that records the event stream while forwarding it to an
+/// inner detector — attach it to the simulator to capture a trace of a real
+/// execution.
+#[derive(Debug)]
+pub struct RecordingDetector<D> {
+    inner: D,
+    trace: Trace,
+}
+
+impl<D: Detector> RecordingDetector<D> {
+    /// Wraps `inner`.
+    pub fn new(inner: D) -> Self {
+        RecordingDetector {
+            inner,
+            trace: Trace::new(),
+        }
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Unwraps into the inner detector and the recorded trace.
+    pub fn into_parts(self) -> (D, Trace) {
+        (self.inner, self.trace)
+    }
+}
+
+impl<D: Detector> Detector for RecordingDetector<D> {
+    fn on_barrier(&mut self, sm: u8, block_slot: u8) {
+        self.trace.push(TraceEvent::Barrier { sm, block_slot });
+        self.inner.on_barrier(sm, block_slot);
+    }
+
+    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) {
+        self.trace.push(TraceEvent::Fence {
+            sm,
+            warp_slot,
+            scope,
+        });
+        self.inner.on_fence(sm, warp_slot, scope);
+    }
+
+    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) {
+        self.trace.push(TraceEvent::WarpAssigned { sm, warp_slot });
+        self.inner.on_warp_assigned(sm, warp_slot);
+    }
+
+    fn on_access(&mut self, access: &MemAccess) -> crate::AccessEffects {
+        self.trace.push(TraceEvent::Access(*access));
+        self.inner.on_access(access)
+    }
+
+    fn races(&self) -> &crate::RaceLog {
+        self.inner.races()
+    }
+
+    fn reset(&mut self) {
+        self.trace = Trace::new();
+        self.inner.reset();
+    }
+
+    fn on_kernel_boundary(&mut self) {
+        self.trace.push(TraceEvent::KernelBoundary);
+        self.inner.on_kernel_boundary();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetectorConfig, ScordDetector};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let who = Accessor {
+            sm: 0,
+            block_slot: 0,
+            warp_slot: 1,
+        };
+        let other = Accessor {
+            sm: 1,
+            block_slot: 8,
+            warp_slot: 0,
+        };
+        vec![
+            TraceEvent::WarpAssigned { sm: 0, warp_slot: 1 },
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Store,
+                addr: 0x100,
+                strong: true,
+                pc: 3,
+                who,
+            }),
+            TraceEvent::Fence {
+                sm: 0,
+                warp_slot: 1,
+                scope: Scope::Block,
+            },
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Atomic {
+                    kind: AtomKind::Cas,
+                    scope: Scope::Device,
+                },
+                addr: 0x40,
+                strong: true,
+                pc: 4,
+                who: other,
+            }),
+            TraceEvent::Barrier {
+                sm: 0,
+                block_slot: 0,
+            },
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Load,
+                addr: 0x100,
+                strong: false,
+                pc: 7,
+                who: other,
+            }),
+            TraceEvent::KernelBoundary,
+        ]
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let trace: Trace = sample_events().into_iter().collect();
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n  K  \n";
+        let t = Trace::from_text(text).unwrap();
+        assert_eq!(t.events(), &[TraceEvent::KernelBoundary]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = Trace::from_text("K\nA bogus\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn replay_reproduces_detection() {
+        // Record a racey stream through a RecordingDetector, then replay
+        // the text form against a fresh detector: identical verdicts.
+        let cfg = DetectorConfig::base_design(1 << 20);
+        let mut rec = RecordingDetector::new(ScordDetector::new(cfg));
+        let who = Accessor {
+            sm: 0,
+            block_slot: 0,
+            warp_slot: 0,
+        };
+        let other = Accessor {
+            sm: 1,
+            block_slot: 8,
+            warp_slot: 0,
+        };
+        rec.on_access(&MemAccess {
+            kind: AccessKind::Store,
+            addr: 0x100,
+            strong: true,
+            pc: 1,
+            who,
+        });
+        rec.on_fence(0, 0, Scope::Block); // insufficient scope
+        rec.on_access(&MemAccess {
+            kind: AccessKind::Load,
+            addr: 0x100,
+            strong: true,
+            pc: 2,
+            who: other,
+        });
+        assert_eq!(rec.races().unique_count(), 1);
+
+        let (_, trace) = rec.into_parts();
+        let text = trace.to_text();
+        let reparsed = Trace::from_text(&text).unwrap();
+        let mut fresh = ScordDetector::new(DetectorConfig::base_design(1 << 20));
+        reparsed.replay(&mut fresh);
+        assert_eq!(fresh.races().unique_count(), 1);
+        let orig: Vec<_> = trace.events().to_vec();
+        assert_eq!(reparsed.events(), orig.as_slice());
+    }
+
+    #[test]
+    fn replay_supports_config_comparison() {
+        // The same trace replayed under the cached store: the point of the
+        // format — store configurations can be compared on one execution.
+        let trace: Trace = sample_events().into_iter().collect();
+        let mut full = ScordDetector::new(DetectorConfig::base_design(1 << 20));
+        let mut cached = ScordDetector::new(DetectorConfig::paper_default(1 << 20));
+        trace.replay(&mut full);
+        trace.replay(&mut cached);
+        assert!(cached.races().unique_count() <= full.races().unique_count());
+    }
+
+    #[test]
+    fn recording_reset_clears_the_trace() {
+        let mut rec =
+            RecordingDetector::new(ScordDetector::new(DetectorConfig::paper_default(1 << 20)));
+        rec.on_barrier(0, 0);
+        assert_eq!(rec.trace().len(), 1);
+        rec.reset();
+        assert!(rec.trace().is_empty());
+    }
+}

@@ -1,0 +1,596 @@
+//! Scenario tests for the ScoRD detection semantics (paper §IV-A,
+//! Tables III and IV). Each test is a miniature two-or-three-thread protocol
+//! driven directly into the detector, mirroring the reasoning in the paper's
+//! running examples (Figures 3–5).
+
+use scord_core::{
+    AccessKind, Accessor, AtomKind, Detector, DetectorConfig, MemAccess, RaceKind, ScordDetector,
+    StoreKind,
+};
+use scord_isa::Scope;
+
+const MEM: u64 = 1 << 20;
+
+/// Warp 0 of block slot 0 on SM 0.
+const W1: Accessor = Accessor {
+    sm: 0,
+    block_slot: 0,
+    warp_slot: 0,
+};
+/// Warp 1 of the same block.
+const W1B: Accessor = Accessor {
+    sm: 0,
+    block_slot: 0,
+    warp_slot: 1,
+};
+/// Warp 0 of block slot 8 on SM 1 (a different block on a different SM).
+const W2: Accessor = Accessor {
+    sm: 1,
+    block_slot: 8,
+    warp_slot: 0,
+};
+/// Warp 0 of block slot 16 on SM 2.
+const W3: Accessor = Accessor {
+    sm: 2,
+    block_slot: 16,
+    warp_slot: 0,
+};
+
+fn det() -> ScordDetector {
+    ScordDetector::new(DetectorConfig::base_design(MEM))
+}
+
+fn cached_det() -> ScordDetector {
+    ScordDetector::new(DetectorConfig::paper_default(MEM))
+}
+
+fn ld(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
+    det.on_access(&MemAccess {
+        kind: AccessKind::Load,
+        addr,
+        strong: true,
+        pc,
+        who,
+    });
+}
+
+fn ld_weak(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
+    det.on_access(&MemAccess {
+        kind: AccessKind::Load,
+        addr,
+        strong: false,
+        pc,
+        who,
+    });
+}
+
+fn st(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
+    det.on_access(&MemAccess {
+        kind: AccessKind::Store,
+        addr,
+        strong: true,
+        pc,
+        who,
+    });
+}
+
+fn st_weak(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
+    det.on_access(&MemAccess {
+        kind: AccessKind::Store,
+        addr,
+        strong: false,
+        pc,
+        who,
+    });
+}
+
+fn atom(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32, kind: AtomKind, scope: Scope) {
+    det.on_access(&MemAccess {
+        kind: AccessKind::Atomic { kind, scope },
+        addr,
+        strong: true,
+        pc,
+        who,
+    });
+}
+
+fn kinds(det: &ScordDetector) -> Vec<RaceKind> {
+    let mut v: Vec<_> = det.races().unique_races().map(|(_, k)| k).collect();
+    v.sort_by_key(|k| format!("{k}"));
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Preliminary checks (Table III)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn first_access_is_trivially_race_free() {
+    let mut d = det();
+    let eff = d.on_access(&MemAccess {
+        kind: AccessKind::Store,
+        addr: 0x100,
+        strong: false,
+        pc: 1,
+        who: W1,
+    });
+    assert!(eff.prelim_pass, "condition (a): initialization");
+    assert!(d.races().is_empty());
+}
+
+#[test]
+fn program_order_is_race_free() {
+    let mut d = det();
+    st_weak(&mut d, 0x100, W1, 1);
+    ld_weak(&mut d, 0x100, W1, 2);
+    st_weak(&mut d, 0x100, W1, 3);
+    assert!(d.races().is_empty(), "condition (b): same warp, no sharing");
+}
+
+#[test]
+fn barrier_separates_same_block_conflicts() {
+    let mut d = det();
+    st_weak(&mut d, 0x100, W1, 1);
+    d.on_barrier(0, 0);
+    ld_weak(&mut d, 0x100, W1B, 2);
+    assert!(
+        d.races().is_empty(),
+        "condition (c): a barrier synchronizes even weak accesses in a block"
+    );
+}
+
+#[test]
+fn same_block_conflict_without_barrier_races() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    ld(&mut d, 0x100, W1B, 2);
+    assert_eq!(kinds(&d), vec![RaceKind::MissingBlockFence]);
+}
+
+// ---------------------------------------------------------------------------
+// Fence races (Table IV (a)/(b)) — including scoped-fence races
+// ---------------------------------------------------------------------------
+
+#[test]
+fn block_fence_synchronizes_within_block() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Block);
+    ld(&mut d, 0x100, W1B, 2);
+    assert!(d.races().is_empty());
+}
+
+#[test]
+fn device_fence_synchronizes_across_blocks() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    ld(&mut d, 0x100, W2, 2);
+    assert!(d.races().is_empty());
+}
+
+#[test]
+fn block_fence_is_insufficient_across_blocks() {
+    // The scoped-fence race of Figure 4: __threadfence_block where
+    // __threadfence was needed.
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Block);
+    ld(&mut d, 0x100, W2, 2);
+    assert_eq!(kinds(&d), vec![RaceKind::MissingDeviceFence]);
+}
+
+#[test]
+fn missing_fence_across_blocks_races() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    ld(&mut d, 0x100, W2, 2);
+    assert_eq!(kinds(&d), vec![RaceKind::MissingDeviceFence]);
+}
+
+#[test]
+fn many_readers_of_published_data_are_race_free() {
+    // Produce once with a device fence, consume from several blocks: the
+    // read-only epoch must not generate false positives.
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    ld(&mut d, 0x100, W2, 2);
+    ld(&mut d, 0x100, W3, 3);
+    ld(&mut d, 0x100, W1B, 4);
+    assert!(d.races().is_empty(), "{:?}", d.races().records());
+}
+
+#[test]
+fn write_after_unsynchronized_read_races() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    ld(&mut d, 0x100, W2, 2); // properly consumed
+    st(&mut d, 0x100, W3, 3); // but nobody synchronized with the reader
+    assert_eq!(kinds(&d), vec![RaceKind::MissingDeviceFence]);
+}
+
+#[test]
+fn write_after_read_with_reader_fence_is_race_free() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    ld(&mut d, 0x100, W2, 2);
+    d.on_fence(W2.sm, W2.warp_slot, Scope::Device); // reader hands back
+    st(&mut d, 0x100, W3, 3);
+    assert!(d.races().is_empty(), "{:?}", d.races().records());
+}
+
+#[test]
+fn fence_counter_wrap_is_the_theoretical_false_positive() {
+    // §IV-A: exactly 64 device fences between the accesses wrap the 6-bit
+    // counter and produce a (practically non-existent) false race.
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    for _ in 0..64 {
+        d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    }
+    ld(&mut d, 0x100, W2, 2);
+    assert_eq!(
+        kinds(&d),
+        vec![RaceKind::MissingDeviceFence],
+        "documented 6-bit overflow artifact"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Strong/weak races (Table IV (c))
+// ---------------------------------------------------------------------------
+
+#[test]
+fn weak_store_published_by_fence_still_races() {
+    // Fences only order strong operations (§II-B): a non-volatile store is
+    // not made visible by a fence.
+    let mut d = det();
+    st_weak(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    ld(&mut d, 0x100, W2, 2);
+    assert_eq!(kinds(&d), vec![RaceKind::NotStrong]);
+}
+
+#[test]
+fn weak_read_of_fence_published_data_races() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    ld_weak(&mut d, 0x100, W2, 2);
+    assert_eq!(kinds(&d), vec![RaceKind::NotStrong]);
+}
+
+#[test]
+fn strong_flag_re_arms_after_reinitialization() {
+    let mut d = det();
+    st_weak(&mut d, 0x100, W1, 1);
+    d.reset();
+    st(&mut d, 0x100, W1, 2);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    ld(&mut d, 0x100, W2, 3);
+    assert!(d.races().is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scoped atomics (Table IV (d))
+// ---------------------------------------------------------------------------
+
+#[test]
+fn device_atomics_need_no_fences() {
+    let mut d = det();
+    atom(&mut d, 0x100, W1, 1, AtomKind::Other, Scope::Device);
+    atom(&mut d, 0x100, W2, 2, AtomKind::Other, Scope::Device);
+    ld(&mut d, 0x100, W3, 3);
+    assert!(
+        d.races().is_empty(),
+        "device-scope atomics take effect at the shared cache: {:?}",
+        d.races().records()
+    );
+}
+
+#[test]
+fn block_atomics_are_fine_within_a_block() {
+    let mut d = det();
+    atom(&mut d, 0x100, W1, 1, AtomKind::Other, Scope::Block);
+    atom(&mut d, 0x100, W1B, 2, AtomKind::Other, Scope::Block);
+    ld(&mut d, 0x100, W1B, 3);
+    assert!(d.races().is_empty(), "{:?}", d.races().records());
+}
+
+#[test]
+fn block_atomic_observed_across_blocks_is_a_scoped_race() {
+    // The work-stealing bug of Figure 3b: atomicAdd_block on nextHead while
+    // another block steals with a device atomic.
+    let mut d = det();
+    atom(&mut d, 0x100, W1, 1, AtomKind::Other, Scope::Block);
+    atom(&mut d, 0x100, W2, 2, AtomKind::Other, Scope::Device);
+    assert_eq!(kinds(&d), vec![RaceKind::ScopedAtomic]);
+}
+
+#[test]
+fn load_of_block_scoped_atomic_from_other_block_races() {
+    let mut d = det();
+    atom(&mut d, 0x100, W1, 1, AtomKind::Other, Scope::Block);
+    ld(&mut d, 0x100, W2, 2);
+    assert_eq!(kinds(&d), vec![RaceKind::ScopedAtomic]);
+}
+
+#[test]
+fn atomic_after_plain_store_is_checked_as_store() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    atom(&mut d, 0x100, W2, 2, AtomKind::Other, Scope::Device);
+    assert_eq!(
+        kinds(&d),
+        vec![RaceKind::MissingDeviceFence],
+        "atomic vs earlier non-atomic store needs synchronization"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Lockset (Table IV (e)/(f)) — inferred scoped locks
+// ---------------------------------------------------------------------------
+
+const LOCK: u64 = 0x400;
+const DATA: u64 = 0x500;
+
+fn acquire(d: &mut ScordDetector, who: Accessor, scope: Scope, fence: bool, pc: u32) {
+    atom(d, LOCK, who, pc, AtomKind::Cas, scope);
+    if fence {
+        d.on_fence(who.sm, who.warp_slot, scope);
+    }
+}
+
+fn release(d: &mut ScordDetector, who: Accessor, scope: Scope, fence: bool, pc: u32) {
+    if fence {
+        d.on_fence(who.sm, who.warp_slot, scope);
+    }
+    atom(d, LOCK, who, pc, AtomKind::Exch, scope);
+}
+
+#[test]
+fn correct_device_lock_protocol_is_race_free() {
+    let mut d = det();
+    for (i, w) in [W1, W2, W3].iter().enumerate() {
+        let pc = 10 * (i as u32 + 1);
+        acquire(&mut d, *w, Scope::Device, true, pc);
+        ld(&mut d, DATA, *w, pc + 1);
+        st(&mut d, DATA, *w, pc + 2);
+        release(&mut d, *w, Scope::Device, true, pc + 3);
+    }
+    assert!(d.races().is_empty(), "{:?}", d.races().records());
+}
+
+#[test]
+fn missing_acquire_fence_breaks_the_lock() {
+    let mut d = det();
+    acquire(&mut d, W1, Scope::Device, true, 10);
+    st(&mut d, DATA, W1, 11);
+    release(&mut d, W1, Scope::Device, true, 12);
+    // Second thread "acquires" with CAS but no fence: the lock table entry
+    // never activates, so its accesses carry an empty bloom filter.
+    acquire(&mut d, W2, Scope::Device, false, 20);
+    st(&mut d, DATA, W2, 21);
+    release(&mut d, W2, Scope::Device, true, 22);
+    assert!(
+        kinds(&d).contains(&RaceKind::MissingLockStore),
+        "{:?}",
+        kinds(&d)
+    );
+}
+
+#[test]
+fn unlocked_store_to_locked_data_races() {
+    let mut d = det();
+    acquire(&mut d, W1, Scope::Device, true, 10);
+    st(&mut d, DATA, W1, 11);
+    release(&mut d, W1, Scope::Device, true, 12);
+    st(&mut d, DATA, W2, 20);
+    assert!(
+        kinds(&d).contains(&RaceKind::MissingLockStore),
+        "{:?}",
+        kinds(&d)
+    );
+}
+
+#[test]
+fn unlocked_load_of_locked_data_races() {
+    let mut d = det();
+    acquire(&mut d, W1, Scope::Device, true, 10);
+    st(&mut d, DATA, W1, 11);
+    release(&mut d, W1, Scope::Device, true, 12);
+    ld(&mut d, DATA, W2, 20);
+    assert!(
+        kinds(&d).contains(&RaceKind::MissingLockLoad),
+        "{:?}",
+        kinds(&d)
+    );
+}
+
+#[test]
+fn different_locks_do_not_protect() {
+    let mut d = det();
+    acquire(&mut d, W1, Scope::Device, true, 10);
+    st(&mut d, DATA, W1, 11);
+    release(&mut d, W1, Scope::Device, true, 12);
+
+    // W2 holds a DIFFERENT lock while touching the same data.
+    atom(&mut d, 0x440, W2, 20, AtomKind::Cas, Scope::Device);
+    d.on_fence(W2.sm, W2.warp_slot, Scope::Device);
+    st(&mut d, DATA, W2, 21);
+    d.on_fence(W2.sm, W2.warp_slot, Scope::Device);
+    atom(&mut d, 0x440, W2, 22, AtomKind::Exch, Scope::Device);
+
+    assert!(
+        kinds(&d).contains(&RaceKind::MissingLockStore),
+        "{:?}",
+        kinds(&d)
+    );
+}
+
+#[test]
+fn block_scoped_lock_across_blocks_is_a_scoped_race() {
+    // The UTS bug (Figure 5): a block-scoped lock guarding globally shared
+    // data. The lock word itself exposes the scoped-atomic race.
+    let mut d = det();
+    acquire(&mut d, W1, Scope::Block, true, 10);
+    st(&mut d, DATA, W1, 11);
+    release(&mut d, W1, Scope::Block, true, 12);
+    acquire(&mut d, W2, Scope::Block, true, 20);
+    st(&mut d, DATA, W2, 21);
+    release(&mut d, W2, Scope::Block, true, 22);
+    let ks = kinds(&d);
+    assert!(ks.contains(&RaceKind::ScopedAtomic), "{ks:?}");
+    assert!(
+        ks.contains(&RaceKind::MissingDeviceFence),
+        "the data is also unsynchronized across blocks: {ks:?}"
+    );
+}
+
+#[test]
+fn block_scoped_lock_within_a_block_is_race_free() {
+    let mut d = det();
+    acquire(&mut d, W1, Scope::Block, true, 10);
+    st(&mut d, DATA, W1, 11);
+    release(&mut d, W1, Scope::Block, true, 12);
+    acquire(&mut d, W1B, Scope::Block, true, 20);
+    ld(&mut d, DATA, W1B, 21);
+    st(&mut d, DATA, W1B, 22);
+    release(&mut d, W1B, Scope::Block, true, 23);
+    assert!(d.races().is_empty(), "{:?}", d.races().records());
+}
+
+#[test]
+fn warp_reassignment_clears_held_locks() {
+    let mut d = det();
+    acquire(&mut d, W1, Scope::Device, true, 10);
+    st(&mut d, DATA, W1, 11);
+    d.on_warp_assigned(W1.sm, W1.warp_slot);
+    // The new warp in the same slot writes without a lock: must race even
+    // though the slot's table previously held the lock.
+    st(&mut d, DATA, W2, 20);
+    assert!(
+        kinds(&d).contains(&RaceKind::MissingLockStore),
+        "{:?}",
+        kinds(&d)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Metadata stores: caching false negatives, granularity false positives
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cached_store_alias_eviction_can_hide_a_race() {
+    // Table VI's single false negative: aliasing in the direct-mapped
+    // metadata cache evicts the entry a racey access would have matched.
+    let mut full = det();
+    st(&mut full, 0x100, W1, 1);
+    st(&mut full, 0x104, W2, 2); // neighbouring word, same cached slot
+    ld(&mut full, 0x100, W3, 3);
+    assert_eq!(full.races().unique_count(), 1, "base design sees the race");
+
+    let mut cached = cached_det();
+    st(&mut cached, 0x100, W1, 1);
+    st(&mut cached, 0x104, W2, 2); // evicts 0x100's metadata
+    ld(&mut cached, 0x100, W3, 3);
+    assert_eq!(
+        cached.races().unique_count(),
+        0,
+        "cached store misses both: 0x104's store found a tag mismatch and \
+         0x100's load found the evicted slot"
+    );
+}
+
+#[test]
+fn cached_store_still_catches_temporally_local_races() {
+    // The paper's justification: racey accesses are close in time, so the
+    // entry is usually still resident.
+    let mut d = cached_det();
+    st(&mut d, 0x100, W1, 1);
+    ld(&mut d, 0x100, W2, 2);
+    assert_eq!(kinds(&d), vec![RaceKind::MissingDeviceFence]);
+}
+
+#[test]
+fn coarse_granularity_creates_false_positives() {
+    // Table VII's mechanism: at 16-byte granularity two threads touching
+    // *different* words appear to conflict.
+    let mut d = ScordDetector::new(DetectorConfig::with_granularity(MEM, 16));
+    st(&mut d, 0x100, W1, 1);
+    st(&mut d, 0x10C, W2, 2); // disjoint word, same 16-byte granule
+    assert_eq!(
+        kinds(&d),
+        vec![RaceKind::MissingDeviceFence],
+        "false positive from metadata sharing"
+    );
+
+    // The same program at 4-byte granularity (and under the cached store)
+    // is clean.
+    let mut d4 = det();
+    st(&mut d4, 0x100, W1, 1);
+    st(&mut d4, 0x10C, W2, 2);
+    assert!(d4.races().is_empty());
+    let mut dc = cached_det();
+    st(&mut dc, 0x100, W1, 1);
+    st(&mut dc, 0x10C, W2, 2);
+    assert!(
+        dc.races().is_empty(),
+        "ScoRD's cache aliases by *eviction*, never by sharing: no FPs"
+    );
+}
+
+#[test]
+fn hardware_state_overhead_is_under_3kb() {
+    let d = det();
+    let bits = d.hardware_state_bits();
+    assert!(
+        bits <= 3 * 1024 * 8,
+        "§IV-C claims <3KB of hardware state, got {} bits",
+        bits
+    );
+    assert!(bits >= (720 + 480 * 36 / 8) * 8 / 2, "sanity lower bound");
+}
+
+#[test]
+fn metadata_footprints_match_claims() {
+    assert_eq!(
+        det().metadata_footprint_bytes(),
+        2 * MEM,
+        "base design: 200%"
+    );
+    assert_eq!(
+        cached_det().metadata_footprint_bytes(),
+        MEM / 8,
+        "ScoRD: 12.5%"
+    );
+    let g16 = ScordDetector::new(DetectorConfig::with_granularity(MEM, 16));
+    assert_eq!(g16.metadata_footprint_bytes(), MEM / 2, "16B: 50%");
+}
+
+#[test]
+fn reset_gives_independent_runs() {
+    let mut d = det();
+    st(&mut d, 0x100, W1, 1);
+    ld(&mut d, 0x100, W2, 2);
+    assert_eq!(d.races().unique_count(), 1);
+    d.reset();
+    assert!(d.races().is_empty());
+    st(&mut d, 0x100, W1, 1);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    ld(&mut d, 0x100, W2, 2);
+    assert!(d.races().is_empty(), "stale metadata cleared by reset");
+}
+
+#[test]
+fn store_kind_is_configurable_via_enum() {
+    let cfg = DetectorConfig {
+        store: StoreKind::Cached { ratio: 8 },
+        ..DetectorConfig::paper_default(MEM)
+    };
+    let d = ScordDetector::new(cfg);
+    assert_eq!(d.metadata_footprint_bytes(), MEM / 4);
+}

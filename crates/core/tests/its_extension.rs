@@ -1,0 +1,136 @@
+//! Tests for the §VI Independent-Thread-Scheduling extension: with ITS,
+//! divergent threads of one warp can interleave, so same-warp accesses are
+//! no longer automatically program-ordered — unless they come from the same
+//! lane.
+
+use scord_core::{
+    AccessKind, Accessor, Detector, DetectorConfig, ItsAccess, MemAccess, RaceKind, ScordDetector,
+};
+use scord_isa::Scope;
+
+const WHO: Accessor = Accessor {
+    sm: 0,
+    block_slot: 0,
+    warp_slot: 0,
+};
+
+fn det() -> ScordDetector {
+    ScordDetector::new(DetectorConfig::base_design(1 << 20))
+}
+
+fn its(kind: AccessKind, addr: u64, pc: u32, lane: u8, diverged: bool) -> ItsAccess {
+    ItsAccess {
+        access: MemAccess {
+            kind,
+            addr,
+            strong: true,
+            pc,
+            who: WHO,
+        },
+        lane,
+        diverged,
+    }
+}
+
+#[test]
+fn converged_warp_accesses_stay_program_ordered() {
+    let mut d = det();
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, false));
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, false));
+    assert_eq!(
+        d.races().unique_count(),
+        0,
+        "without divergence the warp is SIMT-ordered as before: {:?}",
+        d.races().records()
+    );
+}
+
+#[test]
+fn divergent_lanes_sharing_data_race() {
+    // The new race class §VI describes: two lanes of one warp touch common
+    // data while the warp is diverged — no intra-warp ordering exists.
+    let mut d = det();
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true));
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, true));
+    assert_eq!(d.races().unique_count(), 1, "{:?}", d.races().records());
+    let kinds: Vec<_> = d.races().unique_races().map(|(_, k)| k).collect();
+    assert_eq!(kinds, vec![RaceKind::MissingBlockFence]);
+}
+
+#[test]
+fn same_lane_during_divergence_is_still_ordered() {
+    let mut d = det();
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 3, true));
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 3, true));
+    d.on_access_its(&its(AccessKind::Store, 0x100, 3, 3, true));
+    assert_eq!(
+        d.races().unique_count(),
+        0,
+        "one lane is a single thread: {:?}",
+        d.races().records()
+    );
+}
+
+#[test]
+fn divergence_marker_in_metadata_outlives_reconvergence() {
+    // A store during divergence followed by another lane's access after
+    // reconvergence: the stored hasDiverged marker keeps the pair
+    // distinguishable.
+    let mut d = det();
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true));
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 7, false));
+    assert_eq!(
+        d.races().unique_count(),
+        1,
+        "the diverged store had no ordering with lane 7: {:?}",
+        d.races().records()
+    );
+}
+
+#[test]
+fn fence_between_divergent_lanes_resolves_the_race() {
+    let mut d = det();
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true));
+    d.on_fence(WHO.sm, WHO.warp_slot, Scope::Block);
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, true));
+    assert_eq!(
+        d.races().unique_count(),
+        0,
+        "a block fence orders the warp's own strong accesses: {:?}",
+        d.races().records()
+    );
+}
+
+#[test]
+fn its_and_plain_modes_agree_across_warps() {
+    // Cross-warp detection is unchanged by ITS attribution.
+    let other = Accessor {
+        sm: 1,
+        block_slot: 8,
+        warp_slot: 0,
+    };
+    let mut d = det();
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, false));
+    d.on_access(&MemAccess {
+        kind: AccessKind::Load,
+        addr: 0x100,
+        strong: true,
+        pc: 2,
+        who: other,
+    });
+    assert_eq!(d.races().unique_count(), 1);
+}
+
+#[test]
+fn barrier_still_separates_divergent_epochs() {
+    let mut d = det();
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true));
+    d.on_barrier(WHO.sm, WHO.block_slot);
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 9, true));
+    assert_eq!(
+        d.races().unique_count(),
+        0,
+        "barriers reconverge and order the whole block: {:?}",
+        d.races().records()
+    );
+}

@@ -1,0 +1,234 @@
+//! Ablations of ScoRD's design choices (beyond the paper's own tables):
+//!
+//! * **lock-table size** — the paper picks a 4-entry circular buffer per
+//!   warp (§IV); fewer entries evict held locks and lose lockset races;
+//! * **metadata-cache ratio** — the paper picks one entry per 16 granules
+//!   (12.5% overhead); denser caches trade memory for fewer
+//!   aliasing-induced false negatives;
+//! * **detector throughput** — how many lane accesses the race-detector
+//!   unit retires per cycle; too few and L1 hits stall behind the
+//!   detection queue (the LHD overhead).
+
+use scor_suite::micro::{all_micros, MicroCategory};
+use scord_core::{DetectorConfig, ScordDetector, StoreKind};
+use scord_sim::{DetectionMode, Gpu, GpuConfig, OverheadToggles};
+
+use crate::{apps, apps_racey, render_table, MemoryVariant};
+
+/// Lock-table-size ablation: detection coverage over the 12 racey
+/// lock/unlock microbenchmarks.
+#[derive(Debug, Clone)]
+pub struct LockTableRow {
+    /// Entries per warp lock table.
+    pub entries: usize,
+    /// Racey lock microbenchmarks detected (out of 12).
+    pub detected: usize,
+    /// False positives across the non-racey lock microbenchmarks.
+    pub false_positives: usize,
+}
+
+/// Sweeps the per-warp lock-table capacity.
+#[must_use]
+pub fn lock_table(entries: &[usize]) -> Vec<LockTableRow> {
+    entries
+        .iter()
+        .map(|&n| {
+            let mut detected = 0;
+            let mut false_positives = 0;
+            for m in all_micros()
+                .into_iter()
+                .filter(|m| m.category == MicroCategory::Lock)
+            {
+                let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
+                let mut gpu = Gpu::with_detector_factory(cfg, |dc| {
+                    Box::new(ScordDetector::new(DetectorConfig {
+                        lock_table_entries: n,
+                        ..dc
+                    }))
+                });
+                m.run(&mut gpu).expect("micros never deadlock");
+                let races = gpu.races().expect("detection on").unique_count();
+                if m.racey && races > 0 {
+                    detected += 1;
+                } else if !m.racey && races > 0 {
+                    false_positives += 1;
+                }
+            }
+            LockTableRow {
+                entries: n,
+                detected,
+                false_positives,
+            }
+        })
+        .collect()
+}
+
+/// Metadata-cache-ratio ablation: races caught vs memory overhead.
+#[derive(Debug, Clone)]
+pub struct CacheRatioRow {
+    /// Granules per cached metadata entry (1 = the full base design).
+    pub ratio: u64,
+    /// Metadata overhead as a percentage of device memory.
+    pub overhead_pct: f64,
+    /// Unique races reported across the racey applications.
+    pub races: usize,
+    /// Unique races the applications inject.
+    pub present: usize,
+}
+
+/// Sweeps the software cache's aliasing ratio over the racey applications.
+#[must_use]
+pub fn cache_ratio(quick: bool, ratios: &[u64]) -> Vec<CacheRatioRow> {
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let store = if ratio == 1 {
+                StoreKind::Full { granularity: 4 }
+            } else {
+                StoreKind::Cached { ratio }
+            };
+            let mode = DetectionMode::On {
+                store,
+                toggles: OverheadToggles::all(),
+            };
+            let mut races = 0;
+            let mut present = 0;
+            for app in apps_racey(quick) {
+                let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
+                app.run(&mut gpu)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+                races += gpu.races().expect("detection on").unique_count();
+                present += app.expected_races();
+            }
+            CacheRatioRow {
+                ratio,
+                overhead_pct: store.overhead_fraction() * 100.0,
+                races,
+                present,
+            }
+        })
+        .collect()
+}
+
+/// Detector-throughput ablation: overhead vs the unit's service rate.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Lane accesses the detector retires per cycle.
+    pub lanes_per_cycle: u32,
+    /// Geometric-mean ScoRD overhead across the applications.
+    pub geomean_overhead: f64,
+}
+
+/// Sweeps the race-detector unit's throughput.
+#[must_use]
+pub fn throughput(quick: bool, rates: &[u32]) -> Vec<ThroughputRow> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut logs = Vec::new();
+            for app in apps(quick) {
+                let run_with = |mode: DetectionMode| {
+                    let mut cfg = MemoryVariant::Default.config().with_detection(mode);
+                    cfg.detector_throughput = rate;
+                    let mut gpu = Gpu::new(cfg);
+                    let run = app
+                        .run(&mut gpu)
+                        .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+                    run.stats.cycles
+                };
+                let off = run_with(DetectionMode::Off);
+                let on = run_with(DetectionMode::scord());
+                logs.push((on as f64 / off as f64).ln());
+            }
+            ThroughputRow {
+                lanes_per_cycle: rate,
+                geomean_overhead: (logs.iter().sum::<f64>() / logs.len() as f64).exp(),
+            }
+        })
+        .collect()
+}
+
+/// Renders all three ablations.
+#[must_use]
+pub fn to_markdown(
+    lock: &[LockTableRow],
+    ratio: &[CacheRatioRow],
+    rate: &[ThroughputRow],
+) -> String {
+    let mut out = String::from("### Lock-table size (racey lock micros detected)\n\n");
+    out.push_str(&render_table(
+        &["Entries/warp", "Detected (of 12)", "False positives"],
+        &lock
+            .iter()
+            .map(|r| {
+                vec![
+                    r.entries.to_string(),
+                    r.detected.to_string(),
+                    r.false_positives.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str("\n### Metadata cache ratio (application races caught)\n\n");
+    out.push_str(&render_table(
+        &["Granules/entry", "Overhead", "Races caught", "Present"],
+        &ratio
+            .iter()
+            .map(|r| {
+                vec![
+                    r.ratio.to_string(),
+                    format!("{:.1}%", r.overhead_pct),
+                    r.races.to_string(),
+                    r.present.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str("\n### Detector throughput (geomean overhead)\n\n");
+    out.push_str(&render_table(
+        &["Lanes/cycle", "Overhead"],
+        &rate
+            .iter()
+            .map(|r| {
+                vec![
+                    r.lanes_per_cycle.to_string(),
+                    format!("{:.3}", r.geomean_overhead),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_table_coverage_grows_with_entries() {
+        let rows = lock_table(&[1, 4]);
+        assert!(rows[1].detected >= rows[0].detected);
+        assert_eq!(rows[1].detected, 12, "the paper's 4 entries suffice");
+        assert_eq!(rows[0].false_positives, 0);
+        assert_eq!(rows[1].false_positives, 0);
+    }
+
+    #[test]
+    fn denser_metadata_caches_catch_at_least_as_much() {
+        let rows = cache_ratio(true, &[1, 16]);
+        assert!(
+            rows[0].races >= rows[1].races,
+            "the full store cannot catch fewer races than the cache"
+        );
+        assert!(rows[0].overhead_pct > rows[1].overhead_pct);
+    }
+
+    #[test]
+    fn starved_detector_costs_more() {
+        let rows = throughput(true, &[2, 32]);
+        assert!(
+            rows[0].geomean_overhead >= rows[1].geomean_overhead - 1e-6,
+            "fewer lanes per cycle cannot be cheaper: {rows:?}"
+        );
+    }
+}

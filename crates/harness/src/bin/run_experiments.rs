@@ -1,0 +1,89 @@
+//! Regenerates every table and figure of the ScoRD paper's evaluation.
+//!
+//! ```text
+//! run-experiments [--quick] [table1|table2|table5|table6|table7|
+//!                            fig8|fig9|fig10|fig11|table8|ablations|all]
+//! ```
+
+use std::env;
+use std::time::Instant;
+
+use scord_harness as h;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .map(String::as_str)
+        .collect();
+    const KNOWN: [&str; 11] = [
+        "table1", "table2", "table5", "table6", "table7", "fig8", "fig9", "fig10", "fig11",
+        "table8", "ablations",
+    ];
+    if let Some(bad) = wanted
+        .iter()
+        .find(|w| **w != "all" && !KNOWN.contains(w))
+    {
+        eprintln!("unknown experiment {bad:?}; expected one of: all {}", KNOWN.join(" "));
+        std::process::exit(2);
+    }
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |name: &str| all || wanted.contains(&name);
+    let t0 = Instant::now();
+
+    if want("table1") {
+        println!("\n## Table I — microbenchmark suite (detected under ScoRD)\n");
+        println!("{}", h::table1::to_markdown(&h::table1::run()));
+    }
+    if want("table2") {
+        println!("\n## Table II — applications\n");
+        println!("{}", h::table2::to_markdown(&h::table2::run(quick)));
+    }
+    if want("table5") {
+        println!("\n## Table V — default hardware configuration\n");
+        println!("{}", h::table5::to_markdown());
+    }
+    if want("table6") {
+        println!("\n## Table VI — races caught\n");
+        println!("{}", h::table6::to_markdown(&h::table6::run(quick)));
+    }
+    if want("table7") {
+        println!("\n## Table VII — false positives vs tracking granularity\n");
+        println!("{}", h::table7::to_markdown(&h::table7::run(quick)));
+    }
+    if want("fig8") {
+        println!("\n## Figure 8 — execution cycles normalized to no detection\n");
+        let rows = h::fig8::run(quick);
+        println!("{}", h::fig8::to_markdown(&rows));
+        println!(
+            "ScoRD geometric-mean overhead: {:.1}% (paper: ~35%)",
+            (h::fig8::geomean_scord(&rows) - 1.0) * 100.0
+        );
+    }
+    if want("fig9") {
+        println!("\n## Figure 9 — DRAM accesses normalized to no detection\n");
+        println!("{}", h::fig9::to_markdown(&h::fig9::run(quick)));
+    }
+    if want("fig10") {
+        println!("\n## Figure 10 — overhead attribution (LHD / NOC / MD)\n");
+        println!("{}", h::fig10::to_markdown(&h::fig10::run(quick)));
+    }
+    if want("fig11") {
+        println!("\n## Figure 11 — sensitivity to memory resources\n");
+        println!("{}", h::fig11::to_markdown(&h::fig11::run(quick)));
+    }
+    if want("ablations") {
+        println!("\n## Ablations — design-choice sweeps\n");
+        let lock = h::ablations::lock_table(&[1, 2, 4, 8]);
+        let ratio = h::ablations::cache_ratio(quick, &[1, 4, 8, 16]);
+        let rate = h::ablations::throughput(quick, &[2, 4, 12, 32]);
+        println!("{}", h::ablations::to_markdown(&lock, &ratio, &rate));
+    }
+    if want("table8") {
+        println!("\n## Table VIII — detector capability comparison (measured)\n");
+        println!("{}", h::table8::to_markdown(&h::table8::run()));
+    }
+    eprintln!("\n[done in {:?}]", t0.elapsed());
+}

@@ -1,0 +1,82 @@
+//! Figure 11 — ScoRD's overhead under low / default / high memory-system
+//! configurations (half/default/double L2 capacity and channel count).
+//!
+//! Each bar is normalized to the *same* configuration without detection, so
+//! the figure isolates how memory-system headroom absorbs the metadata
+//! traffic. The paper finds overheads grow as memory resources shrink
+//! (except 1DC, whose baseline degrades even faster).
+
+use scord_sim::DetectionMode;
+
+use crate::{apps, render_table, run_app, MemoryVariant};
+
+/// One application's overhead under the three memory configurations.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub workload: String,
+    /// ScoRD / no-detection cycles on the constrained memory system.
+    pub low: f64,
+    /// ScoRD / no-detection cycles on the default memory system.
+    pub default: f64,
+    /// ScoRD / no-detection cycles on the generous memory system.
+    pub high: f64,
+}
+
+/// Runs the sensitivity sweep (6 simulations per application).
+#[must_use]
+pub fn run(quick: bool) -> Vec<Row> {
+    apps(quick)
+        .iter()
+        .map(|app| {
+            let norm = |variant: MemoryVariant| {
+                let off = run_app(app.as_ref(), DetectionMode::Off, variant).cycles;
+                let on = run_app(app.as_ref(), DetectionMode::scord(), variant).cycles;
+                on as f64 / off as f64
+            };
+            Row {
+                workload: app.name().to_string(),
+                low: norm(MemoryVariant::Low),
+                default: norm(MemoryVariant::Default),
+                high: norm(MemoryVariant::High),
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 11 as a table.
+#[must_use]
+pub fn to_markdown(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.3}", r.low),
+                format!("{:.3}", r.default),
+                format!("{:.3}", r.high),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Workload", "Low memory", "Default", "High memory"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_configuration_is_a_valid_overhead() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            for v in [r.low, r.default, r.high] {
+                // Slack for interleaving perturbation on irregular apps.
+                assert!((0.9..5.0).contains(&v), "{}: {v:.3}", r.workload);
+            }
+        }
+    }
+}

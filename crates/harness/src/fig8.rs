@@ -1,0 +1,108 @@
+//! Figure 8 — execution cycles normalized to no race detection.
+//!
+//! Two bars per application: the base design (full 4-byte metadata) and
+//! ScoRD (cached metadata). The paper reports a ~35% geometric-mean overhead
+//! for ScoRD, with 1DC worst (atomic-heavy, NoC-bound) and caching the
+//! metadata *helping* performance relative to the base design.
+
+use scord_sim::DetectionMode;
+
+use crate::{apps, render_table, run_app, MemoryVariant};
+
+/// One application's normalized execution cycles.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub workload: String,
+    /// Cycles without detection.
+    pub off_cycles: u64,
+    /// Base-design cycles / no-detection cycles.
+    pub base: f64,
+    /// ScoRD cycles / no-detection cycles.
+    pub scord: f64,
+}
+
+/// Runs each application under the three detection modes.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Row> {
+    apps(quick)
+        .iter()
+        .map(|app| {
+            let off = run_app(app.as_ref(), DetectionMode::Off, MemoryVariant::Default);
+            let base = run_app(
+                app.as_ref(),
+                DetectionMode::base_design(),
+                MemoryVariant::Default,
+            );
+            let scord = run_app(app.as_ref(), DetectionMode::scord(), MemoryVariant::Default);
+            Row {
+                workload: app.name().to_string(),
+                off_cycles: off.cycles,
+                base: base.cycles as f64 / off.cycles as f64,
+                scord: scord.cycles as f64 / off.cycles as f64,
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean of the ScoRD bars (the paper's "35% on average").
+#[must_use]
+pub fn geomean_scord(rows: &[Row]) -> f64 {
+    let p: f64 = rows.iter().map(|r| r.scord.ln()).sum::<f64>() / rows.len() as f64;
+    p.exp()
+}
+
+/// Renders Figure 8 as a table.
+#[must_use]
+pub fn to_markdown(rows: &[Row]) -> String {
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.off_cycles.to_string(),
+                format!("{:.3}", r.base),
+                format!("{:.3}", r.scord),
+            ]
+        })
+        .collect();
+    body.push(vec![
+        "geomean".into(),
+        "-".into(),
+        format!(
+            "{:.3}",
+            (rows.iter().map(|r| r.base.ln()).sum::<f64>() / rows.len() as f64).exp()
+        ),
+        format!("{:.3}", geomean_scord(rows)),
+    ]);
+    render_table(
+        &[
+            "Workload",
+            "No-detection cycles",
+            "Base design (normalized)",
+            "ScoRD (normalized)",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_overheads_are_plausible() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            // Detection perturbs lock-acquisition and work-stealing order,
+            // so irregular apps can come out marginally *faster* — allow a
+            // few percent of slack, but nothing resembling a speedup.
+            assert!(r.base >= 0.93, "{}: base {:.3}", r.workload, r.base);
+            assert!(r.scord >= 0.93, "{}: scord {:.3}", r.workload, r.scord);
+            assert!(r.base < 5.0 && r.scord < 5.0, "{}: runaway overhead", r.workload);
+        }
+        let g = geomean_scord(&rows);
+        assert!((1.0..3.0).contains(&g), "overhead in a plausible band: {g:.3}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # scord-harness
+//!
+//! Experiment harness regenerating every table and figure of the ScoRD
+//! paper's evaluation (§V):
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table I — microbenchmark suite and detection results |
+//! | [`table2`] | Table II — application suite inventory |
+//! | [`table5`] | Table V — default hardware configuration |
+//! | [`table6`] | Table VI — races caught by base design vs ScoRD |
+//! | [`table7`] | Table VII — false positives vs metadata granularity |
+//! | [`fig8`] | Figure 8 — execution-cycle overhead |
+//! | [`fig9`] | Figure 9 — DRAM accesses, metadata vs data |
+//! | [`fig10`] | Figure 10 — overhead attribution (LHD / NOC / MD) |
+//! | [`fig11`] | Figure 11 — sensitivity to L2 size and memory bandwidth |
+//! | [`table8`] | Table VIII — detector capability comparison |
+//! | [`ablations`] | Design-choice ablations (lock-table size, cache ratio, detector throughput) |
+//!
+//! Every module exposes `run(quick) -> Vec<Row>` plus a `to_markdown`
+//! renderer; the `run-experiments` binary drives them. `quick = true`
+//! shrinks the workloads for fast CI runs; `quick = false` uses the suite's
+//! default (paper-calibrated) sizes.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig8;
+pub mod fig9;
+mod markdown;
+pub mod table1;
+pub mod table2;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+mod workloads;
+
+pub use markdown::render_table;
+pub use workloads::{apps, apps_racey, gpu_for, run_app, MemoryVariant};

@@ -1,0 +1,118 @@
+//! Table I — the microbenchmark suite, with measured detection results.
+//!
+//! The paper's Table I describes the suite (2 racey + 4 non-racey fence
+//! tests, 4 + 5 atomics, 12 + 5 lock/unlock). This experiment additionally
+//! runs every microbenchmark under ScoRD and reports how many racey ones
+//! were detected and how many non-racey ones produced false positives
+//! (expected: all and none, respectively).
+
+use scor_suite::micro::{all_micros, MicroCategory};
+use scord_sim::{DetectionMode, Gpu, GpuConfig};
+
+use crate::render_table;
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Synchronization family.
+    pub category: MicroCategory,
+    /// Racey microbenchmarks in the family.
+    pub racey: usize,
+    /// Racey microbenchmarks in which ScoRD reported at least one race.
+    pub detected: usize,
+    /// Non-racey microbenchmarks in the family.
+    pub non_racey: usize,
+    /// Non-racey microbenchmarks that produced reports (false positives).
+    pub false_positives: usize,
+}
+
+/// Runs the full microbenchmark suite under ScoRD.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let cats = [
+        MicroCategory::Fence,
+        MicroCategory::Atomics,
+        MicroCategory::Lock,
+    ];
+    let mut rows: Vec<Row> = cats
+        .iter()
+        .map(|&category| Row {
+            category,
+            racey: 0,
+            detected: 0,
+            non_racey: 0,
+            false_positives: 0,
+        })
+        .collect();
+    for m in all_micros() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        m.run(&mut gpu).expect("microbenchmarks never deadlock");
+        let races = gpu.races().expect("detection on").unique_count();
+        let row = rows
+            .iter_mut()
+            .find(|r| r.category == m.category)
+            .expect("category row exists");
+        if m.racey {
+            row.racey += 1;
+            if races > 0 {
+                row.detected += 1;
+            }
+        } else {
+            row.non_racey += 1;
+            if races > 0 {
+                row.false_positives += 1;
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the measured Table I.
+#[must_use]
+pub fn to_markdown(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.category.name().to_string(),
+                r.racey.to_string(),
+                r.detected.to_string(),
+                r.non_racey.to_string(),
+                r.false_positives.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "Sync. type",
+            "Racey tests",
+            "Detected",
+            "Non-racey tests",
+            "False positives",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_detects_all_racey_with_no_false_positives() {
+        let rows = run();
+        let (racey, detected, nonracey, fps) = rows.iter().fold((0, 0, 0, 0), |a, r| {
+            (
+                a.0 + r.racey,
+                a.1 + r.detected,
+                a.2 + r.non_racey,
+                a.3 + r.false_positives,
+            )
+        });
+        assert_eq!(racey, 18, "Table I shape");
+        assert_eq!(nonracey, 14);
+        assert_eq!(detected, 18, "every racey microbenchmark is caught");
+        assert_eq!(fps, 0, "no false positives on non-racey tests");
+    }
+}

@@ -1,0 +1,57 @@
+//! Table II — the application-suite inventory.
+
+use crate::{apps_racey, render_table};
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application abbreviation.
+    pub name: &'static str,
+    /// What it does and which scoped operations it uses.
+    pub description: &'static str,
+    /// Unique races the canonical racey configuration injects.
+    pub races: usize,
+}
+
+/// Collects the inventory (no simulation required).
+#[must_use]
+pub fn run(quick: bool) -> Vec<Row> {
+    apps_racey(quick)
+        .iter()
+        .map(|a| Row {
+            name: a.name(),
+            description: a.description(),
+            races: a.expected_races(),
+        })
+        .collect()
+}
+
+/// Renders Table II.
+#[must_use]
+pub fn to_markdown(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.description.to_string(),
+                r.races.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&["Benchmark", "Description", "Races"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_paper_budget() {
+        let rows = run(false);
+        assert_eq!(rows.len(), 7);
+        let total: usize = rows.iter().map(|r| r.races).sum();
+        assert_eq!(total, 26);
+        assert!(to_markdown(&rows).contains("GCOL"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Table V — the default hardware configuration.
+
+use scord_sim::GpuConfig;
+
+use crate::render_table;
+
+/// Renders the default configuration as the paper's Table V.
+#[must_use]
+pub fn to_markdown() -> String {
+    let c = GpuConfig::paper_default();
+    let d = c.dram;
+    let rows = vec![
+        vec!["Number of SMs".into(), c.num_sms.to_string()],
+        vec!["Threads / warp".into(), c.warp_size.to_string()],
+        vec![
+            "Max. threads / block".into(),
+            c.max_threads_per_block.to_string(),
+        ],
+        vec!["Registers / SM".into(), c.regs_per_sm.to_string()],
+        vec!["Threadblocks / SM".into(), c.blocks_per_sm.to_string()],
+        vec!["Max. warps / SM".into(), c.warps_per_sm.to_string()],
+        vec![
+            "Private L1 cache".into(),
+            format!(
+                "{} KB, {}-way, {}B blocks, global write-evict",
+                c.l1_bytes >> 10,
+                c.l1_ways,
+                c.line_bytes
+            ),
+        ],
+        vec![
+            "Shared L2 cache".into(),
+            format!(
+                "{:.1} MB, {}-way, {}B blocks, write-back",
+                c.l2_bytes as f64 / (1 << 20) as f64,
+                c.l2_ways,
+                c.line_bytes
+            ),
+        ],
+        vec![
+            "GDDR5 timing".into(),
+            format!(
+                "tRRD={}, tRCD={}, tRAS={}, tRP={}, tRC={}, tCL={}",
+                d.t_rrd, d.t_rcd, d.t_ras, d.t_rp, d.t_rc, d.t_cl
+            ),
+        ],
+        vec!["Memory channels".into(), c.channels.to_string()],
+    ];
+    render_table(&["Parameter", "Value"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table5_contains_paper_values() {
+        let t = super::to_markdown();
+        assert!(t.contains("| Number of SMs | 15 |"));
+        assert!(t.contains("1.5 MB"));
+        assert!(t.contains("tRC=40"));
+        assert!(t.contains("| Memory channels | 12 |"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Table VI — races caught by the base design (no metadata caching) and by
+//! ScoRD (cached metadata), per workload.
+
+use scor_suite::micro::all_micros;
+use scord_sim::{DetectionMode, Gpu, GpuConfig};
+
+use crate::{apps_racey, render_table};
+
+/// One row of Table VI.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name ("Microbenchmarks" for the aggregated micro row).
+    pub workload: String,
+    /// Unique races the configuration injects.
+    pub present: usize,
+    /// Unique races the base design (4-byte full metadata) reports.
+    pub base: usize,
+    /// Unique races ScoRD (cached metadata) reports.
+    pub scord: usize,
+}
+
+fn detect(app: &dyn scor_suite::Benchmark, mode: DetectionMode) -> usize {
+    let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
+    app.run(&mut gpu)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+    gpu.races().expect("detection on").unique_count()
+}
+
+/// Runs every racey workload under both detector builds.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for app in apps_racey(quick) {
+        rows.push(Row {
+            workload: app.name().to_string(),
+            present: app.expected_races(),
+            base: detect(app.as_ref(), DetectionMode::base_design()),
+            scord: detect(app.as_ref(), DetectionMode::scord()),
+        });
+    }
+    // Microbenchmarks: one "race present" per racey test, detected when the
+    // run reports at least one unique race.
+    let mut present = 0;
+    let mut base = 0;
+    let mut scord = 0;
+    for m in all_micros().into_iter().filter(|m| m.racey) {
+        present += 1;
+        for (mode, counter) in [
+            (DetectionMode::base_design(), &mut base),
+            (DetectionMode::scord(), &mut scord),
+        ] {
+            let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
+            m.run(&mut gpu).expect("micros never deadlock");
+            if gpu.races().expect("detection on").unique_count() > 0 {
+                *counter += 1;
+            }
+        }
+    }
+    rows.push(Row {
+        workload: "Microbenchmarks".into(),
+        present,
+        base,
+        scord,
+    });
+    let total = |f: fn(&Row) -> usize| rows.iter().map(f).sum::<usize>();
+    rows.push(Row {
+        workload: "Total".into(),
+        present: total(|r| r.present),
+        base: total(|r| r.base),
+        scord: total(|r| r.scord),
+    });
+    rows
+}
+
+/// Renders Table VI.
+#[must_use]
+pub fn to_markdown(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.present.to_string(),
+                r.base.to_string(),
+                r.scord.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "Workload",
+            "Races present",
+            "Base design w/o metadata caching",
+            "ScoRD",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table6_detects_races_everywhere() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 9, "7 apps + micros + total");
+        let micro = &rows[7];
+        assert_eq!(micro.present, 18);
+        assert_eq!(micro.base, 18);
+        assert_eq!(micro.scord, 18);
+        for r in &rows[..7] {
+            assert!(r.base > 0, "{} must detect something", r.workload);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Table VII — false positives as metadata tracking granularity grows.
+//!
+//! Coarser granularity shares one metadata entry between neighbouring data
+//! words, so *correctly synchronized* applications start reporting races
+//! that do not exist. ScoRD's software cache reduces memory the other way —
+//! by eviction, never sharing — and must stay at zero.
+
+use scord_core::StoreKind;
+use scord_sim::{DetectionMode, Gpu, GpuConfig, OverheadToggles};
+
+use crate::{apps, render_table};
+
+/// One row of Table VII: false positives per app per store configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub workload: String,
+    /// False positives at 4-byte granularity (the base design — expect 0).
+    pub g4: usize,
+    /// False positives at 8-byte granularity.
+    pub g8: usize,
+    /// False positives at 16-byte granularity.
+    pub g16: usize,
+    /// False positives under ScoRD's cached store (expect 0).
+    pub scord: usize,
+}
+
+fn false_positives(app: &dyn scor_suite::Benchmark, store: StoreKind) -> usize {
+    let mode = DetectionMode::On {
+        store,
+        toggles: OverheadToggles::all(),
+    };
+    let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
+    app.run(&mut gpu)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+    // The app is correctly synchronized: every report is a false positive.
+    gpu.races().expect("detection on").unique_count()
+}
+
+/// Runs the correctly-synchronized applications under each granularity.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Row> {
+    apps(quick)
+        .iter()
+        .map(|app| Row {
+            workload: app.name().to_string(),
+            g4: false_positives(app.as_ref(), StoreKind::Full { granularity: 4 }),
+            g8: false_positives(app.as_ref(), StoreKind::Full { granularity: 8 }),
+            g16: false_positives(app.as_ref(), StoreKind::Full { granularity: 16 }),
+            scord: false_positives(app.as_ref(), StoreKind::Cached { ratio: 16 }),
+        })
+        .collect()
+}
+
+/// Renders Table VII (with the metadata-overhead header row).
+#[must_use]
+pub fn to_markdown(rows: &[Row]) -> String {
+    let mut body = vec![vec![
+        "Metadata overhead".to_string(),
+        "200%".to_string(),
+        "100%".to_string(),
+        "50%".to_string(),
+        "12.5%".to_string(),
+    ]];
+    body.extend(rows.iter().map(|r| {
+        vec![
+            r.workload.clone(),
+            r.g4.to_string(),
+            r.g8.to_string(),
+            r.g16.to_string(),
+            r.scord.to_string(),
+        ]
+    }));
+    render_table(
+        &["Tracking granularity", "4-byte", "8-byte", "16-byte", "ScoRD"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_and_scord_have_zero_false_positives() {
+        for row in run(true) {
+            assert_eq!(row.g4, 0, "{}: 4-byte granularity has no FPs", row.workload);
+            assert_eq!(row.scord, 0, "{}: ScoRD has no FPs", row.workload);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Workload construction and run helpers shared by every experiment.
+
+use scor_suite::apps::{
+    Convolution1D, GraphColoring, GraphConnectivity, MatMul, Reduction, Rule110, Uts,
+};
+use scor_suite::Benchmark;
+use scord_sim::{DetectionMode, Gpu, GpuConfig, SimStats};
+
+/// Figure 11's memory-system variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryVariant {
+    /// Half the L2 and channels.
+    Low,
+    /// Table V.
+    Default,
+    /// Double the L2 and channels.
+    High,
+}
+
+impl MemoryVariant {
+    /// All three variants, in Figure 11's order.
+    pub const ALL: [MemoryVariant; 3] =
+        [MemoryVariant::Low, MemoryVariant::Default, MemoryVariant::High];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryVariant::Low => "low",
+            MemoryVariant::Default => "default",
+            MemoryVariant::High => "high",
+        }
+    }
+
+    /// The corresponding GPU configuration.
+    #[must_use]
+    pub fn config(self) -> GpuConfig {
+        match self {
+            MemoryVariant::Low => GpuConfig::low_memory(),
+            MemoryVariant::Default => GpuConfig::paper_default(),
+            MemoryVariant::High => GpuConfig::high_memory(),
+        }
+    }
+}
+
+/// Builds a GPU for `mode` on the given memory variant.
+#[must_use]
+pub fn gpu_for(mode: DetectionMode, variant: MemoryVariant) -> Gpu {
+    Gpu::new(variant.config().with_detection(mode))
+}
+
+fn quick_mm() -> MatMul {
+    MatMul {
+        m: 16,
+        k: 32,
+        n: 8,
+        k_slices: 2,
+        threads_per_block: 64,
+        ..MatMul::default()
+    }
+}
+
+fn quick_red() -> Reduction {
+    Reduction {
+        elements: 4096,
+        blocks: 8,
+        threads_per_block: 64,
+        ..Reduction::default()
+    }
+}
+
+fn quick_r110() -> Rule110 {
+    Rule110 {
+        cells: 2048,
+        steps: 4,
+        blocks: 8,
+        threads_per_block: 64,
+        ..Rule110::default()
+    }
+}
+
+fn quick_gcol() -> GraphColoring {
+    GraphColoring {
+        vertices: 256,
+        edges: 512,
+        blocks: 4,
+        threads_per_block: 32,
+        ..GraphColoring::default()
+    }
+}
+
+fn quick_gcon() -> GraphConnectivity {
+    GraphConnectivity {
+        vertices: 256,
+        edges: 384,
+        blocks: 4,
+        threads_per_block: 32,
+        ..GraphConnectivity::default()
+    }
+}
+
+fn quick_1dc() -> Convolution1D {
+    Convolution1D {
+        elements: 1024,
+        ..Convolution1D::default()
+    }
+}
+
+fn quick_uts() -> Uts {
+    Uts {
+        roots_per_block: 1,
+        max_depth: 7,
+        blocks: 4,
+        threads_per_block: 32,
+        ..Uts::default()
+    }
+}
+
+/// The seven applications, correctly synchronized.
+#[must_use]
+pub fn apps(quick: bool) -> Vec<Box<dyn Benchmark>> {
+    if quick {
+        vec![
+            Box::new(quick_mm()),
+            Box::new(quick_red()),
+            Box::new(quick_r110()),
+            Box::new(quick_gcol()),
+            Box::new(quick_gcon()),
+            Box::new(quick_1dc()),
+            Box::new(quick_uts()),
+        ]
+    } else {
+        scor_suite::apps::all_apps()
+    }
+}
+
+/// The seven applications in their canonical racey configurations.
+///
+/// The per-application unique-race budgets (Table VI) are calibrated at the
+/// *default* sizes; quick configurations detect races too but their unique
+/// counts can differ (which instruction observes which is
+/// interleaving-dependent).
+#[must_use]
+pub fn apps_racey(quick: bool) -> Vec<Box<dyn Benchmark>> {
+    if quick {
+        vec![
+            Box::new(MatMul {
+                races: MatMul::racey().races,
+                ..quick_mm()
+            }),
+            Box::new(Reduction {
+                races: Reduction::racey().races,
+                ..quick_red()
+            }),
+            Box::new(Rule110 {
+                races: Rule110::racey().races,
+                ..quick_r110()
+            }),
+            Box::new(GraphColoring {
+                races: GraphColoring::racey().races,
+                ..quick_gcol()
+            }),
+            Box::new(GraphConnectivity {
+                races: GraphConnectivity::racey().races,
+                ..quick_gcon()
+            }),
+            Box::new(Convolution1D {
+                races: Convolution1D::racey().races,
+                ..quick_1dc()
+            }),
+            Box::new(Uts {
+                races: Uts::racey().races,
+                ..quick_uts()
+            }),
+        ]
+    } else {
+        scor_suite::apps::all_apps_racey()
+    }
+}
+
+/// Runs one benchmark on a fresh GPU, returning its stats and the unique
+/// race count.
+///
+/// # Panics
+///
+/// Panics if the simulation fails — experiment workloads are expected to be
+/// deadlock-free.
+#[must_use]
+pub fn run_app(app: &dyn Benchmark, mode: DetectionMode, variant: MemoryVariant) -> SimStats {
+    let mut gpu = gpu_for(mode, variant);
+    let run = app
+        .run(&mut gpu)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+    assert!(
+        run.output_valid != Some(false),
+        "{} produced wrong output",
+        app.name()
+    );
+    run.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_and_full_suites_have_seven_apps() {
+        assert_eq!(apps(true).len(), 7);
+        assert_eq!(apps(false).len(), 7);
+        assert_eq!(apps_racey(true).len(), 7);
+        let names: Vec<_> = apps(true).iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["MM", "RED", "R110", "GCOL", "GCON", "1DC", "UTS"]);
+    }
+
+    #[test]
+    fn memory_variants_scale() {
+        assert!(MemoryVariant::Low.config().l2_bytes < MemoryVariant::High.config().l2_bytes);
+        assert_eq!(MemoryVariant::Default.config().l2_bytes, 1536 << 10);
+    }
+
+    #[test]
+    fn run_app_quick_smoke() {
+        let stats = run_app(
+            apps(true)[1].as_ref(), // RED
+            DetectionMode::Off,
+            MemoryVariant::Default,
+        );
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.unique_races, 0);
+    }
+}

@@ -1,0 +1,805 @@
+//! Structured kernel construction.
+
+use crate::{AluOp, AtomOp, Instr, MemAddr, Operand, Pc, Program, Reg, Scope, Space, SpecialReg};
+
+/// Scope configuration of a lock/unlock (acquire/release) pattern.
+///
+/// Per the paper (§III, Figure 5), CUDA locks are synthesized from an
+/// `atomicCAS` followed by a fence (acquire) and a fence followed by an
+/// `atomicExch` (release). The effective scope of the lock is the *narrowest*
+/// scope of its constituents, and omitting a fence breaks the pattern
+/// entirely — both are race-injection knobs in the ScoR suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockConfig {
+    /// Scope of the acquiring `atomicCAS`.
+    pub cas_scope: Scope,
+    /// Scope of the fence completing the acquire, or `None` to (incorrectly)
+    /// omit it.
+    pub acquire_fence: Option<Scope>,
+    /// Scope of the fence starting the release, or `None` to (incorrectly)
+    /// omit it.
+    pub release_fence: Option<Scope>,
+    /// Scope of the releasing `atomicExch`.
+    pub exch_scope: Scope,
+}
+
+impl LockConfig {
+    /// A correctly-formed lock at uniform `scope`.
+    #[must_use]
+    pub fn scoped(scope: Scope) -> Self {
+        LockConfig {
+            cas_scope: scope,
+            acquire_fence: Some(scope),
+            release_fence: Some(scope),
+            exch_scope: scope,
+        }
+    }
+
+    /// A correct device-scope lock.
+    #[must_use]
+    pub fn device() -> Self {
+        Self::scoped(Scope::Device)
+    }
+
+    /// A correct block-scope lock (only safe if every contender is in the
+    /// same threadblock).
+    #[must_use]
+    pub fn block() -> Self {
+        Self::scoped(Scope::Block)
+    }
+}
+
+/// Incrementally builds a [`Program`] with structured control flow.
+///
+/// The builder emits explicit reconvergence points on every divergent branch,
+/// maintaining the invariant the simulator's SIMT stack relies on: the
+/// reconvergence PC of a divergent region is always the PC at which the
+/// parent stack frame waits.
+///
+/// ```
+/// use scord_isa::{KernelBuilder, Operand, SpecialReg};
+///
+/// // out[tid] = tid < n ? tid * 2 : 0
+/// let mut k = KernelBuilder::new("double", 2);
+/// let out = k.ld_param(0);
+/// let n = k.ld_param(1);
+/// let tid = k.special(SpecialReg::Tid);
+/// let in_range = k.set_lt(tid, n);
+/// let addr = k.index_addr(out, tid, 4);
+/// k.if_else(
+///     in_range,
+///     |k| {
+///         let v = k.mul(tid, 2u32);
+///         k.st_global(addr, 0, v);
+///     },
+///     |k| k.st_global(addr, 0, 0u32),
+/// );
+/// k.exit();
+/// let program = k.finish().unwrap();
+/// assert!(program.len() > 5);
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    next_reg: u16,
+    num_params: u16,
+    shared_bytes: u32,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel named `name` taking `num_params` 32-bit parameters.
+    #[must_use]
+    pub fn new(name: impl Into<String>, num_params: u16) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            next_reg: 0,
+            num_params,
+            shared_bytes: 0,
+        }
+    }
+
+    /// Reserves `bytes` of per-block scratchpad (shared) memory, returning
+    /// the byte offset of the reservation.
+    pub fn alloc_shared(&mut self, bytes: u32) -> u32 {
+        let off = self.shared_bytes;
+        self.shared_bytes += (bytes + 3) & !3;
+        off
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register file exhausted");
+        r
+    }
+
+    /// Current emission point.
+    #[must_use]
+    pub fn here(&self) -> Pc {
+        self.instrs.len() as Pc
+    }
+
+    /// Appends a raw instruction. Prefer the typed emitters below.
+    pub fn emit(&mut self, instr: Instr) -> Pc {
+        let pc = self.here();
+        self.instrs.push(instr);
+        pc
+    }
+
+    // ---- straight-line emitters ------------------------------------------
+
+    /// `dst = src` into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.mov_into(dst, src);
+        dst
+    }
+
+    /// `dst = src` into an existing register.
+    pub fn mov_into(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Instr::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// `op(a, b)` into a fresh register.
+    pub fn alu(&mut self, op: AluOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.alu_into(dst, op, a, b);
+        dst
+    }
+
+    /// `dst = op(a, b)` into an existing register.
+    pub fn alu_into(
+        &mut self,
+        dst: Reg,
+        op: AluOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.emit(Instr::Alu {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// Reads a special register into a fresh register.
+    pub fn special(&mut self, sreg: SpecialReg) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Special { dst, sreg });
+        dst
+    }
+
+    /// Loads the `index`-th kernel parameter into a fresh register.
+    pub fn ld_param(&mut self, index: u16) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::LdParam { dst, index });
+        dst
+    }
+
+    /// Computes `tid + ctaid * ntid` — the global thread index.
+    pub fn global_tid(&mut self) -> Reg {
+        let tid = self.special(SpecialReg::Tid);
+        let ctaid = self.special(SpecialReg::Ctaid);
+        let ntid = self.special(SpecialReg::Ntid);
+        let base = self.mul(ctaid, ntid);
+        self.add(base, tid)
+    }
+
+    /// Computes `base + index * elem_size` (a byte address) into a fresh
+    /// register.
+    pub fn index_addr(&mut self, base: Reg, index: impl Into<Operand>, elem_size: u32) -> Reg {
+        let scaled = self.alu(AluOp::Mul, index, elem_size);
+        self.alu(AluOp::Add, base, scaled)
+    }
+
+    /// Branch-free select: `cond != 0 ? a : b` (cond must be 0 or 1).
+    pub fn select(&mut self, cond: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let b = b.into();
+        let mask = self.alu(AluOp::Sub, 0u32, cond); // 0 or 0xFFFF_FFFF
+        let diff = self.alu(AluOp::Xor, a, b);
+        let masked = self.alu(AluOp::And, diff, mask);
+        self.alu(AluOp::Xor, b, masked)
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Weak (cacheable) global load.
+    pub fn ld_global(&mut self, base: Reg, offset: i32) -> Reg {
+        self.ld(base, offset, Space::Global, false)
+    }
+
+    /// Strong (CUDA `volatile`) global load, bypassing incoherent caches.
+    pub fn ld_global_strong(&mut self, base: Reg, offset: i32) -> Reg {
+        self.ld(base, offset, Space::Global, true)
+    }
+
+    /// Weak global store.
+    pub fn st_global(&mut self, base: Reg, offset: i32, src: impl Into<Operand>) {
+        self.st(base, offset, src, Space::Global, false);
+    }
+
+    /// Strong (CUDA `volatile`) global store.
+    pub fn st_global_strong(&mut self, base: Reg, offset: i32, src: impl Into<Operand>) {
+        self.st(base, offset, src, Space::Global, true);
+    }
+
+    /// Shared-memory load (scratchpad offsets are relative to the block's
+    /// allocation).
+    pub fn ld_shared(&mut self, base: Reg, offset: i32) -> Reg {
+        self.ld(base, offset, Space::Shared, true)
+    }
+
+    /// Shared-memory store.
+    pub fn st_shared(&mut self, base: Reg, offset: i32, src: impl Into<Operand>) {
+        self.st(base, offset, src, Space::Shared, true);
+    }
+
+    fn ld(&mut self, base: Reg, offset: i32, space: Space, strong: bool) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Ld {
+            dst,
+            addr: MemAddr::new(base, offset),
+            space,
+            strong,
+        });
+        dst
+    }
+
+    fn st(&mut self, base: Reg, offset: i32, src: impl Into<Operand>, space: Space, strong: bool) {
+        self.emit(Instr::St {
+            src: src.into(),
+            addr: MemAddr::new(base, offset),
+            space,
+            strong,
+        });
+    }
+
+    /// Generic scoped atomic; returns the register holding the old value.
+    pub fn atom(
+        &mut self,
+        op: AtomOp,
+        base: Reg,
+        offset: i32,
+        val: impl Into<Operand>,
+        cmp: impl Into<Operand>,
+        scope: Scope,
+    ) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Atom {
+            op,
+            dst: Some(dst),
+            addr: MemAddr::new(base, offset),
+            val: val.into(),
+            cmp: cmp.into(),
+            scope,
+        });
+        dst
+    }
+
+    /// Scoped atomic whose old value is discarded.
+    pub fn atom_noret(
+        &mut self,
+        op: AtomOp,
+        base: Reg,
+        offset: i32,
+        val: impl Into<Operand>,
+        scope: Scope,
+    ) {
+        self.emit(Instr::Atom {
+            op,
+            dst: None,
+            addr: MemAddr::new(base, offset),
+            val: val.into(),
+            cmp: Operand::Imm(0),
+            scope,
+        });
+    }
+
+    /// `atomicAdd` returning the old value.
+    pub fn atom_add(
+        &mut self,
+        base: Reg,
+        offset: i32,
+        val: impl Into<Operand>,
+        scope: Scope,
+    ) -> Reg {
+        self.atom(AtomOp::Add, base, offset, val, 0u32, scope)
+    }
+
+    /// `atomicAdd` discarding the old value.
+    pub fn atom_add_noret(
+        &mut self,
+        base: Reg,
+        offset: i32,
+        val: impl Into<Operand>,
+        scope: Scope,
+    ) {
+        self.atom_noret(AtomOp::Add, base, offset, val, scope);
+    }
+
+    /// `atomicCAS(addr, cmp, val)` returning the old value.
+    pub fn atom_cas(
+        &mut self,
+        base: Reg,
+        offset: i32,
+        cmp: impl Into<Operand>,
+        val: impl Into<Operand>,
+        scope: Scope,
+    ) -> Reg {
+        self.atom(AtomOp::Cas, base, offset, val, cmp, scope)
+    }
+
+    /// `atomicExch(addr, val)` returning the old value.
+    pub fn atom_exch(
+        &mut self,
+        base: Reg,
+        offset: i32,
+        val: impl Into<Operand>,
+        scope: Scope,
+    ) -> Reg {
+        self.atom(AtomOp::Exch, base, offset, val, 0u32, scope)
+    }
+
+    /// `atomicExch(addr, val)` discarding the old value (the release half of
+    /// a lock).
+    pub fn atom_exch_noret(
+        &mut self,
+        base: Reg,
+        offset: i32,
+        val: impl Into<Operand>,
+        scope: Scope,
+    ) {
+        self.atom_noret(AtomOp::Exch, base, offset, val, scope);
+    }
+
+    /// Atomic read: `atomicAdd(addr, 0)` returning the current value — the
+    /// race-free way to observe a location updated by atomics.
+    pub fn atom_read(&mut self, base: Reg, offset: i32, scope: Scope) -> Reg {
+        self.atom(AtomOp::Add, base, offset, 0u32, 0u32, scope)
+    }
+
+    /// Scoped memory fence.
+    pub fn fence(&mut self, scope: Scope) {
+        self.emit(Instr::Fence { scope });
+    }
+
+    /// Block-wide barrier (`__syncthreads`).
+    pub fn bar(&mut self) {
+        self.emit(Instr::Bar);
+    }
+
+    /// Thread exit.
+    pub fn exit(&mut self) {
+        self.emit(Instr::Exit);
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    // ---- structured control flow ----------------------------------------
+
+    /// Executes `body` for lanes where `cond != 0`.
+    pub fn if_then(&mut self, cond: Reg, body: impl FnOnce(&mut Self)) {
+        let bpc = self.emit(Instr::Nop); // patched below
+        body(self);
+        let end = self.here();
+        self.instrs[bpc as usize] = Instr::Branch {
+            cond,
+            if_zero: true,
+            target: end,
+            reconv: end,
+        };
+    }
+
+    /// Executes `body` for lanes where `cond == 0`.
+    pub fn if_zero(&mut self, cond: Reg, body: impl FnOnce(&mut Self)) {
+        let bpc = self.emit(Instr::Nop);
+        body(self);
+        let end = self.here();
+        self.instrs[bpc as usize] = Instr::Branch {
+            cond,
+            if_zero: false,
+            target: end,
+            reconv: end,
+        };
+    }
+
+    /// Executes `then_body` where `cond != 0`, otherwise `else_body`.
+    pub fn if_else(
+        &mut self,
+        cond: Reg,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        let bpc = self.emit(Instr::Nop);
+        then_body(self);
+        let jpc = self.emit(Instr::Nop);
+        let else_start = self.here();
+        else_body(self);
+        let end = self.here();
+        self.instrs[bpc as usize] = Instr::Branch {
+            cond,
+            if_zero: true,
+            target: else_start,
+            reconv: end,
+        };
+        self.instrs[jpc as usize] = Instr::Jump { target: end };
+    }
+
+    /// Loops while the register returned by `cond` is non-zero.
+    ///
+    /// `cond` is re-evaluated before each iteration; lanes leave the loop as
+    /// their condition turns zero and reconverge at the exit.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Reg,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let loop_start = self.here();
+        let c = cond(self);
+        let bpc = self.emit(Instr::Nop);
+        body(self);
+        self.emit(Instr::Jump { target: loop_start });
+        let exit = self.here();
+        self.instrs[bpc as usize] = Instr::Branch {
+            cond: c,
+            if_zero: true,
+            target: exit,
+            reconv: exit,
+        };
+    }
+
+    /// Counted loop: `for (i = start; i < end; i += step) body(i)`.
+    ///
+    /// The bound comparison is signed.
+    pub fn for_range(
+        &mut self,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        step: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let end = end.into();
+        let step = step.into();
+        let i = self.mov(start);
+        self.while_loop(
+            |k| k.alu(AluOp::SetLt, i, end),
+            |k| {
+                body(k, i);
+                k.alu_into(i, AluOp::Add, i, step);
+            },
+        );
+    }
+
+    /// Spins (with strong loads) until `*(base+offset) == value`.
+    ///
+    /// Note: a *volatile* poll is visible but unordered; under ScoRD's
+    /// happens-before check a volatile flag handshake is only race-free if
+    /// the producer keeps fencing afterwards. Cross-thread signalling should
+    /// normally use [`KernelBuilder::spin_until_eq_atomic`] instead.
+    pub fn spin_until_eq(&mut self, base: Reg, offset: i32, value: impl Into<Operand>) {
+        let value = value.into();
+        self.while_loop(
+            |k| {
+                let v = k.ld_global_strong(base, offset);
+                k.alu(AluOp::SetNe, v, value)
+            },
+            |_| {},
+        );
+    }
+
+    /// Spins on an *atomic* read (`atomicAdd(addr, 0)`) until the value
+    /// equals `value` — the race-free flag-polling idiom: atomics take
+    /// effect at the shared cache and are exempt from fence ordering
+    /// requirements (paper Table IV (d)).
+    pub fn spin_until_eq_atomic(
+        &mut self,
+        base: Reg,
+        offset: i32,
+        value: impl Into<Operand>,
+        scope: Scope,
+    ) {
+        let value = value.into();
+        self.while_loop(
+            |k| {
+                let v = k.atom_add(base, offset, 0u32, scope);
+                k.alu(AluOp::SetNe, v, value)
+            },
+            |_| {},
+        );
+    }
+
+    /// A deadlock-free per-lane critical section guarded by the 32-bit lock
+    /// word at `lock_base + lock_offset`.
+    ///
+    /// Emits the try-lock idiom (acquire, body and release all inside the
+    /// divergent path, so a lane never holds the lock across a reconvergence
+    /// point):
+    ///
+    /// ```text
+    /// done = 0
+    /// while (!done) {
+    ///   if (atomicCAS(lock, 0, 1) == 0) {   // cfg.cas_scope
+    ///     fence(cfg.acquire_fence)          // if present
+    ///     <body>
+    ///     fence(cfg.release_fence)          // if present
+    ///     atomicExch(lock, 0)               // cfg.exch_scope
+    ///     done = 1
+    ///   }
+    /// }
+    /// ```
+    pub fn critical_section(
+        &mut self,
+        lock_base: Reg,
+        lock_offset: i32,
+        cfg: LockConfig,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let done = self.mov(0u32);
+        self.while_loop(
+            |k| k.alu(AluOp::SetEq, done, 0u32),
+            |k| {
+                let old = k.atom_cas(lock_base, lock_offset, 0u32, 1u32, cfg.cas_scope);
+                let got = k.alu(AluOp::SetEq, old, 0u32);
+                k.if_then(got, |k| {
+                    if let Some(s) = cfg.acquire_fence {
+                        k.fence(s);
+                    }
+                    body(k);
+                    if let Some(s) = cfg.release_fence {
+                        k.fence(s);
+                    }
+                    k.atom_exch_noret(lock_base, lock_offset, 0u32, cfg.exch_scope);
+                    k.mov_into(done, 1u32);
+                });
+            },
+        );
+    }
+
+    /// PTX 6.0-style **acquire** on a synchronization variable (paper §VI):
+    /// spins until `atomicCAS(addr, expected, desired)` succeeds, then
+    /// completes the acquire with a fence — NVIDIA's documented synthesis
+    /// of `ld.acquire` semantics from pre-6.0 primitives (§II-B).
+    ///
+    /// ScoRD's lock inference recognises exactly this pattern, so explicit
+    /// acquire operations are tracked like inferred lock acquires.
+    pub fn acquire(
+        &mut self,
+        base: Reg,
+        offset: i32,
+        expected: impl Into<Operand>,
+        desired: impl Into<Operand>,
+        scope: Scope,
+    ) {
+        let expected = expected.into();
+        let desired = desired.into();
+        self.while_loop(
+            |k| {
+                let old = k.atom_cas(base, offset, expected, desired, scope);
+                k.alu(AluOp::SetNe, old, expected)
+            },
+            |_| {},
+        );
+        self.fence(scope);
+    }
+
+    /// PTX 6.0-style **release**: a fence followed by `atomicExch(addr,
+    /// value)` — the release half of the synthesis (paper §II-B, §VI).
+    pub fn release(&mut self, base: Reg, offset: i32, value: impl Into<Operand>, scope: Scope) {
+        self.fence(scope);
+        self.atom_exch_noret(base, offset, value, scope);
+    }
+
+    // ---- comparison shorthands -------------------------------------------
+
+    /// Wrapping `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Add, a, b)
+    }
+
+    /// Wrapping `a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Sub, a, b)
+    }
+
+    /// Wrapping `a * b`.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Mul, a, b)
+    }
+
+    /// Signed `a / b` (`/0 == 0`).
+    pub fn div(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Div, a, b)
+    }
+
+    /// Signed `a % b` (`%0 == 0`).
+    pub fn rem(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Rem, a, b)
+    }
+
+    /// Signed minimum.
+    pub fn min(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Min, a, b)
+    }
+
+    /// `a == b` as 0/1.
+    pub fn set_eq(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::SetEq, a, b)
+    }
+
+    /// `a != b` as 0/1.
+    pub fn set_ne(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::SetNe, a, b)
+    }
+
+    /// Signed `a < b` as 0/1.
+    pub fn set_lt(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::SetLt, a, b)
+    }
+
+    /// Signed `a >= b` as 0/1.
+    pub fn set_ge(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::SetGe, a, b)
+    }
+
+    /// Logical and of two 0/1 values.
+    pub fn logical_and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::And, a, b)
+    }
+
+    /// Logical or of two 0/1 values.
+    pub fn logical_or(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Or, a, b)
+    }
+
+    // ---- completion -------------------------------------------------------
+
+    /// Finalizes the kernel into a validated [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::ValidateProgramError`] if an instruction references
+    /// an out-of-range register, parameter or branch target (builder misuse).
+    pub fn finish(mut self) -> Result<Program, crate::ValidateProgramError> {
+        if !matches!(self.instrs.last(), Some(Instr::Exit)) {
+            self.exit();
+        }
+        Program::from_parts(
+            self.name,
+            self.instrs,
+            self.next_reg.max(1),
+            self.num_params,
+            self.shared_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn if_then_emits_branch_to_reconvergence() {
+        let mut k = KernelBuilder::new("t", 0);
+        let c = k.mov(1u32);
+        k.if_then(c, |k| {
+            k.nop();
+            k.nop();
+        });
+        let p = k.finish().unwrap();
+        // mov, branch, nop, nop, exit
+        match p.instrs()[1] {
+            Instr::Branch {
+                if_zero,
+                target,
+                reconv,
+                ..
+            } => {
+                assert!(if_zero);
+                assert_eq!(target, 4);
+                assert_eq!(reconv, 4);
+            }
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_targets_else_and_reconverges_at_end() {
+        let mut k = KernelBuilder::new("t", 0);
+        let c = k.mov(1u32);
+        k.if_else(c, |k| k.nop(), |k| k.nop());
+        let p = k.finish().unwrap();
+        // 0: mov, 1: branch, 2: nop(then), 3: jump end, 4: nop(else), 5: exit
+        match p.instrs()[1] {
+            Instr::Branch { target, reconv, .. } => {
+                assert_eq!(target, 4, "branch to else block");
+                assert_eq!(reconv, 5, "reconverge after else");
+            }
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+        assert_eq!(p.instrs()[3], Instr::Jump { target: 5 });
+    }
+
+    #[test]
+    fn while_loop_back_edge_and_exit() {
+        let mut k = KernelBuilder::new("t", 0);
+        let i = k.mov(0u32);
+        k.while_loop(
+            |k| k.set_lt(i, 10u32),
+            |k| k.alu_into(i, AluOp::Add, i, 1u32),
+        );
+        let p = k.finish().unwrap();
+        // 0 mov; 1 setlt; 2 branch->exit; 3 add; 4 jump->1; 5 exit
+        assert_eq!(p.instrs()[4], Instr::Jump { target: 1 });
+        match p.instrs()[2] {
+            Instr::Branch { target, reconv, .. } => {
+                assert_eq!(target, 5);
+                assert_eq!(reconv, 5);
+            }
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_appends_exit_when_missing() {
+        let mut k = KernelBuilder::new("t", 0);
+        k.nop();
+        let p = k.finish().unwrap();
+        assert_eq!(*p.instrs().last().unwrap(), Instr::Exit);
+    }
+
+    #[test]
+    fn critical_section_contains_lock_pattern() {
+        let mut k = KernelBuilder::new("t", 1);
+        let lock = k.ld_param(0);
+        k.critical_section(lock, 0, LockConfig::device(), |k| {
+            let v = k.ld_global_strong(lock, 4);
+            k.st_global_strong(lock, 4, v);
+        });
+        let p = k.finish().unwrap();
+        let cas = p.count_matching(|i| matches!(i, Instr::Atom { op: AtomOp::Cas, .. }));
+        let exch = p.count_matching(|i| matches!(i, Instr::Atom { op: AtomOp::Exch, .. }));
+        let fences = p.count_matching(|i| matches!(i, Instr::Fence { .. }));
+        assert_eq!(cas, 1);
+        assert_eq!(exch, 1);
+        assert_eq!(fences, 2);
+    }
+
+    #[test]
+    fn lock_config_constructors() {
+        let d = LockConfig::device();
+        assert_eq!(d.cas_scope, Scope::Device);
+        assert_eq!(d.acquire_fence, Some(Scope::Device));
+        let b = LockConfig::block();
+        assert_eq!(b.exch_scope, Scope::Block);
+    }
+
+    #[test]
+    fn shared_allocation_is_word_aligned() {
+        let mut k = KernelBuilder::new("t", 0);
+        assert_eq!(k.alloc_shared(5), 0);
+        assert_eq!(k.alloc_shared(4), 8);
+        k.exit();
+        assert_eq!(k.finish().unwrap().shared_bytes(), 12);
+    }
+
+    #[test]
+    fn global_tid_computes_linear_index_shape() {
+        let mut k = KernelBuilder::new("t", 0);
+        let _ = k.global_tid();
+        let p = k.finish().unwrap();
+        let specials = p.count_matching(|i| matches!(i, Instr::Special { .. }));
+        assert_eq!(specials, 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! PTX-flavoured disassembly (`Display` impls).
+
+use std::fmt;
+
+use crate::{AluOp, AtomOp, Instr, MemAddr, Operand, Program, Space, SpecialReg};
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => {
+                if *v > 0x7FFF_FFFF {
+                    write!(f, "{}", *v as i32)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul.lo",
+            AluOp::MulHi => "mul.hi",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sra => "sra",
+            AluOp::SetEq => "setp.eq",
+            AluOp::SetNe => "setp.ne",
+            AluOp::SetLt => "setp.lt",
+            AluOp::SetLe => "setp.le",
+            AluOp::SetGt => "setp.gt",
+            AluOp::SetGe => "setp.ge",
+            AluOp::SetLtU => "setp.lt.u",
+            AluOp::SetGeU => "setp.ge.u",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for AtomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomOp::Add => "add",
+            AtomOp::Exch => "exch",
+            AtomOp::Cas => "cas",
+            AtomOp::Min => "min",
+            AtomOp::Max => "max",
+            AtomOp::And => "and",
+            AtomOp::Or => "or",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::Tid => "%tid.x",
+            SpecialReg::Ntid => "%ntid.x",
+            SpecialReg::Ctaid => "%ctaid.x",
+            SpecialReg::Nctaid => "%nctaid.x",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::WarpId => "%warpid",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "[{}]", self.base)
+        } else {
+            write!(f, "[{}{:+}]", self.base, self.offset)
+        }
+    }
+}
+
+fn space_prefix(space: Space) -> &'static str {
+    match space {
+        Space::Global => "global",
+        Space::Shared => "shared",
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Alu { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instr::Special { dst, sreg } => write!(f, "mov {dst}, {sreg}"),
+            Instr::LdParam { dst, index } => write!(f, "ld.param {dst}, [param{index}]"),
+            Instr::Ld {
+                dst,
+                addr,
+                space,
+                strong,
+            } => {
+                let v = if *strong { ".volatile" } else { "" };
+                write!(f, "ld.{}{v} {dst}, {addr}", space_prefix(*space))
+            }
+            Instr::St {
+                src,
+                addr,
+                space,
+                strong,
+            } => {
+                let v = if *strong { ".volatile" } else { "" };
+                write!(f, "st.{}{v} {addr}, {src}", space_prefix(*space))
+            }
+            Instr::Atom {
+                op,
+                dst,
+                addr,
+                val,
+                cmp,
+                scope,
+            } => {
+                match dst {
+                    Some(d) => write!(f, "atom.{}.{op} {d}, {addr}, ", scope.ptx_suffix())?,
+                    None => write!(f, "red.{}.{op} {addr}, ", scope.ptx_suffix())?,
+                }
+                if *op == AtomOp::Cas {
+                    write!(f, "{cmp}, {val}")
+                } else {
+                    write!(f, "{val}")
+                }
+            }
+            Instr::Fence { scope } => match scope {
+                crate::Scope::Block => write!(f, "membar.cta"),
+                crate::Scope::Device => write!(f, "membar.gl"),
+            },
+            Instr::Bar => write!(f, "bar.sync 0"),
+            Instr::Branch {
+                cond,
+                if_zero,
+                target,
+                reconv,
+            } => {
+                let p = if *if_zero { "@!" } else { "@" };
+                write!(f, "{p}{cond} bra L{target} (reconv L{reconv})")
+            }
+            Instr::Jump { target } => write!(f, "bra L{target}"),
+            Instr::Exit => write!(f, "exit"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            ".kernel {} (regs={}, params={}, shared={}B)",
+            self.name(),
+            self.num_regs(),
+            self.num_params(),
+            self.shared_bytes()
+        )?;
+        for (pc, ins) in self.instrs().iter().enumerate() {
+            writeln!(f, "L{pc:<4} {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelBuilder, Scope};
+
+    #[test]
+    fn disassembles_scoped_operations() {
+        let mut k = KernelBuilder::new("d", 1);
+        let p0 = k.ld_param(0);
+        k.atom_cas(p0, 0, 0u32, 1u32, Scope::Block);
+        k.fence(Scope::Device);
+        k.atom_exch_noret(p0, 0, 0u32, Scope::Device);
+        let p = k.finish().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("atom.cta.cas"), "{text}");
+        assert!(text.contains("membar.gl"), "{text}");
+        assert!(text.contains("red.gpu.exch"), "{text}");
+    }
+
+    #[test]
+    fn disassembles_volatile_and_branches() {
+        let mut k = KernelBuilder::new("d", 1);
+        let p0 = k.ld_param(0);
+        let c = k.ld_global_strong(p0, 4);
+        k.if_then(c, |k| k.st_global(p0, 8, 3u32));
+        let p = k.finish().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("ld.global.volatile"), "{text}");
+        assert!(text.contains("bra"), "{text}");
+        assert!(text.contains("st.global"), "{text}");
+    }
+
+    #[test]
+    fn negative_immediates_display_signed() {
+        assert_eq!(Operand::Imm(u32::MAX).to_string(), "-1");
+        assert_eq!(Operand::Imm(5).to_string(), "5");
+    }
+}

@@ -1,0 +1,459 @@
+//! Instruction definitions.
+
+use crate::{Pc, Reg, Scope};
+
+/// An instruction operand: either a register or a 32-bit immediate.
+///
+/// Signed immediates are stored as their two's-complement bit pattern; ALU
+/// operations that are signed reinterpret the bits as `i32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read the value of a register.
+    Reg(Reg),
+    /// A 32-bit immediate.
+    Imm(u32),
+}
+
+impl Operand {
+    /// Convenience constructor for a signed immediate.
+    #[must_use]
+    pub fn imm_i32(v: i32) -> Self {
+        Operand::Imm(v as u32)
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(v as u32)
+    }
+}
+
+/// Arithmetic / logic operations on 32-bit values.
+///
+/// `Set*` comparisons produce `1` or `0`. Operations suffixed `U` are
+/// unsigned; the rest of the comparison/division family is signed (`i32`).
+/// Division or remainder by zero produces `0` rather than trapping — GPU
+/// hardware does not fault on integer division by zero either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// High 32 bits of the signed 64-bit product.
+    MulHi,
+    /// Signed division (`/0 == 0`).
+    Div,
+    /// Signed remainder (`%0 == 0`).
+    Rem,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 5 bits).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// `a == b`.
+    SetEq,
+    /// `a != b`.
+    SetNe,
+    /// Signed `a < b`.
+    SetLt,
+    /// Signed `a <= b`.
+    SetLe,
+    /// Signed `a > b`.
+    SetGt,
+    /// Signed `a >= b`.
+    SetGe,
+    /// Unsigned `a < b`.
+    SetLtU,
+    /// Unsigned `a >= b`.
+    SetGeU,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two 32-bit words.
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        let sa = a as i32;
+        let sb = b as i32;
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::MulHi => ((i64::from(sa) * i64::from(sb)) >> 32) as u32,
+            AluOp::Div => {
+                if sb == 0 {
+                    0
+                } else {
+                    sa.wrapping_div(sb) as u32
+                }
+            }
+            AluOp::Rem => {
+                if sb == 0 {
+                    0
+                } else {
+                    sa.wrapping_rem(sb) as u32
+                }
+            }
+            AluOp::Min => sa.min(sb) as u32,
+            AluOp::Max => sa.max(sb) as u32,
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b & 31),
+            AluOp::Shr => a.wrapping_shr(b & 31),
+            AluOp::Sra => (sa.wrapping_shr(b & 31)) as u32,
+            AluOp::SetEq => u32::from(a == b),
+            AluOp::SetNe => u32::from(a != b),
+            AluOp::SetLt => u32::from(sa < sb),
+            AluOp::SetLe => u32::from(sa <= sb),
+            AluOp::SetGt => u32::from(sa > sb),
+            AluOp::SetGe => u32::from(sa >= sb),
+            AluOp::SetLtU => u32::from(a < b),
+            AluOp::SetGeU => u32::from(a >= b),
+        }
+    }
+}
+
+/// Atomic read-modify-write operations (paper §II-B).
+///
+/// CUDA atomics are *relaxed* — they enforce no ordering — but are inherently
+/// *strong*, taking effect at the shared (L2) level of the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomOp {
+    /// `atomicAdd`.
+    Add,
+    /// `atomicExch` — used as the release half of a lock (paper §IV-A).
+    Exch,
+    /// `atomicCAS` — used as the acquire half of a lock (paper §IV-A).
+    Cas,
+    /// `atomicMin` (signed).
+    Min,
+    /// `atomicMax` (signed).
+    Max,
+    /// `atomicAnd`.
+    And,
+    /// `atomicOr`.
+    Or,
+}
+
+impl AtomOp {
+    /// Applies the RMW to `old` with operand `val` (and `cmp` for CAS),
+    /// returning the new value to store.
+    #[must_use]
+    pub fn apply(self, old: u32, val: u32, cmp: u32) -> u32 {
+        match self {
+            AtomOp::Add => old.wrapping_add(val),
+            AtomOp::Exch => val,
+            AtomOp::Cas => {
+                if old == cmp {
+                    val
+                } else {
+                    old
+                }
+            }
+            AtomOp::Min => ((old as i32).min(val as i32)) as u32,
+            AtomOp::Max => ((old as i32).max(val as i32)) as u32,
+            AtomOp::And => old & val,
+            AtomOp::Or => old | val,
+        }
+    }
+}
+
+/// Memory spaces addressable by loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Device (global) memory — the space ScoRD monitors for races.
+    Global,
+    /// Per-threadblock scratchpad (CUDA `__shared__`). Outside ScoRD's scope
+    /// (tools like CUDA-Racecheck already cover it, paper §I).
+    Shared,
+}
+
+/// Special (read-only) per-thread registers, 1-D launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within the block (`threadIdx.x`).
+    Tid,
+    /// Threads per block (`blockDim.x`).
+    Ntid,
+    /// Block index within the grid (`blockIdx.x`).
+    Ctaid,
+    /// Blocks in the grid (`gridDim.x`).
+    Nctaid,
+    /// Lane index within the warp (0..32).
+    LaneId,
+    /// Warp index within the block.
+    WarpId,
+}
+
+/// A `base-register + immediate-offset` byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAddr {
+    /// Register holding the base byte address.
+    pub base: Reg,
+    /// Signed byte offset added to the base.
+    pub offset: i32,
+}
+
+impl MemAddr {
+    /// Creates an address `base + offset`.
+    #[must_use]
+    pub fn new(base: Reg, offset: i32) -> Self {
+        MemAddr { base, offset }
+    }
+
+    /// Resolves the byte address given the base register's value.
+    #[must_use]
+    pub fn resolve(self, base_value: u32) -> u32 {
+        base_value.wrapping_add(self.offset as u32)
+    }
+}
+
+/// A single instruction.
+///
+/// Control flow carries explicit reconvergence points ([`Instr::Branch`]),
+/// letting the simulator implement a classic SIMT reconvergence stack without
+/// computing post-dominators; [`crate::KernelBuilder`] emits them correctly
+/// for structured code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op(a, b)`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = special register`.
+    Special {
+        /// Destination register.
+        dst: Reg,
+        /// Which special register to read.
+        sreg: SpecialReg,
+    },
+    /// Loads the `index`-th 32-bit kernel parameter.
+    LdParam {
+        /// Destination register.
+        dst: Reg,
+        /// Parameter slot.
+        index: u16,
+    },
+    /// Load a 32-bit word.
+    Ld {
+        /// Destination register.
+        dst: Reg,
+        /// Byte address (must be 4-byte aligned).
+        addr: MemAddr,
+        /// Memory space.
+        space: Space,
+        /// `true` for CUDA-`volatile` ("strong") accesses that bypass
+        /// incoherent caches (paper §II-B).
+        strong: bool,
+    },
+    /// Store a 32-bit word.
+    St {
+        /// Value to store.
+        src: Operand,
+        /// Byte address (must be 4-byte aligned).
+        addr: MemAddr,
+        /// Memory space.
+        space: Space,
+        /// `true` for CUDA-`volatile` ("strong") accesses.
+        strong: bool,
+    },
+    /// Scoped atomic read-modify-write on global memory.
+    Atom {
+        /// The RMW operation.
+        op: AtomOp,
+        /// Optional register receiving the old value.
+        dst: Option<Reg>,
+        /// Byte address (must be 4-byte aligned, global space).
+        addr: MemAddr,
+        /// RMW operand.
+        val: Operand,
+        /// Comparison value, CAS only.
+        cmp: Operand,
+        /// Visibility scope of the operation.
+        scope: Scope,
+    },
+    /// Scoped memory fence (`__threadfence_block` / `__threadfence`).
+    Fence {
+        /// Visibility scope of the fence.
+        scope: Scope,
+    },
+    /// Block-wide execution barrier (`__syncthreads`). Must be reached by
+    /// every warp of the block with all lanes converged.
+    Bar,
+    /// Conditional, possibly divergent branch.
+    ///
+    /// Taken lanes jump to `target`; others fall through. `reconv` is the
+    /// immediate reconvergence point, which must post-dominate both paths.
+    Branch {
+        /// Condition register (per-lane).
+        cond: Reg,
+        /// If `true`, lanes branch when `cond == 0`; else when `cond != 0`.
+        if_zero: bool,
+        /// Branch target.
+        target: Pc,
+        /// Reconvergence point.
+        reconv: Pc,
+    },
+    /// Unconditional jump (uniform within the executing frame).
+    Jump {
+        /// Jump target.
+        target: Pc,
+    },
+    /// Thread exit.
+    Exit,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// Returns `true` for instructions that access memory (loads, stores,
+    /// atomics) and therefore engage the race detector when global.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ld { .. } | Instr::St { .. } | Instr::Atom { .. }
+        )
+    }
+
+    /// Returns `true` for global-space memory instructions.
+    #[must_use]
+    pub fn is_global_memory(&self) -> bool {
+        match self {
+            Instr::Ld { space, .. } | Instr::St { space, .. } => *space == Space::Global,
+            Instr::Atom { .. } => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_signed_and_unsigned_compare() {
+        let neg1 = (-1i32) as u32;
+        assert_eq!(AluOp::SetLt.eval(neg1, 0), 1, "signed -1 < 0");
+        assert_eq!(AluOp::SetLtU.eval(neg1, 0), 0, "unsigned MAX !< 0");
+        assert_eq!(AluOp::SetGeU.eval(neg1, 0), 1);
+    }
+
+    #[test]
+    fn alu_division_by_zero_is_zero() {
+        assert_eq!(AluOp::Div.eval(10, 0), 0);
+        assert_eq!(AluOp::Rem.eval(10, 0), 0);
+    }
+
+    #[test]
+    fn alu_wrapping() {
+        assert_eq!(AluOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Mul.eval(1 << 31, 2), 0);
+        assert_eq!(AluOp::MulHi.eval((-1i32) as u32, 2), u32::MAX);
+    }
+
+    #[test]
+    fn alu_shifts_mask_amount() {
+        assert_eq!(AluOp::Shl.eval(1, 33), 2, "shift masked to 5 bits");
+        assert_eq!(AluOp::Sra.eval((-8i32) as u32, 1), (-4i32) as u32);
+        assert_eq!(AluOp::Shr.eval((-8i32) as u32, 1), 0x7FFF_FFFC);
+    }
+
+    #[test]
+    fn alu_minmax_signed() {
+        assert_eq!(AluOp::Min.eval((-5i32) as u32, 3), (-5i32) as u32);
+        assert_eq!(AluOp::Max.eval((-5i32) as u32, 3), 3);
+    }
+
+    #[test]
+    fn atom_cas_semantics() {
+        assert_eq!(AtomOp::Cas.apply(0, 1, 0), 1, "matches: swap in");
+        assert_eq!(AtomOp::Cas.apply(7, 1, 0), 7, "mismatch: unchanged");
+    }
+
+    #[test]
+    fn atom_rmw_semantics() {
+        assert_eq!(AtomOp::Add.apply(5, 3, 0), 8);
+        assert_eq!(AtomOp::Exch.apply(5, 3, 0), 3);
+        assert_eq!(AtomOp::Min.apply((-1i32) as u32, 0, 0), (-1i32) as u32);
+        assert_eq!(AtomOp::Max.apply((-1i32) as u32, 0, 0), 0);
+        assert_eq!(AtomOp::And.apply(0b1100, 0b1010, 0), 0b1000);
+        assert_eq!(AtomOp::Or.apply(0b1100, 0b1010, 0), 0b1110);
+    }
+
+    #[test]
+    fn memaddr_resolution_wraps() {
+        let a = MemAddr::new(Reg(0), -4);
+        assert_eq!(a.resolve(8), 4);
+        assert_eq!(MemAddr::new(Reg(0), 4).resolve(u32::MAX - 3), 0);
+    }
+
+    #[test]
+    fn instr_memory_classification() {
+        let ld = Instr::Ld {
+            dst: Reg(0),
+            addr: MemAddr::new(Reg(1), 0),
+            space: Space::Global,
+            strong: false,
+        };
+        assert!(ld.is_memory());
+        assert!(ld.is_global_memory());
+        let shared = Instr::St {
+            src: Operand::Imm(0),
+            addr: MemAddr::new(Reg(1), 0),
+            space: Space::Shared,
+            strong: false,
+        };
+        assert!(shared.is_memory());
+        assert!(!shared.is_global_memory());
+        assert!(!Instr::Bar.is_memory());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(1)), Operand::Reg(Reg(1)));
+        assert_eq!(Operand::from(5u32), Operand::Imm(5));
+        assert_eq!(Operand::from(-1i32), Operand::Imm(u32::MAX));
+        assert_eq!(Operand::imm_i32(-2), Operand::Imm(u32::MAX - 1));
+    }
+}

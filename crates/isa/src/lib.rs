@@ -1,0 +1,45 @@
+//! # scord-isa
+//!
+//! A PTX-like mini instruction set for the ScoRD GPU simulator.
+//!
+//! The ScoRD paper (ISCA 2020) evaluates its race detector on CUDA 8.0 /
+//! PTX 5.0 binaries running in GPGPU-Sim. This crate provides the equivalent
+//! substrate for a pure-Rust reproduction: a small, well-defined instruction
+//! set with everything the paper's detection machinery observes —
+//!
+//! * **scoped atomic read-modify-writes** (`atom.{add,exch,cas,...}.{cta,gpu}`),
+//! * **scoped memory fences** (`membar.{cta,gl}`),
+//! * **barriers** (`bar.sync`),
+//! * loads/stores with the **`strong`** (CUDA `volatile`) qualifier, and
+//! * **SIMT control flow** with explicit reconvergence points, so a warp-based
+//!   simulator can model divergence exactly.
+//!
+//! Kernels are written against [`KernelBuilder`], which provides *structured*
+//! control flow (`if_then`, `if_else`, `while_loop`) and guarantees the
+//! reconvergence invariants the simulator's SIMT stack relies on.
+//!
+//! ```
+//! use scord_isa::{KernelBuilder, Operand, Scope, SpecialReg};
+//!
+//! // A kernel that atomically adds its thread id to a global counter.
+//! let mut k = KernelBuilder::new("count", 1);
+//! let tid = k.special(SpecialReg::Tid);
+//! let ptr = k.ld_param(0);
+//! k.atom_add_noret(ptr, 0, Operand::Reg(tid), Scope::Device);
+//! k.exit();
+//! let program = k.finish().expect("valid kernel");
+//! assert!(program.len() > 0);
+//! ```
+
+mod builder;
+mod disasm;
+mod instr;
+mod program;
+mod reg;
+mod scope;
+
+pub use builder::{KernelBuilder, LockConfig};
+pub use instr::{AluOp, AtomOp, Instr, MemAddr, Operand, Space, SpecialReg};
+pub use program::{Pc, Program, ValidateProgramError};
+pub use reg::Reg;
+pub use scope::Scope;

@@ -1,0 +1,379 @@
+//! Compiled kernels.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Instr, Space};
+
+/// A program counter: an index into a [`Program`]'s instruction list.
+pub type Pc = u32;
+
+/// A validated, executable kernel.
+///
+/// Produced by [`crate::KernelBuilder::finish`]. Instructions are addressed
+/// by [`Pc`] starting at 0; execution ends at [`Instr::Exit`] or by falling
+/// off the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instr>,
+    num_regs: u16,
+    num_params: u16,
+    shared_bytes: u32,
+}
+
+impl Program {
+    /// Assembles a program from raw parts, validating control flow targets,
+    /// register indices and parameter slots.
+    ///
+    /// Most users should prefer [`crate::KernelBuilder`], which additionally
+    /// guarantees well-formed reconvergence structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateProgramError`] describing the first malformed
+    /// instruction found.
+    pub fn from_parts(
+        name: impl Into<String>,
+        instrs: Vec<Instr>,
+        num_regs: u16,
+        num_params: u16,
+        shared_bytes: u32,
+    ) -> Result<Self, ValidateProgramError> {
+        let p = Program {
+            name: name.into(),
+            instrs,
+            num_regs,
+            num_params,
+            shared_bytes,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// The kernel's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    #[must_use]
+    pub fn fetch(&self, pc: Pc) -> Option<&Instr> {
+        self.instrs.get(pc as usize)
+    }
+
+    /// All instructions in program order.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` if the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Registers required per thread.
+    #[must_use]
+    pub fn num_regs(&self) -> u16 {
+        self.num_regs
+    }
+
+    /// Number of 32-bit kernel parameters expected at launch.
+    #[must_use]
+    pub fn num_params(&self) -> u16 {
+        self.num_params
+    }
+
+    /// Bytes of per-block scratchpad (shared) memory required.
+    #[must_use]
+    pub fn shared_bytes(&self) -> u32 {
+        self.shared_bytes
+    }
+
+    fn validate(&self) -> Result<(), ValidateProgramError> {
+        let n = self.instrs.len() as u32;
+        let check_reg = |pc: usize, r: crate::Reg| -> Result<(), ValidateProgramError> {
+            if r.0 >= self.num_regs {
+                Err(ValidateProgramError::RegisterOutOfRange {
+                    pc: pc as Pc,
+                    reg: r.0,
+                    num_regs: self.num_regs,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_op = |pc: usize, o: crate::Operand| match o {
+            crate::Operand::Reg(r) => check_reg(pc, r),
+            crate::Operand::Imm(_) => Ok(()),
+        };
+        for (pc, ins) in self.instrs.iter().enumerate() {
+            match *ins {
+                Instr::Mov { dst, src } => {
+                    check_reg(pc, dst)?;
+                    check_op(pc, src)?;
+                }
+                Instr::Alu { dst, a, b, .. } => {
+                    check_reg(pc, dst)?;
+                    check_op(pc, a)?;
+                    check_op(pc, b)?;
+                }
+                Instr::Special { dst, .. } => check_reg(pc, dst)?,
+                Instr::LdParam { dst, index } => {
+                    check_reg(pc, dst)?;
+                    if index >= self.num_params {
+                        return Err(ValidateProgramError::ParamOutOfRange {
+                            pc: pc as Pc,
+                            index,
+                            num_params: self.num_params,
+                        });
+                    }
+                }
+                Instr::Ld { dst, addr, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, addr.base)?;
+                }
+                Instr::St { src, addr, .. } => {
+                    check_op(pc, src)?;
+                    check_reg(pc, addr.base)?;
+                }
+                Instr::Atom {
+                    dst,
+                    addr,
+                    val,
+                    cmp,
+                    ..
+                } => {
+                    if let Some(d) = dst {
+                        check_reg(pc, d)?;
+                    }
+                    check_reg(pc, addr.base)?;
+                    check_op(pc, val)?;
+                    check_op(pc, cmp)?;
+                }
+                Instr::Branch {
+                    cond,
+                    target,
+                    reconv,
+                    ..
+                } => {
+                    check_reg(pc, cond)?;
+                    for t in [target, reconv] {
+                        if t > n {
+                            return Err(ValidateProgramError::BranchOutOfRange {
+                                pc: pc as Pc,
+                                target: t,
+                                len: n,
+                            });
+                        }
+                    }
+                }
+                Instr::Jump { target } => {
+                    if target > n {
+                        return Err(ValidateProgramError::BranchOutOfRange {
+                            pc: pc as Pc,
+                            target,
+                            len: n,
+                        });
+                    }
+                }
+                Instr::Fence { .. } | Instr::Bar | Instr::Exit | Instr::Nop => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts instructions matching a predicate — convenient for tests and
+    /// for locating static instructions by kind.
+    pub fn count_matching(&self, pred: impl Fn(&Instr) -> bool) -> usize {
+        self.instrs.iter().filter(|i| pred(i)).count()
+    }
+
+    /// Returns the PCs of all global-space memory instructions.
+    #[must_use]
+    pub fn global_memory_pcs(&self) -> Vec<Pc> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_global_memory())
+            .map(|(pc, _)| pc as Pc)
+            .collect()
+    }
+
+    /// Returns `true` if the program touches shared memory.
+    #[must_use]
+    pub fn uses_shared(&self) -> bool {
+        self.instrs.iter().any(|i| match i {
+            Instr::Ld { space, .. } | Instr::St { space, .. } => *space == Space::Shared,
+            _ => false,
+        })
+    }
+}
+
+/// Error returned when assembling an ill-formed [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateProgramError {
+    /// An instruction names a register outside the declared register count.
+    RegisterOutOfRange {
+        /// Offending instruction.
+        pc: Pc,
+        /// The register index used.
+        reg: u16,
+        /// The declared register count.
+        num_regs: u16,
+    },
+    /// A `LdParam` names a parameter outside the declared parameter count.
+    ParamOutOfRange {
+        /// Offending instruction.
+        pc: Pc,
+        /// The parameter slot used.
+        index: u16,
+        /// The declared parameter count.
+        num_params: u16,
+    },
+    /// A branch or jump targets past the end of the program.
+    BranchOutOfRange {
+        /// Offending instruction.
+        pc: Pc,
+        /// The out-of-range target.
+        target: Pc,
+        /// Program length.
+        len: u32,
+    },
+    /// The builder finished with unclosed structured control flow.
+    UnclosedControlFlow {
+        /// How many structures remained open.
+        open: usize,
+    },
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgramError::RegisterOutOfRange { pc, reg, num_regs } => write!(
+                f,
+                "instruction {pc} uses register %r{reg} but only {num_regs} are declared"
+            ),
+            ValidateProgramError::ParamOutOfRange {
+                pc,
+                index,
+                num_params,
+            } => write!(
+                f,
+                "instruction {pc} loads parameter {index} but only {num_params} are declared"
+            ),
+            ValidateProgramError::BranchOutOfRange { pc, target, len } => write!(
+                f,
+                "instruction {pc} targets pc {target} beyond program length {len}"
+            ),
+            ValidateProgramError::UnclosedControlFlow { open } => {
+                write!(f, "kernel finished with {open} unclosed control structures")
+            }
+        }
+    }
+}
+
+impl Error for ValidateProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, MemAddr, Operand, Reg};
+
+    #[test]
+    fn rejects_register_out_of_range() {
+        let err = Program::from_parts(
+            "bad",
+            vec![Instr::Mov {
+                dst: Reg(4),
+                src: Operand::Imm(0),
+            }],
+            4,
+            0,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateProgramError::RegisterOutOfRange { reg: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_param_out_of_range() {
+        let err = Program::from_parts(
+            "bad",
+            vec![Instr::LdParam {
+                dst: Reg(0),
+                index: 1,
+            }],
+            1,
+            1,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateProgramError::ParamOutOfRange { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let err = Program::from_parts("bad", vec![Instr::Jump { target: 5 }], 1, 0, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateProgramError::BranchOutOfRange { target: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_valid_program_and_reports_shape() {
+        let p = Program::from_parts(
+            "ok",
+            vec![
+                Instr::Alu {
+                    op: AluOp::Add,
+                    dst: Reg(0),
+                    a: Operand::Imm(1),
+                    b: Operand::Imm(2),
+                },
+                Instr::Ld {
+                    dst: Reg(1),
+                    addr: MemAddr::new(Reg(0), 0),
+                    space: Space::Global,
+                    strong: true,
+                },
+                Instr::Exit,
+            ],
+            2,
+            0,
+            16,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.global_memory_pcs(), vec![1]);
+        assert_eq!(p.shared_bytes(), 16);
+        assert!(!p.uses_shared());
+        assert!(p.fetch(3).is_none());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = ValidateProgramError::BranchOutOfRange {
+            pc: 1,
+            target: 9,
+            len: 4,
+        };
+        assert!(err.to_string().contains("beyond program length"));
+    }
+}

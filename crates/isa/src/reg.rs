@@ -1,0 +1,48 @@
+//! Virtual register identifiers.
+
+use std::fmt;
+
+/// A per-thread 32-bit virtual register.
+///
+/// Registers are allocated by [`crate::KernelBuilder::reg`]; a kernel declares
+/// how many it uses via [`crate::Program::num_regs`], which the simulator's
+/// occupancy calculation consumes (registers per SM are a limited resource,
+/// Table V: 32768 per SM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// The register's index within the thread's register file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_ptx_like() {
+        assert_eq!(Reg(7).to_string(), "%r7");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(Reg(42).index(), 42);
+        assert_eq!(usize::from(Reg(3)), 3);
+    }
+}

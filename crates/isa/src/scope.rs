@@ -1,0 +1,87 @@
+//! Synchronization scopes.
+
+use std::fmt;
+
+/// The scope of a synchronization operation (atomic or fence).
+///
+/// A scope identifies the subset of concurrent threads guaranteed to observe
+/// the effect of the operation (paper §II-B). CUDA exposes *block*, *device*
+/// and *system* scopes; the paper ignores *system* scope without loss of
+/// generality, and so does this reproduction.
+///
+/// `Scope` is ordered by inclusiveness: `Block < Device`.
+///
+/// ```
+/// use scord_isa::Scope;
+/// assert!(Scope::Block < Scope::Device);
+/// assert!(Scope::Device.includes(Scope::Block));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// `cta` scope: only threads in the same threadblock are guaranteed to
+    /// observe the effect.
+    Block,
+    /// `gpu` scope: all threads of the kernel running on the device observe
+    /// the effect.
+    Device,
+}
+
+impl Scope {
+    /// Returns `true` if an operation at `self` scope is guaranteed visible
+    /// to everything an operation at `other` scope is visible to.
+    #[must_use]
+    pub fn includes(self, other: Scope) -> bool {
+        self >= other
+    }
+
+    /// PTX-style suffix for disassembly (`cta` / `gpu`).
+    #[must_use]
+    pub fn ptx_suffix(self) -> &'static str {
+        match self {
+            Scope::Block => "cta",
+            Scope::Device => "gpu",
+        }
+    }
+}
+
+impl Default for Scope {
+    /// CUDA atomics default to device scope.
+    fn default() -> Self {
+        Scope::Device
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scope::Block => "block",
+            Scope::Device => "device",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_reflects_inclusion() {
+        assert!(Scope::Device.includes(Scope::Device));
+        assert!(Scope::Device.includes(Scope::Block));
+        assert!(Scope::Block.includes(Scope::Block));
+        assert!(!Scope::Block.includes(Scope::Device));
+    }
+
+    #[test]
+    fn default_is_device() {
+        assert_eq!(Scope::default(), Scope::Device);
+    }
+
+    #[test]
+    fn display_and_suffix() {
+        assert_eq!(Scope::Block.to_string(), "block");
+        assert_eq!(Scope::Device.to_string(), "device");
+        assert_eq!(Scope::Block.ptx_suffix(), "cta");
+        assert_eq!(Scope::Device.ptx_suffix(), "gpu");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the ISA: ALU total-function behaviour,
+//! builder structural invariants, program validation robustness, and
+//! disassembly.
+
+use proptest::prelude::*;
+
+use scord_isa::{
+    AluOp, AtomOp, Instr, KernelBuilder, MemAddr, Operand, Program, Reg, Scope, SpecialReg,
+};
+
+const ALU_OPS: [AluOp; 22] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::MulHi,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::Min,
+    AluOp::Max,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Sra,
+    AluOp::SetEq,
+    AluOp::SetNe,
+    AluOp::SetLt,
+    AluOp::SetLe,
+    AluOp::SetGt,
+    AluOp::SetGe,
+    AluOp::SetLtU,
+    AluOp::SetGeU,
+];
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    (0..ALU_OPS.len()).prop_map(|i| ALU_OPS[i])
+}
+
+proptest! {
+    /// Every ALU op is total over all inputs (no panics, division by zero
+    /// included) and comparisons are boolean.
+    #[test]
+    fn alu_is_total_and_comparisons_are_boolean(
+        op in alu_op(), a in any::<u32>(), b in any::<u32>(),
+    ) {
+        let r = op.eval(a, b);
+        if matches!(
+            op,
+            AluOp::SetEq | AluOp::SetNe | AluOp::SetLt | AluOp::SetLe
+                | AluOp::SetGt | AluOp::SetGe | AluOp::SetLtU | AluOp::SetGeU
+        ) {
+            prop_assert!(r <= 1);
+        }
+    }
+
+    /// Atomic RMWs are total; CAS only writes on a match.
+    #[test]
+    fn atomics_are_total(old in any::<u32>(), val in any::<u32>(), cmp in any::<u32>()) {
+        for op in [AtomOp::Add, AtomOp::Exch, AtomOp::Cas, AtomOp::Min,
+                   AtomOp::Max, AtomOp::And, AtomOp::Or] {
+            let new = op.apply(old, val, cmp);
+            if op == AtomOp::Cas && old != cmp {
+                prop_assert_eq!(new, old);
+            }
+        }
+    }
+
+    /// Randomly nested structured control flow always assembles into a
+    /// valid program whose branches reconverge at-or-after their targets'
+    /// region.
+    #[test]
+    fn structured_nesting_always_validates(shape in proptest::collection::vec(0u8..3, 1..12)) {
+        let mut k = KernelBuilder::new("nest", 0);
+        let c = k.mov(1u32);
+        fn emit(k: &mut KernelBuilder, c: Reg, shape: &[u8]) {
+            if shape.is_empty() {
+                k.nop();
+                return;
+            }
+            let (head, rest) = shape.split_first().expect("non-empty");
+            match head {
+                0 => {
+                    k.if_then(c, |k| emit(k, c, rest));
+                }
+                1 => {
+                    k.if_else(c, |k| emit(k, c, rest), |k| k.nop());
+                }
+                _ => {
+                    let i = k.mov(0u32);
+                    k.while_loop(
+                        |k| k.set_lt(i, 1u32),
+                        |k| {
+                            emit(k, c, rest);
+                            k.alu_into(i, AluOp::Add, i, 1u32);
+                        },
+                    );
+                }
+            }
+        }
+        emit(&mut k, c, &shape);
+        let p = k.finish().expect("structured programs always validate");
+        for (pc, ins) in p.instrs().iter().enumerate() {
+            if let Instr::Branch { reconv, .. } = ins {
+                prop_assert!(*reconv as usize > pc, "reconvergence is ahead of the branch");
+            }
+        }
+    }
+
+    /// Program validation never panics on arbitrary (small) instruction
+    /// soups — it returns Ok or a structured error.
+    #[test]
+    fn from_parts_is_panic_free(
+        instrs in proptest::collection::vec(
+            prop_oneof![
+                (0u16..8, any::<u32>()).prop_map(|(r, v)| Instr::Mov { dst: Reg(r), src: Operand::Imm(v) }),
+                (0u16..8, 0u16..8).prop_map(|(d, b)| Instr::Ld {
+                    dst: Reg(d),
+                    addr: MemAddr::new(Reg(b), 0),
+                    space: scord_isa::Space::Global,
+                    strong: false,
+                }),
+                (0u32..16, 0u32..16).prop_map(|(t, r)| Instr::Branch {
+                    cond: Reg(0), if_zero: false, target: t, reconv: r,
+                }),
+                Just(Instr::Bar),
+                Just(Instr::Exit),
+                Just(Instr::Fence { scope: Scope::Device }),
+            ],
+            0..10,
+        ),
+        num_regs in 1u16..8,
+    ) {
+        let _ = Program::from_parts("soup", instrs, num_regs, 0, 0);
+    }
+
+    /// Every instruction disassembles to non-empty text.
+    #[test]
+    fn disassembly_is_never_empty(r in 0u16..4, v in any::<u32>()) {
+        let samples = [
+            Instr::Mov { dst: Reg(r), src: Operand::Imm(v) },
+            Instr::Alu { op: AluOp::MulHi, dst: Reg(r), a: Operand::Imm(v), b: Operand::Reg(Reg(r)) },
+            Instr::Special { dst: Reg(r), sreg: SpecialReg::LaneId },
+            Instr::Atom {
+                op: AtomOp::Cas,
+                dst: Some(Reg(r)),
+                addr: MemAddr::new(Reg(r), -4),
+                val: Operand::Imm(v),
+                cmp: Operand::Imm(0),
+                scope: Scope::Block,
+            },
+            Instr::Fence { scope: Scope::Block },
+            Instr::Bar,
+            Instr::Nop,
+        ];
+        for s in samples {
+            prop_assert!(!s.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The hardware race-detector unit hanging off the interconnect
+//! (paper Figure 6, bottom right).
+//!
+//! Detection packets (one per warp memory instruction, carrying each lane's
+//! access) queue here. Execution continues while detection lags behind —
+//! *until the buffer fills*: an L1 hit that cannot enqueue its packet stalls
+//! the SM (the LHD overhead of Figure 10). Events are processed in FIFO
+//! order so the detector observes fences, barriers and accesses in the order
+//! the machine issued them.
+
+use std::collections::VecDeque;
+
+use scord_core::{Detector, MemAccess};
+use scord_isa::Scope;
+
+use crate::SimStats;
+
+/// An event destined for the race detector.
+#[derive(Debug, Clone)]
+pub enum DetectorEvent {
+    /// One warp memory instruction: the per-lane global accesses.
+    Access {
+        /// Lane-level accesses (up to 32).
+        accesses: Vec<MemAccess>,
+    },
+    /// A scoped fence executed by a warp.
+    Fence {
+        /// SM index.
+        sm: u8,
+        /// Warp slot.
+        warp_slot: u8,
+        /// Fence scope.
+        scope: Scope,
+    },
+    /// A barrier completed for a block.
+    Barrier {
+        /// SM index.
+        sm: u8,
+        /// Global block slot.
+        block_slot: u8,
+    },
+    /// A warp slot was assigned to a new block.
+    WarpAssigned {
+        /// SM index.
+        sm: u8,
+        /// Warp slot.
+        warp_slot: u8,
+    },
+}
+
+/// The detector plus its input queue and processing throughput.
+#[derive(Debug)]
+pub struct DetectorUnit {
+    detector: Box<dyn Detector>,
+    queue: VecDeque<DetectorEvent>,
+    capacity: usize,
+    /// Lanes of the head `Access` event already processed.
+    head_progress: usize,
+}
+
+impl DetectorUnit {
+    /// Wraps `detector` with a `capacity`-entry input queue.
+    #[must_use]
+    pub fn new(detector: Box<dyn Detector>, capacity: usize) -> Self {
+        DetectorUnit {
+            detector,
+            queue: VecDeque::new(),
+            capacity,
+            head_progress: 0,
+        }
+    }
+
+    /// `true` if an L1-hit detection packet can be accepted right now.
+    /// Packets riding request packets to L2 are always accepted (they travel
+    /// with traffic that exists anyway).
+    #[must_use]
+    pub fn can_accept_l1_hit(&self) -> bool {
+        self.queue.len() < self.capacity
+    }
+
+    /// Enqueues an event.
+    pub fn enqueue(&mut self, ev: DetectorEvent) {
+        self.queue.push_back(ev);
+    }
+
+    /// Processes up to `lane_budget` lane accesses (sync events are free),
+    /// appending the 128-byte-aligned metadata lines touched to `md_lines`.
+    pub fn tick(&mut self, lane_budget: u32, md_lines: &mut Vec<u64>, stats: &mut SimStats) {
+        let mut budget = lane_budget;
+        while budget > 0 {
+            // Pop the head; unfinished Access events are pushed back so the
+            // lane list is never cloned per tick.
+            let Some(head) = self.queue.pop_front() else {
+                break;
+            };
+            match head {
+                DetectorEvent::Access { accesses } => {
+                    while budget > 0 && self.head_progress < accesses.len() {
+                        let a = &accesses[self.head_progress];
+                        let effects = self.detector.on_access(a);
+                        let line = effects.md_addr & !127;
+                        if md_lines.last() != Some(&line) {
+                            md_lines.push(line);
+                        }
+                        stats.detector_lane_accesses += 1;
+                        self.head_progress += 1;
+                        budget -= 1;
+                    }
+                    if self.head_progress >= accesses.len() {
+                        self.head_progress = 0;
+                        stats.detector_events += 1;
+                    } else {
+                        self.queue.push_front(DetectorEvent::Access { accesses });
+                        break; // budget exhausted mid-event
+                    }
+                }
+                DetectorEvent::Fence {
+                    sm,
+                    warp_slot,
+                    scope,
+                } => self.detector.on_fence(sm, warp_slot, scope),
+                DetectorEvent::Barrier { sm, block_slot } => {
+                    self.detector.on_barrier(sm, block_slot);
+                }
+                DetectorEvent::WarpAssigned { sm, warp_slot } => {
+                    self.detector.on_warp_assigned(sm, warp_slot);
+                }
+            }
+        }
+    }
+
+    /// `true` when no events are queued.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The wrapped detector (for race inspection).
+    #[must_use]
+    pub fn detector(&self) -> &dyn Detector {
+        self.detector.as_ref()
+    }
+
+    /// Mutable access to the wrapped detector.
+    pub fn detector_mut(&mut self) -> &mut dyn Detector {
+        self.detector.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_core::{AccessKind, Accessor, DetectorConfig, ScordDetector};
+
+    fn unit(capacity: usize) -> DetectorUnit {
+        DetectorUnit::new(
+            Box::new(ScordDetector::new(DetectorConfig::paper_default(1 << 20))),
+            capacity,
+        )
+    }
+
+    fn access_event(n: usize, block: u8) -> DetectorEvent {
+        DetectorEvent::Access {
+            accesses: (0..n)
+                .map(|i| MemAccess {
+                    kind: AccessKind::Store,
+                    addr: (i * 4) as u64,
+                    strong: true,
+                    pc: 1,
+                    who: Accessor {
+                        sm: block / 8,
+                        block_slot: block,
+                        warp_slot: 0,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn throughput_limits_lane_processing() {
+        let mut u = unit(8);
+        u.enqueue(access_event(32, 0));
+        let mut lines = Vec::new();
+        let mut stats = SimStats::default();
+        u.tick(8, &mut lines, &mut stats);
+        assert_eq!(stats.detector_lane_accesses, 8);
+        assert_eq!(stats.detector_events, 0, "event not finished yet");
+        assert!(!u.is_idle());
+        for _ in 0..3 {
+            u.tick(8, &mut lines, &mut stats);
+        }
+        assert_eq!(stats.detector_events, 1);
+        assert!(u.is_idle());
+    }
+
+    #[test]
+    fn metadata_lines_are_deduplicated_within_bursts() {
+        let mut u = unit(8);
+        u.enqueue(access_event(32, 0));
+        let mut lines = Vec::new();
+        let mut stats = SimStats::default();
+        u.tick(64, &mut lines, &mut stats);
+        // 32 consecutive words → 32 metadata entries at ratio 16 → a couple
+        // of metadata lines, not 32.
+        assert!(
+            lines.len() <= 4,
+            "consecutive accesses share metadata lines, got {}",
+            lines.len()
+        );
+    }
+
+    #[test]
+    fn capacity_gates_l1_hits_only() {
+        let mut u = unit(2);
+        assert!(u.can_accept_l1_hit());
+        u.enqueue(access_event(1, 0));
+        u.enqueue(access_event(1, 0));
+        assert!(!u.can_accept_l1_hit());
+        // Overflow enqueue still allowed (piggybacked packets).
+        u.enqueue(access_event(1, 0));
+        let mut lines = Vec::new();
+        let mut stats = SimStats::default();
+        u.tick(64, &mut lines, &mut stats);
+        assert!(u.is_idle());
+        assert_eq!(stats.detector_events, 3);
+    }
+
+    #[test]
+    fn sync_events_are_processed_in_order_and_free() {
+        let mut u = unit(8);
+        u.enqueue(access_event(1, 0));
+        u.enqueue(DetectorEvent::Fence {
+            sm: 0,
+            warp_slot: 0,
+            scope: Scope::Device,
+        });
+        u.enqueue(access_event(1, 8));
+        let mut lines = Vec::new();
+        let mut stats = SimStats::default();
+        u.tick(2, &mut lines, &mut stats);
+        assert!(u.is_idle(), "2 lanes + free fence all fit in one tick");
+        assert_eq!(
+            u.detector().races().unique_count(),
+            0,
+            "fence ordered between the conflicting stores"
+        );
+    }
+}

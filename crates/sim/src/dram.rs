@@ -1,0 +1,165 @@
+//! GDDR5 channel timing model.
+//!
+//! One channel serves one memory partition. Requests are serviced in order
+//! with per-bank open-row state: a row hit costs `tCL + burst`, a row miss
+//! pays precharge + activate first. The numbers come from Table V.
+
+use crate::config::DramTiming;
+
+/// A request queued at a DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Line address being read or written.
+    pub line_addr: u64,
+    /// `true` for writes (writebacks).
+    pub write: bool,
+    /// `true` for detector-metadata traffic.
+    pub metadata: bool,
+}
+
+/// One GDDR5 channel with open-row bank state.
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    timing: DramTiming,
+    banks: Vec<Option<u64>>, // open row per bank
+    row_bytes: u64,
+    busy_until: u64,
+    queue: std::collections::VecDeque<DramRequest>,
+    /// Total requests serviced, split for statistics.
+    serviced: u64,
+}
+
+impl DramChannel {
+    /// Creates an idle channel.
+    #[must_use]
+    pub fn new(timing: DramTiming, banks: u32, row_bytes: u32) -> Self {
+        DramChannel {
+            timing,
+            banks: vec![None; banks as usize],
+            row_bytes: u64::from(row_bytes),
+            busy_until: 0,
+            queue: std::collections::VecDeque::new(),
+            serviced: 0,
+        }
+    }
+
+    /// Queues a request.
+    pub fn push(&mut self, req: DramRequest) {
+        self.queue.push_back(req);
+    }
+
+    /// Pending request count.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is queued or in flight at `now`.
+    #[must_use]
+    pub fn idle(&self, now: u64) -> bool {
+        self.queue.is_empty() && self.busy_until <= now
+    }
+
+    /// Total requests serviced so far.
+    #[must_use]
+    pub fn serviced(&self) -> u64 {
+        self.serviced
+    }
+
+    /// If the channel is free at `now` and a request is pending, starts it
+    /// and returns `(request, completion_time)`.
+    pub fn tick(&mut self, now: u64) -> Option<(DramRequest, u64)> {
+        if self.busy_until > now {
+            return None;
+        }
+        let req = self.queue.pop_front()?;
+        let row = req.line_addr / self.row_bytes;
+        let bank = (row % self.banks.len() as u64) as usize;
+        let t = &self.timing;
+        let service = match self.banks[bank] {
+            Some(open) if open == row => t.t_cl + t.burst,
+            Some(_) => t.t_rp + t.t_rcd + t.t_cl + t.burst,
+            None => t.t_rcd + t.t_cl + t.burst,
+        };
+        self.banks[bank] = Some(row);
+        let done = now + u64::from(service);
+        self.busy_until = done;
+        self.serviced += 1;
+        Some((req, done))
+    }
+
+    /// Clears all state for a fresh run.
+    pub fn reset(&mut self) {
+        self.banks.fill(None);
+        self.busy_until = 0;
+        self.queue.clear();
+        self.serviced = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan() -> DramChannel {
+        DramChannel::new(DramTiming::paper_default(), 8, 2048)
+    }
+
+    fn req(line: u64) -> DramRequest {
+        DramRequest {
+            line_addr: line,
+            write: false,
+            metadata: false,
+        }
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let mut c = chan();
+        c.push(req(0));
+        c.push(req(128)); // same 2KB row
+        c.push(req(8 * 2048)); // same bank (row 8, bank 0), different row
+        let (_, t1) = c.tick(0).unwrap();
+        assert_eq!(t1, 12 + 4 + 12, "first access: tRCD + tCL + burst");
+        let (_, t2) = c.tick(t1).unwrap();
+        assert_eq!(t2 - t1, 12 + 4, "row hit: tCL + burst");
+        let (_, t3) = c.tick(t2).unwrap();
+        assert_eq!(t3 - t2, 12 + 12 + 12 + 4, "row conflict pays tRP + tRCD");
+    }
+
+    #[test]
+    fn channel_serializes_requests() {
+        let mut c = chan();
+        c.push(req(0));
+        c.push(req(4096));
+        let (_, t1) = c.tick(0).unwrap();
+        assert!(c.tick(0).is_none(), "busy until first completes");
+        assert!(c.tick(t1).is_some());
+    }
+
+    #[test]
+    fn idle_and_pending_reporting() {
+        let mut c = chan();
+        assert!(c.idle(0));
+        c.push(req(0));
+        assert_eq!(c.pending(), 1);
+        assert!(!c.idle(0));
+        let (_, t) = c.tick(0).unwrap();
+        assert!(!c.idle(0), "in flight");
+        assert!(c.idle(t));
+        assert_eq!(c.serviced(), 1);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut c = chan();
+        c.push(req(0));
+        let _ = c.tick(0);
+        c.reset();
+        assert!(c.idle(0));
+        assert_eq!(c.serviced(), 0);
+        c.push(req(128));
+        let (_, t) = c.tick(0).unwrap();
+        assert_eq!(t, 28, "row buffer closed after reset");
+    }
+}

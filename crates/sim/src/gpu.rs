@@ -1,0 +1,1318 @@
+//! The whole-GPU cycle-level model: kernel launch and block dispatch, warp
+//! scheduling and SIMT execution, the coalescer, L1/L2 caches, the crossbar
+//! NoC, GDDR5 channels, and the race-detector attachment.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+use scord_core::{AccessKind, Accessor, AtomKind, MemAccess, RaceLog, ScordDetector};
+use scord_isa::{AtomOp, Instr, Pc, Program, Scope, Space, SpecialReg};
+
+use crate::{
+    Cache, CacheOutcome, DetectorEvent, DetectorUnit, DeviceMemory, DramChannel, DramRequest,
+    GpuConfig, Sm, SmBlock, SimStats, Warp, WarpState,
+};
+
+/// A request packet travelling from an SM (or the race detector) to a memory
+/// partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// 128-byte-aligned line address.
+    pub line_addr: u64,
+    /// `true` for stores/atomics (dirties the L2 line).
+    pub write: bool,
+    /// Number of lanes serialized on an atomic (0 for plain accesses).
+    pub atomic_lanes: u32,
+    /// `true` for detector-metadata traffic.
+    pub metadata: bool,
+    /// Whether a response must be delivered.
+    pub needs_response: bool,
+    /// `true` when the response is a store acknowledgement (drains the
+    /// warp's store counter rather than its load counter).
+    pub is_store_ack: bool,
+    /// Origin SM.
+    pub sm: u8,
+    /// Origin warp slot.
+    pub warp: u8,
+    /// Request size in flits.
+    pub flits: u32,
+    /// Cycle at which the packet is available at the partition.
+    pub ready_at: u64,
+    /// Fill the origin SM's L1 with this line when the response arrives.
+    pub l1_fill: bool,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A memory response reaching a warp.
+    WarpResponse {
+        sm: usize,
+        warp: usize,
+        is_store_ack: bool,
+        l1_fill: Option<u64>,
+    },
+    /// A DRAM read completing at a partition.
+    DramDone { part: usize, req: DramRequest },
+}
+
+#[derive(Debug)]
+struct HeapItem {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Partition {
+    l2: Cache,
+    in_queue: VecDeque<Packet>,
+    rx_free_at: u64,
+    l2_free_at: u64,
+    dram: DramChannel,
+    pending_fills: HashMap<u64, Vec<Packet>>,
+}
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The watchdog expired — usually a deadlocked spin loop or barrier.
+    Timeout {
+        /// Cycles executed before giving up.
+        cycles: u64,
+    },
+    /// `bar.sync` executed by a divergent warp.
+    BarrierDivergence {
+        /// Offending instruction.
+        pc: Pc,
+    },
+    /// A lane accessed memory outside the device allocation.
+    AddressOutOfBounds {
+        /// The faulting byte address.
+        addr: u64,
+        /// Offending instruction.
+        pc: Pc,
+    },
+    /// Bad launch parameters.
+    Launch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { cycles } => {
+                write!(f, "simulation watchdog expired after {cycles} cycles")
+            }
+            SimError::BarrierDivergence { pc } => {
+                write!(f, "barrier executed by divergent warp at pc {pc}")
+            }
+            SimError::AddressOutOfBounds { addr, pc } => {
+                write!(f, "global access at pc {pc} out of bounds: 0x{addr:x}")
+            }
+            SimError::Launch(msg) => write!(f, "invalid launch: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+enum Outcome {
+    Issued,
+    Stalled,
+    Exited,
+}
+
+/// The simulated GPU.
+///
+/// ```
+/// use scord_isa::KernelBuilder;
+/// use scord_sim::{Gpu, GpuConfig};
+///
+/// // out[gtid] = gtid
+/// let mut k = KernelBuilder::new("iota", 1);
+/// let out = k.ld_param(0);
+/// let gtid = k.global_tid();
+/// let addr = k.index_addr(out, gtid, 4);
+/// k.st_global(addr, 0, gtid);
+/// k.exit();
+/// let program = k.finish().unwrap();
+///
+/// let mut gpu = Gpu::new(GpuConfig::paper_default());
+/// let buf = gpu.mem_mut().alloc_words(128);
+/// let stats = gpu.launch(&program, 2, 64, &[buf.addr()]).unwrap();
+/// assert!(stats.cycles > 0);
+/// assert_eq!(gpu.mem().read_word(buf.word_addr(100)), 100);
+/// ```
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: DeviceMemory,
+    sms: Vec<Sm>,
+    parts: Vec<Partition>,
+    detector: Option<DetectorUnit>,
+    stats: SimStats,
+    heap: BinaryHeap<HeapItem>,
+    seq: u64,
+    now: u64,
+    max_cycles: u64,
+    // Per-launch state.
+    program: Option<Rc<Program>>,
+    params: Vec<u32>,
+    grid_blocks: u32,
+    threads_per_block: u32,
+    warps_per_block: u32,
+    next_block: u32,
+    blocks_live: u32,
+    noc_rr: usize,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("cfg", &self.cfg)
+            .field("now", &self.now)
+            .field("blocks_live", &self.blocks_live)
+            .finish()
+    }
+}
+
+impl Gpu {
+    /// Builds a GPU (and its race detector, when
+    /// [`crate::DetectionMode`] says so) from `cfg`.
+    #[must_use]
+    pub fn new(cfg: GpuConfig) -> Self {
+        Self::with_detector_factory(cfg, |dc| Box::new(ScordDetector::new(dc)))
+    }
+
+    /// Builds a GPU with a custom detector (used to attach the Table VIII
+    /// baseline models to the full timing simulation).
+    pub fn with_detector_factory(
+        cfg: GpuConfig,
+        factory: impl FnOnce(scord_core::DetectorConfig) -> Box<dyn scord_core::Detector>,
+    ) -> Self {
+        let detector = cfg
+            .detector_config()
+            .map(|dc| DetectorUnit::new(factory(dc), cfg.detector_queue));
+        let sms = (0..cfg.num_sms)
+            .map(|i| {
+                Sm::new(
+                    i as u8,
+                    cfg.warps_per_sm,
+                    cfg.blocks_per_sm,
+                    Cache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes),
+                    cfg.regs_per_sm,
+                    cfg.shared_mem_per_sm,
+                )
+            })
+            .collect();
+        let parts = (0..cfg.channels)
+            .map(|_| Partition {
+                l2: Cache::new(cfg.l2_slice_bytes(), cfg.l2_ways, cfg.line_bytes),
+                in_queue: VecDeque::new(),
+                rx_free_at: 0,
+                l2_free_at: 0,
+                dram: DramChannel::new(cfg.dram, cfg.banks_per_channel, cfg.row_bytes),
+                pending_fills: HashMap::new(),
+            })
+            .collect();
+        Gpu {
+            mem: DeviceMemory::new(cfg.mem_bytes),
+            sms,
+            parts,
+            detector,
+            stats: SimStats::default(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            max_cycles: 200_000_000,
+            cfg,
+            program: None,
+            params: Vec::new(),
+            grid_blocks: 0,
+            threads_per_block: 0,
+            warps_per_block: 0,
+            next_block: 0,
+            blocks_live: 0,
+            noc_rr: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Functional device memory.
+    #[must_use]
+    pub fn mem(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Mutable device memory (allocation, host copies).
+    pub fn mem_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.mem
+    }
+
+    /// Sets the deadlock watchdog (cycles).
+    pub fn set_max_cycles(&mut self, cycles: u64) {
+        self.max_cycles = cycles;
+    }
+
+    /// The detector's accumulated race log (empty log if detection is off).
+    #[must_use]
+    pub fn races(&self) -> Option<&RaceLog> {
+        self.detector.as_ref().map(|d| d.detector().races())
+    }
+
+    /// Launches `program` on `grid_blocks × threads_per_block` threads and
+    /// simulates to completion, returning this launch's statistics.
+    ///
+    /// Successive launches on one `Gpu` behave like sequential kernels of
+    /// one application: caches persist, the detector's race log accumulates,
+    /// but detector *state* (metadata, fence file, lock tables) is reset at
+    /// the boundary — a kernel launch is a device-wide synchronization
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Launch`] for bad parameters; [`SimError::Timeout`],
+    /// [`SimError::BarrierDivergence`] or [`SimError::AddressOutOfBounds`]
+    /// for runtime failures.
+    pub fn launch(
+        &mut self,
+        program: &Program,
+        grid_blocks: u32,
+        threads_per_block: u32,
+        params: &[u32],
+    ) -> Result<SimStats, SimError> {
+        if threads_per_block == 0 || threads_per_block > self.cfg.max_threads_per_block {
+            return Err(SimError::Launch(format!(
+                "threads per block must be 1..={}, got {threads_per_block}",
+                self.cfg.max_threads_per_block
+            )));
+        }
+        if grid_blocks == 0 {
+            return Err(SimError::Launch("grid must have at least 1 block".into()));
+        }
+        if params.len() != usize::from(program.num_params()) {
+            return Err(SimError::Launch(format!(
+                "kernel {} expects {} params, got {}",
+                program.name(),
+                program.num_params(),
+                params.len()
+            )));
+        }
+        let warps_per_block = threads_per_block.div_ceil(self.cfg.warp_size);
+        if warps_per_block > self.cfg.warps_per_sm {
+            return Err(SimError::Launch("block exceeds SM warp slots".into()));
+        }
+        let regs_needed = u32::from(program.num_regs()) * threads_per_block;
+        if regs_needed > self.cfg.regs_per_sm {
+            return Err(SimError::Launch("block exceeds SM register file".into()));
+        }
+
+        // Reset per-launch machine state (caches persist, like real HW).
+        self.program = Some(Rc::new(program.clone()));
+        self.params = params.to_vec();
+        self.grid_blocks = grid_blocks;
+        self.threads_per_block = threads_per_block;
+        self.warps_per_block = warps_per_block;
+        self.next_block = 0;
+        self.blocks_live = 0;
+        self.now = 0;
+        self.seq = 0;
+        self.heap.clear();
+        self.stats = SimStats::default();
+        for sm in &mut self.sms {
+            sm.rr = 0;
+            sm.tx_free_at = 0;
+            sm.out_queue.clear();
+        }
+        for p in &mut self.parts {
+            p.rx_free_at = 0;
+            p.l2_free_at = 0;
+            p.in_queue.clear();
+            p.pending_fills.clear();
+            p.dram.reset();
+        }
+        if let Some(det) = &mut self.detector {
+            det.detector_mut().on_kernel_boundary();
+        }
+
+        while !self.finished() {
+            self.tick()?;
+            if self.now > self.max_cycles {
+                return Err(SimError::Timeout { cycles: self.now });
+            }
+        }
+
+        self.stats.cycles = self.now;
+        if let Some(det) = &self.detector {
+            self.stats.unique_races = det.detector().races().unique_count();
+            self.stats.total_races = det.detector().races().total_count();
+        }
+        Ok(self.stats)
+    }
+
+    fn finished(&self) -> bool {
+        self.next_block >= self.grid_blocks
+            && self.blocks_live == 0
+            && self.heap.is_empty()
+            && self.sms.iter().all(|s| s.out_queue.is_empty())
+            && self.parts.iter().all(|p| {
+                p.in_queue.is_empty() && p.pending_fills.is_empty() && p.dram.idle(self.now)
+            })
+            && self.detector.as_ref().is_none_or(DetectorUnit::is_idle)
+    }
+
+    fn push_event(&mut self, time: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(HeapItem {
+            time,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn tick(&mut self) -> Result<(), SimError> {
+        self.now += 1;
+        self.drain_events();
+        self.dispatch_blocks();
+        for s in 0..self.sms.len() {
+            self.sm_tick(s)?;
+        }
+        self.noc_tick();
+        for p in 0..self.parts.len() {
+            self.part_tick(p);
+        }
+        self.detector_tick();
+        Ok(())
+    }
+
+    // ---- event heap -------------------------------------------------------
+
+    fn drain_events(&mut self) {
+        while matches!(self.heap.peek(), Some(i) if i.time <= self.now) {
+            let item = self.heap.pop().expect("peeked");
+            match item.ev {
+                Ev::WarpResponse {
+                    sm,
+                    warp,
+                    is_store_ack,
+                    l1_fill,
+                } => {
+                    if let Some(line) = l1_fill {
+                        let _ = self.sms[sm].l1.access(line, false, false);
+                    }
+                    if let Some(w) = self.sms[sm].warps[warp].as_mut() {
+                        if is_store_ack {
+                            w.outstanding_stores = w.outstanding_stores.saturating_sub(1);
+                        } else {
+                            w.pending_loads = w.pending_loads.saturating_sub(1);
+                            if w.pending_loads == 0 && matches!(w.state, WarpState::WaitMem) {
+                                w.state = WarpState::Ready { at: self.now };
+                            }
+                        }
+                    }
+                }
+                Ev::DramDone { part, req } => {
+                    let waiters = self.parts[part]
+                        .pending_fills
+                        .remove(&req.line_addr)
+                        .unwrap_or_default();
+                    for pkt in waiters {
+                        self.respond(&pkt, self.now + 4);
+                    }
+                }
+            }
+        }
+    }
+
+    fn respond(&mut self, pkt: &Packet, time: u64) {
+        if !pkt.needs_response {
+            return;
+        }
+        let resp_flits = if pkt.is_store_ack {
+            1
+        } else {
+            1 + self.cfg.line_bytes.div_ceil(self.cfg.flit_bytes)
+        };
+        self.stats.noc_flits += u64::from(resp_flits);
+        let l1_fill = pkt.l1_fill.then_some(pkt.line_addr);
+        self.push_event(
+            time + 8 + u64::from(resp_flits),
+            Ev::WarpResponse {
+                sm: pkt.sm as usize,
+                warp: pkt.warp as usize,
+                is_store_ack: pkt.is_store_ack,
+                l1_fill,
+            },
+        );
+    }
+
+    // ---- block dispatch ---------------------------------------------------
+
+    fn dispatch_blocks(&mut self) {
+        if self.next_block >= self.grid_blocks {
+            return;
+        }
+        let program = self.program.clone().expect("launch in progress");
+        for s in 0..self.sms.len() {
+            if self.next_block >= self.grid_blocks {
+                break;
+            }
+            let regs_needed = u32::from(program.num_regs()) * self.threads_per_block;
+            let shared_needed = program.shared_bytes();
+            let sm = &self.sms[s];
+            if sm.free_regs < regs_needed || sm.free_shared < shared_needed {
+                continue;
+            }
+            let Some(bslot) = sm.free_block_slot() else {
+                continue;
+            };
+            let Some(wslots) = sm.free_warp_slots(self.warps_per_block as usize) else {
+                continue;
+            };
+            let ctaid = self.next_block;
+            self.next_block += 1;
+            self.blocks_live += 1;
+            let block_slot_global = (s as u32 * self.cfg.blocks_per_sm + bslot as u32) as u8;
+            let block = SmBlock {
+                ctaid,
+                block_slot_global,
+                warp_slots: wslots.clone(),
+                live_warps: self.warps_per_block,
+                barrier_arrived: 0,
+                shared: vec![0; (shared_needed as usize).div_ceil(4)],
+            };
+            let sm = &mut self.sms[s];
+            sm.free_regs -= regs_needed;
+            sm.free_shared -= shared_needed;
+            sm.blocks[bslot] = Some(block);
+            for (wi, &slot) in wslots.iter().enumerate() {
+                let lanes = (self.threads_per_block - wi as u32 * self.cfg.warp_size)
+                    .min(self.cfg.warp_size);
+                sm.warps[slot] = Some(Warp::new(
+                    slot as u8,
+                    bslot,
+                    ctaid,
+                    wi as u32,
+                    lanes,
+                    program.num_regs(),
+                ));
+                if let Some(det) = &mut self.detector {
+                    det.enqueue(DetectorEvent::WarpAssigned {
+                        sm: s as u8,
+                        warp_slot: slot as u8,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- SM scheduling ----------------------------------------------------
+
+    fn sm_tick(&mut self, s: usize) -> Result<(), SimError> {
+        self.sm_prepass(s);
+        let nw = self.sms[s].warps.len();
+        let mut issued = 0;
+        let mut probe = 0;
+        while issued < self.cfg.issue_width && probe < nw as u32 {
+            let idx = (self.sms[s].rr + probe as usize) % nw;
+            probe += 1;
+            let ready = matches!(
+                self.sms[s].warps[idx].as_ref().map(|w| &w.state),
+                Some(WarpState::Ready { at }) if *at <= self.now
+            );
+            if !ready {
+                continue;
+            }
+            let mut warp = self.sms[s].warps[idx].take().expect("ready warp");
+            let outcome = self.exec_warp(s, &mut warp);
+            let block_index = warp.block_index;
+            self.sms[s].warps[idx] = Some(warp);
+            match outcome? {
+                Outcome::Issued => {
+                    issued += 1;
+                    self.sms[s].rr = idx + 1;
+                }
+                Outcome::Stalled => {}
+                Outcome::Exited => {
+                    issued += 1;
+                    self.sms[s].rr = idx + 1;
+                    self.try_retire_warp(s, idx, block_index);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cheap per-cycle state progression: fence completion, drained exits,
+    /// stall accounting.
+    fn sm_prepass(&mut self, s: usize) {
+        for idx in 0..self.sms[s].warps.len() {
+            let Some(w) = self.sms[s].warps[idx].as_mut() else {
+                continue;
+            };
+            match w.state {
+                WarpState::WaitFence { end: None, scope }
+                    if w.outstanding_stores == 0 && w.pending_loads == 0 => {
+                        let latency = match scope {
+                            Scope::Block => self.cfg.fence_block_latency,
+                            Scope::Device => self.cfg.fence_device_latency,
+                        };
+                        let warp_slot = w.warp_slot;
+                        w.state = WarpState::WaitFence {
+                            end: Some(self.now + u64::from(latency)),
+                            scope,
+                        };
+                        if let Some(det) = &mut self.detector {
+                            det.enqueue(DetectorEvent::Fence {
+                                sm: s as u8,
+                                warp_slot,
+                                scope,
+                            });
+                        }
+                    }
+                WarpState::WaitFence {
+                    end: Some(t),
+                    scope: _,
+                }
+                    if self.now >= t => {
+                        w.state = WarpState::Ready { at: self.now };
+                    }
+                WarpState::WaitMem => {
+                    self.stats.stalls.memory += 1;
+                    // A draining exited warp: retire once all traffic landed.
+                    if w.pending_loads == 0
+                        && w.outstanding_stores == 0
+                        && w.is_done()
+                    {
+                        let bidx = w.block_index;
+                        w.state = WarpState::Done;
+                        self.try_retire_warp(s, idx, bidx);
+                    }
+                }
+                WarpState::WaitBarrier => self.stats.stalls.barrier += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Retires a `Done` warp, completing its block when it was the last one.
+    /// A warp still draining memory traffic stays resident (as `WaitMem`);
+    /// the prepass retries once its responses land.
+    fn try_retire_warp(&mut self, s: usize, idx: usize, block_index: usize) {
+        let ready = matches!(
+            self.sms[s].warps[idx].as_ref(),
+            Some(w) if matches!(w.state, WarpState::Done)
+                && w.pending_loads == 0
+                && w.outstanding_stores == 0
+        );
+        if !ready {
+            return;
+        }
+        let (live_now, released) = {
+            let block = self.sms[s].blocks[block_index]
+                .as_mut()
+                .expect("warp's block resident");
+            block.live_warps -= 1;
+            (block.live_warps, block.barrier_arrived)
+        };
+        if live_now > 0 && released >= live_now {
+            self.release_barrier(s, block_index);
+        }
+        if live_now == 0 {
+            self.finish_block(s, block_index);
+        }
+    }
+
+    fn release_barrier(&mut self, s: usize, block_index: usize) {
+        let (slots, block_slot_global) = {
+            let block = self.sms[s].blocks[block_index].as_mut().expect("resident");
+            block.barrier_arrived = 0;
+            (block.warp_slots.clone(), block.block_slot_global)
+        };
+        for slot in slots {
+            if let Some(w) = self.sms[s].warps[slot].as_mut() {
+                if matches!(w.state, WarpState::WaitBarrier) {
+                    w.state = WarpState::Ready { at: self.now + 5 };
+                }
+            }
+        }
+        if let Some(det) = &mut self.detector {
+            det.enqueue(DetectorEvent::Barrier {
+                sm: s as u8,
+                block_slot: block_slot_global,
+            });
+        }
+    }
+
+    fn finish_block(&mut self, s: usize, block_index: usize) {
+        let block = self.sms[s].blocks[block_index].take().expect("resident");
+        let program = self.program.as_ref().expect("launch in progress");
+        let regs = u32::from(program.num_regs()) * self.threads_per_block;
+        for slot in block.warp_slots {
+            self.sms[s].warps[slot] = None;
+        }
+        self.sms[s].free_regs += regs;
+        self.sms[s].free_shared += program.shared_bytes();
+        self.blocks_live -= 1;
+    }
+
+    // ---- instruction execution --------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_warp(&mut self, s: usize, warp: &mut Warp) -> Result<Outcome, SimError> {
+        let Some((pc, mask)) = warp.fetch() else {
+            warp.state = WarpState::Done;
+            return Ok(Outcome::Exited);
+        };
+        let program = self.program.clone().expect("launch in progress");
+        let instr = *program.fetch(pc).unwrap_or(&Instr::Exit);
+
+        match instr {
+            Instr::Mov { dst, src } => {
+                for lane in lanes(mask) {
+                    let v = warp.operand(lane, src);
+                    warp.set_reg(lane, dst, v);
+                }
+                self.complete_alu(warp, mask);
+            }
+            Instr::Alu { op, dst, a, b } => {
+                for lane in lanes(mask) {
+                    let va = warp.operand(lane, a);
+                    let vb = warp.operand(lane, b);
+                    warp.set_reg(lane, dst, op.eval(va, vb));
+                }
+                self.complete_alu(warp, mask);
+            }
+            Instr::Special { dst, sreg } => {
+                for lane in lanes(mask) {
+                    let v = match sreg {
+                        SpecialReg::Tid => warp.warp_in_block * self.cfg.warp_size + lane,
+                        SpecialReg::Ntid => self.threads_per_block,
+                        SpecialReg::Ctaid => warp.ctaid,
+                        SpecialReg::Nctaid => self.grid_blocks,
+                        SpecialReg::LaneId => lane,
+                        SpecialReg::WarpId => warp.warp_in_block,
+                    };
+                    warp.set_reg(lane, dst, v);
+                }
+                self.complete_alu(warp, mask);
+            }
+            Instr::LdParam { dst, index } => {
+                let v = self.params[usize::from(index)];
+                for lane in lanes(mask) {
+                    warp.set_reg(lane, dst, v);
+                }
+                self.complete_alu(warp, mask);
+            }
+            Instr::Ld {
+                dst,
+                addr,
+                space: Space::Shared,
+                ..
+            } => {
+                let block = self.sms[s].blocks[warp.block_index]
+                    .as_ref()
+                    .expect("resident block");
+                for lane in lanes(mask) {
+                    let a = addr.resolve(warp.reg(lane, addr.base));
+                    let idx = (a / 4) as usize;
+                    let v = *block.shared.get(idx).ok_or(SimError::AddressOutOfBounds {
+                        addr: u64::from(a),
+                        pc,
+                    })?;
+                    warp.set_reg(lane, dst, v);
+                }
+                warp.advance();
+                warp.state = WarpState::Ready {
+                    at: self.now + u64::from(self.cfg.shared_latency),
+                };
+                self.count_issue(mask);
+            }
+            Instr::St {
+                src,
+                addr,
+                space: Space::Shared,
+                ..
+            } => {
+                for lane in lanes(mask) {
+                    let a = addr.resolve(warp.reg(lane, addr.base));
+                    let v = warp.operand(lane, src);
+                    let block = self.sms[s].blocks[warp.block_index]
+                        .as_mut()
+                        .expect("resident block");
+                    let idx = (a / 4) as usize;
+                    *block
+                        .shared
+                        .get_mut(idx)
+                        .ok_or(SimError::AddressOutOfBounds {
+                            addr: u64::from(a),
+                            pc,
+                        })? = v;
+                }
+                warp.advance();
+                warp.state = WarpState::Ready { at: self.now + 1 };
+                self.count_issue(mask);
+            }
+            Instr::Ld {
+                dst,
+                addr,
+                space: Space::Global,
+                strong,
+            } => {
+                return self.exec_global(s, warp, pc, mask, GlobalOp::Load { dst, strong }, addr);
+            }
+            Instr::St {
+                src,
+                addr,
+                space: Space::Global,
+                strong,
+            } => {
+                return self.exec_global(s, warp, pc, mask, GlobalOp::Store { src, strong }, addr);
+            }
+            Instr::Atom {
+                op,
+                dst,
+                addr,
+                val,
+                cmp,
+                scope,
+            } => {
+                return self.exec_global(
+                    s,
+                    warp,
+                    pc,
+                    mask,
+                    GlobalOp::Atomic {
+                        op,
+                        dst,
+                        val,
+                        cmp,
+                        scope,
+                    },
+                    addr,
+                );
+            }
+            Instr::Fence { scope } => {
+                warp.advance();
+                warp.state = WarpState::WaitFence { end: None, scope };
+                self.count_issue(mask);
+            }
+            Instr::Bar => {
+                if !warp.converged() {
+                    return Err(SimError::BarrierDivergence { pc });
+                }
+                warp.advance();
+                warp.state = WarpState::WaitBarrier;
+                self.count_issue(mask);
+                let (arrived, live) = {
+                    let block = self.sms[s].blocks[warp.block_index]
+                        .as_mut()
+                        .expect("resident block");
+                    block.barrier_arrived += 1;
+                    (block.barrier_arrived, block.live_warps)
+                };
+                if arrived >= live {
+                    // This warp is currently taken out of its slot: release
+                    // it directly, then the rest.
+                    warp.state = WarpState::Ready { at: self.now + 5 };
+                    let block = self.sms[s].blocks[warp.block_index]
+                        .as_mut()
+                        .expect("resident block");
+                    block.barrier_arrived -= 1; // this warp, handled here
+                    self.release_barrier(s, warp.block_index);
+                }
+            }
+            Instr::Branch {
+                cond,
+                if_zero,
+                target,
+                reconv,
+            } => {
+                let mut taken = 0u32;
+                for lane in lanes(mask) {
+                    let v = warp.reg(lane, cond);
+                    if (v == 0) == if_zero {
+                        taken |= 1 << lane;
+                    }
+                }
+                warp.branch(taken, target, pc + 1, reconv);
+                warp.state = WarpState::Ready { at: self.now + 1 };
+                self.count_issue(mask);
+            }
+            Instr::Jump { target } => {
+                warp.jump(target);
+                warp.state = WarpState::Ready { at: self.now + 1 };
+                self.count_issue(mask);
+            }
+            Instr::Exit => {
+                warp.exit_lanes(mask);
+                self.count_issue(mask);
+                if warp.is_done() {
+                    if warp.pending_loads == 0 && warp.outstanding_stores == 0 {
+                        warp.state = WarpState::Done;
+                    } else {
+                        warp.state = WarpState::WaitMem; // drain, then retire
+                    }
+                    return Ok(Outcome::Exited);
+                }
+                warp.state = WarpState::Ready { at: self.now + 1 };
+            }
+            Instr::Nop => {
+                warp.advance();
+                warp.state = WarpState::Ready { at: self.now + 1 };
+                self.count_issue(mask);
+            }
+        }
+        Ok(Outcome::Issued)
+    }
+
+    fn complete_alu(&mut self, warp: &mut Warp, mask: u32) {
+        warp.advance();
+        warp.state = WarpState::Ready { at: self.now + 1 };
+        self.count_issue(mask);
+    }
+
+    fn count_issue(&mut self, mask: u32) {
+        self.stats.warp_instructions += 1;
+        self.stats.thread_instructions += u64::from(mask.count_ones());
+    }
+
+    fn exec_global(
+        &mut self,
+        s: usize,
+        warp: &mut Warp,
+        pc: Pc,
+        mask: u32,
+        op: GlobalOp,
+        addr: scord_isa::MemAddr,
+    ) -> Result<Outcome, SimError> {
+        // Gather lane addresses and coalesce into lines.
+        let mut lane_addrs: Vec<(u32, u64)> = Vec::with_capacity(mask.count_ones() as usize);
+        for lane in lanes(mask) {
+            let a = u64::from(addr.resolve(warp.reg(lane, addr.base)));
+            if a % 4 != 0 || a + 4 > self.mem.bytes() {
+                return Err(SimError::AddressOutOfBounds { addr: a, pc });
+            }
+            lane_addrs.push((lane, a));
+        }
+        let line_mask = u64::from(self.cfg.line_bytes - 1);
+        let mut line_lanes: Vec<(u64, u32)> = Vec::new();
+        for &(lane, a) in &lane_addrs {
+            let line = a & !line_mask;
+            match line_lanes.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, lm)) => *lm |= 1 << lane,
+                None => line_lanes.push((line, 1 << lane)),
+            }
+        }
+
+        let (is_store, is_atomic, strong) = match op {
+            GlobalOp::Load { strong, .. } => (false, false, strong),
+            GlobalOp::Store { strong, .. } => (true, false, strong),
+            GlobalOp::Atomic { .. } => (true, true, true),
+        };
+        let use_l1 = !strong && !is_store && !is_atomic;
+
+        // L1 classification (weak loads only).
+        let mut hit_lines = 0usize;
+        let mut to_l2: Vec<(u64, u32)> = Vec::new();
+        let mut l1_hits: Vec<u64> = Vec::new();
+        for &(line, lm) in &line_lanes {
+            if use_l1 && self.sms[s].l1.probe(line) {
+                hit_lines += 1;
+                l1_hits.push(line);
+            } else {
+                to_l2.push((line, lm));
+            }
+        }
+
+        // Stall checks (nothing committed yet). The queue capacity is a
+        // high-water mark: a fully-scattered access (up to 32 lines) may
+        // overflow an *empty* queue, otherwise it could never issue.
+        if !self.sms[s].out_queue.is_empty()
+            && self.sms[s].out_queue.len() + to_l2.len() > self.cfg.noc_queue
+        {
+            self.stats.stalls.noc_full += 1;
+            warp.state = WarpState::Ready { at: self.now + 1 };
+            return Ok(Outcome::Stalled);
+        }
+        let toggles = self.cfg.toggles();
+        if let Some(det) = &self.detector {
+            let pure_l1_hit = use_l1 && to_l2.is_empty() && hit_lines > 0;
+            if pure_l1_hit && toggles.lhd && !det.can_accept_l1_hit() {
+                self.stats.stalls.lhd += 1;
+                warp.state = WarpState::Ready { at: self.now + 1 };
+                return Ok(Outcome::Stalled);
+            }
+        }
+
+        // ---- commit: function first ------------------------------------
+        self.count_issue(mask);
+        let mut accesses: Vec<MemAccess> = Vec::with_capacity(lane_addrs.len());
+        let who = Accessor {
+            sm: s as u8,
+            block_slot: self.sms[s].blocks[warp.block_index]
+                .as_ref()
+                .expect("resident block")
+                .block_slot_global,
+            warp_slot: warp.warp_slot,
+        };
+        for &(lane, a) in &lane_addrs {
+            let kind = match op {
+                GlobalOp::Load { dst, .. } => {
+                    let v = self.mem.read_word(a as u32);
+                    warp.set_reg(lane, dst, v);
+                    AccessKind::Load
+                }
+                GlobalOp::Store { src, .. } => {
+                    let v = warp.operand(lane, src);
+                    self.mem.write_word(a as u32, v);
+                    AccessKind::Store
+                }
+                GlobalOp::Atomic {
+                    op: aop,
+                    dst,
+                    val,
+                    cmp,
+                    scope,
+                } => {
+                    let old = self.mem.read_word(a as u32);
+                    let v = warp.operand(lane, val);
+                    let c = warp.operand(lane, cmp);
+                    self.mem.write_word(a as u32, aop.apply(old, v, c));
+                    if let Some(d) = dst {
+                        warp.set_reg(lane, d, old);
+                    }
+                    let kind = match aop {
+                        AtomOp::Cas => AtomKind::Cas,
+                        AtomOp::Exch => AtomKind::Exch,
+                        _ => AtomKind::Other,
+                    };
+                    AccessKind::Atomic { kind, scope }
+                }
+            };
+            accesses.push(MemAccess {
+                kind,
+                addr: a,
+                strong,
+                pc,
+                who,
+            });
+        }
+        if let Some(det) = &mut self.detector {
+            det.enqueue(DetectorEvent::Access { accesses });
+        }
+
+        // ---- timing ------------------------------------------------------
+        let needs_old_value = matches!(
+            op,
+            GlobalOp::Load { .. } | GlobalOp::Atomic { dst: Some(_), .. }
+        );
+        for line in l1_hits {
+            let _ = self.sms[s].l1.access(line, false, false);
+            self.stats.l1_hits += 1;
+            warp.pending_loads += 1;
+            self.push_event(
+                self.now + u64::from(self.cfg.l1_latency),
+                Ev::WarpResponse {
+                    sm: s,
+                    warp: warp.warp_slot as usize,
+                    is_store_ack: false,
+                    l1_fill: None,
+                },
+            );
+        }
+        let hdr = if toggles.noc {
+            self.cfg.detection_header_bytes
+        } else {
+            0
+        };
+        for (line, lm) in to_l2 {
+            if use_l1 {
+                self.stats.l1_misses += 1;
+            }
+            if is_store && !is_atomic {
+                self.sms[s].l1.invalidate(line); // global write-evict
+            }
+            let lanes_here = lm.count_ones();
+            let bytes = 16
+                + hdr
+                + if is_atomic {
+                    8 * lanes_here
+                } else if is_store {
+                    self.cfg.line_bytes
+                } else {
+                    0
+                };
+            let flits = bytes.div_ceil(self.cfg.flit_bytes);
+            if needs_old_value {
+                warp.pending_loads += 1;
+            } else {
+                warp.outstanding_stores += 1;
+            }
+            self.sms[s].out_queue.push_back(Packet {
+                line_addr: line,
+                write: is_store,
+                atomic_lanes: if is_atomic { lanes_here } else { 0 },
+                metadata: false,
+                needs_response: true,
+                is_store_ack: !needs_old_value,
+                sm: s as u8,
+                warp: warp.warp_slot,
+                flits,
+                ready_at: 0,
+                l1_fill: use_l1,
+            });
+        }
+
+        warp.advance();
+        warp.state = if warp.pending_loads > 0 {
+            WarpState::WaitMem
+        } else {
+            WarpState::Ready { at: self.now + 1 }
+        };
+        Ok(Outcome::Issued)
+    }
+
+    // ---- interconnect -----------------------------------------------------
+
+    fn partition_of(&self, line_addr: u64) -> usize {
+        ((line_addr / u64::from(self.cfg.line_bytes)) % u64::from(self.cfg.channels)) as usize
+    }
+
+    fn noc_tick(&mut self) {
+        let n = self.sms.len();
+        for i in 0..n {
+            let s = (self.noc_rr + i) % n;
+            if self.sms[s].tx_free_at > self.now || self.sms[s].out_queue.is_empty() {
+                continue;
+            }
+            let part = {
+                let pkt = self.sms[s].out_queue.front().expect("non-empty");
+                self.partition_of(pkt.line_addr)
+            };
+            if self.parts[part].rx_free_at > self.now {
+                continue; // head-of-line blocking at a congested partition
+            }
+            let mut pkt = self.sms[s].out_queue.pop_front().expect("non-empty");
+            let flits = u64::from(pkt.flits);
+            self.sms[s].tx_free_at = self.now + flits;
+            self.parts[part].rx_free_at = self.now + flits;
+            pkt.ready_at = self.now + 8 + flits;
+            self.parts[part].in_queue.push_back(pkt);
+            self.stats.noc_flits += flits;
+        }
+        self.noc_rr = self.noc_rr.wrapping_add(1);
+    }
+
+    fn part_tick(&mut self, p: usize) {
+        // L2 service: one packet per cycle (plus atomic serialization).
+        if self.parts[p].l2_free_at <= self.now {
+            let ready = matches!(
+                self.parts[p].in_queue.front(),
+                Some(pkt) if pkt.ready_at <= self.now
+            );
+            if ready {
+                let pkt = self.parts[p].in_queue.pop_front().expect("non-empty");
+                let write = pkt.write || pkt.atomic_lanes > 0;
+                let outcome = self.parts[p].l2.access(pkt.line_addr, write, pkt.metadata);
+                let busy = 1 + u64::from(pkt.atomic_lanes / 2);
+                self.parts[p].l2_free_at = self.now + busy;
+                match outcome {
+                    CacheOutcome::Hit => {
+                        if pkt.metadata {
+                            self.stats.l2_md_hits += 1;
+                        } else {
+                            self.stats.l2_data_hits += 1;
+                        }
+                        self.respond(&pkt, self.now + u64::from(self.cfg.l2_latency));
+                    }
+                    CacheOutcome::Miss { writeback } => {
+                        if pkt.metadata {
+                            self.stats.l2_md_misses += 1;
+                            self.stats.dram.metadata_reads += 1;
+                        } else {
+                            self.stats.l2_data_misses += 1;
+                            self.stats.dram.data_reads += 1;
+                        }
+                        if let Some(v) = writeback {
+                            if v.metadata {
+                                self.stats.dram.metadata_writebacks += 1;
+                            } else {
+                                self.stats.dram.data_writebacks += 1;
+                            }
+                            self.parts[p].dram.push(DramRequest {
+                                line_addr: v.line_addr,
+                                write: true,
+                                metadata: v.metadata,
+                            });
+                        }
+                        self.parts[p].dram.push(DramRequest {
+                            line_addr: pkt.line_addr,
+                            write: false,
+                            metadata: pkt.metadata,
+                        });
+                        self.parts[p]
+                            .pending_fills
+                            .entry(pkt.line_addr)
+                            .or_default()
+                            .push(pkt);
+                    }
+                }
+            }
+        }
+        // DRAM service.
+        if let Some((req, done)) = self.parts[p].dram.tick(self.now) {
+            if !req.write {
+                self.push_event(done, Ev::DramDone { part: p, req });
+            }
+        }
+    }
+
+    fn detector_tick(&mut self) {
+        let toggles = self.cfg.toggles();
+        let mut md_lines = Vec::new();
+        let Some(det) = &mut self.detector else {
+            return;
+        };
+        det.tick(self.cfg.detector_throughput, &mut md_lines, &mut self.stats);
+        if toggles.md {
+            for line in md_lines {
+                let p = self.partition_of(line);
+                self.parts[p].in_queue.push_back(Packet {
+                    line_addr: line,
+                    write: true, // metadata entries are read-modify-written
+                    atomic_lanes: 0,
+                    metadata: true,
+                    needs_response: false,
+                    is_store_ack: false,
+                    sm: 0,
+                    warp: 0,
+                    flits: 1,
+                    ready_at: self.now + 4,
+                    l1_fill: false,
+                });
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GlobalOp {
+    Load {
+        dst: scord_isa::Reg,
+        strong: bool,
+    },
+    Store {
+        src: scord_isa::Operand,
+        strong: bool,
+    },
+    Atomic {
+        op: AtomOp,
+        dst: Option<scord_isa::Reg>,
+        val: scord_isa::Operand,
+        cmp: scord_isa::Operand,
+        scope: Scope,
+    },
+}
+
+/// Iterates the set lane indices of a mask.
+fn lanes(mask: u32) -> impl Iterator<Item = u32> {
+    (0..32).filter(move |i| mask & (1 << i) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_isa::KernelBuilder;
+
+    #[test]
+    fn heap_is_a_min_heap_by_time_then_seq() {
+        let mut h = BinaryHeap::new();
+        h.push(HeapItem {
+            time: 5,
+            seq: 1,
+            ev: Ev::DramDone {
+                part: 0,
+                req: DramRequest {
+                    line_addr: 0,
+                    write: false,
+                    metadata: false,
+                },
+            },
+        });
+        h.push(HeapItem {
+            time: 3,
+            seq: 2,
+            ev: Ev::DramDone {
+                part: 1,
+                req: DramRequest {
+                    line_addr: 0,
+                    write: false,
+                    metadata: false,
+                },
+            },
+        });
+        let first = h.pop().unwrap();
+        assert_eq!(first.time, 3);
+    }
+
+    #[test]
+    fn launch_validates_parameters() {
+        let mut gpu = Gpu::new(GpuConfig::paper_default());
+        let mut k = KernelBuilder::new("t", 1);
+        let p = k.ld_param(0);
+        k.st_global(p, 0, 1u32);
+        let prog = k.finish().unwrap();
+        assert!(matches!(
+            gpu.launch(&prog, 0, 32, &[0]),
+            Err(SimError::Launch(_))
+        ));
+        assert!(matches!(
+            gpu.launch(&prog, 1, 2048, &[0]),
+            Err(SimError::Launch(_))
+        ));
+        assert!(matches!(
+            gpu.launch(&prog, 1, 32, &[]),
+            Err(SimError::Launch(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_reported() {
+        let mut gpu = Gpu::new(GpuConfig::paper_default());
+        let mut k = KernelBuilder::new("oob", 0);
+        let bad = k.mov(0xFFFF_FFF0u32);
+        let _ = k.ld_global(bad, 0);
+        let prog = k.finish().unwrap();
+        assert!(matches!(
+            gpu.launch(&prog, 1, 32, &[]),
+            Err(SimError::AddressOutOfBounds { .. })
+        ));
+    }
+}

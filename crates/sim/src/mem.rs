@@ -1,0 +1,198 @@
+//! Functional device memory and buffer allocation.
+//!
+//! The simulator keeps function and timing separate: this module is the
+//! single coherent backing store every access reads and writes, while the
+//! cache/NoC/DRAM models account for time. (See DESIGN.md: ScoRD's detection
+//! is metadata-driven and never depends on a stale value actually being
+//! observed, so coherent functional memory preserves all results.)
+
+use std::fmt;
+
+/// A handle to an allocated device buffer of 32-bit words.
+///
+/// ```
+/// use scord_sim::DeviceMemory;
+/// let mut mem = DeviceMemory::new(1 << 20);
+/// let buf = mem.alloc_words(16);
+/// mem.write_word(buf.addr(), 42);
+/// assert_eq!(mem.read_word(buf.addr()), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceBuffer {
+    addr: u32,
+    words: u32,
+}
+
+impl DeviceBuffer {
+    /// Base byte address of the buffer.
+    #[must_use]
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Length in 32-bit words.
+    #[must_use]
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u32 {
+        self.words * 4
+    }
+
+    /// Byte address of the `i`-th word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn word_addr(&self, i: u32) -> u32 {
+        assert!(i < self.words, "index {i} out of {} words", self.words);
+        self.addr + i * 4
+    }
+}
+
+/// The device's global memory: a flat array of 32-bit words plus a bump
+/// allocator handing out cache-line-aligned buffers.
+pub struct DeviceMemory {
+    words: Vec<u32>,
+    next_free: u32,
+}
+
+impl DeviceMemory {
+    /// Creates a zeroed memory of `bytes` (rounded up to a word).
+    #[must_use]
+    pub fn new(bytes: u64) -> Self {
+        let words = (bytes / 4) as usize;
+        DeviceMemory {
+            words: vec![0; words],
+            next_free: 0,
+        }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.words.len() as u64 * 4
+    }
+
+    /// Allocates a 128-byte-aligned buffer of `n` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is exhausted.
+    pub fn alloc_words(&mut self, n: u32) -> DeviceBuffer {
+        let addr = (self.next_free + 127) & !127;
+        let end = addr + n * 4;
+        assert!(
+            (end as u64) <= self.bytes(),
+            "device memory exhausted: need {} bytes at {}, have {}",
+            n * 4,
+            addr,
+            self.bytes()
+        );
+        self.next_free = end;
+        DeviceBuffer { addr, words: n }
+    }
+
+    /// Reads one word at a byte address (must be 4-byte aligned).
+    #[must_use]
+    pub fn read_word(&self, addr: u32) -> u32 {
+        debug_assert_eq!(addr % 4, 0, "unaligned read at 0x{addr:x}");
+        self.words[(addr / 4) as usize]
+    }
+
+    /// Writes one word at a byte address (must be 4-byte aligned).
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        debug_assert_eq!(addr % 4, 0, "unaligned write at 0x{addr:x}");
+        self.words[(addr / 4) as usize] = value;
+    }
+
+    /// Copies a host slice into a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the buffer.
+    pub fn copy_in(&mut self, buf: DeviceBuffer, data: &[u32]) {
+        assert!(data.len() <= buf.words as usize, "copy_in overflows buffer");
+        let base = (buf.addr / 4) as usize;
+        self.words[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies a buffer out to the host.
+    #[must_use]
+    pub fn copy_out(&self, buf: DeviceBuffer) -> Vec<u32> {
+        let base = (buf.addr / 4) as usize;
+        self.words[base..base + buf.words as usize].to_vec()
+    }
+
+    /// Fills a buffer with a value (`cudaMemset`-style, word granularity).
+    pub fn fill(&mut self, buf: DeviceBuffer, value: u32) {
+        let base = (buf.addr / 4) as usize;
+        self.words[base..base + buf.words as usize].fill(value);
+    }
+
+    /// Bytes currently allocated (high-water mark).
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        u64::from(self.next_free)
+    }
+}
+
+impl fmt::Debug for DeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceMemory")
+            .field("bytes", &self.bytes())
+            .field("allocated", &self.next_free)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_line_aligned_and_disjoint() {
+        let mut m = DeviceMemory::new(4096);
+        let a = m.alloc_words(5);
+        let b = m.alloc_words(3);
+        assert_eq!(a.addr() % 128, 0);
+        assert_eq!(b.addr() % 128, 0);
+        assert!(b.addr() >= a.addr() + a.bytes());
+    }
+
+    #[test]
+    fn copy_roundtrip() {
+        let mut m = DeviceMemory::new(4096);
+        let buf = m.alloc_words(4);
+        m.copy_in(buf, &[1, 2, 3, 4]);
+        assert_eq!(m.copy_out(buf), vec![1, 2, 3, 4]);
+        assert_eq!(m.read_word(buf.word_addr(2)), 3);
+    }
+
+    #[test]
+    fn fill_sets_every_word() {
+        let mut m = DeviceMemory::new(4096);
+        let buf = m.alloc_words(8);
+        m.fill(buf, 7);
+        assert!(m.copy_out(buf).iter().all(|&w| w == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut m = DeviceMemory::new(256);
+        let _ = m.alloc_words(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn word_addr_bounds_checked() {
+        let mut m = DeviceMemory::new(4096);
+        let buf = m.alloc_words(2);
+        let _ = buf.word_addr(2);
+    }
+}

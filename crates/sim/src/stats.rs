@@ -1,0 +1,224 @@
+//! Simulation statistics — the raw counters behind every figure.
+
+use std::fmt;
+
+/// DRAM traffic, split the way Figure 9 reports it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Demand data reads (L2 misses for program data).
+    pub data_reads: u64,
+    /// Dirty data-line writebacks.
+    pub data_writebacks: u64,
+    /// Metadata reads (L2 misses for detector metadata).
+    pub metadata_reads: u64,
+    /// Dirty metadata-line writebacks.
+    pub metadata_writebacks: u64,
+}
+
+impl DramStats {
+    /// Total DRAM accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.data() + self.metadata()
+    }
+
+    /// Non-metadata accesses (normal data + writebacks).
+    #[must_use]
+    pub fn data(&self) -> u64 {
+        self.data_reads + self.data_writebacks
+    }
+
+    /// Metadata accesses (reads + writebacks).
+    #[must_use]
+    pub fn metadata(&self) -> u64 {
+        self.metadata_reads + self.metadata_writebacks
+    }
+}
+
+/// Stall cycles by cause (the inputs to Figure 10's attribution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallStats {
+    /// Warp-cycles stalled because an L1 hit could not enqueue its
+    /// detection packet (LHD).
+    pub lhd: u64,
+    /// Warp-cycles stalled on a full NoC injection queue.
+    pub noc_full: u64,
+    /// Warp-cycles waiting on outstanding memory responses.
+    pub memory: u64,
+    /// Warp-cycles waiting at barriers.
+    pub barrier: u64,
+}
+
+/// All counters collected during one kernel execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Total GPU cycles from launch to the last block's completion.
+    pub cycles: u64,
+    /// Warp instructions executed.
+    pub warp_instructions: u64,
+    /// Thread instructions (warp instructions × active lanes).
+    pub thread_instructions: u64,
+    /// L1 data-cache hits (weak global loads only; strong accesses bypass).
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits for program data.
+    pub l2_data_hits: u64,
+    /// L2 misses for program data.
+    pub l2_data_misses: u64,
+    /// L2 hits for detector metadata.
+    pub l2_md_hits: u64,
+    /// L2 misses for detector metadata.
+    pub l2_md_misses: u64,
+    /// DRAM traffic breakdown.
+    pub dram: DramStats,
+    /// NoC flits injected (requests + responses + detection headers).
+    pub noc_flits: u64,
+    /// Detection packets processed by the race detector.
+    pub detector_events: u64,
+    /// Lane-level accesses checked by the detector.
+    pub detector_lane_accesses: u64,
+    /// Stall-cycle breakdown.
+    pub stalls: StallStats,
+    /// Unique races reported.
+    pub unique_races: usize,
+    /// Dynamic race reports.
+    pub total_races: u64,
+}
+
+impl SimStats {
+    /// Accumulates another launch's counters into this one (cycles sum —
+    /// sequential kernels; race counts take `other`'s, which are cumulative
+    /// within one `Gpu`).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.warp_instructions += other.warp_instructions;
+        self.thread_instructions += other.thread_instructions;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_data_hits += other.l2_data_hits;
+        self.l2_data_misses += other.l2_data_misses;
+        self.l2_md_hits += other.l2_md_hits;
+        self.l2_md_misses += other.l2_md_misses;
+        self.dram.data_reads += other.dram.data_reads;
+        self.dram.data_writebacks += other.dram.data_writebacks;
+        self.dram.metadata_reads += other.dram.metadata_reads;
+        self.dram.metadata_writebacks += other.dram.metadata_writebacks;
+        self.noc_flits += other.noc_flits;
+        self.detector_events += other.detector_events;
+        self.detector_lane_accesses += other.detector_lane_accesses;
+        self.stalls.lhd += other.stalls.lhd;
+        self.stalls.noc_full += other.stalls.noc_full;
+        self.stalls.memory += other.stalls.memory;
+        self.stalls.barrier += other.stalls.barrier;
+        self.unique_races = other.unique_races;
+        self.total_races = other.total_races;
+    }
+
+    /// Instructions per cycle (warp granularity).
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.warp_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 hit rate over weak global loads.
+    #[must_use]
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} warp_insts={} ipc={:.3}",
+            self.cycles,
+            self.warp_instructions,
+            self.ipc()
+        )?;
+        writeln!(
+            f,
+            "L1 {}/{} hits ({:.1}%), L2 data {}/{} hits, L2 md {}/{} hits",
+            self.l1_hits,
+            self.l1_hits + self.l1_misses,
+            self.l1_hit_rate() * 100.0,
+            self.l2_data_hits,
+            self.l2_data_hits + self.l2_data_misses,
+            self.l2_md_hits,
+            self.l2_md_hits + self.l2_md_misses,
+        )?;
+        writeln!(
+            f,
+            "DRAM: data {} (+{} wb), metadata {} (+{} wb)",
+            self.dram.data_reads,
+            self.dram.data_writebacks,
+            self.dram.metadata_reads,
+            self.dram.metadata_writebacks
+        )?;
+        write!(
+            f,
+            "races: {} unique / {} dynamic; stalls lhd={} noc={} mem={}",
+            self.unique_races,
+            self.total_races,
+            self.stalls.lhd,
+            self.stalls.noc_full,
+            self.stalls.memory
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_split_sums() {
+        let d = DramStats {
+            data_reads: 10,
+            data_writebacks: 5,
+            metadata_reads: 3,
+            metadata_writebacks: 2,
+        };
+        assert_eq!(d.data(), 15);
+        assert_eq!(d.metadata(), 5);
+        assert_eq!(d.total(), 20);
+    }
+
+    #[test]
+    fn ipc_and_hit_rate_handle_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        let s = SimStats {
+            cycles: 100,
+            warp_instructions: 250,
+            l1_hits: 3,
+            l1_misses: 1,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-9);
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = SimStats {
+            cycles: 42,
+            unique_races: 3,
+            ..SimStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("cycles=42"));
+        assert!(text.contains("3 unique"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Warp state: registers, the SIMT reconvergence stack, and scheduling
+//! status.
+
+use scord_isa::{Operand, Pc, Reg, Scope};
+
+/// Sentinel reconvergence PC for the root frame (never reached).
+pub const RPC_NONE: Pc = Pc::MAX;
+
+/// One SIMT stack frame: the lanes in `mask` execute from `pc` and
+/// reconverge at `rpc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Current program counter of this frame.
+    pub pc: Pc,
+    /// Reconvergence point (frame is popped when `pc` reaches it).
+    pub rpc: Pc,
+    /// Active-lane mask.
+    pub mask: u32,
+}
+
+/// Why a warp is not currently issuing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Can issue once `at` is reached.
+    Ready {
+        /// Earliest issue cycle.
+        at: u64,
+    },
+    /// Blocked on outstanding memory responses.
+    WaitMem,
+    /// Executing a fence: first drains outstanding stores, then waits until
+    /// the fence latency elapses (`end` is set once draining completes).
+    WaitFence {
+        /// Completion time, once the store queue drained.
+        end: Option<u64>,
+        /// Fence scope (device fences cost more).
+        scope: Scope,
+    },
+    /// Parked at a barrier.
+    WaitBarrier,
+    /// All lanes exited.
+    Done,
+}
+
+/// A resident warp.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Hardware warp slot within the SM.
+    pub warp_slot: u8,
+    /// Index of the owning block's slot within the SM.
+    pub block_index: usize,
+    /// The block's grid-wide index (`ctaid`).
+    pub ctaid: u32,
+    /// Warp index within the block.
+    pub warp_in_block: u32,
+    /// Registers, `num_regs` per lane, lane-major.
+    regs: Vec<u32>,
+    num_regs: u16,
+    /// SIMT stack; empty means the warp has exited.
+    pub frames: Vec<Frame>,
+    /// Lanes that have not executed `exit`.
+    pub live_mask: u32,
+    /// Scheduling state.
+    pub state: WarpState,
+    /// Outstanding load/atomic responses.
+    pub pending_loads: u32,
+    /// Outstanding store acknowledgements (drained by fences).
+    pub outstanding_stores: u32,
+}
+
+impl Warp {
+    /// Creates a warp of `lanes` live threads starting at pc 0.
+    #[must_use]
+    pub fn new(
+        warp_slot: u8,
+        block_index: usize,
+        ctaid: u32,
+        warp_in_block: u32,
+        lanes: u32,
+        num_regs: u16,
+    ) -> Self {
+        assert!((1..=32).contains(&lanes), "warp must have 1..=32 lanes");
+        let live_mask = if lanes == 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
+        Warp {
+            warp_slot,
+            block_index,
+            ctaid,
+            warp_in_block,
+            regs: vec![0; usize::from(num_regs) * 32],
+            num_regs,
+            frames: vec![Frame {
+                pc: 0,
+                rpc: RPC_NONE,
+                mask: live_mask,
+            }],
+            live_mask,
+            state: WarpState::Ready { at: 0 },
+            pending_loads: 0,
+            outstanding_stores: 0,
+        }
+    }
+
+    /// Reads lane `lane`'s register `r`.
+    #[must_use]
+    pub fn reg(&self, lane: u32, r: Reg) -> u32 {
+        self.regs[lane as usize * usize::from(self.num_regs) + r.index()]
+    }
+
+    /// Writes lane `lane`'s register `r`.
+    pub fn set_reg(&mut self, lane: u32, r: Reg, v: u32) {
+        self.regs[lane as usize * usize::from(self.num_regs) + r.index()] = v;
+    }
+
+    /// Evaluates an operand for a lane.
+    #[must_use]
+    pub fn operand(&self, lane: u32, op: Operand) -> u32 {
+        match op {
+            Operand::Reg(r) => self.reg(lane, r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Returns the executing `(pc, mask)` after popping reconverged or empty
+    /// frames, or `None` if the warp has exited.
+    pub fn fetch(&mut self) -> Option<(Pc, u32)> {
+        while let Some(top) = self.frames.last() {
+            if top.mask == 0 || top.pc == top.rpc {
+                self.frames.pop();
+                continue;
+            }
+            return Some((top.pc, top.mask));
+        }
+        None
+    }
+
+    /// Advances the top frame past the current instruction.
+    pub fn advance(&mut self) {
+        if let Some(top) = self.frames.last_mut() {
+            top.pc += 1;
+        }
+    }
+
+    /// Redirects the top frame (uniform jump).
+    pub fn jump(&mut self, target: Pc) {
+        if let Some(top) = self.frames.last_mut() {
+            top.pc = target;
+        }
+    }
+
+    /// Executes a possibly-divergent branch for the top frame.
+    ///
+    /// `taken` is the subset of active lanes whose condition selects
+    /// `target`; the rest continue at `fallthrough`. Both paths reconverge at
+    /// `reconv`, which the builder guarantees post-dominates them.
+    pub fn branch(&mut self, taken: u32, target: Pc, fallthrough: Pc, reconv: Pc) {
+        let n = self.frames.len();
+        let top = self.frames.last_mut().expect("branch on exited warp");
+        let active = top.mask;
+        let fall = active & !taken;
+        debug_assert_eq!(taken & !active, 0, "taken lanes must be active");
+        if taken == active {
+            top.pc = target;
+            return;
+        }
+        if taken == 0 {
+            top.pc = fallthrough;
+            return;
+        }
+        // Divergence: the current frame becomes the reconvergence frame.
+        top.pc = reconv;
+        // Collapse the frame if it is now a pure placeholder whose parent
+        // already waits at the same point (keeps loop stacks bounded).
+        if top.rpc == reconv && n >= 2 && self.frames[n - 2].pc == reconv {
+            debug_assert_eq!(
+                self.frames[n - 2].mask & active,
+                active,
+                "parent frame must cover collapsed lanes"
+            );
+            self.frames.pop();
+        }
+        if fall != 0 && fallthrough != reconv {
+            self.frames.push(Frame {
+                pc: fallthrough,
+                rpc: reconv,
+                mask: fall,
+            });
+        }
+        if taken != 0 && target != reconv {
+            self.frames.push(Frame {
+                pc: target,
+                rpc: reconv,
+                mask: taken,
+            });
+        }
+        debug_assert!(
+            self.frames.len() <= 64,
+            "SIMT stack runaway: unstructured control flow?"
+        );
+    }
+
+    /// Removes `mask` lanes from execution (the `exit` instruction).
+    pub fn exit_lanes(&mut self, mask: u32) {
+        self.live_mask &= !mask;
+        for f in &mut self.frames {
+            f.mask &= !mask;
+        }
+        while matches!(self.frames.last(), Some(f) if f.mask == 0) {
+            self.frames.pop();
+        }
+    }
+
+    /// `true` once every lane has exited.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.frames.is_empty() || self.live_mask == 0
+    }
+
+    /// `true` if the warp is fully converged (all live lanes in one frame) —
+    /// required at barriers.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        matches!(self.frames.last(), Some(f) if f.mask == self.live_mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warp() -> Warp {
+        Warp::new(0, 0, 0, 0, 32, 8)
+    }
+
+    #[test]
+    fn fresh_warp_executes_from_zero_fully_converged() {
+        let mut w = warp();
+        assert_eq!(w.fetch(), Some((0, u32::MAX)));
+        assert!(w.converged());
+        w.advance();
+        assert_eq!(w.fetch(), Some((1, u32::MAX)));
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        let mut w = Warp::new(0, 0, 0, 0, 20, 4);
+        assert_eq!(w.fetch().unwrap().1, (1 << 20) - 1);
+    }
+
+    #[test]
+    fn uniform_branches_do_not_push_frames() {
+        let mut w = warp();
+        w.branch(u32::MAX, 10, 1, 20); // all taken
+        assert_eq!(w.frames.len(), 1);
+        assert_eq!(w.fetch(), Some((10, u32::MAX)));
+        w.branch(0, 30, 11, 20); // none taken
+        assert_eq!(w.fetch(), Some((11, u32::MAX)));
+    }
+
+    #[test]
+    fn divergent_branch_splits_and_reconverges() {
+        let mut w = warp();
+        // Lanes 0..16 take the branch to 10; others fall through to 1;
+        // reconvergence at 20.
+        let taken = 0x0000_FFFF;
+        w.branch(taken, 10, 1, 20);
+        // Taken path executes first (pushed last).
+        assert_eq!(w.fetch(), Some((10, taken)));
+        w.jump(20); // taken path reaches reconvergence
+        assert_eq!(w.fetch(), Some((1, !taken)), "fall-through path runs");
+        w.jump(20);
+        assert_eq!(
+            w.fetch(),
+            Some((20, u32::MAX)),
+            "all lanes reconverge at 20 in the parent frame"
+        );
+    }
+
+    #[test]
+    fn branch_to_reconvergence_skips_empty_child() {
+        let mut w = warp();
+        // if_then shape: taken lanes skip to reconv (else-less if).
+        let skip = 0xFF00_0000;
+        w.branch(skip, 20, 1, 20);
+        assert_eq!(w.fetch(), Some((1, !skip)), "body runs for the rest");
+        w.jump(20);
+        assert_eq!(w.fetch(), Some((20, u32::MAX)));
+    }
+
+    #[test]
+    fn loop_stack_stays_bounded() {
+        let mut w = warp();
+        // while-loop shape: branch at pc 1 exits to 5 (reconv 5), body 2..4,
+        // jump back to 1. Lanes leave one per iteration.
+        let mut exited = 0u32;
+        for lane in 0..32 {
+            // Branch: lanes <= lane exit.
+            exited |= 1 << lane;
+            let (pc, _mask) = w.fetch().expect("warp alive");
+            assert!(pc == 0 || pc == 1 || pc == 2);
+            w.jump(1);
+            w.branch(exited & w.frames.last().unwrap().mask, 5, 2, 5);
+            assert!(
+                w.frames.len() <= 2,
+                "collapse keeps the loop stack at ≤2 frames (iter {lane}, depth {})",
+                w.frames.len()
+            );
+            if lane < 31 {
+                let (pc, mask) = w.fetch().unwrap();
+                assert_eq!(pc, 2, "body executes for remaining lanes");
+                assert_eq!(mask, !exited);
+            }
+        }
+        assert_eq!(w.fetch(), Some((5, u32::MAX)), "all reconverge at exit");
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut w = warp();
+        let outer = 0x0000_FFFF;
+        w.branch(outer, 10, 1, 30); // outer if
+        assert_eq!(w.fetch(), Some((10, outer)));
+        let inner = 0x0000_00FF;
+        w.branch(inner, 15, 11, 20); // inner if within taken path
+        assert_eq!(w.fetch(), Some((15, inner)));
+        w.jump(20);
+        assert_eq!(w.fetch(), Some((11, outer & !inner)));
+        w.jump(20);
+        assert_eq!(w.fetch(), Some((20, outer)), "inner reconvergence");
+        w.jump(30);
+        assert_eq!(w.fetch(), Some((1, !outer)), "outer else path");
+        w.jump(30);
+        assert_eq!(w.fetch(), Some((30, u32::MAX)), "outer reconvergence");
+    }
+
+    #[test]
+    fn exit_lanes_and_done() {
+        let mut w = warp();
+        w.exit_lanes(0xFFFF_FFFE);
+        assert_eq!(w.fetch(), Some((0, 1)), "lane 0 still running");
+        assert!(w.converged(), "single live lane is converged");
+        w.exit_lanes(1);
+        assert!(w.is_done());
+        assert_eq!(w.fetch(), None);
+    }
+
+    #[test]
+    fn registers_are_per_lane() {
+        let mut w = warp();
+        w.set_reg(3, Reg(2), 77);
+        assert_eq!(w.reg(3, Reg(2)), 77);
+        assert_eq!(w.reg(4, Reg(2)), 0);
+        assert_eq!(w.operand(3, Operand::Reg(Reg(2))), 77);
+        assert_eq!(w.operand(0, Operand::Imm(5)), 5);
+    }
+}

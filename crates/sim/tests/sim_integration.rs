@@ -1,0 +1,416 @@
+//! End-to-end simulator tests: real kernels built with `KernelBuilder`,
+//! executed on the cycle-level GPU, checked for functional correctness,
+//! timing sanity and race-detection results.
+
+use scord_isa::{KernelBuilder, LockConfig, Scope, SpecialReg};
+use scord_sim::{DetectionMode, Gpu, GpuConfig, SimError};
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuConfig::paper_default())
+}
+
+fn gpu_detecting() -> Gpu {
+    Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()))
+}
+
+// ---------------------------------------------------------------------------
+// Functional correctness through the full machine
+// ---------------------------------------------------------------------------
+
+#[test]
+fn iota_many_blocks_exceeding_residency() {
+    // 256 blocks of 128 threads — more than the 120 resident-block slots, so
+    // the dispatcher must recycle slots.
+    let mut k = KernelBuilder::new("iota", 1);
+    let out = k.ld_param(0);
+    let g = k.global_tid();
+    let addr = k.index_addr(out, g, 4);
+    k.st_global(addr, 0, g);
+    let prog = k.finish().unwrap();
+
+    let n = 256 * 128;
+    let mut gpu = gpu();
+    let buf = gpu.mem_mut().alloc_words(n);
+    let stats = gpu.launch(&prog, 256, 128, &[buf.addr()]).unwrap();
+    let out = gpu.mem().copy_out(buf);
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i as u32);
+    }
+    assert!(stats.cycles > 100);
+    assert!(stats.dram.data_reads > 0, "stores fetch lines into L2");
+}
+
+#[test]
+fn divergent_if_else_computes_both_paths() {
+    // out[tid] = tid % 2 == 0 ? tid * 3 : tid + 100
+    let mut k = KernelBuilder::new("diverge", 1);
+    let out = k.ld_param(0);
+    let tid = k.special(SpecialReg::Tid);
+    let r = k.rem(tid, 2u32);
+    let even = k.set_eq(r, 0u32);
+    let addr = k.index_addr(out, tid, 4);
+    k.if_else(
+        even,
+        |k| {
+            let v = k.mul(tid, 3u32);
+            k.st_global(addr, 0, v);
+        },
+        |k| {
+            let v = k.add(tid, 100u32);
+            k.st_global(addr, 0, v);
+        },
+    );
+    let prog = k.finish().unwrap();
+
+    let mut gpu = gpu();
+    let buf = gpu.mem_mut().alloc_words(64);
+    gpu.launch(&prog, 1, 64, &[buf.addr()]).unwrap();
+    let out = gpu.mem().copy_out(buf);
+    for i in 0..64u32 {
+        let expect = if i % 2 == 0 { i * 3 } else { i + 100 };
+        assert_eq!(out[i as usize], expect, "thread {i}");
+    }
+}
+
+#[test]
+fn per_lane_loop_trip_counts() {
+    // out[tid] = sum(0..tid) — every lane loops a different number of times.
+    let mut k = KernelBuilder::new("tri", 1);
+    let out = k.ld_param(0);
+    let tid = k.special(SpecialReg::Tid);
+    let acc = k.mov(0u32);
+    k.for_range(0u32, tid, 1u32, |k, i| {
+        k.alu_into(acc, scord_isa::AluOp::Add, acc, i);
+    });
+    let addr = k.index_addr(out, tid, 4);
+    k.st_global(addr, 0, acc);
+    let prog = k.finish().unwrap();
+
+    let mut gpu = gpu();
+    let buf = gpu.mem_mut().alloc_words(96);
+    gpu.launch(&prog, 1, 96, &[buf.addr()]).unwrap();
+    let out = gpu.mem().copy_out(buf);
+    for i in 0..96u32 {
+        assert_eq!(out[i as usize], i * (i.wrapping_sub(1)) / 2, "thread {i}");
+    }
+}
+
+#[test]
+fn barrier_separated_neighbor_exchange() {
+    // Phase 1: x[tid] = tid. Barrier. Phase 2: y[tid] = x[(tid+1)%n].
+    let mut k = KernelBuilder::new("exchange", 2);
+    let x = k.ld_param(0);
+    let y = k.ld_param(1);
+    let tid = k.special(SpecialReg::Tid);
+    let n = k.special(SpecialReg::Ntid);
+    let xa = k.index_addr(x, tid, 4);
+    k.st_global(xa, 0, tid);
+    k.bar();
+    let t1 = k.add(tid, 1u32);
+    let neigh = k.rem(t1, n);
+    let xn = k.index_addr(x, neigh, 4);
+    let v = k.ld_global(xn, 0);
+    let ya = k.index_addr(y, tid, 4);
+    k.st_global(ya, 0, v);
+    let prog = k.finish().unwrap();
+
+    let mut gpu = gpu_detecting();
+    let x = gpu.mem_mut().alloc_words(128);
+    let y = gpu.mem_mut().alloc_words(128);
+    gpu.launch(&prog, 1, 128, &[x.addr(), y.addr()]).unwrap();
+    let out = gpu.mem().copy_out(y);
+    for i in 0..128u32 {
+        assert_eq!(out[i as usize], (i + 1) % 128);
+    }
+    assert_eq!(
+        gpu.races().unwrap().unique_count(),
+        0,
+        "barrier-synchronized exchange is race-free: {:?}",
+        gpu.races().unwrap().records()
+    );
+}
+
+#[test]
+fn shared_memory_block_reduction() {
+    // Each block sums its 64 inputs in shared memory, thread 0 writes result.
+    let mut k = KernelBuilder::new("shreduce", 2);
+    let inp = k.ld_param(0);
+    let out = k.ld_param(1);
+    let shoff = k.alloc_shared(64 * 4);
+    let tid = k.special(SpecialReg::Tid);
+    let ctaid = k.special(SpecialReg::Ctaid);
+    let g = k.global_tid();
+    let ia = k.index_addr(inp, g, 4);
+    let v = k.ld_global(ia, 0);
+    let sbase = k.mov(shoff);
+    let sa = k.index_addr(sbase, tid, 4);
+    k.st_shared(sa, 0, v);
+    k.bar();
+    let is_zero = k.set_eq(tid, 0u32);
+    k.if_then(is_zero, |k| {
+        let acc = k.mov(0u32);
+        k.for_range(0u32, 64u32, 1u32, |k, i| {
+            let a = k.index_addr(sbase, i, 4);
+            let x = k.ld_shared(a, 0);
+            k.alu_into(acc, scord_isa::AluOp::Add, acc, x);
+        });
+        let oa = k.index_addr(out, ctaid, 4);
+        k.st_global(oa, 0, acc);
+    });
+    let prog = k.finish().unwrap();
+
+    let mut gpu = gpu();
+    let inp = gpu.mem_mut().alloc_words(4 * 64);
+    let out = gpu.mem_mut().alloc_words(4);
+    let data: Vec<u32> = (0..256).collect();
+    gpu.mem_mut().copy_in(inp, &data);
+    gpu.launch(&prog, 4, 64, &[inp.addr(), out.addr()]).unwrap();
+    let sums = gpu.mem().copy_out(out);
+    for b in 0..4u32 {
+        let expect: u32 = (b * 64..(b + 1) * 64).sum();
+        assert_eq!(sums[b as usize], expect, "block {b}");
+    }
+}
+
+#[test]
+fn device_atomics_sum_across_blocks() {
+    let mut k = KernelBuilder::new("atomsum", 1);
+    let ctr = k.ld_param(0);
+    let g = k.global_tid();
+    k.atom_add_noret(ctr, 0, g, Scope::Device);
+    let prog = k.finish().unwrap();
+
+    let mut gpu = gpu_detecting();
+    let ctr = gpu.mem_mut().alloc_words(1);
+    gpu.launch(&prog, 8, 64, &[ctr.addr()]).unwrap();
+    let n = 8 * 64u32;
+    assert_eq!(gpu.mem().read_word(ctr.addr()), n * (n - 1) / 2);
+    assert_eq!(
+        gpu.races().unwrap().unique_count(),
+        0,
+        "device atomics are race-free: {:?}",
+        gpu.races().unwrap().records()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scoped-race detection through the full machine
+// ---------------------------------------------------------------------------
+
+/// Producer (block 0, thread 0) publishes data, fences, then *releases* an
+/// atomic flag; consumer (block 1, thread 0) polls the flag atomically and
+/// reads the data. The fence scope is the race-injection knob: `Block` makes
+/// the data read a scoped-fence race (Figure 4's bug).
+fn message_passing_kernel(fence_scope: Scope) -> scord_isa::Program {
+    let mut k = KernelBuilder::new("msg", 3);
+    let data = k.ld_param(0);
+    let flag = k.ld_param(1);
+    let sink = k.ld_param(2);
+    let tid = k.special(SpecialReg::Tid);
+    let ctaid = k.special(SpecialReg::Ctaid);
+    let t0 = k.set_eq(tid, 0u32);
+    let b0 = k.set_eq(ctaid, 0u32);
+    let producer = k.logical_and(t0, b0);
+    let b1 = k.set_eq(ctaid, 1u32);
+    let consumer = k.logical_and(t0, b1);
+    k.if_then(producer, |k| {
+        k.st_global_strong(data, 0, 777u32);
+        k.fence(fence_scope);
+        k.atom_exch_noret(flag, 0, 1u32, Scope::Device);
+    });
+    k.if_then(consumer, |k| {
+        k.spin_until_eq_atomic(flag, 0, 1u32, Scope::Device);
+        let v = k.ld_global_strong(data, 0);
+        k.st_global_strong(sink, 0, v);
+    });
+    k.finish().unwrap()
+}
+
+fn run_message_passing(scope: Scope) -> (u32, usize) {
+    let mut gpu = gpu_detecting();
+    let data = gpu.mem_mut().alloc_words(1);
+    let flag = gpu.mem_mut().alloc_words(1);
+    let sink = gpu.mem_mut().alloc_words(1);
+    gpu.launch(
+        &message_passing_kernel(scope),
+        2,
+        32,
+        &[data.addr(), flag.addr(), sink.addr()],
+    )
+    .unwrap();
+    (
+        gpu.mem().read_word(sink.addr()),
+        gpu.races().unwrap().unique_count(),
+    )
+}
+
+#[test]
+fn device_fence_message_passing_is_race_free() {
+    let (value, races) = run_message_passing(Scope::Device);
+    assert_eq!(value, 777);
+    assert_eq!(races, 0);
+}
+
+#[test]
+fn block_fence_message_passing_is_a_scoped_race() {
+    // Figure 4's bug through the whole machine: the fence exists but its
+    // scope does not reach the consumer's block.
+    let (value, races) = run_message_passing(Scope::Block);
+    assert_eq!(value, 777, "function is coherent; only detection differs");
+    assert!(races >= 1, "scoped-fence race must be reported");
+}
+
+fn locked_increment_kernel(cfg: LockConfig) -> scord_isa::Program {
+    let mut k = KernelBuilder::new("lockinc", 2);
+    let lock = k.ld_param(0);
+    let ctr = k.ld_param(1);
+    k.critical_section(lock, 0, cfg, |k| {
+        let v = k.ld_global_strong(ctr, 0);
+        let v1 = k.add(v, 1u32);
+        k.st_global_strong(ctr, 0, v1);
+    });
+    k.finish().unwrap()
+}
+
+#[test]
+fn device_scoped_lock_increments_exactly() {
+    let mut gpu = gpu_detecting();
+    let lock = gpu.mem_mut().alloc_words(1);
+    let ctr = gpu.mem_mut().alloc_words(1);
+    let prog = locked_increment_kernel(LockConfig::device());
+    gpu.launch(&prog, 4, 8, &[lock.addr(), ctr.addr()]).unwrap();
+    assert_eq!(gpu.mem().read_word(ctr.addr()), 32, "4 blocks × 8 threads");
+    assert_eq!(
+        gpu.races().unwrap().unique_count(),
+        0,
+        "correct device lock: {:?}",
+        gpu.races().unwrap().records()
+    );
+}
+
+#[test]
+fn block_scoped_lock_across_blocks_is_detected() {
+    let mut gpu = gpu_detecting();
+    let lock = gpu.mem_mut().alloc_words(1);
+    let ctr = gpu.mem_mut().alloc_words(1);
+    let prog = locked_increment_kernel(LockConfig::block());
+    gpu.launch(&prog, 4, 8, &[lock.addr(), ctr.addr()]).unwrap();
+    let races = gpu.races().unwrap();
+    assert!(
+        races.unique_count() >= 1,
+        "block-scoped lock guarding cross-block data must race"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Timing sanity
+// ---------------------------------------------------------------------------
+
+/// A streaming kernel with re-use so L1 and detection interplay shows up.
+fn streaming_kernel() -> scord_isa::Program {
+    let mut k = KernelBuilder::new("stream", 2);
+    let a = k.ld_param(0);
+    let b = k.ld_param(1);
+    let g = k.global_tid();
+    let acc = k.mov(0u32);
+    // Each thread reads its word 8 times (L1 hits after the first).
+    k.for_range(0u32, 8u32, 1u32, |k, _| {
+        let aa = k.index_addr(a, g, 4);
+        let v = k.ld_global(aa, 0);
+        k.alu_into(acc, scord_isa::AluOp::Add, acc, v);
+    });
+    let ba = k.index_addr(b, g, 4);
+    k.st_global(ba, 0, acc);
+    k.finish().unwrap()
+}
+
+fn run_streaming(mode: DetectionMode) -> scord_sim::SimStats {
+    let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
+    let n = 64 * 128;
+    let a = gpu.mem_mut().alloc_words(n);
+    let b = gpu.mem_mut().alloc_words(n);
+    let data: Vec<u32> = (0..n).collect();
+    gpu.mem_mut().copy_in(a, &data);
+    let stats = gpu.launch(&streaming_kernel(), 64, 128, &[a.addr(), b.addr()]);
+    let stats = stats.unwrap();
+    let out = gpu.mem().copy_out(b);
+    for i in 0..n {
+        assert_eq!(out[i as usize], i * 8);
+    }
+    stats
+}
+
+#[test]
+fn detection_adds_overhead_and_metadata_traffic() {
+    let off = run_streaming(DetectionMode::Off);
+    let scord = run_streaming(DetectionMode::scord());
+    let base = run_streaming(DetectionMode::base_design());
+
+    assert!(off.l1_hits > 0, "re-reads hit in L1");
+    assert_eq!(off.dram.metadata(), 0);
+    assert!(scord.dram.metadata() > 0, "metadata traffic exists");
+    assert!(
+        scord.cycles >= off.cycles,
+        "detection cannot speed execution up: {} < {}",
+        scord.cycles,
+        off.cycles
+    );
+    assert!(
+        base.dram.metadata() >= scord.dram.metadata(),
+        "caching metadata reduces unique metadata traffic: base {} vs scord {}",
+        base.dram.metadata(),
+        scord.dram.metadata()
+    );
+    assert_eq!(off.unique_races, 0);
+    assert_eq!(scord.unique_races, 0, "streaming kernel is race-free");
+}
+
+#[test]
+fn timeout_watchdog_fires_on_infinite_spin() {
+    let mut k = KernelBuilder::new("hang", 1);
+    let flag = k.ld_param(0);
+    k.spin_until_eq(flag, 0, 1u32); // nobody ever sets it
+    let prog = k.finish().unwrap();
+    let mut gpu = gpu();
+    gpu.set_max_cycles(50_000);
+    let flag = gpu.mem_mut().alloc_words(1);
+    assert!(matches!(
+        gpu.launch(&prog, 1, 32, &[flag.addr()]),
+        Err(SimError::Timeout { .. })
+    ));
+}
+
+#[test]
+fn sequential_launches_accumulate_races_but_not_false_ones() {
+    // Kernel 1 writes, kernel 2 reads the same buffer: the launch boundary
+    // synchronizes, so no cross-kernel race may be reported.
+    let mut kw = KernelBuilder::new("w", 1);
+    let p = kw.ld_param(0);
+    let g = kw.global_tid();
+    let a = kw.index_addr(p, g, 4);
+    kw.st_global(a, 0, g);
+    let kw = kw.finish().unwrap();
+
+    let mut kr = KernelBuilder::new("r", 2);
+    let p = kr.ld_param(0);
+    let q = kr.ld_param(1);
+    let g = kr.global_tid();
+    let a = kr.index_addr(p, g, 4);
+    let v = kr.ld_global(a, 0);
+    let b = kr.index_addr(q, g, 4);
+    kr.st_global(b, 0, v);
+    let kr = kr.finish().unwrap();
+
+    let mut gpu = gpu_detecting();
+    let x = gpu.mem_mut().alloc_words(256);
+    let y = gpu.mem_mut().alloc_words(256);
+    gpu.launch(&kw, 2, 128, &[x.addr()]).unwrap();
+    gpu.launch(&kr, 2, 128, &[x.addr(), y.addr()]).unwrap();
+    assert_eq!(
+        gpu.races().unwrap().unique_count(),
+        0,
+        "kernel boundary synchronizes: {:?}",
+        gpu.races().unwrap().records()
+    );
+    assert_eq!(gpu.mem().read_word(y.word_addr(200)), 200);
+}

@@ -1,0 +1,97 @@
+//! Race-knob calibration sweep: runs every combination of each
+//! application's race-injection knobs under the base (4-byte) detector and
+//! prints the unique `(pc, kind)` races observed.
+//!
+//! The canonical racey configurations (`App::racey()`) and the budgets in
+//! `expected_races()` were calibrated from this sweep at the default sizes;
+//! rerun it after changing an application's kernel or the simulator's
+//! timing parameters.
+//!
+//! ```text
+//! cargo run --release -p scor-suite --example knob_sweep
+//! ```
+
+use scor_suite::apps::*;
+use scor_suite::Benchmark;
+use scord_sim::{DetectionMode, Gpu, GpuConfig};
+
+fn measure(b: &dyn Benchmark) {
+    let mut gpu =
+        Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+    gpu.set_max_cycles(50_000_000);
+    match b.run(&mut gpu) {
+        Ok(_) => {
+            let log = gpu.races().expect("detection on");
+            let mut u: Vec<_> = log.unique_races().collect();
+            u.sort_by_key(|(pc, k)| (*pc, format!("{k}")));
+            println!("  -> {} {u:?}", log.unique_count());
+        }
+        Err(e) => println!("  -> ERROR {e}"),
+    }
+}
+
+fn main() {
+    for bits in 0..8u32 {
+        let races = MatMulRaces {
+            block_scope_element_lock: bits & 1 != 0,
+            block_scope_checksum_lock: bits & 2 != 0,
+            unlocked_fast_path: bits & 4 != 0,
+        };
+        print!("MM {bits:03b}:");
+        measure(&MatMul { races, ..MatMul::default() });
+    }
+    for bits in 0..4u32 {
+        let races = ReductionRaces {
+            block_scope_result_fence: bits & 1 != 0,
+            block_scope_done_counter: bits & 2 != 0,
+        };
+        print!("RED {bits:02b}:");
+        measure(&Reduction { races, ..Reduction::default() });
+    }
+    for bits in 0..4u32 {
+        let races = Rule110Races {
+            block_scope_edge_fence: bits & 1 != 0,
+            block_scope_generation_flag: bits & 2 != 0,
+        };
+        print!("R110 {bits:02b}:");
+        measure(&Rule110 { races, ..Rule110::default() });
+    }
+    for bits in 0..32u32 {
+        let races = GraphColoringRaces {
+            block_scope_own_head: bits & 1 != 0,
+            block_scope_steal: bits & 2 != 0,
+            weak_head_scan: bits & 4 != 0,
+            block_scope_color_fence: bits & 8 != 0,
+            block_scope_generation_flag: bits & 16 != 0,
+        };
+        print!("GCOL {bits:05b}:");
+        measure(&GraphColoring { races, ..GraphColoring::default() });
+    }
+    for bits in 0..32u32 {
+        let races = GraphConnectivityRaces {
+            block_scope_own_head: bits & 1 != 0,
+            block_scope_steal: bits & 2 != 0,
+            block_scope_min: bits & 4 != 0,
+            weak_label_read: bits & 8 != 0,
+            block_scope_generation_flag: bits & 16 != 0,
+        };
+        print!("GCON {bits:05b}:");
+        measure(&GraphConnectivity { races, ..GraphConnectivity::default() });
+    }
+    for bits in 0..2u32 {
+        let races = ConvolutionRaces {
+            block_scope_boundary: bits & 1 != 0,
+        };
+        print!("1DC {bits:01b}:");
+        measure(&Convolution1D { races, ..Convolution1D::default() });
+    }
+    for bits in 0..8u32 {
+        let races = UtsRaces {
+            block_scope_global_lock: bits & 1 != 0,
+            block_scope_active_counter: bits & 2 != 0,
+            block_scope_result_adds: bits & 4 != 0,
+        };
+        print!("UTS {bits:03b}:");
+        measure(&Uts { races, ..Uts::default() });
+    }
+}

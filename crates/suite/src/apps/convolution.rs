@@ -1,0 +1,216 @@
+//! 1-D Convolution (1DC, Table II).
+//!
+//! Each thread performs the computation for one input element and *scatters*
+//! its contributions into the output with atomics. An output element near a
+//! block boundary receives contributions from threads of neighbouring blocks
+//! and therefore needs **device**-scoped atomics; interior elements are only
+//! updated from within one block, where **block** scope suffices — the
+//! scope-selection optimization the paper describes. The single injectable
+//! race uses block scope at the boundary too (1 unique scoped-atomic race).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use scord_isa::{KernelBuilder, Program, Scope};
+use scord_sim::{Gpu, SimError};
+
+use crate::{AppRun, Benchmark};
+
+/// Race-injection knobs for 1DC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvolutionRaces {
+    /// Use block scope for boundary-element atomics (the 1 unique race).
+    pub block_scope_boundary: bool,
+}
+
+/// The 1-D convolution benchmark.
+#[derive(Debug, Clone)]
+pub struct Convolution1D {
+    /// Input length (paper: 1M; scaled default: 8192).
+    pub elements: u32,
+    /// Filter taps (paper: 9 elements).
+    pub filter: Vec<i32>,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Race knobs.
+    pub races: ConvolutionRaces,
+    /// Input-generation seed.
+    pub seed: u64,
+}
+
+impl Default for Convolution1D {
+    fn default() -> Self {
+        Convolution1D {
+            elements: 8192,
+            filter: vec![1, -2, 3, -4, 5, -4, 3, -2, 1],
+            threads_per_block: 128,
+            races: ConvolutionRaces::default(),
+            seed: 0x1dc0,
+        }
+    }
+}
+
+impl Convolution1D {
+    /// The canonical racey configuration (1 unique race).
+    #[must_use]
+    pub fn racey() -> Self {
+        Convolution1D {
+            races: ConvolutionRaces {
+                block_scope_boundary: true,
+            },
+            ..Self::default()
+        }
+    }
+
+    fn build_kernel(&self) -> Program {
+        let taps = self.filter.len() as u32;
+        let half = taps / 2;
+        let mut k = KernelBuilder::new("conv1d", 4);
+        let input = k.ld_param(0);
+        let output = k.ld_param(1);
+        let filter = k.ld_param(2);
+        let n = k.ld_param(3);
+        let t = k.global_tid();
+        let in_range = k.set_lt(t, n);
+        let tpb = self.threads_per_block;
+        let boundary_scope = if self.races.block_scope_boundary {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        k.if_then(in_range, |k| {
+            let ia = k.index_addr(input, t, 4);
+            let x = k.ld_global(ia, 0);
+            k.for_range(0u32, taps, 1u32, |k, j| {
+                // idx = t + j - half
+                let tj = k.add(t, j);
+                let idx = k.sub(tj, half);
+                let ge = k.set_ge(idx, 0u32);
+                let lt = k.set_lt(idx, n);
+                let ok = k.logical_and(ge, lt);
+                k.if_then(ok, |k| {
+                    let fa = k.index_addr(filter, j, 4);
+                    let f = k.ld_global(fa, 0);
+                    let v = k.mul(x, f);
+                    let oa = k.index_addr(output, idx, 4);
+                    // Boundary if idx is within `half` of a block edge.
+                    let m = k.rem(idx, tpb);
+                    let low = k.set_lt(m, half as i32);
+                    let hi = k.set_ge(m, (tpb - half) as i32);
+                    let b = k.logical_or(low, hi);
+                    k.if_else(
+                        b,
+                        |k| k.atom_add_noret(oa, 0, v, boundary_scope),
+                        |k| k.atom_add_noret(oa, 0, v, Scope::Block),
+                    );
+                });
+            });
+        });
+        k.finish().expect("conv1d kernel is well-formed")
+    }
+
+    fn inputs(&self) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.elements).map(|_| rng.random_range(0..64)).collect()
+    }
+
+    /// CPU reference (same scatter formulation, wrapping arithmetic).
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let n = self.elements as usize;
+        let half = self.filter.len() / 2;
+        let mut out = vec![0u32; n];
+        for (t, &x) in input.iter().enumerate() {
+            for (j, &f) in self.filter.iter().enumerate() {
+                let idx = t as i64 + j as i64 - half as i64;
+                if idx >= 0 && (idx as usize) < n {
+                    out[idx as usize] =
+                        out[idx as usize].wrapping_add(x.wrapping_mul(f as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn grid(&self) -> u32 {
+        self.elements.div_ceil(self.threads_per_block)
+    }
+}
+
+impl Benchmark for Convolution1D {
+    fn name(&self) -> &'static str {
+        "1DC"
+    }
+
+    fn description(&self) -> &'static str {
+        "1-D convolution scattering with block/device-scoped atomics by boundary"
+    }
+
+    fn expected_races(&self) -> usize {
+        usize::from(self.races.block_scope_boundary)
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError> {
+        let program = self.build_kernel();
+        let input = self.inputs();
+        let inbuf = gpu.mem_mut().alloc_words(self.elements);
+        let outbuf = gpu.mem_mut().alloc_words(self.elements);
+        let fbuf = gpu.mem_mut().alloc_words(self.filter.len() as u32);
+        gpu.mem_mut().copy_in(inbuf, &input);
+        let taps: Vec<u32> = self.filter.iter().map(|&f| f as u32).collect();
+        gpu.mem_mut().copy_in(fbuf, &taps);
+        gpu.mem_mut().fill(outbuf, 0);
+
+        let stats = gpu.launch(
+            &program,
+            self.grid(),
+            self.threads_per_block,
+            &[inbuf.addr(), outbuf.addr(), fbuf.addr(), self.elements],
+        )?;
+
+        // Atomics keep the scatter functionally exact even in the racey
+        // configuration, so 1DC can always validate.
+        let got = gpu.mem().copy_out(outbuf);
+        let valid = got == self.reference(&input);
+        Ok(AppRun::new(stats, 1, Some(valid)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_sim::{DetectionMode, GpuConfig};
+
+    fn small() -> Convolution1D {
+        Convolution1D {
+            elements: 1024,
+            ..Convolution1D::default()
+        }
+    }
+
+    #[test]
+    fn correct_config_validates_and_is_race_free() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let run = small().run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true));
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            0,
+            "{:?}",
+            gpu.races().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn racey_config_produces_exactly_one_scoped_atomic_race() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+        let app = Convolution1D {
+            elements: 1024,
+            ..Convolution1D::racey()
+        };
+        let run = app.run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true), "atomics stay functional");
+        assert_eq!(gpu.races().unwrap().unique_count(), app.expected_races());
+    }
+}

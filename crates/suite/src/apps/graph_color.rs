@@ -1,0 +1,483 @@
+//! Graph Coloring (GCOL, Table II).
+//!
+//! Round-based Jones–Plassmann-style colouring: in each round every vertex
+//! whose higher-id neighbours are all coloured picks the smallest colour not
+//! used by its neighbours. Vertices are distributed among blocks and
+//! processed through the paper's **work-stealing** scheme (Figure 3): a
+//! block's leader takes batches from its own partition's `nextHead` with an
+//! atomic add, and when the partition runs dry it scans other partitions and
+//! steals a batch with a device-scoped atomic. Rounds are separated by a
+//! generation-flag grid synchronization, with each warp publishing its
+//! colour stores with a device fence first.
+//!
+//! Race knobs cover every scoped operation; the canonical racey
+//! configuration yields the paper's 6 unique races (see
+//! [`GraphColoring::racey`]).
+
+use scord_isa::{AluOp, KernelBuilder, Program, Reg, Scope, SpecialReg};
+use scord_sim::{Gpu, SimError};
+
+use crate::common::{grid_sync, GridSyncScopes};
+use crate::graphgen::{is_proper_coloring, rmat, CsrGraph};
+use crate::{AppRun, Benchmark};
+
+/// Race-injection knobs for GCOL.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphColoringRaces {
+    /// `atomicAdd_block` on the block's own `nextHead` (Figure 3b's bug).
+    pub block_scope_own_head: bool,
+    /// Block scope on the *stealing* `atomicAdd`.
+    pub block_scope_steal: bool,
+    /// Scan other partitions' heads with a weak load instead of an atomic
+    /// read.
+    pub weak_head_scan: bool,
+    /// Publish colour stores with a block-scope fence.
+    pub block_scope_color_fence: bool,
+    /// Raise the generation flag with a block-scoped `atomicExch`.
+    pub block_scope_generation_flag: bool,
+}
+
+/// The graph-colouring benchmark.
+#[derive(Debug, Clone)]
+pub struct GraphColoring {
+    /// Vertices (paper: 30K; scaled default: 1024).
+    pub vertices: u32,
+    /// Undirected edges to generate (paper: 50K; scaled default: 2048).
+    pub edges: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Grid blocks (all must be resident for the grid sync).
+    pub blocks: u32,
+    /// Race knobs.
+    pub races: GraphColoringRaces,
+    /// Graph seed.
+    pub seed: u64,
+}
+
+impl Default for GraphColoring {
+    fn default() -> Self {
+        GraphColoring {
+            vertices: 1024,
+            edges: 2048,
+            threads_per_block: 64,
+            blocks: 8,
+            races: GraphColoringRaces::default(),
+            seed: 0x6c01,
+        }
+    }
+}
+
+impl GraphColoring {
+    /// The canonical racey configuration (6 unique races; per-knob
+    /// contributions are calibrated by the tests below).
+    #[must_use]
+    pub fn racey() -> Self {
+        GraphColoring {
+            races: GraphColoringRaces {
+                block_scope_own_head: true,
+                block_scope_steal: true,
+                weak_head_scan: true,
+                block_scope_color_fence: false,
+                block_scope_generation_flag: false,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// CPU reference: the same round-based algorithm; returns the colours
+    /// and the number of rounds needed (the GPU kernel runs exactly this
+    /// many rounds).
+    #[must_use]
+    pub fn reference(&self, g: &CsrGraph) -> (Vec<u32>, u32) {
+        let n = g.num_vertices();
+        let mut colors = vec![0u32; n];
+        let mut rounds = 0u32;
+        while colors.contains(&0) {
+            rounds += 1;
+            assert!(rounds <= n as u32 + 1, "colouring must converge");
+            let snapshot = colors.clone();
+            for v in 0..n {
+                if snapshot[v] != 0 {
+                    continue;
+                }
+                let ready = g
+                    .neighbors(v)
+                    .iter()
+                    .all(|&w| (w as usize) < v || snapshot[w as usize] != 0);
+                if !ready {
+                    continue;
+                }
+                let mut c = 1u32;
+                loop {
+                    if g.neighbors(v).iter().all(|&w| snapshot[w as usize] != c) {
+                        break;
+                    }
+                    c += 1;
+                }
+                colors[v] = c;
+            }
+        }
+        (colors, rounds)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build_kernel(&self, rounds: u32) -> Program {
+        let r = &self.races;
+        let own_scope = if r.block_scope_own_head {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        let steal_scope = if r.block_scope_steal {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        let color_fence = if r.block_scope_color_fence {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        let weak_scan = r.weak_head_scan;
+        let sync_scopes = GridSyncScopes {
+            exch: if r.block_scope_generation_flag {
+                Scope::Block
+            } else {
+                Scope::Device
+            },
+            ..GridSyncScopes::device()
+        };
+
+        // params: row_ptr, col_idx, colors_a, colors_b,
+        //         next_head (rounds×blocks), pend, gen
+        let mut k = KernelBuilder::new("gcol", 7);
+        let row_ptr = k.ld_param(0);
+        let col_idx = k.ld_param(1);
+        let colors_a = k.ld_param(2);
+        let colors_b = k.ld_param(3);
+        let next_head = k.ld_param(4);
+        let pend = k.ld_param(5);
+        let gen = k.ld_param(6);
+        let mailbox = k.alloc_shared(8); // [victim+1, batch start]
+
+        let tid = k.special(SpecialReg::Tid);
+        let ntid = k.special(SpecialReg::Ntid);
+        let ctaid = k.special(SpecialReg::Ctaid);
+        let nblocks = k.special(SpecialReg::Nctaid);
+        let leader = k.set_eq(tid, 0u32);
+        let shbase = k.mov(mailbox);
+        let round = k.mov(1u32);
+
+        k.for_range(0u32, rounds, 1u32, |k, rr| {
+            // Double buffer: read colours from prev, write them to next, so
+            // same-round stores never conflict with same-round reads.
+            let parity = k.rem(rr, 2u32);
+            let even = k.set_eq(parity, 0u32);
+            let prev = k.select(even, colors_a, colors_b);
+            let next = k.select(even, colors_b, colors_a);
+            let nh_base = k.mul(rr, nblocks); // this round's next_head row
+            let exhausted = k.mov(0u32);
+            k.while_loop(
+                |k| k.set_eq(exhausted, 0u32),
+                |k| {
+                    // --- leader: getWork (Figure 3a) ---------------------
+                    k.if_then(leader, |k| {
+                        let victim = k.mov(0u32); // 0 = none, else block+1
+                        let batch = k.mov(0u32);
+                        // Own partition first.
+                        let own_idx = k.add(nh_base, ctaid);
+                        let own_nh = k.index_addr(next_head, own_idx, 4);
+                        let curr = k.atom_add(own_nh, 0, ntid, own_scope);
+                        let own_end_a = k.index_addr(pend, ctaid, 4);
+                        let own_end = k.ld_global(own_end_a, 0);
+                        let got = k.set_lt(curr, own_end);
+                        k.if_else(
+                            got,
+                            |k| {
+                                let c1 = k.add(ctaid, 1u32);
+                                k.mov_into(victim, c1);
+                                k.mov_into(batch, curr);
+                            },
+                            |k| {
+                                // Steal: scan partitions for leftover work.
+                                let vb = k.mov(0u32);
+                                k.while_loop(
+                                    |k| {
+                                        let more = k.set_lt(vb, nblocks);
+                                        let none = k.set_eq(victim, 0u32);
+                                        k.logical_and(more, none)
+                                    },
+                                    |k| {
+                                        let idx = k.add(nh_base, vb);
+                                        let nh = k.index_addr(next_head, idx, 4);
+                                        let head = if weak_scan {
+                                            k.ld_global(nh, 0)
+                                        } else {
+                                            k.atom_read(nh, 0, Scope::Device)
+                                        };
+                                        let ea = k.index_addr(pend, vb, 4);
+                                        let end = k.ld_global(ea, 0);
+                                        let avail = k.set_lt(head, end);
+                                        k.if_then(avail, |k| {
+                                            let got2 =
+                                                k.atom_add(nh, 0, ntid, steal_scope);
+                                            let ok = k.set_lt(got2, end);
+                                            k.if_then(ok, |k| {
+                                                let v1 = k.add(vb, 1u32);
+                                                k.mov_into(victim, v1);
+                                                k.mov_into(batch, got2);
+                                            });
+                                        });
+                                        k.alu_into(vb, AluOp::Add, vb, 1u32);
+                                    },
+                                );
+                            },
+                        );
+                        k.st_shared(shbase, 0, victim);
+                        k.st_shared(shbase, 4, batch);
+                    });
+                    k.bar();
+                    let victim = k.ld_shared(shbase, 0);
+                    let batch = k.ld_shared(shbase, 4);
+                    k.bar();
+                    let none = k.set_eq(victim, 0u32);
+                    k.if_else(
+                        none,
+                        |k| k.mov_into(exhausted, 1u32),
+                        |k| {
+                            let vb = k.sub(victim, 1u32);
+                            let v = k.add(batch, tid);
+                            let ea = k.index_addr(pend, vb, 4);
+                            let end = k.ld_global(ea, 0);
+                            let below = k.set_lt(v, end);
+                            k.if_then(below, |k| {
+                                Self::emit_process_vertex(k, row_ptr, col_idx, prev, next, v);
+                            });
+                        },
+                    );
+                },
+            );
+            // Publish this round's colour stores, then synchronize.
+            k.fence(color_fence);
+            grid_sync(k, gen, round, sync_scopes);
+            k.alu_into(round, AluOp::Add, round, 1u32);
+        });
+        k.finish().expect("gcol kernel is well-formed")
+    }
+
+    /// Process vertex `v`: read the previous round's colours, write this
+    /// round's colour (or carry the old one forward) into `next`.
+    fn emit_process_vertex(
+        k: &mut KernelBuilder,
+        row_ptr: Reg,
+        col_idx: Reg,
+        prev: Reg,
+        next: Reg,
+        v: Reg,
+    ) {
+        let pa = k.index_addr(prev, v, 4);
+        let cv = k.ld_global_strong(pa, 0);
+        let out = k.mov(cv);
+        let uncolored = k.set_eq(cv, 0u32);
+        k.if_then(uncolored, |k| {
+            let ra = k.index_addr(row_ptr, v, 4);
+            let lo = k.ld_global(ra, 0);
+            let hi = k.ld_global(ra, 4);
+            // ready = every neighbour w > v was coloured as of last round
+            let ready = k.mov(1u32);
+            k.for_range(lo, hi, 1u32, |k, j| {
+                let wa = k.index_addr(col_idx, j, 4);
+                let w = k.ld_global(wa, 0);
+                let higher = k.alu(AluOp::SetGt, w, v);
+                k.if_then(higher, |k| {
+                    let nca = k.index_addr(prev, w, 4);
+                    let cw = k.ld_global_strong(nca, 0);
+                    let colored = k.set_ne(cw, 0u32);
+                    k.alu_into(ready, AluOp::And, ready, colored);
+                });
+            });
+            k.if_then(ready, |k| {
+                // Smallest colour not used by any neighbour (last round).
+                let c = k.mov(1u32);
+                let settled = k.mov(0u32);
+                k.while_loop(
+                    |k| k.set_eq(settled, 0u32),
+                    |k| {
+                        let conflict = k.mov(0u32);
+                        k.for_range(lo, hi, 1u32, |k, j| {
+                            let wa = k.index_addr(col_idx, j, 4);
+                            let w = k.ld_global(wa, 0);
+                            let nca = k.index_addr(prev, w, 4);
+                            let cw = k.ld_global_strong(nca, 0);
+                            let same = k.set_eq(cw, c);
+                            k.alu_into(conflict, AluOp::Or, conflict, same);
+                        });
+                        k.if_else(
+                            conflict,
+                            |k| k.alu_into(c, AluOp::Add, c, 1u32),
+                            |k| k.mov_into(settled, 1u32),
+                        );
+                    },
+                );
+                k.mov_into(out, c);
+            });
+        });
+        let na = k.index_addr(next, v, 4);
+        k.st_global_strong(na, 0, out);
+    }
+
+    /// Deliberately imbalanced partitions (block 0 owns half the vertices)
+    /// so work stealing actually happens, as the paper's Figure 2 motivates.
+    fn partition_bounds(&self) -> (Vec<u32>, Vec<u32>) {
+        let half = self.vertices / 2;
+        let rest = self.vertices - half;
+        let per = rest / (self.blocks - 1).max(1);
+        let mut starts = vec![0u32];
+        let mut ends = vec![half];
+        for b in 1..self.blocks {
+            starts.push(ends[b as usize - 1]);
+            let end = if b == self.blocks - 1 {
+                self.vertices
+            } else {
+                half + b * per
+            };
+            ends.push(end);
+        }
+        (starts, ends)
+    }
+}
+
+impl Benchmark for GraphColoring {
+    fn name(&self) -> &'static str {
+        "GCOL"
+    }
+
+    fn description(&self) -> &'static str {
+        "Jones-Plassmann colouring with Figure-3 work stealing over vertex partitions"
+    }
+
+    fn expected_races(&self) -> usize {
+        // The knobs interact at shared instructions (the three static
+        // atomics on `nextHead` observe each other), so only the calibrated
+        // configurations carry exact budgets: the canonical racey config
+        // (6) and the all-correct config (0). See the knob-sweep tests.
+        let r = &self.races;
+        if *r == Self::racey().races {
+            6
+        } else if *r == GraphColoringRaces::default() {
+            0
+        } else {
+            // Conservative lower bound for ad-hoc configurations.
+            usize::from(
+                r.block_scope_own_head
+                    || r.block_scope_steal
+                    || r.weak_head_scan
+                    || r.block_scope_color_fence
+                    || r.block_scope_generation_flag,
+            )
+        }
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError> {
+        let g = rmat(self.vertices as usize, self.edges as usize, self.seed);
+        let (reference, rounds) = self.reference(&g);
+        let program = self.build_kernel(rounds);
+
+        let row_ptr = gpu.mem_mut().alloc_words(self.vertices + 1);
+        let col_idx = gpu.mem_mut().alloc_words(g.num_edges().max(1) as u32);
+        let colors_a = gpu.mem_mut().alloc_words(self.vertices);
+        let colors_b = gpu.mem_mut().alloc_words(self.vertices);
+        let next_head = gpu.mem_mut().alloc_words(rounds * self.blocks);
+        let pend = gpu.mem_mut().alloc_words(self.blocks);
+        let gen = gpu.mem_mut().alloc_words(self.blocks);
+
+        gpu.mem_mut().copy_in(row_ptr, &g.row_ptr);
+        gpu.mem_mut().copy_in(col_idx, &g.col_idx);
+        gpu.mem_mut().fill(colors_a, 0);
+        gpu.mem_mut().fill(colors_b, 0);
+        gpu.mem_mut().fill(gen, 0);
+        let (starts, ends) = self.partition_bounds();
+        gpu.mem_mut().copy_in(pend, &ends);
+        let nh: Vec<u32> = (0..rounds).flat_map(|_| starts.iter().copied()).collect();
+        gpu.mem_mut().copy_in(next_head, &nh);
+
+        let stats = gpu.launch(
+            &program,
+            self.blocks,
+            self.threads_per_block,
+            &[
+                row_ptr.addr(),
+                col_idx.addr(),
+                colors_a.addr(),
+                colors_b.addr(),
+                next_head.addr(),
+                pend.addr(),
+                gen.addr(),
+            ],
+        )?;
+
+        let output_valid = if self.expected_races() == 0 {
+            let final_buf = if rounds % 2 == 0 { colors_a } else { colors_b };
+            let got = gpu.mem().copy_out(final_buf);
+            Some(got == reference && is_proper_coloring(&g, &got))
+        } else {
+            None
+        };
+        Ok(AppRun::new(stats, 1, output_valid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_sim::{DetectionMode, GpuConfig};
+
+    fn small() -> GraphColoring {
+        GraphColoring {
+            vertices: 256,
+            edges: 512,
+            blocks: 4,
+            threads_per_block: 32,
+            ..GraphColoring::default()
+        }
+    }
+
+    #[test]
+    fn correct_config_validates_and_is_race_free() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let run = small().run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true));
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            0,
+            "{:?}",
+            gpu.races().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn reference_produces_proper_coloring() {
+        let app = small();
+        let g = rmat(app.vertices as usize, app.edges as usize, app.seed);
+        let (colors, rounds) = app.reference(&g);
+        assert!(is_proper_coloring(&g, &colors));
+        assert!(rounds >= 1);
+    }
+
+    #[test]
+    fn racey_config_produces_six_unique_races() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+        // Race budgets are calibrated at the default sizes.
+        let app = GraphColoring::racey();
+        app.run(&mut gpu).unwrap();
+        let mut u: Vec<_> = gpu.races().unwrap().unique_races().collect();
+        u.sort_by_key(|(pc, k)| (*pc, format!("{k}")));
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            app.expected_races(),
+            "{u:?}"
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Matrix Multiplication (MM, Table II).
+//!
+//! `C = A · B` with the K dimension split across blocks: each block computes
+//! partial dot products over its K-slice and accumulates them into the
+//! shared `C` under **device-scoped per-element locks** (the Figure 5
+//! acquire/release pattern). A second device lock protects a global
+//! work counter used as a cross-block checksum.
+//!
+//! Injectable races (4 in the canonical configuration, calibrated at the
+//! default sizes on the deterministic simulator):
+//! * the checksum lock at block scope — the lock word races at its CAS and
+//!   its Exch (2 unique scoped-atomic races);
+//! * the *fast-path* bug: odd K-slices update `C` with a fence but **no
+//!   lock** — the classic lockset violation (missing common lock on the
+//!   locked reader's load and on the unlocked store, 2 unique races).
+//!
+//! A third knob narrows the per-element lock to block scope (1 more
+//! scoped-atomic race), exercised by its own tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use scord_isa::{AluOp, KernelBuilder, LockConfig, Program, Scope, SpecialReg};
+use scord_sim::{Gpu, SimError};
+
+use crate::{AppRun, Benchmark};
+
+/// Race-injection knobs for MM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatMulRaces {
+    /// Narrow the per-element lock to block scope (1 race at default
+    /// sizes).
+    pub block_scope_element_lock: bool,
+    /// Narrow the checksum lock to block scope (2 races: CAS and Exch).
+    pub block_scope_checksum_lock: bool,
+    /// Odd slices skip the element lock (fence-only fast path): 2 lockset
+    /// races.
+    pub unlocked_fast_path: bool,
+}
+
+/// The matrix-multiplication benchmark.
+#[derive(Debug, Clone)]
+pub struct MatMul {
+    /// Rows of `A` / `C` (paper: 800).
+    pub m: u32,
+    /// Columns of `A` / rows of `B` (paper: 500).
+    pub k: u32,
+    /// Columns of `B` / `C` (paper: 30).
+    pub n: u32,
+    /// K-dimension slices (each handled by a different set of blocks).
+    pub k_slices: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Race knobs.
+    pub races: MatMulRaces,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for MatMul {
+    fn default() -> Self {
+        MatMul {
+            m: 48,
+            k: 64,
+            n: 24,
+            k_slices: 4,
+            threads_per_block: 128,
+            races: MatMulRaces::default(),
+            seed: 0x3a73,
+        }
+    }
+}
+
+impl MatMul {
+    /// The canonical racey configuration (4 unique races).
+    #[must_use]
+    pub fn racey() -> Self {
+        MatMul {
+            races: MatMulRaces {
+                block_scope_element_lock: false,
+                block_scope_checksum_lock: true,
+                unlocked_fast_path: true,
+            },
+            ..Self::default()
+        }
+    }
+
+    fn elems(&self) -> u32 {
+        self.m * self.n
+    }
+
+    /// Blocks covering the element space, per K-slice.
+    fn blocks_per_slice(&self) -> u32 {
+        self.elems().div_ceil(self.threads_per_block)
+    }
+
+    fn grid(&self) -> u32 {
+        self.blocks_per_slice() * self.k_slices
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build_kernel(&self) -> Program {
+        // The race knobs narrow the whole lock operation (CAS and Exch) to
+        // block scope while keeping the fences at device scope — Figure 5's
+        // searchTree bug applied to a lock other threadblocks contend on.
+        let elem_lock_cfg = if self.races.block_scope_element_lock {
+            LockConfig {
+                cas_scope: Scope::Block,
+                exch_scope: Scope::Block,
+                ..LockConfig::device()
+            }
+        } else {
+            LockConfig::device()
+        };
+        let sum_lock_cfg = if self.races.block_scope_checksum_lock {
+            LockConfig {
+                cas_scope: Scope::Block,
+                exch_scope: Scope::Block,
+                ..LockConfig::device()
+            }
+        } else {
+            LockConfig::device()
+        };
+        let fast_path = self.races.unlocked_fast_path;
+        let (m, k_dim, n) = (self.m, self.k, self.n);
+        let bps = self.blocks_per_slice();
+        let slice_len = k_dim.div_ceil(self.k_slices);
+
+        // params: A, B, C, locks (one per C element), sumlock, checksum,
+        //         block_acc (one per block)
+        let mut kb = KernelBuilder::new("matmul", 7);
+        let a = kb.ld_param(0);
+        let b = kb.ld_param(1);
+        let c = kb.ld_param(2);
+        let locks = kb.ld_param(3);
+        let sumlock = kb.ld_param(4);
+        let checksum = kb.ld_param(5);
+        let block_acc = kb.ld_param(6);
+
+        let tid = kb.special(SpecialReg::Tid);
+        let ctaid = kb.special(SpecialReg::Ctaid);
+        // Decompose block id: slice = ctaid / bps, tile = ctaid % bps.
+        let slice = kb.div(ctaid, bps);
+        let tile = kb.rem(ctaid, bps);
+        let ntid = kb.special(SpecialReg::Ntid);
+        let base = kb.mul(tile, ntid);
+        let e = kb.add(base, tid); // my C element
+        let in_range = kb.set_lt(e, m * n);
+        kb.if_then(in_range, |kb| {
+            let row = kb.div(e, n);
+            let col = kb.rem(e, n);
+            // partial = Σ_{kk in slice} A[row, kk] * B[kk, col]
+            let k_lo = kb.mul(slice, slice_len);
+            let k_hi0 = kb.add(k_lo, slice_len);
+            let k_hi = kb.min(k_hi0, k_dim);
+            let partial = kb.mov(0u32);
+            let row_base = kb.mul(row, k_dim);
+            kb.for_range(k_lo, k_hi, 1u32, |kb, kk| {
+                let ai = kb.add(row_base, kk);
+                let aa = kb.index_addr(a, ai, 4);
+                let av = kb.ld_global(aa, 0);
+                let bi0 = kb.mul(kk, n);
+                let bi = kb.add(bi0, col);
+                let ba = kb.index_addr(b, bi, 4);
+                let bv = kb.ld_global(ba, 0);
+                let prod = kb.mul(av, bv);
+                kb.alu_into(partial, AluOp::Add, partial, prod);
+            });
+            // Accumulate into C[e] under the per-element lock — or, with the
+            // fast-path bug enabled, odd slices skip the lock and only
+            // fence.
+            let la = kb.index_addr(locks, e, 4);
+            let ca = kb.index_addr(c, e, 4);
+            let use_fast = if fast_path {
+                let parity = kb.rem(slice, 2u32);
+                kb.set_eq(parity, 1u32)
+            } else {
+                kb.mov(0u32)
+            };
+            kb.if_else(
+                use_fast,
+                |kb| {
+                    // The bug: a store-only "accumulate" with a fence but no
+                    // lock — overwrites concurrent slices' contributions.
+                    kb.st_global_strong(ca, 0, partial);
+                    kb.fence(Scope::Device);
+                },
+                |kb| {
+                    kb.critical_section(la, 0, elem_lock_cfg, |kb| {
+                        let v = kb.ld_global_strong(ca, 0);
+                        let v1 = kb.add(v, partial);
+                        kb.st_global_strong(ca, 0, v1);
+                    });
+                },
+            );
+            // Per-block partial aggregation (correct device atomics), then
+            // the block leader folds it into the global checksum under the
+            // checksum lock.
+            let ba = kb.index_addr(block_acc, ctaid, 4);
+            kb.atom_add_noret(ba, 0, partial, Scope::Device);
+        });
+        kb.bar();
+        let leader = kb.set_eq(tid, 0u32);
+        kb.if_then(leader, |kb| {
+            let ba = kb.index_addr(block_acc, ctaid, 4);
+            let mine = kb.atom_add(ba, 0, 0u32, Scope::Device);
+            kb.critical_section(sumlock, 0, sum_lock_cfg, |kb| {
+                let v = kb.ld_global_strong(checksum, 0);
+                let v1 = kb.add(v, mine);
+                kb.st_global_strong(checksum, 0, v1);
+            });
+        });
+        kb.finish().expect("matmul kernel is well-formed")
+    }
+
+    fn inputs(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let a = (0..self.m * self.k).map(|_| rng.random_range(0..32)).collect();
+        let b = (0..self.k * self.n).map(|_| rng.random_range(0..32)).collect();
+        (a, b)
+    }
+
+    fn reference(&self, a: &[u32], b: &[u32]) -> (Vec<u32>, u32) {
+        let (m, k, n) = (self.m as usize, self.k as usize, self.n as usize);
+        let mut c = vec![0u32; m * n];
+        let mut checksum = 0u32;
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0u32;
+                for kk in 0..k {
+                    s = s.wrapping_add(a[i * k + kk].wrapping_mul(b[kk * n + j]));
+                }
+                c[i * n + j] = s;
+                checksum = checksum.wrapping_add(s);
+            }
+        }
+        (c, checksum)
+    }
+}
+
+impl Benchmark for MatMul {
+    fn name(&self) -> &'static str {
+        "MM"
+    }
+
+    fn description(&self) -> &'static str {
+        "matrix multiply with K-sliced blocks accumulating into C under scoped locks"
+    }
+
+    fn expected_races(&self) -> usize {
+        // Calibrated at the default sizes (see the knob-sweep tests).
+        usize::from(self.races.block_scope_element_lock)
+            + 2 * usize::from(self.races.block_scope_checksum_lock)
+            + 2 * usize::from(self.races.unlocked_fast_path)
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError> {
+        let program = self.build_kernel();
+        let (av, bv) = self.inputs();
+        let a = gpu.mem_mut().alloc_words(self.m * self.k);
+        let b = gpu.mem_mut().alloc_words(self.k * self.n);
+        let c = gpu.mem_mut().alloc_words(self.elems());
+        let locks = gpu.mem_mut().alloc_words(self.elems());
+        let sumlock = gpu.mem_mut().alloc_words(1);
+        let checksum = gpu.mem_mut().alloc_words(1);
+        let block_acc = gpu.mem_mut().alloc_words(self.grid());
+        gpu.mem_mut().copy_in(a, &av);
+        gpu.mem_mut().copy_in(b, &bv);
+        for buf in [c, locks, sumlock, checksum, block_acc] {
+            gpu.mem_mut().fill(buf, 0);
+        }
+
+        let stats = gpu.launch(
+            &program,
+            self.grid(),
+            self.threads_per_block,
+            &[
+                a.addr(),
+                b.addr(),
+                c.addr(),
+                locks.addr(),
+                sumlock.addr(),
+                checksum.addr(),
+                block_acc.addr(),
+            ],
+        )?;
+
+        let output_valid = if self.expected_races() == 0 {
+            let (cref, sumref) = self.reference(&av, &bv);
+            let got = gpu.mem().copy_out(c);
+            let sum = gpu.mem().read_word(checksum.addr());
+            Some(got == cref && sum == sumref)
+        } else {
+            None // unlocked fast path may genuinely lose updates
+        };
+        Ok(AppRun::new(stats, 1, output_valid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_sim::{DetectionMode, GpuConfig};
+
+    fn small() -> MatMul {
+        MatMul {
+            m: 16,
+            k: 32,
+            n: 8,
+            k_slices: 2,
+            threads_per_block: 64,
+            ..MatMul::default()
+        }
+    }
+
+    #[test]
+    fn correct_config_validates_and_is_race_free() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let run = small().run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true));
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            0,
+            "{:?}",
+            gpu.races().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn racey_config_produces_four_unique_races() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+        // Race budgets are calibrated at the default sizes.
+        let app = MatMul::racey();
+        app.run(&mut gpu).unwrap();
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            app.expected_races(),
+            "{:?}",
+            gpu.races()
+                .unwrap()
+                .unique_races()
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn each_knob_contributes_expected_races() {
+        let cases = [
+            (
+                MatMulRaces {
+                    block_scope_element_lock: true,
+                    ..MatMulRaces::default()
+                },
+                1,
+            ),
+            (
+                MatMulRaces {
+                    block_scope_checksum_lock: true,
+                    ..MatMulRaces::default()
+                },
+                2,
+            ),
+            (
+                MatMulRaces {
+                    unlocked_fast_path: true,
+                    ..MatMulRaces::default()
+                },
+                2,
+            ),
+        ];
+        for (races, expect) in cases {
+            let mut gpu = Gpu::new(
+                GpuConfig::paper_default().with_detection(DetectionMode::base_design()),
+            );
+            let app = MatMul {
+                races,
+                ..MatMul::default()
+            };
+            app.run(&mut gpu).unwrap();
+            assert_eq!(
+                gpu.races().unwrap().unique_count(),
+                expect,
+                "knob {races:?}: {:?}",
+                gpu.races().unwrap().records()
+            );
+        }
+    }
+
+    #[test]
+    fn unlocked_fast_path_triggers_lockset_violations() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+        let app = MatMul {
+            races: MatMulRaces {
+                unlocked_fast_path: true,
+                ..MatMulRaces::default()
+            },
+            ..small()
+        };
+        app.run(&mut gpu).unwrap();
+        use scord_core::RaceKind;
+        let log = gpu.races().unwrap();
+        let lockset: usize = log.unique_of_kind(RaceKind::MissingLockStore)
+            + log.unique_of_kind(RaceKind::MissingLockLoad);
+        assert!(
+            lockset >= 1,
+            "the fence-only fast path must surface missing-lock races: {:?}",
+            log.records()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! The seven ScoR applications (paper Table II).
+//!
+//! Every application follows the same contract:
+//!
+//! * a `*_paper_shape()`-style default constructor gives a correctly
+//!   synchronized, scaled-down configuration (the paper's inputs are sized
+//!   for a hardware-speed simulator; EXPERIMENTS.md records the sizes used
+//!   here);
+//! * a `races` field holds named knobs, each omitting or narrowing one
+//!   synchronization operation exactly as §III-A describes;
+//! * `racey()` returns the canonical racey configuration whose unique-race
+//!   count matches the paper's Table VI row (MM 4, RED 2, R110 2, GCOL 6,
+//!   GCON 5, 1DC 1, UTS 6);
+//! * in the correct configuration the GPU output is validated against a CPU
+//!   reference; racey configurations skip output validation (races may
+//!   legitimately corrupt results) and are assessed by detection instead.
+
+mod convolution;
+mod graph_color;
+mod graph_conn;
+mod matmul;
+mod reduction;
+mod rule110;
+mod uts;
+
+pub use convolution::{Convolution1D, ConvolutionRaces};
+pub use graph_color::{GraphColoring, GraphColoringRaces};
+pub use graph_conn::{GraphConnectivity, GraphConnectivityRaces};
+pub use matmul::{MatMul, MatMulRaces};
+pub use reduction::{Reduction, ReductionRaces};
+pub use rule110::{Rule110, Rule110Races};
+pub use uts::{Uts, UtsRaces};
+
+use crate::Benchmark;
+
+/// The seven applications in their correct configurations.
+#[must_use]
+pub fn all_apps() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(MatMul::default()),
+        Box::new(Reduction::default()),
+        Box::new(Rule110::default()),
+        Box::new(GraphColoring::default()),
+        Box::new(GraphConnectivity::default()),
+        Box::new(Convolution1D::default()),
+        Box::new(Uts::default()),
+    ]
+}
+
+/// The seven applications in their canonical racey configurations
+/// (26 unique races in total, per Table VI).
+#[must_use]
+pub fn all_apps_racey() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(MatMul::racey()),
+        Box::new(Reduction::racey()),
+        Box::new(Rule110::racey()),
+        Box::new(GraphColoring::racey()),
+        Box::new(GraphConnectivity::racey()),
+        Box::new(Convolution1D::racey()),
+        Box::new(Uts::racey()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_budget_matches_table6() {
+        let total: usize = all_apps_racey().iter().map(|a| a.expected_races()).sum();
+        assert_eq!(total, 26, "26 unique application races (paper §I)");
+        for a in all_apps() {
+            assert_eq!(a.expected_races(), 0, "{} default is clean", a.name());
+        }
+    }
+
+    #[test]
+    fn per_app_budgets() {
+        let expect = [
+            ("MM", 4),
+            ("RED", 2),
+            ("R110", 2),
+            ("GCOL", 6),
+            ("GCON", 5),
+            ("1DC", 1),
+            ("UTS", 6),
+        ];
+        for (app, (name, races)) in all_apps_racey().iter().zip(expect) {
+            assert_eq!(app.name(), name);
+            assert_eq!(app.expected_races(), races, "{name}");
+        }
+    }
+}

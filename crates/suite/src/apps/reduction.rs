@@ -1,0 +1,294 @@
+//! Reduction (RED, Table II) — the `threadfenceReduction` pattern of the
+//! CUDA samples (paper Figure 4).
+//!
+//! Each block tree-reduces its grid-strided partial sums in a *global*
+//! scratch area (barrier-synchronized within the block), then the block
+//! leader publishes the block total to `g_odata[ctaid]`, executes a
+//! **device** fence, and atomically bumps a completion counter. The leader
+//! that observes the last count re-reduces `g_odata` into the final result.
+//!
+//! Injectable races (2, "scoped-atomics and fences"):
+//! * the publication fence at **block** scope — the final reducer's reads of
+//!   other blocks' results become a scoped-fence race;
+//! * the completion counter bumped with a **block**-scoped atomic — a
+//!   scoped-atomic race among the blocks.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use scord_isa::{AluOp, KernelBuilder, Program, Scope, SpecialReg};
+use scord_sim::{Gpu, SimError};
+
+use crate::{AppRun, Benchmark};
+
+/// Race-injection knobs for RED.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionRaces {
+    /// Publish block results with a block-scope fence (1 unique race).
+    pub block_scope_result_fence: bool,
+    /// Bump the completion counter with a block-scope atomic (1 unique
+    /// race).
+    pub block_scope_done_counter: bool,
+}
+
+/// The reduction benchmark.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Elements to sum (paper: 25.6M; scaled default: 64K).
+    pub elements: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Grid blocks.
+    pub blocks: u32,
+    /// Race knobs.
+    pub races: ReductionRaces,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for Reduction {
+    fn default() -> Self {
+        Reduction {
+            elements: 65_536,
+            threads_per_block: 128,
+            blocks: 32,
+            races: ReductionRaces::default(),
+            seed: 0x0ed,
+        }
+    }
+}
+
+impl Reduction {
+    /// The canonical racey configuration (2 unique races).
+    #[must_use]
+    pub fn racey() -> Self {
+        Reduction {
+            races: ReductionRaces {
+                block_scope_result_fence: true,
+                block_scope_done_counter: true,
+            },
+            ..Self::default()
+        }
+    }
+
+    fn build_kernel(&self) -> Program {
+        let fence_scope = if self.races.block_scope_result_fence {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        let counter_scope = if self.races.block_scope_done_counter {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+
+        // params: input, sdata (grid*ntid words), g_odata (grid words),
+        //         counter (1 word), output (1 word), n
+        let mut k = KernelBuilder::new("reduce", 6);
+        let input = k.ld_param(0);
+        let sdata = k.ld_param(1);
+        let g_odata = k.ld_param(2);
+        let counter = k.ld_param(3);
+        let output = k.ld_param(4);
+        let n = k.ld_param(5);
+
+        let tid = k.special(SpecialReg::Tid);
+        let ntid = k.special(SpecialReg::Ntid);
+        let ctaid = k.special(SpecialReg::Ctaid);
+        let nctaid = k.special(SpecialReg::Nctaid);
+
+        // Grid-strided partial sum.
+        let sum = k.mov(0u32);
+        let stride = k.mul(ntid, nctaid);
+        let i = k.global_tid();
+        k.while_loop(
+            |k| k.set_lt(i, n),
+            |k| {
+                let ia = k.index_addr(input, i, 4);
+                let x = k.ld_global(ia, 0);
+                k.alu_into(sum, AluOp::Add, sum, x);
+                k.alu_into(i, AluOp::Add, i, stride);
+            },
+        );
+
+        // Block-local tree reduction in the global scratch region.
+        let base = k.mul(ctaid, ntid);
+        let my = k.add(base, tid);
+        let sa = k.index_addr(sdata, my, 4);
+        k.st_global(sa, 0, sum);
+        k.bar();
+        let s = k.div(ntid, 2u32);
+        k.while_loop(
+            |k| k.set_ge(s, 1u32),
+            |k| {
+                let active = k.set_lt(tid, s);
+                k.if_then(active, |k| {
+                    let other = k.add(my, s);
+                    let oa = k.index_addr(sdata, other, 4);
+                    let b = k.ld_global(oa, 0);
+                    let a = k.ld_global(sa, 0);
+                    let t = k.add(a, b);
+                    k.st_global(sa, 0, t);
+                });
+                k.bar();
+                k.alu_into(s, AluOp::Div, s, 2u32);
+            },
+        );
+
+        // Leader publishes and the last block finishes the job (Fig. 4
+        // lines 13-18).
+        let leader = k.set_eq(tid, 0u32);
+        k.if_then(leader, |k| {
+            let block_sum = k.ld_global(sa, 0);
+            let ga = k.index_addr(g_odata, ctaid, 4);
+            k.st_global_strong(ga, 0, block_sum);
+            k.fence(fence_scope);
+            let old = k.atom_add(counter, 0, 1u32, counter_scope);
+            let last = k.add(old, 1u32);
+            let am_last = k.set_eq(last, nctaid);
+            k.if_then(am_last, |k| {
+                let total = k.mov(0u32);
+                k.for_range(0u32, nctaid, 1u32, |k, b| {
+                    let ba = k.index_addr(g_odata, b, 4);
+                    let x = k.ld_global_strong(ba, 0);
+                    k.alu_into(total, AluOp::Add, total, x);
+                });
+                k.st_global_strong(output, 0, total);
+            });
+        });
+        k.finish().expect("reduction kernel is well-formed")
+    }
+
+    fn inputs(&self) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.elements).map(|_| rng.random_range(0..1000)).collect()
+    }
+}
+
+impl Benchmark for Reduction {
+    fn name(&self) -> &'static str {
+        "RED"
+    }
+
+    fn description(&self) -> &'static str {
+        "threadfence reduction: block tree-reduce, device-fence publish, last block finishes"
+    }
+
+    fn expected_races(&self) -> usize {
+        usize::from(self.races.block_scope_result_fence)
+            + usize::from(self.races.block_scope_done_counter)
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError> {
+        let program = self.build_kernel();
+        let input = self.inputs();
+        let inbuf = gpu.mem_mut().alloc_words(self.elements);
+        let sdata = gpu.mem_mut().alloc_words(self.blocks * self.threads_per_block);
+        let g_odata = gpu.mem_mut().alloc_words(self.blocks);
+        let counter = gpu.mem_mut().alloc_words(1);
+        let output = gpu.mem_mut().alloc_words(1);
+        gpu.mem_mut().copy_in(inbuf, &input);
+        gpu.mem_mut().fill(counter, 0);
+
+        let stats = gpu.launch(
+            &program,
+            self.blocks,
+            self.threads_per_block,
+            &[
+                inbuf.addr(),
+                sdata.addr(),
+                g_odata.addr(),
+                counter.addr(),
+                output.addr(),
+                self.elements,
+            ],
+        )?;
+
+        let expect: u32 = input.iter().fold(0u32, |a, &b| a.wrapping_add(b));
+        let got = gpu.mem().read_word(output.addr());
+        let valid = got == expect;
+        let output_valid = if self.expected_races() == 0 {
+            Some(valid)
+        } else {
+            None
+        };
+        Ok(AppRun::new(stats, 1, output_valid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_sim::{DetectionMode, GpuConfig};
+
+    fn small() -> Reduction {
+        Reduction {
+            elements: 4096,
+            blocks: 8,
+            threads_per_block: 64,
+            ..Reduction::default()
+        }
+    }
+
+    #[test]
+    fn correct_config_validates_and_is_race_free() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let run = small().run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true));
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            0,
+            "{:?}",
+            gpu.races().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn racey_config_produces_two_unique_races() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+        let app = Reduction {
+            races: Reduction::racey().races,
+            ..small()
+        };
+        app.run(&mut gpu).unwrap();
+        assert_eq!(gpu.races().unwrap().unique_count(), app.expected_races());
+    }
+
+    #[test]
+    fn each_knob_contributes_one_race() {
+        for (knob, races) in [
+            (
+                ReductionRaces {
+                    block_scope_result_fence: true,
+                    block_scope_done_counter: false,
+                },
+                1,
+            ),
+            (
+                ReductionRaces {
+                    block_scope_result_fence: false,
+                    block_scope_done_counter: true,
+                },
+                1,
+            ),
+        ] {
+            let mut gpu = Gpu::new(
+                GpuConfig::paper_default().with_detection(DetectionMode::base_design()),
+            );
+            let app = Reduction {
+                races: knob,
+                ..small()
+            };
+            app.run(&mut gpu).unwrap();
+            assert_eq!(
+                gpu.races().unwrap().unique_count(),
+                races,
+                "knob {knob:?}: {:?}",
+                gpu.races().unwrap().records()
+            );
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Rule 110 Cellular Automata (R110, Table II).
+//!
+//! The tape is partitioned among blocks; each thread updates a strided set
+//! of cells every generation. After writing, a thread that produced its
+//! block's *edge* cells executes a **device** fence (neighbouring blocks
+//! will read them); interior cells only need **block** scope. Generations
+//! are separated by a neighbourhood synchronization on per-block generation
+//! flags (`atomicExch` publish + atomic polls).
+//!
+//! Injectable races (2 in the canonical configuration): narrowing the
+//! right-edge publication fence to block scope breaks *both* directions of
+//! the boundary exchange handled by the last warp — the neighbour's read of
+//! the freshly-written edge cell (stale read) and the owner's rewrite of a
+//! cell the neighbour read last generation (write-after-read) — two unique
+//! scoped-fence races. A further knob raises the generation flag with a
+//! block-scoped `atomicExch` (a scoped-atomic race on the neighbours'
+//! polls), exercised by its own tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use scord_isa::{AluOp, KernelBuilder, Program, Scope, SpecialReg};
+use scord_sim::{Gpu, SimError};
+
+use crate::common::{neighbor_sync, GridSyncScopes};
+use crate::{AppRun, Benchmark};
+
+/// Race-injection knobs for R110.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rule110Races {
+    /// Publish the right-edge cell with a block-scope fence (2 unique
+    /// races: the stale read and the write-after-read hand-back).
+    pub block_scope_edge_fence: bool,
+    /// Raise the generation flag with a block-scope `atomicExch` (1 unique
+    /// scoped-atomic race; not part of the canonical Table VI budget).
+    pub block_scope_generation_flag: bool,
+}
+
+/// The Rule 110 benchmark.
+#[derive(Debug, Clone)]
+pub struct Rule110 {
+    /// Tape length (paper: 2.5M; scaled default: 16384).
+    pub cells: u32,
+    /// Generations simulated.
+    pub steps: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Grid blocks (must all be resident: ≤ SMs × blocks/SM).
+    pub blocks: u32,
+    /// Race knobs.
+    pub races: Rule110Races,
+    /// Initial-tape seed.
+    pub seed: u64,
+}
+
+impl Default for Rule110 {
+    fn default() -> Self {
+        Rule110 {
+            cells: 16_384,
+            steps: 8,
+            threads_per_block: 128,
+            blocks: 16,
+            races: Rule110Races::default(),
+            seed: 0x110,
+        }
+    }
+}
+
+impl Rule110 {
+    /// The canonical racey configuration (2 unique races).
+    #[must_use]
+    pub fn racey() -> Self {
+        Rule110 {
+            races: Rule110Races {
+                block_scope_edge_fence: true,
+                block_scope_generation_flag: false,
+            },
+            ..Self::default()
+        }
+    }
+
+    fn cells_per_block(&self) -> u32 {
+        self.cells / self.blocks
+    }
+
+    /// Emits `next = rule110(left, center, right)` given three 0/1 regs.
+    fn emit_rule(k: &mut KernelBuilder, l: scord_isa::Reg, c: scord_isa::Reg, r: scord_isa::Reg) -> scord_isa::Reg {
+        // pattern = l<<2 | c<<1 | r ; out = (110 >> pattern) & 1
+        let l2 = k.alu(AluOp::Shl, l, 2u32);
+        let c1 = k.alu(AluOp::Shl, c, 1u32);
+        let p0 = k.alu(AluOp::Or, l2, c1);
+        let p = k.alu(AluOp::Or, p0, r);
+        let shifted = k.alu(AluOp::Shr, 110u32, p);
+        k.alu(AluOp::And, shifted, 1u32)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build_kernel(&self) -> Program {
+        let edge_fence = if self.races.block_scope_edge_fence {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        let sync_scopes = GridSyncScopes {
+            exch: if self.races.block_scope_generation_flag {
+                Scope::Block
+            } else {
+                Scope::Device
+            },
+            ..GridSyncScopes::device()
+        };
+        let cpb = self.cells_per_block();
+        let steps = self.steps;
+
+        // params: bufA, bufB, gen
+        let mut k = KernelBuilder::new("rule110", 3);
+        let buf_a = k.ld_param(0);
+        let buf_b = k.ld_param(1);
+        let gen = k.ld_param(2);
+        let tid = k.special(SpecialReg::Tid);
+        let ntid = k.special(SpecialReg::Ntid);
+        let ctaid = k.special(SpecialReg::Ctaid);
+        let nctaid = k.special(SpecialReg::Nctaid);
+        let n = k.mul(nctaid, cpb);
+        let seg_start = k.mul(ctaid, cpb);
+        let seg_end = k.add(seg_start, cpb);
+        let round = k.mov(1u32);
+
+        k.for_range(0u32, steps, 1u32, |k, step| {
+            // cur/next buffer selection by step parity.
+            let parity = k.rem(step, 2u32);
+            let even = k.set_eq(parity, 0u32);
+            let cur = k.select(even, buf_a, buf_b);
+            let next = k.select(even, buf_b, buf_a);
+
+            let wrote_right_edge = k.mov(0u32);
+            let wrote_left_edge = k.mov(0u32);
+            let i = k.add(seg_start, tid);
+            k.while_loop(
+                |k| k.set_lt(i, seg_end),
+                |k| {
+                    let ca = k.index_addr(cur, i, 4);
+                    let c = k.ld_global_strong(ca, 0);
+                    // Fixed zero boundary outside the tape.
+                    let l = k.mov(0u32);
+                    let has_l = k.set_ge(i, 1u32);
+                    k.if_then(has_l, |k| {
+                        let la = k.index_addr(cur, i, 4);
+                        let v = k.ld_global_strong(la, -4);
+                        k.mov_into(l, v);
+                    });
+                    let r = k.mov(0u32);
+                    let i1 = k.add(i, 1u32);
+                    let has_r = k.set_lt(i1, n);
+                    k.if_then(has_r, |k| {
+                        let ra = k.index_addr(cur, i, 4);
+                        let v = k.ld_global_strong(ra, 4);
+                        k.mov_into(r, v);
+                    });
+                    let out = Self::emit_rule(k, l, c, r);
+                    let na = k.index_addr(next, i, 4);
+                    k.st_global_strong(na, 0, out);
+
+                    // Track whether this thread produced an edge cell.
+                    let last = k.sub(seg_end, 1u32);
+                    let is_right = k.set_eq(i, last);
+                    k.alu_into(
+                        wrote_right_edge,
+                        AluOp::Or,
+                        wrote_right_edge,
+                        is_right,
+                    );
+                    let is_left = k.set_eq(i, seg_start);
+                    k.alu_into(wrote_left_edge, AluOp::Or, wrote_left_edge, is_left);
+                    k.alu_into(i, AluOp::Add, i, ntid);
+                },
+            );
+            // Edge producers publish with the required scope; the left edge
+            // is always correct, the right edge carries the race knob.
+            k.if_then(wrote_left_edge, |k| k.fence(Scope::Device));
+            k.if_then(wrote_right_edge, |k| k.fence(edge_fence));
+            neighbor_sync(k, gen, round, sync_scopes);
+            k.alu_into(round, AluOp::Add, round, 1u32);
+        });
+        k.finish().expect("rule110 kernel is well-formed")
+    }
+
+    fn initial_tape(&self) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.cells).map(|_| u32::from(rng.random::<bool>())).collect()
+    }
+
+    /// CPU reference after `steps` generations (zero boundary).
+    fn reference(&self, tape: &[u32]) -> Vec<u32> {
+        let n = tape.len();
+        let mut cur = tape.to_vec();
+        let mut next = vec![0u32; n];
+        for _ in 0..self.steps {
+            for i in 0..n {
+                let l = if i > 0 { cur[i - 1] } else { 0 };
+                let c = cur[i];
+                let r = if i + 1 < n { cur[i + 1] } else { 0 };
+                let p = (l << 2) | (c << 1) | r;
+                next[i] = (110 >> p) & 1;
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+}
+
+impl Benchmark for Rule110 {
+    fn name(&self) -> &'static str {
+        "R110"
+    }
+
+    fn description(&self) -> &'static str {
+        "Rule 110 automaton; edge cells published with device fences, generations via flag sync"
+    }
+
+    fn expected_races(&self) -> usize {
+        2 * usize::from(self.races.block_scope_edge_fence)
+            + usize::from(self.races.block_scope_generation_flag)
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError> {
+        assert_eq!(self.cells % self.blocks, 0, "cells must split evenly");
+        assert!(
+            self.cells_per_block().is_multiple_of(self.threads_per_block),
+            "threads must stride the segment evenly"
+        );
+        let program = self.build_kernel();
+        let tape = self.initial_tape();
+        let a = gpu.mem_mut().alloc_words(self.cells);
+        let b = gpu.mem_mut().alloc_words(self.cells);
+        let gen = gpu.mem_mut().alloc_words(self.blocks);
+        gpu.mem_mut().copy_in(a, &tape);
+        gpu.mem_mut().fill(b, 0);
+        gpu.mem_mut().fill(gen, 0);
+
+        let stats = gpu.launch(
+            &program,
+            self.blocks,
+            self.threads_per_block,
+            &[a.addr(), b.addr(), gen.addr()],
+        )?;
+
+        let result_buf = if self.steps.is_multiple_of(2) { a } else { b };
+        let got = gpu.mem().copy_out(result_buf);
+        let valid = got == self.reference(&tape);
+        let output_valid = if self.expected_races() == 0 {
+            Some(valid)
+        } else {
+            None
+        };
+        Ok(AppRun::new(stats, 1, output_valid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_sim::{DetectionMode, GpuConfig};
+
+    fn small() -> Rule110 {
+        Rule110 {
+            cells: 2048,
+            steps: 4,
+            blocks: 8,
+            threads_per_block: 64,
+            ..Rule110::default()
+        }
+    }
+
+    #[test]
+    fn correct_config_validates_and_is_race_free() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let run = small().run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true));
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            0,
+            "{:?}",
+            gpu.races().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn scoped_flag_knob_produces_one_scoped_atomic_race() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+        let app = Rule110 {
+            races: Rule110Races {
+                block_scope_edge_fence: false,
+                block_scope_generation_flag: true,
+            },
+            ..small()
+        };
+        app.run(&mut gpu).unwrap();
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            1,
+            "{:?}",
+            gpu.races().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn racey_config_produces_two_unique_races() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+        let app = Rule110 {
+            races: Rule110::racey().races,
+            ..small()
+        };
+        app.run(&mut gpu).unwrap();
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            app.expected_races(),
+            "{:?}",
+            gpu.races().unwrap().records()
+        );
+    }
+}

@@ -1,0 +1,463 @@
+//! Unbalanced Tree Search (UTS, Table II — paper Figure 5).
+//!
+//! Trees are generated implicitly: a node's child count and child payloads
+//! come from a hash of its payload, so the workload is deterministic but
+//! heavily unbalanced. Each block owns a **local stack** guarded by a
+//! block-scoped lock and a **global stack** guarded by a device-scoped lock
+//! (Figure 5's two-level scheme). Threads pop nodes from their local stack,
+//! steal from any global stack when it runs dry, and push a fraction of the
+//! children they generate onto their block's global stack so work can be
+//! stolen. An `active` counter of outstanding nodes provides termination.
+//!
+//! The canonical racey configuration yields the paper's 6 unique races.
+
+use scord_isa::{AluOp, KernelBuilder, LockConfig, Program, Reg, Scope, SpecialReg};
+use scord_sim::{Gpu, SimError};
+
+use crate::{AppRun, Benchmark};
+
+/// Race-injection knobs for UTS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UtsRaces {
+    /// Guard the global stacks with block-scoped lock acquires (Figure 5
+    /// with `atomicCAS_block` on the *global* stack).
+    pub block_scope_global_lock: bool,
+    /// Bump the `active` counter with block-scoped atomics.
+    pub block_scope_active_counter: bool,
+    /// Fold the per-thread results into the global count/checksum with
+    /// block-scoped atomics (2 races).
+    pub block_scope_result_adds: bool,
+}
+
+/// The unbalanced-tree-search benchmark.
+#[derive(Debug, Clone)]
+pub struct Uts {
+    /// Root nodes per block (paper: 120 trees).
+    pub roots_per_block: u32,
+    /// Maximum tree depth (paper: 9 levels).
+    pub max_depth: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Grid blocks.
+    pub blocks: u32,
+    /// Race knobs.
+    pub races: UtsRaces,
+    /// Root-payload seed.
+    pub seed: u32,
+}
+
+impl Default for Uts {
+    fn default() -> Self {
+        Uts {
+            roots_per_block: 2,
+            max_depth: 9,
+            threads_per_block: 32,
+            blocks: 8,
+            races: UtsRaces::default(),
+            seed: 0x075,
+        }
+    }
+}
+
+/// The 32-bit mixing hash used for tree generation, shared between the
+/// kernel and the CPU reference.
+#[must_use]
+pub fn uts_hash(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x7feb_352d);
+    x ^= x >> 15;
+    x = x.wrapping_mul(0x846c_a68b);
+    x ^= x >> 16;
+    x
+}
+
+const PAYLOAD_MASK: u32 = 0x0FFF_FFFF;
+
+fn node_depth(node: u32) -> u32 {
+    node >> 28
+}
+
+fn node_payload(node: u32) -> u32 {
+    node & PAYLOAD_MASK
+}
+
+fn children_count(node: u32, max_depth: u32) -> u32 {
+    if node_depth(node) >= max_depth {
+        0
+    } else {
+        uts_hash(node_payload(node) ^ 0xABCD) & 3
+    }
+}
+
+fn child_node(node: u32, i: u32) -> u32 {
+    let payload = uts_hash(node_payload(node) ^ ((i + 1).wrapping_mul(0x9E37))) & PAYLOAD_MASK;
+    ((node_depth(node) + 1) << 28) | payload
+}
+
+impl Uts {
+    /// The canonical racey configuration (6 unique races).
+    #[must_use]
+    pub fn racey() -> Self {
+        Uts {
+            races: UtsRaces {
+                block_scope_global_lock: true,
+                block_scope_active_counter: false,
+                block_scope_result_adds: true,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// The root nodes seeded into each block's local stack.
+    fn roots(&self) -> Vec<Vec<u32>> {
+        (0..self.blocks)
+            .map(|b| {
+                (0..self.roots_per_block)
+                    .map(|r| uts_hash(self.seed ^ (b * 131 + r)) & PAYLOAD_MASK)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// CPU reference DFS: `(total nodes, wrapping payload checksum)`.
+    #[must_use]
+    pub fn reference(&self) -> (u32, u32) {
+        let mut count = 0u32;
+        let mut sum = 0u32;
+        let mut stack: Vec<u32> = self.roots().into_iter().flatten().collect();
+        while let Some(node) = stack.pop() {
+            count += 1;
+            sum = sum.wrapping_add(node_payload(node));
+            for i in 0..children_count(node, self.max_depth) {
+                stack.push(child_node(node, i));
+            }
+        }
+        (count, sum)
+    }
+
+    /// Emits the hash as IR.
+    fn emit_hash(k: &mut KernelBuilder, x: Reg) -> Reg {
+        let s1 = k.alu(AluOp::Shr, x, 16u32);
+        let x1 = k.alu(AluOp::Xor, x, s1);
+        let x2 = k.mul(x1, 0x7feb_352du32);
+        let s2 = k.alu(AluOp::Shr, x2, 15u32);
+        let x3 = k.alu(AluOp::Xor, x2, s2);
+        let x4 = k.mul(x3, 0x846c_a68bu32);
+        let s3 = k.alu(AluOp::Shr, x4, 16u32);
+        k.alu(AluOp::Xor, x4, s3)
+    }
+
+    /// Emits a stack pop inside a critical section. `top_addr`/`items_addr`
+    /// point at the stack's top word and item array.
+    fn emit_pop(
+        k: &mut KernelBuilder,
+        lock: Reg,
+        cfg: LockConfig,
+        top_addr: Reg,
+        items_addr: Reg,
+        node: Reg,
+        got: Reg,
+    ) {
+        k.critical_section(lock, 0, cfg, |k| {
+            let top = k.ld_global_strong(top_addr, 0);
+            let nonempty = k.alu(AluOp::SetGt, top, 0u32);
+            k.if_then(nonempty, |k| {
+                let t1 = k.sub(top, 1u32);
+                let ia = k.index_addr(items_addr, t1, 4);
+                let item = k.ld_global_strong(ia, 0);
+                k.mov_into(node, item);
+                k.st_global_strong(top_addr, 0, t1);
+                k.mov_into(got, 1u32);
+            });
+        });
+    }
+
+    /// Emits a stack push inside a critical section.
+    fn emit_push(
+        k: &mut KernelBuilder,
+        lock: Reg,
+        cfg: LockConfig,
+        top_addr: Reg,
+        items_addr: Reg,
+        node: Reg,
+    ) {
+        k.critical_section(lock, 0, cfg, |k| {
+            let top = k.ld_global_strong(top_addr, 0);
+            let ia = k.index_addr(items_addr, top, 4);
+            k.st_global_strong(ia, 0, node);
+            let t1 = k.add(top, 1u32);
+            k.st_global_strong(top_addr, 0, t1);
+        });
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build_kernel(&self, capacity: u32) -> Program {
+        let r = &self.races;
+        let local_cfg = LockConfig::block();
+        let global_cfg = if r.block_scope_global_lock {
+            LockConfig {
+                cas_scope: Scope::Block,
+                exch_scope: Scope::Block,
+                ..LockConfig::device()
+            }
+        } else {
+            LockConfig::device()
+        };
+        let active_scope = if r.block_scope_active_counter {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        let result_scope = if r.block_scope_result_adds {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        let max_depth = self.max_depth;
+
+        // params: ltop, litems, gtop, gitems, llock, glock, active, out
+        let mut k = KernelBuilder::new("uts", 8);
+        let ltop = k.ld_param(0);
+        let litems = k.ld_param(1);
+        let gtop = k.ld_param(2);
+        let gitems = k.ld_param(3);
+        let llock = k.ld_param(4);
+        let glock = k.ld_param(5);
+        let active = k.ld_param(6);
+        let out = k.ld_param(7);
+
+        let ctaid = k.special(SpecialReg::Ctaid);
+        let nblocks = k.special(SpecialReg::Nctaid);
+        // My block's stack base addresses.
+        let my_ltop = k.index_addr(ltop, ctaid, 4);
+        let loff = k.mul(ctaid, capacity);
+        let my_litems = k.index_addr(litems, loff, 4);
+        let my_llock = k.index_addr(llock, ctaid, 4);
+        let my_gtop = k.index_addr(gtop, ctaid, 4);
+        let my_gitems = k.index_addr(gitems, loff, 4);
+        let my_glock = k.index_addr(glock, ctaid, 4);
+
+        let my_count = k.mov(0u32);
+        let my_sum = k.mov(0u32);
+        let done = k.mov(0u32);
+
+        k.while_loop(
+            |k| k.set_eq(done, 0u32),
+            |k| {
+                let node = k.mov(0u32);
+                let got = k.mov(0u32);
+                // Local stack first (block-scoped lock, Figure 5 top half).
+                Self::emit_pop(k, my_llock, local_cfg, my_ltop, my_litems, node, got);
+                // Otherwise steal from the global stacks (device-scoped).
+                k.if_zero(got, |k| {
+                    let gb = k.mov(0u32);
+                    k.while_loop(
+                        |k| {
+                            let more = k.set_lt(gb, nblocks);
+                            let missing = k.set_eq(got, 0u32);
+                            k.logical_and(more, missing)
+                        },
+                        |k| {
+                            let bsum = k.add(ctaid, gb);
+                            let b = k.rem(bsum, nblocks);
+                            let ta = k.index_addr(gtop, b, 4);
+                            let la = k.index_addr(glock, b, 4);
+                            let boff = k.mul(b, capacity);
+                            let ia = k.index_addr(gitems, boff, 4);
+                            Self::emit_pop(k, la, global_cfg, ta, ia, node, got);
+                            k.alu_into(gb, AluOp::Add, gb, 1u32);
+                        },
+                    );
+                });
+                k.if_else(
+                    got,
+                    |k| {
+                        k.alu_into(my_count, AluOp::Add, my_count, 1u32);
+                        let payload = k.alu(AluOp::And, node, PAYLOAD_MASK);
+                        k.alu_into(my_sum, AluOp::Add, my_sum, payload);
+                        // children
+                        let hx = k.alu(AluOp::Xor, payload, 0xABCDu32);
+                        let h = Self::emit_hash(k, hx);
+                        let nc0 = k.alu(AluOp::And, h, 3u32);
+                        let depth = k.alu(AluOp::Shr, node, 28u32);
+                        let deep = k.set_ge(depth, max_depth);
+                        let zero = k.mov(0u32);
+                        let nc = k.select(deep, zero, nc0);
+                        k.atom_add_noret(active, 0, nc, active_scope);
+                        let d1 = k.add(depth, 1u32);
+                        let d1s = k.alu(AluOp::Shl, d1, 28u32);
+                        k.for_range(0u32, nc, 1u32, |k, i| {
+                            let i1 = k.add(i, 1u32);
+                            let im = k.mul(i1, 0x9E37u32);
+                            let cx = k.alu(AluOp::Xor, payload, im);
+                            let ch = Self::emit_hash(k, cx);
+                            let cp = k.alu(AluOp::And, ch, PAYLOAD_MASK);
+                            let child = k.alu(AluOp::Or, d1s, cp);
+                            // Every 8th processed node shares its first
+                            // child through the global stack.
+                            let m = k.alu(AluOp::And, my_count, 7u32);
+                            let share0 = k.set_eq(m, 0u32);
+                            let first = k.set_eq(i, 0u32);
+                            let share = k.logical_and(share0, first);
+                            k.if_else(
+                                share,
+                                |k| {
+                                    Self::emit_push(
+                                        k, my_glock, global_cfg, my_gtop, my_gitems, child,
+                                    );
+                                },
+                                |k| {
+                                    Self::emit_push(
+                                        k, my_llock, local_cfg, my_ltop, my_litems, child,
+                                    );
+                                },
+                            );
+                        });
+                        // This node is finished.
+                        k.atom_noret(scord_isa::AtomOp::Add, active, 0, u32::MAX, active_scope);
+                    },
+                    |k| {
+                        // No work found: exit once everything is consumed.
+                        let a = k.atom_read(active, 0, Scope::Device);
+                        let finished = k.set_eq(a, 0u32);
+                        k.if_then(finished, |k| k.mov_into(done, 1u32));
+                    },
+                );
+            },
+        );
+        // Fold per-thread results into the global output.
+        k.atom_add_noret(out, 0, my_count, result_scope);
+        k.atom_add_noret(out, 4, my_sum, result_scope);
+        k.finish().expect("uts kernel is well-formed")
+    }
+}
+
+impl Benchmark for Uts {
+    fn name(&self) -> &'static str {
+        "UTS"
+    }
+
+    fn description(&self) -> &'static str {
+        "unbalanced tree search: block-scoped local stacks, device-scoped global stacks"
+    }
+
+    fn expected_races(&self) -> usize {
+        let r = &self.races;
+        // Calibrated at the default sizes (see the knob-sweep tests): the
+        // global lock words race at the steal-CAS/Exch and push-CAS/Exch;
+        // the active counter at its increment, decrement and read; the two
+        // result words at their final adds.
+        4 * usize::from(r.block_scope_global_lock)
+            + 3 * usize::from(r.block_scope_active_counter)
+            + 2 * usize::from(r.block_scope_result_adds)
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError> {
+        let (total_nodes, checksum) = self.reference();
+        let capacity = total_nodes + self.roots_per_block + 8;
+        let program = self.build_kernel(capacity);
+        let roots = self.roots();
+
+        let ltop = gpu.mem_mut().alloc_words(self.blocks);
+        let litems = gpu.mem_mut().alloc_words(self.blocks * capacity);
+        let gtop = gpu.mem_mut().alloc_words(self.blocks);
+        let gitems = gpu.mem_mut().alloc_words(self.blocks * capacity);
+        let llock = gpu.mem_mut().alloc_words(self.blocks);
+        let glock = gpu.mem_mut().alloc_words(self.blocks);
+        let active = gpu.mem_mut().alloc_words(1);
+        let out = gpu.mem_mut().alloc_words(2);
+
+        for buf in [litems, gtop, gitems, llock, glock, out] {
+            gpu.mem_mut().fill(buf, 0);
+        }
+        let tops: Vec<u32> = roots.iter().map(|r| r.len() as u32).collect();
+        gpu.mem_mut().copy_in(ltop, &tops);
+        for (b, r) in roots.iter().enumerate() {
+            for (i, &node) in r.iter().enumerate() {
+                gpu.mem_mut()
+                    .write_word(litems.addr() + (b as u32 * capacity + i as u32) * 4, node);
+            }
+        }
+        gpu.mem_mut()
+            .write_word(active.addr(), self.blocks * self.roots_per_block);
+
+        let stats = gpu.launch(
+            &program,
+            self.blocks,
+            self.threads_per_block,
+            &[
+                ltop.addr(),
+                litems.addr(),
+                gtop.addr(),
+                gitems.addr(),
+                llock.addr(),
+                glock.addr(),
+                active.addr(),
+                out.addr(),
+            ],
+        )?;
+
+        // The stacks and counters are lock/atomic protected, so the result
+        // stays functionally exact even in racey configurations.
+        let got_count = gpu.mem().read_word(out.addr());
+        let got_sum = gpu.mem().read_word(out.addr() + 4);
+        let valid = got_count == total_nodes && got_sum == checksum;
+        Ok(AppRun::new(stats, 1, Some(valid)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_sim::{DetectionMode, GpuConfig};
+
+    fn small() -> Uts {
+        Uts {
+            roots_per_block: 1,
+            max_depth: 7,
+            blocks: 4,
+            threads_per_block: 32,
+            ..Uts::default()
+        }
+    }
+
+    #[test]
+    fn reference_tree_is_nontrivial_and_deterministic() {
+        let app = small();
+        let (n1, s1) = app.reference();
+        let (n2, s2) = app.reference();
+        assert_eq!((n1, s1), (n2, s2));
+        assert!(n1 > 10, "tree should have some body, got {n1} nodes");
+    }
+
+    #[test]
+    fn correct_config_validates_and_is_race_free() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let run = small().run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true));
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            0,
+            "{:?}",
+            gpu.races().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn racey_config_produces_six_unique_races() {
+        let mut gpu =
+            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+        // Race budgets are calibrated at the default sizes.
+        let app = Uts::racey();
+        let run = app.run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true), "locks stay functional");
+        let mut u: Vec<_> = gpu.races().unwrap().unique_races().collect();
+        u.sort_by_key(|(pc, k)| (*pc, format!("{k}")));
+        assert_eq!(
+            gpu.races().unwrap().unique_count(),
+            app.expected_races(),
+            "{u:?}"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! R-MAT graph generation (the GTgraph substitute).
+//!
+//! The paper generates inputs for Graph Coloring and Graph Connectivity with
+//! GTgraph, which implements the R-MAT recursive-matrix model (Chakrabarti,
+//! Zhan & Faloutsos, SDM 2004). This module reproduces the model with
+//! GTgraph's default partition probabilities `(a, b, c, d) =
+//! (0.45, 0.15, 0.15, 0.25)`, de-duplicates edges, symmetrizes the graph and
+//! emits CSR adjacency.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An undirected graph in CSR form.
+///
+/// ```
+/// use scor_suite::graphgen::rmat;
+/// let g = rmat(64, 128, 42);
+/// assert_eq!(g.num_vertices(), 64);
+/// for v in 0..g.num_vertices() {
+///     for &n in g.neighbors(v) {
+///         assert!(g.neighbors(n as usize).contains(&(v as u32)), "symmetric");
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Offsets into `col_idx`, length `n + 1`.
+    pub row_ptr: Vec<u32>,
+    /// Concatenated adjacency lists.
+    pub col_idx: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges stored (twice the undirected count).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The neighbours of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[v] as usize..self.row_ptr[v + 1] as usize]
+    }
+
+    /// Maximum vertex degree.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.neighbors(v).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Builds a CSR graph from an undirected edge list (vertices `0..n`).
+    /// Self-loops and duplicates are dropped; each edge is stored in both
+    /// directions.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u != v {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            col_idx.extend_from_slice(list);
+            row_ptr.push(col_idx.len() as u32);
+        }
+        CsrGraph { row_ptr, col_idx }
+    }
+}
+
+/// Generates an undirected R-MAT graph with `n` vertices (rounded up to a
+/// power of two internally) and about `m` undirected edges, deterministic in
+/// `seed`.
+#[must_use]
+pub fn rmat(n: usize, m: usize, seed: u64) -> CsrGraph {
+    // GTgraph default R-MAT parameters.
+    const A: f64 = 0.45;
+    const B: f64 = 0.15;
+    const C: f64 = 0.15;
+    let scale = usize::BITS - (n.max(2) - 1).leading_zeros();
+    let side = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut x, mut y) = (0usize, 0usize);
+        let mut span = side / 2;
+        while span > 0 {
+            let r: f64 = rng.random();
+            if r < A {
+                // top-left: nothing to add
+            } else if r < A + B {
+                y += span;
+            } else if r < A + B + C {
+                x += span;
+            } else {
+                x += span;
+                y += span;
+            }
+            span /= 2;
+        }
+        let u = (x % n) as u32;
+        let v = (y % n) as u32;
+        edges.push((u, v));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// CPU reference: connected-component label for every vertex (the minimum
+/// vertex id in its component), via BFS.
+#[must_use]
+pub fn reference_components(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        label[start] = start as u32;
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = start as u32;
+                    stack.push(w as usize);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Checks that `colors` is a proper vertex colouring of `g` (no adjacent
+/// pair shares a colour and every vertex is coloured non-zero).
+#[must_use]
+pub fn is_proper_coloring(g: &CsrGraph, colors: &[u32]) -> bool {
+    if colors.len() != g.num_vertices() {
+        return false;
+    }
+    for v in 0..g.num_vertices() {
+        if colors[v] == 0 {
+            return false;
+        }
+        for &w in g.neighbors(v) {
+            if w as usize != v && colors[w as usize] == colors[v] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic_in_seed() {
+        let a = rmat(128, 256, 7);
+        let b = rmat(128, 256, 7);
+        let c = rmat(128, 256, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_is_symmetric_without_self_loops() {
+        let g = rmat(100, 300, 3);
+        for v in 0..g.num_vertices() {
+            for &w in g.neighbors(v) {
+                assert_ne!(w as usize, v, "no self loops");
+                assert!(
+                    g.neighbors(w as usize).contains(&(v as u32)),
+                    "edge ({v},{w}) must exist in both directions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // R-MAT's whole point: a heavy-tailed degree distribution driving
+        // load imbalance (and therefore work stealing).
+        let g = rmat(256, 2048, 1);
+        let avg = g.num_edges() / g.num_vertices();
+        assert!(
+            g.max_degree() > 3 * avg,
+            "max degree {} should dominate average {}",
+            g.max_degree(),
+            avg
+        );
+    }
+
+    #[test]
+    fn csr_from_edges_dedupes() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 1)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn reference_components_finds_islands() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        let l = reference_components(&g);
+        assert_eq!(l, vec![0, 0, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn proper_coloring_checker() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(is_proper_coloring(&g, &[1, 2, 1]));
+        assert!(!is_proper_coloring(&g, &[1, 1, 2]), "adjacent same colour");
+        assert!(!is_proper_coloring(&g, &[1, 2, 0]), "uncoloured vertex");
+        assert!(!is_proper_coloring(&g, &[1, 2]), "wrong length");
+    }
+}

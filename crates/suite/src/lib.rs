@@ -1,0 +1,37 @@
+//! # scor-suite
+//!
+//! The **ScoR** (Scoped Race) benchmark suite from *ScoRD: A Scoped Race
+//! Detector for GPUs* (ISCA 2020), re-implemented against the `scord-isa`
+//! kernel builder and the `scord-sim` GPU simulator.
+//!
+//! The suite contains (paper §III-B, Tables I and II):
+//!
+//! * **seven applications** that use scoped synchronization — Matrix
+//!   Multiplication ([`apps::MatMul`]), Reduction ([`apps::Reduction`]),
+//!   Rule 110 Cellular Automata ([`apps::Rule110`]), Graph Coloring
+//!   ([`apps::GraphColoring`]), Graph Connectivity
+//!   ([`apps::GraphConnectivity`]), 1-D Convolution
+//!   ([`apps::Convolution1D`]) and Unbalanced Tree Search ([`apps::Uts`]).
+//!   Each is correctly synchronized by default and carries configuration
+//!   knobs that inject the paper's per-application unique races
+//!   (MM 4, RED 2, R110 2, GCOL 6, GCON 5, 1DC 1, UTS 6 — 26 in total);
+//! * **thirty-two microbenchmarks** ([`micro::all_micros`]) covering fence,
+//!   atomic and lock/unlock synchronization at varying scopes — 18 racey and
+//!   14 non-racey (Table I);
+//! * an **R-MAT graph generator** ([`graphgen`]) standing in for GTgraph.
+//!
+//! Every application validates its output against a CPU reference in the
+//! correctly-synchronized configuration; racey configurations skip output
+//! validation (a real race may corrupt results) and are validated by the
+//! number of unique races the detector reports.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+mod common;
+pub mod graphgen;
+pub mod micro;
+mod runner;
+
+pub use common::GridSyncScopes;
+pub use runner::{run_benchmark, AppRun, Benchmark};

@@ -1,0 +1,563 @@
+//! The ScoR microbenchmarks (paper Table I): 32 two-thread kernels —
+//! 18 racey, 14 non-racey — covering fence, atomic and lock/unlock
+//! synchronization at varying scopes.
+//!
+//! Each microbenchmark stages two *actors*: thread 0 of block 0, and either
+//! thread 32 of block 0 (same block, different warp) or thread 0 of block 1
+//! (different block). A compute delay orders the second actor after the
+//! first without introducing synchronization, exactly like the paper's
+//! two-thread tests. Non-racey variants must produce **zero** reports (the
+//! false-positive check); racey variants must produce at least one.
+
+use scord_isa::{KernelBuilder, LockConfig, Program, Reg, Scope};
+use scord_sim::{Gpu, SimError, SimStats};
+
+use crate::common::{delay, is_actor};
+
+/// Microbenchmark family (Table I's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroCategory {
+    /// Store→load pairs with fences of varying scope.
+    Fence,
+    /// Atomic and non-atomic accesses of varying scope.
+    Atomics,
+    /// Inferred lock/unlock (acquire/release) of varying scope.
+    Lock,
+}
+
+impl MicroCategory {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroCategory::Fence => "Fence",
+            MicroCategory::Atomics => "Atomics",
+            MicroCategory::Lock => "Lock/unlock",
+        }
+    }
+}
+
+/// One microbenchmark: a compiled two-actor kernel plus its expectation.
+#[derive(Debug, Clone)]
+pub struct Micro {
+    /// Unique name.
+    pub name: &'static str,
+    /// Family.
+    pub category: MicroCategory,
+    /// `true` if the kernel contains a race ScoRD must report.
+    pub racey: bool,
+    program: Program,
+}
+
+impl Micro {
+    /// The compiled kernel (3 params: data, aux/lock, out).
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Runs the microbenchmark on `gpu` (2 blocks × 64 threads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn run(&self, gpu: &mut Gpu) -> Result<SimStats, SimError> {
+        let data = gpu.mem_mut().alloc_words(16);
+        let aux = gpu.mem_mut().alloc_words(16);
+        let out = gpu.mem_mut().alloc_words(16);
+        gpu.launch(&self.program, 2, 64, &[data.addr(), aux.addr(), out.addr()])
+    }
+}
+
+/// How long the second actor spins on ALU work before acting, in loop
+/// iterations. Long enough for the first actor's stores *and* its fence
+/// event to drain into the detector.
+const ORDER_DELAY: u32 = 1500;
+
+type Body<'a> = &'a dyn Fn(&mut KernelBuilder, Reg, Reg, Reg);
+
+struct Spec<'a> {
+    name: &'static str,
+    category: MicroCategory,
+    racey: bool,
+    same_block: bool,
+    barrier_between: bool,
+    delay_second: bool,
+    actor1: Body<'a>,
+    actor2: Body<'a>,
+}
+
+fn build(spec: &Spec<'_>) -> Micro {
+    let mut k = KernelBuilder::new(spec.name, 3);
+    let data = k.ld_param(0);
+    let aux = k.ld_param(1);
+    let out = k.ld_param(2);
+    let a1 = is_actor(&mut k, 0, 0);
+    k.if_then(a1, |k| (spec.actor1)(k, data, aux, out));
+    if spec.barrier_between {
+        k.bar();
+    }
+    let a2 = if spec.same_block {
+        is_actor(&mut k, 0, 32)
+    } else {
+        is_actor(&mut k, 1, 0)
+    };
+    let delay_second = spec.delay_second;
+    k.if_then(a2, |k| {
+        if delay_second {
+            delay(k, ORDER_DELAY);
+        }
+        (spec.actor2)(k, data, aux, out);
+    });
+    k.exit();
+    Micro {
+        name: spec.name,
+        category: spec.category,
+        racey: spec.racey,
+        program: k.finish().expect("microbenchmark kernels are well-formed"),
+    }
+}
+
+// ---- actor bodies ----------------------------------------------------------
+
+fn store_volatile(k: &mut KernelBuilder, data: Reg, _aux: Reg, _out: Reg) {
+    k.st_global_strong(data, 0, 42u32);
+}
+
+fn store_weak(k: &mut KernelBuilder, data: Reg, _aux: Reg, _out: Reg) {
+    k.st_global(data, 0, 42u32);
+}
+
+fn store_volatile_fence(scope: Scope) -> impl Fn(&mut KernelBuilder, Reg, Reg, Reg) {
+    move |k, data, _aux, _out| {
+        k.st_global_strong(data, 0, 42u32);
+        k.fence(scope);
+    }
+}
+
+fn load_volatile(k: &mut KernelBuilder, data: Reg, _aux: Reg, out: Reg) {
+    let v = k.ld_global_strong(data, 0);
+    k.st_global_strong(out, 0, v);
+}
+
+fn load_weak(k: &mut KernelBuilder, data: Reg, _aux: Reg, out: Reg) {
+    let v = k.ld_global(data, 0);
+    k.st_global_strong(out, 4, v);
+}
+
+fn atom_add(scope: Scope) -> impl Fn(&mut KernelBuilder, Reg, Reg, Reg) {
+    move |k, data, _aux, _out| {
+        k.atom_add_noret(data, 0, 5u32, scope);
+    }
+}
+
+/// Lock-protected increment of `data[0]` using the lock word `aux[0]`.
+fn locked_increment(cfg: LockConfig) -> impl Fn(&mut KernelBuilder, Reg, Reg, Reg) {
+    move |k, data, aux, _out| {
+        k.critical_section(aux, 0, cfg, |k| {
+            let v = k.ld_global_strong(data, 0);
+            let v1 = k.add(v, 1u32);
+            k.st_global_strong(data, 0, v1);
+        });
+    }
+}
+
+/// Lock-protected increment using *weak* accesses inside the critical
+/// section.
+fn locked_increment_weak(cfg: LockConfig) -> impl Fn(&mut KernelBuilder, Reg, Reg, Reg) {
+    move |k, data, aux, _out| {
+        k.critical_section(aux, 0, cfg, |k| {
+            let v = k.ld_global(data, 0);
+            let v1 = k.add(v, 1u32);
+            k.st_global(data, 0, v1);
+        });
+    }
+}
+
+/// Update without any lock, but with a polite device fence afterwards — the
+/// "forgot the lock, kept the fence" bug the lockset check exists for.
+fn unlocked_fenced_increment(k: &mut KernelBuilder, data: Reg, _aux: Reg, _out: Reg) {
+    let v = k.ld_global_strong(data, 0);
+    let v1 = k.add(v, 1u32);
+    k.st_global_strong(data, 0, v1);
+    k.fence(Scope::Device);
+}
+
+/// Increment under a *different* lock (`aux[4]` instead of `aux[0]`).
+fn locked_increment_other_lock(cfg: LockConfig) -> impl Fn(&mut KernelBuilder, Reg, Reg, Reg) {
+    move |k, data, aux, _out| {
+        k.critical_section(aux, 16, cfg, |k| {
+            let v = k.ld_global_strong(data, 0);
+            let v1 = k.add(v, 1u32);
+            k.st_global_strong(data, 0, v1);
+        });
+    }
+}
+
+/// Nested: take lock aux[0] then aux[8], touch data inside both.
+fn nested_locks_increment(k: &mut KernelBuilder, data: Reg, aux: Reg, _out: Reg) {
+    let cfg = LockConfig::device();
+    k.critical_section(aux, 0, cfg, |k| {
+        k.critical_section(aux, 32, cfg, |k| {
+            let v = k.ld_global_strong(data, 0);
+            let v1 = k.add(v, 1u32);
+            k.st_global_strong(data, 0, v1);
+        });
+    });
+}
+
+/// Proper locked read, then an unlocked store after release.
+fn locked_read_unlocked_store(k: &mut KernelBuilder, data: Reg, aux: Reg, out: Reg) {
+    let cfg = LockConfig::device();
+    k.critical_section(aux, 0, cfg, |k| {
+        let v = k.ld_global_strong(data, 0);
+        k.st_global_strong(out, 8, v);
+    });
+    k.st_global_strong(data, 0, 9u32); // bug: store escaped the lock
+}
+
+/// The full suite of 32 microbenchmarks (Table I): 6 fence (2 racey),
+/// 9 atomics (4 racey), 17 lock/unlock (12 racey).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn all_micros() -> Vec<Micro> {
+    use MicroCategory::{Atomics, Fence, Lock};
+    let mut v = Vec::with_capacity(32);
+
+    // ---- Fence: 4 non-racey, 2 racey -----------------------------------
+    for (name, same_block, scope, racey) in [
+        ("fence-nr-same-block-cta-fence", true, Scope::Block, false),
+        ("fence-nr-same-block-gl-fence", true, Scope::Device, false),
+        ("fence-nr-diff-block-gl-fence", false, Scope::Device, false),
+        ("fence-racey-diff-block-cta-fence", false, Scope::Block, true),
+    ] {
+        let writer = store_volatile_fence(scope);
+        v.push(build(&Spec {
+            name,
+            category: Fence,
+            racey,
+            same_block,
+            barrier_between: false,
+            delay_second: true,
+            actor1: &writer,
+            actor2: &load_volatile,
+        }));
+    }
+    v.push(build(&Spec {
+        name: "fence-nr-same-block-barrier",
+        category: Fence,
+        racey: false,
+        same_block: true,
+        barrier_between: true,
+        delay_second: false,
+        actor1: &store_weak,
+        actor2: &load_weak,
+    }));
+    v.push(build(&Spec {
+        name: "fence-racey-diff-block-missing",
+        category: Fence,
+        racey: true,
+        same_block: false,
+        barrier_between: false,
+        delay_second: true,
+        actor1: &store_volatile,
+        actor2: &load_volatile,
+    }));
+
+    // ---- Atomics: 5 non-racey, 4 racey ----------------------------------
+    let add_dev = atom_add(Scope::Device);
+    let add_blk = atom_add(Scope::Block);
+    for (name, same_block, a1, a2, racey) in [
+        (
+            "atom-nr-dev-dev-diff-block",
+            false,
+            &add_dev as Body<'_>,
+            &add_dev as Body<'_>,
+            false,
+        ),
+        ("atom-nr-cta-cta-same-block", true, &add_blk, &add_blk, false),
+        ("atom-nr-dev-dev-same-block", true, &add_dev, &add_dev, false),
+        ("atom-racey-cta-cta-diff-block", false, &add_blk, &add_blk, true),
+        ("atom-racey-cta-dev-diff-block", false, &add_blk, &add_dev, true),
+    ] {
+        v.push(build(&Spec {
+            name,
+            category: Atomics,
+            racey,
+            same_block,
+            barrier_between: false,
+            delay_second: false,
+            actor1: a1,
+            actor2: a2,
+        }));
+    }
+    for (name, same_block, scope, reader, racey) in [
+        (
+            "atom-nr-dev-then-volatile-load-diff-block",
+            false,
+            Scope::Device,
+            &load_volatile as Body<'_>,
+            false,
+        ),
+        (
+            "atom-nr-cta-then-volatile-load-same-block",
+            true,
+            Scope::Block,
+            &load_volatile as Body<'_>,
+            false,
+        ),
+        (
+            "atom-racey-cta-then-volatile-load-diff-block",
+            false,
+            Scope::Block,
+            &load_volatile as Body<'_>,
+            true,
+        ),
+        (
+            "atom-racey-dev-then-weak-load-diff-block",
+            false,
+            Scope::Device,
+            &load_weak as Body<'_>,
+            true,
+        ),
+    ] {
+        let writer = atom_add(scope);
+        v.push(build(&Spec {
+            name,
+            category: Atomics,
+            racey,
+            same_block,
+            barrier_between: false,
+            delay_second: true,
+            actor1: &writer,
+            actor2: reader,
+        }));
+    }
+
+    // ---- Lock/unlock: 5 non-racey, 12 racey ------------------------------
+    let dev = LockConfig::device();
+    let blk = LockConfig::block();
+    let dev_inc = locked_increment(dev);
+    let blk_inc = locked_increment(blk);
+
+    // Non-racey.
+    for (name, same_block) in [
+        ("lock-nr-device-diff-block", false),
+        ("lock-nr-device-same-block", true),
+    ] {
+        v.push(build(&Spec {
+            name,
+            category: Lock,
+            racey: false,
+            same_block,
+            barrier_between: false,
+            delay_second: false,
+            actor1: &dev_inc,
+            actor2: &dev_inc,
+        }));
+    }
+    v.push(build(&Spec {
+        name: "lock-nr-block-same-block",
+        category: Lock,
+        racey: false,
+        same_block: true,
+        barrier_between: false,
+        delay_second: false,
+        actor1: &blk_inc,
+        actor2: &blk_inc,
+    }));
+    v.push(build(&Spec {
+        name: "lock-nr-nested-device-diff-block",
+        category: Lock,
+        racey: false,
+        same_block: false,
+        barrier_between: false,
+        delay_second: false,
+        actor1: &nested_locks_increment,
+        actor2: &nested_locks_increment,
+    }));
+    // Inner lock of the nested pair vs a plain holder of that same lock.
+    let inner_only = locked_increment_other_lock(dev); // lock aux[4]
+    let inner_only_b = locked_increment_other_lock(dev);
+    v.push(build(&Spec {
+        name: "lock-nr-same-inner-lock-diff-block",
+        category: Lock,
+        racey: false,
+        same_block: false,
+        barrier_between: false,
+        delay_second: false,
+        actor1: &inner_only,
+        actor2: &inner_only_b,
+    }));
+
+    // Racey.
+    let racey_lock_pairs: [(&'static str, LockConfig, LockConfig); 8] = [
+        ("lock-racey-block-diff-block", blk, blk),
+        (
+            "lock-racey-cas-block-exch-device",
+            LockConfig {
+                cas_scope: Scope::Block,
+                ..dev
+            },
+            LockConfig {
+                cas_scope: Scope::Block,
+                ..dev
+            },
+        ),
+        (
+            "lock-racey-cas-device-exch-block",
+            LockConfig {
+                exch_scope: Scope::Block,
+                ..dev
+            },
+            LockConfig {
+                exch_scope: Scope::Block,
+                ..dev
+            },
+        ),
+        (
+            "lock-racey-missing-acquire-fence-one-side",
+            dev,
+            LockConfig {
+                acquire_fence: None,
+                ..dev
+            },
+        ),
+        (
+            "lock-racey-missing-release-fence",
+            LockConfig {
+                release_fence: None,
+                ..dev
+            },
+            LockConfig {
+                release_fence: None,
+                ..dev
+            },
+        ),
+        (
+            "lock-racey-acquire-fence-block-scoped",
+            dev,
+            LockConfig {
+                acquire_fence: Some(Scope::Block),
+                ..dev
+            },
+        ),
+        (
+            "lock-racey-release-fence-block-scoped",
+            LockConfig {
+                release_fence: Some(Scope::Block),
+                ..dev
+            },
+            LockConfig {
+                release_fence: Some(Scope::Block),
+                ..dev
+            },
+        ),
+        (
+            "lock-racey-block-lock-device-fences",
+            LockConfig {
+                cas_scope: Scope::Block,
+                exch_scope: Scope::Block,
+                ..dev
+            },
+            LockConfig {
+                cas_scope: Scope::Block,
+                exch_scope: Scope::Block,
+                ..dev
+            },
+        ),
+    ];
+    for (name, c1, c2) in racey_lock_pairs {
+        let a1 = locked_increment(c1);
+        let a2 = locked_increment(c2);
+        v.push(build(&Spec {
+            name,
+            category: Lock,
+            racey: true,
+            same_block: false,
+            barrier_between: false,
+            delay_second: false,
+            actor1: &a1,
+            actor2: &a2,
+        }));
+    }
+    v.push(build(&Spec {
+        name: "lock-racey-no-lock-one-side",
+        category: Lock,
+        racey: true,
+        same_block: false,
+        barrier_between: false,
+        delay_second: false,
+        actor1: &dev_inc,
+        actor2: &unlocked_fenced_increment,
+    }));
+    let other_lock = locked_increment_other_lock(dev);
+    v.push(build(&Spec {
+        name: "lock-racey-different-locks",
+        category: Lock,
+        racey: true,
+        same_block: false,
+        barrier_between: false,
+        delay_second: false,
+        actor1: &dev_inc,
+        actor2: &other_lock,
+    }));
+    let weak_cs = locked_increment_weak(dev);
+    v.push(build(&Spec {
+        name: "lock-racey-weak-data-in-cs",
+        category: Lock,
+        racey: true,
+        same_block: false,
+        barrier_between: false,
+        delay_second: false,
+        actor1: &weak_cs,
+        actor2: &dev_inc,
+    }));
+    v.push(build(&Spec {
+        name: "lock-racey-store-escapes-cs",
+        category: Lock,
+        racey: true,
+        same_block: false,
+        barrier_between: false,
+        delay_second: true,
+        actor1: &dev_inc,
+        actor2: &locked_read_unlocked_store,
+    }));
+
+    debug_assert_eq!(v.len(), 32);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape_matches_table1() {
+        let micros = all_micros();
+        assert_eq!(micros.len(), 32);
+        let count = |cat, racey| {
+            micros
+                .iter()
+                .filter(|m| m.category == cat && m.racey == racey)
+                .count()
+        };
+        assert_eq!(count(MicroCategory::Fence, true), 2);
+        assert_eq!(count(MicroCategory::Fence, false), 4);
+        assert_eq!(count(MicroCategory::Atomics, true), 4);
+        assert_eq!(count(MicroCategory::Atomics, false), 5);
+        assert_eq!(count(MicroCategory::Lock, true), 12);
+        assert_eq!(count(MicroCategory::Lock, false), 5);
+        let racey: usize = micros.iter().filter(|m| m.racey).count();
+        assert_eq!(racey, 18, "Table I: 18 racey, 14 non-racey");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let micros = all_micros();
+        let mut names: Vec<_> = micros.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+}

@@ -1,0 +1,61 @@
+//! The benchmark abstraction shared by applications and experiments.
+
+use scord_sim::{Gpu, SimError, SimStats};
+
+/// The result of running one benchmark on a GPU.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Counters aggregated over every kernel launch of the run.
+    pub stats: SimStats,
+    /// Number of kernel launches performed.
+    pub launches: u32,
+    /// `Some(true)` when the output matched the CPU reference,
+    /// `Some(false)` on a mismatch, `None` when the configuration injects
+    /// races and output validation is skipped (a real race may legitimately
+    /// corrupt results).
+    pub output_valid: Option<bool>,
+}
+
+impl AppRun {
+    /// Creates a run summary.
+    #[must_use]
+    pub fn new(stats: SimStats, launches: u32, output_valid: Option<bool>) -> Self {
+        AppRun {
+            stats,
+            launches,
+            output_valid,
+        }
+    }
+}
+
+/// A ScoR benchmark: owns its workload generation, kernel(s), launch
+/// geometry and validation.
+pub trait Benchmark {
+    /// Short name (the paper's abbreviation: "MM", "RED", ...).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for Table II.
+    fn description(&self) -> &'static str;
+
+    /// Unique races this configuration is expected to produce (0 for the
+    /// correctly-synchronized default).
+    fn expected_races(&self) -> usize;
+
+    /// Allocates inputs, launches the kernel(s) on `gpu`, validates output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the launches.
+    fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError>;
+}
+
+/// Runs a benchmark on a fresh flow of launches, returning its summary.
+///
+/// Thin convenience wrapper so callers don't need the trait in scope.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_benchmark(bench: &dyn Benchmark, gpu: &mut Gpu) -> Result<AppRun, SimError> {
+    bench.run(gpu)
+}

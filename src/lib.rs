@@ -1,0 +1,79 @@
+//! # scord
+//!
+//! A comprehensive reproduction of **ScoRD: A Scoped Race Detector for
+//! GPUs** (Kamath, George & Basu, ISCA 2020) in pure Rust.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] (`scord-core`) — the ScoRD detector: scope-aware
+//!   happens-before + lockset detection over per-location metadata;
+//! * [`sim`] (`scord-sim`) — the cycle-level GPU simulator the detector is
+//!   evaluated in (the GPGPU-Sim substitute);
+//! * [`isa`] (`scord-isa`) — the PTX-like kernel ISA and builder;
+//! * [`suite`] (`scor-suite`) — the ScoR benchmark suite: 7 applications and
+//!   32 microbenchmarks with configurable scoped races;
+//! * [`harness`] (`scord-harness`) — experiment runners regenerating every
+//!   table and figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scord::prelude::*;
+//!
+//! // Build a kernel where two blocks communicate through a block-scoped
+//! // fence — insufficient scope, a "scoped race".
+//! let mut k = KernelBuilder::new("racey", 2);
+//! let data = k.ld_param(0);
+//! let flag = k.ld_param(1);
+//! let producer = {
+//!     let tid = k.special(SpecialReg::Tid);
+//!     let cta = k.special(SpecialReg::Ctaid);
+//!     let t0 = k.set_eq(tid, 0u32);
+//!     let b0 = k.set_eq(cta, 0u32);
+//!     k.logical_and(t0, b0)
+//! };
+//! k.if_then(producer, |k| {
+//!     k.st_global_strong(data, 0, 42u32);
+//!     k.fence(Scope::Block); // BUG: consumer is in another block
+//!     k.atom_exch_noret(flag, 0, 1u32, Scope::Device);
+//! });
+//! let consumer = {
+//!     let tid = k.special(SpecialReg::Tid);
+//!     let cta = k.special(SpecialReg::Ctaid);
+//!     let t0 = k.set_eq(tid, 0u32);
+//!     let b1 = k.set_eq(cta, 1u32);
+//!     k.logical_and(t0, b1)
+//! };
+//! k.if_then(consumer, |k| {
+//!     k.spin_until_eq_atomic(flag, 0, 1u32, Scope::Device);
+//!     let _ = k.ld_global_strong(data, 0);
+//! });
+//! let program = k.finish()?;
+//!
+//! // Run it on the simulated GPU with ScoRD attached.
+//! let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+//! let data = gpu.mem_mut().alloc_words(1);
+//! let flag = gpu.mem_mut().alloc_words(1);
+//! gpu.launch(&program, 2, 32, &[data.addr(), flag.addr()])?;
+//!
+//! assert_eq!(gpu.races().unwrap().unique_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use scor_suite as suite;
+pub use scord_core as core;
+pub use scord_harness as harness;
+pub use scord_isa as isa;
+pub use scord_sim as sim;
+
+/// The most common imports for writing and racing kernels.
+pub mod prelude {
+    pub use scord_core::{
+        AccessKind, Accessor, Detector, DetectorConfig, DetectorKind, MemAccess, RaceKind,
+        ScordDetector,
+    };
+    pub use scord_isa::{AluOp, AtomOp, KernelBuilder, LockConfig, Scope, SpecialReg};
+    pub use scord_sim::{DetectionMode, Gpu, GpuConfig, OverheadToggles, SimStats};
+}

@@ -1,0 +1,103 @@
+//! The paper's headline quantitative claims, asserted at quick scale.
+//! EXPERIMENTS.md records the full-size numbers; these tests keep the
+//! claims' *shape* under regression control.
+
+use scord::core::{DetectorConfig, ScordDetector, StoreKind};
+use scord::prelude::*;
+
+#[test]
+fn hardware_state_is_under_3_kilobytes() {
+    // §IV-C: barrier IDs + lock tables + fence file ≈ 2.9 KB.
+    let det = ScordDetector::new(DetectorConfig::paper_default(64 << 20));
+    assert!(det.hardware_state_bits() <= 3 * 1024 * 8);
+}
+
+#[test]
+fn metadata_overheads_match_abstract() {
+    // Abstract: 12.5% metadata overhead for ScoRD, 200% for the naive base.
+    assert_eq!(StoreKind::Cached { ratio: 16 }.overhead_fraction(), 0.125);
+    assert_eq!(StoreKind::Full { granularity: 4 }.overhead_fraction(), 2.0);
+}
+
+#[test]
+fn fig8_shape_caching_helps_and_overhead_is_bounded() {
+    let rows = scord_harness::fig8::run(true);
+    // Base design ≥ ScoRD on average (metadata caching helps performance,
+    // §V-A) and the mean overhead stays within a plausible band of the
+    // paper's 35%.
+    let geo = |f: &dyn Fn(&scord_harness::fig8::Row) -> f64| -> f64 {
+        (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len() as f64).exp()
+    };
+    let base = geo(&|r| r.base);
+    let scord = geo(&|r| r.scord);
+    assert!(
+        scord <= base + 0.02,
+        "caching should not hurt on average: scord {scord:.3} vs base {base:.3}"
+    );
+    assert!(scord < 2.0, "mean ScoRD overhead stays moderate: {scord:.3}");
+}
+
+#[test]
+fn fig9_shape_metadata_traffic_shrinks_16x_ish() {
+    let rows = scord_harness::fig9::run(true);
+    let base_md: f64 = rows.iter().map(|r| r.base_md).sum();
+    let scord_md: f64 = rows.iter().map(|r| r.scord_md).sum();
+    assert!(
+        scord_md * 4.0 < base_md,
+        "cached metadata traffic should be several times smaller: {scord_md:.2} vs {base_md:.2}"
+    );
+}
+
+#[test]
+fn table7_shape_false_positives_grow_with_granularity() {
+    let rows = scord_harness::table7::run(true);
+    let sum = |f: &dyn Fn(&scord_harness::table7::Row) -> usize| -> usize {
+        rows.iter().map(f).sum()
+    };
+    assert_eq!(sum(&|r| r.g4), 0, "4-byte tracking has no false positives");
+    assert_eq!(sum(&|r| r.scord), 0, "ScoRD has no false positives");
+    assert!(
+        sum(&|r| r.g16) >= sum(&|r| r.g8),
+        "coarser granularity cannot reduce false positives"
+    );
+    assert!(
+        sum(&|r| r.g8) + sum(&|r| r.g16) > 0,
+        "coarse granularity must introduce some false positives"
+    );
+}
+
+#[test]
+fn table6_shape_base_catches_everything_quick() {
+    let rows = scord_harness::table6::run(true);
+    let micro = rows
+        .iter()
+        .find(|r| r.workload == "Microbenchmarks")
+        .unwrap();
+    assert_eq!(micro.present, 18);
+    assert_eq!(micro.base, 18);
+    assert_eq!(micro.scord, 18);
+    for r in rows.iter().filter(|r| r.workload != "Total") {
+        assert!(r.base > 0, "{}", r.workload);
+        assert!(
+            r.scord <= r.base,
+            "{}: caching can only lose races, not invent them",
+            r.workload
+        );
+    }
+}
+
+#[test]
+fn detection_can_be_turned_off_for_production() {
+    // §I: "ScoRD can be turned on only during software testing or
+    // debugging" — detection off must add no metadata traffic and report
+    // nothing.
+    let app = scord_harness::apps(true).remove(1); // RED
+    let stats = scord_harness::run_app(
+        app.as_ref(),
+        DetectionMode::Off,
+        scord_harness::MemoryVariant::Default,
+    );
+    assert_eq!(stats.dram.metadata(), 0);
+    assert_eq!(stats.detector_events, 0);
+    assert_eq!(stats.unique_races, 0);
+}
