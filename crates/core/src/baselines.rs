@@ -102,7 +102,8 @@ mod tests {
             strong: true,
             pc: 1,
             who: acc(0, 0),
-        });
+        })
+        .unwrap();
         det.on_access(&MemAccess {
             kind: AccessKind::Atomic {
                 kind: AtomKind::Other,
@@ -112,7 +113,8 @@ mod tests {
             strong: true,
             pc: 2,
             who: acc(8, 1),
-        });
+        })
+        .unwrap();
         det.races().unique_count()
     }
 
@@ -125,15 +127,17 @@ mod tests {
             strong: true,
             pc: 3,
             who: acc(0, 0),
-        });
-        det.on_fence(0, 0, Scope::Block);
+        })
+        .unwrap();
+        det.on_fence(0, 0, Scope::Block).unwrap();
         det.on_access(&MemAccess {
             kind: AccessKind::Load,
             addr: 0x80,
             strong: true,
             pc: 4,
             who: acc(8, 1),
-        });
+        })
+        .unwrap();
         det.races().unique_count()
     }
 
@@ -174,14 +178,16 @@ mod tests {
                 strong: true,
                 pc: 5,
                 who: acc(0, 0),
-            });
+            })
+            .unwrap();
             det.on_access(&MemAccess {
                 kind: AccessKind::Load,
                 addr: 0xC0,
                 strong: true,
                 pc: 6,
                 who: acc(8, 1),
-            });
+            })
+            .unwrap();
             assert_eq!(
                 det.races().unique_count(),
                 1,

@@ -1,5 +1,7 @@
 //! Detector configuration.
 
+use crate::FaultPlan;
+
 /// Hardware geometry the detector's tables are sized for.
 ///
 /// Matches Table V of the paper by default: 15 SMs, 8 resident blocks per SM,
@@ -100,6 +102,9 @@ pub struct DetectorConfig {
     /// Maximum number of full race records retained (unique counting is
     /// unaffected).
     pub max_race_records: usize,
+    /// Optional fault-injection campaign. `None` (the default) costs one
+    /// branch per event on the hot path.
+    pub fault: Option<FaultPlan>,
 }
 
 impl DetectorConfig {
@@ -113,6 +118,16 @@ impl DetectorConfig {
             metadata_base: mem_bytes, // metadata region sits after data
             lock_table_entries: 4,
             max_race_records: 4096,
+            fault: None,
+        }
+    }
+
+    /// The same configuration with a fault-injection plan armed.
+    #[must_use]
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        DetectorConfig {
+            fault: Some(plan),
+            ..self
         }
     }
 

@@ -21,8 +21,9 @@
 use scord_isa::Scope;
 
 use crate::{
-    build_store, AccessKind, AtomKind, DetectorConfig, FenceFile, LockTables, MemAccess,
-    MetadataStore, RaceKind, RaceLog, RaceReport,
+    build_store, AccessKind, Accessor, AtomKind, DetectorConfig, DetectorError, FaultInjector,
+    FaultKind, FaultStats, FenceCounters, FenceFile, LockTables, MemAccess, MetadataStore,
+    RaceKind, RaceLog, RaceReport,
 };
 
 /// Per-access outcome, consumed by the timing model.
@@ -44,19 +45,24 @@ pub struct AccessEffects {
 ///
 /// All detectors consume the same event stream; the baselines of Table VIII
 /// are scope-erasing wrappers around [`ScordDetector`].
+///
+/// Every event-facing method validates its inputs against the configured
+/// geometry and returns a [`DetectorError`] for malformed events — the
+/// detector must survive a corrupted event stream without panicking or
+/// silently aliasing one warp's state into another's.
 pub trait Detector: std::fmt::Debug {
     /// A barrier (`__syncthreads`) completed for the block in `block_slot`.
-    fn on_barrier(&mut self, sm: u8, block_slot: u8);
+    fn on_barrier(&mut self, sm: u8, block_slot: u8) -> Result<(), DetectorError>;
 
     /// A warp executed a scoped fence.
-    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope);
+    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) -> Result<(), DetectorError>;
 
     /// A warp slot was (re)assigned to a fresh threadblock — clears its
     /// inferred-lock state.
-    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8);
+    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) -> Result<(), DetectorError>;
 
     /// One lane's global-memory access.
-    fn on_access(&mut self, access: &MemAccess) -> AccessEffects;
+    fn on_access(&mut self, access: &MemAccess) -> Result<AccessEffects, DetectorError>;
 
     /// The accumulated race buffer.
     fn races(&self) -> &RaceLog;
@@ -71,6 +77,12 @@ pub trait Detector: std::fmt::Debug {
     /// kernel cannot produce false conflicts, but keeps the accumulated race
     /// log (one application may span several kernels).
     fn on_kernel_boundary(&mut self);
+
+    /// Fault-injection counters, when the detector runs under a
+    /// [`crate::FaultPlan`]. `None` for detectors without an injector.
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        None
+    }
 }
 
 /// The ScoRD detector.
@@ -87,10 +99,10 @@ pub trait Detector: std::fmt::Debug {
 /// // intervening device fence is a device-scope race.
 /// det.on_access(&MemAccess {
 ///     kind: AccessKind::Store, addr: 0x100, strong: true, pc: 1, who: writer,
-/// });
+/// }).unwrap();
 /// det.on_access(&MemAccess {
 ///     kind: AccessKind::Load, addr: 0x100, strong: true, pc: 2, who: reader,
-/// });
+/// }).unwrap();
 /// assert_eq!(det.races().unique_count(), 1);
 /// ```
 #[derive(Debug)]
@@ -103,6 +115,7 @@ pub struct ScordDetector {
     races: RaceLog,
     erase_atomic_scope: bool,
     erase_fence_scope: bool,
+    injector: Option<FaultInjector>,
 }
 
 impl ScordDetector {
@@ -132,9 +145,10 @@ impl ScordDetector {
             lock_tables: LockTables::new(config.geometry, config.lock_table_entries),
             barrier_ids: vec![0; config.geometry.total_block_slots() as usize],
             races: RaceLog::new(config.max_race_records),
-            config,
             erase_atomic_scope,
             erase_fence_scope,
+            injector: config.fault.map(FaultInjector::new),
+            config,
         }
     }
 
@@ -177,6 +191,54 @@ impl ScordDetector {
         (u32::from(block_slot) / self.config.geometry.blocks_per_sm) as u8
     }
 
+    fn validate_warp(&self, sm: u8, warp_slot: u8) -> Result<(), DetectorError> {
+        let g = &self.config.geometry;
+        if u32::from(sm) >= g.num_sms {
+            return Err(DetectorError::SmOutOfRange {
+                sm,
+                num_sms: g.num_sms,
+            });
+        }
+        if u32::from(warp_slot) >= g.warps_per_sm {
+            return Err(DetectorError::WarpOutOfRange {
+                warp_slot,
+                warps_per_sm: g.warps_per_sm,
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_block(&self, sm: u8, block_slot: u8) -> Result<(), DetectorError> {
+        let g = &self.config.geometry;
+        if u32::from(sm) >= g.num_sms {
+            return Err(DetectorError::SmOutOfRange {
+                sm,
+                num_sms: g.num_sms,
+            });
+        }
+        if u32::from(block_slot) >= g.total_block_slots() {
+            return Err(DetectorError::BlockOutOfRange {
+                block_slot,
+                total_block_slots: g.total_block_slots(),
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_accessor(&self, who: Accessor) -> Result<(), DetectorError> {
+        self.validate_warp(who.sm, who.warp_slot)?;
+        self.validate_block(who.sm, who.block_slot)?;
+        // The global block slot must live on the claimed SM, or barriers and
+        // fences would be charged to the wrong hardware.
+        if self.sm_of_block_slot(who.block_slot) != who.sm {
+            return Err(DetectorError::AccessorInconsistent {
+                who,
+                blocks_per_sm: self.config.geometry.blocks_per_sm,
+            });
+        }
+        Ok(())
+    }
+
     fn report(&mut self, kind: RaceKind, access: &MemAccess, md: crate::MetadataEntry) -> u8 {
         let same_block = md.block_id() == access.who.block_slot;
         self.races.record(RaceReport {
@@ -197,22 +259,37 @@ impl ScordDetector {
 }
 
 impl Detector for ScordDetector {
-    fn on_barrier(&mut self, _sm: u8, block_slot: u8) {
+    fn on_barrier(&mut self, sm: u8, block_slot: u8) -> Result<(), DetectorError> {
+        self.validate_block(sm, block_slot)?;
         let b = &mut self.barrier_ids[block_slot as usize];
         *b = b.wrapping_add(1);
+        Ok(())
     }
 
-    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) {
+    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) -> Result<(), DetectorError> {
+        self.validate_warp(sm, warp_slot)?;
         let scope = self.effective_fence_scope(scope);
         self.fence_file.on_fence(sm, warp_slot, scope);
         self.lock_tables.table_mut(sm, warp_slot).on_fence(scope);
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.trigger(FaultKind::FenceCorrupt) {
+                let corrupted = FenceCounters {
+                    blk: inj.pick(64) as u8,
+                    dev: inj.pick(64) as u8,
+                };
+                self.fence_file.set_counters(sm, warp_slot, corrupted);
+            }
+        }
+        Ok(())
     }
 
-    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) {
+    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) -> Result<(), DetectorError> {
+        self.validate_warp(sm, warp_slot)?;
         self.lock_tables.table_mut(sm, warp_slot).reset();
+        Ok(())
     }
 
-    fn on_access(&mut self, access: &MemAccess) -> AccessEffects {
+    fn on_access(&mut self, access: &MemAccess) -> Result<AccessEffects, DetectorError> {
         self.check_access(access, None)
     }
 
@@ -226,6 +303,8 @@ impl Detector for ScordDetector {
         self.lock_tables.reset();
         self.barrier_ids.fill(0);
         self.races.reset();
+        // A fresh injector stream, so back-to-back runs are identical.
+        self.injector = self.config.fault.map(FaultInjector::new);
     }
 
     fn on_kernel_boundary(&mut self) {
@@ -234,6 +313,10 @@ impl Detector for ScordDetector {
         self.lock_tables.reset();
         self.barrier_ids.fill(0);
     }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
+    }
 }
 
 impl ScordDetector {
@@ -241,7 +324,10 @@ impl ScordDetector {
     /// accessor's lane is recorded in the metadata's unused bits, and
     /// same-warp accesses by *different lanes during divergence* are
     /// treated as potential conflicts instead of program-ordered.
-    pub fn on_access_its(&mut self, its: &crate::ItsAccess) -> AccessEffects {
+    pub fn on_access_its(
+        &mut self,
+        its: &crate::ItsAccess,
+    ) -> Result<AccessEffects, DetectorError> {
         debug_assert!(its.lane < 32, "lane must be a warp lane index");
         self.check_access(&its.access, Some((its.lane, its.diverged)))
     }
@@ -251,20 +337,46 @@ impl ScordDetector {
         &mut self,
         access: &MemAccess,
         its: Option<(u8, bool)>,
-    ) -> AccessEffects {
+    ) -> Result<AccessEffects, DetectorError> {
         let who = access.who;
-        debug_assert!(
-            access.addr.is_multiple_of(4),
-            "global accesses are 4-byte aligned (got 0x{:x})",
-            access.addr
-        );
+        self.validate_accessor(who)?;
+        if !access.addr.is_multiple_of(4) {
+            return Err(DetectorError::MisalignedAddress { addr: access.addr });
+        }
 
-        let bloom = self.lock_tables.table(who.sm, who.warp_slot).bloom();
+        // Fault hook: an adversarial alias evicts the covering metadata
+        // entry just before the lookup.
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.trigger(FaultKind::MetadataEvict) {
+                self.store.evict(access.addr);
+            }
+        }
+
+        let mut bloom = self.lock_tables.table(who.sm, who.warp_slot).bloom();
         let cur_barrier = self.barrier_ids[who.block_slot as usize];
         let cur_fences = self.fence_file.counters(who.sm, who.warp_slot);
 
         let lookup = self.store.load(access.addr);
         let mut md = lookup.entry;
+
+        // Fault hooks: a soft error flips one bit of the loaded entry; a
+        // bloom collision flips one bit of the access's lock summary; an
+        // adversarial eviction invalidates a random lock-table entry.
+        if let Some(inj) = self.injector.as_mut() {
+            if !lookup.fresh && inj.trigger(FaultKind::MetadataBitFlip) {
+                md = crate::MetadataEntry::from_bits(inj.flip_bit64(md.to_bits()));
+            }
+            if inj.trigger(FaultKind::BloomFlip) {
+                bloom = inj.flip_bit16(bloom);
+            }
+            if inj.trigger(FaultKind::LockInvalidate) {
+                let idx = inj.pick(self.config.lock_table_entries);
+                self.lock_tables
+                    .table_mut(who.sm, who.warp_slot)
+                    .invalidate_entry(idx);
+            }
+        }
+
         let fresh = lookup.fresh || md.is_initialized();
 
         let cur_is_load = !access.kind.is_write();
@@ -296,10 +408,15 @@ impl ScordDetector {
         let mut races = 0u8;
         if !prelim_pass {
             let same_block = md.block_id() == who.block_slot;
-            let same_warp =
-                same_block && md.warp_id() == who.warp_slot && same_thread;
-            let prev_sm = self.sm_of_block_slot(md.block_id());
-            let prev_ff = self.fence_file.counters(prev_sm, md.warp_id());
+            let same_warp = same_block && md.warp_id() == who.warp_slot && same_thread;
+            // A fault-corrupted entry can record out-of-range ids; truncate
+            // into the geometry the way the hardware's index wires would,
+            // rather than reading past the fence file.
+            let g = self.config.geometry;
+            let prev_block = u32::from(md.block_id()) % g.total_block_slots();
+            let prev_sm = (prev_block / g.blocks_per_sm) as u8;
+            let prev_warp = (u32::from(md.warp_id()) % g.warps_per_sm) as u8;
+            let prev_ff = self.fence_file.counters(prev_sm, prev_warp);
 
             // Happens-before family: skipped for load-after-load.
             // Load-after-load is never a conflict.
@@ -310,9 +427,7 @@ impl ScordDetector {
                     // invisible outside its block, whatever follows it.
                     if md.scope() == Scope::Block && !same_block {
                         races += self.report(RaceKind::ScopedAtomic, access, md);
-                    } else if !same_warp
-                        && !(md.strong() && (access.strong || cur_is_atomic))
-                    {
+                    } else if !same_warp && !(md.strong() && (access.strong || cur_is_atomic)) {
                         // (c) still applies: a *weak* access conflicting
                         // with an atomically-updated location is unordered.
                         races += self.report(RaceKind::NotStrong, access, md);
@@ -337,9 +452,7 @@ impl ScordDetector {
                             RaceKind::MissingDeviceFence
                         };
                         races += self.report(kind, access, md);
-                    } else if !same_warp
-                        && !(md.strong() && (access.strong || cur_is_atomic))
-                    {
+                    } else if !same_warp && !(md.strong() && (access.strong || cur_is_atomic)) {
                         // (c) fences only order strong operations: a
                         // conflicting weak access races even across a fence.
                         races += self.report(RaceKind::NotStrong, access, md);
@@ -410,11 +523,11 @@ impl ScordDetector {
         }
         self.store.store(access.addr, md);
 
-        AccessEffects {
+        Ok(AccessEffects {
             md_addr: lookup.md_addr,
             md_fresh: lookup.fresh,
             prelim_pass,
             races,
-        }
+        })
     }
 }

@@ -1,0 +1,114 @@
+//! Typed errors for malformed detector inputs.
+//!
+//! The detector is driven by an event stream that, in this repository, comes
+//! from the simulator — but the crate is usable standalone, and under fault
+//! injection the stream itself may be corrupted. Out-of-range hardware slot
+//! ids or inconsistent accessor coordinates must surface as a typed error
+//! rather than an index panic or, worse, a silent aliasing into another
+//! warp's fence/lock state.
+
+use std::fmt;
+
+use crate::Accessor;
+
+/// A malformed detector input: the event names hardware state that does not
+/// exist in the configured geometry, or is internally inconsistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorError {
+    /// An event named an SM index outside the configured geometry.
+    SmOutOfRange {
+        /// The offending SM index.
+        sm: u8,
+        /// Configured number of SMs.
+        num_sms: u32,
+    },
+    /// An event named a warp slot outside the per-SM warp file.
+    WarpOutOfRange {
+        /// The offending warp slot.
+        warp_slot: u8,
+        /// Configured warp slots per SM.
+        warps_per_sm: u32,
+    },
+    /// An event named a block slot outside the device's block-slot table.
+    BlockOutOfRange {
+        /// The offending (global) block slot.
+        block_slot: u8,
+        /// Configured total block slots (SMs × blocks per SM).
+        total_block_slots: u32,
+    },
+    /// An accessor's global block slot does not live on its claimed SM —
+    /// honouring it would charge barriers and fences to the wrong hardware.
+    AccessorInconsistent {
+        /// The offending accessor.
+        who: Accessor,
+        /// Configured block slots per SM.
+        blocks_per_sm: u32,
+    },
+    /// A global-memory access address that is not 4-byte aligned (the
+    /// metadata granule); the metadata tables cannot represent it.
+    MisalignedAddress {
+        /// The offending byte address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DetectorError::SmOutOfRange { sm, num_sms } => {
+                write!(f, "SM index {sm} out of range (geometry has {num_sms} SMs)")
+            }
+            DetectorError::WarpOutOfRange {
+                warp_slot,
+                warps_per_sm,
+            } => write!(
+                f,
+                "warp slot {warp_slot} out of range (geometry has {warps_per_sm} warp slots per SM)"
+            ),
+            DetectorError::BlockOutOfRange {
+                block_slot,
+                total_block_slots,
+            } => write!(
+                f,
+                "block slot {block_slot} out of range (geometry has {total_block_slots} block slots)"
+            ),
+            DetectorError::AccessorInconsistent { who, blocks_per_sm } => write!(
+                f,
+                "accessor block slot {} does not belong to SM {} ({} block slots per SM)",
+                who.block_slot, who.sm, blocks_per_sm
+            ),
+            DetectorError::MisalignedAddress { addr } => {
+                write!(f, "access address 0x{addr:x} is not 4-byte aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_values() {
+        let e = DetectorError::SmOutOfRange {
+            sm: 99,
+            num_sms: 15,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("15"));
+        let e = DetectorError::MisalignedAddress { addr: 0x1003 };
+        assert!(e.to_string().contains("0x1003"));
+        let e = DetectorError::AccessorInconsistent {
+            who: Accessor {
+                sm: 2,
+                block_slot: 5,
+                warp_slot: 0,
+            },
+            blocks_per_sm: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("block slot 5") && s.contains("SM 2"), "{s}");
+    }
+}

@@ -1,0 +1,534 @@
+//! Seeded fault injection for the detector pipeline.
+//!
+//! ScoRD's hardware is deliberately lossy: the direct-mapped metadata cache
+//! drops aliased entries, 6-bit fence counters wrap, 16-bit lock blooms
+//! collide and the 4-entry lock table evicts held locks. This module turns
+//! those one-off honesty notes into a measurable resilience surface: a
+//! [`FaultPlan`] names a set of [`FaultKind`]s and an injection rate, and a
+//! [`FaultInjector`] (driven by the in-tree deterministic [`SplitMix64`]
+//! PRNG) decides, event by event, whether to corrupt detector state —
+//! metadata bit flips and forced evictions, fence-counter corruption,
+//! lock-table invalidation, bloom-bit flips, and dropped / duplicated /
+//! reordered detector events at the simulator's detector queue.
+//!
+//! Everything is deterministic in the plan's seed, so a degradation sweep is
+//! exactly reproducible. A detector built without a plan pays only an
+//! `Option` check on the hot path.
+
+use std::fmt;
+
+/// A small, fast, deterministic PRNG (Steele, Lea & Flood's SplitMix64).
+///
+/// This is the repository's only randomness source — workload generation and
+/// fault injection both use it, so builds need no external `rand` crate and
+/// every run is reproducible from a `u64` seed.
+///
+/// ```
+/// use scord_core::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly-distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly-distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform bool.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform integer in `[0, n)` via Lemire's widening-multiply trick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        (((u128::from(self.next_u64())) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(u64::from(hi - lo)) as u32
+    }
+
+    /// Derives an independent child generator (for giving each pipeline
+    /// stage its own deterministic stream).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// `true` with probability `ppm / 1_000_000`.
+    pub fn chance_ppm(&mut self, ppm: u32) -> bool {
+        ppm > 0 && self.below(1_000_000) < u64::from(ppm)
+    }
+}
+
+/// One injectable fault, mirroring a lossy hardware structure of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Flip one random bit of a loaded metadata entry (a soft error in the
+    /// metadata region).
+    MetadataBitFlip,
+    /// Force-evict the metadata entry covering the accessed address before
+    /// the lookup (an adversarial alias in the direct-mapped cache).
+    MetadataEvict,
+    /// Overwrite the fencing warp's 6-bit counters with random values —
+    /// covers both corruption and forced wraparound, the paper's
+    /// acknowledged false-positive source.
+    FenceCorrupt,
+    /// Invalidate one random entry of the accessing warp's lock table (an
+    /// adversarial eviction from the 4-entry circular buffer).
+    LockInvalidate,
+    /// Flip one bit of the 16-bit lock bloom travelling with an access
+    /// (an adversarial bloom collision).
+    BloomFlip,
+    /// Drop a detector event at the detector-unit queue.
+    EventDrop,
+    /// Duplicate a detector event at the detector-unit queue.
+    EventDuplicate,
+    /// Swap a detector event with its queue predecessor (local reordering).
+    EventReorder,
+}
+
+impl FaultKind {
+    /// Every kind, in sweep order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::MetadataBitFlip,
+        FaultKind::MetadataEvict,
+        FaultKind::FenceCorrupt,
+        FaultKind::LockInvalidate,
+        FaultKind::BloomFlip,
+        FaultKind::EventDrop,
+        FaultKind::EventDuplicate,
+        FaultKind::EventReorder,
+    ];
+
+    /// Stable short name (used by the harness's tables and CLI).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::MetadataBitFlip => "md-bitflip",
+            FaultKind::MetadataEvict => "md-evict",
+            FaultKind::FenceCorrupt => "fence-corrupt",
+            FaultKind::LockInvalidate => "lock-invalidate",
+            FaultKind::BloomFlip => "bloom-flip",
+            FaultKind::EventDrop => "event-drop",
+            FaultKind::EventDuplicate => "event-dup",
+            FaultKind::EventReorder => "event-reorder",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            FaultKind::MetadataBitFlip => 0,
+            FaultKind::MetadataEvict => 1,
+            FaultKind::FenceCorrupt => 2,
+            FaultKind::LockInvalidate => 3,
+            FaultKind::BloomFlip => 4,
+            FaultKind::EventDrop => 5,
+            FaultKind::EventDuplicate => 6,
+            FaultKind::EventReorder => 7,
+        }
+    }
+
+    const fn bit(self) -> u16 {
+        1 << self.index()
+    }
+
+    /// `true` for the queue-level event faults (injected by the simulator's
+    /// detector unit rather than by the detector itself).
+    #[must_use]
+    pub fn is_event_fault(self) -> bool {
+        matches!(
+            self,
+            FaultKind::EventDrop | FaultKind::EventDuplicate | FaultKind::EventReorder
+        )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of [`FaultKind`]s, packed for `Copy`/`Eq` configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FaultKindSet(u16);
+
+impl FaultKindSet {
+    /// The empty set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        FaultKindSet(0)
+    }
+
+    /// Every kind.
+    #[must_use]
+    pub const fn all() -> Self {
+        FaultKindSet((1 << 8) - 1)
+    }
+
+    /// A singleton set.
+    #[must_use]
+    pub const fn only(kind: FaultKind) -> Self {
+        FaultKindSet(kind.bit())
+    }
+
+    /// This set plus `kind`.
+    #[must_use]
+    pub const fn with(self, kind: FaultKind) -> Self {
+        FaultKindSet(self.0 | kind.bit())
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub const fn contains(self, kind: FaultKind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+
+    /// `true` when no kind is enabled.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A deterministic fault-injection campaign: which faults, how often, and
+/// the seed that makes the run reproducible.
+///
+/// Rates are expressed in parts per million so the plan stays `Copy + Eq`
+/// (usable inside `DetectorConfig` / `GpuConfig`). `rate_ppm = 10_000` means
+/// each injection point fires with probability 1%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed for the injector's PRNG.
+    pub seed: u64,
+    /// Injection probability per opportunity, in parts per million.
+    pub rate_ppm: u32,
+    /// Which faults are armed.
+    pub kinds: FaultKindSet,
+}
+
+impl FaultPlan {
+    /// A plan arming `kinds` at `rate_ppm`, seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64, rate_ppm: u32, kinds: FaultKindSet) -> Self {
+        FaultPlan {
+            seed,
+            rate_ppm,
+            kinds,
+        }
+    }
+
+    /// A single-fault plan (the harness's sweep cells).
+    #[must_use]
+    pub fn single(kind: FaultKind, rate_ppm: u32, seed: u64) -> Self {
+        FaultPlan::new(seed, rate_ppm, FaultKindSet::only(kind))
+    }
+}
+
+/// Per-kind injection counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    injected: [u64; 8],
+}
+
+impl FaultStats {
+    /// Injections of one kind.
+    #[must_use]
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Total injections of every kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Adds another stats block (detector-level + queue-level injectors).
+    #[must_use]
+    pub fn merged(&self, other: &FaultStats) -> FaultStats {
+        let mut out = *self;
+        for (o, i) in out.injected.iter_mut().zip(other.injected.iter()) {
+            *o += i;
+        }
+        out
+    }
+}
+
+/// What the detector-unit queue should do with an incoming event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventAction {
+    /// Enqueue normally.
+    Deliver,
+    /// Silently drop the event.
+    Drop,
+    /// Enqueue the event twice.
+    Duplicate,
+    /// Swap the event with the current queue tail.
+    Reorder,
+}
+
+/// The seeded decision engine executing a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            rng: SplitMix64::new(plan.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Builds an injector on an independent stream derived from the plan's
+    /// seed — the detector unit and the detector proper must not share a
+    /// stream or their decisions would interleave non-reproducibly.
+    #[must_use]
+    pub fn derived(plan: FaultPlan, stream: u64) -> Self {
+        let mut root = SplitMix64::new(plan.seed ^ stream.rotate_left(32));
+        FaultInjector {
+            plan,
+            rng: root.fork(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan in force.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Rolls the dice for `kind`; counts and returns `true` on injection.
+    pub fn trigger(&mut self, kind: FaultKind) -> bool {
+        if self.plan.kinds.contains(kind) && self.rng.chance_ppm(self.plan.rate_ppm) {
+            self.stats.injected[kind.index()] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A uniform index in `[0, n)` for choosing a victim bit/entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn pick(&mut self, n: usize) -> usize {
+        self.rng.below(n as u64) as usize
+    }
+
+    /// Flips one random bit of a 64-bit metadata word.
+    pub fn flip_bit64(&mut self, bits: u64) -> u64 {
+        bits ^ (1u64 << self.pick(64))
+    }
+
+    /// Flips one random bit of a 16-bit bloom filter.
+    pub fn flip_bit16(&mut self, bits: u16) -> u16 {
+        bits ^ (1u16 << self.pick(16))
+    }
+
+    /// Decides the fate of one detector-queue event. At most one action
+    /// fires per event; drop is considered first, then duplication, then
+    /// reordering.
+    pub fn event_action(&mut self) -> EventAction {
+        if self.trigger(FaultKind::EventDrop) {
+            EventAction::Drop
+        } else if self.trigger(FaultKind::EventDuplicate) {
+            EventAction::Duplicate
+        } else if self.trigger(FaultKind::EventReorder) {
+            EventAction::Reorder
+        } else {
+            EventAction::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniform_ish() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Reference values for the classic SplitMix64 stream from seed 0.
+        let mut z = SplitMix64::new(0);
+        assert_eq!(z.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(z.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        // below() stays in range and hits both halves.
+        let mut r = SplitMix64::new(3);
+        let (mut lo, mut hi) = (0, 0);
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            if v < 5 {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        assert!(lo > 300 && hi > 300, "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn chance_ppm_tracks_rate() {
+        let mut r = SplitMix64::new(11);
+        let hits = (0..100_000).filter(|_| r.chance_ppm(10_000)).count();
+        // 1% of 100k = 1000 ± noise.
+        assert!((700..1300).contains(&hits), "got {hits}");
+        let mut r = SplitMix64::new(11);
+        assert!(!(0..1000).any(|_| r.chance_ppm(0)), "rate 0 never fires");
+    }
+
+    #[test]
+    fn kind_set_operations() {
+        let s = FaultKindSet::empty()
+            .with(FaultKind::MetadataBitFlip)
+            .with(FaultKind::EventDrop);
+        assert!(s.contains(FaultKind::MetadataBitFlip));
+        assert!(s.contains(FaultKind::EventDrop));
+        assert!(!s.contains(FaultKind::FenceCorrupt));
+        assert!(FaultKindSet::empty().is_empty());
+        for k in FaultKind::ALL {
+            assert!(FaultKindSet::all().contains(k));
+            assert!(FaultKindSet::only(k).contains(k));
+        }
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_counts() {
+        let plan = FaultPlan::single(FaultKind::MetadataBitFlip, 500_000, 99);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        let da: Vec<bool> = (0..200)
+            .map(|_| a.trigger(FaultKind::MetadataBitFlip))
+            .collect();
+        let db: Vec<bool> = (0..200)
+            .map(|_| b.trigger(FaultKind::MetadataBitFlip))
+            .collect();
+        assert_eq!(da, db);
+        let n = da.iter().filter(|x| **x).count() as u64;
+        assert_eq!(a.stats().count(FaultKind::MetadataBitFlip), n);
+        assert_eq!(a.stats().total(), n);
+        assert!(n > 50, "50% rate must fire often, got {n}");
+        // Disarmed kinds never fire, whatever the rate.
+        assert!(!a.trigger(FaultKind::EventDrop));
+        assert_eq!(a.stats().count(FaultKind::EventDrop), 0);
+    }
+
+    #[test]
+    fn bit_flips_change_exactly_one_bit() {
+        let plan = FaultPlan::single(FaultKind::MetadataBitFlip, 1_000_000, 1);
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..100 {
+            let flipped = inj.flip_bit64(0);
+            assert_eq!(flipped.count_ones(), 1);
+            let f16 = inj.flip_bit16(0xFFFF);
+            assert_eq!(f16.count_ones(), 15);
+        }
+    }
+
+    #[test]
+    fn event_actions_follow_armed_kinds() {
+        let plan = FaultPlan::single(FaultKind::EventDrop, 1_000_000, 5);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.event_action(), EventAction::Drop);
+        let plan = FaultPlan::single(FaultKind::EventReorder, 1_000_000, 5);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.event_action(), EventAction::Reorder);
+        let none = FaultPlan::new(5, 1_000_000, FaultKindSet::empty());
+        let mut inj = FaultInjector::new(none);
+        assert_eq!(inj.event_action(), EventAction::Deliver);
+    }
+
+    #[test]
+    fn derived_streams_differ_from_the_root() {
+        let plan = FaultPlan::single(FaultKind::EventDrop, 500_000, 42);
+        let mut root = FaultInjector::new(plan);
+        let mut derived = FaultInjector::derived(plan, 1);
+        let a: Vec<bool> = (0..64)
+            .map(|_| root.trigger(FaultKind::EventDrop))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|_| derived.trigger(FaultKind::EventDrop))
+            .collect();
+        assert_ne!(a, b, "independent decision streams");
+    }
+
+    #[test]
+    fn merged_stats_add_per_kind() {
+        let mut a = FaultStats::default();
+        a.injected[FaultKind::EventDrop.index()] = 3;
+        let mut b = FaultStats::default();
+        b.injected[FaultKind::EventDrop.index()] = 4;
+        b.injected[FaultKind::BloomFlip.index()] = 1;
+        let m = a.merged(&b);
+        assert_eq!(m.count(FaultKind::EventDrop), 7);
+        assert_eq!(m.count(FaultKind::BloomFlip), 1);
+        assert_eq!(m.total(), 8);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in FaultKind::ALL {
+            assert!(seen.insert(k.name()));
+        }
+        assert!(FaultKind::EventDrop.is_event_fault());
+        assert!(!FaultKind::MetadataBitFlip.is_event_fault());
+    }
+}

@@ -67,6 +67,17 @@ impl FenceFile {
         self.entries[self.index(sm, warp_slot)]
     }
 
+    /// Overwrites the counters of `(sm, warp_slot)` — the fault injector's
+    /// corruption/forced-wraparound hook. Values are masked to the 6-bit
+    /// hardware width.
+    pub fn set_counters(&mut self, sm: u8, warp_slot: u8, counters: FenceCounters) {
+        let idx = self.index(sm, warp_slot);
+        self.entries[idx] = FenceCounters {
+            blk: counters.blk & FENCE_MASK,
+            dev: counters.dev & FENCE_MASK,
+        };
+    }
+
     /// Zeroes every entry.
     pub fn reset(&mut self) {
         self.entries.fill(FenceCounters::default());
@@ -121,6 +132,26 @@ mod tests {
         let f = FenceFile::new(Geometry::paper_default());
         assert_eq!(f.state_bits(), 480 * 12);
         assert_eq!(f.state_bits() / 8, 720, "720 bytes per §IV-C");
+    }
+
+    #[test]
+    fn set_counters_masks_to_six_bits() {
+        let mut f = FenceFile::new(Geometry::paper_default());
+        f.set_counters(
+            2,
+            3,
+            FenceCounters {
+                blk: 0xFF,
+                dev: 0x41,
+            },
+        );
+        assert_eq!(
+            f.counters(2, 3),
+            FenceCounters {
+                blk: 0x3F,
+                dev: 0x01
+            }
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@
 mod baselines;
 mod config;
 mod detector;
+mod error;
 mod event;
+pub mod fault;
 mod fence_file;
 mod lock_table;
 mod metadata;
@@ -41,7 +43,11 @@ mod trace;
 pub use baselines::{build_detector, DetectorKind};
 pub use config::{DetectorConfig, Geometry, StoreKind};
 pub use detector::{AccessEffects, Detector, ScordDetector};
+pub use error::DetectorError;
 pub use event::{AccessKind, Accessor, AtomKind, ItsAccess, MemAccess};
+pub use fault::{
+    EventAction, FaultInjector, FaultKind, FaultKindSet, FaultPlan, FaultStats, SplitMix64,
+};
 pub use fence_file::{FenceCounters, FenceFile};
 pub use lock_table::{bloom_bit, lock_hash, LockTable, LockTables};
 pub use metadata::MetadataEntry;

@@ -141,6 +141,24 @@ impl LockTable {
             .fold(0, |acc, b| acc | b)
     }
 
+    /// Number of entries in this table (4 in the paper).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Invalidates the entry at `idx` — the fault injector's adversarial
+    /// eviction hook. A no-op on an already-invalid entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn invalidate_entry(&mut self, idx: usize) {
+        let e = &mut self.entries[idx];
+        e.valid = false;
+        e.active = false;
+    }
+
     /// Clears the table (warp slot reassigned to a new threadblock).
     pub fn reset(&mut self) {
         self.entries.fill(LockEntry::default());
@@ -283,6 +301,22 @@ mod tests {
             0,
             "oldest entry evicted (assuming no hash collision here)"
         );
+    }
+
+    #[test]
+    fn invalidate_entry_drops_a_held_lock() {
+        let mut t = LockTable::new(4);
+        t.on_cas(0x100, Scope::Device);
+        t.on_fence(Scope::Device);
+        assert_ne!(t.bloom(), 0);
+        assert_eq!(t.capacity(), 4);
+        for i in 0..t.capacity() {
+            t.invalidate_entry(i);
+        }
+        assert_eq!(t.bloom(), 0, "invalidated entries leave the bloom");
+        // Invalidating an already-empty slot is a no-op.
+        t.invalidate_entry(0);
+        assert_eq!(t.bloom(), 0);
     }
 
     #[test]

@@ -72,9 +72,7 @@ impl MetadataEntry {
     /// The boot-time / re-initialized entry value.
     #[must_use]
     pub fn initialized() -> Self {
-        MetadataEntry(
-            layout::FLAG_MODIFIED | layout::FLAG_BLK_SHARED | layout::FLAG_DEV_SHARED,
-        )
+        MetadataEntry(layout::FLAG_MODIFIED | layout::FLAG_BLK_SHARED | layout::FLAG_DEV_SHARED)
     }
 
     /// Reconstructs an entry from its raw 64-bit representation.

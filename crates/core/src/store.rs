@@ -38,6 +38,11 @@ pub trait MetadataStore: fmt::Debug {
     /// Re-initializes every entry (kernel-launch reset).
     fn reset(&mut self);
 
+    /// Discards the entry covering `addr`, returning it to the initialized
+    /// state — the fault injector's "adversarial alias" hook, and in the
+    /// cached layout exactly what a tag-mismatching write-back does.
+    fn evict(&mut self, addr: u64);
+
     /// Bytes of device memory one entry covers before aliasing.
     fn bytes_per_entry(&self) -> u64;
 
@@ -123,6 +128,11 @@ impl MetadataStore for FullStore {
         self.entries.clear();
     }
 
+    fn evict(&mut self, addr: u64) {
+        let slot = self.slot(addr);
+        self.entries.remove(&slot);
+    }
+
     fn bytes_per_entry(&self) -> u64 {
         self.granularity
     }
@@ -202,6 +212,11 @@ impl MetadataStore for CachedStore {
 
     fn reset(&mut self) {
         self.entries.clear();
+    }
+
+    fn evict(&mut self, addr: u64) {
+        let (slot, _) = self.slot_and_tag(addr);
+        self.entries.remove(&slot);
     }
 
     fn bytes_per_entry(&self) -> u64 {
@@ -298,6 +313,21 @@ mod tests {
     fn cached_store_footprint_is_one_sixteenth() {
         let s = CachedStore::new(16, 0);
         assert_eq!(s.footprint_bytes(1 << 20), 1 << 17, "12.5% overhead");
+    }
+
+    #[test]
+    fn evict_returns_entry_to_initialized_state() {
+        let mut f = FullStore::new(4, 0);
+        touched(&mut f, 64);
+        f.evict(64);
+        assert!(f.load(64).fresh, "evicted full-store entry is fresh");
+
+        let mut c = CachedStore::new(16, 0);
+        touched(&mut c, 0);
+        touched(&mut c, 64); // separate slot
+        c.evict(0);
+        assert!(c.load(0).fresh, "evicted cached entry is fresh");
+        assert!(!c.load(64).fresh, "other slots untouched by eviction");
     }
 
     #[test]

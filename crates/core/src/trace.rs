@@ -26,7 +26,7 @@ use std::str::FromStr;
 
 use scord_isa::Scope;
 
-use crate::{AccessKind, Accessor, AtomKind, Detector, MemAccess};
+use crate::{AccessKind, Accessor, AtomKind, Detector, DetectorError, MemAccess};
 
 /// One recorded detector event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -286,24 +286,31 @@ impl Trace {
     }
 
     /// Feeds every event into `detector`, in order.
-    pub fn replay(&self, detector: &mut dyn Detector) {
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first event the detector rejects and returns its
+    /// [`DetectorError`] — a recorded trace may have come from a different
+    /// geometry, or been corrupted in storage.
+    pub fn replay(&self, detector: &mut dyn Detector) -> Result<(), DetectorError> {
         for e in &self.events {
             match *e {
                 TraceEvent::Access(ref a) => {
-                    detector.on_access(a);
+                    detector.on_access(a)?;
                 }
                 TraceEvent::Fence {
                     sm,
                     warp_slot,
                     scope,
-                } => detector.on_fence(sm, warp_slot, scope),
-                TraceEvent::Barrier { sm, block_slot } => detector.on_barrier(sm, block_slot),
+                } => detector.on_fence(sm, warp_slot, scope)?,
+                TraceEvent::Barrier { sm, block_slot } => detector.on_barrier(sm, block_slot)?,
                 TraceEvent::WarpAssigned { sm, warp_slot } => {
-                    detector.on_warp_assigned(sm, warp_slot);
+                    detector.on_warp_assigned(sm, warp_slot)?;
                 }
                 TraceEvent::KernelBoundary => detector.on_kernel_boundary(),
             }
         }
+        Ok(())
     }
 }
 
@@ -346,28 +353,32 @@ impl<D: Detector> RecordingDetector<D> {
 }
 
 impl<D: Detector> Detector for RecordingDetector<D> {
-    fn on_barrier(&mut self, sm: u8, block_slot: u8) {
+    fn on_barrier(&mut self, sm: u8, block_slot: u8) -> Result<(), DetectorError> {
         self.trace.push(TraceEvent::Barrier { sm, block_slot });
-        self.inner.on_barrier(sm, block_slot);
+        self.inner.on_barrier(sm, block_slot)
     }
 
-    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) {
+    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) -> Result<(), DetectorError> {
         self.trace.push(TraceEvent::Fence {
             sm,
             warp_slot,
             scope,
         });
-        self.inner.on_fence(sm, warp_slot, scope);
+        self.inner.on_fence(sm, warp_slot, scope)
     }
 
-    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) {
+    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) -> Result<(), DetectorError> {
         self.trace.push(TraceEvent::WarpAssigned { sm, warp_slot });
-        self.inner.on_warp_assigned(sm, warp_slot);
+        self.inner.on_warp_assigned(sm, warp_slot)
     }
 
-    fn on_access(&mut self, access: &MemAccess) -> crate::AccessEffects {
+    fn on_access(&mut self, access: &MemAccess) -> Result<crate::AccessEffects, DetectorError> {
         self.trace.push(TraceEvent::Access(*access));
         self.inner.on_access(access)
+    }
+
+    fn fault_stats(&self) -> Option<&crate::FaultStats> {
+        self.inner.fault_stats()
     }
 
     fn races(&self) -> &crate::RaceLog {
@@ -402,7 +413,10 @@ mod tests {
             warp_slot: 0,
         };
         vec![
-            TraceEvent::WarpAssigned { sm: 0, warp_slot: 1 },
+            TraceEvent::WarpAssigned {
+                sm: 0,
+                warp_slot: 1,
+            },
             TraceEvent::Access(MemAccess {
                 kind: AccessKind::Store,
                 addr: 0x100,
@@ -484,22 +498,24 @@ mod tests {
             strong: true,
             pc: 1,
             who,
-        });
-        rec.on_fence(0, 0, Scope::Block); // insufficient scope
+        })
+        .unwrap();
+        rec.on_fence(0, 0, Scope::Block).unwrap(); // insufficient scope
         rec.on_access(&MemAccess {
             kind: AccessKind::Load,
             addr: 0x100,
             strong: true,
             pc: 2,
             who: other,
-        });
+        })
+        .unwrap();
         assert_eq!(rec.races().unique_count(), 1);
 
         let (_, trace) = rec.into_parts();
         let text = trace.to_text();
         let reparsed = Trace::from_text(&text).unwrap();
         let mut fresh = ScordDetector::new(DetectorConfig::base_design(1 << 20));
-        reparsed.replay(&mut fresh);
+        reparsed.replay(&mut fresh).unwrap();
         assert_eq!(fresh.races().unique_count(), 1);
         let orig: Vec<_> = trace.events().to_vec();
         assert_eq!(reparsed.events(), orig.as_slice());
@@ -512,8 +528,8 @@ mod tests {
         let trace: Trace = sample_events().into_iter().collect();
         let mut full = ScordDetector::new(DetectorConfig::base_design(1 << 20));
         let mut cached = ScordDetector::new(DetectorConfig::paper_default(1 << 20));
-        trace.replay(&mut full);
-        trace.replay(&mut cached);
+        trace.replay(&mut full).unwrap();
+        trace.replay(&mut cached).unwrap();
         assert!(cached.races().unique_count() <= full.races().unique_count());
     }
 
@@ -521,7 +537,7 @@ mod tests {
     fn recording_reset_clears_the_trace() {
         let mut rec =
             RecordingDetector::new(ScordDetector::new(DetectorConfig::paper_default(1 << 20)));
-        rec.on_barrier(0, 0);
+        rec.on_barrier(0, 0).unwrap();
         assert_eq!(rec.trace().len(), 1);
         rec.reset();
         assert!(rec.trace().is_empty());

@@ -51,7 +51,8 @@ fn ld(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
         strong: true,
         pc,
         who,
-    });
+    })
+    .unwrap();
 }
 
 fn ld_weak(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
@@ -61,7 +62,8 @@ fn ld_weak(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
         strong: false,
         pc,
         who,
-    });
+    })
+    .unwrap();
 }
 
 fn st(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
@@ -71,7 +73,8 @@ fn st(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
         strong: true,
         pc,
         who,
-    });
+    })
+    .unwrap();
 }
 
 fn st_weak(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
@@ -81,7 +84,8 @@ fn st_weak(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32) {
         strong: false,
         pc,
         who,
-    });
+    })
+    .unwrap();
 }
 
 fn atom(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32, kind: AtomKind, scope: Scope) {
@@ -91,7 +95,8 @@ fn atom(det: &mut ScordDetector, addr: u64, who: Accessor, pc: u32, kind: AtomKi
         strong: true,
         pc,
         who,
-    });
+    })
+    .unwrap();
 }
 
 fn kinds(det: &ScordDetector) -> Vec<RaceKind> {
@@ -107,13 +112,15 @@ fn kinds(det: &ScordDetector) -> Vec<RaceKind> {
 #[test]
 fn first_access_is_trivially_race_free() {
     let mut d = det();
-    let eff = d.on_access(&MemAccess {
-        kind: AccessKind::Store,
-        addr: 0x100,
-        strong: false,
-        pc: 1,
-        who: W1,
-    });
+    let eff = d
+        .on_access(&MemAccess {
+            kind: AccessKind::Store,
+            addr: 0x100,
+            strong: false,
+            pc: 1,
+            who: W1,
+        })
+        .unwrap();
     assert!(eff.prelim_pass, "condition (a): initialization");
     assert!(d.races().is_empty());
 }
@@ -131,7 +138,7 @@ fn program_order_is_race_free() {
 fn barrier_separates_same_block_conflicts() {
     let mut d = det();
     st_weak(&mut d, 0x100, W1, 1);
-    d.on_barrier(0, 0);
+    d.on_barrier(0, 0).unwrap();
     ld_weak(&mut d, 0x100, W1B, 2);
     assert!(
         d.races().is_empty(),
@@ -155,7 +162,7 @@ fn same_block_conflict_without_barrier_races() {
 fn block_fence_synchronizes_within_block() {
     let mut d = det();
     st(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Block);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Block).unwrap();
     ld(&mut d, 0x100, W1B, 2);
     assert!(d.races().is_empty());
 }
@@ -164,7 +171,7 @@ fn block_fence_synchronizes_within_block() {
 fn device_fence_synchronizes_across_blocks() {
     let mut d = det();
     st(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     ld(&mut d, 0x100, W2, 2);
     assert!(d.races().is_empty());
 }
@@ -175,7 +182,7 @@ fn block_fence_is_insufficient_across_blocks() {
     // __threadfence was needed.
     let mut d = det();
     st(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Block);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Block).unwrap();
     ld(&mut d, 0x100, W2, 2);
     assert_eq!(kinds(&d), vec![RaceKind::MissingDeviceFence]);
 }
@@ -194,7 +201,7 @@ fn many_readers_of_published_data_are_race_free() {
     // read-only epoch must not generate false positives.
     let mut d = det();
     st(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     ld(&mut d, 0x100, W2, 2);
     ld(&mut d, 0x100, W3, 3);
     ld(&mut d, 0x100, W1B, 4);
@@ -205,7 +212,7 @@ fn many_readers_of_published_data_are_race_free() {
 fn write_after_unsynchronized_read_races() {
     let mut d = det();
     st(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     ld(&mut d, 0x100, W2, 2); // properly consumed
     st(&mut d, 0x100, W3, 3); // but nobody synchronized with the reader
     assert_eq!(kinds(&d), vec![RaceKind::MissingDeviceFence]);
@@ -215,9 +222,9 @@ fn write_after_unsynchronized_read_races() {
 fn write_after_read_with_reader_fence_is_race_free() {
     let mut d = det();
     st(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     ld(&mut d, 0x100, W2, 2);
-    d.on_fence(W2.sm, W2.warp_slot, Scope::Device); // reader hands back
+    d.on_fence(W2.sm, W2.warp_slot, Scope::Device).unwrap(); // reader hands back
     st(&mut d, 0x100, W3, 3);
     assert!(d.races().is_empty(), "{:?}", d.races().records());
 }
@@ -229,7 +236,7 @@ fn fence_counter_wrap_is_the_theoretical_false_positive() {
     let mut d = det();
     st(&mut d, 0x100, W1, 1);
     for _ in 0..64 {
-        d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+        d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     }
     ld(&mut d, 0x100, W2, 2);
     assert_eq!(
@@ -249,7 +256,7 @@ fn weak_store_published_by_fence_still_races() {
     // not made visible by a fence.
     let mut d = det();
     st_weak(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     ld(&mut d, 0x100, W2, 2);
     assert_eq!(kinds(&d), vec![RaceKind::NotStrong]);
 }
@@ -258,7 +265,7 @@ fn weak_store_published_by_fence_still_races() {
 fn weak_read_of_fence_published_data_races() {
     let mut d = det();
     st(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     ld_weak(&mut d, 0x100, W2, 2);
     assert_eq!(kinds(&d), vec![RaceKind::NotStrong]);
 }
@@ -269,7 +276,7 @@ fn strong_flag_re_arms_after_reinitialization() {
     st_weak(&mut d, 0x100, W1, 1);
     d.reset();
     st(&mut d, 0x100, W1, 2);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     ld(&mut d, 0x100, W2, 3);
     assert!(d.races().is_empty());
 }
@@ -340,13 +347,13 @@ const DATA: u64 = 0x500;
 fn acquire(d: &mut ScordDetector, who: Accessor, scope: Scope, fence: bool, pc: u32) {
     atom(d, LOCK, who, pc, AtomKind::Cas, scope);
     if fence {
-        d.on_fence(who.sm, who.warp_slot, scope);
+        d.on_fence(who.sm, who.warp_slot, scope).unwrap();
     }
 }
 
 fn release(d: &mut ScordDetector, who: Accessor, scope: Scope, fence: bool, pc: u32) {
     if fence {
-        d.on_fence(who.sm, who.warp_slot, scope);
+        d.on_fence(who.sm, who.warp_slot, scope).unwrap();
     }
     atom(d, LOCK, who, pc, AtomKind::Exch, scope);
 }
@@ -419,9 +426,9 @@ fn different_locks_do_not_protect() {
 
     // W2 holds a DIFFERENT lock while touching the same data.
     atom(&mut d, 0x440, W2, 20, AtomKind::Cas, Scope::Device);
-    d.on_fence(W2.sm, W2.warp_slot, Scope::Device);
+    d.on_fence(W2.sm, W2.warp_slot, Scope::Device).unwrap();
     st(&mut d, DATA, W2, 21);
-    d.on_fence(W2.sm, W2.warp_slot, Scope::Device);
+    d.on_fence(W2.sm, W2.warp_slot, Scope::Device).unwrap();
     atom(&mut d, 0x440, W2, 22, AtomKind::Exch, Scope::Device);
 
     assert!(
@@ -468,7 +475,7 @@ fn warp_reassignment_clears_held_locks() {
     let mut d = det();
     acquire(&mut d, W1, Scope::Device, true, 10);
     st(&mut d, DATA, W1, 11);
-    d.on_warp_assigned(W1.sm, W1.warp_slot);
+    d.on_warp_assigned(W1.sm, W1.warp_slot).unwrap();
     // The new warp in the same slot writes without a lock: must race even
     // though the slot's table previously held the lock.
     st(&mut d, DATA, W2, 20);
@@ -580,7 +587,7 @@ fn reset_gives_independent_runs() {
     d.reset();
     assert!(d.races().is_empty());
     st(&mut d, 0x100, W1, 1);
-    d.on_fence(W1.sm, W1.warp_slot, Scope::Device);
+    d.on_fence(W1.sm, W1.warp_slot, Scope::Device).unwrap();
     ld(&mut d, 0x100, W2, 2);
     assert!(d.races().is_empty(), "stale metadata cleared by reset");
 }

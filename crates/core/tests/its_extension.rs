@@ -35,8 +35,10 @@ fn its(kind: AccessKind, addr: u64, pc: u32, lane: u8, diverged: bool) -> ItsAcc
 #[test]
 fn converged_warp_accesses_stay_program_ordered() {
     let mut d = det();
-    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, false));
-    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, false));
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, false))
+        .unwrap();
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, false))
+        .unwrap();
     assert_eq!(
         d.races().unique_count(),
         0,
@@ -50,8 +52,10 @@ fn divergent_lanes_sharing_data_race() {
     // The new race class §VI describes: two lanes of one warp touch common
     // data while the warp is diverged — no intra-warp ordering exists.
     let mut d = det();
-    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true));
-    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, true));
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true))
+        .unwrap();
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, true))
+        .unwrap();
     assert_eq!(d.races().unique_count(), 1, "{:?}", d.races().records());
     let kinds: Vec<_> = d.races().unique_races().map(|(_, k)| k).collect();
     assert_eq!(kinds, vec![RaceKind::MissingBlockFence]);
@@ -60,9 +64,12 @@ fn divergent_lanes_sharing_data_race() {
 #[test]
 fn same_lane_during_divergence_is_still_ordered() {
     let mut d = det();
-    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 3, true));
-    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 3, true));
-    d.on_access_its(&its(AccessKind::Store, 0x100, 3, 3, true));
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 3, true))
+        .unwrap();
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 3, true))
+        .unwrap();
+    d.on_access_its(&its(AccessKind::Store, 0x100, 3, 3, true))
+        .unwrap();
     assert_eq!(
         d.races().unique_count(),
         0,
@@ -77,8 +84,10 @@ fn divergence_marker_in_metadata_outlives_reconvergence() {
     // reconvergence: the stored hasDiverged marker keeps the pair
     // distinguishable.
     let mut d = det();
-    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true));
-    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 7, false));
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true))
+        .unwrap();
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 7, false))
+        .unwrap();
     assert_eq!(
         d.races().unique_count(),
         1,
@@ -90,9 +99,11 @@ fn divergence_marker_in_metadata_outlives_reconvergence() {
 #[test]
 fn fence_between_divergent_lanes_resolves_the_race() {
     let mut d = det();
-    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true));
-    d.on_fence(WHO.sm, WHO.warp_slot, Scope::Block);
-    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, true));
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true))
+        .unwrap();
+    d.on_fence(WHO.sm, WHO.warp_slot, Scope::Block).unwrap();
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 5, true))
+        .unwrap();
     assert_eq!(
         d.races().unique_count(),
         0,
@@ -110,23 +121,27 @@ fn its_and_plain_modes_agree_across_warps() {
         warp_slot: 0,
     };
     let mut d = det();
-    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, false));
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, false))
+        .unwrap();
     d.on_access(&MemAccess {
         kind: AccessKind::Load,
         addr: 0x100,
         strong: true,
         pc: 2,
         who: other,
-    });
+    })
+    .unwrap();
     assert_eq!(d.races().unique_count(), 1);
 }
 
 #[test]
 fn barrier_still_separates_divergent_epochs() {
     let mut d = det();
-    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true));
-    d.on_barrier(WHO.sm, WHO.block_slot);
-    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 9, true));
+    d.on_access_its(&its(AccessKind::Store, 0x100, 1, 0, true))
+        .unwrap();
+    d.on_barrier(WHO.sm, WHO.block_slot).unwrap();
+    d.on_access_its(&its(AccessKind::Load, 0x100, 2, 9, true))
+        .unwrap();
     assert_eq!(
         d.races().unique_count(),
         0,

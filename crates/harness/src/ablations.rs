@@ -13,7 +13,7 @@ use scor_suite::micro::{all_micros, MicroCategory};
 use scord_core::{DetectorConfig, ScordDetector, StoreKind};
 use scord_sim::{DetectionMode, Gpu, GpuConfig, OverheadToggles};
 
-use crate::{apps, apps_racey, render_table, MemoryVariant};
+use crate::{apps, apps_racey, render_table, HarnessError, MemoryVariant};
 
 /// Lock-table-size ablation: detection coverage over the 12 racey
 /// lock/unlock microbenchmarks.
@@ -28,8 +28,12 @@ pub struct LockTableRow {
 }
 
 /// Sweeps the per-warp lock-table capacity.
-#[must_use]
-pub fn lock_table(entries: &[usize]) -> Vec<LockTableRow> {
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the microbenchmark whose simulation
+/// failed.
+pub fn lock_table(entries: &[usize]) -> Result<Vec<LockTableRow>, HarnessError> {
     entries
         .iter()
         .map(|&n| {
@@ -46,7 +50,7 @@ pub fn lock_table(entries: &[usize]) -> Vec<LockTableRow> {
                         ..dc
                     }))
                 });
-                m.run(&mut gpu).expect("micros never deadlock");
+                m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
                 let races = gpu.races().expect("detection on").unique_count();
                 if m.racey && races > 0 {
                     detected += 1;
@@ -54,11 +58,11 @@ pub fn lock_table(entries: &[usize]) -> Vec<LockTableRow> {
                     false_positives += 1;
                 }
             }
-            LockTableRow {
+            Ok(LockTableRow {
                 entries: n,
                 detected,
                 false_positives,
-            }
+            })
         })
         .collect()
 }
@@ -206,7 +210,7 @@ mod tests {
 
     #[test]
     fn lock_table_coverage_grows_with_entries() {
-        let rows = lock_table(&[1, 4]);
+        let rows = lock_table(&[1, 4]).expect("lock micros simulate cleanly");
         assert!(rows[1].detected >= rows[0].detected);
         assert_eq!(rows[1].detected, 12, "the paper's 4 entries suffice");
         assert_eq!(rows[0].false_positives, 0);

@@ -1,41 +1,79 @@
 //! Regenerates every table and figure of the ScoRD paper's evaluation.
 //!
 //! ```text
-//! run-experiments [--quick] [table1|table2|table5|table6|table7|
-//!                            fig8|fig9|fig10|fig11|table8|ablations|all]
+//! run-experiments [--quick] [--seed N]
+//!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
+//!                  fig11|table8|ablations|faults|all]
 //! ```
+//!
+//! `faults` runs the fault-injection degradation audit; it is not part of
+//! `all` (a full sweep is 25 cells × 46 workloads). `--seed` sets the
+//! injection seed (default 1); a fixed seed reproduces the table exactly.
 
 use std::env;
+use std::process::exit;
 use std::time::Instant;
 
 use scord_harness as h;
+use scord_harness::HarnessError;
+
+fn fail(e: &HarnessError) -> ! {
+    eprintln!("error: {e}");
+    exit(1);
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| *a != "--quick")
-        .map(String::as_str)
-        .collect();
-    const KNOWN: [&str; 11] = [
-        "table1", "table2", "table5", "table6", "table7", "fig8", "fig9", "fig10", "fig11",
-        "table8", "ablations",
+    let mut seed = 1u64;
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--seed needs a value");
+                    exit(2);
+                });
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs an unsigned integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            other => wanted.push(other),
+        }
+    }
+    const KNOWN: [&str; 12] = [
+        "table1",
+        "table2",
+        "table5",
+        "table6",
+        "table7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "table8",
+        "ablations",
+        "faults",
     ];
-    if let Some(bad) = wanted
-        .iter()
-        .find(|w| **w != "all" && !KNOWN.contains(w))
-    {
-        eprintln!("unknown experiment {bad:?}; expected one of: all {}", KNOWN.join(" "));
-        std::process::exit(2);
+    if let Some(bad) = wanted.iter().find(|w| **w != "all" && !KNOWN.contains(w)) {
+        eprintln!(
+            "unknown experiment {bad:?}; expected one of: all {}",
+            KNOWN.join(" ")
+        );
+        exit(2);
     }
     let all = wanted.is_empty() || wanted.contains(&"all");
-    let want = |name: &str| all || wanted.contains(&name);
+    // The fault sweep only runs when asked for by name.
+    let want = |name: &str| (all && name != "faults") || wanted.contains(&name);
     let t0 = Instant::now();
 
     if want("table1") {
         println!("\n## Table I — microbenchmark suite (detected under ScoRD)\n");
-        println!("{}", h::table1::to_markdown(&h::table1::run()));
+        let rows = h::table1::run().unwrap_or_else(|e| fail(&e));
+        println!("{}", h::table1::to_markdown(&rows));
     }
     if want("table2") {
         println!("\n## Table II — applications\n");
@@ -47,7 +85,8 @@ fn main() {
     }
     if want("table6") {
         println!("\n## Table VI — races caught\n");
-        println!("{}", h::table6::to_markdown(&h::table6::run(quick)));
+        let rows = h::table6::run(quick).unwrap_or_else(|e| fail(&e));
+        println!("{}", h::table6::to_markdown(&rows));
     }
     if want("table7") {
         println!("\n## Table VII — false positives vs tracking granularity\n");
@@ -76,14 +115,25 @@ fn main() {
     }
     if want("ablations") {
         println!("\n## Ablations — design-choice sweeps\n");
-        let lock = h::ablations::lock_table(&[1, 2, 4, 8]);
+        let lock = h::ablations::lock_table(&[1, 2, 4, 8]).unwrap_or_else(|e| fail(&e));
         let ratio = h::ablations::cache_ratio(quick, &[1, 4, 8, 16]);
         let rate = h::ablations::throughput(quick, &[2, 4, 12, 32]);
         println!("{}", h::ablations::to_markdown(&lock, &ratio, &rate));
     }
     if want("table8") {
         println!("\n## Table VIII — detector capability comparison (measured)\n");
-        println!("{}", h::table8::to_markdown(&h::table8::run()));
+        let rows = h::table8::run().unwrap_or_else(|e| fail(&e));
+        println!("{}", h::table8::to_markdown(&rows));
+    }
+    if want("faults") {
+        println!("\n## Fault injection — detection quality degradation (seed {seed})\n");
+        let rows =
+            h::faults::run(quick, seed, &h::faults::DEFAULT_RATES).unwrap_or_else(|e| fail(&e));
+        println!("{}", h::faults::to_markdown(&rows));
+        println!(
+            "The zero-fault row reproduces Table VI's ScoRD column; rerunning \
+             with the same seed reproduces every cell."
+        );
     }
     eprintln!("\n[done in {:?}]", t0.elapsed());
 }

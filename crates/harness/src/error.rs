@@ -1,0 +1,56 @@
+//! Harness-level failure reporting: which workload failed, and how.
+
+use std::error::Error;
+use std::fmt;
+
+use scord_sim::SimError;
+
+/// A workload failed to simulate.
+///
+/// Experiment runners return this instead of panicking so a single
+/// deadlocked or malformed workload names itself rather than aborting the
+/// whole sweep with a bare `expect`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessError {
+    /// The failing workload (a microbenchmark or application name).
+    pub workload: String,
+    /// The underlying simulator failure.
+    pub error: SimError,
+}
+
+impl HarnessError {
+    /// Wraps a [`SimError`] with the workload it came from.
+    #[must_use]
+    pub fn new(workload: impl Into<String>, error: SimError) -> Self {
+        HarnessError {
+            workload: workload.into(),
+            error,
+        }
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload {} failed: {}", self.workload, self.error)
+    }
+}
+
+impl Error for HarnessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_workload_and_cause() {
+        let e = HarnessError::new("UTS", SimError::Timeout { cycles: 123 });
+        let text = e.to_string();
+        assert!(text.contains("UTS"), "{text}");
+        assert!(text.contains("123"), "{text}");
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,277 @@
+//! Degradation audit under fault injection (robustness, beyond the paper).
+//!
+//! Sweeps [`FaultKind`]s × injection rates over the full workload set — the
+//! 32 microbenchmarks plus the seven applications in both their racey and
+//! correctly-synchronized configurations — and measures how detection
+//! quality degrades:
+//!
+//! * **recall** — races still detected on the racey configurations, against
+//!   the known race budget (Table VI's 44 at the paper-calibrated sizes);
+//! * **precision** — false positives appearing on configurations that are
+//!   correctly synchronized (non-racey micros, correct apps);
+//! * **liveness** — every cell must finish without panicking; watchdog
+//!   timeouts and detector rejections are *counted*, never propagated.
+//!
+//! The zero-fault row runs the identical pipeline with no plan armed and
+//! must reproduce [`crate::table6`]'s ScoRD column — the audit's baseline
+//! is the paper's result, not a separate code path.
+//!
+//! Everything is deterministic in the sweep seed: the same seed yields the
+//! same injected faults and therefore the same table, byte for byte.
+
+use scor_suite::micro::all_micros;
+use scord_core::{FaultKind, FaultPlan};
+use scord_sim::{DetectionMode, Gpu, GpuConfig, SimStats};
+
+use crate::{apps, apps_racey, render_table, HarnessError};
+
+/// The default injection rates swept by `run-experiments faults`, in parts
+/// per million: 0.1%, 1%, 10% of injection opportunities.
+pub const DEFAULT_RATES: [u32; 3] = [1_000, 10_000, 100_000];
+
+/// One cell of the degradation audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// The fault kind injected; `None` for the zero-fault baseline row.
+    pub fault: Option<FaultKind>,
+    /// Injection rate in parts per million (0 for the baseline row).
+    pub rate_ppm: u32,
+    /// Races detected: unique races over the racey applications plus one
+    /// per racey microbenchmark that still reports something.
+    pub detected: usize,
+    /// Races known to be present (the racey apps' budgets + 18 racey
+    /// micros) — Table VI's "races present" at the same scale.
+    pub present: usize,
+    /// Correctly-synchronized workloads that reported at least one race.
+    pub false_positives: usize,
+    /// Workloads whose simulation ended in a [`scord_sim::SimError`]
+    /// (watchdog timeout, detector rejection) instead of completing.
+    pub sim_errors: usize,
+    /// Total faults actually injected across the cell's workloads.
+    pub faults_injected: u64,
+}
+
+impl Row {
+    /// Display label for the cell's fault kind.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.fault.map_or("none", FaultKind::name)
+    }
+}
+
+fn gpu(plan: Option<FaultPlan>) -> Gpu {
+    let mut cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
+    if let Some(p) = plan {
+        cfg = cfg.with_faults(p);
+    }
+    Gpu::new(cfg)
+}
+
+/// Runs one workload, folding its outcome into `row`. With a plan armed,
+/// simulation failures are counted in `sim_errors`; without one (`strict`),
+/// they propagate — the baseline must be clean.
+fn fold(
+    row: &mut Row,
+    strict: bool,
+    name: &str,
+    racey_budget: Option<usize>,
+    outcome: Result<(SimStats, usize), scord_sim::SimError>,
+) -> Result<(), HarnessError> {
+    match outcome {
+        Ok((stats, races)) => {
+            row.faults_injected += stats.faults_injected;
+            match racey_budget {
+                // Racey micro: budget 1, detected when anything is reported.
+                Some(1) => {
+                    if races > 0 {
+                        row.detected += 1;
+                    }
+                }
+                // Racey app: raw unique count, like Table VI's ScoRD column.
+                Some(_) => row.detected += races,
+                // Correct configuration: any report is a false positive.
+                None => {
+                    if races > 0 {
+                        row.false_positives += 1;
+                    }
+                }
+            }
+        }
+        Err(e) if strict => return Err(HarnessError::new(name, e)),
+        Err(_) => row.sim_errors += 1,
+    }
+    Ok(())
+}
+
+/// Runs every workload under `plan` (or fault-free when `None`).
+fn audit_cell(quick: bool, plan: Option<FaultPlan>) -> Result<Row, HarnessError> {
+    let strict = plan.is_none();
+    let mut row = Row {
+        fault: plan.map(|p| {
+            *FaultKind::ALL
+                .iter()
+                .find(|k| p.kinds.contains(**k))
+                .expect("plan names at least one kind")
+        }),
+        rate_ppm: plan.map_or(0, |p| p.rate_ppm),
+        detected: 0,
+        present: 0,
+        false_positives: 0,
+        sim_errors: 0,
+        faults_injected: 0,
+    };
+    for m in all_micros() {
+        let mut g = gpu(plan);
+        let outcome = m.run(&mut g).map(|stats| {
+            let races = g.races().expect("detection on").unique_count();
+            (stats, races)
+        });
+        let budget = if m.racey {
+            row.present += 1;
+            Some(1)
+        } else {
+            None
+        };
+        fold(&mut row, strict, m.name, budget, outcome)?;
+    }
+    for app in apps_racey(quick) {
+        row.present += app.expected_races();
+        let mut g = gpu(plan);
+        let outcome = app.run(&mut g).map(|run| {
+            let races = g.races().expect("detection on").unique_count();
+            (run.stats, races)
+        });
+        fold(
+            &mut row,
+            strict,
+            app.name(),
+            Some(app.expected_races()),
+            outcome,
+        )?;
+    }
+    for app in apps(quick) {
+        let mut g = gpu(plan);
+        let outcome = app.run(&mut g).map(|run| {
+            let races = g.races().expect("detection on").unique_count();
+            (run.stats, races)
+        });
+        fold(&mut row, strict, app.name(), None, outcome)?;
+    }
+    Ok(row)
+}
+
+/// Sweeps the given fault kinds × rates (no baseline row).
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] only for infrastructure failures; faulty
+/// cells count their simulation errors instead of propagating them.
+pub fn sweep(
+    quick: bool,
+    seed: u64,
+    kinds: &[FaultKind],
+    rates: &[u32],
+) -> Result<Vec<Row>, HarnessError> {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        for &rate in rates {
+            rows.push(audit_cell(
+                quick,
+                Some(FaultPlan::single(kind, rate, seed)),
+            )?);
+        }
+    }
+    Ok(rows)
+}
+
+/// The full degradation audit: the fault-free baseline row followed by
+/// every fault kind at every rate in `rates`.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the workload that failed in the
+/// fault-free baseline (which must be clean); faulty cells never error.
+pub fn run(quick: bool, seed: u64, rates: &[u32]) -> Result<Vec<Row>, HarnessError> {
+    let mut rows = vec![audit_cell(quick, None)?];
+    rows.extend(sweep(quick, seed, &FaultKind::ALL, rates)?);
+    Ok(rows)
+}
+
+/// Renders the audit as a markdown table.
+#[must_use]
+pub fn to_markdown(rows: &[Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label().to_string(),
+                if r.rate_ppm == 0 {
+                    "—".into()
+                } else {
+                    format!("{:.2}%", f64::from(r.rate_ppm) / 10_000.0)
+                },
+                format!("{}/{}", r.detected, r.present),
+                r.false_positives.to_string(),
+                r.sim_errors.to_string(),
+                r.faults_injected.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "Fault",
+            "Rate",
+            "Detected/present",
+            "False positives",
+            "Sim errors",
+            "Faults injected",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The zero-fault baseline is Table VI in disguise: same workloads,
+    /// same detector, so the totals must agree exactly.
+    #[test]
+    fn zero_fault_row_reproduces_table6() {
+        let baseline = audit_cell(true, None).expect("baseline is clean");
+        assert_eq!(baseline.sim_errors, 0);
+        assert_eq!(baseline.faults_injected, 0);
+        assert_eq!(baseline.false_positives, 0, "correct configs stay clean");
+
+        let t6 = crate::table6::run(true).expect("table6 runs");
+        let total = t6.last().expect("total row");
+        assert_eq!(baseline.present, total.present);
+        assert_eq!(baseline.detected, total.scord);
+    }
+
+    /// A faulty cell is deterministic in its seed and never panics, even at
+    /// an aggressive rate.
+    #[test]
+    fn faulty_cells_are_deterministic_and_panic_free() {
+        let cell = || {
+            sweep(
+                true,
+                0xAD17,
+                &[FaultKind::MetadataBitFlip, FaultKind::EventDrop],
+                &[100_000],
+            )
+            .expect("sweep infrastructure is clean")
+        };
+        let a = cell();
+        let b = cell();
+        assert_eq!(a, b, "same seed, same table");
+        assert!(
+            a.iter().all(|r| r.faults_injected > 0),
+            "10% over the whole suite must inject: {a:?}"
+        );
+        assert!(
+            a.iter().any(|r| r.detected < r.present),
+            "metadata corruption/drops at 10% should lose some races: {a:?}"
+        );
+    }
+}

@@ -58,10 +58,7 @@ pub fn to_markdown(rows: &[Row]) -> String {
             ]
         })
         .collect();
-    render_table(
-        &["Workload", "Low memory", "Default", "High memory"],
-        &body,
-    )
+    render_table(&["Workload", "Low memory", "Default", "High memory"], &body)
 }
 
 #[cfg(test)]

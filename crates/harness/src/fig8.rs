@@ -100,9 +100,16 @@ mod tests {
             // few percent of slack, but nothing resembling a speedup.
             assert!(r.base >= 0.93, "{}: base {:.3}", r.workload, r.base);
             assert!(r.scord >= 0.93, "{}: scord {:.3}", r.workload, r.scord);
-            assert!(r.base < 5.0 && r.scord < 5.0, "{}: runaway overhead", r.workload);
+            assert!(
+                r.base < 5.0 && r.scord < 5.0,
+                "{}: runaway overhead",
+                r.workload
+            );
         }
         let g = geomean_scord(&rows);
-        assert!((1.0..3.0).contains(&g), "overhead in a plausible band: {g:.3}");
+        assert!(
+            (1.0..3.0).contains(&g),
+            "overhead in a plausible band: {g:.3}"
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! | [`fig11`] | Figure 11 — sensitivity to L2 size and memory bandwidth |
 //! | [`table8`] | Table VIII — detector capability comparison |
 //! | [`ablations`] | Design-choice ablations (lock-table size, cache ratio, detector throughput) |
+//! | [`faults`] | Degradation audit under fault injection (robustness, beyond the paper) |
 //!
 //! Every module exposes `run(quick) -> Vec<Row>` plus a `to_markdown`
 //! renderer; the `run-experiments` binary drives them. `quick = true`
@@ -25,6 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+mod error;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig8;
@@ -38,5 +41,6 @@ pub mod table7;
 pub mod table8;
 mod workloads;
 
+pub use error::HarnessError;
 pub use markdown::render_table;
 pub use workloads::{apps, apps_racey, gpu_for, run_app, MemoryVariant};

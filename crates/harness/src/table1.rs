@@ -9,7 +9,7 @@
 use scor_suite::micro::{all_micros, MicroCategory};
 use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
-use crate::render_table;
+use crate::{render_table, HarnessError};
 
 /// One row of Table I.
 #[derive(Debug, Clone)]
@@ -27,8 +27,12 @@ pub struct Row {
 }
 
 /// Runs the full microbenchmark suite under ScoRD.
-#[must_use]
-pub fn run() -> Vec<Row> {
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the microbenchmark whose simulation
+/// failed (deadlock, watchdog timeout, malformed detector event).
+pub fn run() -> Result<Vec<Row>, HarnessError> {
     let cats = [
         MicroCategory::Fence,
         MicroCategory::Atomics,
@@ -45,9 +49,8 @@ pub fn run() -> Vec<Row> {
         })
         .collect();
     for m in all_micros() {
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
-        m.run(&mut gpu).expect("microbenchmarks never deadlock");
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
         let races = gpu.races().expect("detection on").unique_count();
         let row = rows
             .iter_mut()
@@ -65,7 +68,7 @@ pub fn run() -> Vec<Row> {
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the measured Table I.
@@ -101,7 +104,7 @@ mod tests {
 
     #[test]
     fn suite_detects_all_racey_with_no_false_positives() {
-        let rows = run();
+        let rows = run().expect("micro suite simulates cleanly");
         let (racey, detected, nonracey, fps) = rows.iter().fold((0, 0, 0, 0), |a, r| {
             (
                 a.0 + r.racey,

@@ -4,7 +4,7 @@
 use scor_suite::micro::all_micros;
 use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
-use crate::{apps_racey, render_table};
+use crate::{apps_racey, render_table, HarnessError};
 
 /// One row of Table VI.
 #[derive(Debug, Clone)]
@@ -19,23 +19,26 @@ pub struct Row {
     pub scord: usize,
 }
 
-fn detect(app: &dyn scor_suite::Benchmark, mode: DetectionMode) -> usize {
+fn detect(app: &dyn scor_suite::Benchmark, mode: DetectionMode) -> Result<usize, HarnessError> {
     let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
     app.run(&mut gpu)
-        .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
-    gpu.races().expect("detection on").unique_count()
+        .map_err(|e| HarnessError::new(app.name(), e))?;
+    Ok(gpu.races().expect("detection on").unique_count())
 }
 
 /// Runs every racey workload under both detector builds.
-#[must_use]
-pub fn run(quick: bool) -> Vec<Row> {
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the workload whose simulation failed.
+pub fn run(quick: bool) -> Result<Vec<Row>, HarnessError> {
     let mut rows = Vec::new();
     for app in apps_racey(quick) {
         rows.push(Row {
             workload: app.name().to_string(),
             present: app.expected_races(),
-            base: detect(app.as_ref(), DetectionMode::base_design()),
-            scord: detect(app.as_ref(), DetectionMode::scord()),
+            base: detect(app.as_ref(), DetectionMode::base_design())?,
+            scord: detect(app.as_ref(), DetectionMode::scord())?,
         });
     }
     // Microbenchmarks: one "race present" per racey test, detected when the
@@ -50,7 +53,7 @@ pub fn run(quick: bool) -> Vec<Row> {
             (DetectionMode::scord(), &mut scord),
         ] {
             let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
-            m.run(&mut gpu).expect("micros never deadlock");
+            m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
             if gpu.races().expect("detection on").unique_count() > 0 {
                 *counter += 1;
             }
@@ -69,7 +72,7 @@ pub fn run(quick: bool) -> Vec<Row> {
         base: total(|r| r.base),
         scord: total(|r| r.scord),
     });
-    rows
+    Ok(rows)
 }
 
 /// Renders Table VI.
@@ -103,7 +106,7 @@ mod tests {
 
     #[test]
     fn quick_table6_detects_races_everywhere() {
-        let rows = run(true);
+        let rows = run(true).expect("quick workloads simulate cleanly");
         assert_eq!(rows.len(), 9, "7 apps + micros + total");
         let micro = &rows[7];
         assert_eq!(micro.present, 18);

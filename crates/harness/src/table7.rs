@@ -72,7 +72,13 @@ pub fn to_markdown(rows: &[Row]) -> String {
         ]
     }));
     render_table(
-        &["Tracking granularity", "4-byte", "8-byte", "16-byte", "ScoRD"],
+        &[
+            "Tracking granularity",
+            "4-byte",
+            "8-byte",
+            "16-byte",
+            "ScoRD",
+        ],
         &body,
     )
 }

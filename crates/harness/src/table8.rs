@@ -10,7 +10,7 @@ use scor_suite::micro::{all_micros, Micro, MicroCategory};
 use scord_core::{build_detector, DetectorKind};
 use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
-use crate::render_table;
+use crate::{render_table, HarnessError};
 
 /// One detector's measured detection coverage.
 #[derive(Debug, Clone)]
@@ -27,16 +27,20 @@ pub struct Row {
     pub false_positives: usize,
 }
 
-fn run_micro_with(kind: DetectorKind, m: &Micro) -> usize {
+fn run_micro_with(kind: DetectorKind, m: &Micro) -> Result<usize, HarnessError> {
     let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
     let mut gpu = Gpu::with_detector_factory(cfg, |dc| Box::new(build_detector(kind, dc)));
-    m.run(&mut gpu).expect("micros never deadlock");
-    gpu.races().expect("detection on").unique_count()
+    m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
+    Ok(gpu.races().expect("detection on").unique_count())
 }
 
 /// Runs all 32 microbenchmarks under each detector model.
-#[must_use]
-pub fn run() -> Vec<Row> {
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the microbenchmark whose simulation
+/// failed.
+pub fn run() -> Result<Vec<Row>, HarnessError> {
     let micros = all_micros();
     DetectorKind::ALL
         .iter()
@@ -49,7 +53,7 @@ pub fn run() -> Vec<Row> {
                 false_positives: 0,
             };
             for m in &micros {
-                let races = run_micro_with(kind, m);
+                let races = run_micro_with(kind, m)?;
                 if m.racey {
                     let slot = match m.category {
                         MicroCategory::Fence => &mut row.fence,
@@ -64,7 +68,7 @@ pub fn run() -> Vec<Row> {
                     row.false_positives += 1;
                 }
             }
-            row
+            Ok(row)
         })
         .collect()
 }
@@ -102,7 +106,7 @@ mod tests {
 
     #[test]
     fn scord_dominates_the_baselines() {
-        let rows = run();
+        let rows = run().expect("micro suite simulates cleanly");
         let find = |kind: DetectorKind| rows.iter().find(|r| r.detector == kind).unwrap();
         let scord = find(DetectorKind::Scord);
         let barracuda = find(DetectorKind::BarracudaLike);

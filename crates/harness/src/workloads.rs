@@ -19,8 +19,11 @@ pub enum MemoryVariant {
 
 impl MemoryVariant {
     /// All three variants, in Figure 11's order.
-    pub const ALL: [MemoryVariant; 3] =
-        [MemoryVariant::Low, MemoryVariant::Default, MemoryVariant::High];
+    pub const ALL: [MemoryVariant; 3] = [
+        MemoryVariant::Low,
+        MemoryVariant::Default,
+        MemoryVariant::High,
+    ];
 
     /// Display label.
     #[must_use]

@@ -156,13 +156,7 @@ impl KernelBuilder {
     }
 
     /// `dst = op(a, b)` into an existing register.
-    pub fn alu_into(
-        &mut self,
-        dst: Reg,
-        op: AluOp,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) {
+    pub fn alu_into(&mut self, dst: Reg, op: AluOp, a: impl Into<Operand>, b: impl Into<Operand>) {
         self.emit(Instr::Alu {
             op,
             dst,
@@ -768,8 +762,24 @@ mod tests {
             k.st_global_strong(lock, 4, v);
         });
         let p = k.finish().unwrap();
-        let cas = p.count_matching(|i| matches!(i, Instr::Atom { op: AtomOp::Cas, .. }));
-        let exch = p.count_matching(|i| matches!(i, Instr::Atom { op: AtomOp::Exch, .. }));
+        let cas = p.count_matching(|i| {
+            matches!(
+                i,
+                Instr::Atom {
+                    op: AtomOp::Cas,
+                    ..
+                }
+            )
+        });
+        let exch = p.count_matching(|i| {
+            matches!(
+                i,
+                Instr::Atom {
+                    op: AtomOp::Exch,
+                    ..
+                }
+            )
+        });
         let fences = p.count_matching(|i| matches!(i, Instr::Fence { .. }));
         assert_eq!(cas, 1);
         assert_eq!(exch, 1);

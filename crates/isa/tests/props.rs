@@ -1,12 +1,44 @@
-//! Property-based tests for the ISA: ALU total-function behaviour,
+//! Randomized-property tests for the ISA: ALU total-function behaviour,
 //! builder structural invariants, program validation robustness, and
 //! disassembly.
-
-use proptest::prelude::*;
+//!
+//! Driven by a local copy of the deterministic SplitMix64 generator (the
+//! ISA crate sits below `scord-core` in the dependency graph, so it cannot
+//! borrow the one exported there), keeping the suite free of external
+//! property-testing crates and fully reproducible.
 
 use scord_isa::{
     AluOp, AtomOp, Instr, KernelBuilder, MemAddr, Operand, Program, Reg, Scope, SpecialReg,
 };
+
+/// SplitMix64 (Steele, Lea & Flood) — same constants as
+/// `scord_core::SplitMix64`.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+fn for_each_case(test_seed: u64, body: impl Fn(&mut Rng)) {
+    for case in 0..128u64 {
+        let mut rng = Rng(test_seed ^ case.wrapping_mul(0x9E37_79B9));
+        body(&mut rng);
+    }
+}
 
 const ALU_OPS: [AluOp; 22] = [
     AluOp::Add,
@@ -33,44 +65,71 @@ const ALU_OPS: [AluOp; 22] = [
     AluOp::SetGeU,
 ];
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    (0..ALU_OPS.len()).prop_map(|i| ALU_OPS[i])
-}
-
-proptest! {
-    /// Every ALU op is total over all inputs (no panics, division by zero
-    /// included) and comparisons are boolean.
-    #[test]
-    fn alu_is_total_and_comparisons_are_boolean(
-        op in alu_op(), a in any::<u32>(), b in any::<u32>(),
-    ) {
+/// Every ALU op is total over all inputs (no panics, division by zero
+/// included) and comparisons are boolean.
+#[test]
+fn alu_is_total_and_comparisons_are_boolean() {
+    for_each_case(0x2001, |rng| {
+        let op = ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize];
+        let a = rng.next_u32();
+        // Mix in adversarial operands: zero (division), extremes.
+        let b = match rng.below(4) {
+            0 => 0,
+            1 => u32::MAX,
+            _ => rng.next_u32(),
+        };
         let r = op.eval(a, b);
         if matches!(
             op,
-            AluOp::SetEq | AluOp::SetNe | AluOp::SetLt | AluOp::SetLe
-                | AluOp::SetGt | AluOp::SetGe | AluOp::SetLtU | AluOp::SetGeU
+            AluOp::SetEq
+                | AluOp::SetNe
+                | AluOp::SetLt
+                | AluOp::SetLe
+                | AluOp::SetGt
+                | AluOp::SetGe
+                | AluOp::SetLtU
+                | AluOp::SetGeU
         ) {
-            prop_assert!(r <= 1);
+            assert!(r <= 1);
         }
-    }
+    });
+}
 
-    /// Atomic RMWs are total; CAS only writes on a match.
-    #[test]
-    fn atomics_are_total(old in any::<u32>(), val in any::<u32>(), cmp in any::<u32>()) {
-        for op in [AtomOp::Add, AtomOp::Exch, AtomOp::Cas, AtomOp::Min,
-                   AtomOp::Max, AtomOp::And, AtomOp::Or] {
+/// Atomic RMWs are total; CAS only writes on a match.
+#[test]
+fn atomics_are_total() {
+    for_each_case(0x2002, |rng| {
+        let old = rng.next_u32();
+        let val = rng.next_u32();
+        let cmp = if rng.below(4) == 0 {
+            old
+        } else {
+            rng.next_u32()
+        };
+        for op in [
+            AtomOp::Add,
+            AtomOp::Exch,
+            AtomOp::Cas,
+            AtomOp::Min,
+            AtomOp::Max,
+            AtomOp::And,
+            AtomOp::Or,
+        ] {
             let new = op.apply(old, val, cmp);
             if op == AtomOp::Cas && old != cmp {
-                prop_assert_eq!(new, old);
+                assert_eq!(new, old);
             }
         }
-    }
+    });
+}
 
-    /// Randomly nested structured control flow always assembles into a
-    /// valid program whose branches reconverge at-or-after their targets'
-    /// region.
-    #[test]
-    fn structured_nesting_always_validates(shape in proptest::collection::vec(0u8..3, 1..12)) {
+/// Randomly nested structured control flow always assembles into a valid
+/// program whose branches reconverge at-or-after their targets' region.
+#[test]
+fn structured_nesting_always_validates() {
+    for_each_case(0x2003, |rng| {
+        let len = 1 + rng.below(11) as usize;
+        let shape: Vec<u8> = (0..len).map(|_| rng.below(3) as u8).collect();
         let mut k = KernelBuilder::new("nest", 0);
         let c = k.mov(1u32);
         fn emit(k: &mut KernelBuilder, c: Reg, shape: &[u8]) {
@@ -102,45 +161,72 @@ proptest! {
         let p = k.finish().expect("structured programs always validate");
         for (pc, ins) in p.instrs().iter().enumerate() {
             if let Instr::Branch { reconv, .. } = ins {
-                prop_assert!(*reconv as usize > pc, "reconvergence is ahead of the branch");
+                assert!(
+                    *reconv as usize > pc,
+                    "reconvergence is ahead of the branch"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Program validation never panics on arbitrary (small) instruction
-    /// soups — it returns Ok or a structured error.
-    #[test]
-    fn from_parts_is_panic_free(
-        instrs in proptest::collection::vec(
-            prop_oneof![
-                (0u16..8, any::<u32>()).prop_map(|(r, v)| Instr::Mov { dst: Reg(r), src: Operand::Imm(v) }),
-                (0u16..8, 0u16..8).prop_map(|(d, b)| Instr::Ld {
-                    dst: Reg(d),
-                    addr: MemAddr::new(Reg(b), 0),
+/// Program validation never panics on arbitrary (small) instruction soups —
+/// it returns Ok or a structured error.
+#[test]
+fn from_parts_is_panic_free() {
+    for_each_case(0x2004, |rng| {
+        let len = rng.below(10) as usize;
+        let instrs: Vec<Instr> = (0..len)
+            .map(|_| match rng.below(6) {
+                0 => Instr::Mov {
+                    dst: Reg(rng.below(8) as u16),
+                    src: Operand::Imm(rng.next_u32()),
+                },
+                1 => Instr::Ld {
+                    dst: Reg(rng.below(8) as u16),
+                    addr: MemAddr::new(Reg(rng.below(8) as u16), 0),
                     space: scord_isa::Space::Global,
                     strong: false,
-                }),
-                (0u32..16, 0u32..16).prop_map(|(t, r)| Instr::Branch {
-                    cond: Reg(0), if_zero: false, target: t, reconv: r,
-                }),
-                Just(Instr::Bar),
-                Just(Instr::Exit),
-                Just(Instr::Fence { scope: Scope::Device }),
-            ],
-            0..10,
-        ),
-        num_regs in 1u16..8,
-    ) {
+                },
+                2 => Instr::Branch {
+                    cond: Reg(0),
+                    if_zero: false,
+                    target: rng.below(16) as u32,
+                    reconv: rng.below(16) as u32,
+                },
+                3 => Instr::Bar,
+                4 => Instr::Exit,
+                _ => Instr::Fence {
+                    scope: Scope::Device,
+                },
+            })
+            .collect();
+        let num_regs = 1 + rng.below(7) as u16;
         let _ = Program::from_parts("soup", instrs, num_regs, 0, 0);
-    }
+    });
+}
 
-    /// Every instruction disassembles to non-empty text.
-    #[test]
-    fn disassembly_is_never_empty(r in 0u16..4, v in any::<u32>()) {
+/// Every instruction disassembles to non-empty text.
+#[test]
+fn disassembly_is_never_empty() {
+    for_each_case(0x2005, |rng| {
+        let r = rng.below(4) as u16;
+        let v = rng.next_u32();
         let samples = [
-            Instr::Mov { dst: Reg(r), src: Operand::Imm(v) },
-            Instr::Alu { op: AluOp::MulHi, dst: Reg(r), a: Operand::Imm(v), b: Operand::Reg(Reg(r)) },
-            Instr::Special { dst: Reg(r), sreg: SpecialReg::LaneId },
+            Instr::Mov {
+                dst: Reg(r),
+                src: Operand::Imm(v),
+            },
+            Instr::Alu {
+                op: AluOp::MulHi,
+                dst: Reg(r),
+                a: Operand::Imm(v),
+                b: Operand::Reg(Reg(r)),
+            },
+            Instr::Special {
+                dst: Reg(r),
+                sreg: SpecialReg::LaneId,
+            },
             Instr::Atom {
                 op: AtomOp::Cas,
                 dst: Some(Reg(r)),
@@ -149,12 +235,14 @@ proptest! {
                 cmp: Operand::Imm(0),
                 scope: Scope::Block,
             },
-            Instr::Fence { scope: Scope::Block },
+            Instr::Fence {
+                scope: Scope::Block,
+            },
             Instr::Bar,
             Instr::Nop,
         ];
         for s in samples {
-            prop_assert!(!s.to_string().is_empty());
+            assert!(!s.to_string().is_empty());
         }
-    }
+    });
 }

@@ -1,6 +1,6 @@
 //! Simulator configuration (paper Table V plus detector-timing knobs).
 
-use scord_core::{DetectorConfig, Geometry, StoreKind};
+use scord_core::{DetectorConfig, FaultPlan, Geometry, StoreKind};
 
 /// GDDR5 timing parameters in memory-controller cycles (Table V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +185,10 @@ pub struct GpuConfig {
     /// Extra request-packet bytes carrying detection state (warp/block IDs,
     /// fence IDs, bloom filter) when detection is on.
     pub detection_header_bytes: u32,
+    /// Optional fault-injection campaign applied to the detector pipeline
+    /// (detector state corruption plus queue-level event faults). Ignored
+    /// when detection is off.
+    pub fault: Option<FaultPlan>,
 }
 
 impl GpuConfig {
@@ -221,6 +225,7 @@ impl GpuConfig {
             detector_queue: 64,
             detector_throughput: 12,
             detection_header_bytes: 8,
+            fault: None,
         }
     }
 
@@ -252,6 +257,14 @@ impl GpuConfig {
         self
     }
 
+    /// Returns a copy with a fault-injection plan armed (effective only when
+    /// detection is on).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// The detector geometry implied by this configuration.
     #[must_use]
     pub fn geometry(&self) -> Geometry {
@@ -275,6 +288,7 @@ impl GpuConfig {
                 metadata_base: self.mem_bytes,
                 lock_table_entries: 4,
                 max_race_records: 4096,
+                fault: self.fault,
             }),
         }
     }

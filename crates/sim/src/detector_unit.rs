@@ -10,10 +10,16 @@
 
 use std::collections::VecDeque;
 
-use scord_core::{Detector, MemAccess};
+use scord_core::{
+    Detector, DetectorError, EventAction, FaultInjector, FaultPlan, FaultStats, MemAccess,
+};
 use scord_isa::Scope;
 
 use crate::SimStats;
+
+/// Stream id salting the queue injector's PRNG so its decisions are
+/// independent of the detector-internal injector built from the same plan.
+const QUEUE_FAULT_STREAM: u64 = 0xD373;
 
 /// An event destined for the race detector.
 #[derive(Debug, Clone)]
@@ -56,17 +62,32 @@ pub struct DetectorUnit {
     capacity: usize,
     /// Lanes of the head `Access` event already processed.
     head_progress: usize,
+    /// Queue-level fault injector (event drop/duplicate/reorder), on an
+    /// independent stream from the detector's own injector.
+    injector: Option<FaultInjector>,
 }
 
 impl DetectorUnit {
     /// Wraps `detector` with a `capacity`-entry input queue.
     #[must_use]
     pub fn new(detector: Box<dyn Detector>, capacity: usize) -> Self {
+        Self::with_faults(detector, capacity, None)
+    }
+
+    /// Wraps `detector` with a `capacity`-entry input queue and, when `plan`
+    /// is set, arms queue-level event faults (drop/duplicate/reorder).
+    #[must_use]
+    pub fn with_faults(
+        detector: Box<dyn Detector>,
+        capacity: usize,
+        plan: Option<FaultPlan>,
+    ) -> Self {
         DetectorUnit {
             detector,
             queue: VecDeque::new(),
             capacity,
             head_progress: 0,
+            injector: plan.map(|p| FaultInjector::derived(p, QUEUE_FAULT_STREAM)),
         }
     }
 
@@ -78,14 +99,45 @@ impl DetectorUnit {
         self.queue.len() < self.capacity
     }
 
-    /// Enqueues an event.
+    /// Enqueues an event, applying any armed queue-level faults: the event
+    /// may be dropped, enqueued twice, or swapped with the event behind it.
     pub fn enqueue(&mut self, ev: DetectorEvent) {
-        self.queue.push_back(ev);
+        let action = match self.injector.as_mut() {
+            Some(inj) => inj.event_action(),
+            None => EventAction::Deliver,
+        };
+        match action {
+            EventAction::Deliver => self.queue.push_back(ev),
+            EventAction::Drop => {}
+            EventAction::Duplicate => {
+                self.queue.push_back(ev.clone());
+                self.queue.push_back(ev);
+            }
+            EventAction::Reorder => {
+                self.queue.push_back(ev);
+                // Swap the two newest events — but never a head `Access`
+                // event whose lanes are already partially processed.
+                let n = self.queue.len();
+                if n >= 3 || (n == 2 && self.head_progress == 0) {
+                    self.queue.swap(n - 1, n - 2);
+                }
+            }
+        }
     }
 
     /// Processes up to `lane_budget` lane accesses (sync events are free),
     /// appending the 128-byte-aligned metadata lines touched to `md_lines`.
-    pub fn tick(&mut self, lane_budget: u32, md_lines: &mut Vec<u64>, stats: &mut SimStats) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DetectorError`] the detector reports — a
+    /// malformed event in the stream.
+    pub fn tick(
+        &mut self,
+        lane_budget: u32,
+        md_lines: &mut Vec<u64>,
+        stats: &mut SimStats,
+    ) -> Result<(), DetectorError> {
         let mut budget = lane_budget;
         while budget > 0 {
             // Pop the head; unfinished Access events are pushed back so the
@@ -97,7 +149,7 @@ impl DetectorUnit {
                 DetectorEvent::Access { accesses } => {
                     while budget > 0 && self.head_progress < accesses.len() {
                         let a = &accesses[self.head_progress];
-                        let effects = self.detector.on_access(a);
+                        let effects = self.detector.on_access(a)?;
                         let line = effects.md_addr & !127;
                         if md_lines.last() != Some(&line) {
                             md_lines.push(line);
@@ -118,14 +170,28 @@ impl DetectorUnit {
                     sm,
                     warp_slot,
                     scope,
-                } => self.detector.on_fence(sm, warp_slot, scope),
+                } => self.detector.on_fence(sm, warp_slot, scope)?,
                 DetectorEvent::Barrier { sm, block_slot } => {
-                    self.detector.on_barrier(sm, block_slot);
+                    self.detector.on_barrier(sm, block_slot)?;
                 }
                 DetectorEvent::WarpAssigned { sm, warp_slot } => {
-                    self.detector.on_warp_assigned(sm, warp_slot);
+                    self.detector.on_warp_assigned(sm, warp_slot)?;
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Combined fault-injection counters: detector-level plus queue-level.
+    /// `None` when neither side runs under a fault plan.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        let queue = self.injector.as_ref().map(FaultInjector::stats);
+        match (self.detector.fault_stats(), queue) {
+            (Some(d), Some(q)) => Some(d.merged(q)),
+            (Some(d), None) => Some(*d),
+            (None, Some(q)) => Some(*q),
+            (None, None) => None,
         }
     }
 
@@ -183,12 +249,12 @@ mod tests {
         u.enqueue(access_event(32, 0));
         let mut lines = Vec::new();
         let mut stats = SimStats::default();
-        u.tick(8, &mut lines, &mut stats);
+        u.tick(8, &mut lines, &mut stats).unwrap();
         assert_eq!(stats.detector_lane_accesses, 8);
         assert_eq!(stats.detector_events, 0, "event not finished yet");
         assert!(!u.is_idle());
         for _ in 0..3 {
-            u.tick(8, &mut lines, &mut stats);
+            u.tick(8, &mut lines, &mut stats).unwrap();
         }
         assert_eq!(stats.detector_events, 1);
         assert!(u.is_idle());
@@ -200,7 +266,7 @@ mod tests {
         u.enqueue(access_event(32, 0));
         let mut lines = Vec::new();
         let mut stats = SimStats::default();
-        u.tick(64, &mut lines, &mut stats);
+        u.tick(64, &mut lines, &mut stats).unwrap();
         // 32 consecutive words → 32 metadata entries at ratio 16 → a couple
         // of metadata lines, not 32.
         assert!(
@@ -221,9 +287,100 @@ mod tests {
         u.enqueue(access_event(1, 0));
         let mut lines = Vec::new();
         let mut stats = SimStats::default();
-        u.tick(64, &mut lines, &mut stats);
+        u.tick(64, &mut lines, &mut stats).unwrap();
         assert!(u.is_idle());
         assert_eq!(stats.detector_events, 3);
+    }
+
+    #[test]
+    fn event_faults_are_deterministic_in_the_seed() {
+        use scord_core::{FaultKind, FaultKindSet};
+        let plan = FaultPlan {
+            seed: 0xFA_17,
+            rate_ppm: 400_000,
+            kinds: FaultKindSet::empty()
+                .with(FaultKind::EventDrop)
+                .with(FaultKind::EventDuplicate)
+                .with(FaultKind::EventReorder),
+        };
+        let run = || {
+            let mut u = DetectorUnit::with_faults(
+                Box::new(ScordDetector::new(DetectorConfig::paper_default(1 << 20))),
+                64,
+                Some(plan),
+            );
+            for i in 0..32 {
+                u.enqueue(access_event(2, (i % 8) * 8));
+            }
+            let mut lines = Vec::new();
+            let mut stats = SimStats::default();
+            while !u.is_idle() {
+                u.tick(8, &mut lines, &mut stats).unwrap();
+            }
+            (
+                stats.detector_events,
+                u.detector().races().unique_count(),
+                u.fault_stats().expect("armed").total(),
+            )
+        };
+        assert_eq!(run(), run(), "same plan, same event stream, same outcome");
+        assert!(run().2 > 0, "40% rate over 32 events must fire");
+    }
+
+    #[test]
+    fn dropped_events_never_reach_the_detector() {
+        let plan = FaultPlan::single(scord_core::FaultKind::EventDrop, 1_000_000, 7);
+        let mut u = DetectorUnit::with_faults(
+            Box::new(ScordDetector::new(DetectorConfig::paper_default(1 << 20))),
+            8,
+            Some(plan),
+        );
+        for _ in 0..4 {
+            u.enqueue(access_event(1, 0));
+        }
+        assert!(u.is_idle(), "rate 100%: every event dropped at the queue");
+        assert_eq!(u.fault_stats().expect("armed").total(), 4);
+    }
+
+    #[test]
+    fn duplicated_events_are_processed_twice() {
+        let plan = FaultPlan::single(scord_core::FaultKind::EventDuplicate, 1_000_000, 7);
+        let mut u = DetectorUnit::with_faults(
+            Box::new(ScordDetector::new(DetectorConfig::paper_default(1 << 20))),
+            8,
+            Some(plan),
+        );
+        u.enqueue(access_event(1, 0));
+        let mut lines = Vec::new();
+        let mut stats = SimStats::default();
+        u.tick(64, &mut lines, &mut stats).unwrap();
+        assert_eq!(stats.detector_events, 2, "one enqueue, two deliveries");
+    }
+
+    #[test]
+    fn reorder_never_swaps_a_partially_processed_head() {
+        let plan = FaultPlan::single(scord_core::FaultKind::EventReorder, 1_000_000, 7);
+        let mut u = DetectorUnit::with_faults(
+            Box::new(ScordDetector::new(DetectorConfig::paper_default(1 << 20))),
+            8,
+            Some(plan),
+        );
+        u.enqueue(access_event(32, 0));
+        let mut lines = Vec::new();
+        let mut stats = SimStats::default();
+        u.tick(8, &mut lines, &mut stats).unwrap();
+        assert_eq!(stats.detector_lane_accesses, 8, "head partially processed");
+        // A reorder now must NOT move the half-processed Access event: its
+        // remaining lanes would be attributed to the wrong position.
+        u.enqueue(access_event(1, 8));
+        while !u.is_idle() {
+            u.tick(8, &mut lines, &mut stats).unwrap();
+        }
+        assert_eq!(stats.detector_events, 2);
+        assert_eq!(
+            stats.detector_lane_accesses, 33,
+            "all 32 + 1 lanes processed exactly once"
+        );
     }
 
     #[test]
@@ -238,7 +395,7 @@ mod tests {
         u.enqueue(access_event(1, 8));
         let mut lines = Vec::new();
         let mut stats = SimStats::default();
-        u.tick(2, &mut lines, &mut stats);
+        u.tick(2, &mut lines, &mut stats).unwrap();
         assert!(u.is_idle(), "2 lanes + free fence all fit in one tick");
         assert_eq!(
             u.detector().races().unique_count(),

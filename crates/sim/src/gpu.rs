@@ -12,7 +12,7 @@ use scord_isa::{AtomOp, Instr, Pc, Program, Scope, Space, SpecialReg};
 
 use crate::{
     Cache, CacheOutcome, DetectorEvent, DetectorUnit, DeviceMemory, DramChannel, DramRequest,
-    GpuConfig, Sm, SmBlock, SimStats, Warp, WarpState,
+    GpuConfig, SimStats, Sm, SmBlock, Warp, WarpState,
 };
 
 /// A request packet travelling from an SM (or the race detector) to a memory
@@ -78,10 +78,7 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap by (time, seq).
-        other
-            .time
-            .cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -117,6 +114,9 @@ pub enum SimError {
     },
     /// Bad launch parameters.
     Launch(String),
+    /// The race detector rejected an event (malformed accessor, address,
+    /// or geometry — see [`scord_core::DetectorError`]).
+    Detector(scord_core::DetectorError),
 }
 
 impl fmt::Display for SimError {
@@ -132,11 +132,18 @@ impl fmt::Display for SimError {
                 write!(f, "global access at pc {pc} out of bounds: 0x{addr:x}")
             }
             SimError::Launch(msg) => write!(f, "invalid launch: {msg}"),
+            SimError::Detector(err) => write!(f, "detector rejected event: {err}"),
         }
     }
 }
 
 impl Error for SimError {}
+
+impl From<scord_core::DetectorError> for SimError {
+    fn from(err: scord_core::DetectorError) -> Self {
+        SimError::Detector(err)
+    }
+}
 
 enum Outcome {
     Issued,
@@ -213,7 +220,7 @@ impl Gpu {
     ) -> Self {
         let detector = cfg
             .detector_config()
-            .map(|dc| DetectorUnit::new(factory(dc), cfg.detector_queue));
+            .map(|dc| DetectorUnit::with_faults(factory(dc), cfg.detector_queue, cfg.fault));
         let sms = (0..cfg.num_sms)
             .map(|i| {
                 Sm::new(
@@ -372,6 +379,7 @@ impl Gpu {
         if let Some(det) = &self.detector {
             self.stats.unique_races = det.detector().races().unique_count();
             self.stats.total_races = det.detector().races().total_count();
+            self.stats.faults_injected = det.fault_stats().map_or(0, |s| s.total());
         }
         Ok(self.stats)
     }
@@ -407,7 +415,7 @@ impl Gpu {
         for p in 0..self.parts.len() {
             self.part_tick(p);
         }
-        self.detector_tick();
+        self.detector_tick()?;
         Ok(())
     }
 
@@ -578,38 +586,35 @@ impl Gpu {
             };
             match w.state {
                 WarpState::WaitFence { end: None, scope }
-                    if w.outstanding_stores == 0 && w.pending_loads == 0 => {
-                        let latency = match scope {
-                            Scope::Block => self.cfg.fence_block_latency,
-                            Scope::Device => self.cfg.fence_device_latency,
-                        };
-                        let warp_slot = w.warp_slot;
-                        w.state = WarpState::WaitFence {
-                            end: Some(self.now + u64::from(latency)),
+                    if w.outstanding_stores == 0 && w.pending_loads == 0 =>
+                {
+                    let latency = match scope {
+                        Scope::Block => self.cfg.fence_block_latency,
+                        Scope::Device => self.cfg.fence_device_latency,
+                    };
+                    let warp_slot = w.warp_slot;
+                    w.state = WarpState::WaitFence {
+                        end: Some(self.now + u64::from(latency)),
+                        scope,
+                    };
+                    if let Some(det) = &mut self.detector {
+                        det.enqueue(DetectorEvent::Fence {
+                            sm: s as u8,
+                            warp_slot,
                             scope,
-                        };
-                        if let Some(det) = &mut self.detector {
-                            det.enqueue(DetectorEvent::Fence {
-                                sm: s as u8,
-                                warp_slot,
-                                scope,
-                            });
-                        }
+                        });
                     }
+                }
                 WarpState::WaitFence {
                     end: Some(t),
                     scope: _,
+                } if self.now >= t => {
+                    w.state = WarpState::Ready { at: self.now };
                 }
-                    if self.now >= t => {
-                        w.state = WarpState::Ready { at: self.now };
-                    }
                 WarpState::WaitMem => {
                     self.stats.stalls.memory += 1;
                     // A draining exited warp: retire once all traffic landed.
-                    if w.pending_loads == 0
-                        && w.outstanding_stores == 0
-                        && w.is_done()
-                    {
+                    if w.pending_loads == 0 && w.outstanding_stores == 0 && w.is_done() {
                         let bidx = w.block_index;
                         w.state = WarpState::Done;
                         self.try_retire_warp(s, idx, bidx);
@@ -1194,13 +1199,13 @@ impl Gpu {
         }
     }
 
-    fn detector_tick(&mut self) {
+    fn detector_tick(&mut self) -> Result<(), SimError> {
         let toggles = self.cfg.toggles();
         let mut md_lines = Vec::new();
         let Some(det) = &mut self.detector else {
-            return;
+            return Ok(());
         };
-        det.tick(self.cfg.detector_throughput, &mut md_lines, &mut self.stats);
+        det.tick(self.cfg.detector_throughput, &mut md_lines, &mut self.stats)?;
         if toggles.md {
             for line in md_lines {
                 let p = self.partition_of(line);
@@ -1219,6 +1224,7 @@ impl Gpu {
                 });
             }
         }
+        Ok(())
     }
 }
 

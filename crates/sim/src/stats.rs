@@ -84,6 +84,9 @@ pub struct SimStats {
     pub unique_races: usize,
     /// Dynamic race reports.
     pub total_races: u64,
+    /// Faults injected by the fault plan, if one was configured (zero
+    /// otherwise). Cumulative within one `Gpu`, like the race counts.
+    pub faults_injected: u64,
 }
 
 impl SimStats {
@@ -113,6 +116,7 @@ impl SimStats {
         self.stalls.barrier += other.stalls.barrier;
         self.unique_races = other.unique_races;
         self.total_races = other.total_races;
+        self.faults_injected = other.faults_injected;
     }
 
     /// Instructions per cycle (warp granularity).

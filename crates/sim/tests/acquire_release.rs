@@ -31,7 +31,8 @@ fn run(acq: Scope, rel: Scope) -> (u32, usize) {
     let lock = gpu.mem_mut().alloc_words(1);
     let ctr = gpu.mem_mut().alloc_words(1);
     let prog = acq_rel_kernel(acq, rel);
-    gpu.launch(&prog, 6, 32, &[lock.addr(), ctr.addr()]).unwrap();
+    gpu.launch(&prog, 6, 32, &[lock.addr(), ctr.addr()])
+        .unwrap();
     (
         gpu.mem().read_word(ctr.addr()),
         gpu.races().unwrap().unique_count(),
@@ -65,8 +66,24 @@ fn block_scoped_release_across_blocks_is_detected() {
 fn acquire_emits_the_cas_fence_pattern() {
     use scord_isa::{AtomOp, Instr};
     let prog = acq_rel_kernel(Scope::Device, Scope::Device);
-    let cas = prog.count_matching(|i| matches!(i, Instr::Atom { op: AtomOp::Cas, .. }));
-    let exch = prog.count_matching(|i| matches!(i, Instr::Atom { op: AtomOp::Exch, .. }));
+    let cas = prog.count_matching(|i| {
+        matches!(
+            i,
+            Instr::Atom {
+                op: AtomOp::Cas,
+                ..
+            }
+        )
+    });
+    let exch = prog.count_matching(|i| {
+        matches!(
+            i,
+            Instr::Atom {
+                op: AtomOp::Exch,
+                ..
+            }
+        )
+    });
     let fences = prog.count_matching(|i| matches!(i, Instr::Fence { .. }));
     assert_eq!(cas, 1);
     assert_eq!(exch, 1);

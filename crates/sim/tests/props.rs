@@ -1,10 +1,12 @@
-//! Property-based tests for the simulator's building blocks and a
+//! Randomized-property tests for the simulator's building blocks and a
 //! differential test of the ALU datapath against a host-side evaluator.
+//!
+//! Driven by `scord_core::SplitMix64` for determinism with no external
+//! property-testing crate: every run explores exactly the same inputs.
 
-use proptest::prelude::*;
-
+use scord_core::SplitMix64;
 use scord_isa::{AluOp, KernelBuilder, Operand};
-use scord_sim::{Cache, DeviceMemory, DramChannel, DramTiming, DramRequest, Gpu, GpuConfig};
+use scord_sim::{Cache, DeviceMemory, DramChannel, DramRequest, DramTiming, Gpu, GpuConfig};
 
 const ALU_OPS: [AluOp; 14] = [
     AluOp::Add,
@@ -23,73 +25,102 @@ const ALU_OPS: [AluOp; 14] = [
     AluOp::Sra,
 ];
 
-proptest! {
-    /// A line is resident right after being accessed, and gone right after
-    /// being invalidated, for arbitrary addresses.
-    #[test]
-    fn cache_access_then_probe(addrs in proptest::collection::vec(any::<u64>(), 1..50)) {
-        let mut c = Cache::new(16 << 10, 4, 128);
-        for a in &addrs {
-            let a = a & 0x3FFF_FFFF;
-            let _ = c.access(a, false, false);
-            prop_assert!(c.probe(a), "just-accessed line must be resident");
-            c.invalidate(a);
-            prop_assert!(!c.probe(a), "invalidated line must be gone");
-        }
+fn for_each_case(cases: u64, test_seed: u64, body: impl Fn(&mut SplitMix64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(test_seed ^ case.wrapping_mul(0x9E37_79B9));
+        body(&mut rng);
     }
+}
 
-    /// The cache never holds more distinct lines than its capacity.
-    #[test]
-    fn cache_respects_capacity(addrs in proptest::collection::vec(0u64..(1 << 20), 1..200)) {
+/// A line is resident right after being accessed, and gone right after being
+/// invalidated, for arbitrary addresses.
+#[test]
+fn cache_access_then_probe() {
+    for_each_case(64, 0x3001, |rng| {
+        let n = 1 + rng.below(49);
+        let mut c = Cache::new(16 << 10, 4, 128);
+        for _ in 0..n {
+            let a = rng.next_u64() & 0x3FFF_FFFF;
+            let _ = c.access(a, false, false);
+            assert!(c.probe(a), "just-accessed line must be resident");
+            c.invalidate(a);
+            assert!(!c.probe(a), "invalidated line must be gone");
+        }
+    });
+}
+
+/// The cache never holds more distinct lines than its capacity.
+#[test]
+fn cache_respects_capacity() {
+    for_each_case(32, 0x3002, |rng| {
+        let n = 1 + rng.below(199);
         let bytes = 1024u32;
         let line = 128u32;
         let mut c = Cache::new(bytes, 2, line);
-        for a in &addrs {
-            let _ = c.access(*a, false, false);
+        for _ in 0..n {
+            let _ = c.access(rng.below(1 << 20), false, false);
         }
         let resident = (0..(1u64 << 20) / u64::from(line))
             .filter(|i| c.probe(i * u64::from(line)))
             .count();
-        prop_assert!(resident <= (bytes / line) as usize);
-    }
+        assert!(resident <= (bytes / line) as usize);
+    });
+}
 
-    /// DRAM service times stay within the GDDR5 timing envelope and the
-    /// channel never runs backwards.
-    #[test]
-    fn dram_service_bounds(lines in proptest::collection::vec(0u64..(1 << 24), 1..60)) {
+/// DRAM service times stay within the GDDR5 timing envelope and the channel
+/// never runs backwards.
+#[test]
+fn dram_service_bounds() {
+    for_each_case(64, 0x3003, |rng| {
+        let n = 1 + rng.below(59);
         let t = DramTiming::paper_default();
         let mut ch = DramChannel::new(t, 8, 2048);
-        for l in &lines {
-            ch.push(DramRequest { line_addr: l & !127, write: false, metadata: false });
+        for _ in 0..n {
+            ch.push(DramRequest {
+                line_addr: rng.below(1 << 24) & !127,
+                write: false,
+                metadata: false,
+            });
         }
         let mut now = 0u64;
         let min = u64::from(t.t_cl + t.burst);
         let max = u64::from(t.t_rp + t.t_rcd + t.t_cl + t.burst);
         while let Some((_, done)) = ch.tick(now) {
-            prop_assert!(done > now);
-            prop_assert!(done - now >= min && done - now <= max,
-                "service time {} outside [{min}, {max}]", done - now);
+            assert!(done > now);
+            assert!(
+                done - now >= min && done - now <= max,
+                "service time {} outside [{min}, {max}]",
+                done - now
+            );
             now = done;
         }
-        prop_assert!(ch.idle(now));
-    }
+        assert!(ch.idle(now));
+    });
+}
 
-    /// Device-memory copies round-trip for arbitrary contents.
-    #[test]
-    fn device_memory_roundtrip(data in proptest::collection::vec(any::<u32>(), 1..256)) {
+/// Device-memory copies round-trip for arbitrary contents.
+#[test]
+fn device_memory_roundtrip() {
+    for_each_case(64, 0x3004, |rng| {
+        let n = 1 + rng.below(255) as usize;
+        let data: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
         let mut m = DeviceMemory::new(1 << 20);
         let buf = m.alloc_words(data.len() as u32);
         m.copy_in(buf, &data);
-        prop_assert_eq!(m.copy_out(buf), data);
-    }
+        assert_eq!(m.copy_out(buf), data);
+    });
+}
 
-    /// Differential test: a random straight-line ALU program produces the
-    /// same per-thread results on the simulated GPU as a direct host-side
-    /// evaluation of the same instruction sequence.
-    #[test]
-    fn alu_datapath_matches_host_evaluation(
-        ops in proptest::collection::vec((0usize..14, any::<u32>(), any::<bool>()), 1..24),
-    ) {
+/// Differential test: a random straight-line ALU program produces the same
+/// per-thread results on the simulated GPU as a direct host-side evaluation
+/// of the same instruction sequence.
+#[test]
+fn alu_datapath_matches_host_evaluation() {
+    for_each_case(24, 0x3005, |rng| {
+        let n = 1 + rng.below(23) as usize;
+        let ops: Vec<(usize, u32, bool)> = (0..n)
+            .map(|_| (rng.below(14) as usize, rng.next_u32(), rng.next_bool()))
+            .collect();
         // Kernel: r = tid; for each (op, imm, swap): r = op(r, imm) or
         // op(imm, r); out[tid] = r.
         let mut k = KernelBuilder::new("alusoup", 1);
@@ -117,18 +148,24 @@ proptest! {
             let mut r = t;
             for (op_i, imm, swap) in &ops {
                 let op = ALU_OPS[*op_i];
-                r = if *swap { op.eval(*imm, r) } else { op.eval(r, *imm) };
+                r = if *swap {
+                    op.eval(*imm, r)
+                } else {
+                    op.eval(r, *imm)
+                };
             }
-            prop_assert_eq!(got[t as usize], r, "thread {}", t);
+            assert_eq!(got[t as usize], r, "thread {t}");
         }
-    }
+    });
+}
 
-    /// Divergence soup: threads take data-dependent branches; every thread
-    /// must still produce the value the scalar semantics dictate.
-    #[test]
-    fn divergence_matches_scalar_semantics(
-        thresholds in proptest::collection::vec(0u32..64, 1..6),
-    ) {
+/// Divergence soup: threads take data-dependent branches; every thread must
+/// still produce the value the scalar semantics dictate.
+#[test]
+fn divergence_matches_scalar_semantics() {
+    for_each_case(24, 0x3006, |rng| {
+        let n = 1 + rng.below(5) as usize;
+        let thresholds: Vec<u32> = (0..n).map(|_| rng.below(64) as u32).collect();
         let mut k = KernelBuilder::new("divsoup", 1);
         let out = k.ld_param(0);
         let tid = k.special(scord_isa::SpecialReg::Tid);
@@ -155,7 +192,7 @@ proptest! {
             for (i, th) in thresholds.iter().enumerate() {
                 expect += if t < *th { (i as u32 + 1) * 10 } else { 1 };
             }
-            prop_assert_eq!(got[t as usize], expect, "thread {}", t);
+            assert_eq!(got[t as usize], expect, "thread {t}");
         }
-    }
+    });
 }

@@ -16,8 +16,7 @@ use scor_suite::Benchmark;
 use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
 fn measure(b: &dyn Benchmark) {
-    let mut gpu =
-        Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
+    let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
     gpu.set_max_cycles(50_000_000);
     match b.run(&mut gpu) {
         Ok(_) => {
@@ -38,7 +37,10 @@ fn main() {
             unlocked_fast_path: bits & 4 != 0,
         };
         print!("MM {bits:03b}:");
-        measure(&MatMul { races, ..MatMul::default() });
+        measure(&MatMul {
+            races,
+            ..MatMul::default()
+        });
     }
     for bits in 0..4u32 {
         let races = ReductionRaces {
@@ -46,7 +48,10 @@ fn main() {
             block_scope_done_counter: bits & 2 != 0,
         };
         print!("RED {bits:02b}:");
-        measure(&Reduction { races, ..Reduction::default() });
+        measure(&Reduction {
+            races,
+            ..Reduction::default()
+        });
     }
     for bits in 0..4u32 {
         let races = Rule110Races {
@@ -54,7 +59,10 @@ fn main() {
             block_scope_generation_flag: bits & 2 != 0,
         };
         print!("R110 {bits:02b}:");
-        measure(&Rule110 { races, ..Rule110::default() });
+        measure(&Rule110 {
+            races,
+            ..Rule110::default()
+        });
     }
     for bits in 0..32u32 {
         let races = GraphColoringRaces {
@@ -65,7 +73,10 @@ fn main() {
             block_scope_generation_flag: bits & 16 != 0,
         };
         print!("GCOL {bits:05b}:");
-        measure(&GraphColoring { races, ..GraphColoring::default() });
+        measure(&GraphColoring {
+            races,
+            ..GraphColoring::default()
+        });
     }
     for bits in 0..32u32 {
         let races = GraphConnectivityRaces {
@@ -76,14 +87,20 @@ fn main() {
             block_scope_generation_flag: bits & 16 != 0,
         };
         print!("GCON {bits:05b}:");
-        measure(&GraphConnectivity { races, ..GraphConnectivity::default() });
+        measure(&GraphConnectivity {
+            races,
+            ..GraphConnectivity::default()
+        });
     }
     for bits in 0..2u32 {
         let races = ConvolutionRaces {
             block_scope_boundary: bits & 1 != 0,
         };
         print!("1DC {bits:01b}:");
-        measure(&Convolution1D { races, ..Convolution1D::default() });
+        measure(&Convolution1D {
+            races,
+            ..Convolution1D::default()
+        });
     }
     for bits in 0..8u32 {
         let races = UtsRaces {
@@ -92,6 +109,9 @@ fn main() {
             block_scope_result_adds: bits & 4 != 0,
         };
         print!("UTS {bits:03b}:");
-        measure(&Uts { races, ..Uts::default() });
+        measure(&Uts {
+            races,
+            ..Uts::default()
+        });
     }
 }

@@ -8,8 +8,7 @@
 //! scope-selection optimization the paper describes. The single injectable
 //! race uses block scope at the boundary too (1 unique scoped-atomic race).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use scord_core::SplitMix64;
 
 use scord_isa::{KernelBuilder, Program, Scope};
 use scord_sim::{Gpu, SimError};
@@ -110,8 +109,8 @@ impl Convolution1D {
     }
 
     fn inputs(&self) -> Vec<u32> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.elements).map(|_| rng.random_range(0..64)).collect()
+        let mut rng = SplitMix64::new(self.seed);
+        (0..self.elements).map(|_| rng.range_u32(0, 64)).collect()
     }
 
     /// CPU reference (same scatter formulation, wrapping arithmetic).
@@ -123,8 +122,7 @@ impl Convolution1D {
             for (j, &f) in self.filter.iter().enumerate() {
                 let idx = t as i64 + j as i64 - half as i64;
                 if idx >= 0 && (idx as usize) < n {
-                    out[idx as usize] =
-                        out[idx as usize].wrapping_add(x.wrapping_mul(f as u32));
+                    out[idx as usize] = out[idx as usize].wrapping_add(x.wrapping_mul(f as u32));
                 }
             }
         }
@@ -189,8 +187,7 @@ mod tests {
 
     #[test]
     fn correct_config_validates_and_is_race_free() {
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         let run = small().run(&mut gpu).unwrap();
         assert_eq!(run.output_valid, Some(true));
         assert_eq!(

@@ -219,8 +219,7 @@ impl GraphColoring {
                                         let end = k.ld_global(ea, 0);
                                         let avail = k.set_lt(head, end);
                                         k.if_then(avail, |k| {
-                                            let got2 =
-                                                k.atom_add(nh, 0, ntid, steal_scope);
+                                            let got2 = k.atom_add(nh, 0, ntid, steal_scope);
                                             let ok = k.set_lt(got2, end);
                                             k.if_then(ok, |k| {
                                                 let v1 = k.add(vb, 1u32);
@@ -444,8 +443,7 @@ mod tests {
 
     #[test]
     fn correct_config_validates_and_is_race_free() {
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         let run = small().run(&mut gpu).unwrap();
         assert_eq!(run.output_valid, Some(true));
         assert_eq!(

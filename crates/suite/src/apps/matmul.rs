@@ -17,8 +17,7 @@
 //! A third knob narrows the per-element lock to block scope (1 more
 //! scoped-atomic race), exercised by its own tests.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use scord_core::SplitMix64;
 
 use scord_isa::{AluOp, KernelBuilder, LockConfig, Program, Scope, SpecialReg};
 use scord_sim::{Gpu, SimError};
@@ -214,9 +213,9 @@ impl MatMul {
     }
 
     fn inputs(&self) -> (Vec<u32>, Vec<u32>) {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let a = (0..self.m * self.k).map(|_| rng.random_range(0..32)).collect();
-        let b = (0..self.k * self.n).map(|_| rng.random_range(0..32)).collect();
+        let mut rng = SplitMix64::new(self.seed);
+        let a = (0..self.m * self.k).map(|_| rng.range_u32(0, 32)).collect();
+        let b = (0..self.k * self.n).map(|_| rng.range_u32(0, 32)).collect();
         (a, b)
     }
 
@@ -315,8 +314,7 @@ mod tests {
 
     #[test]
     fn correct_config_validates_and_is_race_free() {
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         let run = small().run(&mut gpu).unwrap();
         assert_eq!(run.output_valid, Some(true));
         assert_eq!(
@@ -338,10 +336,7 @@ mod tests {
             gpu.races().unwrap().unique_count(),
             app.expected_races(),
             "{:?}",
-            gpu.races()
-                .unwrap()
-                .unique_races()
-                .collect::<Vec<_>>()
+            gpu.races().unwrap().unique_races().collect::<Vec<_>>()
         );
     }
 
@@ -371,9 +366,8 @@ mod tests {
             ),
         ];
         for (races, expect) in cases {
-            let mut gpu = Gpu::new(
-                GpuConfig::paper_default().with_detection(DetectionMode::base_design()),
-            );
+            let mut gpu =
+                Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
             let app = MatMul {
                 races,
                 ..MatMul::default()

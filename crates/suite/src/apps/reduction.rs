@@ -13,8 +13,7 @@
 //! * the completion counter bumped with a **block**-scoped atomic — a
 //!   scoped-atomic race among the blocks.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use scord_core::SplitMix64;
 
 use scord_isa::{AluOp, KernelBuilder, Program, Scope, SpecialReg};
 use scord_sim::{Gpu, SimError};
@@ -161,8 +160,8 @@ impl Reduction {
     }
 
     fn inputs(&self) -> Vec<u32> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.elements).map(|_| rng.random_range(0..1000)).collect()
+        let mut rng = SplitMix64::new(self.seed);
+        (0..self.elements).map(|_| rng.range_u32(0, 1000)).collect()
     }
 }
 
@@ -184,7 +183,9 @@ impl Benchmark for Reduction {
         let program = self.build_kernel();
         let input = self.inputs();
         let inbuf = gpu.mem_mut().alloc_words(self.elements);
-        let sdata = gpu.mem_mut().alloc_words(self.blocks * self.threads_per_block);
+        let sdata = gpu
+            .mem_mut()
+            .alloc_words(self.blocks * self.threads_per_block);
         let g_odata = gpu.mem_mut().alloc_words(self.blocks);
         let counter = gpu.mem_mut().alloc_words(1);
         let output = gpu.mem_mut().alloc_words(1);
@@ -233,8 +234,7 @@ mod tests {
 
     #[test]
     fn correct_config_validates_and_is_race_free() {
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         let run = small().run(&mut gpu).unwrap();
         assert_eq!(run.output_valid, Some(true));
         assert_eq!(
@@ -275,9 +275,8 @@ mod tests {
                 1,
             ),
         ] {
-            let mut gpu = Gpu::new(
-                GpuConfig::paper_default().with_detection(DetectionMode::base_design()),
-            );
+            let mut gpu =
+                Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
             let app = Reduction {
                 races: knob,
                 ..small()

@@ -16,8 +16,7 @@
 //! block-scoped `atomicExch` (a scoped-atomic race on the neighbours'
 //! polls), exercised by its own tests.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use scord_core::SplitMix64;
 
 use scord_isa::{AluOp, KernelBuilder, Program, Scope, SpecialReg};
 use scord_sim::{Gpu, SimError};
@@ -84,7 +83,12 @@ impl Rule110 {
     }
 
     /// Emits `next = rule110(left, center, right)` given three 0/1 regs.
-    fn emit_rule(k: &mut KernelBuilder, l: scord_isa::Reg, c: scord_isa::Reg, r: scord_isa::Reg) -> scord_isa::Reg {
+    fn emit_rule(
+        k: &mut KernelBuilder,
+        l: scord_isa::Reg,
+        c: scord_isa::Reg,
+        r: scord_isa::Reg,
+    ) -> scord_isa::Reg {
         // pattern = l<<2 | c<<1 | r ; out = (110 >> pattern) & 1
         let l2 = k.alu(AluOp::Shl, l, 2u32);
         let c1 = k.alu(AluOp::Shl, c, 1u32);
@@ -164,12 +168,7 @@ impl Rule110 {
                     // Track whether this thread produced an edge cell.
                     let last = k.sub(seg_end, 1u32);
                     let is_right = k.set_eq(i, last);
-                    k.alu_into(
-                        wrote_right_edge,
-                        AluOp::Or,
-                        wrote_right_edge,
-                        is_right,
-                    );
+                    k.alu_into(wrote_right_edge, AluOp::Or, wrote_right_edge, is_right);
                     let is_left = k.set_eq(i, seg_start);
                     k.alu_into(wrote_left_edge, AluOp::Or, wrote_left_edge, is_left);
                     k.alu_into(i, AluOp::Add, i, ntid);
@@ -186,8 +185,10 @@ impl Rule110 {
     }
 
     fn initial_tape(&self) -> Vec<u32> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.cells).map(|_| u32::from(rng.random::<bool>())).collect()
+        let mut rng = SplitMix64::new(self.seed);
+        (0..self.cells)
+            .map(|_| u32::from(rng.next_bool()))
+            .collect()
     }
 
     /// CPU reference after `steps` generations (zero boundary).
@@ -226,7 +227,8 @@ impl Benchmark for Rule110 {
     fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError> {
         assert_eq!(self.cells % self.blocks, 0, "cells must split evenly");
         assert!(
-            self.cells_per_block().is_multiple_of(self.threads_per_block),
+            self.cells_per_block()
+                .is_multiple_of(self.threads_per_block),
             "threads must stride the segment evenly"
         );
         let program = self.build_kernel();
@@ -274,8 +276,7 @@ mod tests {
 
     #[test]
     fn correct_config_validates_and_is_race_free() {
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         let run = small().run(&mut gpu).unwrap();
         assert_eq!(run.output_valid, Some(true));
         assert_eq!(

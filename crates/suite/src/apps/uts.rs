@@ -432,8 +432,7 @@ mod tests {
 
     #[test]
     fn correct_config_validates_and_is_race_free() {
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         let run = small().run(&mut gpu).unwrap();
         assert_eq!(run.output_valid, Some(true));
         assert_eq!(

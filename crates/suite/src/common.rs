@@ -180,11 +180,11 @@ mod tests {
         });
         let prog = k.finish().unwrap();
 
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         let gen = gpu.mem_mut().alloc_words(2);
         let data = gpu.mem_mut().alloc_words(1);
-        gpu.launch(&prog, 2, 64, &[gen.addr(), data.addr()]).unwrap();
+        gpu.launch(&prog, 2, 64, &[gen.addr(), data.addr()])
+            .unwrap();
         assert_eq!(gpu.mem().read_word(data.addr()), 6);
         assert_eq!(
             gpu.races().unwrap().unique_count(),
@@ -221,11 +221,11 @@ mod tests {
         });
         let prog = k.finish().unwrap();
 
-        let mut gpu =
-            Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         let gen = gpu.mem_mut().alloc_words(2);
         let data = gpu.mem_mut().alloc_words(1);
-        gpu.launch(&prog, 2, 64, &[gen.addr(), data.addr()]).unwrap();
+        gpu.launch(&prog, 2, 64, &[gen.addr(), data.addr()])
+            .unwrap();
         assert!(
             gpu.races().unwrap().unique_count() >= 1,
             "block-scoped publish fence must be reported"

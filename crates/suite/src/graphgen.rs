@@ -7,8 +7,7 @@
 //! (0.45, 0.15, 0.15, 0.25)`, de-duplicates edges, symmetrizes the graph and
 //! emits CSR adjacency.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use scord_core::SplitMix64;
 
 /// An undirected graph in CSR form.
 ///
@@ -98,13 +97,13 @@ pub fn rmat(n: usize, m: usize, seed: u64) -> CsrGraph {
     const C: f64 = 0.15;
     let scale = usize::BITS - (n.max(2) - 1).leading_zeros();
     let side = 1usize << scale;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
         let (mut x, mut y) = (0usize, 0usize);
         let mut span = side / 2;
         while span > 0 {
-            let r: f64 = rng.random();
+            let r: f64 = rng.next_f64();
             if r < A {
                 // top-left: nothing to add
             } else if r < A + B {

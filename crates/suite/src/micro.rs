@@ -229,7 +229,12 @@ pub fn all_micros() -> Vec<Micro> {
         ("fence-nr-same-block-cta-fence", true, Scope::Block, false),
         ("fence-nr-same-block-gl-fence", true, Scope::Device, false),
         ("fence-nr-diff-block-gl-fence", false, Scope::Device, false),
-        ("fence-racey-diff-block-cta-fence", false, Scope::Block, true),
+        (
+            "fence-racey-diff-block-cta-fence",
+            false,
+            Scope::Block,
+            true,
+        ),
     ] {
         let writer = store_volatile_fence(scope);
         v.push(build(&Spec {
@@ -275,10 +280,34 @@ pub fn all_micros() -> Vec<Micro> {
             &add_dev as Body<'_>,
             false,
         ),
-        ("atom-nr-cta-cta-same-block", true, &add_blk, &add_blk, false),
-        ("atom-nr-dev-dev-same-block", true, &add_dev, &add_dev, false),
-        ("atom-racey-cta-cta-diff-block", false, &add_blk, &add_blk, true),
-        ("atom-racey-cta-dev-diff-block", false, &add_blk, &add_dev, true),
+        (
+            "atom-nr-cta-cta-same-block",
+            true,
+            &add_blk,
+            &add_blk,
+            false,
+        ),
+        (
+            "atom-nr-dev-dev-same-block",
+            true,
+            &add_dev,
+            &add_dev,
+            false,
+        ),
+        (
+            "atom-racey-cta-cta-diff-block",
+            false,
+            &add_blk,
+            &add_blk,
+            true,
+        ),
+        (
+            "atom-racey-cta-dev-diff-block",
+            false,
+            &add_blk,
+            &add_dev,
+            true,
+        ),
     ] {
         v.push(build(&Spec {
             name,

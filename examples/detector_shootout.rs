@@ -22,8 +22,7 @@ fn main() {
         let mut cells = Vec::new();
         for kind in DetectorKind::ALL {
             let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
-            let mut gpu =
-                Gpu::with_detector_factory(cfg, |dc| Box::new(build_detector(kind, dc)));
+            let mut gpu = Gpu::with_detector_factory(cfg, |dc| Box::new(build_detector(kind, dc)));
             m.run(&mut gpu).expect("micros run to completion");
             let caught = gpu.races().expect("detection on").unique_count() > 0;
             cells.push(if caught { "caught" } else { "MISSED" });

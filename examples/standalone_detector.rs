@@ -50,16 +50,20 @@ fn main() {
         strong: true,
         pc: 10,
         who: warp_a,
-    });
-    det.on_fence(warp_a.sm, warp_a.warp_slot, Scope::Device);
+    })
+    .unwrap();
+    det.on_fence(warp_a.sm, warp_a.warp_slot, Scope::Device)
+        .unwrap();
     det.on_access(&MemAccess {
         kind: AccessKind::Store,
         addr: data,
         strong: true,
         pc: 11,
         who: warp_a,
-    });
-    det.on_fence(warp_a.sm, warp_a.warp_slot, Scope::Device);
+    })
+    .unwrap();
+    det.on_fence(warp_a.sm, warp_a.warp_slot, Scope::Device)
+        .unwrap();
     det.on_access(&MemAccess {
         kind: AccessKind::Atomic {
             kind: AtomKind::Exch,
@@ -69,7 +73,8 @@ fn main() {
         strong: true,
         pc: 12,
         who: warp_a,
-    });
+    })
+    .unwrap();
 
     // Thread B: CAS without the fence, then touches the data.
     det.on_access(&MemAccess {
@@ -81,7 +86,8 @@ fn main() {
         strong: true,
         pc: 20,
         who: warp_b,
-    });
+    })
+    .unwrap();
     // ... missing __threadfence() here ...
     det.on_access(&MemAccess {
         kind: AccessKind::Store,
@@ -89,7 +95,8 @@ fn main() {
         strong: true,
         pc: 21,
         who: warp_b,
-    });
+    })
+    .unwrap();
 
     println!("replayed 2-thread lock protocol with a missing acquire fence:");
     for r in det.races().records() {

@@ -15,8 +15,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use scord::core::{
-    AccessEffects, Detector, DetectorConfig, MemAccess, RaceLog, RecordingDetector, ScordDetector,
-    StoreKind, Trace,
+    AccessEffects, Detector, DetectorConfig, DetectorError, MemAccess, RaceLog, RecordingDetector,
+    ScordDetector, StoreKind, Trace,
 };
 use scord::prelude::*;
 use scord::suite::apps::Reduction;
@@ -31,16 +31,16 @@ struct SharedTee {
 }
 
 impl Detector for SharedTee {
-    fn on_barrier(&mut self, sm: u8, block_slot: u8) {
-        self.inner.on_barrier(sm, block_slot);
+    fn on_barrier(&mut self, sm: u8, block_slot: u8) -> Result<(), DetectorError> {
+        self.inner.on_barrier(sm, block_slot)
     }
-    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) {
-        self.inner.on_fence(sm, warp_slot, scope);
+    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) -> Result<(), DetectorError> {
+        self.inner.on_fence(sm, warp_slot, scope)
     }
-    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) {
-        self.inner.on_warp_assigned(sm, warp_slot);
+    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) -> Result<(), DetectorError> {
+        self.inner.on_warp_assigned(sm, warp_slot)
     }
-    fn on_access(&mut self, access: &MemAccess) -> AccessEffects {
+    fn on_access(&mut self, access: &MemAccess) -> Result<AccessEffects, DetectorError> {
         let effects = self.inner.on_access(access);
         *self.out.borrow_mut() = self.inner.trace().clone();
         effects
@@ -91,16 +91,24 @@ fn main() {
 
     // 3. Replay the very same execution under different metadata stores.
     for (name, store) in [
-        ("full 4-byte store (200%)", StoreKind::Full { granularity: 4 }),
+        (
+            "full 4-byte store (200%)",
+            StoreKind::Full { granularity: 4 },
+        ),
         ("cached store (12.5%)", StoreKind::Cached { ratio: 16 }),
-        ("coarse 16-byte store (50%)", StoreKind::Full { granularity: 16 }),
+        (
+            "coarse 16-byte store (50%)",
+            StoreKind::Full { granularity: 16 },
+        ),
     ] {
         let mut det = ScordDetector::new(DetectorConfig {
             store,
             ..DetectorConfig::paper_default(64 << 20)
         });
         let reparsed = Trace::from_text(&text).expect("roundtrip");
-        reparsed.replay(&mut det);
+        reparsed
+            .replay(&mut det)
+            .expect("replayed events are valid");
         println!(
             "replay under {name:28} -> {} unique races",
             det.races().unique_count()

@@ -35,7 +35,10 @@ fn audit(name: &str, app: &GraphColoring) {
 fn main() {
     println!("Work-stealing audit: Figure 3a (correct) vs Figure 3b (scoped race).\n");
 
-    audit("correct: device-scoped work queue", &GraphColoring::default());
+    audit(
+        "correct: device-scoped work queue",
+        &GraphColoring::default(),
+    );
 
     let buggy = GraphColoring {
         races: GraphColoringRaces {

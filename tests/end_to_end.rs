@@ -14,7 +14,8 @@ fn scord_gpu() -> Gpu {
 fn every_microbenchmark_behaves_as_labelled_under_scord() {
     for m in all_micros() {
         let mut gpu = scord_gpu();
-        m.run(&mut gpu).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        m.run(&mut gpu)
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name));
         let races = gpu.races().unwrap().unique_count();
         if m.racey {
             assert!(races > 0, "{} must be detected", m.name);
@@ -35,7 +36,8 @@ fn every_microbenchmark_behaves_as_labelled_under_base_design() {
     for m in all_micros() {
         let mut gpu =
             Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::base_design()));
-        m.run(&mut gpu).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        m.run(&mut gpu)
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name));
         let races = gpu.races().unwrap().unique_count();
         assert_eq!(races > 0, m.racey, "{}", m.name);
     }

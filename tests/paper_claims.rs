@@ -34,7 +34,10 @@ fn fig8_shape_caching_helps_and_overhead_is_bounded() {
         scord <= base + 0.02,
         "caching should not hurt on average: scord {scord:.3} vs base {base:.3}"
     );
-    assert!(scord < 2.0, "mean ScoRD overhead stays moderate: {scord:.3}");
+    assert!(
+        scord < 2.0,
+        "mean ScoRD overhead stays moderate: {scord:.3}"
+    );
 }
 
 #[test]
@@ -51,9 +54,8 @@ fn fig9_shape_metadata_traffic_shrinks_16x_ish() {
 #[test]
 fn table7_shape_false_positives_grow_with_granularity() {
     let rows = scord_harness::table7::run(true);
-    let sum = |f: &dyn Fn(&scord_harness::table7::Row) -> usize| -> usize {
-        rows.iter().map(f).sum()
-    };
+    let sum =
+        |f: &dyn Fn(&scord_harness::table7::Row) -> usize| -> usize { rows.iter().map(f).sum() };
     assert_eq!(sum(&|r| r.g4), 0, "4-byte tracking has no false positives");
     assert_eq!(sum(&|r| r.scord), 0, "ScoRD has no false positives");
     assert!(
@@ -68,7 +70,7 @@ fn table7_shape_false_positives_grow_with_granularity() {
 
 #[test]
 fn table6_shape_base_catches_everything_quick() {
-    let rows = scord_harness::table6::run(true);
+    let rows = scord_harness::table6::run(true).expect("quick workloads simulate cleanly");
     let micro = rows
         .iter()
         .find(|r| r.workload == "Microbenchmarks")
