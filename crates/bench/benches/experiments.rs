@@ -27,7 +27,7 @@ fn table1_micros(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_micro_suite");
     tune(&mut g);
     g.bench_function("scord", |b| {
-        b.iter(|| black_box(h::table1::run()));
+        b.iter(|| black_box(h::table1::run(h::Jobs::serial())));
     });
     g.finish();
 }
@@ -37,7 +37,7 @@ fn table6_races(c: &mut Criterion) {
     let mut g = c.benchmark_group("table6_races");
     tune(&mut g);
     g.bench_function("quick", |b| {
-        b.iter(|| black_box(h::table6::run(true)));
+        b.iter(|| black_box(h::table6::run(true, h::Jobs::serial())));
     });
     g.finish();
 }
@@ -47,7 +47,7 @@ fn table7_granularity(c: &mut Criterion) {
     let mut g = c.benchmark_group("table7_granularity");
     tune(&mut g);
     g.bench_function("quick", |b| {
-        b.iter(|| black_box(h::table7::run(true)));
+        b.iter(|| black_box(h::table7::run(true, h::Jobs::serial())));
     });
     g.finish();
 }
@@ -80,7 +80,7 @@ fn fig8_overhead(c: &mut Criterion) {
 fn fig9_dram(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_dram");
     tune(&mut g);
-    g.bench_function("quick", |b| b.iter(|| black_box(h::fig9::run(true))));
+    g.bench_function("quick", |b| b.iter(|| black_box(h::fig9::run(true, h::Jobs::serial()))));
     g.finish();
 }
 
@@ -88,7 +88,7 @@ fn fig9_dram(c: &mut Criterion) {
 fn fig10_breakdown(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10_breakdown");
     tune(&mut g);
-    g.bench_function("quick", |b| b.iter(|| black_box(h::fig10::run(true))));
+    g.bench_function("quick", |b| b.iter(|| black_box(h::fig10::run(true, h::Jobs::serial()))));
     g.finish();
 }
 
@@ -96,7 +96,7 @@ fn fig10_breakdown(c: &mut Criterion) {
 fn fig11_sensitivity(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_sensitivity");
     tune(&mut g);
-    g.bench_function("quick", |b| b.iter(|| black_box(h::fig11::run(true))));
+    g.bench_function("quick", |b| b.iter(|| black_box(h::fig11::run(true, h::Jobs::serial()))));
     g.finish();
 }
 
@@ -104,7 +104,7 @@ fn fig11_sensitivity(c: &mut Criterion) {
 fn table8_detectors(c: &mut Criterion) {
     let mut g = c.benchmark_group("table8_detectors");
     tune(&mut g);
-    g.bench_function("all_models", |b| b.iter(|| black_box(h::table8::run())));
+    g.bench_function("all_models", |b| b.iter(|| black_box(h::table8::run(h::Jobs::serial()))));
     g.finish();
 }
 
@@ -144,13 +144,13 @@ fn ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     tune(&mut g);
     g.bench_function("lock_table_sizes", |b| {
-        b.iter(|| black_box(h::ablations::lock_table(&[1, 4])))
+        b.iter(|| black_box(h::ablations::lock_table(&[1, 4], h::Jobs::serial())))
     });
     g.bench_function("cache_ratios", |b| {
-        b.iter(|| black_box(h::ablations::cache_ratio(true, &[1, 16])))
+        b.iter(|| black_box(h::ablations::cache_ratio(true, &[1, 16], h::Jobs::serial())))
     });
     g.bench_function("detector_throughput", |b| {
-        b.iter(|| black_box(h::ablations::throughput(true, &[4, 32])))
+        b.iter(|| black_box(h::ablations::throughput(true, &[4, 32], h::Jobs::serial())))
     });
     g.finish();
 }

@@ -50,7 +50,11 @@ pub struct AccessEffects {
 /// geometry and returns a [`DetectorError`] for malformed events — the
 /// detector must survive a corrupted event stream without panicking or
 /// silently aliasing one warp's state into another's.
-pub trait Detector: std::fmt::Debug {
+///
+/// Detectors are `Send`: a [`crate::ScordDetector`] (and the Table VIII
+/// baselines wrapping it) travels with its GPU when simulations are sharded
+/// across host threads.
+pub trait Detector: std::fmt::Debug + Send {
     /// A barrier (`__syncthreads`) completed for the block in `block_slot`.
     fn on_barrier(&mut self, sm: u8, block_slot: u8) -> Result<(), DetectorError>;
 

@@ -50,7 +50,7 @@ pub use fault::{
 };
 pub use fence_file::{FenceCounters, FenceFile};
 pub use lock_table::{bloom_bit, lock_hash, LockTable, LockTables};
-pub use metadata::MetadataEntry;
+pub use metadata::{MetadataEntry, BLOCK_ID_BITS, WARP_ID_BITS};
 pub use report::{RaceKind, RaceLog, RaceReport};
 pub use store::{build_store, CachedStore, FullStore, MetadataLookup, MetadataStore};
 pub use trace::{ParseTraceError, RecordingDetector, Trace, TraceEvent};

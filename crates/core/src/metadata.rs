@@ -49,6 +49,14 @@ mod layout {
     pub const FLAG_STRONG: u64 = 1 << (FLAGS_SHIFT + 5);
 }
 
+/// Width of the packed BlockID field: a hardware geometry must keep
+/// `num_sms × blocks_per_sm ≤ 2^BLOCK_ID_BITS` or distinct block slots
+/// alias one metadata accessor identity.
+pub const BLOCK_ID_BITS: u32 = layout::BLOCK_BITS;
+
+/// Width of the packed WarpID field: bounds `warps_per_sm` the same way.
+pub const WARP_ID_BITS: u32 = layout::WARP_BITS;
+
 fn mask(bits: u32) -> u64 {
     (1u64 << bits) - 1
 }

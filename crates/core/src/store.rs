@@ -27,7 +27,9 @@ pub struct MetadataLookup {
 /// touch in the initialized state, exactly as if the whole region had been
 /// initialized at boot) but report the hardware footprint their layout would
 /// occupy.
-pub trait MetadataStore: fmt::Debug {
+/// Stores are `Send` so a detector (and the GPU owning it) can move across
+/// host threads.
+pub trait MetadataStore: fmt::Debug + Send {
     /// Looks up the entry covering data byte address `addr`.
     fn load(&self, addr: u64) -> MetadataLookup;
 

@@ -9,11 +9,12 @@
 //!   unit retires per cycle; too few and L1 hits stall behind the
 //!   detection queue (the LHD overhead).
 
-use scor_suite::micro::{all_micros, MicroCategory};
+use scor_suite::micro::{all_micros, Micro, MicroCategory};
 use scord_core::{DetectorConfig, ScordDetector, StoreKind};
 use scord_sim::{DetectionMode, Gpu, GpuConfig, OverheadToggles};
 
-use crate::{apps, apps_racey, render_table, HarnessError, MemoryVariant};
+use crate::exec::{sweep, Jobs};
+use crate::{apps, apps_racey, render_table, unique_races, HarnessError, MemoryVariant};
 
 /// Lock-table-size ablation: detection coverage over the 12 racey
 /// lock/unlock microbenchmarks.
@@ -27,44 +28,54 @@ pub struct LockTableRow {
     pub false_positives: usize,
 }
 
-/// Sweeps the per-warp lock-table capacity.
+/// Sweeps the per-warp lock-table capacity, one (capacity, microbenchmark)
+/// cell per job, on up to `jobs` worker threads.
 ///
 /// # Errors
 ///
 /// Returns a [`HarnessError`] naming the microbenchmark whose simulation
 /// failed.
-pub fn lock_table(entries: &[usize]) -> Result<Vec<LockTableRow>, HarnessError> {
-    entries
+pub fn lock_table(entries: &[usize], jobs: Jobs) -> Result<Vec<LockTableRow>, HarnessError> {
+    let micros: Vec<Micro> = all_micros()
+        .into_iter()
+        .filter(|m| m.category == MicroCategory::Lock)
+        .collect();
+    let cells: Vec<(usize, &Micro)> = entries
         .iter()
-        .map(|&n| {
-            let mut detected = 0;
-            let mut false_positives = 0;
-            for m in all_micros()
-                .into_iter()
-                .filter(|m| m.category == MicroCategory::Lock)
-            {
-                let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
-                let mut gpu = Gpu::with_detector_factory(cfg, |dc| {
-                    Box::new(ScordDetector::new(DetectorConfig {
-                        lock_table_entries: n,
-                        ..dc
-                    }))
-                });
-                m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
-                let races = gpu.races().expect("detection on").unique_count();
-                if m.racey && races > 0 {
-                    detected += 1;
-                } else if !m.racey && races > 0 {
-                    false_positives += 1;
-                }
-            }
-            Ok(LockTableRow {
+        .flat_map(|&n| micros.iter().map(move |m| (n, m)))
+        .collect();
+    let races: Vec<usize> = sweep("ablation:lock_table", jobs, &cells, |_, &(n, m)| {
+        let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
+        let mut gpu = Gpu::with_detector_factory(cfg, |dc| {
+            Box::new(ScordDetector::new(DetectorConfig {
+                lock_table_entries: n,
+                ..dc
+            }))
+        });
+        m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
+        unique_races(&gpu, m.name)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+
+    Ok(entries
+        .iter()
+        .zip(races.chunks_exact(micros.len()))
+        .map(|(&n, races)| {
+            let hit = |racey: bool| {
+                micros
+                    .iter()
+                    .zip(races)
+                    .filter(|(m, &r)| m.racey == racey && r > 0)
+                    .count()
+            };
+            LockTableRow {
                 entries: n,
-                detected,
-                false_positives,
-            })
+                detected: hit(true),
+                false_positives: hit(false),
+            }
         })
-        .collect()
+        .collect())
 }
 
 /// Metadata-cache-ratio ablation: races caught vs memory overhead.
@@ -80,36 +91,41 @@ pub struct CacheRatioRow {
     pub present: usize,
 }
 
-/// Sweeps the software cache's aliasing ratio over the racey applications.
+/// Sweeps the software cache's aliasing ratio over the racey applications,
+/// one (ratio, application) cell per job, on up to `jobs` worker threads.
 #[must_use]
-pub fn cache_ratio(quick: bool, ratios: &[u64]) -> Vec<CacheRatioRow> {
+pub fn cache_ratio(quick: bool, ratios: &[u64], jobs: Jobs) -> Vec<CacheRatioRow> {
+    let store_for = |ratio: u64| {
+        if ratio == 1 {
+            StoreKind::Full { granularity: 4 }
+        } else {
+            StoreKind::Cached { ratio }
+        }
+    };
+    let apps = apps_racey(quick);
+    let cells: Vec<(u64, usize)> = ratios
+        .iter()
+        .flat_map(|&ratio| (0..apps.len()).map(move |a| (ratio, a)))
+        .collect();
+    let counts = sweep("ablation:cache_ratio", jobs, &cells, |_, &(ratio, a)| {
+        let mode = DetectionMode::On {
+            store: store_for(ratio),
+            toggles: OverheadToggles::all(),
+        };
+        let app = apps[a].as_ref();
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
+        app.run(&mut gpu)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+        gpu.races().expect("detection on").unique_count()
+    });
     ratios
         .iter()
-        .map(|&ratio| {
-            let store = if ratio == 1 {
-                StoreKind::Full { granularity: 4 }
-            } else {
-                StoreKind::Cached { ratio }
-            };
-            let mode = DetectionMode::On {
-                store,
-                toggles: OverheadToggles::all(),
-            };
-            let mut races = 0;
-            let mut present = 0;
-            for app in apps_racey(quick) {
-                let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
-                app.run(&mut gpu)
-                    .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
-                races += gpu.races().expect("detection on").unique_count();
-                present += app.expected_races();
-            }
-            CacheRatioRow {
-                ratio,
-                overhead_pct: store.overhead_fraction() * 100.0,
-                races,
-                present,
-            }
+        .zip(counts.chunks_exact(apps.len()))
+        .map(|(&ratio, races)| CacheRatioRow {
+            ratio,
+            overhead_pct: store_for(ratio).overhead_fraction() * 100.0,
+            races: races.iter().sum(),
+            present: apps.iter().map(|a| a.expected_races()).sum(),
         })
         .collect()
 }
@@ -123,31 +139,37 @@ pub struct ThroughputRow {
     pub geomean_overhead: f64,
 }
 
-/// Sweeps the race-detector unit's throughput.
+/// Sweeps the race-detector unit's throughput, one (rate, application)
+/// cell per job — each cell runs its off + ScoRD pair — on up to `jobs`
+/// worker threads.
 #[must_use]
-pub fn throughput(quick: bool, rates: &[u32]) -> Vec<ThroughputRow> {
+pub fn throughput(quick: bool, rates: &[u32], jobs: Jobs) -> Vec<ThroughputRow> {
+    let apps = apps(quick);
+    let cells: Vec<(u32, usize)> = rates
+        .iter()
+        .flat_map(|&rate| (0..apps.len()).map(move |a| (rate, a)))
+        .collect();
+    let logs = sweep("ablation:throughput", jobs, &cells, |_, &(rate, a)| {
+        let app = apps[a].as_ref();
+        let run_with = |mode: DetectionMode| {
+            let mut cfg = MemoryVariant::Default.config().with_detection(mode);
+            cfg.detector_throughput = rate;
+            let mut gpu = Gpu::new(cfg);
+            let run = app
+                .run(&mut gpu)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+            run.stats.cycles
+        };
+        let off = run_with(DetectionMode::Off);
+        let on = run_with(DetectionMode::scord());
+        (on as f64 / off as f64).ln()
+    });
     rates
         .iter()
-        .map(|&rate| {
-            let mut logs = Vec::new();
-            for app in apps(quick) {
-                let run_with = |mode: DetectionMode| {
-                    let mut cfg = MemoryVariant::Default.config().with_detection(mode);
-                    cfg.detector_throughput = rate;
-                    let mut gpu = Gpu::new(cfg);
-                    let run = app
-                        .run(&mut gpu)
-                        .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
-                    run.stats.cycles
-                };
-                let off = run_with(DetectionMode::Off);
-                let on = run_with(DetectionMode::scord());
-                logs.push((on as f64 / off as f64).ln());
-            }
-            ThroughputRow {
-                lanes_per_cycle: rate,
-                geomean_overhead: (logs.iter().sum::<f64>() / logs.len() as f64).exp(),
-            }
+        .zip(logs.chunks_exact(apps.len()))
+        .map(|(&rate, logs)| ThroughputRow {
+            lanes_per_cycle: rate,
+            geomean_overhead: (logs.iter().sum::<f64>() / logs.len() as f64).exp(),
         })
         .collect()
 }
@@ -210,7 +232,7 @@ mod tests {
 
     #[test]
     fn lock_table_coverage_grows_with_entries() {
-        let rows = lock_table(&[1, 4]).expect("lock micros simulate cleanly");
+        let rows = lock_table(&[1, 4], Jobs::serial()).expect("lock micros simulate cleanly");
         assert!(rows[1].detected >= rows[0].detected);
         assert_eq!(rows[1].detected, 12, "the paper's 4 entries suffice");
         assert_eq!(rows[0].false_positives, 0);
@@ -219,7 +241,7 @@ mod tests {
 
     #[test]
     fn denser_metadata_caches_catch_at_least_as_much() {
-        let rows = cache_ratio(true, &[1, 16]);
+        let rows = cache_ratio(true, &[1, 16], Jobs::serial());
         assert!(
             rows[0].races >= rows[1].races,
             "the full store cannot catch fewer races than the cache"
@@ -229,7 +251,7 @@ mod tests {
 
     #[test]
     fn starved_detector_costs_more() {
-        let rows = throughput(true, &[2, 32]);
+        let rows = throughput(true, &[2, 32], Jobs::serial());
         assert!(
             rows[0].geomean_overhead >= rows[1].geomean_overhead - 1e-6,
             "fewer lanes per cycle cannot be cheaper: {rows:?}"

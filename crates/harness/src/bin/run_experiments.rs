@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the ScoRD paper's evaluation.
 //!
 //! ```text
-//! run-experiments [--quick] [--seed N]
+//! run-experiments [--quick] [--seed N] [--jobs N]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
 //!                  fig11|table8|ablations|faults|all]
 //! ```
@@ -9,13 +9,19 @@
 //! `faults` runs the fault-injection degradation audit; it is not part of
 //! `all` (a full sweep is 25 cells × 46 workloads). `--seed` sets the
 //! injection seed (default 1); a fixed seed reproduces the table exactly.
+//!
+//! `--jobs N` shards each sweep's independent simulations over N worker
+//! threads (default: one per available hardware thread; `--jobs 1` runs
+//! serially). Results are deposited into job-indexed slots, so any job
+//! count emits byte-identical tables; a per-experiment timing summary goes
+//! to stderr at the end.
 
 use std::env;
 use std::process::exit;
 use std::time::Instant;
 
 use scord_harness as h;
-use scord_harness::HarnessError;
+use scord_harness::{HarnessError, Jobs};
 
 fn fail(e: &HarnessError) -> ! {
     eprintln!("error: {e}");
@@ -26,6 +32,7 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut seed = 1u64;
+    let mut jobs = Jobs::available();
     let mut wanted: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -40,6 +47,20 @@ fn main() {
                     eprintln!("--seed needs an unsigned integer, got {v:?}");
                     exit(2);
                 });
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--jobs needs a value");
+                    exit(2);
+                });
+                jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .and_then(Jobs::new)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        exit(2);
+                    });
             }
             other => wanted.push(other),
         }
@@ -72,7 +93,7 @@ fn main() {
 
     if want("table1") {
         println!("\n## Table I — microbenchmark suite (detected under ScoRD)\n");
-        let rows = h::table1::run().unwrap_or_else(|e| fail(&e));
+        let rows = h::table1::run(jobs).unwrap_or_else(|e| fail(&e));
         println!("{}", h::table1::to_markdown(&rows));
     }
     if want("table2") {
@@ -85,16 +106,16 @@ fn main() {
     }
     if want("table6") {
         println!("\n## Table VI — races caught\n");
-        let rows = h::table6::run(quick).unwrap_or_else(|e| fail(&e));
+        let rows = h::table6::run(quick, jobs).unwrap_or_else(|e| fail(&e));
         println!("{}", h::table6::to_markdown(&rows));
     }
     if want("table7") {
         println!("\n## Table VII — false positives vs tracking granularity\n");
-        println!("{}", h::table7::to_markdown(&h::table7::run(quick)));
+        println!("{}", h::table7::to_markdown(&h::table7::run(quick, jobs)));
     }
     if want("fig8") {
         println!("\n## Figure 8 — execution cycles normalized to no detection\n");
-        let rows = h::fig8::run(quick);
+        let rows = h::fig8::run(quick, jobs);
         println!("{}", h::fig8::to_markdown(&rows));
         println!(
             "ScoRD geometric-mean overhead: {:.1}% (paper: ~35%)",
@@ -103,37 +124,52 @@ fn main() {
     }
     if want("fig9") {
         println!("\n## Figure 9 — DRAM accesses normalized to no detection\n");
-        println!("{}", h::fig9::to_markdown(&h::fig9::run(quick)));
+        println!("{}", h::fig9::to_markdown(&h::fig9::run(quick, jobs)));
     }
     if want("fig10") {
         println!("\n## Figure 10 — overhead attribution (LHD / NOC / MD)\n");
-        println!("{}", h::fig10::to_markdown(&h::fig10::run(quick)));
+        println!("{}", h::fig10::to_markdown(&h::fig10::run(quick, jobs)));
     }
     if want("fig11") {
         println!("\n## Figure 11 — sensitivity to memory resources\n");
-        println!("{}", h::fig11::to_markdown(&h::fig11::run(quick)));
+        println!("{}", h::fig11::to_markdown(&h::fig11::run(quick, jobs)));
     }
     if want("ablations") {
         println!("\n## Ablations — design-choice sweeps\n");
-        let lock = h::ablations::lock_table(&[1, 2, 4, 8]).unwrap_or_else(|e| fail(&e));
-        let ratio = h::ablations::cache_ratio(quick, &[1, 4, 8, 16]);
-        let rate = h::ablations::throughput(quick, &[2, 4, 12, 32]);
+        let lock = h::ablations::lock_table(&[1, 2, 4, 8], jobs).unwrap_or_else(|e| fail(&e));
+        let ratio = h::ablations::cache_ratio(quick, &[1, 4, 8, 16], jobs);
+        let rate = h::ablations::throughput(quick, &[2, 4, 12, 32], jobs);
         println!("{}", h::ablations::to_markdown(&lock, &ratio, &rate));
     }
     if want("table8") {
         println!("\n## Table VIII — detector capability comparison (measured)\n");
-        let rows = h::table8::run().unwrap_or_else(|e| fail(&e));
+        let rows = h::table8::run(jobs).unwrap_or_else(|e| fail(&e));
         println!("{}", h::table8::to_markdown(&rows));
     }
     if want("faults") {
         println!("\n## Fault injection — detection quality degradation (seed {seed})\n");
-        let rows =
-            h::faults::run(quick, seed, &h::faults::DEFAULT_RATES).unwrap_or_else(|e| fail(&e));
+        let rows = h::faults::run(quick, seed, &h::faults::DEFAULT_RATES, jobs)
+            .unwrap_or_else(|e| fail(&e));
         println!("{}", h::faults::to_markdown(&rows));
         println!(
             "The zero-fault row reproduces Table VI's ScoRD column; rerunning \
              with the same seed reproduces every cell."
         );
+    }
+
+    let recorded = h::exec::take_recorded();
+    if !recorded.is_empty() {
+        eprintln!("\n[timing: {} worker(s)]", jobs.get());
+        for s in &recorded {
+            eprintln!(
+                "  {:<22} {:>4} jobs  wall {:>8.2?}  busy {:>8.2?}  speedup {:.2}x",
+                s.label,
+                s.cells,
+                s.wall,
+                s.busy,
+                s.busy.as_secs_f64() / s.wall.as_secs_f64().max(1e-9),
+            );
+        }
     }
     eprintln!("\n[done in {:?}]", t0.elapsed());
 }

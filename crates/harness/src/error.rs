@@ -3,7 +3,19 @@
 use std::error::Error;
 use std::fmt;
 
-use scord_sim::SimError;
+use scord_sim::{Gpu, SimError};
+
+/// How a workload failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessErrorKind {
+    /// The simulation itself failed (deadlock, watchdog timeout, malformed
+    /// detector event).
+    Sim(SimError),
+    /// The experiment needed race reports but the GPU was built with
+    /// detection off — a harness wiring bug, reported instead of panicking
+    /// so one bad cell cannot abort a whole sweep.
+    DetectionOff,
+}
 
 /// A workload failed to simulate.
 ///
@@ -14,8 +26,8 @@ use scord_sim::SimError;
 pub struct HarnessError {
     /// The failing workload (a microbenchmark or application name).
     pub workload: String,
-    /// The underlying simulator failure.
-    pub error: SimError,
+    /// The underlying failure.
+    pub kind: HarnessErrorKind,
 }
 
 impl HarnessError {
@@ -24,26 +36,58 @@ impl HarnessError {
     pub fn new(workload: impl Into<String>, error: SimError) -> Self {
         HarnessError {
             workload: workload.into(),
-            error,
+            kind: HarnessErrorKind::Sim(error),
+        }
+    }
+
+    /// The workload's GPU had no detector attached.
+    #[must_use]
+    pub fn detection_off(workload: impl Into<String>) -> Self {
+        HarnessError {
+            workload: workload.into(),
+            kind: HarnessErrorKind::DetectionOff,
         }
     }
 }
 
 impl fmt::Display for HarnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "workload {} failed: {}", self.workload, self.error)
+        match &self.kind {
+            HarnessErrorKind::Sim(e) => write!(f, "workload {} failed: {e}", self.workload),
+            HarnessErrorKind::DetectionOff => write!(
+                f,
+                "workload {} ran without race detection but the experiment \
+                 needs race reports",
+                self.workload
+            ),
+        }
     }
 }
 
 impl Error for HarnessError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        Some(&self.error)
+        match &self.kind {
+            HarnessErrorKind::Sim(e) => Some(e),
+            HarnessErrorKind::DetectionOff => None,
+        }
     }
+}
+
+/// The unique-race count of a finished run, or a [`HarnessError`] naming
+/// `workload` if the GPU was built without detection.
+///
+/// Every Result-returning experiment goes through this instead of
+/// `gpu.races().expect(..)` so a misconfigured cell surfaces as an error.
+pub(crate) fn unique_races(gpu: &Gpu, workload: &str) -> Result<usize, HarnessError> {
+    gpu.races()
+        .map(scord_core::RaceLog::unique_count)
+        .ok_or_else(|| HarnessError::detection_off(workload))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
     #[test]
     fn display_names_the_workload_and_cause() {
@@ -52,5 +96,17 @@ mod tests {
         assert!(text.contains("UTS"), "{text}");
         assert!(text.contains("123"), "{text}");
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn detection_off_is_an_error_not_a_panic() {
+        let gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::Off));
+        let err = unique_races(&gpu, "MM").expect_err("no detector attached");
+        assert_eq!(err.kind, HarnessErrorKind::DetectionOff);
+        assert!(err.to_string().contains("MM"), "{err}");
+        assert!(err.source().is_none());
+
+        let gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        assert_eq!(unique_races(&gpu, "MM").expect("detector attached"), 0);
     }
 }

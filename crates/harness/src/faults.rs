@@ -19,10 +19,12 @@
 //! Everything is deterministic in the sweep seed: the same seed yields the
 //! same injected faults and therefore the same table, byte for byte.
 
-use scor_suite::micro::all_micros;
+use scor_suite::micro::{all_micros, Micro};
+use scor_suite::Benchmark;
 use scord_core::{FaultKind, FaultPlan};
-use scord_sim::{DetectionMode, Gpu, GpuConfig, SimStats};
+use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
+use crate::exec::{self, Jobs};
 use crate::{apps, apps_racey, render_table, HarnessError};
 
 /// The default injection rates swept by `run-experiments faults`, in parts
@@ -67,6 +69,35 @@ fn gpu(plan: Option<FaultPlan>) -> Gpu {
     Gpu::new(cfg)
 }
 
+/// One workload of the audit's 46-strong set, with its accounting role.
+enum Workload<'a> {
+    Micro(&'a Micro),
+    /// A racey application and Table VI's unique-race budget for it.
+    Racey(&'a dyn Benchmark),
+    /// A correctly-synchronized application: any report is a false positive.
+    Correct(&'a dyn Benchmark),
+}
+
+impl Workload<'_> {
+    fn name(&self) -> &str {
+        match self {
+            Workload::Micro(m) => m.name,
+            Workload::Racey(a) | Workload::Correct(a) => a.name(),
+        }
+    }
+
+    /// Runs the workload on a fresh GPU armed with `plan`, returning the
+    /// injected-fault count and unique races.
+    fn simulate(&self, plan: Option<FaultPlan>) -> Result<(u64, usize), scord_sim::SimError> {
+        let mut g = gpu(plan);
+        let faults = match self {
+            Workload::Micro(m) => m.run(&mut g)?.faults_injected,
+            Workload::Racey(a) | Workload::Correct(a) => a.run(&mut g)?.stats.faults_injected,
+        };
+        Ok((faults, g.races().expect("detection on").unique_count()))
+    }
+}
+
 /// Runs one workload, folding its outcome into `row`. With a plan armed,
 /// simulation failures are counted in `sim_errors`; without one (`strict`),
 /// they propagate — the baseline must be clean.
@@ -75,11 +106,11 @@ fn fold(
     strict: bool,
     name: &str,
     racey_budget: Option<usize>,
-    outcome: Result<(SimStats, usize), scord_sim::SimError>,
+    outcome: Result<(u64, usize), scord_sim::SimError>,
 ) -> Result<(), HarnessError> {
     match outcome {
-        Ok((stats, races)) => {
-            row.faults_injected += stats.faults_injected;
+        Ok((faults_injected, races)) => {
+            row.faults_injected += faults_injected;
             match racey_budget {
                 // Racey micro: budget 1, detected when anything is reported.
                 Some(1) => {
@@ -103,64 +134,63 @@ fn fold(
     Ok(())
 }
 
-/// Runs every workload under `plan` (or fault-free when `None`).
-fn audit_cell(quick: bool, plan: Option<FaultPlan>) -> Result<Row, HarnessError> {
-    let strict = plan.is_none();
-    let mut row = Row {
-        fault: plan.map(|p| {
-            *FaultKind::ALL
-                .iter()
-                .find(|k| p.kinds.contains(**k))
-                .expect("plan names at least one kind")
-        }),
-        rate_ppm: plan.map_or(0, |p| p.rate_ppm),
-        detected: 0,
-        present: 0,
-        false_positives: 0,
-        sim_errors: 0,
-        faults_injected: 0,
-    };
-    for m in all_micros() {
-        let mut g = gpu(plan);
-        let outcome = m.run(&mut g).map(|stats| {
-            let races = g.races().expect("detection on").unique_count();
-            (stats, races)
-        });
-        let budget = if m.racey {
-            row.present += 1;
-            Some(1)
-        } else {
-            None
+/// Runs every (cell, workload) pair of the audit — one simulation per job,
+/// on up to `jobs` worker threads — then folds the outcomes into one [`Row`]
+/// per plan, in plan order.
+fn audit(quick: bool, plans: &[Option<FaultPlan>], jobs: Jobs) -> Result<Vec<Row>, HarnessError> {
+    let micros = all_micros();
+    let racey = apps_racey(quick);
+    let correct = apps(quick);
+    let mut workloads: Vec<Workload> = micros.iter().map(Workload::Micro).collect();
+    workloads.extend(racey.iter().map(|a| Workload::Racey(a.as_ref())));
+    workloads.extend(correct.iter().map(|a| Workload::Correct(a.as_ref())));
+
+    let cells: Vec<(Option<FaultPlan>, &Workload)> = plans
+        .iter()
+        .flat_map(|&plan| workloads.iter().map(move |w| (plan, w)))
+        .collect();
+    let outcomes = exec::sweep("faults", jobs, &cells, |_, (plan, w)| w.simulate(*plan));
+
+    let mut rows = Vec::with_capacity(plans.len());
+    let mut it = outcomes.into_iter();
+    for &plan in plans {
+        let strict = plan.is_none();
+        let mut row = Row {
+            fault: plan.map(|p| {
+                *FaultKind::ALL
+                    .iter()
+                    .find(|k| p.kinds.contains(**k))
+                    .expect("plan names at least one kind")
+            }),
+            rate_ppm: plan.map_or(0, |p| p.rate_ppm),
+            detected: 0,
+            present: 0,
+            false_positives: 0,
+            sim_errors: 0,
+            faults_injected: 0,
         };
-        fold(&mut row, strict, m.name, budget, outcome)?;
+        for w in &workloads {
+            let outcome = it.next().expect("one outcome per cell×workload");
+            let budget = match w {
+                Workload::Micro(m) if m.racey => {
+                    row.present += 1;
+                    Some(1)
+                }
+                Workload::Micro(_) | Workload::Correct(_) => None,
+                Workload::Racey(a) => {
+                    row.present += a.expected_races();
+                    Some(a.expected_races())
+                }
+            };
+            fold(&mut row, strict, w.name(), budget, outcome)?;
+        }
+        rows.push(row);
     }
-    for app in apps_racey(quick) {
-        row.present += app.expected_races();
-        let mut g = gpu(plan);
-        let outcome = app.run(&mut g).map(|run| {
-            let races = g.races().expect("detection on").unique_count();
-            (run.stats, races)
-        });
-        fold(
-            &mut row,
-            strict,
-            app.name(),
-            Some(app.expected_races()),
-            outcome,
-        )?;
-    }
-    for app in apps(quick) {
-        let mut g = gpu(plan);
-        let outcome = app.run(&mut g).map(|run| {
-            let races = g.races().expect("detection on").unique_count();
-            (run.stats, races)
-        });
-        fold(&mut row, strict, app.name(), None, outcome)?;
-    }
-    Ok(row)
+    Ok(rows)
 }
 
-/// Sweeps the given fault kinds × rates (no baseline row).
+/// Sweeps the given fault kinds × rates (no baseline row) on up to `jobs`
+/// worker threads.
 ///
 /// # Errors
 ///
@@ -171,30 +201,37 @@ pub fn sweep(
     seed: u64,
     kinds: &[FaultKind],
     rates: &[u32],
+    jobs: Jobs,
 ) -> Result<Vec<Row>, HarnessError> {
-    let mut rows = Vec::new();
-    for &kind in kinds {
-        for &rate in rates {
-            rows.push(audit_cell(
-                quick,
-                Some(FaultPlan::single(kind, rate, seed)),
-            )?);
-        }
-    }
-    Ok(rows)
+    let plans: Vec<Option<FaultPlan>> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            rates
+                .iter()
+                .map(move |&rate| Some(FaultPlan::single(kind, rate, seed)))
+        })
+        .collect();
+    audit(quick, &plans, jobs)
 }
 
 /// The full degradation audit: the fault-free baseline row followed by
-/// every fault kind at every rate in `rates`.
+/// every fault kind at every rate in `rates`, on up to `jobs` worker
+/// threads.
 ///
 /// # Errors
 ///
 /// Returns a [`HarnessError`] naming the workload that failed in the
 /// fault-free baseline (which must be clean); faulty cells never error.
-pub fn run(quick: bool, seed: u64, rates: &[u32]) -> Result<Vec<Row>, HarnessError> {
-    let mut rows = vec![audit_cell(quick, None)?];
-    rows.extend(sweep(quick, seed, &FaultKind::ALL, rates)?);
-    Ok(rows)
+pub fn run(quick: bool, seed: u64, rates: &[u32], jobs: Jobs) -> Result<Vec<Row>, HarnessError> {
+    let mut plans: Vec<Option<FaultPlan>> = vec![None];
+    for &kind in &FaultKind::ALL {
+        plans.extend(
+            rates
+                .iter()
+                .map(|&rate| Some(FaultPlan::single(kind, rate, seed))),
+        );
+    }
+    audit(quick, &plans, jobs)
 }
 
 /// Renders the audit as a markdown table.
@@ -238,33 +275,35 @@ mod tests {
     /// same detector, so the totals must agree exactly.
     #[test]
     fn zero_fault_row_reproduces_table6() {
-        let baseline = audit_cell(true, None).expect("baseline is clean");
+        let rows = audit(true, &[None], Jobs::serial()).expect("baseline is clean");
+        let baseline = &rows[0];
         assert_eq!(baseline.sim_errors, 0);
         assert_eq!(baseline.faults_injected, 0);
         assert_eq!(baseline.false_positives, 0, "correct configs stay clean");
 
-        let t6 = crate::table6::run(true).expect("table6 runs");
+        let t6 = crate::table6::run(true, Jobs::serial()).expect("table6 runs");
         let total = t6.last().expect("total row");
         assert_eq!(baseline.present, total.present);
         assert_eq!(baseline.detected, total.scord);
     }
 
-    /// A faulty cell is deterministic in its seed and never panics, even at
-    /// an aggressive rate.
+    /// A faulty cell is deterministic in its seed — and in its worker
+    /// count — and never panics, even at an aggressive rate.
     #[test]
     fn faulty_cells_are_deterministic_and_panic_free() {
-        let cell = || {
+        let cell = |jobs: Jobs| {
             sweep(
                 true,
                 0xAD17,
                 &[FaultKind::MetadataBitFlip, FaultKind::EventDrop],
                 &[100_000],
+                jobs,
             )
             .expect("sweep infrastructure is clean")
         };
-        let a = cell();
-        let b = cell();
-        assert_eq!(a, b, "same seed, same table");
+        let a = cell(Jobs::serial());
+        let b = cell(Jobs::new(4).expect("nonzero"));
+        assert_eq!(a, b, "same seed, same table, serial or parallel");
         assert!(
             a.iter().all(|r| r.faults_injected > 0),
             "10% over the whole suite must inject: {a:?}"

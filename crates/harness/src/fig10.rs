@@ -14,6 +14,7 @@
 use scord_core::StoreKind;
 use scord_sim::{DetectionMode, OverheadToggles};
 
+use crate::exec::{sweep, Jobs};
 use crate::{apps, render_table, run_app, MemoryVariant};
 
 /// One application's overhead attribution.
@@ -38,21 +39,35 @@ fn scord_with(toggles: OverheadToggles) -> DetectionMode {
     }
 }
 
-/// Runs the attribution experiment.
+/// Runs the attribution experiment, one (application, toggle-variant) cell
+/// per job, on up to `jobs` worker threads.
 #[must_use]
-pub fn run(quick: bool) -> Vec<Row> {
-    apps(quick)
-        .iter()
-        .map(|app| {
-            let all = OverheadToggles::all();
-            let full = run_app(app.as_ref(), scord_with(all), MemoryVariant::Default).cycles;
-            let uplift = |toggles: OverheadToggles| -> f64 {
-                let c = run_app(app.as_ref(), scord_with(toggles), MemoryVariant::Default).cycles;
-                (full.saturating_sub(c)) as f64
-            };
-            let lhd = uplift(OverheadToggles { lhd: false, ..all });
-            let noc = uplift(OverheadToggles { noc: false, ..all });
-            let md = uplift(OverheadToggles { md: false, ..all });
+pub fn run(quick: bool, jobs: Jobs) -> Vec<Row> {
+    let apps = apps(quick);
+    let all = OverheadToggles::all();
+    let variants = [
+        all,
+        OverheadToggles { lhd: false, ..all },
+        OverheadToggles { noc: false, ..all },
+        OverheadToggles { md: false, ..all },
+    ];
+    let cells: Vec<(usize, OverheadToggles)> = (0..apps.len())
+        .flat_map(|a| variants.map(|t| (a, t)))
+        .collect();
+    let cycles = sweep("fig10", jobs, &cells, |_, &(a, toggles)| {
+        run_app(
+            apps[a].as_ref(),
+            scord_with(toggles),
+            MemoryVariant::Default,
+        )
+        .cycles
+    });
+    apps.iter()
+        .zip(cycles.chunks_exact(variants.len()))
+        .map(|(app, c)| {
+            let full = c[0];
+            let uplift = |cycles: u64| (full.saturating_sub(cycles)) as f64;
+            let (lhd, noc, md) = (uplift(c[1]), uplift(c[2]), uplift(c[3]));
             let total = (lhd + noc + md).max(1.0);
             Row {
                 workload: app.name().to_string(),
@@ -106,7 +121,7 @@ mod tests {
 
     #[test]
     fn contributions_are_normalized_fractions() {
-        let rows = run(true);
+        let rows = run(true, Jobs::serial());
         for r in &rows {
             assert!(r.lhd >= 0.0 && r.noc >= 0.0 && r.md >= 0.0, "{r:?}");
             let sum = r.lhd + r.noc + r.md;

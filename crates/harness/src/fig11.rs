@@ -8,6 +8,7 @@
 
 use scord_sim::DetectionMode;
 
+use crate::exec::{sweep, Jobs};
 use crate::{apps, render_table, run_app, MemoryVariant};
 
 /// One application's overhead under the three memory configurations.
@@ -23,23 +24,27 @@ pub struct Row {
     pub high: f64,
 }
 
-/// Runs the sensitivity sweep (6 simulations per application).
+/// Runs the sensitivity sweep, one (application, memory-variant) cell per
+/// job — each cell runs its off + ScoRD pair — on up to `jobs` worker
+/// threads.
 #[must_use]
-pub fn run(quick: bool) -> Vec<Row> {
-    apps(quick)
-        .iter()
-        .map(|app| {
-            let norm = |variant: MemoryVariant| {
-                let off = run_app(app.as_ref(), DetectionMode::Off, variant).cycles;
-                let on = run_app(app.as_ref(), DetectionMode::scord(), variant).cycles;
-                on as f64 / off as f64
-            };
-            Row {
-                workload: app.name().to_string(),
-                low: norm(MemoryVariant::Low),
-                default: norm(MemoryVariant::Default),
-                high: norm(MemoryVariant::High),
-            }
+pub fn run(quick: bool, jobs: Jobs) -> Vec<Row> {
+    let apps = apps(quick);
+    let cells: Vec<(usize, MemoryVariant)> = (0..apps.len())
+        .flat_map(|a| MemoryVariant::ALL.map(|v| (a, v)))
+        .collect();
+    let ratios = sweep("fig11", jobs, &cells, |_, &(a, variant)| {
+        let off = run_app(apps[a].as_ref(), DetectionMode::Off, variant).cycles;
+        let on = run_app(apps[a].as_ref(), DetectionMode::scord(), variant).cycles;
+        on as f64 / off as f64
+    });
+    apps.iter()
+        .zip(ratios.chunks_exact(MemoryVariant::ALL.len()))
+        .map(|(app, r)| Row {
+            workload: app.name().to_string(),
+            low: r[0],
+            default: r[1],
+            high: r[2],
         })
         .collect()
 }
@@ -67,7 +72,7 @@ mod tests {
 
     #[test]
     fn every_configuration_is_a_valid_overhead() {
-        let rows = run(true);
+        let rows = run(true, Jobs::serial());
         assert_eq!(rows.len(), 7);
         for r in &rows {
             for v in [r.low, r.default, r.high] {

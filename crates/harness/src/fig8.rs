@@ -7,6 +7,7 @@
 
 use scord_sim::DetectionMode;
 
+use crate::exec::{sweep, Jobs};
 use crate::{apps, render_table, run_app, MemoryVariant};
 
 /// One application's normalized execution cycles.
@@ -22,25 +23,29 @@ pub struct Row {
     pub scord: f64,
 }
 
-/// Runs each application under the three detection modes.
+/// Runs each application under the three detection modes, one
+/// (application, mode) cell per job, on up to `jobs` worker threads.
 #[must_use]
-pub fn run(quick: bool) -> Vec<Row> {
-    apps(quick)
-        .iter()
-        .map(|app| {
-            let off = run_app(app.as_ref(), DetectionMode::Off, MemoryVariant::Default);
-            let base = run_app(
-                app.as_ref(),
-                DetectionMode::base_design(),
-                MemoryVariant::Default,
-            );
-            let scord = run_app(app.as_ref(), DetectionMode::scord(), MemoryVariant::Default);
-            Row {
-                workload: app.name().to_string(),
-                off_cycles: off.cycles,
-                base: base.cycles as f64 / off.cycles as f64,
-                scord: scord.cycles as f64 / off.cycles as f64,
-            }
+pub fn run(quick: bool, jobs: Jobs) -> Vec<Row> {
+    let apps = apps(quick);
+    let modes = [
+        DetectionMode::Off,
+        DetectionMode::base_design(),
+        DetectionMode::scord(),
+    ];
+    let cells: Vec<(usize, DetectionMode)> = (0..apps.len())
+        .flat_map(|a| modes.map(|m| (a, m)))
+        .collect();
+    let cycles = sweep("fig8", jobs, &cells, |_, &(a, mode)| {
+        run_app(apps[a].as_ref(), mode, MemoryVariant::Default).cycles
+    });
+    apps.iter()
+        .zip(cycles.chunks_exact(modes.len()))
+        .map(|(app, c)| Row {
+            workload: app.name().to_string(),
+            off_cycles: c[0],
+            base: c[1] as f64 / c[0] as f64,
+            scord: c[2] as f64 / c[0] as f64,
         })
         .collect()
 }
@@ -92,7 +97,7 @@ mod tests {
 
     #[test]
     fn detection_overheads_are_plausible() {
-        let rows = run(true);
+        let rows = run(true, Jobs::serial());
         assert_eq!(rows.len(), 7);
         for r in &rows {
             // Detection perturbs lock-acquisition and work-stealing order,

@@ -8,6 +8,7 @@
 
 use scord_sim::DetectionMode;
 
+use crate::exec::{sweep, Jobs};
 use crate::{apps, render_table, run_app, MemoryVariant};
 
 /// One application's DRAM-traffic breakdown (all values normalized to the
@@ -28,19 +29,26 @@ pub struct Row {
     pub scord_md: f64,
 }
 
-/// Runs each application and splits its DRAM traffic.
+/// Runs each application and splits its DRAM traffic, one (application,
+/// mode) cell per job, on up to `jobs` worker threads.
 #[must_use]
-pub fn run(quick: bool) -> Vec<Row> {
-    apps(quick)
-        .iter()
-        .map(|app| {
-            let off = run_app(app.as_ref(), DetectionMode::Off, MemoryVariant::Default);
-            let base = run_app(
-                app.as_ref(),
-                DetectionMode::base_design(),
-                MemoryVariant::Default,
-            );
-            let scord = run_app(app.as_ref(), DetectionMode::scord(), MemoryVariant::Default);
+pub fn run(quick: bool, jobs: Jobs) -> Vec<Row> {
+    let apps = apps(quick);
+    let modes = [
+        DetectionMode::Off,
+        DetectionMode::base_design(),
+        DetectionMode::scord(),
+    ];
+    let cells: Vec<(usize, DetectionMode)> = (0..apps.len())
+        .flat_map(|a| modes.map(|m| (a, m)))
+        .collect();
+    let stats = sweep("fig9", jobs, &cells, |_, &(a, mode)| {
+        run_app(apps[a].as_ref(), mode, MemoryVariant::Default)
+    });
+    apps.iter()
+        .zip(stats.chunks_exact(modes.len()))
+        .map(|(app, s)| {
+            let (off, base, scord) = (&s[0], &s[1], &s[2]);
             let denom = off.dram.total().max(1) as f64;
             Row {
                 workload: app.name().to_string(),
@@ -93,7 +101,7 @@ mod tests {
 
     #[test]
     fn metadata_traffic_exists_and_caching_reduces_it() {
-        let rows = run(true);
+        let rows = run(true, Jobs::serial());
         let base_md: f64 = rows.iter().map(|r| r.base_md).sum();
         let scord_md: f64 = rows.iter().map(|r| r.scord_md).sum();
         assert!(base_md > 0.0, "base design produces metadata traffic");

@@ -18,15 +18,18 @@
 //! | [`ablations`] | Design-choice ablations (lock-table size, cache ratio, detector throughput) |
 //! | [`faults`] | Degradation audit under fault injection (robustness, beyond the paper) |
 //!
-//! Every module exposes `run(quick) -> Vec<Row>` plus a `to_markdown`
+//! Every module exposes `run(quick, jobs) -> Vec<Row>` plus a `to_markdown`
 //! renderer; the `run-experiments` binary drives them. `quick = true`
 //! shrinks the workloads for fast CI runs; `quick = false` uses the suite's
-//! default (paper-calibrated) sizes.
+//! default (paper-calibrated) sizes. `jobs` sets the worker-thread budget
+//! ([`exec::Jobs`]); every sweep is deterministic in its inputs, so
+//! `Jobs::serial()` and `Jobs::new(n)` produce byte-identical tables.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
 mod error;
+pub mod exec;
 pub mod faults;
 pub mod fig10;
 pub mod fig11;
@@ -41,6 +44,8 @@ pub mod table7;
 pub mod table8;
 mod workloads;
 
-pub use error::HarnessError;
+pub(crate) use error::unique_races;
+pub use error::{HarnessError, HarnessErrorKind};
+pub use exec::Jobs;
 pub use markdown::render_table;
 pub use workloads::{apps, apps_racey, gpu_for, run_app, MemoryVariant};

@@ -9,7 +9,8 @@
 use scor_suite::micro::{all_micros, MicroCategory};
 use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
-use crate::{render_table, HarnessError};
+use crate::exec::{sweep, Jobs};
+use crate::{render_table, unique_races, HarnessError};
 
 /// One row of Table I.
 #[derive(Debug, Clone)]
@@ -26,13 +27,23 @@ pub struct Row {
     pub false_positives: usize,
 }
 
-/// Runs the full microbenchmark suite under ScoRD.
+/// Runs the full microbenchmark suite under ScoRD, one job per
+/// microbenchmark, on up to `jobs` worker threads.
 ///
 /// # Errors
 ///
 /// Returns a [`HarnessError`] naming the microbenchmark whose simulation
 /// failed (deadlock, watchdog timeout, malformed detector event).
-pub fn run() -> Result<Vec<Row>, HarnessError> {
+pub fn run(jobs: Jobs) -> Result<Vec<Row>, HarnessError> {
+    let micros = all_micros();
+    let races: Vec<usize> = sweep("table1", jobs, &micros, |_, m| {
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
+        m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
+        unique_races(&gpu, m.name)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+
     let cats = [
         MicroCategory::Fence,
         MicroCategory::Atomics,
@@ -48,10 +59,7 @@ pub fn run() -> Result<Vec<Row>, HarnessError> {
             false_positives: 0,
         })
         .collect();
-    for m in all_micros() {
-        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
-        m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
-        let races = gpu.races().expect("detection on").unique_count();
+    for (m, races) in micros.iter().zip(races) {
         let row = rows
             .iter_mut()
             .find(|r| r.category == m.category)
@@ -104,7 +112,7 @@ mod tests {
 
     #[test]
     fn suite_detects_all_racey_with_no_false_positives() {
-        let rows = run().expect("micro suite simulates cleanly");
+        let rows = run(Jobs::serial()).expect("micro suite simulates cleanly");
         let (racey, detected, nonracey, fps) = rows.iter().fold((0, 0, 0, 0), |a, r| {
             (
                 a.0 + r.racey,

@@ -1,10 +1,12 @@
 //! Table VI — races caught by the base design (no metadata caching) and by
 //! ScoRD (cached metadata), per workload.
 
-use scor_suite::micro::all_micros;
+use scor_suite::micro::{all_micros, Micro};
+use scor_suite::Benchmark;
 use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
-use crate::{apps_racey, render_table, HarnessError};
+use crate::exec::{sweep, Jobs};
+use crate::{apps_racey, render_table, unique_races, HarnessError};
 
 /// One row of Table VI.
 #[derive(Debug, Clone)]
@@ -19,51 +21,75 @@ pub struct Row {
     pub scord: usize,
 }
 
-fn detect(app: &dyn scor_suite::Benchmark, mode: DetectionMode) -> Result<usize, HarnessError> {
-    let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
-    app.run(&mut gpu)
-        .map_err(|e| HarnessError::new(app.name(), e))?;
-    Ok(gpu.races().expect("detection on").unique_count())
+/// One independent simulation of the sweep: a workload under one detector
+/// build.
+enum Cell<'a> {
+    App(&'a dyn Benchmark, DetectionMode),
+    Micro(&'a Micro, DetectionMode),
 }
 
-/// Runs every racey workload under both detector builds.
+impl Cell<'_> {
+    fn name(&self) -> &str {
+        match self {
+            Cell::App(app, _) => app.name(),
+            Cell::Micro(m, _) => m.name,
+        }
+    }
+
+    /// Unique races the cell's workload reports under its detector.
+    fn detect(&self) -> Result<usize, HarnessError> {
+        let mode = match self {
+            Cell::App(_, mode) | Cell::Micro(_, mode) => *mode,
+        };
+        let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
+        match self {
+            Cell::App(app, _) => app.run(&mut gpu).map(|_| ()),
+            Cell::Micro(m, _) => m.run(&mut gpu).map(|_| ()),
+        }
+        .map_err(|e| HarnessError::new(self.name(), e))?;
+        unique_races(&gpu, self.name())
+    }
+}
+
+/// Runs every racey workload under both detector builds, one (workload,
+/// mode) cell per job, on up to `jobs` worker threads.
 ///
 /// # Errors
 ///
 /// Returns a [`HarnessError`] naming the workload whose simulation failed.
-pub fn run(quick: bool) -> Result<Vec<Row>, HarnessError> {
+pub fn run(quick: bool, jobs: Jobs) -> Result<Vec<Row>, HarnessError> {
+    let apps = apps_racey(quick);
+    let micros: Vec<Micro> = all_micros().into_iter().filter(|m| m.racey).collect();
+    let modes = [DetectionMode::base_design(), DetectionMode::scord()];
+    let mut cells: Vec<Cell> = Vec::new();
+    for app in &apps {
+        cells.extend(modes.map(|mode| Cell::App(app.as_ref(), mode)));
+    }
+    for m in &micros {
+        cells.extend(modes.map(|mode| Cell::Micro(m, mode)));
+    }
+    let counts: Vec<usize> = sweep("table6", jobs, &cells, |_, cell| cell.detect())
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+
+    // Fold in cell order: apps come first (base/scord pairs), then the
+    // racey micros (one "race present" each, detected when the run reports
+    // at least one unique race).
     let mut rows = Vec::new();
-    for app in apps_racey(quick) {
+    let (app_counts, micro_counts) = counts.split_at(2 * apps.len());
+    for (app, pair) in apps.iter().zip(app_counts.chunks_exact(2)) {
         rows.push(Row {
             workload: app.name().to_string(),
             present: app.expected_races(),
-            base: detect(app.as_ref(), DetectionMode::base_design())?,
-            scord: detect(app.as_ref(), DetectionMode::scord())?,
+            base: pair[0],
+            scord: pair[1],
         });
-    }
-    // Microbenchmarks: one "race present" per racey test, detected when the
-    // run reports at least one unique race.
-    let mut present = 0;
-    let mut base = 0;
-    let mut scord = 0;
-    for m in all_micros().into_iter().filter(|m| m.racey) {
-        present += 1;
-        for (mode, counter) in [
-            (DetectionMode::base_design(), &mut base),
-            (DetectionMode::scord(), &mut scord),
-        ] {
-            let mut gpu = Gpu::new(GpuConfig::paper_default().with_detection(mode));
-            m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
-            if gpu.races().expect("detection on").unique_count() > 0 {
-                *counter += 1;
-            }
-        }
     }
     rows.push(Row {
         workload: "Microbenchmarks".into(),
-        present,
-        base,
-        scord,
+        present: micros.len(),
+        base: micro_counts.chunks_exact(2).filter(|p| p[0] > 0).count(),
+        scord: micro_counts.chunks_exact(2).filter(|p| p[1] > 0).count(),
     });
     let total = |f: fn(&Row) -> usize| rows.iter().map(f).sum::<usize>();
     rows.push(Row {
@@ -106,7 +132,7 @@ mod tests {
 
     #[test]
     fn quick_table6_detects_races_everywhere() {
-        let rows = run(true).expect("quick workloads simulate cleanly");
+        let rows = run(true, Jobs::serial()).expect("quick workloads simulate cleanly");
         assert_eq!(rows.len(), 9, "7 apps + micros + total");
         let micro = &rows[7];
         assert_eq!(micro.present, 18);

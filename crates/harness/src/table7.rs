@@ -8,6 +8,7 @@
 use scord_core::StoreKind;
 use scord_sim::{DetectionMode, Gpu, GpuConfig, OverheadToggles};
 
+use crate::exec::{sweep, Jobs};
 use crate::{apps, render_table};
 
 /// One row of Table VII: false positives per app per store configuration.
@@ -37,17 +38,33 @@ fn false_positives(app: &dyn scor_suite::Benchmark, store: StoreKind) -> usize {
     gpu.races().expect("detection on").unique_count()
 }
 
-/// Runs the correctly-synchronized applications under each granularity.
+/// The four store configurations of Table VII, in column order.
+const STORES: [StoreKind; 4] = [
+    StoreKind::Full { granularity: 4 },
+    StoreKind::Full { granularity: 8 },
+    StoreKind::Full { granularity: 16 },
+    StoreKind::Cached { ratio: 16 },
+];
+
+/// Runs the correctly-synchronized applications under each granularity,
+/// one (application, store) cell per job, on up to `jobs` worker threads.
 #[must_use]
-pub fn run(quick: bool) -> Vec<Row> {
-    apps(quick)
-        .iter()
-        .map(|app| Row {
+pub fn run(quick: bool, jobs: Jobs) -> Vec<Row> {
+    let apps = apps(quick);
+    let cells: Vec<(usize, StoreKind)> = (0..apps.len())
+        .flat_map(|a| STORES.map(|s| (a, s)))
+        .collect();
+    let fps = sweep("table7", jobs, &cells, |_, &(a, store)| {
+        false_positives(apps[a].as_ref(), store)
+    });
+    apps.iter()
+        .zip(fps.chunks_exact(STORES.len()))
+        .map(|(app, f)| Row {
             workload: app.name().to_string(),
-            g4: false_positives(app.as_ref(), StoreKind::Full { granularity: 4 }),
-            g8: false_positives(app.as_ref(), StoreKind::Full { granularity: 8 }),
-            g16: false_positives(app.as_ref(), StoreKind::Full { granularity: 16 }),
-            scord: false_positives(app.as_ref(), StoreKind::Cached { ratio: 16 }),
+            g4: f[0],
+            g8: f[1],
+            g16: f[2],
+            scord: f[3],
         })
         .collect()
 }
@@ -89,7 +106,7 @@ mod tests {
 
     #[test]
     fn base_and_scord_have_zero_false_positives() {
-        for row in run(true) {
+        for row in run(true, Jobs::serial()) {
             assert_eq!(row.g4, 0, "{}: 4-byte granularity has no FPs", row.workload);
             assert_eq!(row.scord, 0, "{}: ScoRD has no FPs", row.workload);
         }

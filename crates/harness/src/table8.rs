@@ -10,7 +10,8 @@ use scor_suite::micro::{all_micros, Micro, MicroCategory};
 use scord_core::{build_detector, DetectorKind};
 use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
-use crate::{render_table, HarnessError};
+use crate::exec::{sweep, Jobs};
+use crate::{render_table, unique_races, HarnessError};
 
 /// One detector's measured detection coverage.
 #[derive(Debug, Clone)]
@@ -31,20 +32,32 @@ fn run_micro_with(kind: DetectorKind, m: &Micro) -> Result<usize, HarnessError> 
     let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
     let mut gpu = Gpu::with_detector_factory(cfg, |dc| Box::new(build_detector(kind, dc)));
     m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
-    Ok(gpu.races().expect("detection on").unique_count())
+    unique_races(&gpu, m.name)
 }
 
-/// Runs all 32 microbenchmarks under each detector model.
+/// Runs all 32 microbenchmarks under each detector model, one (detector,
+/// microbenchmark) cell per job, on up to `jobs` worker threads.
 ///
 /// # Errors
 ///
 /// Returns a [`HarnessError`] naming the microbenchmark whose simulation
 /// failed.
-pub fn run() -> Result<Vec<Row>, HarnessError> {
+pub fn run(jobs: Jobs) -> Result<Vec<Row>, HarnessError> {
     let micros = all_micros();
-    DetectorKind::ALL
+    let cells: Vec<(DetectorKind, &Micro)> = DetectorKind::ALL
         .iter()
-        .map(|&kind| {
+        .flat_map(|&kind| micros.iter().map(move |m| (kind, m)))
+        .collect();
+    let counts: Vec<usize> = sweep("table8", jobs, &cells, |_, &(kind, m)| {
+        run_micro_with(kind, m)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+
+    Ok(DetectorKind::ALL
+        .iter()
+        .zip(counts.chunks_exact(micros.len()))
+        .map(|(&kind, races)| {
             let mut row = Row {
                 detector: kind,
                 fence: (0, 0),
@@ -52,8 +65,7 @@ pub fn run() -> Result<Vec<Row>, HarnessError> {
                 lock: (0, 0),
                 false_positives: 0,
             };
-            for m in &micros {
-                let races = run_micro_with(kind, m)?;
+            for (m, &races) in micros.iter().zip(races) {
                 if m.racey {
                     let slot = match m.category {
                         MicroCategory::Fence => &mut row.fence,
@@ -68,9 +80,9 @@ pub fn run() -> Result<Vec<Row>, HarnessError> {
                     row.false_positives += 1;
                 }
             }
-            Ok(row)
+            row
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the measured Table VIII.
@@ -106,7 +118,7 @@ mod tests {
 
     #[test]
     fn scord_dominates_the_baselines() {
-        let rows = run().expect("micro suite simulates cleanly");
+        let rows = run(Jobs::serial()).expect("micro suite simulates cleanly");
         let find = |kind: DetectorKind| rows.iter().find(|r| r.detector == kind).unwrap();
         let scord = find(DetectorKind::Scord);
         let barracuda = find(DetectorKind::BarracudaLike);

@@ -1,0 +1,57 @@
+//! Serial/parallel equivalence: every experiment must emit byte-identical
+//! tables whether its sweep runs on one worker or many, because workers
+//! deposit results into job-indexed slots and each cell simulates on a
+//! private `Gpu`.
+
+use scord_core::FaultKind;
+use scord_harness as h;
+use scord_harness::Jobs;
+
+fn par() -> Jobs {
+    Jobs::new(4).expect("nonzero")
+}
+
+#[test]
+fn table1_is_identical_serial_and_parallel() {
+    let serial = h::table1::run(Jobs::serial()).expect("suite simulates cleanly");
+    let parallel = h::table1::run(par()).expect("suite simulates cleanly");
+    assert_eq!(
+        h::table1::to_markdown(&serial),
+        h::table1::to_markdown(&parallel),
+        "table1 rendering must not depend on the worker count"
+    );
+}
+
+#[test]
+fn table6_quick_is_identical_serial_and_parallel() {
+    let serial = h::table6::run(true, Jobs::serial()).expect("quick workloads simulate cleanly");
+    let parallel = h::table6::run(true, par()).expect("quick workloads simulate cleanly");
+    assert_eq!(
+        h::table6::to_markdown(&serial),
+        h::table6::to_markdown(&parallel),
+        "table6 rendering must not depend on the worker count"
+    );
+}
+
+#[test]
+fn fault_sweep_is_identical_serial_and_parallel() {
+    // A bounded slice of the audit (2 kinds × 1 aggressive rate) keeps the
+    // test fast while still exercising the fault-injection path end to end.
+    let cell = |jobs: Jobs| {
+        h::faults::sweep(
+            true,
+            7,
+            &[FaultKind::MetadataBitFlip, FaultKind::EventDrop],
+            &[100_000],
+            jobs,
+        )
+        .expect("sweep infrastructure is clean")
+    };
+    let serial = cell(Jobs::serial());
+    let parallel = cell(par());
+    assert_eq!(
+        h::faults::to_markdown(&serial),
+        h::faults::to_markdown(&parallel),
+        "fault audit rendering must not depend on the worker count"
+    );
+}

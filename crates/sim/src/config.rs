@@ -265,6 +265,60 @@ impl GpuConfig {
         self
     }
 
+    /// Checks the configuration against the machine's hard representation
+    /// limits — chiefly the metadata accessor-identity field widths
+    /// ([`scord_core::BLOCK_ID_BITS`], [`scord_core::WARP_ID_BITS`]). A
+    /// geometry that overflows them would silently alias distinct block or
+    /// warp slots onto one metadata identity, corrupting detection.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::Config`] describing the first violated limit.
+    pub fn validate(&self) -> Result<(), crate::SimError> {
+        use crate::SimError::Config;
+        let max_block_slots = 1u32 << scord_core::BLOCK_ID_BITS;
+        let max_warp_slots = 1u32 << scord_core::WARP_ID_BITS;
+        if self.num_sms == 0 || self.blocks_per_sm == 0 || self.warps_per_sm == 0 {
+            return Err(Config(
+                "num_sms, blocks_per_sm and warps_per_sm must be non-zero".into(),
+            ));
+        }
+        if self.num_sms > 256 {
+            return Err(Config(format!(
+                "num_sms = {} exceeds the 8-bit SM id carried on packets (max 256)",
+                self.num_sms
+            )));
+        }
+        let block_slots = self.num_sms.checked_mul(self.blocks_per_sm);
+        if block_slots.is_none_or(|n| n > max_block_slots) {
+            return Err(Config(format!(
+                "num_sms × blocks_per_sm = {}×{} exceeds the {}-bit metadata BlockID \
+                 field (max {max_block_slots} block slots)",
+                self.num_sms,
+                self.blocks_per_sm,
+                scord_core::BLOCK_ID_BITS
+            )));
+        }
+        if self.warps_per_sm > max_warp_slots {
+            return Err(Config(format!(
+                "warps_per_sm = {} exceeds the {}-bit metadata WarpID field (max \
+                 {max_warp_slots} warp slots)",
+                self.warps_per_sm,
+                scord_core::WARP_ID_BITS
+            )));
+        }
+        if self.warp_size == 0 || self.warp_size > 32 {
+            return Err(Config(format!(
+                "warp_size = {} must be 1..=32 (32-bit lane masks)",
+                self.warp_size
+            )));
+        }
+        if self.channels == 0 {
+            return Err(Config("channels must be non-zero".into()));
+        }
+        Ok(())
+    }
+
     /// The detector geometry implied by this configuration.
     #[must_use]
     pub fn geometry(&self) -> Geometry {

@@ -5,7 +5,7 @@
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use scord_core::{AccessKind, Accessor, AtomKind, MemAccess, RaceLog, ScordDetector};
 use scord_isa::{AtomOp, Instr, Pc, Program, Scope, Space, SpecialReg};
@@ -112,8 +112,18 @@ pub enum SimError {
         /// Offending instruction.
         pc: Pc,
     },
+    /// A raw memory access (no instruction context) fell outside the device
+    /// allocation — e.g. a host-side [`DeviceMemory::try_read_word`]. The
+    /// 64-bit address is preserved instead of being truncated to 32 bits.
+    AddressOutOfRange {
+        /// The faulting byte address.
+        addr: u64,
+    },
     /// Bad launch parameters.
     Launch(String),
+    /// A [`GpuConfig`] violating a hard machine limit (metadata field
+    /// widths, packet id widths) — see [`GpuConfig::validate`].
+    Config(String),
     /// The race detector rejected an event (malformed accessor, address,
     /// or geometry — see [`scord_core::DetectorError`]).
     Detector(scord_core::DetectorError),
@@ -131,7 +141,11 @@ impl fmt::Display for SimError {
             SimError::AddressOutOfBounds { addr, pc } => {
                 write!(f, "global access at pc {pc} out of bounds: 0x{addr:x}")
             }
+            SimError::AddressOutOfRange { addr } => {
+                write!(f, "memory address out of range: 0x{addr:x}")
+            }
             SimError::Launch(msg) => write!(f, "invalid launch: {msg}"),
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::Detector(err) => write!(f, "detector rejected event: {err}"),
         }
     }
@@ -183,8 +197,9 @@ pub struct Gpu {
     seq: u64,
     now: u64,
     max_cycles: u64,
-    // Per-launch state.
-    program: Option<Rc<Program>>,
+    // Per-launch state. `Arc` (not `Rc`) keeps the whole `Gpu` `Send`, so
+    // independent simulations can be sharded across host threads.
+    program: Option<Arc<Program>>,
     params: Vec<u32>,
     grid_blocks: u32,
     threads_per_block: u32,
@@ -207,17 +222,53 @@ impl fmt::Debug for Gpu {
 impl Gpu {
     /// Builds a GPU (and its race detector, when
     /// [`crate::DetectionMode`] says so) from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` violates a hard machine limit (see
+    /// [`GpuConfig::validate`]); use [`Gpu::try_new`] for a recoverable
+    /// [`SimError::Config`].
     #[must_use]
     pub fn new(cfg: GpuConfig) -> Self {
-        Self::with_detector_factory(cfg, |dc| Box::new(ScordDetector::new(dc)))
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a GPU, returning [`SimError::Config`] instead of panicking on
+    /// a geometry the metadata field widths cannot represent.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] from [`GpuConfig::validate`].
+    pub fn try_new(cfg: GpuConfig) -> Result<Self, SimError> {
+        Self::try_with_detector_factory(cfg, |dc| Box::new(ScordDetector::new(dc)))
     }
 
     /// Builds a GPU with a custom detector (used to attach the Table VIII
     /// baseline models to the full timing simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` violates a hard machine limit (see
+    /// [`GpuConfig::validate`]); use [`Gpu::try_with_detector_factory`] for
+    /// a recoverable [`SimError::Config`].
     pub fn with_detector_factory(
         cfg: GpuConfig,
         factory: impl FnOnce(scord_core::DetectorConfig) -> Box<dyn scord_core::Detector>,
     ) -> Self {
+        Self::try_with_detector_factory(cfg, factory).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a GPU with a custom detector, returning [`SimError::Config`]
+    /// instead of panicking on an unrepresentable geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] from [`GpuConfig::validate`].
+    pub fn try_with_detector_factory(
+        cfg: GpuConfig,
+        factory: impl FnOnce(scord_core::DetectorConfig) -> Box<dyn scord_core::Detector>,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
         let detector = cfg
             .detector_config()
             .map(|dc| DetectorUnit::with_faults(factory(dc), cfg.detector_queue, cfg.fault));
@@ -243,7 +294,7 @@ impl Gpu {
                 pending_fills: HashMap::new(),
             })
             .collect();
-        Gpu {
+        Ok(Gpu {
             mem: DeviceMemory::new(cfg.mem_bytes),
             sms,
             parts,
@@ -262,7 +313,7 @@ impl Gpu {
             next_block: 0,
             blocks_live: 0,
             noc_rr: 0,
-        }
+        })
     }
 
     /// The configuration in effect.
@@ -341,7 +392,7 @@ impl Gpu {
         }
 
         // Reset per-launch machine state (caches persist, like real HW).
-        self.program = Some(Rc::new(program.clone()));
+        self.program = Some(Arc::new(program.clone()));
         self.params = params.to_vec();
         self.grid_blocks = grid_blocks;
         self.threads_per_block = threads_per_block;
@@ -506,7 +557,8 @@ impl Gpu {
             let ctaid = self.next_block;
             self.next_block += 1;
             self.blocks_live += 1;
-            let block_slot_global = (s as u32 * self.cfg.blocks_per_sm + bslot as u32) as u8;
+            let block_slot_global = u8::try_from(s as u32 * self.cfg.blocks_per_sm + bslot as u32)
+                .expect("validated: num_sms × blocks_per_sm fits the BlockID field");
             let block = SmBlock {
                 ctaid,
                 block_slot_global,
@@ -990,13 +1042,13 @@ impl Gpu {
         for &(lane, a) in &lane_addrs {
             let kind = match op {
                 GlobalOp::Load { dst, .. } => {
-                    let v = self.mem.read_word(a as u32);
+                    let v = self.mem.read_word(a);
                     warp.set_reg(lane, dst, v);
                     AccessKind::Load
                 }
                 GlobalOp::Store { src, .. } => {
                     let v = warp.operand(lane, src);
-                    self.mem.write_word(a as u32, v);
+                    self.mem.write_word(a, v);
                     AccessKind::Store
                 }
                 GlobalOp::Atomic {
@@ -1006,10 +1058,10 @@ impl Gpu {
                     cmp,
                     scope,
                 } => {
-                    let old = self.mem.read_word(a as u32);
+                    let old = self.mem.read_word(a);
                     let v = warp.operand(lane, val);
                     let c = warp.operand(lane, cmp);
-                    self.mem.write_word(a as u32, aop.apply(old, v, c));
+                    self.mem.write_word(a, aop.apply(old, v, c));
                     if let Some(d) = dst {
                         warp.set_reg(lane, d, old);
                     }
@@ -1307,6 +1359,48 @@ mod tests {
             gpu.launch(&prog, 1, 32, &[]),
             Err(SimError::Launch(_))
         ));
+    }
+
+    /// `Gpu` must stay `Send` so independent simulations can be sharded
+    /// across host threads (the harness's parallel executor relies on it).
+    #[test]
+    fn gpu_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Gpu>();
+        assert_send::<SimError>();
+    }
+
+    #[test]
+    fn geometry_overflowing_block_id_field_is_a_config_error() {
+        // 32 SMs × 8 blocks = 256 slots > the 7-bit BlockID field (128).
+        let cfg = GpuConfig {
+            num_sms: 32,
+            ..GpuConfig::paper_default()
+        };
+        assert!(matches!(Gpu::try_new(cfg), Err(SimError::Config(_))));
+        // 33 warp slots > the 5-bit WarpID field (32).
+        let cfg = GpuConfig {
+            warps_per_sm: 33,
+            ..GpuConfig::paper_default()
+        };
+        assert!(matches!(Gpu::try_new(cfg), Err(SimError::Config(msg)) if msg.contains("WarpID")));
+        // The paper's default is exactly at the limits and must pass.
+        assert!(GpuConfig::paper_default().validate().is_ok());
+        assert!(GpuConfig {
+            num_sms: 16,
+            ..GpuConfig::paper_default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "BlockID")]
+    fn gpu_new_panics_on_aliasing_geometry() {
+        let _ = Gpu::new(GpuConfig {
+            num_sms: 200,
+            ..GpuConfig::paper_default()
+        });
     }
 
     #[test]

@@ -5,8 +5,15 @@
 //! cache/NoC/DRAM models account for time. (See DESIGN.md: ScoRD's detection
 //! is metadata-driven and never depends on a stale value actually being
 //! observed, so coherent functional memory preserves all results.)
+//!
+//! Addresses are 64-bit throughout. Kernel-visible *pointers* are 32-bit
+//! (the ISA has 32-bit registers), but the memory itself never truncates: a
+//! computed address beyond the device allocation is a hard error, not a
+//! silent wrap onto a live buffer.
 
 use std::fmt;
+
+use crate::SimError;
 
 /// A handle to an allocated device buffer of 32-bit words.
 ///
@@ -14,8 +21,8 @@ use std::fmt;
 /// use scord_sim::DeviceMemory;
 /// let mut mem = DeviceMemory::new(1 << 20);
 /// let buf = mem.alloc_words(16);
-/// mem.write_word(buf.addr(), 42);
-/// assert_eq!(mem.read_word(buf.addr()), 42);
+/// mem.write_word(buf.word_addr(0), 42);
+/// assert_eq!(mem.read_word(buf.word_addr(0)), 42);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceBuffer {
@@ -24,7 +31,8 @@ pub struct DeviceBuffer {
 }
 
 impl DeviceBuffer {
-    /// Base byte address of the buffer.
+    /// Base byte address of the buffer, as a 32-bit device pointer (kernel
+    /// parameters are 32-bit registers).
     #[must_use]
     pub fn addr(&self) -> u32 {
         self.addr
@@ -48,9 +56,9 @@ impl DeviceBuffer {
     ///
     /// Panics if `i` is out of bounds.
     #[must_use]
-    pub fn word_addr(&self, i: u32) -> u32 {
+    pub fn word_addr(&self, i: u32) -> u64 {
         assert!(i < self.words, "index {i} out of {} words", self.words);
-        self.addr + i * 4
+        u64::from(self.addr) + u64::from(i) * 4
     }
 }
 
@@ -58,14 +66,14 @@ impl DeviceBuffer {
 /// allocator handing out cache-line-aligned buffers.
 pub struct DeviceMemory {
     words: Vec<u32>,
-    next_free: u32,
+    next_free: u64,
 }
 
 impl DeviceMemory {
     /// Creates a zeroed memory of `bytes` (rounded up to a word).
     #[must_use]
     pub fn new(bytes: u64) -> Self {
-        let words = (bytes / 4) as usize;
+        let words = usize::try_from(bytes / 4).expect("device memory fits the host address space");
         DeviceMemory {
             words: vec![0; words],
             next_free: 0,
@@ -82,32 +90,81 @@ impl DeviceMemory {
     ///
     /// # Panics
     ///
-    /// Panics if the memory is exhausted.
+    /// Panics if the memory is exhausted, or if the buffer would straddle the
+    /// 32-bit device-pointer space kernels can address.
     pub fn alloc_words(&mut self, n: u32) -> DeviceBuffer {
         let addr = (self.next_free + 127) & !127;
-        let end = addr + n * 4;
+        let end = addr + u64::from(n) * 4;
         assert!(
-            (end as u64) <= self.bytes(),
-            "device memory exhausted: need {} bytes at {}, have {}",
-            n * 4,
-            addr,
+            end <= self.bytes(),
+            "device memory exhausted: need {} bytes at {addr}, have {}",
+            u64::from(n) * 4,
             self.bytes()
         );
+        assert!(
+            end <= u64::from(u32::MAX) + 1,
+            "buffer at {addr}+{} exceeds the 32-bit device-pointer space",
+            u64::from(n) * 4
+        );
         self.next_free = end;
-        DeviceBuffer { addr, words: n }
+        DeviceBuffer {
+            addr: u32::try_from(addr).expect("checked against the 32-bit pointer space"),
+            words: n,
+        }
     }
 
     /// Reads one word at a byte address (must be 4-byte aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the device allocation; use
+    /// [`DeviceMemory::try_read_word`] for a recoverable error.
     #[must_use]
-    pub fn read_word(&self, addr: u32) -> u32 {
-        debug_assert_eq!(addr % 4, 0, "unaligned read at 0x{addr:x}");
-        self.words[(addr / 4) as usize]
+    pub fn read_word(&self, addr: u64) -> u32 {
+        self.try_read_word(addr)
+            .unwrap_or_else(|e| panic!("{e} (memory is {} bytes)", self.bytes()))
     }
 
     /// Writes one word at a byte address (must be 4-byte aligned).
-    pub fn write_word(&mut self, addr: u32, value: u32) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the device allocation; use
+    /// [`DeviceMemory::try_write_word`] for a recoverable error.
+    pub fn write_word(&mut self, addr: u64, value: u32) {
+        let bytes = self.bytes();
+        self.try_write_word(addr, value)
+            .unwrap_or_else(|e| panic!("{e} (memory is {bytes} bytes)"));
+    }
+
+    /// Reads one word, returning [`SimError::AddressOutOfRange`] instead of
+    /// wrapping or panicking when `addr` lies outside the allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] if `addr + 4` exceeds the memory size.
+    pub fn try_read_word(&self, addr: u64) -> Result<u32, SimError> {
+        debug_assert_eq!(addr % 4, 0, "unaligned read at 0x{addr:x}");
+        self.words
+            .get(usize::try_from(addr / 4).map_err(|_| SimError::AddressOutOfRange { addr })?)
+            .copied()
+            .ok_or(SimError::AddressOutOfRange { addr })
+    }
+
+    /// Writes one word, returning [`SimError::AddressOutOfRange`] instead of
+    /// wrapping or panicking when `addr` lies outside the allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AddressOutOfRange`] if `addr + 4` exceeds the memory size.
+    pub fn try_write_word(&mut self, addr: u64, value: u32) -> Result<(), SimError> {
         debug_assert_eq!(addr % 4, 0, "unaligned write at 0x{addr:x}");
-        self.words[(addr / 4) as usize] = value;
+        let slot = self
+            .words
+            .get_mut(usize::try_from(addr / 4).map_err(|_| SimError::AddressOutOfRange { addr })?)
+            .ok_or(SimError::AddressOutOfRange { addr })?;
+        *slot = value;
+        Ok(())
     }
 
     /// Copies a host slice into a buffer.
@@ -137,7 +194,7 @@ impl DeviceMemory {
     /// Bytes currently allocated (high-water mark).
     #[must_use]
     pub fn allocated_bytes(&self) -> u64 {
-        u64::from(self.next_free)
+        self.next_free
     }
 }
 
@@ -194,5 +251,33 @@ mod tests {
         let mut m = DeviceMemory::new(4096);
         let buf = m.alloc_words(2);
         let _ = buf.word_addr(2);
+    }
+
+    /// Regression: a 64-bit address beyond 4 GiB used to be truncated with
+    /// `as u32` on the access path, silently wrapping onto a live
+    /// allocation. It must now be a typed out-of-range error.
+    #[test]
+    fn high_addresses_error_instead_of_wrapping() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let buf = m.alloc_words(4);
+        m.write_word(buf.word_addr(0), 0xDEAD);
+        let wrapping = (1u64 << 32) + buf.word_addr(0);
+        assert_eq!(
+            m.try_read_word(wrapping),
+            Err(SimError::AddressOutOfRange { addr: wrapping }),
+            "a high address aliasing a live buffer modulo 2^32 must not read it"
+        );
+        assert_eq!(
+            m.try_write_word(wrapping, 1),
+            Err(SimError::AddressOutOfRange { addr: wrapping })
+        );
+        assert_eq!(m.read_word(buf.word_addr(0)), 0xDEAD, "buffer untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_word_panics_out_of_range() {
+        let m = DeviceMemory::new(4096);
+        let _ = m.read_word(1 << 40);
     }
 }

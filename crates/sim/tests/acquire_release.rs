@@ -34,7 +34,7 @@ fn run(acq: Scope, rel: Scope) -> (u32, usize) {
     gpu.launch(&prog, 6, 32, &[lock.addr(), ctr.addr()])
         .unwrap();
     (
-        gpu.mem().read_word(ctr.addr()),
+        gpu.mem().read_word(ctr.word_addr(0)),
         gpu.races().unwrap().unique_count(),
     )
 }

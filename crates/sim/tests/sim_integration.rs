@@ -184,7 +184,7 @@ fn device_atomics_sum_across_blocks() {
     let ctr = gpu.mem_mut().alloc_words(1);
     gpu.launch(&prog, 8, 64, &[ctr.addr()]).unwrap();
     let n = 8 * 64u32;
-    assert_eq!(gpu.mem().read_word(ctr.addr()), n * (n - 1) / 2);
+    assert_eq!(gpu.mem().read_word(ctr.word_addr(0)), n * (n - 1) / 2);
     assert_eq!(
         gpu.races().unwrap().unique_count(),
         0,
@@ -239,7 +239,7 @@ fn run_message_passing(scope: Scope) -> (u32, usize) {
     )
     .unwrap();
     (
-        gpu.mem().read_word(sink.addr()),
+        gpu.mem().read_word(sink.word_addr(0)),
         gpu.races().unwrap().unique_count(),
     )
 }
@@ -279,7 +279,11 @@ fn device_scoped_lock_increments_exactly() {
     let ctr = gpu.mem_mut().alloc_words(1);
     let prog = locked_increment_kernel(LockConfig::device());
     gpu.launch(&prog, 4, 8, &[lock.addr(), ctr.addr()]).unwrap();
-    assert_eq!(gpu.mem().read_word(ctr.addr()), 32, "4 blocks × 8 threads");
+    assert_eq!(
+        gpu.mem().read_word(ctr.word_addr(0)),
+        32,
+        "4 blocks × 8 threads"
+    );
     assert_eq!(
         gpu.races().unwrap().unique_count(),
         0,

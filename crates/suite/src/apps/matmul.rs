@@ -287,7 +287,7 @@ impl Benchmark for MatMul {
         let output_valid = if self.expected_races() == 0 {
             let (cref, sumref) = self.reference(&av, &bv);
             let got = gpu.mem().copy_out(c);
-            let sum = gpu.mem().read_word(checksum.addr());
+            let sum = gpu.mem().read_word(checksum.word_addr(0));
             Some(got == cref && sum == sumref)
         } else {
             None // unlocked fast path may genuinely lose updates

@@ -207,7 +207,7 @@ impl Benchmark for Reduction {
         )?;
 
         let expect: u32 = input.iter().fold(0u32, |a, &b| a.wrapping_add(b));
-        let got = gpu.mem().read_word(output.addr());
+        let got = gpu.mem().read_word(output.word_addr(0));
         let valid = got == expect;
         let output_valid = if self.expected_races() == 0 {
             Some(valid)

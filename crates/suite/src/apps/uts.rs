@@ -375,11 +375,11 @@ impl Benchmark for Uts {
         for (b, r) in roots.iter().enumerate() {
             for (i, &node) in r.iter().enumerate() {
                 gpu.mem_mut()
-                    .write_word(litems.addr() + (b as u32 * capacity + i as u32) * 4, node);
+                    .write_word(litems.word_addr(b as u32 * capacity + i as u32), node);
             }
         }
         gpu.mem_mut()
-            .write_word(active.addr(), self.blocks * self.roots_per_block);
+            .write_word(active.word_addr(0), self.blocks * self.roots_per_block);
 
         let stats = gpu.launch(
             &program,
@@ -399,8 +399,8 @@ impl Benchmark for Uts {
 
         // The stacks and counters are lock/atomic protected, so the result
         // stays functionally exact even in racey configurations.
-        let got_count = gpu.mem().read_word(out.addr());
-        let got_sum = gpu.mem().read_word(out.addr() + 4);
+        let got_count = gpu.mem().read_word(out.word_addr(0));
+        let got_sum = gpu.mem().read_word(out.word_addr(1));
         let valid = got_count == total_nodes && got_sum == checksum;
         Ok(AppRun::new(stats, 1, Some(valid)))
     }

@@ -185,7 +185,7 @@ mod tests {
         let data = gpu.mem_mut().alloc_words(1);
         gpu.launch(&prog, 2, 64, &[gen.addr(), data.addr()])
             .unwrap();
-        assert_eq!(gpu.mem().read_word(data.addr()), 6);
+        assert_eq!(gpu.mem().read_word(data.word_addr(0)), 6);
         assert_eq!(
             gpu.races().unwrap().unique_count(),
             0,

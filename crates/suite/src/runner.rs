@@ -30,7 +30,10 @@ impl AppRun {
 
 /// A ScoR benchmark: owns its workload generation, kernel(s), launch
 /// geometry and validation.
-pub trait Benchmark {
+///
+/// Benchmarks are `Send + Sync`: the experiment harness shares one boxed
+/// benchmark across its worker threads, each running it on a private `Gpu`.
+pub trait Benchmark: Send + Sync {
     /// Short name (the paper's abbreviation: "MM", "RED", ...).
     fn name(&self) -> &'static str;
 

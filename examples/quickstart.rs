@@ -51,7 +51,7 @@ fn run(fence_scope: Scope) {
     println!("--- fence scope: {fence_scope} ---");
     println!(
         "consumer read {} in {} cycles",
-        gpu.mem().read_word(out.addr()),
+        gpu.mem().read_word(out.word_addr(0)),
         stats.cycles
     );
     let races = gpu.races().expect("detection on");

@@ -11,8 +11,7 @@
 //! cargo run --release --example trace_record_replay
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use scord::core::{
     AccessEffects, Detector, DetectorConfig, DetectorError, MemAccess, RaceLog, RecordingDetector,
@@ -27,7 +26,7 @@ use scord::suite::Benchmark;
 #[derive(Debug)]
 struct SharedTee {
     inner: RecordingDetector<ScordDetector>,
-    out: Rc<RefCell<Trace>>,
+    out: Arc<Mutex<Trace>>,
 }
 
 impl Detector for SharedTee {
@@ -42,7 +41,7 @@ impl Detector for SharedTee {
     }
     fn on_access(&mut self, access: &MemAccess) -> Result<AccessEffects, DetectorError> {
         let effects = self.inner.on_access(access);
-        *self.out.borrow_mut() = self.inner.trace().clone();
+        *self.out.lock().expect("trace lock") = self.inner.trace().clone();
         effects
     }
     fn races(&self) -> &RaceLog {
@@ -58,8 +57,8 @@ impl Detector for SharedTee {
 
 fn main() {
     // 1. Record: run racey Reduction on the simulator with a recording tee.
-    let shared = Rc::new(RefCell::new(Trace::new()));
-    let out = Rc::clone(&shared);
+    let shared = Arc::new(Mutex::new(Trace::new()));
+    let out = Arc::clone(&shared);
     let cfg = GpuConfig::paper_default().with_detection(DetectionMode::base_design());
     let mut gpu = Gpu::with_detector_factory(cfg, move |dc| {
         Box::new(SharedTee {
@@ -76,7 +75,7 @@ fn main() {
     };
     app.run(&mut gpu).expect("RED runs");
     let live_races = gpu.races().unwrap().unique_count();
-    let trace = shared.borrow().clone();
+    let trace = shared.lock().expect("trace lock").clone();
     println!(
         "recorded {} events from racey RED; live detection found {live_races} unique races",
         trace.len()

@@ -21,7 +21,7 @@ fn metadata_overheads_match_abstract() {
 
 #[test]
 fn fig8_shape_caching_helps_and_overhead_is_bounded() {
-    let rows = scord_harness::fig8::run(true);
+    let rows = scord_harness::fig8::run(true, scord_harness::Jobs::serial());
     // Base design ≥ ScoRD on average (metadata caching helps performance,
     // §V-A) and the mean overhead stays within a plausible band of the
     // paper's 35%.
@@ -42,7 +42,7 @@ fn fig8_shape_caching_helps_and_overhead_is_bounded() {
 
 #[test]
 fn fig9_shape_metadata_traffic_shrinks_16x_ish() {
-    let rows = scord_harness::fig9::run(true);
+    let rows = scord_harness::fig9::run(true, scord_harness::Jobs::serial());
     let base_md: f64 = rows.iter().map(|r| r.base_md).sum();
     let scord_md: f64 = rows.iter().map(|r| r.scord_md).sum();
     assert!(
@@ -53,7 +53,7 @@ fn fig9_shape_metadata_traffic_shrinks_16x_ish() {
 
 #[test]
 fn table7_shape_false_positives_grow_with_granularity() {
-    let rows = scord_harness::table7::run(true);
+    let rows = scord_harness::table7::run(true, scord_harness::Jobs::serial());
     let sum =
         |f: &dyn Fn(&scord_harness::table7::Row) -> usize| -> usize { rows.iter().map(f).sum() };
     assert_eq!(sum(&|r| r.g4), 0, "4-byte tracking has no false positives");
@@ -70,7 +70,8 @@ fn table7_shape_false_positives_grow_with_granularity() {
 
 #[test]
 fn table6_shape_base_catches_everything_quick() {
-    let rows = scord_harness::table6::run(true).expect("quick workloads simulate cleanly");
+    let rows = scord_harness::table6::run(true, scord_harness::Jobs::serial())
+        .expect("quick workloads simulate cleanly");
     let micro = rows
         .iter()
         .find(|r| r.workload == "Microbenchmarks")
