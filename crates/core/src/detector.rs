@@ -23,7 +23,7 @@ use scord_isa::Scope;
 use crate::{
     build_store, AccessKind, Accessor, AtomKind, DetectorConfig, DetectorError, FaultInjector,
     FaultKind, FaultStats, FenceCounters, FenceFile, LockTables, MemAccess, MetadataStore,
-    RaceKind, RaceLog, RaceReport,
+    RaceKind, RaceLog, RaceReport, Trace,
 };
 
 /// Per-access outcome, consumed by the timing model.
@@ -85,6 +85,13 @@ pub trait Detector: std::fmt::Debug + Send {
     /// Fault-injection counters, when the detector runs under a
     /// [`crate::FaultPlan`]. `None` for detectors without an injector.
     fn fault_stats(&self) -> Option<&FaultStats> {
+        None
+    }
+
+    /// The event trace accumulated so far, for detectors that record one
+    /// (see [`crate::RecordingDetector`]). `None` for non-recording
+    /// detectors.
+    fn trace(&self) -> Option<&Trace> {
         None
     }
 }

@@ -1,0 +1,614 @@
+//! Seeded random trace generator for differential testing.
+//!
+//! [`FuzzConfig::generate`] emits a small multi-block, multi-warp
+//! [`Trace`] mixing the idioms of the paper's microbenchmark suite:
+//! scoped fences, scoped atomics, `atomicCAS`+fence lock acquires,
+//! fence+`atomicExch` releases, fence-then-flag producer/consumer
+//! publication (the suite's `grid_sync` shape), barriers, warp
+//! reassignment and kernel boundaries.
+//!
+//! Races are injected by *decision*, not by construction: every
+//! synchronisation choice (fence scope, fence presence, access
+//! strength, lock discipline, flag-slot reuse) is made correctly
+//! unless a draw against [`FuzzConfig::race_pct`] flips it. At
+//! `race_pct = 0` the generated program is well-synchronised under
+//! both the scoped happens-before *and* the lockset discipline — any
+//! detector report on such a trace is a false positive — while higher
+//! rates mix wrongly-scoped fences, missing fences, weak accesses,
+//! unguarded critical-section data and flag reuse into otherwise
+//! correct idioms.
+//!
+//! Every decision draws from one [`SplitMix64`] stream, so a seed
+//! reproduces the byte-identical trace on any platform: a divergence
+//! report only needs `(seed, case)` to be replayable, and
+//! [`Trace::to_text`] makes it shareable.
+//!
+//! The address space is partitioned so a differential classifier can
+//! tell idioms apart by address alone: contended shared words (only
+//! touched by *wrong* decisions and atomics), lock words, lock-guarded
+//! data words (lock *i* guards exactly guard word *i*), publication
+//! flags, published payload words, a free-for-all atomic pool, and
+//! per-warp private words. The pools are deliberately cramped because
+//! small state spaces collide: lock-table evictions, metadata-cache
+//! aliasing and cross-block scope mistakes all need *repeat* traffic
+//! to show up.
+
+use scord_isa::Scope;
+
+use crate::fault::SplitMix64;
+use crate::{AccessKind, Accessor, AtomKind, MemAccess, Trace, TraceEvent};
+
+/// Base of the contended shared-data pool (wrong-decision traffic and
+/// the occasional atomic land here).
+pub const DATA_BASE: u64 = 0x1000;
+/// Base of the lock words (CAS/Exch targets).
+pub const LOCK_BASE: u64 = 0x2000;
+/// Base of the lock-guarded data words; guard word *i* belongs to lock *i*.
+pub const GUARD_BASE: u64 = 0x3000;
+/// Base of the producer/consumer publication flags.
+pub const FLAG_BASE: u64 = 0x4000;
+/// Base of the published payload words (one per flag).
+pub const PUB_BASE: u64 = 0x5000;
+/// Base of the free-for-all atomic pool.
+pub const ATOM_BASE: u64 = 0x6000;
+/// Base of the per-warp private words (64 words per warp slot).
+pub const PRIV_BASE: u64 = 0x8000;
+
+/// Shape and mischief level of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// SMs used (1..=15 under the paper geometry).
+    pub sms: u8,
+    /// Blocks resident per SM (1..=8; block slot `sm * 8 + block`).
+    pub blocks_per_sm: u8,
+    /// Warps per block (`blocks_per_sm * warps_per_block` ≤ 32 per SM).
+    pub warps_per_block: u8,
+    /// Contended shared data words.
+    pub shared_words: u32,
+    /// Lock words; lock *i* guards guard word *i*.
+    pub locks: u32,
+    /// Producer/consumer flag (and payload) words reused by *wrong*
+    /// publication rounds; correct rounds take a fresh slot.
+    pub flags: u32,
+    /// Target number of events (multi-event idioms overshoot slightly).
+    pub events: u32,
+    /// Percent of synchronisation decisions deliberately made wrong —
+    /// the race-injection rate. 0 generates only well-synchronised
+    /// programs; 100 generates chaos.
+    pub race_pct: u32,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            sms: 2,
+            blocks_per_sm: 2,
+            warps_per_block: 2,
+            shared_words: 6,
+            locks: 2,
+            flags: 2,
+            events: 240,
+            race_pct: 30,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// Generates one trace. The same `(config, seed)` pair always
+    /// produces the identical event sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not fit the paper geometry
+    /// (see the field docs) or has an empty address pool.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(
+            (1..=15).contains(&self.sms),
+            "sms must be in 1..=15, got {}",
+            self.sms
+        );
+        assert!(
+            (1..=8).contains(&self.blocks_per_sm),
+            "blocks_per_sm must be in 1..=8, got {}",
+            self.blocks_per_sm
+        );
+        assert!(
+            self.warps_per_block >= 1
+                && u32::from(self.blocks_per_sm) * u32::from(self.warps_per_block) <= 32,
+            "warps_per_block must be >= 1 with blocks_per_sm * warps_per_block <= 32"
+        );
+        assert!(
+            self.shared_words >= 1 && self.locks >= 1 && self.flags >= 1,
+            "every address pool needs at least one word"
+        );
+        let mut g = Gen::new(self, SplitMix64::new(seed));
+        g.assign_all_warps();
+        while g.trace.len() < self.events as usize {
+            g.step();
+        }
+        g.trace
+    }
+}
+
+/// One warp incarnation's generator-side state.
+struct Warp {
+    who: Accessor,
+    /// Lock indices this warp holds (CAS emitted; release pending).
+    held: Vec<u32>,
+    /// Incarnation counter: reassignment moves the warp to a fresh
+    /// private range, like a new block getting new thread-local data.
+    inc: u32,
+}
+
+struct Gen<'a> {
+    cfg: &'a FuzzConfig,
+    rng: SplitMix64,
+    trace: Trace,
+    pc: u32,
+    warps: Vec<Warp>,
+    /// Lock index → holding warp, so acquires stay mutually exclusive
+    /// (races come from scope mistakes, not from broken lock logic).
+    owner: Vec<Option<usize>>,
+    /// Next fresh publication slot for correctly-synchronised rounds.
+    pub_next: u64,
+}
+
+impl<'a> Gen<'a> {
+    fn new(cfg: &'a FuzzConfig, rng: SplitMix64) -> Self {
+        let mut warps = Vec::new();
+        for sm in 0..cfg.sms {
+            for b in 0..cfg.blocks_per_sm {
+                for w in 0..cfg.warps_per_block {
+                    warps.push(Warp {
+                        who: Accessor {
+                            sm,
+                            block_slot: sm * 8 + b,
+                            warp_slot: b * cfg.warps_per_block + w,
+                        },
+                        held: Vec::new(),
+                        inc: 0,
+                    });
+                }
+            }
+        }
+        Gen {
+            cfg,
+            rng,
+            trace: Trace::new(),
+            pc: 0x400,
+            warps,
+            owner: vec![None; cfg.locks as usize],
+            pub_next: 0,
+        }
+    }
+
+    /// Draws one wrong/right synchronisation decision.
+    fn wrong(&mut self) -> bool {
+        self.rng.below(100) < u64::from(self.cfg.race_pct)
+    }
+
+    fn fresh_pc(&mut self) -> u32 {
+        let pc = self.pc;
+        self.pc += 4;
+        pc
+    }
+
+    fn pick_warp(&mut self) -> usize {
+        self.rng.below(self.warps.len() as u64) as usize
+    }
+
+    /// A warp holding no locks, if any exist (lock-holders carry a lock
+    /// bloom that would taint unrelated idioms' metadata).
+    fn pick_free_warp(&mut self) -> Option<usize> {
+        let free: Vec<usize> = (0..self.warps.len())
+            .filter(|&i| self.warps[i].held.is_empty())
+            .collect();
+        if free.is_empty() {
+            return None;
+        }
+        Some(free[self.rng.below(free.len() as u64) as usize])
+    }
+
+    fn emit_access(&mut self, w: usize, kind: AccessKind, addr: u64, strong: bool) {
+        let pc = self.fresh_pc();
+        self.trace.push(TraceEvent::Access(MemAccess {
+            kind,
+            addr,
+            strong,
+            pc,
+            who: self.warps[w].who,
+        }));
+    }
+
+    fn emit_fence(&mut self, w: usize, scope: Scope) {
+        let who = self.warps[w].who;
+        self.trace.push(TraceEvent::Fence {
+            sm: who.sm,
+            warp_slot: who.warp_slot,
+            scope,
+        });
+    }
+
+    /// Emits the device fence a correct idiom wants here; a wrong
+    /// decision narrows it to block scope or drops it entirely.
+    fn sync_fence(&mut self, w: usize) {
+        if self.wrong() {
+            if self.rng.next_bool() {
+                self.emit_fence(w, Scope::Block);
+            }
+            // else: no fence at all.
+        } else {
+            self.emit_fence(w, Scope::Device);
+        }
+    }
+
+    fn assign_all_warps(&mut self) {
+        for i in 0..self.warps.len() {
+            let who = self.warps[i].who;
+            self.trace.push(TraceEvent::WarpAssigned {
+                sm: who.sm,
+                warp_slot: who.warp_slot,
+            });
+        }
+    }
+
+    fn load_or_store(&mut self) -> AccessKind {
+        if self.rng.next_bool() {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        }
+    }
+
+    fn step(&mut self) {
+        match self.rng.below(100) {
+            0..=33 => self.plain_access(),
+            34..=43 => self.lone_fence(),
+            44..=53 => self.atomic_op(),
+            54..=63 => self.lock_acquire(),
+            64..=71 => self.lock_release(),
+            72..=79 => self.critical_access(),
+            80..=85 => self.rogue_guard_access(),
+            86..=90 => self.barrier(),
+            91..=95 => self.producer_consumer(),
+            96..=97 => self.kernel_boundary(),
+            _ => self.reassign_warp(),
+        }
+    }
+
+    /// A load/store. Correct decisions stay on the warp's private words
+    /// (program-ordered by definition); wrong ones hit the contended
+    /// shared pool, sometimes weakly — unordered conflicts either way.
+    fn plain_access(&mut self) {
+        let w = self.pick_warp();
+        let kind = self.load_or_store();
+        if self.wrong() {
+            let addr = DATA_BASE + 4 * self.rng.below(u64::from(self.cfg.shared_words));
+            let strong = !self.wrong();
+            self.emit_access(w, kind, addr, strong);
+        } else {
+            let word = self.rng.below(8);
+            let warp = &self.warps[w];
+            let addr = PRIV_BASE + 4 * (w as u64 * 64 + u64::from(warp.inc % 8) * 8 + word);
+            self.emit_access(w, kind, addr, true);
+        }
+    }
+
+    fn lone_fence(&mut self) {
+        let w = self.pick_warp();
+        let scope = if self.wrong() {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        self.emit_fence(w, scope);
+    }
+
+    /// A scoped atomic on the free-for-all pool (occasionally on the
+    /// contended pool, where it meets wrongly-placed plain accesses).
+    /// Adequately-scoped atomics to one location order themselves; a
+    /// wrong decision narrows the scope to block, which is invisible
+    /// across blocks (Table IV (d)).
+    fn atomic_op(&mut self) {
+        let w = self.pick_warp();
+        let addr = if self.rng.below(4) == 0 {
+            DATA_BASE + 4 * self.rng.below(u64::from(self.cfg.shared_words))
+        } else {
+            ATOM_BASE + 4 * self.rng.below(u64::from(self.cfg.locks + self.cfg.flags))
+        };
+        let scope = if self.wrong() {
+            Scope::Block
+        } else {
+            Scope::Device
+        };
+        self.emit_access(
+            w,
+            AccessKind::Atomic {
+                kind: AtomKind::Other,
+                scope,
+            },
+            addr,
+            true,
+        );
+    }
+
+    /// `atomicCAS(lock)` + fence: the paper's lock-acquire idiom. A
+    /// wrong decision block-scopes the activating fence or drops it
+    /// (the lock then never activates in the lock table).
+    fn lock_acquire(&mut self) {
+        let lock = self.rng.below(u64::from(self.cfg.locks)) as u32;
+        if self.owner[lock as usize].is_some() {
+            return;
+        }
+        let w = self.pick_warp();
+        self.emit_access(
+            w,
+            AccessKind::Atomic {
+                kind: AtomKind::Cas,
+                scope: Scope::Device,
+            },
+            LOCK_BASE + 4 * u64::from(lock),
+            true,
+        );
+        self.sync_fence(w);
+        self.owner[lock as usize] = Some(w);
+        self.warps[w].held.push(lock);
+    }
+
+    /// Fence + `atomicExch(lock)`: the release idiom. A wrong decision
+    /// drops or mis-scopes the pre-release fence, so the next holder
+    /// is not ordered after this critical section.
+    fn lock_release(&mut self) {
+        let Some((w, lock)) = self.random_held() else {
+            return;
+        };
+        self.sync_fence(w);
+        self.emit_access(
+            w,
+            AccessKind::Atomic {
+                kind: AtomKind::Exch,
+                scope: Scope::Device,
+            },
+            LOCK_BASE + 4 * u64::from(lock),
+            true,
+        );
+        self.warps[w].held.retain(|&l| l != lock);
+        self.owner[lock as usize] = None;
+    }
+
+    fn random_held(&mut self) -> Option<(usize, u32)> {
+        let holders: Vec<usize> = (0..self.warps.len())
+            .filter(|&i| !self.warps[i].held.is_empty())
+            .collect();
+        if holders.is_empty() {
+            return None;
+        }
+        let w = holders[self.rng.below(holders.len() as u64) as usize];
+        let held = &self.warps[w].held;
+        let lock = held[self.rng.below(held.len() as u64) as usize];
+        Some((w, lock))
+    }
+
+    /// An in-critical-section access to the guard word of a held lock.
+    fn critical_access(&mut self) {
+        let Some((w, lock)) = self.random_held() else {
+            self.plain_access();
+            return;
+        };
+        let kind = self.load_or_store();
+        self.emit_access(w, kind, GUARD_BASE + 4 * u64::from(lock), true);
+    }
+
+    /// The classic lockset violation: an access to some lock's guard
+    /// word *without* holding the lock. Only fires as an injected wrong
+    /// decision; otherwise it degrades to a plain access.
+    fn rogue_guard_access(&mut self) {
+        if !self.wrong() {
+            self.plain_access();
+            return;
+        }
+        let w = self.pick_warp();
+        let lock = self.rng.below(u64::from(self.cfg.locks));
+        let kind = self.load_or_store();
+        self.emit_access(w, kind, GUARD_BASE + 4 * lock, true);
+    }
+
+    fn barrier(&mut self) {
+        let w = self.pick_warp();
+        let who = self.warps[w].who;
+        self.trace.push(TraceEvent::Barrier {
+            sm: who.sm,
+            block_slot: who.block_slot,
+        });
+    }
+
+    /// Store payload, fence, `atomicExch` a flag; a second warp then
+    /// polls the flag atomically and reads the payload — the suite's
+    /// `grid_sync` publication shape. Correct rounds take a fresh
+    /// payload/flag slot; wrong decisions reuse a slot from the small
+    /// pool (write-after-read conflicts), mis-scope or drop the fence,
+    /// weaken the payload accesses, or publish the flag with a plain
+    /// store instead of an atomic.
+    fn producer_consumer(&mut self) {
+        let (Some(p), Some(c)) = (self.pick_free_warp(), self.pick_free_warp()) else {
+            self.plain_access();
+            return;
+        };
+        let slot = if self.wrong() {
+            self.rng.below(u64::from(self.cfg.flags))
+        } else {
+            let s = self.pub_next;
+            self.pub_next += 1;
+            s
+        };
+        let payload = PUB_BASE + 4 * slot;
+        let flag = FLAG_BASE + 4 * slot;
+        let strong_payload = !self.wrong();
+        self.emit_access(p, AccessKind::Store, payload, strong_payload);
+        self.sync_fence(p);
+        if self.wrong() {
+            self.emit_access(p, AccessKind::Store, flag, true);
+        } else {
+            self.emit_access(
+                p,
+                AccessKind::Atomic {
+                    kind: AtomKind::Exch,
+                    scope: Scope::Device,
+                },
+                flag,
+                true,
+            );
+        }
+        self.emit_access(
+            c,
+            AccessKind::Atomic {
+                kind: AtomKind::Other,
+                scope: Scope::Device,
+            },
+            flag,
+            true,
+        );
+        self.emit_access(c, AccessKind::Load, payload, strong_payload);
+    }
+
+    /// Kernel boundary: device-wide synchronisation. All locks drop and
+    /// every warp slot is reassigned for the next launch.
+    fn kernel_boundary(&mut self) {
+        self.trace.push(TraceEvent::KernelBoundary);
+        for warp in &mut self.warps {
+            warp.held.clear();
+        }
+        for o in &mut self.owner {
+            *o = None;
+        }
+        self.assign_all_warps();
+    }
+
+    /// Reassigns one warp slot mid-kernel: a fresh incarnation reuses
+    /// the hardware slot (ScoRD then aliases it to the old one in
+    /// program order) but gets a fresh private range. Held locks are
+    /// abandoned, not released.
+    fn reassign_warp(&mut self) {
+        let w = self.pick_warp();
+        for &lock in &self.warps[w].held {
+            self.owner[lock as usize] = None;
+        }
+        self.warps[w].held.clear();
+        self.warps[w].inc += 1;
+        let who = self.warps[w].who;
+        self.trace.push(TraceEvent::WarpAssigned {
+            sm: who.sm,
+            warp_slot: who.warp_slot,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleDetector;
+    use crate::{Detector, DetectorConfig, ScordDetector};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = FuzzConfig::default();
+        let a = cfg.generate(42);
+        let b = cfg.generate(42);
+        assert_eq!(a.to_text(), b.to_text());
+        let c = cfg.generate(43);
+        assert_ne!(a.to_text(), c.to_text(), "different seeds diverge");
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let trace = FuzzConfig::default().generate(7);
+        let text = trace.to_text();
+        let back = Trace::from_text(&text).expect("generated traces parse");
+        assert_eq!(trace.events(), back.events());
+    }
+
+    #[test]
+    fn replays_cleanly_into_scord() {
+        let trace = FuzzConfig::default().generate(11);
+        let mut det = ScordDetector::new(DetectorConfig::paper_default(1 << 20));
+        trace
+            .replay(&mut det)
+            .expect("fuzz traces satisfy the geometry invariants");
+    }
+
+    #[test]
+    fn race_free_config_is_clean_under_scord_and_oracle() {
+        // race_pct 0: every fence device-scoped, every access strong,
+        // guard words only touched under their lock, publication via
+        // fresh slots and atomic flags. Neither the lossy detector nor
+        // the precise oracle should report anything.
+        let cfg = FuzzConfig {
+            race_pct: 0,
+            events: 400,
+            ..FuzzConfig::default()
+        };
+        for seed in 0..8 {
+            let trace = cfg.generate(seed);
+            let mut det = ScordDetector::new(DetectorConfig::paper_default(1 << 20));
+            trace.replay(&mut det).expect("valid trace");
+            assert_eq!(
+                det.races().unique_count(),
+                0,
+                "seed {seed}: ScoRD must be clean on a well-synchronised trace"
+            );
+            let mut oracle = OracleDetector::new(DetectorConfig::paper_default(1 << 20).geometry);
+            trace.replay(&mut oracle).expect("valid trace");
+            assert_eq!(
+                oracle.races().unique_count(),
+                0,
+                "seed {seed}: oracle must be clean on a well-synchronised trace"
+            );
+        }
+    }
+
+    #[test]
+    fn racey_config_produces_races() {
+        let cfg = FuzzConfig {
+            race_pct: 60,
+            ..FuzzConfig::default()
+        };
+        let mut total = 0;
+        for seed in 0..8 {
+            let trace = cfg.generate(seed);
+            let mut oracle = OracleDetector::new(DetectorConfig::paper_default(1 << 20).geometry);
+            trace.replay(&mut oracle).expect("valid trace");
+            total += oracle.races().unique_count();
+        }
+        assert!(total > 0, "high injection rate must surface races");
+    }
+
+    #[test]
+    fn respects_geometry_bounds() {
+        let cfg = FuzzConfig {
+            sms: 15,
+            blocks_per_sm: 8,
+            warps_per_block: 4,
+            ..FuzzConfig::default()
+        };
+        let trace = cfg.generate(3);
+        for ev in trace.events() {
+            if let TraceEvent::Access(a) = ev {
+                assert!(a.who.sm < 15);
+                assert!(a.who.block_slot / 8 == a.who.sm);
+                assert!(a.who.warp_slot < 32);
+                assert_eq!(a.addr % 4, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks_per_sm")]
+    fn rejects_oversized_geometry() {
+        let cfg = FuzzConfig {
+            blocks_per_sm: 9,
+            ..FuzzConfig::default()
+        };
+        let _ = cfg.generate(0);
+    }
+}

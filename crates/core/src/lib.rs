@@ -34,8 +34,10 @@ mod error;
 mod event;
 pub mod fault;
 mod fence_file;
+pub mod fuzz;
 mod lock_table;
 mod metadata;
+pub mod oracle;
 mod report;
 mod store;
 mod trace;
@@ -49,8 +51,10 @@ pub use fault::{
     EventAction, FaultInjector, FaultKind, FaultKindSet, FaultPlan, FaultStats, SplitMix64,
 };
 pub use fence_file::{FenceCounters, FenceFile};
+pub use fuzz::FuzzConfig;
 pub use lock_table::{bloom_bit, lock_hash, LockTable, LockTables};
 pub use metadata::{MetadataEntry, BLOCK_ID_BITS, WARP_ID_BITS};
+pub use oracle::{OracleAccess, OracleDetector, OracleRace, OrderReason, VectorClock};
 pub use report::{RaceKind, RaceLog, RaceReport};
 pub use store::{build_store, CachedStore, FullStore, MetadataLookup, MetadataStore};
-pub use trace::{ParseTraceError, RecordingDetector, Trace, TraceEvent};
+pub use trace::{ParseTraceError, RecordingDetector, ReplayError, Trace, TraceEvent};

@@ -1,0 +1,950 @@
+//! A precise, scope-aware happens-before reference detector.
+//!
+//! ScoRD is deliberately lossy hardware: 16-bit lock blooms collide, 6-bit
+//! fence counters wrap, the metadata word remembers only the *last* accessor,
+//! and hardware slot ids alias when blocks are redispatched. Measuring those
+//! losses (paper §V-D) needs an **exact** detector over the same event
+//! stream. This module provides one: [`OracleDetector`] replays a
+//! [`crate::Trace`] with per-thread vector clocks, scoped release/acquire
+//! edges, exact lock sets and full per-address access history — no blooms,
+//! no slot truncation, no single-owner overwrites.
+//!
+//! ## The oracle's ordering model
+//!
+//! A *thread* is one incarnation of a hardware warp slot: a
+//! [`TraceEvent::WarpAssigned`](crate::TraceEvent) event retires the slot's
+//! previous thread and starts a fresh one (this is what makes slot-reuse
+//! aliasing visible as a divergence). Two conflicting accesses `X` (earlier)
+//! and `Y` (later, in trace order) are **ordered** iff one of:
+//!
+//! 1. **program order** — same thread (same slot *and* same incarnation);
+//! 2. **barrier order** — `X`'s clock is covered by `Y`'s thread's
+//!    barrier-derived vector clock (`__syncthreads` joins every thread of the
+//!    block; a kernel boundary resets all history device-wide);
+//! 3. **scoped-fence order** — both `X` and `Y` are strong (volatile or
+//!    atomic) and `X`'s clock is covered by `Y`'s thread's fence-derived
+//!    vector clock. A fence by thread `t` at block scope *releases* `t`'s
+//!    clock into its block's channel; at device scope into the device
+//!    channel. Every **strong** access *acquires* the device channel plus
+//!    its own block's channel. Block-scoped syncs therefore order only
+//!    same-block threads while device-scoped syncs order all — and ordering
+//!    is transitive through chains of fences, which ScoRD's pairwise
+//!    counter check cannot see;
+//! 4. **adequately-scoped atomic** — `X` is an atomic whose scope covers
+//!    `Y`'s block (device scope, or block scope with `Y` in the same block)
+//!    and `Y` is strong: atomics take effect at the scope's point of
+//!    coherence, so no fence is needed for the *same-location* pair.
+//!
+//! Weak (non-volatile) accesses never participate in fence edges — the
+//! compiler and write path are free to move them across fences — so a weak
+//! access conflicting across threads races unless barrier-ordered, exactly
+//! as the paper's Table IV (c) intends.
+//!
+//! ## Race checks
+//!
+//! Per access `Y` on address `a` the oracle checks, pairwise and exactly:
+//!
+//! * `Y` against the last write to `a` (loads and writes both);
+//! * a write `Y` against **every** read of `a` since that write (ScoRD only
+//!   remembers the last one — the single-owner metadata word);
+//! * the scoped-lockset rule on the *last* accessor `Z` of `a`, mirroring
+//!   Table IV (e)/(f) with exact `(lock address, scope)` sets: if neither
+//!   side is an atomic, the pair is not program/barrier ordered, the two
+//!   lock sets are jointly non-empty but disjoint, and the pair conflicts
+//!   (`Y` store, or `Z` wrote), the access is reported. Lock sets come from
+//!   exact CAS+fence / fence+EXCH inference with unbounded tables.
+//!
+//! The lock-inference side effects mirror [`crate::LockTable`] without the
+//! capacity limit: `atomicCAS` registers a pending acquire, a fence of
+//! matching-or-wider scope activates it, `atomicExch` releases it.
+
+use std::collections::HashMap;
+
+use scord_isa::Scope;
+
+use crate::{
+    AccessEffects, AccessKind, Accessor, AtomKind, Detector, DetectorError, Geometry, MemAccess,
+    RaceKind, RaceLog, RaceReport,
+};
+
+/// A growable vector clock indexed by oracle thread id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    /// The clock component for `thread` (0 when never joined).
+    #[must_use]
+    pub fn get(&self, thread: usize) -> u32 {
+        self.0.get(thread).copied().unwrap_or(0)
+    }
+
+    /// Sets `thread`'s component to `value` (grows as needed).
+    pub fn set(&mut self, thread: usize, value: u32) {
+        if self.0.len() <= thread {
+            self.0.resize(thread + 1, 0);
+        }
+        self.0[thread] = value;
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(&other.0) {
+            *s = (*s).max(*o);
+        }
+    }
+}
+
+/// Why the oracle considers a pair of accesses ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderReason {
+    /// Same thread (same hardware slot and incarnation).
+    ProgramOrder,
+    /// Barrier / kernel-boundary vector clock covers the earlier access.
+    Barrier,
+    /// Scoped-fence vector clock covers the earlier access (both strong).
+    Fence,
+    /// The earlier access is an atomic whose scope covers the later one.
+    AtomicScope,
+}
+
+/// One access as the oracle recorded it.
+///
+/// The `sync`/`hb` snapshots are the accessing thread's vector clocks *at
+/// this access* (after channel acquisition), so
+/// [`OracleDetector::ordered_pair`] can re-derive any ordering decision
+/// post-hoc — divergence classifiers rely on this.
+#[derive(Debug, Clone)]
+pub struct OracleAccess {
+    /// Index of the driving event within the replayed stream.
+    pub event: usize,
+    /// Kernel epoch (incremented by each kernel boundary).
+    pub epoch: usize,
+    /// Oracle thread id (warp-slot incarnation).
+    pub thread: usize,
+    /// The thread's clock at this access.
+    pub clock: u32,
+    /// The underlying access.
+    pub access: MemAccess,
+    /// Effective strength (volatile or atomic).
+    pub strong: bool,
+    /// Exact `(lock address, scope)` pairs held (active) at access time.
+    pub locks: Vec<(u64, Scope)>,
+    /// Barrier-derived vector clock at access time.
+    pub sync: VectorClock,
+    /// Fence-derived vector clock at access time.
+    pub hb: VectorClock,
+}
+
+/// One exact race: a later access conflicting with an earlier one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleRace {
+    /// Classification, using the same vocabulary as ScoRD's reports.
+    pub kind: RaceKind,
+    /// Index into [`OracleDetector::accesses`] of the later access.
+    pub later: usize,
+    /// Index into [`OracleDetector::accesses`] of the earlier access.
+    pub earlier: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Thread {
+    /// Global block slot the thread is currently mapped to (learned from
+    /// its accesses; `None` until the first one).
+    block: Option<u8>,
+    clock: u32,
+    /// Barrier/kernel-boundary-derived clock (orders any strength).
+    sync: VectorClock,
+    /// Fence-derived clock (superset of `sync`; orders strong pairs only).
+    hb: VectorClock,
+    /// Exact active locks: acquired via CAS + fence, not yet released.
+    held: Vec<(u64, Scope)>,
+    /// CAS'd lock candidates not yet activated by a fence.
+    pending: Vec<(u64, Scope)>,
+}
+
+impl Thread {
+    fn new() -> Self {
+        Thread {
+            block: None,
+            clock: 0,
+            sync: VectorClock::default(),
+            hb: VectorClock::default(),
+            held: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn bump(&mut self, id: usize) {
+        self.clock += 1;
+        self.sync.set(id, self.clock);
+        self.hb.set(id, self.clock);
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct AddrState {
+    /// Index of the last write access (into `accesses`).
+    last_write: Option<usize>,
+    /// Every read since the last write.
+    readers: Vec<usize>,
+    /// The most recent access of any kind — the lockset partner, mirroring
+    /// what ScoRD's single metadata word would describe.
+    last_access: Option<usize>,
+}
+
+/// The exact reference detector. See the module docs for the model.
+///
+/// Drive it through the [`Detector`] trait (e.g. with
+/// [`crate::Trace::replay`]); then read [`races`](Detector::races) for
+/// ScoRD-shaped reports or [`detailed_races`](OracleDetector::detailed_races)
+/// / [`accesses`](OracleDetector::accesses) for the exact pairs.
+#[derive(Debug)]
+pub struct OracleDetector {
+    geometry: Geometry,
+    threads: Vec<Thread>,
+    /// Current incarnation per hardware slot `(sm, warp_slot)`.
+    slots: HashMap<(u8, u8), usize>,
+    /// Per-block-slot release channels.
+    block_channel: HashMap<u8, VectorClock>,
+    /// Device-wide release channel.
+    device_channel: VectorClock,
+    /// Per-block barrier legacy: the joined (sync, hb) clocks of the
+    /// block's latest barrier. Every thread of a block participates in its
+    /// `__syncthreads`, including warps that have not issued a memory
+    /// access yet — such a warp inherits the legacy when it first maps
+    /// into the block, instead of spuriously racing with pre-barrier
+    /// accesses (which ScoRD correctly treats as barrier-separated).
+    block_legacy: HashMap<u8, (VectorClock, VectorClock)>,
+    addrs: HashMap<u64, AddrState>,
+    accesses: Vec<OracleAccess>,
+    detailed: Vec<OracleRace>,
+    races: RaceLog,
+    /// Events consumed so far (indexes the driving stream).
+    events_seen: usize,
+    /// Kernel epoch (bumped by each kernel boundary).
+    epoch: usize,
+}
+
+impl OracleDetector {
+    /// Creates an oracle for `geometry`.
+    #[must_use]
+    pub fn new(geometry: Geometry) -> Self {
+        OracleDetector {
+            geometry,
+            threads: Vec::new(),
+            slots: HashMap::new(),
+            block_channel: HashMap::new(),
+            device_channel: VectorClock::default(),
+            block_legacy: HashMap::new(),
+            addrs: HashMap::new(),
+            accesses: Vec::new(),
+            detailed: Vec::new(),
+            races: RaceLog::new(usize::MAX),
+            events_seen: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Re-derives the ordering verdict for two recorded accesses, using
+    /// the vector-clock snapshots taken at `y`'s access time. `x` must
+    /// precede `y` in stream order. Accesses from different kernel epochs
+    /// are always ordered (a kernel boundary is a device-wide sync).
+    #[must_use]
+    pub fn ordered_pair(x: &OracleAccess, y: &OracleAccess) -> Option<OrderReason> {
+        if x.epoch != y.epoch {
+            return Some(OrderReason::Barrier);
+        }
+        if x.thread == y.thread {
+            return Some(OrderReason::ProgramOrder);
+        }
+        if x.clock <= y.sync.get(x.thread) {
+            return Some(OrderReason::Barrier);
+        }
+        if let AccessKind::Atomic { scope, .. } = x.access.kind {
+            let covered =
+                scope == Scope::Device || x.access.who.block_slot == y.access.who.block_slot;
+            return if covered && y.strong {
+                Some(OrderReason::AtomicScope)
+            } else {
+                None
+            };
+        }
+        if x.strong && y.strong && x.clock <= y.hb.get(x.thread) {
+            return Some(OrderReason::Fence);
+        }
+        None
+    }
+
+    /// Every access consumed, in stream order.
+    #[must_use]
+    pub fn accesses(&self) -> &[OracleAccess] {
+        &self.accesses
+    }
+
+    /// Every exact race found, with both pair members resolved.
+    #[must_use]
+    pub fn detailed_races(&self) -> &[OracleRace] {
+        &self.detailed
+    }
+
+    /// Number of events consumed.
+    #[must_use]
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    fn thread_for(&mut self, sm: u8, warp_slot: u8) -> usize {
+        if let Some(&id) = self.slots.get(&(sm, warp_slot)) {
+            return id;
+        }
+        let id = self.threads.len();
+        self.threads.push(Thread::new());
+        self.slots.insert((sm, warp_slot), id);
+        id
+    }
+
+    fn validate_warp(&self, sm: u8, warp_slot: u8) -> Result<(), DetectorError> {
+        let g = &self.geometry;
+        if u32::from(sm) >= g.num_sms {
+            return Err(DetectorError::SmOutOfRange {
+                sm,
+                num_sms: g.num_sms,
+            });
+        }
+        if u32::from(warp_slot) >= g.warps_per_sm {
+            return Err(DetectorError::WarpOutOfRange {
+                warp_slot,
+                warps_per_sm: g.warps_per_sm,
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_accessor(&self, who: Accessor) -> Result<(), DetectorError> {
+        self.validate_warp(who.sm, who.warp_slot)?;
+        let g = &self.geometry;
+        if u32::from(who.block_slot) >= g.total_block_slots() {
+            return Err(DetectorError::BlockOutOfRange {
+                block_slot: who.block_slot,
+                total_block_slots: g.total_block_slots(),
+            });
+        }
+        if u32::from(who.block_slot) / g.blocks_per_sm != u32::from(who.sm) {
+            return Err(DetectorError::AccessorInconsistent {
+                who,
+                blocks_per_sm: g.blocks_per_sm,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether (and why) recorded access `x` is ordered before an access by
+    /// `thread` with effective strength `y_strong` in block `y_block`.
+    fn ordered(&self, x: &OracleAccess, thread: usize, y_strong: bool) -> Option<OrderReason> {
+        if x.thread == thread {
+            return Some(OrderReason::ProgramOrder);
+        }
+        let t = &self.threads[thread];
+        if x.clock <= t.sync.get(x.thread) {
+            return Some(OrderReason::Barrier);
+        }
+        if let AccessKind::Atomic { scope, .. } = x.access.kind {
+            // Atomics order at their scope's point of coherence: adequately
+            // scoped, the same-location pair needs no fence; inadequately
+            // scoped, the update is invisible outside the block *whatever
+            // follows it* (Table IV (d)) — fences do not repair it.
+            let y_block = t.block.unwrap_or(u8::MAX);
+            let covered = scope == Scope::Device || x.access.who.block_slot == y_block;
+            return if covered && y_strong {
+                Some(OrderReason::AtomicScope)
+            } else {
+                None
+            };
+        }
+        if x.strong && y_strong && x.clock <= t.hb.get(x.thread) {
+            return Some(OrderReason::Fence);
+        }
+        None
+    }
+
+    /// The race kind for an unordered conflicting pair.
+    fn race_kind(x: &OracleAccess, y: &MemAccess, y_strong: bool) -> RaceKind {
+        if let AccessKind::Atomic { scope, .. } = x.access.kind {
+            if scope == Scope::Block && x.access.who.block_slot != y.who.block_slot {
+                return RaceKind::ScopedAtomic;
+            }
+        }
+        if !(x.strong && y_strong) {
+            return RaceKind::NotStrong;
+        }
+        if x.access.who.block_slot == y.who.block_slot {
+            RaceKind::MissingBlockFence
+        } else {
+            RaceKind::MissingDeviceFence
+        }
+    }
+
+    fn report(&mut self, kind: RaceKind, earlier: usize, later: usize) {
+        self.detailed.push(OracleRace {
+            kind,
+            later,
+            earlier,
+        });
+        let x = &self.accesses[earlier];
+        let y = &self.accesses[later];
+        self.races.record(RaceReport {
+            kind,
+            pc: y.access.pc,
+            addr: y.access.addr,
+            who: y.access.who,
+            prev_block: x.access.who.block_slot,
+            prev_warp: x.access.who.warp_slot,
+            conflict_scope: if x.access.who.block_slot == y.access.who.block_slot {
+                Scope::Block
+            } else {
+                Scope::Device
+            },
+        });
+    }
+}
+
+impl Detector for OracleDetector {
+    fn on_barrier(&mut self, sm: u8, block_slot: u8) -> Result<(), DetectorError> {
+        self.events_seen += 1;
+        let g = &self.geometry;
+        if u32::from(sm) >= g.num_sms {
+            return Err(DetectorError::SmOutOfRange {
+                sm,
+                num_sms: g.num_sms,
+            });
+        }
+        if u32::from(block_slot) >= g.total_block_slots() {
+            return Err(DetectorError::BlockOutOfRange {
+                block_slot,
+                total_block_slots: g.total_block_slots(),
+            });
+        }
+        // Join the barrier participants: every live thread currently mapped
+        // to this block sees every other participant's history, for both the
+        // sync and the fence relation.
+        let participants: Vec<usize> = self
+            .slots
+            .values()
+            .copied()
+            .filter(|&id| self.threads[id].block == Some(block_slot))
+            .collect();
+        // Start from the block's previous legacy so warps that join the
+        // block later (first access still to come) inherit the full
+        // barrier history, not just this round's participants.
+        let (mut sync, mut hb) = self.block_legacy.remove(&block_slot).unwrap_or_default();
+        for &id in &participants {
+            sync.join(&self.threads[id].sync);
+            hb.join(&self.threads[id].hb);
+        }
+        for &id in &participants {
+            self.threads[id].sync = sync.clone();
+            self.threads[id].hb.join(&hb);
+        }
+        self.block_legacy.insert(block_slot, (sync, hb));
+        Ok(())
+    }
+
+    fn on_fence(&mut self, sm: u8, warp_slot: u8, scope: Scope) -> Result<(), DetectorError> {
+        self.events_seen += 1;
+        self.validate_warp(sm, warp_slot)?;
+        let id = self.thread_for(sm, warp_slot);
+        // Activate pending lock acquires of matching-or-lesser scope,
+        // mirroring LockTable::on_fence without the capacity limit.
+        let Thread { held, pending, .. } = &mut self.threads[id];
+        pending.retain(|&(addr, s)| {
+            if scope.includes(s) {
+                if !held.contains(&(addr, s)) {
+                    held.push((addr, s));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        // Release this thread's history into the scope's channel.
+        let hb = self.threads[id].hb.clone();
+        match scope {
+            Scope::Block => {
+                if let Some(block) = self.threads[id].block {
+                    self.block_channel.entry(block).or_default().join(&hb);
+                }
+            }
+            Scope::Device => self.device_channel.join(&hb),
+        }
+        Ok(())
+    }
+
+    fn on_warp_assigned(&mut self, sm: u8, warp_slot: u8) -> Result<(), DetectorError> {
+        self.events_seen += 1;
+        self.validate_warp(sm, warp_slot)?;
+        // A fresh incarnation: a brand-new thread with empty history. The
+        // old incarnation's accesses stay in the address states and can now
+        // race with the new thread's.
+        let id = self.threads.len();
+        self.threads.push(Thread::new());
+        self.slots.insert((sm, warp_slot), id);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn on_access(&mut self, access: &MemAccess) -> Result<AccessEffects, DetectorError> {
+        let event = self.events_seen;
+        self.events_seen += 1;
+        self.validate_accessor(access.who)?;
+        if !access.addr.is_multiple_of(4) {
+            return Err(DetectorError::MisalignedAddress { addr: access.addr });
+        }
+        let who = access.who;
+        let id = self.thread_for(who.sm, who.warp_slot);
+        if self.threads[id].block != Some(who.block_slot) {
+            // First access in this block: the thread was part of the block
+            // since dispatch, so it inherits the block's barrier legacy.
+            self.threads[id].block = Some(who.block_slot);
+            if let Some((sync, hb)) = self.block_legacy.get(&who.block_slot) {
+                let (sync, hb) = (sync.clone(), hb.clone());
+                self.threads[id].sync.join(&sync);
+                self.threads[id].hb.join(&hb);
+            }
+        }
+        self.threads[id].bump(id);
+        let strong = access.effective_strong();
+        if strong {
+            // Acquire: the device channel plus the own block's channel.
+            let dev = self.device_channel.clone();
+            self.threads[id].hb.join(&dev);
+            if let Some(ch) = self.block_channel.get(&who.block_slot) {
+                let ch = ch.clone();
+                self.threads[id].hb.join(&ch);
+            }
+        }
+
+        let record = OracleAccess {
+            event,
+            epoch: self.epoch,
+            thread: id,
+            clock: self.threads[id].clock,
+            access: *access,
+            strong,
+            locks: self.threads[id].held.clone(),
+            sync: self.threads[id].sync.clone(),
+            hb: self.threads[id].hb.clone(),
+        };
+        let y_idx = self.accesses.len();
+        self.accesses.push(record);
+
+        let is_write = access.kind.is_write();
+        let is_atomic = access.kind.is_atomic();
+        let state = self.addrs.entry(access.addr).or_default().clone();
+
+        let mut found: Vec<(RaceKind, usize)> = Vec::new();
+        // Happens-before family: Y against the last write, and a write Y
+        // against every read since that write.
+        let mut hb_partners: Vec<usize> = Vec::new();
+        if let Some(w) = state.last_write {
+            hb_partners.push(w);
+        }
+        if is_write {
+            hb_partners.extend(state.readers.iter().copied());
+        }
+        for x_idx in hb_partners {
+            let x = self.accesses[x_idx].clone();
+            if self.ordered(&x, id, strong).is_none() {
+                found.push((Self::race_kind(&x, access, strong), x_idx));
+            }
+        }
+
+        // Scoped-lockset family, on the exact last accessor (Table IV e/f).
+        if let Some(z_idx) = state.last_access {
+            let z = self.accesses[z_idx].clone();
+            let z_write = z.access.kind.is_write();
+            let conflicting = is_write || z_write;
+            if conflicting && !is_atomic && !z.access.kind.is_atomic() {
+                let y_locks = &self.accesses[y_idx].locks;
+                let joint_nonempty = !z.locks.is_empty() || !y_locks.is_empty();
+                let disjoint = !z.locks.iter().any(|l| y_locks.contains(l));
+                let sync_ordered = matches!(
+                    self.ordered(&z, id, strong),
+                    Some(OrderReason::ProgramOrder | OrderReason::Barrier)
+                );
+                if joint_nonempty && disjoint && !sync_ordered {
+                    let kind = if is_write {
+                        RaceKind::MissingLockStore
+                    } else {
+                        RaceKind::MissingLockLoad
+                    };
+                    found.push((kind, z_idx));
+                }
+            }
+        }
+
+        let races = found.len().min(u8::MAX as usize) as u8;
+        for (kind, earlier) in found {
+            self.report(kind, earlier, y_idx);
+        }
+
+        // Lock inference side effects.
+        if let AccessKind::Atomic { kind, scope } = access.kind {
+            let t = &mut self.threads[id];
+            match kind {
+                AtomKind::Cas => {
+                    if !t.pending.contains(&(access.addr, scope)) {
+                        t.pending.push((access.addr, scope));
+                    }
+                }
+                AtomKind::Exch => {
+                    t.held.retain(|&l| l != (access.addr, scope));
+                    t.pending.retain(|&l| l != (access.addr, scope));
+                }
+                AtomKind::Other => {}
+            }
+        }
+
+        // Address-state update.
+        let state = self.addrs.get_mut(&access.addr).expect("entry created");
+        let fresh = state.last_access.is_none();
+        if is_write {
+            state.last_write = Some(y_idx);
+            state.readers.clear();
+        } else {
+            state.readers.push(y_idx);
+        }
+        state.last_access = Some(y_idx);
+
+        Ok(AccessEffects {
+            md_addr: 0,
+            md_fresh: fresh,
+            prelim_pass: races == 0,
+            races,
+        })
+    }
+
+    fn races(&self) -> &RaceLog {
+        &self.races
+    }
+
+    fn reset(&mut self) {
+        self.threads.clear();
+        self.slots.clear();
+        self.block_channel.clear();
+        self.device_channel = VectorClock::default();
+        self.block_legacy.clear();
+        self.addrs.clear();
+        self.accesses.clear();
+        self.detailed.clear();
+        self.races.reset();
+        self.events_seen = 0;
+        self.epoch = 0;
+    }
+
+    fn on_kernel_boundary(&mut self) {
+        self.events_seen += 1;
+        self.epoch += 1;
+        // A device-wide synchronization: no pair spans the boundary, so all
+        // per-address and per-thread history is dropped. The race log (and
+        // the recorded accesses, for divergence classification) survive.
+        self.threads.clear();
+        self.slots.clear();
+        self.block_channel.clear();
+        self.device_channel = VectorClock::default();
+        self.block_legacy.clear();
+        self.addrs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(block: u8, warp: u8) -> Accessor {
+        Accessor {
+            sm: block / 8,
+            block_slot: block,
+            warp_slot: warp,
+        }
+    }
+
+    fn mem(kind: AccessKind, addr: u64, strong: bool, pc: u32, who: Accessor) -> MemAccess {
+        MemAccess {
+            kind,
+            addr,
+            strong,
+            pc,
+            who,
+        }
+    }
+
+    fn oracle() -> OracleDetector {
+        OracleDetector::new(Geometry::paper_default())
+    }
+
+    #[test]
+    fn unsynchronized_cross_block_sharing_races() {
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 1, acc(0, 0)))
+            .unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 2, acc(8, 0)))
+            .unwrap();
+        assert_eq!(o.races().unique_count(), 1);
+        assert_eq!(o.detailed_races()[0].kind, RaceKind::MissingDeviceFence);
+    }
+
+    #[test]
+    fn device_fence_orders_strong_publication() {
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 1, acc(0, 0)))
+            .unwrap();
+        o.on_fence(0, 0, Scope::Device).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 2, acc(8, 0)))
+            .unwrap();
+        assert!(o.races().is_empty(), "{:?}", o.detailed_races());
+    }
+
+    #[test]
+    fn block_fence_is_a_scoped_race_cross_block_but_orders_same_block() {
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 1, acc(0, 0)))
+            .unwrap();
+        o.on_fence(0, 0, Scope::Block).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 2, acc(0, 1)))
+            .unwrap();
+        assert!(o.races().is_empty(), "same-block consumer is ordered");
+        o.on_access(&mem(AccessKind::Store, 0x200, true, 3, acc(0, 0)))
+            .unwrap();
+        o.on_fence(0, 0, Scope::Block).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x200, true, 4, acc(8, 0)))
+            .unwrap();
+        assert_eq!(
+            o.races().unique_count(),
+            1,
+            "cross-block consumer races: the fence's scope was too narrow"
+        );
+    }
+
+    #[test]
+    fn weak_accesses_do_not_ride_fences() {
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, false, 1, acc(0, 0)))
+            .unwrap();
+        o.on_fence(0, 0, Scope::Device).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 2, acc(8, 0)))
+            .unwrap();
+        assert_eq!(o.races().unique_count(), 1);
+        assert_eq!(o.detailed_races()[0].kind, RaceKind::NotStrong);
+    }
+
+    #[test]
+    fn barrier_orders_weak_same_block_accesses() {
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, false, 1, acc(0, 0)))
+            .unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x40, false, 9, acc(0, 1)))
+            .unwrap(); // maps warp 1 into block 0
+        o.on_barrier(0, 0).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, false, 2, acc(0, 1)))
+            .unwrap();
+        assert!(o.races().is_empty(), "{:?}", o.detailed_races());
+    }
+
+    #[test]
+    fn block_scoped_atomic_is_invisible_cross_block() {
+        let mut o = oracle();
+        let blk = AccessKind::Atomic {
+            kind: AtomKind::Other,
+            scope: Scope::Block,
+        };
+        o.on_access(&mem(blk, 0x40, true, 1, acc(0, 0))).unwrap();
+        o.on_access(&mem(blk, 0x40, true, 2, acc(8, 0))).unwrap();
+        assert_eq!(o.races().unique_count(), 1);
+        assert_eq!(o.detailed_races()[0].kind, RaceKind::ScopedAtomic);
+    }
+
+    #[test]
+    fn device_scoped_atomics_are_ordered_without_fences() {
+        let mut o = oracle();
+        let dev = AccessKind::Atomic {
+            kind: AtomKind::Other,
+            scope: Scope::Device,
+        };
+        o.on_access(&mem(dev, 0x40, true, 1, acc(0, 0))).unwrap();
+        o.on_access(&mem(dev, 0x40, true, 2, acc(8, 0))).unwrap();
+        assert!(o.races().is_empty());
+    }
+
+    #[test]
+    fn fence_plus_exch_publishes_transitively_through_atomic_poll() {
+        // The message-passing idiom: producer stores, device-fences, raises
+        // a flag with atomicExch; the consumer polls the flag atomically and
+        // then reads the data. The data pair is ordered through the chain.
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 1, acc(0, 0)))
+            .unwrap();
+        o.on_fence(0, 0, Scope::Device).unwrap();
+        let exch = AccessKind::Atomic {
+            kind: AtomKind::Exch,
+            scope: Scope::Device,
+        };
+        o.on_access(&mem(exch, 0x200, true, 2, acc(0, 0))).unwrap();
+        let poll = AccessKind::Atomic {
+            kind: AtomKind::Other,
+            scope: Scope::Device,
+        };
+        o.on_access(&mem(poll, 0x200, true, 3, acc(8, 0))).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 4, acc(8, 0)))
+            .unwrap();
+        assert!(o.races().is_empty(), "{:?}", o.detailed_races());
+    }
+
+    #[test]
+    fn write_checks_every_reader_not_just_the_last() {
+        // Reader 1 never synchronizes; reader 2 is fence-ordered. ScoRD's
+        // single metadata word would only remember reader 2 and miss the
+        // race with reader 1.
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 1, acc(0, 0)))
+            .unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 2, acc(8, 0)))
+            .unwrap();
+        o.on_fence(1, 0, Scope::Device).unwrap();
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 3, acc(16, 0)))
+            .unwrap();
+        let kinds: Vec<RaceKind> = o.detailed_races().iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![RaceKind::MissingDeviceFence],
+            "exactly the unsynchronized reader races"
+        );
+        let race = o.detailed_races()[0];
+        assert_eq!(o.accesses()[race.earlier].access.pc, 1);
+    }
+
+    #[test]
+    fn exact_lockset_flags_unlocked_writer() {
+        let mut o = oracle();
+        let cas = AccessKind::Atomic {
+            kind: AtomKind::Cas,
+            scope: Scope::Device,
+        };
+        let exch = AccessKind::Atomic {
+            kind: AtomKind::Exch,
+            scope: Scope::Device,
+        };
+        // Warp 0 takes the lock, writes, releases.
+        o.on_access(&mem(cas, 0x1000, true, 1, acc(0, 0))).unwrap();
+        o.on_fence(0, 0, Scope::Device).unwrap();
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 2, acc(0, 0)))
+            .unwrap();
+        o.on_fence(0, 0, Scope::Device).unwrap();
+        o.on_access(&mem(exch, 0x1000, true, 3, acc(0, 0))).unwrap();
+        // Warp on another SM writes without the lock.
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 4, acc(8, 0)))
+            .unwrap();
+        let kinds: Vec<RaceKind> = o.detailed_races().iter().map(|r| r.kind).collect();
+        assert!(
+            kinds.contains(&RaceKind::MissingLockStore),
+            "unlocked conflicting writer is a lockset race: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn common_exact_lock_suppresses_lockset_race() {
+        let mut o = oracle();
+        let cas = AccessKind::Atomic {
+            kind: AtomKind::Cas,
+            scope: Scope::Device,
+        };
+        let exch = AccessKind::Atomic {
+            kind: AtomKind::Exch,
+            scope: Scope::Device,
+        };
+        for (block, pc) in [(0u8, 1u32), (8, 10)] {
+            o.on_access(&mem(cas, 0x1000, true, pc, acc(block, 0)))
+                .unwrap();
+            o.on_fence(block / 8, 0, Scope::Device).unwrap();
+            o.on_access(&mem(AccessKind::Store, 0x100, true, pc + 1, acc(block, 0)))
+                .unwrap();
+            o.on_fence(block / 8, 0, Scope::Device).unwrap();
+            o.on_access(&mem(exch, 0x1000, true, pc + 2, acc(block, 0)))
+                .unwrap();
+        }
+        assert!(
+            o.races().is_empty(),
+            "lock-protected critical sections: {:?}",
+            o.detailed_races()
+        );
+    }
+
+    #[test]
+    fn warp_reassignment_starts_a_fresh_thread() {
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 1, acc(0, 0)))
+            .unwrap();
+        o.on_warp_assigned(0, 0).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 2, acc(0, 0)))
+            .unwrap();
+        assert_eq!(
+            o.races().unique_count(),
+            1,
+            "slot reuse is not program order for the oracle"
+        );
+    }
+
+    #[test]
+    fn kernel_boundary_separates_everything() {
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, false, 1, acc(0, 0)))
+            .unwrap();
+        o.on_kernel_boundary();
+        o.on_access(&mem(AccessKind::Load, 0x100, false, 2, acc(8, 0)))
+            .unwrap();
+        assert!(o.races().is_empty());
+    }
+
+    #[test]
+    fn transitive_fence_chain_orders_cross_block() {
+        // w(0,0) stores, block-fences; w(0,1) (same block) strong-loads the
+        // data (acquiring), then device-fences; w(8,0) strong-loads. The
+        // chain orders the original store with the far reader — something
+        // ScoRD's pairwise counter check cannot represent.
+        let mut o = oracle();
+        o.on_access(&mem(AccessKind::Store, 0x100, true, 1, acc(0, 0)))
+            .unwrap();
+        o.on_fence(0, 0, Scope::Block).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 2, acc(0, 1)))
+            .unwrap();
+        o.on_fence(0, 1, Scope::Device).unwrap();
+        o.on_access(&mem(AccessKind::Load, 0x100, true, 3, acc(8, 0)))
+            .unwrap();
+        assert!(o.races().is_empty(), "{:?}", o.detailed_races());
+    }
+
+    #[test]
+    fn geometry_violations_are_typed_errors() {
+        let mut o = oracle();
+        assert!(o.on_fence(99, 0, Scope::Device).is_err());
+        assert!(o.on_barrier(0, 255).is_err());
+        assert!(o
+            .on_access(&mem(AccessKind::Load, 0x101, true, 1, acc(0, 0)))
+            .is_err());
+        assert!(o
+            .on_access(&mem(
+                AccessKind::Load,
+                0x100,
+                true,
+                1,
+                Accessor {
+                    sm: 0,
+                    block_slot: 9,
+                    warp_slot: 0
+                }
+            ))
+            .is_err());
+    }
+}

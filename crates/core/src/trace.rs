@@ -289,28 +289,53 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Stops at the first event the detector rejects and returns its
-    /// [`DetectorError`] — a recorded trace may have come from a different
-    /// geometry, or been corrupted in storage.
-    pub fn replay(&self, detector: &mut dyn Detector) -> Result<(), DetectorError> {
-        for e in &self.events {
-            match *e {
-                TraceEvent::Access(ref a) => {
-                    detector.on_access(a)?;
-                }
+    /// Stops at the first event the detector rejects and returns a
+    /// [`ReplayError`] naming the offending event's index and the
+    /// detector's [`DetectorError`] — a recorded trace may have come from
+    /// a different geometry, or been corrupted in storage. The index lets
+    /// divergence reports and minimizers point at the exact event.
+    pub fn replay(&self, detector: &mut dyn Detector) -> Result<(), ReplayError> {
+        for (index, e) in self.events.iter().enumerate() {
+            let step = match *e {
+                TraceEvent::Access(ref a) => detector.on_access(a).map(|_| ()),
                 TraceEvent::Fence {
                     sm,
                     warp_slot,
                     scope,
-                } => detector.on_fence(sm, warp_slot, scope)?,
-                TraceEvent::Barrier { sm, block_slot } => detector.on_barrier(sm, block_slot)?,
+                } => detector.on_fence(sm, warp_slot, scope),
+                TraceEvent::Barrier { sm, block_slot } => detector.on_barrier(sm, block_slot),
                 TraceEvent::WarpAssigned { sm, warp_slot } => {
-                    detector.on_warp_assigned(sm, warp_slot)?;
+                    detector.on_warp_assigned(sm, warp_slot)
                 }
-                TraceEvent::KernelBoundary => detector.on_kernel_boundary(),
-            }
+                TraceEvent::KernelBoundary => {
+                    detector.on_kernel_boundary();
+                    Ok(())
+                }
+            };
+            step.map_err(|error| ReplayError { index, error })?;
         }
         Ok(())
+    }
+}
+
+/// A replay stopped because the detector rejected an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 0-based index of the rejected event within [`Trace::events`].
+    pub index: usize,
+    /// What the detector objected to.
+    pub error: DetectorError,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace event {}: {}", self.index, self.error)
+    }
+}
+
+impl Error for ReplayError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -393,6 +418,10 @@ impl<D: Detector> Detector for RecordingDetector<D> {
     fn on_kernel_boundary(&mut self) {
         self.trace.push(TraceEvent::KernelBoundary);
         self.inner.on_kernel_boundary();
+    }
+
+    fn trace(&self) -> Option<&Trace> {
+        Some(&self.trace)
     }
 }
 
@@ -531,6 +560,41 @@ mod tests {
         trace.replay(&mut full).unwrap();
         trace.replay(&mut cached).unwrap();
         assert!(cached.races().unique_count() <= full.races().unique_count());
+    }
+
+    #[test]
+    fn replay_error_names_the_offending_event_index() {
+        // Event 0 and 1 are fine; event 2 claims an SM outside the
+        // geometry, and the error must say exactly where.
+        let who_bad = Accessor {
+            sm: 200,
+            block_slot: 0,
+            warp_slot: 0,
+        };
+        let trace: Trace = vec![
+            TraceEvent::KernelBoundary,
+            TraceEvent::WarpAssigned {
+                sm: 0,
+                warp_slot: 0,
+            },
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Load,
+                addr: 0x100,
+                strong: true,
+                pc: 1,
+                who: who_bad,
+            }),
+        ]
+        .into_iter()
+        .collect();
+        let mut det = ScordDetector::new(DetectorConfig::paper_default(1 << 20));
+        let err = trace.replay(&mut det).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(matches!(
+            err.error,
+            crate::DetectorError::SmOutOfRange { sm: 200, .. }
+        ));
+        assert!(err.to_string().contains("trace event 2"));
     }
 
     #[test]

@@ -209,3 +209,47 @@ fn saturated_fault_injection_never_panics() {
         assert!(stats.total() > 0, "{kind:?} must have injected");
     }
 }
+
+/// Bloom false-positive *rate* at the paper geometry: the probability that
+/// two distinct random lock addresses produce intersecting single-lock
+/// Blooms (so the lockset check wrongly sees a common lock, hiding a
+/// distinct-lock race).
+///
+/// With a 6-bit lock hash folded onto a 16-bit filter, a uniform mapping
+/// would collide ~1/16 of the time (6.25%). The documented bound for the
+/// implementation is **10%** over 1k random lock ids; the lower bound
+/// guards against the test silently measuring nothing.
+#[test]
+fn lock_bloom_false_positive_rate_is_bounded() {
+    use scord_core::SplitMix64;
+
+    let mut rng = SplitMix64::new(0xB10C);
+    // 1k random 4-byte-aligned lock addresses across a large heap.
+    let locks: Vec<u64> = (0..1000).map(|_| rng.below(1 << 28) * 4).collect();
+
+    let mut pairs = 0u64;
+    let mut colliding = 0u64;
+    for (i, &a) in locks.iter().enumerate() {
+        for &b in &locks[i + 1..] {
+            if a == b {
+                continue; // identical ids share bits legitimately
+            }
+            pairs += 1;
+            let ba = bloom_bit(lock_hash(a), Scope::Device);
+            let bb = bloom_bit(lock_hash(b), Scope::Device);
+            if ba & bb != 0 {
+                colliding += 1;
+            }
+        }
+    }
+    let rate = colliding as f64 / pairs as f64;
+    assert!(
+        rate < 0.10,
+        "bloom FP rate {rate:.4} exceeds the documented 10% bound \
+         ({colliding}/{pairs} colliding pairs)"
+    );
+    assert!(
+        rate > 0.01,
+        "bloom FP rate {rate:.4} implausibly low — measurement broken?"
+    );
+}

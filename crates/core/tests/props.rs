@@ -9,7 +9,8 @@
 
 use scord_core::{
     bloom_bit, lock_hash, AccessKind, Accessor, AtomKind, Detector, DetectorConfig, FullStore,
-    LockTable, MemAccess, MetadataEntry, MetadataStore, ScordDetector, SplitMix64,
+    LockTable, MemAccess, MetadataEntry, MetadataStore, ScordDetector, SplitMix64, Trace,
+    TraceEvent,
 };
 use scord_isa::Scope;
 
@@ -372,4 +373,145 @@ fn caching_never_adds_false_positives() {
             base.races().unique_count()
         );
     });
+}
+
+// -----------------------------------------------------------------------
+// Trace text format properties
+// -----------------------------------------------------------------------
+
+/// One random event covering every [`TraceEvent`] variant and every
+/// sub-variant of [`AccessKind`] / [`AtomKind`] / [`Scope`].
+fn arbitrary_event(rng: &mut SplitMix64) -> TraceEvent {
+    let sm = rng.below(15) as u8;
+    let block_slot = sm * 8 + rng.below(8) as u8;
+    let warp_slot = rng.below(32) as u8;
+    let who = Accessor {
+        sm,
+        block_slot,
+        warp_slot,
+    };
+    let scope = if rng.next_bool() {
+        Scope::Device
+    } else {
+        Scope::Block
+    };
+    match rng.below(8) {
+        0 => TraceEvent::Barrier { sm, block_slot },
+        1 => TraceEvent::Fence {
+            sm,
+            warp_slot,
+            scope,
+        },
+        2 => TraceEvent::WarpAssigned { sm, warp_slot },
+        3 => TraceEvent::KernelBoundary,
+        n => {
+            let kind = match n {
+                4 => AccessKind::Load,
+                5 => AccessKind::Store,
+                _ => AccessKind::Atomic {
+                    kind: match rng.below(3) {
+                        0 => AtomKind::Cas,
+                        1 => AtomKind::Exch,
+                        _ => AtomKind::Other,
+                    },
+                    scope,
+                },
+            };
+            // The text format does not carry a strength field for atomics
+            // (they are strong by definition), so only plain accesses get
+            // a random one.
+            let strong = kind.is_atomic() || rng.next_bool();
+            TraceEvent::Access(MemAccess {
+                kind,
+                addr: rng.below(1 << 30) * 4,
+                strong,
+                pc: rng.next_u32(),
+                who,
+            })
+        }
+    }
+}
+
+/// `from_text(to_text(t)) == t` for traces mixing every event variant.
+#[test]
+fn trace_text_roundtrip() {
+    for_each_case(0x100D, |rng| {
+        let mut t = Trace::new();
+        let n = rng.below(60);
+        for _ in 0..n {
+            t.push(arbitrary_event(rng));
+        }
+        let text = t.to_text();
+        let back = Trace::from_text(&text)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n{text}"));
+        assert_eq!(back, t, "round-trip mismatch:\n{text}");
+    });
+}
+
+/// Parsing skips comments and blank lines without shifting event content,
+/// and reported error line numbers account for them.
+#[test]
+fn trace_text_ignores_comments_and_blanks() {
+    for_each_case(0x100E, |rng| {
+        let mut t = Trace::new();
+        for _ in 0..1 + rng.below(20) {
+            t.push(arbitrary_event(rng));
+        }
+        let mut text = String::from("# header comment\n\n");
+        for line in t.to_text().lines() {
+            text.push_str(line);
+            text.push('\n');
+            if rng.next_bool() {
+                text.push_str("# interleaved\n\n");
+            }
+        }
+        assert_eq!(Trace::from_text(&text).unwrap(), t);
+    });
+}
+
+/// Corrupting any single event line makes parsing fail and the error names
+/// that exact (1-based) line.
+#[test]
+fn trace_text_corruption_is_located() {
+    for_each_case(0x100F, |rng| {
+        let mut t = Trace::new();
+        let n = 1 + rng.below(30);
+        for _ in 0..n {
+            t.push(arbitrary_event(rng));
+        }
+        let mut lines: Vec<String> = t.to_text().lines().map(str::to_string).collect();
+        let victim = rng.below(lines.len() as u64) as usize;
+        lines[victim] = match rng.below(4) {
+            0 => "Z bogus event".to_string(),           // unknown tag
+            1 => "A L strong".to_string(),              // truncated access
+            2 => format!("{} trailing", lines[victim]), // extra field
+            _ => "F 0 0 q".to_string(),                 // bad scope letter
+        };
+        let err = Trace::from_text(&lines.join("\n")).expect_err("corrupted line must not parse");
+        assert_eq!(err.line, victim + 1, "error must name the corrupted line");
+    });
+}
+
+/// The malformed inputs of every [`ParseTraceError`] path are rejected with
+/// the offending line number.
+#[test]
+fn trace_text_error_paths() {
+    let bad = [
+        ("X", 1),                                   // unknown event tag
+        ("A L 0x10 strong 1 0 0", 1),               // missing field
+        ("A L 0x10 strong 1 0 0 0 9", 1),           // extra field
+        ("A Q 0x10 strong 1 0 0 0", 1),             // bad access kind
+        ("A L 10q strong 1 0 0 0", 1),              // bad address
+        ("A L 0x10 mild 1 0 0 0", 1),               // bad strength
+        ("A C e 0x10 1 0 0 0", 1),                  // bad atomic scope
+        ("F 0 0 x", 1),                             // bad fence scope
+        ("B 0", 1),                                 // truncated barrier
+        ("W 0 0 0", 1),                             // oversized warp event
+        ("K extra", 1),                             // kernel boundary takes no fields
+        ("# ok\nA L 0x10 strong 1 0 0 0\nnope", 3), // error past valid lines
+    ];
+    for (text, line) in bad {
+        let err = Trace::from_text(text).expect_err("malformed input must not parse");
+        assert_eq!(err.line, line, "wrong line for {text:?}: {err}");
+    }
 }

@@ -1,14 +1,20 @@
 //! Regenerates every table and figure of the ScoRD paper's evaluation.
 //!
 //! ```text
-//! run-experiments [--quick] [--seed N] [--jobs N]
+//! run-experiments [--quick] [--seed N] [--cases K] [--jobs N]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
-//!                  fig11|table8|ablations|faults|all]
+//!                  fig11|table8|ablations|faults|diff|all]
 //! ```
 //!
 //! `faults` runs the fault-injection degradation audit; it is not part of
 //! `all` (a full sweep is 25 cells × 46 workloads). `--seed` sets the
 //! injection seed (default 1); a fixed seed reproduces the table exactly.
+//!
+//! `diff` runs the differential race-oracle audit (also only by name):
+//! `--cases K` fuzzed traces (default 200) from `--seed`, plus every
+//! microbenchmark's captured trace, are replayed through the exact oracle
+//! and all detector models; any unexplained divergence fails the run with
+//! a minimized reproducer trace.
 //!
 //! `--jobs N` shards each sweep's independent simulations over N worker
 //! threads (default: one per available hardware thread; `--jobs 1` runs
@@ -32,6 +38,7 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut seed = 1u64;
+    let mut cases = 200usize;
     let mut jobs = Jobs::available();
     let mut wanted: Vec<&str> = Vec::new();
     let mut it = args.iter();
@@ -45,6 +52,16 @@ fn main() {
                 });
                 seed = v.parse().unwrap_or_else(|_| {
                     eprintln!("--seed needs an unsigned integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--cases" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--cases needs a value");
+                    exit(2);
+                });
+                cases = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--cases needs an unsigned integer, got {v:?}");
                     exit(2);
                 });
             }
@@ -65,7 +82,7 @@ fn main() {
             other => wanted.push(other),
         }
     }
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "table1",
         "table2",
         "table5",
@@ -78,6 +95,7 @@ fn main() {
         "table8",
         "ablations",
         "faults",
+        "diff",
     ];
     if let Some(bad) = wanted.iter().find(|w| **w != "all" && !KNOWN.contains(w)) {
         eprintln!(
@@ -87,8 +105,9 @@ fn main() {
         exit(2);
     }
     let all = wanted.is_empty() || wanted.contains(&"all");
-    // The fault sweep only runs when asked for by name.
-    let want = |name: &str| (all && name != "faults") || wanted.contains(&name);
+    // The fault sweep and the differential audit only run when asked for
+    // by name.
+    let want = |name: &str| (all && name != "faults" && name != "diff") || wanted.contains(&name);
     let t0 = Instant::now();
 
     if want("table1") {
@@ -155,6 +174,28 @@ fn main() {
             "The zero-fault row reproduces Table VI's ScoRD column; rerunning \
              with the same seed reproduces every cell."
         );
+    }
+
+    if want("diff") {
+        println!("\n## Differential race-oracle audit (seed {seed}, {cases} fuzz cases)\n");
+        let summary = h::diff::run(seed, cases, jobs);
+        println!("{}", h::diff::to_markdown(&summary));
+        println!("\n### Captured microbenchmark traces vs oracle\n");
+        let micros = h::diff::micros(jobs).unwrap_or_else(|e| fail(&e));
+        println!("{}", h::diff::micros_to_markdown(&micros));
+        let bugs: Vec<_> = summary.bugs.iter().chain(micros.bugs.iter()).collect();
+        if bugs.is_empty() {
+            println!(
+                "No unexplained divergences: every oracle/detector delta is \
+                 classified by the expected-FN/FP taxonomy."
+            );
+        } else {
+            for b in &bugs {
+                eprintln!("\n{b}");
+            }
+            eprintln!("\nerror: {} unexplained divergence(s)", bugs.len());
+            exit(1);
+        }
     }
 
     let recorded = h::exec::take_recorded();

@@ -1,0 +1,906 @@
+//! Differential race-oracle audit.
+//!
+//! ScoRD is deliberately lossy hardware: a direct-mapped metadata cache,
+//! single-owner metadata words, truncated fence counters and 16-bit lock
+//! Blooms all trade precision for area. This module measures that loss by
+//! replaying the same event streams through both the hardware model and the
+//! exact reference detector ([`scord_core::oracle`]):
+//!
+//! 1. [`run`] fuzzes seeded traces ([`scord_core::fuzz`]) across several
+//!    machine shapes and race-injection rates and replays each through the
+//!    oracle, `ScordDetector` (cached *and* full-store) and the Table VIII
+//!    baselines;
+//! 2. every per-key disagreement is classified into the expected-FN/FP
+//!    taxonomy below, or escalated to [`Divergence::Bug`] with a minimized
+//!    [`Trace::to_text`] reproducer;
+//! 3. [`micros`] performs the same audit on traces captured from live
+//!    [`Gpu`] runs of the microbenchmark suite, after first checking that a
+//!    captured trace replays to the same verdicts as the live run.
+//!
+//! A divergence is keyed by `(addr, pc, block_slot, warp_slot)` of the
+//! access that exposed the race — race *kind* labels are allowed to differ
+//! between detectors, the set of flagged program points is not.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scor_suite::micro::all_micros;
+use scord_core::{
+    bloom_bit, build_detector, lock_hash, AccessKind, Detector, DetectorConfig, DetectorKind,
+    FuzzConfig, OracleAccess, OracleDetector, OracleRace, OrderReason, RaceKind, RaceLog,
+    RaceReport, RecordingDetector, ReplayError, ScordDetector, SplitMix64, StoreKind, Trace,
+    TraceEvent,
+};
+use scord_sim::{DetectionMode, Gpu, GpuConfig};
+
+use crate::exec::{sweep, Jobs};
+use crate::{render_table, HarnessError};
+
+/// Divergence identity: `(addr, pc, block_slot, warp_slot)` of the access
+/// that exposed (or should have exposed) the race.
+pub type Key = (u64, u32, u8, u8);
+
+/// Why a detector's verdict may legitimately differ from the oracle's —
+/// the expected-FN/FP taxonomy of the hardware design — plus [`Bug`] for
+/// anything the taxonomy cannot explain.
+///
+/// [`Bug`]: Divergence::Bug
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Divergence {
+    /// FN: the cached metadata store evicted the earlier access's entry
+    /// (tag mismatch → treated as a first touch). Confirmed empirically:
+    /// the full-store detector catches the same key.
+    FnCacheAlias,
+    /// FN: a third access to the same address overwrote the single-owner
+    /// metadata word between the racing pair.
+    FnSingleOwner,
+    /// FN: block/warp slot reuse — a different thread incarnation in the
+    /// same hardware slot looks like program order (or its fences/locks
+    /// alias) to the slot-indexed hardware.
+    FnSlotReuse,
+    /// FN: the metadata word organically reached the `modified +
+    /// blk_shared + dev_shared` encoding, which aliases the
+    /// (re-)initialization sentinel of Table III (a) — the next access is
+    /// treated as a first touch. Reachable by a cross-block load, a
+    /// cross-warp load, then a store to one location.
+    FnInitSentinel,
+    /// FN: the 16-bit lock Blooms of two disjoint lock sets share a bit,
+    /// so the lockset check saw a (false) common lock.
+    FnBloomCollision,
+    /// FN (baselines only): the race is visible only with scope tracking,
+    /// which this baseline erases; full ScoRD catches the same key.
+    FnScopeErased,
+    /// FP: a genuinely common lock was evicted from the 4-entry lock
+    /// table, so the Bloom intersection came up empty.
+    FpLockEviction,
+    /// FP: a saturating/wrapping hardware counter (6-bit fence counters,
+    /// 8-bit barrier id) re-equalled, hiding an intervening sync.
+    FpCounterWrap,
+    /// FP: the pair is fence-ordered only through a transitive
+    /// release/acquire chain the pairwise counter check cannot see.
+    FpChain,
+    /// FP: a metadata-word artifact — sticky weak bits, shared-marking,
+    /// or ordering kinds (program order / barrier) the metadata no longer
+    /// proves after an owner change.
+    FpMetaArtifact,
+    /// Unexplained — a real defect in the detector, the oracle, or the
+    /// fuzzer. The audit fails loudly with a minimized reproducer.
+    Bug,
+}
+
+impl Divergence {
+    /// All classes, in table-column order.
+    pub const ALL: [Divergence; 11] = [
+        Divergence::FnCacheAlias,
+        Divergence::FnSingleOwner,
+        Divergence::FnSlotReuse,
+        Divergence::FnInitSentinel,
+        Divergence::FnBloomCollision,
+        Divergence::FnScopeErased,
+        Divergence::FpLockEviction,
+        Divergence::FpCounterWrap,
+        Divergence::FpChain,
+        Divergence::FpMetaArtifact,
+        Divergence::Bug,
+    ];
+
+    /// Short column label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Divergence::FnCacheAlias => "fn-cache-alias",
+            Divergence::FnSingleOwner => "fn-single-owner",
+            Divergence::FnSlotReuse => "fn-slot-reuse",
+            Divergence::FnInitSentinel => "fn-init-sentinel",
+            Divergence::FnBloomCollision => "fn-bloom",
+            Divergence::FnScopeErased => "fn-scope-erased",
+            Divergence::FpLockEviction => "fp-lock-evict",
+            Divergence::FpCounterWrap => "fp-ctr-wrap",
+            Divergence::FpChain => "fp-hb-chain",
+            Divergence::FpMetaArtifact => "fp-md-artifact",
+            Divergence::Bug => "BUG",
+        }
+    }
+}
+
+/// An unexplained divergence, with a replayable reproducer.
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    /// Fuzz case index (`usize::MAX` for microbenchmark traces).
+    pub case_index: usize,
+    /// Seed that regenerates the offending trace.
+    pub case_seed: u64,
+    /// Detector model that diverged.
+    pub detector: &'static str,
+    /// `true` if the detector missed an oracle race, `false` if it
+    /// reported one the oracle refutes.
+    pub missed: bool,
+    /// The divergence key.
+    pub key: Key,
+    /// Minimized trace in [`Trace::to_text`] format.
+    pub reproducer: String,
+}
+
+impl std::fmt::Display for BugReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (addr, pc, block, warp) = self.key;
+        writeln!(
+            f,
+            "unexplained {} by {} (case {}, seed {}): addr 0x{addr:x} pc {pc} \
+             block {block} warp {warp}\nreproducer:",
+            if self.missed {
+                "false negative"
+            } else {
+                "false positive"
+            },
+            self.detector,
+            self.case_index,
+            self.case_seed,
+        )?;
+        f.write_str(&self.reproducer)
+    }
+}
+
+/// One detector's aggregate row.
+#[derive(Debug, Clone)]
+pub struct DetRow {
+    /// Detector model name.
+    pub name: &'static str,
+    /// Divergence keys shared with the oracle.
+    pub matched: usize,
+    /// Keys the detector reported in total.
+    pub reported: usize,
+    /// Classified divergences.
+    pub counts: BTreeMap<Divergence, usize>,
+}
+
+/// Result of a [`run`] sweep.
+#[derive(Debug, Clone)]
+pub struct DiffSummary {
+    /// Root seed.
+    pub seed: u64,
+    /// Fuzz cases replayed.
+    pub cases: usize,
+    /// Total unique race keys found by the oracle across all cases.
+    pub oracle_keys: usize,
+    /// One row per detector model.
+    pub rows: Vec<DetRow>,
+    /// All unexplained divergences (empty on a passing audit).
+    pub bugs: Vec<BugReport>,
+}
+
+const MEM_BYTES: u64 = 1 << 20;
+
+/// Detector configuration used for fuzz-trace replay: the paper design
+/// with the race-record cap lifted so no report is dropped.
+#[must_use]
+pub fn diff_config() -> DetectorConfig {
+    DetectorConfig {
+        max_race_records: 1 << 20,
+        ..DetectorConfig::paper_default(MEM_BYTES)
+    }
+}
+
+fn full_store_variant(base: DetectorConfig) -> DetectorConfig {
+    DetectorConfig {
+        store: StoreKind::Full { granularity: 4 },
+        ..base
+    }
+}
+
+fn report_key(r: &RaceReport) -> Key {
+    (r.addr, r.pc, r.who.block_slot, r.who.warp_slot)
+}
+
+fn oracle_key(acc: &[OracleAccess], r: &OracleRace) -> Key {
+    let y = &acc[r.later];
+    (
+        y.access.addr,
+        y.access.pc,
+        y.access.who.block_slot,
+        y.access.who.warp_slot,
+    )
+}
+
+fn keys_of(log: &RaceLog) -> BTreeSet<Key> {
+    log.records().iter().map(report_key).collect()
+}
+
+fn bloom_of(locks: &[(u64, scord_isa::Scope)]) -> u16 {
+    locks.iter().fold(0u16, |b, &(addr, scope)| {
+        b | bloom_bit(lock_hash(addr), scope)
+    })
+}
+
+fn is_write(a: &OracleAccess) -> bool {
+    !matches!(a.access.kind, AccessKind::Load)
+}
+
+/// Everything one trace yields: the oracle's exact verdicts plus the key
+/// sets of every hardware model (and the full-store aide used to confirm
+/// cache-alias FNs empirically).
+struct Analysis {
+    oracle: OracleDetector,
+    det_keys: Vec<BTreeSet<Key>>,
+    det_reports: Vec<Vec<RaceReport>>,
+    full_keys: BTreeSet<Key>,
+}
+
+impl Analysis {
+    fn oracle_keys(&self) -> BTreeSet<Key> {
+        let acc = self.oracle.accesses();
+        self.oracle
+            .detailed_races()
+            .iter()
+            .map(|r| oracle_key(acc, r))
+            .collect()
+    }
+}
+
+fn analyze(trace: &Trace, base: DetectorConfig) -> Result<Analysis, ReplayError> {
+    let mut oracle = OracleDetector::new(base.geometry);
+    trace.replay(&mut oracle)?;
+    let mut det_keys = Vec::new();
+    let mut det_reports = Vec::new();
+    for kind in DetectorKind::ALL {
+        let mut det = build_detector(kind, base);
+        trace.replay(&mut det)?;
+        det_keys.push(keys_of(det.races()));
+        det_reports.push(det.races().records().to_vec());
+    }
+    let mut full = ScordDetector::new(full_store_variant(base));
+    trace.replay(&mut full)?;
+    Ok(Analysis {
+        oracle,
+        det_keys,
+        det_reports,
+        full_keys: keys_of(full.races()),
+    })
+}
+
+/// Shadow-replays the three metadata flag bits (`modified`, `blk_shared`,
+/// `dev_shared`) for `y`'s address under a full (eviction-free) store and
+/// reports whether the word aliased the initialization sentinel when `y`
+/// was checked.
+fn sentinel_hid(a: &Analysis, y: &OracleAccess) -> bool {
+    // (modified, blk_shared, dev_shared, owner block, owner warp)
+    let mut state: Option<(bool, bool, bool, u8, u8)> = None;
+    for m in a.oracle.accesses() {
+        if m.access.addr != y.access.addr || m.epoch != y.epoch {
+            continue;
+        }
+        if m.event == y.event {
+            break;
+        }
+        let write = is_write(m);
+        let who = m.access.who;
+        state = Some(match state {
+            // First touch (or a word that aliased the sentinel, which the
+            // detector re-zeroes): flags start clear.
+            None => (write, false, false, who.block_slot, who.warp_slot),
+            Some((true, true, true, _, _)) => (write, false, false, who.block_slot, who.warp_slot),
+            Some((_, mut blk, mut dev, ob, ow)) => {
+                if !write {
+                    if ob != who.block_slot {
+                        dev = true;
+                    } else if ow != who.warp_slot {
+                        blk = true;
+                    }
+                }
+                (write, blk, dev, who.block_slot, who.warp_slot)
+            }
+        });
+    }
+    matches!(state, Some((true, true, true, _, _)))
+}
+
+/// Classifies one oracle race pair the detector missed.
+fn classify_fn_pair(a: &Analysis, trace: &Trace, r: &OracleRace) -> Divergence {
+    let acc = a.oracle.accesses();
+    let (x, y) = (&acc[r.earlier], &acc[r.later]);
+    // Single-owner metadata: a third same-address access between the pair
+    // overwrote the entry the later access was checked against.
+    let overwritten = acc.iter().any(|m| {
+        m.access.addr == y.access.addr
+            && m.epoch == y.epoch
+            && m.event > x.event
+            && m.event < y.event
+    });
+    if overwritten {
+        return Divergence::FnSingleOwner;
+    }
+    if sentinel_hid(a, y) {
+        return Divergence::FnInitSentinel;
+    }
+    // Slot reuse, direct form: different incarnations in the same hardware
+    // slot are indistinguishable from program order.
+    if x.thread != y.thread
+        && x.access.who.block_slot == y.access.who.block_slot
+        && x.access.who.warp_slot == y.access.who.warp_slot
+    {
+        return Divergence::FnSlotReuse;
+    }
+    // Slot reuse, aliased-state form: the earlier thread's slot was handed
+    // to a new incarnation between the pair, so slot-indexed fence/lock
+    // state no longer speaks for the earlier access.
+    let reassigned = trace.events()[x.event + 1..y.event].iter().any(|ev| {
+        matches!(ev, TraceEvent::WarpAssigned { sm, warp_slot }
+            if *sm == x.access.who.sm && *warp_slot == x.access.who.warp_slot)
+    });
+    if reassigned {
+        return Divergence::FnSlotReuse;
+    }
+    if matches!(
+        r.kind,
+        RaceKind::MissingLockLoad | RaceKind::MissingLockStore
+    ) && bloom_of(&x.locks) & bloom_of(&y.locks) != 0
+    {
+        return Divergence::FnBloomCollision;
+    }
+    Divergence::Bug
+}
+
+/// Classifies a missed oracle key for detector `det` (index into
+/// [`DetectorKind::ALL`]).
+fn classify_fn_key(a: &Analysis, trace: &Trace, det: usize, key: Key) -> Divergence {
+    // A baseline missing a key full ScoRD catches (same metadata store) is
+    // scope erasure by construction.
+    if det > 0 && a.det_keys[0].contains(&key) {
+        return Divergence::FnScopeErased;
+    }
+    // The full-store detector catching it pins the miss on the metadata
+    // cache.
+    if a.full_keys.contains(&key) {
+        return Divergence::FnCacheAlias;
+    }
+    let acc = a.oracle.accesses();
+    let mut class = None;
+    for r in a.oracle.detailed_races() {
+        if oracle_key(acc, r) != key {
+            continue;
+        }
+        match classify_fn_pair(a, trace, r) {
+            Divergence::Bug => return Divergence::Bug,
+            c => class = Some(class.map_or(c, |prev: Divergence| prev.min(c))),
+        }
+    }
+    class.unwrap_or(Divergence::Bug)
+}
+
+/// Classifies a detector report the oracle refutes.
+fn classify_fp(a: &Analysis, trace: &Trace, rep: &RaceReport) -> Divergence {
+    let acc = a.oracle.accesses();
+    // The access that triggered the report…
+    let Some(y) = acc
+        .iter()
+        .rev()
+        .find(|m| m.access.pc == rep.pc && m.access.addr == rep.addr && m.access.who == rep.who)
+    else {
+        return Divergence::Bug;
+    };
+    // …and the last same-address access it was checked against.
+    let Some(z) = acc
+        .iter()
+        .rev()
+        .find(|m| m.access.addr == y.access.addr && m.epoch == y.epoch && m.event < y.event)
+    else {
+        return Divergence::Bug;
+    };
+    if matches!(
+        rep.kind,
+        RaceKind::MissingLockLoad | RaceKind::MissingLockStore
+    ) {
+        // A real common lock existed: the 4-entry lock table must have
+        // evicted it. Otherwise the stale metadata Bloom (e.g. a lock
+        // released since, or a same-warp check forced by shared-marking)
+        // manufactured the report.
+        return if z.locks.iter().any(|l| y.locks.contains(l)) {
+            Divergence::FpLockEviction
+        } else {
+            Divergence::FpMetaArtifact
+        };
+    }
+    let window = &trace.events()[z.event + 1..y.event];
+    let fences = window
+        .iter()
+        .filter(|ev| {
+            matches!(ev, TraceEvent::Fence { sm, warp_slot, .. }
+                if *sm == z.access.who.sm && *warp_slot == z.access.who.warp_slot)
+        })
+        .count();
+    let barriers = window
+        .iter()
+        .filter(|ev| {
+            matches!(ev, TraceEvent::Barrier { block_slot, .. }
+                if *block_slot == z.access.who.block_slot)
+        })
+        .count();
+    if fences >= 64 || barriers >= 256 {
+        return Divergence::FpCounterWrap;
+    }
+    match OracleDetector::ordered_pair(z, y) {
+        Some(OrderReason::Fence) => Divergence::FpChain,
+        Some(_) => Divergence::FpMetaArtifact,
+        // Unordered and conflicting means the oracle should have reported
+        // this key itself — that contradiction is a bug somewhere.
+        None if is_write(z) || is_write(y) => Divergence::Bug,
+        None => Divergence::FpMetaArtifact,
+    }
+}
+
+/// Classifies every divergence of detector `det`; returns
+/// `(matched, per-key classes)`.
+fn classify_detector(
+    a: &Analysis,
+    trace: &Trace,
+    det: usize,
+) -> (usize, Vec<(Key, bool, Divergence)>) {
+    let oracle_keys = a.oracle_keys();
+    let mut out = Vec::new();
+    let mut matched = 0;
+    for &key in &oracle_keys {
+        if a.det_keys[det].contains(&key) {
+            matched += 1;
+        } else {
+            out.push((key, true, classify_fn_key(a, trace, det, key)));
+        }
+    }
+    let mut fp_seen = BTreeSet::new();
+    for rep in &a.det_reports[det] {
+        let key = report_key(rep);
+        if !oracle_keys.contains(&key) && fp_seen.insert(key) {
+            out.push((key, false, classify_fp(a, trace, rep)));
+        }
+    }
+    (matched, out)
+}
+
+/// Re-derives the class of one key on a candidate trace; `None` when the
+/// divergence no longer exists there.
+fn key_divergence(
+    trace: &Trace,
+    base: DetectorConfig,
+    det: usize,
+    key: Key,
+    missed: bool,
+) -> Option<Divergence> {
+    let a = analyze(trace, base).ok()?;
+    let oracle_has = a.oracle_keys().contains(&key);
+    let det_has = a.det_keys[det].contains(&key);
+    if missed && oracle_has && !det_has {
+        Some(classify_fn_key(&a, trace, det, key))
+    } else if !missed && det_has && !oracle_has {
+        let rep = a.det_reports[det]
+            .iter()
+            .find(|r| report_key(r) == key)
+            .copied()?;
+        Some(classify_fp(&a, trace, &rep))
+    } else {
+        None
+    }
+}
+
+/// Greedy one-event-at-a-time shrink to a fixpoint of `persists`.
+fn minimize(trace: &Trace, persists: impl Fn(&Trace) -> bool) -> Trace {
+    let mut cur = trace.clone();
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = Trace::new();
+            for (j, ev) in cur.events().iter().enumerate() {
+                if j != i {
+                    cand.push(*ev);
+                }
+            }
+            if persists(&cand) {
+                cur = cand;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            return cur;
+        }
+    }
+}
+
+/// Traces longer than this are reported unminimized (the greedy shrink is
+/// quadratic in trace length).
+const MINIMIZE_CAP: usize = 600;
+
+fn minimized_reproducer(
+    trace: &Trace,
+    base: DetectorConfig,
+    det: usize,
+    key: Key,
+    missed: bool,
+) -> String {
+    if trace.len() > MINIMIZE_CAP {
+        return trace.to_text();
+    }
+    minimize(trace, |cand| {
+        key_divergence(cand, base, det, key, missed) == Some(Divergence::Bug)
+    })
+    .to_text()
+}
+
+#[derive(Debug)]
+struct CaseSpec {
+    index: usize,
+    seed: u64,
+    cfg: FuzzConfig,
+}
+
+fn case_specs(seed: u64, cases: usize) -> Vec<CaseSpec> {
+    // Rotate race-injection rate and machine shape so one run covers clean,
+    // lightly- and heavily-racey traces on several geometries.
+    const RACE_PCT: [u32; 4] = [0, 10, 30, 60];
+    const SHAPES: [(u8, u8, u8); 4] = [(2, 2, 2), (1, 2, 4), (2, 1, 2), (3, 2, 1)];
+    let mut root = SplitMix64::new(seed);
+    (0..cases)
+        .map(|index| {
+            let (sms, blocks_per_sm, warps_per_block) = SHAPES[(index / 4) % 4];
+            CaseSpec {
+                index,
+                seed: root.next_u64(),
+                cfg: FuzzConfig {
+                    sms,
+                    blocks_per_sm,
+                    warps_per_block,
+                    race_pct: RACE_PCT[index % 4],
+                    ..FuzzConfig::default()
+                },
+            }
+        })
+        .collect()
+}
+
+struct CaseOutcome {
+    oracle_keys: usize,
+    per_det: Vec<(usize, usize, BTreeMap<Divergence, usize>)>,
+    bugs: Vec<BugReport>,
+}
+
+fn run_case(spec: &CaseSpec) -> CaseOutcome {
+    let base = diff_config();
+    let trace = spec.cfg.generate(spec.seed);
+    let a = analyze(&trace, base).unwrap_or_else(|e| {
+        panic!(
+            "fuzz case {} (seed {}) does not replay: {e}\n{}",
+            spec.index,
+            spec.seed,
+            trace.to_text()
+        )
+    });
+    let oracle_keys = a.oracle_keys().len();
+    let mut per_det = Vec::new();
+    let mut bugs = Vec::new();
+    for (det, kind) in DetectorKind::ALL.iter().enumerate() {
+        let (matched, classes) = classify_detector(&a, &trace, det);
+        let mut counts: BTreeMap<Divergence, usize> = BTreeMap::new();
+        for &(key, missed, class) in &classes {
+            *counts.entry(class).or_default() += 1;
+            if class == Divergence::Bug {
+                bugs.push(BugReport {
+                    case_index: spec.index,
+                    case_seed: spec.seed,
+                    detector: kind.name(),
+                    missed,
+                    key,
+                    reproducer: minimized_reproducer(&trace, base, det, key, missed),
+                });
+            }
+        }
+        // Internal consistency: every oracle key is either matched or
+        // classified exactly once.
+        let fns: usize = classes.iter().filter(|(_, missed, _)| *missed).count();
+        assert_eq!(
+            matched + fns,
+            oracle_keys,
+            "case {}: key accounting",
+            spec.index
+        );
+        per_det.push((matched, a.det_keys[det].len(), counts));
+    }
+    CaseOutcome {
+        oracle_keys,
+        per_det,
+        bugs,
+    }
+}
+
+/// Replays `cases` fuzzed traces (root seed `seed`) through the oracle and
+/// every detector model, classifying all divergences.
+///
+/// Deterministic in `(seed, cases)` for any job count.
+#[must_use]
+pub fn run(seed: u64, cases: usize, jobs: Jobs) -> DiffSummary {
+    let specs = case_specs(seed, cases);
+    let outcomes = sweep("diff", jobs, &specs, |_, spec| run_case(spec));
+    let mut rows: Vec<DetRow> = DetectorKind::ALL
+        .iter()
+        .map(|k| DetRow {
+            name: k.name(),
+            matched: 0,
+            reported: 0,
+            counts: BTreeMap::new(),
+        })
+        .collect();
+    let mut oracle_keys = 0;
+    let mut bugs = Vec::new();
+    for o in outcomes {
+        oracle_keys += o.oracle_keys;
+        for (row, (matched, reported, counts)) in rows.iter_mut().zip(o.per_det) {
+            row.matched += matched;
+            row.reported += reported;
+            for (class, n) in counts {
+                *row.counts.entry(class).or_default() += n;
+            }
+        }
+        bugs.extend(o.bugs);
+    }
+    DiffSummary {
+        seed,
+        cases,
+        oracle_keys,
+        rows,
+        bugs,
+    }
+}
+
+/// Renders the [`run`] summary as a markdown table.
+#[must_use]
+pub fn to_markdown(summary: &DiffSummary) -> String {
+    let mut header = vec!["detector", "oracle keys", "matched", "reported"];
+    header.extend(Divergence::ALL.iter().map(|d| d.name()));
+    let rows: Vec<Vec<String>> = summary
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.name.to_string(),
+                summary.oracle_keys.to_string(),
+                r.matched.to_string(),
+                r.reported.to_string(),
+            ];
+            row.extend(
+                Divergence::ALL
+                    .iter()
+                    .map(|d| r.counts.get(d).copied().unwrap_or(0).to_string()),
+            );
+            row
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
+/// One microbenchmark's audit row.
+#[derive(Debug, Clone)]
+pub struct MicroRow {
+    /// Microbenchmark name.
+    pub name: &'static str,
+    /// Captured trace length.
+    pub events: usize,
+    /// Unique races in the live simulated run.
+    pub live: usize,
+    /// Unique races when the captured trace is replayed into an identical
+    /// fresh detector (must equal `live`).
+    pub replayed: usize,
+    /// Oracle race keys on the captured trace.
+    pub oracle_keys: usize,
+    /// Keys ScoRD and the oracle agree on.
+    pub matched: usize,
+    /// Divergences explained by the taxonomy.
+    pub explained: usize,
+    /// Unexplained divergences.
+    pub bugs: usize,
+}
+
+/// Result of the [`micros`] audit.
+#[derive(Debug, Clone)]
+pub struct MicroSummary {
+    /// One row per microbenchmark.
+    pub rows: Vec<MicroRow>,
+    /// Unexplained divergences with reproducers.
+    pub bugs: Vec<BugReport>,
+}
+
+/// Captures a trace from a live [`Gpu`] run of every microbenchmark
+/// (through a [`RecordingDetector`]), checks capture fidelity, then audits
+/// the trace against the oracle exactly like a fuzz case.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the microbenchmark whose simulation
+/// failed.
+///
+/// # Panics
+///
+/// Panics if a captured trace fails to replay, or replays to a different
+/// race count than the live run produced — both mean the record/replay
+/// pipeline itself is broken.
+pub fn micros(jobs: Jobs) -> Result<MicroSummary, HarnessError> {
+    let ms = all_micros();
+    let audited: Vec<(MicroRow, Vec<BugReport>)> = sweep("diff-micros", jobs, &ms, |_, m| {
+        let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
+        let mut captured_dc = None;
+        let mut gpu = Gpu::try_with_detector_factory(cfg, |dc| {
+            captured_dc = Some(dc);
+            Box::new(RecordingDetector::new(ScordDetector::new(dc)))
+        })
+        .map_err(|e| HarnessError::new(m.name, e))?;
+        m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
+        let live = gpu.races().expect("detection is on").unique_count();
+        let trace = gpu
+            .recorded_trace()
+            .expect("recording detector attached")
+            .clone();
+        let dc = captured_dc.expect("factory ran");
+
+        // Capture fidelity: the recorded stream must reproduce the live
+        // verdicts in an identical fresh detector.
+        let mut fresh = ScordDetector::new(dc);
+        trace
+            .replay(&mut fresh)
+            .unwrap_or_else(|e| panic!("{}: captured trace does not replay: {e}", m.name));
+        let replayed = fresh.races().unique_count();
+        assert_eq!(
+            replayed, live,
+            "{}: replayed race count diverges from the live run",
+            m.name
+        );
+
+        let base = DetectorConfig {
+            max_race_records: 1 << 20,
+            ..dc
+        };
+        let a = analyze(&trace, base)
+            .unwrap_or_else(|e| panic!("{}: captured trace does not replay: {e}", m.name));
+        let (matched, classes) = classify_detector(&a, &trace, 0);
+        let mut bugs = Vec::new();
+        for &(key, missed, class) in &classes {
+            if class == Divergence::Bug {
+                bugs.push(BugReport {
+                    case_index: usize::MAX,
+                    case_seed: 0,
+                    detector: m.name,
+                    missed,
+                    key,
+                    reproducer: minimized_reproducer(&trace, base, 0, key, missed),
+                });
+            }
+        }
+        Ok((
+            MicroRow {
+                name: m.name,
+                events: trace.len(),
+                live,
+                replayed,
+                oracle_keys: a.oracle_keys().len(),
+                matched,
+                explained: classes.len() - bugs.len(),
+                bugs: bugs.len(),
+            },
+            bugs,
+        ))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let mut rows = Vec::new();
+    let mut bugs = Vec::new();
+    for (row, b) in audited {
+        rows.push(row);
+        bugs.extend(b);
+    }
+    Ok(MicroSummary { rows, bugs })
+}
+
+/// Renders the [`micros`] audit as a markdown table.
+#[must_use]
+pub fn micros_to_markdown(summary: &MicroSummary) -> String {
+    let header = [
+        "micro",
+        "events",
+        "live",
+        "replayed",
+        "oracle",
+        "matched",
+        "explained",
+        "bugs",
+    ];
+    let rows: Vec<Vec<String>> = summary
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.events.to_string(),
+                r.live.to_string(),
+                r.replayed.to_string(),
+                r.oracle_keys.to_string(),
+                r.matched.to_string(),
+                r.explained.to_string(),
+                r.bugs.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_core::Accessor;
+
+    #[test]
+    fn small_fuzz_run_is_fully_classified() {
+        let s = run(7, 16, Jobs::serial());
+        assert_eq!(s.rows.len(), 3);
+        assert!(s.oracle_keys > 0, "racey cases must yield oracle races");
+        assert!(
+            s.bugs.is_empty(),
+            "unexplained divergences:\n{}",
+            s.bugs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // ScoRD must agree with the oracle far more often than not.
+        assert!(s.rows[0].matched * 2 > s.oracle_keys);
+    }
+
+    #[test]
+    fn run_is_deterministic_across_job_counts() {
+        let a = to_markdown(&run(11, 8, Jobs::serial()));
+        let b = to_markdown(&run(11, 8, Jobs::new(4).unwrap()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimizer_reaches_a_fixpoint() {
+        let who = Accessor {
+            sm: 0,
+            block_slot: 0,
+            warp_slot: 0,
+        };
+        let mut t = Trace::new();
+        for pc in 0..6u32 {
+            t.push(TraceEvent::Access(scord_core::MemAccess {
+                kind: AccessKind::Store,
+                addr: 0x100 + 4 * u64::from(pc % 2),
+                strong: true,
+                pc,
+                who,
+            }));
+        }
+        // Predicate: at least one access to 0x100 survives.
+        let min = minimize(&t, |c| {
+            c.events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Access(a) if a.addr == 0x100))
+        });
+        assert_eq!(min.len(), 1);
+    }
+}

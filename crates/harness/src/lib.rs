@@ -17,6 +17,7 @@
 //! | [`table8`] | Table VIII — detector capability comparison |
 //! | [`ablations`] | Design-choice ablations (lock-table size, cache ratio, detector throughput) |
 //! | [`faults`] | Degradation audit under fault injection (robustness, beyond the paper) |
+//! | [`diff`] | Differential race-oracle audit: fuzzed + captured traces vs the exact detector |
 //!
 //! Every module exposes `run(quick, jobs) -> Vec<Row>` plus a `to_markdown`
 //! renderer; the `run-experiments` binary drives them. `quick = true`
@@ -28,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod diff;
 mod error;
 pub mod exec;
 pub mod faults;

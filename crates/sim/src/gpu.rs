@@ -7,7 +7,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use scord_core::{AccessKind, Accessor, AtomKind, MemAccess, RaceLog, ScordDetector};
+use scord_core::{AccessKind, Accessor, AtomKind, MemAccess, RaceLog, ScordDetector, Trace};
 use scord_isa::{AtomOp, Instr, Pc, Program, Scope, Space, SpecialReg};
 
 use crate::{
@@ -342,6 +342,14 @@ impl Gpu {
     #[must_use]
     pub fn races(&self) -> Option<&RaceLog> {
         self.detector.as_ref().map(|d| d.detector().races())
+    }
+
+    /// The event trace captured by the attached detector, when it records
+    /// one (see [`scord_core::RecordingDetector`]). `None` when detection
+    /// is off or the detector does not record.
+    #[must_use]
+    pub fn recorded_trace(&self) -> Option<&Trace> {
+        self.detector.as_ref().and_then(|d| d.detector().trace())
     }
 
     /// Launches `program` on `grid_blocks × threads_per_block` threads and
