@@ -155,6 +155,19 @@ fn ablations(c: &mut Criterion) {
     g.finish();
 }
 
+/// The in-tree perf basket — the exact workload set `run-experiments perf`
+/// times into `BENCH_sim.json` — under criterion's statistics. Tracking the
+/// same basket in both harnesses keeps the committed JSON trajectory and
+/// the criterion reports directly comparable.
+fn perf_basket(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf_basket");
+    tune(&mut g);
+    g.bench_function("basket", |b| {
+        b.iter(|| black_box(h::perf::run(1, "criterion")));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     table1_micros,
@@ -166,6 +179,7 @@ criterion_group!(
     fig11_sensitivity,
     table8_detectors,
     ablations,
-    simulator_throughput
+    simulator_throughput,
+    perf_basket
 );
 criterion_main!(benches);

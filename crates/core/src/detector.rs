@@ -136,6 +136,18 @@ impl ScordDetector {
         Self::with_scope_handling(config, false, false)
     }
 
+    /// Builds a detector for `config` that keeps its metadata in `store`
+    /// instead of the one `config.store` describes. The store-equivalence
+    /// suite uses this to replay identical traces through the flat
+    /// production store and its `HashMap` reference twin
+    /// (`build_reference_store`).
+    #[must_use]
+    pub fn with_store(config: DetectorConfig, store: Box<dyn MetadataStore>) -> Self {
+        let mut d = Self::new(config);
+        d.store = store;
+        d
+    }
+
     /// Builds a detector that optionally *erases* scope information, for the
     /// baseline detectors of Table VIII:
     ///

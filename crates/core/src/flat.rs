@@ -1,0 +1,450 @@
+//! A flat open-addressing hash table keyed by `u64`, tuned for the
+//! detector's hot path.
+//!
+//! [`FlatMap`] replaces `std::collections::HashMap` where the key is a
+//! dense-ish integer (metadata slot indices, cache-line addresses) and the
+//! lookup sits on the per-access fast path. Design:
+//!
+//! * **Power-of-two capacity** with multiply-shift (Fibonacci) hashing:
+//!   `slot = (key · 2^64/φ) >> (64 − log2 cap)`. One multiply, one shift —
+//!   no SipHash state, no `BuildHasher` indirection.
+//! * **Linear probing with backward-shift deletion**: removals re-compact
+//!   the probe chain instead of leaving tombstones, so load factor — and
+//!   therefore probe length — never degrades over a long simulation.
+//! * **Inline entries, no boxing**: keys and values live in two parallel
+//!   `Vec`s; an empty slot is marked by the key sentinel `u64::MAX` (no
+//!   `Option` discriminant per slot). Keys must therefore be below
+//!   `u64::MAX`, which holds for every user here (slot indices and line
+//!   addresses are data addresses divided by ≥ 4).
+//! * Values must implement [`Default`] so vacated slots can be filled
+//!   without `unsafe`; the default value is never observed by lookups.
+//!
+//! Growth doubles the table at ⅞ load, re-inserting in place-free
+//! open-addressing order. Iteration order is table order and therefore
+//! depends on insertion history — callers that need deterministic output
+//! must not iterate (none of the in-tree users do).
+
+use std::fmt;
+use std::mem;
+
+/// Key sentinel marking an empty slot. User keys must be strictly below
+/// this; see the module docs.
+const EMPTY: u64 = u64::MAX;
+
+/// `2^64 / φ`, the multiplier of Fibonacci hashing.
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Smallest non-zero capacity.
+const MIN_CAP: usize = 16;
+
+/// An open-addressing hash map from `u64` keys to inline `V` values.
+///
+/// ```
+/// use scord_core::FlatMap;
+/// let mut m: FlatMap<u32> = FlatMap::new();
+/// assert_eq!(m.insert(7, 70), None);
+/// assert_eq!(m.insert(7, 71), Some(70));
+/// assert_eq!(m.get(7), Some(&71));
+/// assert_eq!(m.remove(7), Some(71));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct FlatMap<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    len: usize,
+    /// `64 − log2(capacity)`; unused while the table is unallocated.
+    shift: u32,
+}
+
+impl<V> Default for FlatMap<V> {
+    fn default() -> Self {
+        FlatMap {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            len: 0,
+            shift: 64,
+        }
+    }
+}
+
+impl<V> fmt::Debug for FlatMap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlatMap")
+            .field("len", &self.len)
+            .field("capacity", &self.keys.len())
+            .finish()
+    }
+}
+
+impl<V> FlatMap<V> {
+    /// Creates an empty map. No allocation until the first insert.
+    #[must_use]
+    pub fn new() -> Self {
+        FlatMap::default()
+    }
+
+    /// Number of occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count (0 before the first insert; always a power of
+    /// two afterwards).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn mask(&self) -> usize {
+        self.keys.len() - 1
+    }
+
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(PHI) >> self.shift) as usize
+    }
+
+    /// Index of `key`, or `None`. The table always keeps at least one
+    /// empty slot (⅞ load bound), so probing terminates.
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// A shared reference to the value for `key`.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key).map(|i| &self.vals[i])
+    }
+
+    /// A mutable reference to the value for `key`.
+    #[must_use]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.find(key).map(|i| &mut self.vals[i])
+    }
+
+    /// `true` if `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Iterates over `(key, &value)` pairs in table order (see the module
+    /// docs about determinism).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|(k, _)| **k != EMPTY)
+            .map(|(k, v)| (*k, v))
+    }
+}
+
+impl<V: Default> FlatMap<V> {
+    /// Creates a map that can hold `n` entries without growing.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        let mut m = FlatMap::new();
+        if n > 0 {
+            // Smallest power of two keeping n entries under 7/8 load.
+            let cap = (n * 8 / 7 + 1).next_power_of_two().max(MIN_CAP);
+            m.allocate(cap);
+        }
+        m
+    }
+
+    fn allocate(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two());
+        self.keys = vec![EMPTY; cap];
+        self.vals = Vec::with_capacity(cap);
+        self.vals.resize_with(cap, V::default);
+        self.shift = 64 - cap.trailing_zeros();
+    }
+
+    /// Ensures one more entry fits under the ⅞ load bound.
+    fn reserve_one(&mut self) {
+        if self.keys.is_empty() {
+            self.allocate(MIN_CAP);
+        } else if (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.grow();
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = mem::take(&mut self.keys);
+        let old_vals = mem::take(&mut self.vals);
+        self.allocate(new_cap);
+        let mask = self.mask();
+        for (key, val) in old_keys.into_iter().zip(old_vals) {
+            if key == EMPTY {
+                continue;
+            }
+            // Keys are unique, so probe straight to the first vacancy.
+            let mut i = self.home(key);
+            while self.keys[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.vals[i] = val;
+        }
+    }
+
+    /// Inserts `key → val`, returning the previous value if any.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `key` is the reserved sentinel `u64::MAX`.
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the reserved empty-slot key");
+        self.reserve_one();
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(mem::replace(&mut self.vals[i], val));
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The value for `key`, inserting `make()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the reserved empty-slot key");
+        self.reserve_one();
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                break;
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = make();
+                self.len += 1;
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        &mut self.vals[i]
+    }
+
+    /// Removes `key`, returning its value. Uses backward-shift deletion:
+    /// later members of the probe chain slide into the hole, so no
+    /// tombstone is left behind.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mut hole = self.find(key)?;
+        let val = mem::take(&mut self.vals[hole]);
+        let mask = self.mask();
+        let mut j = hole;
+        loop {
+            j = (j + 1) & mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            let h = self.home(k);
+            // Move k into the hole iff the hole lies on k's probe path,
+            // i.e. dist(home → hole) < dist(home → current slot).
+            if (hole.wrapping_sub(h) & mask) < (j.wrapping_sub(h) & mask) {
+                self.keys[hole] = k;
+                self.vals[hole] = mem::take(&mut self.vals[j]);
+                hole = j;
+            }
+        }
+        self.keys[hole] = EMPTY;
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Removes every entry. Capacity (and any heap storage owned by stale
+    /// values, e.g. `Vec` buffers) is retained for reuse; stale values are
+    /// never observed by lookups and are overwritten on re-insertion.
+    pub fn clear(&mut self) {
+        self.keys.iter_mut().for_each(|k| *k = EMPTY);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = FlatMap::new();
+        for i in 0..100u64 {
+            assert_eq!(m.insert(i * 37, i), None);
+        }
+        assert_eq!(m.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(m.get(i * 37), Some(&i));
+        }
+        assert_eq!(m.get(1), None);
+        for i in 0..100u64 {
+            assert_eq!(m.remove(i * 37), Some(i));
+            assert_eq!(m.remove(i * 37), None);
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_previous() {
+        let mut m = FlatMap::new();
+        assert_eq!(m.insert(5, "a"), None);
+        assert_eq!(m.insert(5, "b"), Some("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(5), Some(&"b"));
+    }
+
+    #[test]
+    fn get_or_insert_with_runs_once() {
+        let mut m: FlatMap<Vec<u32>> = FlatMap::new();
+        m.get_or_insert_with(9, Vec::new).push(1);
+        m.get_or_insert_with(9, || panic!("slot exists")).push(2);
+        assert_eq!(m.get(9), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn growth_preserves_all_entries() {
+        let mut m = FlatMap::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            m.insert(i, i.wrapping_mul(3));
+        }
+        assert_eq!(m.len(), n as usize);
+        assert!(m.capacity().is_power_of_two());
+        // Load stays under 7/8 after growth.
+        assert!(m.len() * 8 <= m.capacity() * 7);
+        for i in 0..n {
+            assert_eq!(m.get(i), Some(&i.wrapping_mul(3)));
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_chains_findable() {
+        // Keys engineered to collide: same home slot for a small table.
+        let mut m = FlatMap::new();
+        let keys: Vec<u64> = (0..12).map(|i| i * (1 << 40)).collect();
+        for (v, &k) in keys.iter().enumerate() {
+            m.insert(k, v);
+        }
+        // Remove from the middle of chains in a scrambled order and check
+        // the survivors remain reachable after every single removal.
+        let order = [5usize, 0, 11, 3, 8, 1, 9, 2, 7, 10, 4, 6];
+        let mut gone = vec![false; keys.len()];
+        for &idx in &order {
+            assert_eq!(m.remove(keys[idx]), Some(idx));
+            gone[idx] = true;
+            for (i, &k) in keys.iter().enumerate() {
+                let want = if gone[i] { None } else { Some(&i) };
+                assert_eq!(m.get(k), want, "key {i} after removing {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut m = FlatMap::with_capacity(100);
+        let cap = m.capacity();
+        for i in 0..100u64 {
+            m.insert(i, i);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
+        assert_eq!(m.get(5), None);
+        m.insert(5, 50);
+        assert_eq!(m.get(5), Some(&50));
+    }
+
+    #[test]
+    fn with_capacity_does_not_grow_below_n() {
+        let mut m = FlatMap::with_capacity(1000);
+        let cap = m.capacity();
+        for i in 0..1000u64 {
+            m.insert(i, ());
+        }
+        assert_eq!(m.capacity(), cap, "no growth while within capacity");
+    }
+
+    #[test]
+    fn iter_yields_every_live_entry() {
+        let mut m = FlatMap::new();
+        for i in 0..50u64 {
+            m.insert(i * 11, i);
+        }
+        m.remove(22);
+        let mut pairs: Vec<(u64, u64)> = m.iter().map(|(k, v)| (k, *v)).collect();
+        pairs.sort_unstable();
+        let want: Vec<(u64, u64)> = (0..50u64)
+            .filter(|&i| i != 2)
+            .map(|i| (i * 11, i))
+            .collect();
+        assert_eq!(pairs, want);
+    }
+
+    #[test]
+    fn fill_to_capacity_growth_survives_mixed_churn() {
+        // Hand-rolled SplitMix64 so the sequence is reproducible without
+        // a rand dependency; mirrors the property-test style used by the
+        // store-equivalence suite.
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut m = FlatMap::new();
+        let mut shadow = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let r = next();
+            let key = r % 512; // small key space forces collisions + churn
+            match (r >> 32) % 3 {
+                0 => {
+                    assert_eq!(m.insert(key, r), shadow.insert(key, r));
+                }
+                1 => {
+                    assert_eq!(m.remove(key), shadow.remove(&key));
+                }
+                _ => {
+                    assert_eq!(m.get(key), shadow.get(&key));
+                }
+            }
+            assert_eq!(m.len(), shadow.len());
+        }
+        for (k, v) in &shadow {
+            assert_eq!(m.get(*k), Some(v));
+        }
+    }
+}

@@ -34,6 +34,7 @@ mod error;
 mod event;
 pub mod fault;
 mod fence_file;
+mod flat;
 pub mod fuzz;
 mod lock_table;
 mod metadata;
@@ -51,10 +52,14 @@ pub use fault::{
     EventAction, FaultInjector, FaultKind, FaultKindSet, FaultPlan, FaultStats, SplitMix64,
 };
 pub use fence_file::{FenceCounters, FenceFile};
+pub use flat::FlatMap;
 pub use fuzz::FuzzConfig;
 pub use lock_table::{bloom_bit, lock_hash, LockTable, LockTables};
 pub use metadata::{MetadataEntry, BLOCK_ID_BITS, WARP_ID_BITS};
 pub use oracle::{OracleAccess, OracleDetector, OracleRace, OrderReason, VectorClock};
 pub use report::{RaceKind, RaceLog, RaceReport};
-pub use store::{build_store, CachedStore, FullStore, MetadataLookup, MetadataStore};
+pub use store::{
+    build_reference_store, build_store, CachedStore, FullStore, MetadataLookup, MetadataStore,
+    ReferenceCachedStore, ReferenceFullStore,
+};
 pub use trace::{ParseTraceError, RecordingDetector, ReplayError, Trace, TraceEvent};

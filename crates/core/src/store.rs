@@ -1,10 +1,18 @@
 //! Metadata stores: the full per-granule layout and the paper's
 //! direct-mapped software cache (§IV-B).
+//!
+//! Both layouts index metadata by a dense slot number, so the production
+//! stores keep their entries in a [`FlatMap`] (open addressing, Fibonacci
+//! hashing, inline entries) — the per-access `load`/`store` pair is the
+//! detector's hottest path. The original `HashMap`-backed implementations
+//! survive as [`ReferenceFullStore`] / [`ReferenceCachedStore`]; the
+//! store-equivalence suite replays every captured and fuzzed trace through
+//! both and asserts identical race reports.
 
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::{MetadataEntry, StoreKind};
+use crate::{FlatMap, MetadataEntry, StoreKind};
 
 /// Result of looking up the metadata entry covering a data address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,7 +84,7 @@ pub fn build_store(kind: StoreKind, metadata_base: u64) -> Box<dyn MetadataStore
 pub struct FullStore {
     granularity: u64,
     base: u64,
-    entries: HashMap<u64, MetadataEntry>,
+    entries: FlatMap<MetadataEntry>,
 }
 
 impl FullStore {
@@ -94,7 +102,7 @@ impl FullStore {
         FullStore {
             granularity,
             base,
-            entries: HashMap::new(),
+            entries: FlatMap::new(),
         }
     }
 
@@ -104,6 +112,184 @@ impl FullStore {
 }
 
 impl MetadataStore for FullStore {
+    fn load(&self, addr: u64) -> MetadataLookup {
+        let slot = self.slot(addr);
+        let md_addr = self.base + slot * 8;
+        match self.entries.get(slot) {
+            Some(&entry) => MetadataLookup {
+                entry,
+                fresh: false,
+                md_addr,
+            },
+            None => MetadataLookup {
+                entry: MetadataEntry::initialized(),
+                fresh: true,
+                md_addr,
+            },
+        }
+    }
+
+    fn store(&mut self, addr: u64, entry: MetadataEntry) {
+        let slot = self.slot(addr);
+        self.entries.insert(slot, entry);
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    fn evict(&mut self, addr: u64) {
+        let slot = self.slot(addr);
+        self.entries.remove(slot);
+    }
+
+    fn bytes_per_entry(&self) -> u64 {
+        self.granularity
+    }
+
+    fn footprint_bytes(&self, mem_bytes: u64) -> u64 {
+        mem_bytes.div_ceil(self.granularity) * 8
+    }
+
+    fn aliases(&self, a: u64, b: u64) -> bool {
+        self.slot(a) == self.slot(b)
+    }
+}
+
+/// The paper's software cache of metadata: direct-mapped, one entry per
+/// `ratio` 4-byte granules, 4-bit tag (§IV-B).
+///
+/// A tag mismatch means the resident entry describes a *different* data word;
+/// the lookup reports `fresh` and the subsequent write-back evicts the old
+/// contents. This trades rare false negatives (Table VI: 43/44 races caught)
+/// for a 16× metadata-footprint reduction (200% → 12.5%).
+#[derive(Debug, Clone)]
+pub struct CachedStore {
+    ratio: u64,
+    base: u64,
+    entries: FlatMap<MetadataEntry>,
+}
+
+impl CachedStore {
+    /// Creates a cached store with one slot per `ratio` granules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is 0 or exceeds 16 (the 4-bit tag cannot
+    /// disambiguate more aliasing granules than that).
+    #[must_use]
+    pub fn new(ratio: u64, base: u64) -> Self {
+        assert!(
+            (1..=16).contains(&ratio),
+            "cache ratio must be in 1..=16 (4-bit tag), got {ratio}"
+        );
+        CachedStore {
+            ratio,
+            base,
+            entries: FlatMap::new(),
+        }
+    }
+
+    fn slot_and_tag(&self, addr: u64) -> (u64, u8) {
+        let granule = addr / 4;
+        (granule / self.ratio, (granule % self.ratio) as u8)
+    }
+}
+
+impl MetadataStore for CachedStore {
+    fn load(&self, addr: u64) -> MetadataLookup {
+        let (slot, tag) = self.slot_and_tag(addr);
+        let md_addr = self.base + slot * 8;
+        match self.entries.get(slot) {
+            Some(&entry) if entry.tag() == tag => MetadataLookup {
+                entry,
+                fresh: false,
+                md_addr,
+            },
+            _ => MetadataLookup {
+                entry: MetadataEntry::initialized(),
+                fresh: true,
+                md_addr,
+            },
+        }
+    }
+
+    fn store(&mut self, addr: u64, mut entry: MetadataEntry) {
+        let (slot, tag) = self.slot_and_tag(addr);
+        entry.set_tag(tag);
+        self.entries.insert(slot, entry);
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    fn evict(&mut self, addr: u64) {
+        let (slot, _) = self.slot_and_tag(addr);
+        self.entries.remove(slot);
+    }
+
+    fn bytes_per_entry(&self) -> u64 {
+        4
+    }
+
+    fn footprint_bytes(&self, mem_bytes: u64) -> u64 {
+        mem_bytes.div_ceil(4 * self.ratio) * 8
+    }
+
+    fn aliases(&self, a: u64, b: u64) -> bool {
+        self.slot_and_tag(a).0 == self.slot_and_tag(b).0
+    }
+}
+
+/// Builds the `HashMap`-backed reference twin of the store described by
+/// `kind` — same layout semantics as [`build_store`], different container.
+/// Used by the store-equivalence suite as the behavioural oracle for the
+/// flat production stores.
+#[must_use]
+pub fn build_reference_store(kind: StoreKind, metadata_base: u64) -> Box<dyn MetadataStore> {
+    match kind {
+        StoreKind::Full { granularity } => {
+            Box::new(ReferenceFullStore::new(granularity, metadata_base))
+        }
+        StoreKind::Cached { ratio } => Box::new(ReferenceCachedStore::new(ratio, metadata_base)),
+    }
+}
+
+/// The original `HashMap`-backed [`FullStore`], kept as a behavioural
+/// reference for the flat production store.
+#[derive(Debug, Clone)]
+pub struct ReferenceFullStore {
+    granularity: u64,
+    base: u64,
+    entries: HashMap<u64, MetadataEntry>,
+}
+
+impl ReferenceFullStore {
+    /// Creates a reference store with one entry per `granularity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero or not a multiple of 4.
+    #[must_use]
+    pub fn new(granularity: u64, base: u64) -> Self {
+        assert!(
+            granularity >= 4 && granularity.is_multiple_of(4),
+            "granularity must be a positive multiple of 4, got {granularity}"
+        );
+        ReferenceFullStore {
+            granularity,
+            base,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn slot(&self, addr: u64) -> u64 {
+        addr / self.granularity
+    }
+}
+
+impl MetadataStore for ReferenceFullStore {
     fn load(&self, addr: u64) -> MetadataLookup {
         let slot = self.slot(addr);
         let md_addr = self.base + slot * 8;
@@ -148,22 +334,17 @@ impl MetadataStore for FullStore {
     }
 }
 
-/// The paper's software cache of metadata: direct-mapped, one entry per
-/// `ratio` 4-byte granules, 4-bit tag (§IV-B).
-///
-/// A tag mismatch means the resident entry describes a *different* data word;
-/// the lookup reports `fresh` and the subsequent write-back evicts the old
-/// contents. This trades rare false negatives (Table VI: 43/44 races caught)
-/// for a 16× metadata-footprint reduction (200% → 12.5%).
+/// The original `HashMap`-backed [`CachedStore`], kept as a behavioural
+/// reference for the flat production store.
 #[derive(Debug, Clone)]
-pub struct CachedStore {
+pub struct ReferenceCachedStore {
     ratio: u64,
     base: u64,
     entries: HashMap<u64, MetadataEntry>,
 }
 
-impl CachedStore {
-    /// Creates a cached store with one slot per `ratio` granules.
+impl ReferenceCachedStore {
+    /// Creates a reference cached store with one slot per `ratio` granules.
     ///
     /// # Panics
     ///
@@ -175,7 +356,7 @@ impl CachedStore {
             (1..=16).contains(&ratio),
             "cache ratio must be in 1..=16 (4-bit tag), got {ratio}"
         );
-        CachedStore {
+        ReferenceCachedStore {
             ratio,
             base,
             entries: HashMap::new(),
@@ -188,7 +369,7 @@ impl CachedStore {
     }
 }
 
-impl MetadataStore for CachedStore {
+impl MetadataStore for ReferenceCachedStore {
     fn load(&self, addr: u64) -> MetadataLookup {
         let (slot, tag) = self.slot_and_tag(addr);
         let md_addr = self.base + slot * 8;
@@ -358,5 +539,65 @@ mod tests {
         assert_eq!(f.bytes_per_entry(), 8);
         let c = build_store(StoreKind::Cached { ratio: 16 }, 0);
         assert_eq!(c.bytes_per_entry(), 4);
+    }
+
+    /// Drives a flat store and its `HashMap` reference twin through the
+    /// same randomized load/store/evict/reset schedule and demands
+    /// lookup-identical behaviour at every step.
+    fn churn_equivalence(kind: StoreKind) {
+        let mut flat = build_store(kind, 0x4000);
+        let mut reference = build_reference_store(kind, 0x4000);
+        assert_eq!(flat.bytes_per_entry(), reference.bytes_per_entry());
+        assert_eq!(
+            flat.footprint_bytes(1 << 20),
+            reference.footprint_bytes(1 << 20)
+        );
+        let mut state = 0x5EED_1234u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for step in 0..20_000u32 {
+            let r = next();
+            let addr = (r % 4096) & !3; // word-aligned, aliasing-prone range
+            match (r >> 32) % 8 {
+                0 => {
+                    flat.evict(addr);
+                    reference.evict(addr);
+                }
+                1 if step % 977 == 0 => {
+                    flat.reset();
+                    reference.reset();
+                }
+                2 | 3 => {
+                    let mut e = MetadataEntry::initialized();
+                    e.set_modified(r & 1 == 0);
+                    e.set_block_id((r >> 8) as u8 & 0xF);
+                    flat.store(addr, e);
+                    reference.store(addr, e);
+                }
+                _ => {}
+            }
+            assert_eq!(
+                flat.load(addr),
+                reference.load(addr),
+                "lookup diverged at step {step}, addr {addr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_full_store_matches_reference_under_churn() {
+        churn_equivalence(StoreKind::Full { granularity: 4 });
+        churn_equivalence(StoreKind::Full { granularity: 16 });
+    }
+
+    #[test]
+    fn flat_cached_store_matches_reference_under_churn() {
+        churn_equivalence(StoreKind::Cached { ratio: 16 });
+        churn_equivalence(StoreKind::Cached { ratio: 4 });
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! run-experiments [--quick] [--seed N] [--cases K] [--jobs N]
+//!                 [--iters N] [--label S] [--no-cycle-skip]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
-//!                  fig11|table8|ablations|faults|diff|all]
+//!                  fig11|table8|ablations|faults|diff|perf|all]
 //! ```
 //!
 //! `faults` runs the fault-injection degradation audit; it is not part of
@@ -21,6 +22,14 @@
 //! serially). Results are deposited into job-indexed slots, so any job
 //! count emits byte-identical tables; a per-experiment timing summary goes
 //! to stderr at the end.
+//!
+//! `perf` (also only by name) times the fixed perf basket `--iters` times
+//! per entry (default 3, median reported) and appends the run, tagged
+//! `--label` (default "dev"), to `BENCH_sim.json` at the repository root.
+//!
+//! `--no-cycle-skip` disables the simulator's quiescence skip-ahead — a
+//! debug flag: results are byte-identical either way (asserted by the
+//! determinism tests), only slower.
 
 use std::env;
 use std::process::exit;
@@ -39,12 +48,34 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut seed = 1u64;
     let mut cases = 200usize;
+    let mut iters = 3usize;
+    let mut label = String::from("dev");
     let mut jobs = Jobs::available();
     let mut wanted: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => {}
+            "--no-cycle-skip" => scord_sim::set_cycle_skip(false),
+            "--iters" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--iters needs a value");
+                    exit(2);
+                });
+                iters = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--iters needs an unsigned integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--label" => {
+                label = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--label needs a value");
+                        exit(2);
+                    })
+                    .clone();
+            }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("--seed needs a value");
@@ -82,7 +113,7 @@ fn main() {
             other => wanted.push(other),
         }
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "table1",
         "table2",
         "table5",
@@ -96,6 +127,7 @@ fn main() {
         "ablations",
         "faults",
         "diff",
+        "perf",
     ];
     if let Some(bad) = wanted.iter().find(|w| **w != "all" && !KNOWN.contains(w)) {
         eprintln!(
@@ -107,7 +139,9 @@ fn main() {
     let all = wanted.is_empty() || wanted.contains(&"all");
     // The fault sweep and the differential audit only run when asked for
     // by name.
-    let want = |name: &str| (all && name != "faults" && name != "diff") || wanted.contains(&name);
+    let want = |name: &str| {
+        (all && name != "faults" && name != "diff" && name != "perf") || wanted.contains(&name)
+    };
     let t0 = Instant::now();
 
     if want("table1") {
@@ -195,6 +229,20 @@ fn main() {
             }
             eprintln!("\nerror: {} unexplained divergence(s)", bugs.len());
             exit(1);
+        }
+    }
+
+    if want("perf") {
+        println!("\n## Perf basket (label {label:?}, {iters} iteration(s) per entry)\n");
+        let run = h::perf::run(iters, &label);
+        println!("{}", h::perf::to_markdown(&run));
+        let path = h::perf::default_bench_path();
+        match h::perf::append_to_bench_json(&path, &run) {
+            Ok(n) => println!("\nRecorded run {n} in {}.", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                exit(1);
+            }
         }
     }
 

@@ -18,6 +18,7 @@
 //! | [`ablations`] | Design-choice ablations (lock-table size, cache ratio, detector throughput) |
 //! | [`faults`] | Degradation audit under fault injection (robustness, beyond the paper) |
 //! | [`diff`] | Differential race-oracle audit: fuzzed + captured traces vs the exact detector |
+//! | [`perf`] | In-tree perf basket; appends each run to `BENCH_sim.json` at the repo root |
 //!
 //! Every module exposes `run(quick, jobs) -> Vec<Row>` plus a `to_markdown`
 //! renderer; the `run-experiments` binary drives them. `quick = true`
@@ -38,6 +39,7 @@ pub mod fig11;
 pub mod fig8;
 pub mod fig9;
 mod markdown;
+pub mod perf;
 pub mod table1;
 pub mod table2;
 pub mod table5;

@@ -1,0 +1,469 @@
+//! In-tree performance harness: times a fixed workload basket and records
+//! the result in `BENCH_sim.json` at the repository root.
+//!
+//! Every experiment in this repository is bottlenecked by single-simulation
+//! wall-clock, so the perf trajectory is tracked *in tree*: each
+//! `run-experiments perf` invocation appends one run (per-workload median
+//! wall-ns, simulated cycles/second where applicable, and the total) to the
+//! JSON file, giving successive PRs a before/after record without any
+//! external tooling.
+//!
+//! The basket is fixed so numbers stay comparable across runs:
+//!
+//! * three applications (MM, RED, GCON at quick sizes), detection off and on,
+//! * eight microbenchmarks spanning the suite's categories, detection off
+//!   and on,
+//! * one fuzzed-trace replay straight through the detector (no simulator),
+//! * the quick and full Table VI sweeps at `--jobs 1` — the end-to-end
+//!   number the ROADMAP's "as fast as the hardware allows" goal is graded
+//!   on.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use scor_suite::micro::all_micros;
+use scord_core::{Detector, FuzzConfig, ScordDetector};
+use scord_sim::DetectionMode;
+
+use crate::exec::Jobs;
+use crate::{apps, run_app, MemoryVariant};
+
+/// Seed for the fuzz-replay basket entry; fixed so every run replays the
+/// identical trace.
+const FUZZ_SEED: u64 = 42;
+/// Events in the fuzz-replay trace — large enough that detector throughput
+/// (not trace generation) dominates the measurement.
+const FUZZ_EVENTS: u32 = 20_000;
+
+/// The eight basket microbenchmarks, one per suite family plus the
+/// highest-traffic variants.
+const BASKET_MICROS: [&str; 8] = [
+    "atom-nr-dev-dev-diff-block",
+    "atom-racey-cta-cta-diff-block",
+    "fence-nr-diff-block-gl-fence",
+    "fence-racey-diff-block-missing",
+    "lock-nr-device-diff-block",
+    "lock-racey-block-diff-block",
+    "lock-racey-store-escapes-cs",
+    "atom-racey-dev-then-weak-load-diff-block",
+];
+
+/// One timed basket entry.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Entry name, e.g. `MM/off` or `table6_quick_sweep`.
+    pub name: String,
+    /// Median wall time over the run's iterations.
+    pub wall: Duration,
+    /// Simulated GPU cycles per iteration (0 for sweep/replay entries that
+    /// aggregate many simulations).
+    pub cycles: u64,
+}
+
+impl Measurement {
+    /// Simulated cycles per wall second (0.0 when `cycles` is 0).
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// One full perf run: the basket measured at a point in time.
+#[derive(Debug, Clone)]
+pub struct PerfRun {
+    /// Run label (e.g. a PR tag), from `--label`.
+    pub label: String,
+    /// Iterations per entry (median taken).
+    pub iters: usize,
+    /// Per-entry measurements, in basket order.
+    pub workloads: Vec<Measurement>,
+}
+
+impl PerfRun {
+    /// Sum of the per-entry medians.
+    #[must_use]
+    pub fn total_wall(&self) -> Duration {
+        self.workloads.iter().map(|m| m.wall).sum()
+    }
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `body` `iters` times, returning the median wall time and the last
+/// iteration's cycle count.
+fn time_entry(iters: usize, mut body: impl FnMut() -> u64) -> (Duration, u64) {
+    let mut samples = Vec::with_capacity(iters);
+    let mut cycles = 0;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        cycles = body();
+        samples.push(t0.elapsed());
+    }
+    (median(samples), cycles)
+}
+
+/// Runs the fixed basket with `iters` iterations per entry (median
+/// reported).
+///
+/// # Panics
+///
+/// Panics if a basket workload fails to simulate — the basket is a fixed
+/// set of known-clean workloads, so a failure is a harness bug.
+#[must_use]
+pub fn run(iters: usize, label: &str) -> PerfRun {
+    let iters = iters.max(1);
+    let mut workloads = Vec::new();
+    let modes = [
+        ("off", DetectionMode::Off),
+        ("scord", DetectionMode::scord()),
+    ];
+
+    // Three applications at quick sizes: MM, RED, GCON.
+    let suite = apps(true);
+    for app in suite
+        .iter()
+        .filter(|a| matches!(a.name(), "MM" | "RED" | "GCON"))
+    {
+        for (mode_name, mode) in modes {
+            let (wall, cycles) = time_entry(iters, || {
+                run_app(app.as_ref(), mode, MemoryVariant::Default).cycles
+            });
+            workloads.push(Measurement {
+                name: format!("{}/{mode_name}", app.name()),
+                wall,
+                cycles,
+            });
+        }
+    }
+
+    // Eight microbenchmarks.
+    let micros = all_micros();
+    for name in BASKET_MICROS {
+        let m = micros
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("basket micro {name:?} missing from the suite"));
+        for (mode_name, mode) in modes {
+            let (wall, cycles) = time_entry(iters, || {
+                let mut gpu = crate::gpu_for(mode, MemoryVariant::Default);
+                m.run(&mut gpu)
+                    .unwrap_or_else(|e| panic!("{}: {e}", m.name))
+                    .cycles
+            });
+            workloads.push(Measurement {
+                name: format!("{name}/{mode_name}"),
+                wall,
+                cycles,
+            });
+        }
+    }
+
+    // One fuzzed-trace replay straight through the detector.
+    let trace = FuzzConfig {
+        events: FUZZ_EVENTS,
+        ..FuzzConfig::default()
+    }
+    .generate(FUZZ_SEED);
+    let (wall, _) = time_entry(iters, || {
+        let mut det = ScordDetector::new(crate::diff::diff_config());
+        trace
+            .replay(&mut det)
+            .unwrap_or_else(|e| panic!("fuzz basket trace must replay: {e}"));
+        u64::from(det.races().unique_count() as u32)
+    });
+    workloads.push(Measurement {
+        name: format!("fuzz_replay_{FUZZ_EVENTS}ev"),
+        wall,
+        cycles: 0,
+    });
+
+    // The Table VI sweeps, serial: the end-to-end regression tripwire.
+    let (wall, _) = time_entry(iters, || {
+        crate::table6::run(true, Jobs::serial())
+            .expect("table6 quick sweep")
+            .len() as u64
+    });
+    workloads.push(Measurement {
+        name: "table6_quick_sweep".into(),
+        wall,
+        cycles: 0,
+    });
+    let (wall, _) = time_entry(iters, || {
+        crate::table6::run(false, Jobs::serial())
+            .expect("table6 full sweep")
+            .len() as u64
+    });
+    workloads.push(Measurement {
+        name: "table6_full_sweep".into(),
+        wall,
+        cycles: 0,
+    });
+
+    PerfRun {
+        label: label.to_string(),
+        iters,
+        workloads,
+    }
+}
+
+/// Renders a perf run as a markdown table (stdout companion to the JSON).
+#[must_use]
+pub fn to_markdown(run: &PerfRun) -> String {
+    let body: Vec<Vec<String>> = run
+        .workloads
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                format!("{}", m.wall.as_nanos()),
+                format!("{:.3}", m.wall.as_secs_f64() * 1e3),
+                if m.cycles == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.0}", m.cycles_per_sec())
+                },
+            ]
+        })
+        .collect();
+    let mut out = crate::render_table(
+        &[
+            "Workload",
+            "median wall (ns)",
+            "median wall (ms)",
+            "sim cycles/s",
+        ],
+        &body,
+    );
+    let _ = write!(
+        out,
+        "\nTotal (sum of medians): {:.3} ms over {} iteration(s) per entry.",
+        run.total_wall().as_secs_f64() * 1e3,
+        run.iters
+    );
+    out
+}
+
+// ---- BENCH_sim.json ------------------------------------------------------
+
+/// Default location of the benchmark record: `BENCH_sim.json` at the repo
+/// root (two levels above this crate's manifest).
+#[must_use]
+pub fn default_bench_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_run(run: &PerfRun) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "    {{\n      \"label\": \"{}\",\n      \"iters\": {},\n      \
+         \"total_wall_ns\": {},\n      \"workloads\": [\n",
+        json_escape(&run.label),
+        run.iters,
+        run.total_wall().as_nanos()
+    );
+    for (i, m) in run.workloads.iter().enumerate() {
+        let comma = if i + 1 < run.workloads.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "        {{\"name\": \"{}\", \"wall_ns\": {}, \"cycles\": {}, \
+             \"cycles_per_sec\": {:.1}}}{comma}",
+            json_escape(&m.name),
+            m.wall.as_nanos(),
+            m.cycles,
+            m.cycles_per_sec()
+        );
+    }
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// Extracts the raw text of each element of the top-level `"runs": [...]`
+/// array from an existing `BENCH_sim.json`, so appending a run preserves
+/// history verbatim without a full JSON parser. Returns `None` (start
+/// fresh) when the file does not match the expected shape.
+fn existing_runs(text: &str) -> Option<Vec<String>> {
+    let key = text.find("\"runs\"")?;
+    let open = key + text[key..].find('[')?;
+    // Bracket/string-aware scan of the array body.
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut elems = Vec::new();
+    let mut start = None;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' | b'{' => {
+                if depth == 1 && start.is_none() {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            b']' | b'}' => {
+                depth -= 1;
+                if depth == 1 {
+                    let s = start.take()?;
+                    elems.push(text[s..=i].trim().to_string());
+                }
+                if depth == 0 {
+                    return Some(elems);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Serializes `runs` into the `BENCH_sim.json` document format.
+fn render_document(raw_runs: &[String]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"runs\": [\n");
+    for (i, r) in raw_runs.iter().enumerate() {
+        // Re-indent preserved raw runs to the array's nesting level.
+        let indented = if r.starts_with('{') && !r.starts_with("{\n") && !r.contains('\n') {
+            format!("    {r}")
+        } else if r.starts_with("    ") {
+            r.clone()
+        } else {
+            format!("    {r}")
+        };
+        let comma = if i + 1 < raw_runs.len() { "," } else { "" };
+        let _ = writeln!(out, "{}{comma}", indented.trim_end());
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Appends `run` to the `BENCH_sim.json` at `path` (creating it if absent
+/// or malformed) and returns the number of runs now recorded.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from reading or writing the record.
+pub fn append_to_bench_json(path: &Path, run: &PerfRun) -> std::io::Result<usize> {
+    let mut raw: Vec<String> = match fs::read_to_string(path) {
+        Ok(text) => existing_runs(&text).unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    raw.push(render_run(run));
+    let n = raw.len();
+    fs::write(path, render_document(&raw))?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_run(label: &str) -> PerfRun {
+        PerfRun {
+            label: label.into(),
+            iters: 1,
+            workloads: vec![
+                Measurement {
+                    name: "a/off".into(),
+                    wall: Duration::from_nanos(1000),
+                    cycles: 500,
+                },
+                Measurement {
+                    name: "sweep".into(),
+                    wall: Duration::from_nanos(2500),
+                    cycles: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_and_reextract_roundtrip() {
+        let doc = render_document(&[render_run(&fake_run("one"))]);
+        let runs = existing_runs(&doc).expect("document parses");
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].contains("\"label\": \"one\""));
+        assert!(runs[0].contains("\"total_wall_ns\": 3500"));
+        // Appending preserves the first run verbatim.
+        let mut raw = runs;
+        raw.push(render_run(&fake_run("two")));
+        let doc2 = render_document(&raw);
+        let runs2 = existing_runs(&doc2).expect("still parses");
+        assert_eq!(runs2.len(), 2);
+        assert!(runs2[0].contains("one") && runs2[1].contains("two"));
+    }
+
+    #[test]
+    fn malformed_file_starts_fresh() {
+        assert!(existing_runs("not json at all").is_none());
+        assert!(existing_runs("{\"schema\": 1}").is_none());
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let d = |n| Duration::from_nanos(n);
+        assert_eq!(median(vec![d(9), d(1), d(5)]), d(5));
+        assert_eq!(median(vec![d(2), d(1)]), d(2));
+        assert_eq!(median(vec![d(7)]), d(7));
+    }
+
+    #[test]
+    fn cycles_per_sec_guards_zero() {
+        let m = Measurement {
+            name: "x".into(),
+            wall: Duration::from_secs(1),
+            cycles: 0,
+        };
+        assert_eq!(m.cycles_per_sec(), 0.0);
+        let m2 = Measurement {
+            cycles: 1_000_000,
+            ..m
+        };
+        assert!((m2.cycles_per_sec() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn basket_micro_names_exist_in_suite() {
+        let names: Vec<&str> = all_micros().iter().map(|m| m.name).collect();
+        for n in BASKET_MICROS {
+            assert!(names.contains(&n), "basket micro {n:?} missing");
+        }
+    }
+}

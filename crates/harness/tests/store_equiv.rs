@@ -1,0 +1,153 @@
+//! Flat-vs-reference metadata-store equivalence.
+//!
+//! The production stores index their entries with [`scord_core::FlatMap`]
+//! (open addressing, Fibonacci hashing, backward-shift deletion); the
+//! original `HashMap`-backed twins survive as `ReferenceFullStore` /
+//! `ReferenceCachedStore`. Both layouts must be observationally identical:
+//! this suite replays every captured microbenchmark trace and 200 fuzzed
+//! traces through a detector built on each store and asserts the race
+//! reports match record-for-record, then stress-grows a flat-backed store
+//! far past several capacity doublings against the reference.
+
+use scor_suite::micro::all_micros;
+use scord_core::{
+    build_reference_store, build_store, Detector, DetectorConfig, FuzzConfig, MetadataEntry,
+    RecordingDetector, ScordDetector, SplitMix64, StoreKind, Trace,
+};
+use scord_sim::{DetectionMode, Gpu, GpuConfig};
+
+const MEM_BYTES: u64 = 1 << 20;
+
+/// The two store layouts the simulator exercises: the paper's direct-mapped
+/// cache and the eviction-free full store.
+const KINDS: [StoreKind; 2] = [
+    StoreKind::Cached { ratio: 16 },
+    StoreKind::Full { granularity: 4 },
+];
+
+fn config_with(kind: StoreKind) -> DetectorConfig {
+    DetectorConfig {
+        store: kind,
+        max_race_records: 1 << 20,
+        ..DetectorConfig::paper_default(MEM_BYTES)
+    }
+}
+
+/// Replays `trace` through a flat-backed and a reference-backed detector
+/// with identical configuration and asserts record-identical race reports.
+fn assert_store_equivalent(trace: &Trace, cfg: DetectorConfig, label: &str) {
+    let mut flat = ScordDetector::with_store(cfg, build_store(cfg.store, cfg.metadata_base));
+    let mut reference =
+        ScordDetector::with_store(cfg, build_reference_store(cfg.store, cfg.metadata_base));
+    trace
+        .replay(&mut flat)
+        .unwrap_or_else(|e| panic!("{label}: flat-store replay failed: {e}"));
+    trace
+        .replay(&mut reference)
+        .unwrap_or_else(|e| panic!("{label}: reference-store replay failed: {e}"));
+    assert_eq!(
+        flat.races().records(),
+        reference.races().records(),
+        "{label}: flat and reference stores must report identical races"
+    );
+}
+
+/// Every captured microbenchmark trace replays identically through both
+/// store layouts (both kinds each).
+#[test]
+fn micro_traces_are_store_equivalent() {
+    for m in all_micros() {
+        let gpu_cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
+        let mut captured_dc = None;
+        let mut gpu = Gpu::try_with_detector_factory(gpu_cfg, |dc| {
+            captured_dc = Some(dc);
+            Box::new(RecordingDetector::new(ScordDetector::new(dc)))
+        })
+        .expect("paper-default geometry is valid");
+        m.run(&mut gpu)
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", m.name));
+        let trace = gpu
+            .recorded_trace()
+            .expect("recording detector attached")
+            .clone();
+        let dc = captured_dc.expect("factory ran");
+        for kind in KINDS {
+            let cfg = DetectorConfig {
+                store: kind,
+                max_race_records: 1 << 20,
+                ..dc
+            };
+            assert_store_equivalent(&trace, cfg, &format!("micro {} ({kind:?})", m.name));
+        }
+    }
+}
+
+/// 200 fuzzed traces across several machine shapes and race-injection
+/// rates replay identically through both store layouts (both kinds each).
+#[test]
+fn fuzzed_traces_are_store_equivalent() {
+    const CASES: usize = 200;
+    const RACE_PCT: [u32; 4] = [0, 10, 30, 60];
+    const SHAPES: [(u8, u8, u8); 4] = [(2, 2, 2), (1, 2, 4), (2, 1, 2), (3, 2, 1)];
+    let mut root = SplitMix64::new(0x5702_e4a1);
+    for index in 0..CASES {
+        let (sms, blocks_per_sm, warps_per_block) = SHAPES[(index / 4) % 4];
+        let fuzz = FuzzConfig {
+            sms,
+            blocks_per_sm,
+            warps_per_block,
+            race_pct: RACE_PCT[index % 4],
+            ..FuzzConfig::default()
+        };
+        let seed = root.next_u64();
+        let trace = fuzz.generate(seed);
+        for kind in KINDS {
+            assert_store_equivalent(
+                &trace,
+                config_with(kind),
+                &format!("fuzz case {index} seed {seed} ({kind:?})"),
+            );
+        }
+    }
+}
+
+/// Property: filling a flat-backed full store far past several capacity
+/// doublings loses nothing — every slot still loads exactly what the
+/// reference store holds, including after interleaved evictions.
+#[test]
+fn flat_store_survives_growth_to_capacity() {
+    let base = 1 << 20;
+    let mut flat = build_store(StoreKind::Full { granularity: 4 }, base);
+    let mut reference = build_reference_store(StoreKind::Full { granularity: 4 }, base);
+    let mut rng = SplitMix64::new(42);
+    let mut live: Vec<u64> = Vec::new();
+    // 60k inserts force the table through multiple doublings from its
+    // 16-slot floor; one in eight steps evicts a previously-stored address.
+    for step in 0..60_000u64 {
+        if step % 8 == 7 && !live.is_empty() {
+            let victim = live[(rng.next_u64() as usize) % live.len()];
+            flat.evict(victim);
+            reference.evict(victim);
+        } else {
+            let addr = (rng.next_u64() % (MEM_BYTES / 4)) * 4;
+            let mut entry = MetadataEntry::initialized();
+            entry.set_block_id((rng.next_u64() & 0xF) as u8);
+            entry.set_warp_id((rng.next_u64() & 0x1F) as u8);
+            flat.store(addr, entry);
+            reference.store(addr, entry);
+            live.push(addr);
+        }
+    }
+    for &addr in &live {
+        assert_eq!(
+            flat.load(addr),
+            reference.load(addr),
+            "flat store diverged from reference at 0x{addr:x} after growth"
+        );
+    }
+    // Reset must drop back to the pristine state on both.
+    flat.reset();
+    reference.reset();
+    assert_eq!(flat.load(live[0]), reference.load(live[0]));
+    assert!(flat.load(live[0]).fresh, "reset store must look untouched");
+}

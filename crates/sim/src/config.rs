@@ -189,6 +189,13 @@ pub struct GpuConfig {
     /// (detector state corruption plus queue-level event faults). Ignored
     /// when detection is off.
     pub fault: Option<FaultPlan>,
+    /// Skip ahead over cycles in which no component can make progress
+    /// (quiescence skip — see the "Performance engineering" section of
+    /// DESIGN.md). Simulation results are byte-identical with or without
+    /// it; `false` forces the exhaustive cycle-by-cycle loop for
+    /// debugging. Also gated process-wide by
+    /// [`crate::set_cycle_skip`].
+    pub cycle_skip: bool,
 }
 
 impl GpuConfig {
@@ -226,6 +233,7 @@ impl GpuConfig {
             detector_throughput: 12,
             detection_header_bytes: 8,
             fault: None,
+            cycle_skip: true,
         }
     }
 

@@ -65,7 +65,15 @@ pub struct DetectorUnit {
     /// Queue-level fault injector (event drop/duplicate/reorder), on an
     /// independent stream from the detector's own injector.
     injector: Option<FaultInjector>,
+    /// Recycled lane-access buffers: finished (or dropped) `Access` events
+    /// return their `Vec` here, [`DetectorUnit::take_spare`] hands it back
+    /// to the SM building the next detection packet. Bounded so a burst
+    /// cannot pin memory.
+    spare: Vec<Vec<MemAccess>>,
 }
+
+/// Upper bound on pooled lane-access buffers (32 lanes × 64 ≈ a few KB).
+const SPARE_CAP: usize = 64;
 
 impl DetectorUnit {
     /// Wraps `detector` with a `capacity`-entry input queue.
@@ -88,6 +96,21 @@ impl DetectorUnit {
             capacity,
             head_progress: 0,
             injector: plan.map(|p| FaultInjector::derived(p, QUEUE_FAULT_STREAM)),
+            spare: Vec::new(),
+        }
+    }
+
+    /// An empty lane-access buffer, recycled from a previously processed
+    /// `Access` event when one is pooled.
+    #[must_use]
+    pub fn take_spare(&mut self) -> Vec<MemAccess> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut accesses: Vec<MemAccess>) {
+        if self.spare.len() < SPARE_CAP {
+            accesses.clear();
+            self.spare.push(accesses);
         }
     }
 
@@ -108,7 +131,11 @@ impl DetectorUnit {
         };
         match action {
             EventAction::Deliver => self.queue.push_back(ev),
-            EventAction::Drop => {}
+            EventAction::Drop => {
+                if let DetectorEvent::Access { accesses } = ev {
+                    self.recycle(accesses);
+                }
+            }
             EventAction::Duplicate => {
                 self.queue.push_back(ev.clone());
                 self.queue.push_back(ev);
@@ -161,6 +188,7 @@ impl DetectorUnit {
                     if self.head_progress >= accesses.len() {
                         self.head_progress = 0;
                         stats.detector_events += 1;
+                        self.recycle(accesses);
                     } else {
                         self.queue.push_front(DetectorEvent::Access { accesses });
                         break; // budget exhausted mid-event

@@ -60,6 +60,15 @@ impl DramChannel {
         self.queue.is_empty() && self.busy_until <= now
     }
 
+    /// Cycle at which the current in-flight request completes (0 when the
+    /// channel has never serviced one). While the channel is non-idle, no
+    /// queued request can start before this — the bound the simulator's
+    /// quiescence skip uses.
+    #[must_use]
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
     /// Total requests serviced so far.
     #[must_use]
     pub fn serviced(&self) -> u64 {

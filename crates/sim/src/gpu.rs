@@ -2,12 +2,14 @@
 //! scheduling and SIMT execution, the coalescer, L1/L2 caches, the crossbar
 //! NoC, GDDR5 channels, and the race-detector attachment.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use scord_core::{AccessKind, Accessor, AtomKind, MemAccess, RaceLog, ScordDetector, Trace};
+use scord_core::{
+    AccessKind, Accessor, AtomKind, FlatMap, MemAccess, RaceLog, ScordDetector, Trace,
+};
 use scord_isa::{AtomOp, Instr, Pc, Program, Scope, Space, SpecialReg};
 
 use crate::{
@@ -89,7 +91,27 @@ struct Partition {
     rx_free_at: u64,
     l2_free_at: u64,
     dram: DramChannel,
-    pending_fills: HashMap<u64, Vec<Packet>>,
+    /// Packets waiting on an in-flight DRAM read, keyed by line address.
+    /// Flat table + waiter-`Vec` pool: miss handling and fill wakeup sit on
+    /// the per-access hot path, so neither should allocate in steady state.
+    pending_fills: FlatMap<Vec<Packet>>,
+    /// Spare waiter lists recycled by fill wakeups (capacity retained).
+    fill_pool: Vec<Vec<Packet>>,
+}
+
+/// Reusable per-access buffers for [`Gpu::exec_global`]. One warp memory
+/// instruction used to allocate four fresh `Vec`s; these live on the `Gpu`
+/// and are taken/restored around each access instead.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// `(lane, byte address)` per active lane.
+    lane_addrs: Vec<(u32, u64)>,
+    /// Coalesced `(line address, lane mask)` transactions.
+    line_lanes: Vec<(u64, u32)>,
+    /// Transactions missing L1 (or bypassing it).
+    to_l2: Vec<(u64, u32)>,
+    /// Lines hitting L1.
+    l1_hits: Vec<u64>,
 }
 
 /// Simulation failures.
@@ -207,6 +229,13 @@ pub struct Gpu {
     next_block: u32,
     blocks_live: u32,
     noc_rr: usize,
+    scratch: Scratch,
+    /// `true` while next cycle's block dispatch might place a block: set at
+    /// launch and whenever a block retires (freeing resources), kept set
+    /// while a dispatch pass places anything (the pass is capped at one
+    /// block per SM per cycle). When clear, dispatch cannot progress until
+    /// a block finishes — which lets the quiescence skip ignore it.
+    dispatch_hint: bool,
 }
 
 impl fmt::Debug for Gpu {
@@ -291,7 +320,8 @@ impl Gpu {
                 rx_free_at: 0,
                 l2_free_at: 0,
                 dram: DramChannel::new(cfg.dram, cfg.banks_per_channel, cfg.row_bytes),
-                pending_fills: HashMap::new(),
+                pending_fills: FlatMap::new(),
+                fill_pool: Vec::new(),
             })
             .collect();
         Ok(Gpu {
@@ -313,6 +343,8 @@ impl Gpu {
             next_block: 0,
             blocks_live: 0,
             noc_rr: 0,
+            scratch: Scratch::default(),
+            dispatch_hint: true,
         })
     }
 
@@ -409,12 +441,14 @@ impl Gpu {
         self.blocks_live = 0;
         self.now = 0;
         self.seq = 0;
+        self.dispatch_hint = true;
         self.heap.clear();
         self.stats = SimStats::default();
         for sm in &mut self.sms {
             sm.rr = 0;
             sm.tx_free_at = 0;
             sm.out_queue.clear();
+            sm.recompute_occupied();
         }
         for p in &mut self.parts {
             p.rx_free_at = 0;
@@ -427,10 +461,25 @@ impl Gpu {
             det.detector_mut().on_kernel_boundary();
         }
 
+        // Sampled once per launch so flipping the process-wide override
+        // mid-simulation cannot affect an in-flight run. Results are
+        // byte-identical either way (the skip only jumps over cycles in
+        // which no component can make progress, replicating their per-cycle
+        // bookkeeping); skipping is the default because stall-heavy phases
+        // dominate wall-clock otherwise.
+        let skip = self.cfg.cycle_skip && crate::cycle_skip_enabled();
         while !self.finished() {
-            self.tick()?;
+            let busy = self.tick()?;
             if self.now > self.max_cycles {
                 return Err(SimError::Timeout { cycles: self.now });
+            }
+            // The skip scan ([`Gpu::next_wake`]) costs a pass over every
+            // resident warp and queue, so only attempt it after a tick that
+            // made no observable progress. Deferring a possible jump by one
+            // busy tick is byte-identical: that tick replicates exactly the
+            // per-cycle bookkeeping the jump would have accounted for.
+            if skip && !busy && !self.finished() {
+                self.skip_idle_cycles();
             }
         }
 
@@ -454,6 +503,111 @@ impl Gpu {
             && self.detector.as_ref().is_none_or(DetectorUnit::is_idle)
     }
 
+    /// Earliest future cycle at which any component can make progress, or
+    /// `u64::MAX` when nothing ever will (deadlock — the watchdog handles
+    /// it). Undershooting is always safe (the skipped-to cycle simply makes
+    /// no progress); overshooting would change results, so every bound here
+    /// is conservative:
+    ///
+    /// * the event heap's minimum (memory responses, DRAM completions);
+    /// * block dispatch, whenever it might still place a block;
+    /// * each resident warp's wake time — `Ready { at }`, a timed fence, or
+    ///   "next cycle" for a fence whose drain already completed (the
+    ///   prepass arms it one cycle later);
+    /// * each SM with queued NoC traffic: its injection link and the head
+    ///   packet's target-partition link;
+    /// * each partition with queued L2 traffic: the L2 port and the head
+    ///   packet's arrival time;
+    /// * each non-idle DRAM channel: its busy-until horizon;
+    /// * the detector whenever its queue is non-empty (it consumes events
+    ///   every cycle).
+    fn next_wake(&self) -> u64 {
+        let floor = self.now + 1;
+        if self.next_block < self.grid_blocks && self.dispatch_hint {
+            return floor;
+        }
+        if self.detector.as_ref().is_some_and(|d| !d.is_idle()) {
+            return floor;
+        }
+        let mut t = u64::MAX;
+        if let Some(item) = self.heap.peek() {
+            t = t.min(item.time.max(floor));
+        }
+        for sm in &self.sms {
+            let mut occ = sm.occupied;
+            while occ != 0 {
+                let idx = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let Some(w) = sm.warps[idx].as_ref() else {
+                    continue;
+                };
+                match w.state {
+                    WarpState::Ready { at } => t = t.min(at.max(floor)),
+                    WarpState::WaitFence { end: Some(end), .. } => t = t.min(end.max(floor)),
+                    WarpState::WaitFence { end: None, .. }
+                        if w.outstanding_stores == 0 && w.pending_loads == 0 =>
+                    {
+                        return floor;
+                    }
+                    // WaitMem / WaitBarrier / draining fences wake via the
+                    // event heap or another warp's progress.
+                    _ => {}
+                }
+            }
+            if let Some(front) = sm.out_queue.front() {
+                let part = self.partition_of(front.line_addr);
+                let ready = sm.tx_free_at.max(self.parts[part].rx_free_at);
+                t = t.min(ready.max(floor));
+            }
+        }
+        for p in &self.parts {
+            if let Some(front) = p.in_queue.front() {
+                let ready = p.l2_free_at.max(front.ready_at);
+                t = t.min(ready.max(floor));
+            }
+            if !p.dram.idle(self.now) {
+                t = t.min(p.dram.busy_until().max(floor));
+            }
+        }
+        t
+    }
+
+    /// Jumps `now` to the cycle before [`Gpu::next_wake`], replicating the
+    /// per-cycle bookkeeping the skipped ticks would have performed: one
+    /// memory-stall count per `WaitMem` warp per cycle, one barrier-stall
+    /// count per `WaitBarrier` warp per cycle, and the NoC round-robin
+    /// pointer advancing every cycle. Nothing else mutates during a
+    /// no-progress cycle, so results are byte-identical to ticking through.
+    /// The jump is clamped to the watchdog horizon so a deadlock times out
+    /// at exactly the same cycle count as un-skipped execution.
+    fn skip_idle_cycles(&mut self) {
+        let target = self.next_wake();
+        let jump_to = target.saturating_sub(1).min(self.max_cycles);
+        if jump_to <= self.now {
+            return;
+        }
+        let skipped = jump_to - self.now;
+        let mut mem_stalled = 0u64;
+        let mut barrier_stalled = 0u64;
+        for sm in &self.sms {
+            let mut occ = sm.occupied;
+            while occ != 0 {
+                let idx = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                match sm.warps[idx].as_ref().map(|w| &w.state) {
+                    Some(WarpState::WaitMem) => mem_stalled += 1,
+                    Some(WarpState::WaitBarrier) => barrier_stalled += 1,
+                    _ => {}
+                }
+            }
+        }
+        self.stats.stalls.memory += skipped * mem_stalled;
+        self.stats.stalls.barrier += skipped * barrier_stalled;
+        self.noc_rr = self.noc_rr.wrapping_add(skipped as usize);
+        self.stats.cycles_skipped += skipped;
+        self.now = jump_to;
+    }
+
     fn push_event(&mut self, time: u64, ev: Ev) {
         self.seq += 1;
         self.heap.push(HeapItem {
@@ -463,9 +617,26 @@ impl Gpu {
         });
     }
 
-    fn tick(&mut self) -> Result<(), SimError> {
+    /// Advances the machine one cycle. Returns `true` when the cycle made
+    /// observable progress (an event fired, a block dispatched, an
+    /// instruction issued or stalled actively, a packet moved, the L2
+    /// serviced, or the detector is draining) — the signal the launch loop
+    /// uses to decide whether attempting a quiescence skip is worthwhile.
+    /// The flag is purely a performance hint: skipping is safe after any
+    /// tick, and not skipping merely ticks through the idle span with
+    /// identical bookkeeping.
+    fn tick(&mut self) -> Result<bool, SimError> {
         self.now += 1;
-        self.drain_events();
+        let insts0 = self.stats.warp_instructions;
+        let flits0 = self.stats.noc_flits;
+        let det0 = self.stats.detector_events;
+        let l2_0 = self.stats.l2_data_hits
+            + self.stats.l2_data_misses
+            + self.stats.l2_md_hits
+            + self.stats.l2_md_misses;
+        let active_stalls0 = self.stats.stalls.noc_full + self.stats.stalls.lhd;
+        let next_block0 = self.next_block;
+        let drained = self.drain_events();
         self.dispatch_blocks();
         for s in 0..self.sms.len() {
             self.sm_tick(s)?;
@@ -475,13 +646,27 @@ impl Gpu {
             self.part_tick(p);
         }
         self.detector_tick()?;
-        Ok(())
+        Ok(drained
+            || self.next_block != next_block0
+            || self.stats.warp_instructions != insts0
+            || self.stats.noc_flits != flits0
+            || self.stats.detector_events != det0
+            || self.stats.l2_data_hits
+                + self.stats.l2_data_misses
+                + self.stats.l2_md_hits
+                + self.stats.l2_md_misses
+                != l2_0
+            || self.stats.stalls.noc_full + self.stats.stalls.lhd != active_stalls0
+            || self.detector.as_ref().is_some_and(|d| !d.is_idle()))
     }
 
     // ---- event heap -------------------------------------------------------
 
-    fn drain_events(&mut self) {
+    /// Fires all events due at or before `now`; returns `true` if any fired.
+    fn drain_events(&mut self) -> bool {
+        let mut any = false;
         while matches!(self.heap.peek(), Some(i) if i.time <= self.now) {
+            any = true;
             let item = self.heap.pop().expect("peeked");
             match item.ev {
                 Ev::WarpResponse {
@@ -505,16 +690,19 @@ impl Gpu {
                     }
                 }
                 Ev::DramDone { part, req } => {
-                    let waiters = self.parts[part]
-                        .pending_fills
-                        .remove(&req.line_addr)
-                        .unwrap_or_default();
-                    for pkt in waiters {
-                        self.respond(&pkt, self.now + 4);
+                    if let Some(mut waiters) = self.parts[part].pending_fills.remove(req.line_addr)
+                    {
+                        for pkt in waiters.drain(..) {
+                            self.respond(&pkt, self.now + 4);
+                        }
+                        // Recycle the drained list; its capacity serves the
+                        // next miss on this partition without allocating.
+                        self.parts[part].fill_pool.push(waiters);
                     }
                 }
             }
         }
+        any
     }
 
     fn respond(&mut self, pkt: &Packet, time: u64) {
@@ -545,6 +733,7 @@ impl Gpu {
         if self.next_block >= self.grid_blocks {
             return;
         }
+        let mut dispatched = false;
         let program = self.program.clone().expect("launch in progress");
         for s in 0..self.sms.len() {
             if self.next_block >= self.grid_blocks {
@@ -565,6 +754,7 @@ impl Gpu {
             let ctaid = self.next_block;
             self.next_block += 1;
             self.blocks_live += 1;
+            dispatched = true;
             let block_slot_global = u8::try_from(s as u32 * self.cfg.blocks_per_sm + bslot as u32)
                 .expect("validated: num_sms × blocks_per_sm fits the BlockID field");
             let block = SmBlock {
@@ -590,6 +780,7 @@ impl Gpu {
                     lanes,
                     program.num_regs(),
                 ));
+                sm.occupied |= 1u64 << slot;
                 if let Some(det) = &mut self.detector {
                     det.enqueue(DetectorEvent::WarpAssigned {
                         sm: s as u8,
@@ -598,6 +789,10 @@ impl Gpu {
                 }
             }
         }
+        // A pass that placed a block may place another next cycle (the loop
+        // caps dispatch at one block per SM per cycle); a pass that placed
+        // nothing cannot succeed until a block retires and frees resources.
+        self.dispatch_hint = dispatched;
     }
 
     // ---- SM scheduling ----------------------------------------------------
@@ -605,9 +800,26 @@ impl Gpu {
     fn sm_tick(&mut self, s: usize) -> Result<(), SimError> {
         self.sm_prepass(s);
         let nw = self.sms[s].warps.len();
+        let slot_mask = (1u64 << nw) - 1;
         let mut issued = 0;
-        let mut probe = 0;
+        let mut probe: u32 = 0;
         while issued < self.cfg.issue_width && probe < nw as u32 {
+            let occ = self.sms[s].occupied;
+            if occ == 0 {
+                break;
+            }
+            // Advance `probe` over empty slots in one step: rotate the
+            // occupancy mask so the current probe position is bit 0, then
+            // count the zeros below the next live slot. Each skipped empty
+            // slot still consumes one probe, exactly as the original
+            // slot-by-slot scan did, so the issue order and the round-robin
+            // pointer evolve identically.
+            let pos = (self.sms[s].rr + probe as usize) % nw;
+            let rot = ((occ >> pos) | (occ << (nw - pos))) & slot_mask;
+            probe += rot.trailing_zeros();
+            if probe >= nw as u32 {
+                break;
+            }
             let idx = (self.sms[s].rr + probe as usize) % nw;
             probe += 1;
             let ready = matches!(
@@ -638,9 +850,15 @@ impl Gpu {
     }
 
     /// Cheap per-cycle state progression: fence completion, drained exits,
-    /// stall accounting.
+    /// stall accounting. Iterates the occupancy bitmask rather than every
+    /// slot; the snapshot may go stale when a retirement mid-loop clears a
+    /// later bit, so each slot is still re-checked for residency (matching
+    /// the original full scan's behaviour exactly).
     fn sm_prepass(&mut self, s: usize) {
-        for idx in 0..self.sms[s].warps.len() {
+        let mut occ = self.sms[s].occupied;
+        while occ != 0 {
+            let idx = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
             let Some(w) = self.sms[s].warps[idx].as_mut() else {
                 continue;
             };
@@ -741,10 +959,12 @@ impl Gpu {
         let regs = u32::from(program.num_regs()) * self.threads_per_block;
         for slot in block.warp_slots {
             self.sms[s].warps[slot] = None;
+            self.sms[s].occupied &= !(1u64 << slot);
         }
         self.sms[s].free_regs += regs;
         self.sms[s].free_shared += program.shared_bytes();
         self.blocks_live -= 1;
+        self.dispatch_hint = true;
     }
 
     // ---- instruction execution --------------------------------------------
@@ -755,8 +975,13 @@ impl Gpu {
             warp.state = WarpState::Done;
             return Ok(Outcome::Exited);
         };
-        let program = self.program.clone().expect("launch in progress");
-        let instr = *program.fetch(pc).unwrap_or(&Instr::Exit);
+        // Copy the instruction out so the `Arc` is borrowed only briefly —
+        // cloning it here put an atomic refcount round-trip on every issued
+        // instruction.
+        let instr = {
+            let program = self.program.as_ref().expect("launch in progress");
+            *program.fetch(pc).unwrap_or(&Instr::Exit)
+        };
 
         match instr {
             Instr::Mov { dst, src } => {
@@ -968,6 +1193,9 @@ impl Gpu {
         self.stats.thread_instructions += u64::from(mask.count_ones());
     }
 
+    /// Takes the reusable scratch buffers off `self` for the duration of
+    /// one global access, so [`Gpu::exec_global_with`] can fill them while
+    /// still borrowing `self` mutably (and early returns restore them).
     fn exec_global(
         &mut self,
         s: usize,
@@ -977,8 +1205,51 @@ impl Gpu {
         op: GlobalOp,
         addr: scord_isa::MemAddr,
     ) -> Result<Outcome, SimError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.exec_global_with(s, warp, pc, mask, op, addr, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_global_with(
+        &mut self,
+        s: usize,
+        warp: &mut Warp,
+        pc: Pc,
+        mask: u32,
+        op: GlobalOp,
+        addr: scord_isa::MemAddr,
+        scratch: &mut Scratch,
+    ) -> Result<Outcome, SimError> {
+        let (is_store, is_atomic, strong) = match op {
+            GlobalOp::Load { strong, .. } => (false, false, strong),
+            GlobalOp::Store { strong, .. } => (true, false, strong),
+            GlobalOp::Atomic { .. } => (true, true, true),
+        };
+        let use_l1 = !strong && !is_store && !is_atomic;
+
+        // Fast stall check before any address work: an access that bypasses
+        // L1 always generates at least one L2 transaction (the executed
+        // mask is never empty), so when the queue is already over the
+        // high-water mark it will stall no matter what it touches. Under
+        // congestion a warp retries every cycle; without this check each
+        // retry re-gathered and re-coalesced all 32 lane addresses. (An
+        // out-of-bounds address on such a retrying access is now reported
+        // when the queue drains rather than during the stall — identical
+        // outcome for every program that does not abort.)
+        if !use_l1
+            && !self.sms[s].out_queue.is_empty()
+            && self.sms[s].out_queue.len() + 1 > self.cfg.noc_queue
+        {
+            self.stats.stalls.noc_full += 1;
+            warp.state = WarpState::Ready { at: self.now + 1 };
+            return Ok(Outcome::Stalled);
+        }
+
         // Gather lane addresses and coalesce into lines.
-        let mut lane_addrs: Vec<(u32, u64)> = Vec::with_capacity(mask.count_ones() as usize);
+        let lane_addrs = &mut scratch.lane_addrs;
+        lane_addrs.clear();
         for lane in lanes(mask) {
             let a = u64::from(addr.resolve(warp.reg(lane, addr.base)));
             if a % 4 != 0 || a + 4 > self.mem.bytes() {
@@ -987,8 +1258,9 @@ impl Gpu {
             lane_addrs.push((lane, a));
         }
         let line_mask = u64::from(self.cfg.line_bytes - 1);
-        let mut line_lanes: Vec<(u64, u32)> = Vec::new();
-        for &(lane, a) in &lane_addrs {
+        let line_lanes = &mut scratch.line_lanes;
+        line_lanes.clear();
+        for &(lane, a) in lane_addrs.iter() {
             let line = a & !line_mask;
             match line_lanes.iter_mut().find(|(l, _)| *l == line) {
                 Some((_, lm)) => *lm |= 1 << lane,
@@ -996,18 +1268,13 @@ impl Gpu {
             }
         }
 
-        let (is_store, is_atomic, strong) = match op {
-            GlobalOp::Load { strong, .. } => (false, false, strong),
-            GlobalOp::Store { strong, .. } => (true, false, strong),
-            GlobalOp::Atomic { .. } => (true, true, true),
-        };
-        let use_l1 = !strong && !is_store && !is_atomic;
-
         // L1 classification (weak loads only).
         let mut hit_lines = 0usize;
-        let mut to_l2: Vec<(u64, u32)> = Vec::new();
-        let mut l1_hits: Vec<u64> = Vec::new();
-        for &(line, lm) in &line_lanes {
+        let to_l2 = &mut scratch.to_l2;
+        to_l2.clear();
+        let l1_hits = &mut scratch.l1_hits;
+        l1_hits.clear();
+        for &(line, lm) in line_lanes.iter() {
             if use_l1 && self.sms[s].l1.probe(line) {
                 hit_lines += 1;
                 l1_hits.push(line);
@@ -1038,7 +1305,18 @@ impl Gpu {
 
         // ---- commit: function first ------------------------------------
         self.count_issue(mask);
-        let mut accesses: Vec<MemAccess> = Vec::with_capacity(lane_addrs.len());
+        // The lane-access list is only materialized when a detector will
+        // consume it, and its buffer is recycled through the detector
+        // unit's spare pool rather than allocated per instruction.
+        let record = self.detector.is_some();
+        let mut accesses: Vec<MemAccess> = match &mut self.detector {
+            Some(det) => {
+                let mut v = det.take_spare();
+                v.reserve(lane_addrs.len());
+                v
+            }
+            None => Vec::new(),
+        };
         let who = Accessor {
             sm: s as u8,
             block_slot: self.sms[s].blocks[warp.block_index]
@@ -1047,7 +1325,7 @@ impl Gpu {
                 .block_slot_global,
             warp_slot: warp.warp_slot,
         };
-        for &(lane, a) in &lane_addrs {
+        for &(lane, a) in lane_addrs.iter() {
             let kind = match op {
                 GlobalOp::Load { dst, .. } => {
                     let v = self.mem.read_word(a);
@@ -1081,13 +1359,15 @@ impl Gpu {
                     AccessKind::Atomic { kind, scope }
                 }
             };
-            accesses.push(MemAccess {
-                kind,
-                addr: a,
-                strong,
-                pc,
-                who,
-            });
+            if record {
+                accesses.push(MemAccess {
+                    kind,
+                    addr: a,
+                    strong,
+                    pc,
+                    who,
+                });
+            }
         }
         if let Some(det) = &mut self.detector {
             det.enqueue(DetectorEvent::Access { accesses });
@@ -1098,7 +1378,7 @@ impl Gpu {
             op,
             GlobalOp::Load { .. } | GlobalOp::Atomic { dst: Some(_), .. }
         );
-        for line in l1_hits {
+        for &line in l1_hits.iter() {
             let _ = self.sms[s].l1.access(line, false, false);
             self.stats.l1_hits += 1;
             warp.pending_loads += 1;
@@ -1117,7 +1397,7 @@ impl Gpu {
         } else {
             0
         };
-        for (line, lm) in to_l2 {
+        for &(line, lm) in to_l2.iter() {
             if use_l1 {
                 self.stats.l1_misses += 1;
             }
@@ -1242,10 +1522,18 @@ impl Gpu {
                             write: false,
                             metadata: pkt.metadata,
                         });
-                        self.parts[p]
-                            .pending_fills
-                            .entry(pkt.line_addr)
-                            .or_default()
+                        let Partition {
+                            pending_fills,
+                            fill_pool,
+                            ..
+                        } = &mut self.parts[p];
+                        pending_fills
+                            .get_or_insert_with(pkt.line_addr, || {
+                                // Recycled lists keep their capacity; fresh
+                                // ones reserve for the common few-waiter
+                                // case up front.
+                                fill_pool.pop().unwrap_or_else(|| Vec::with_capacity(8))
+                            })
                             .push(pkt);
                     }
                 }
@@ -1409,6 +1697,49 @@ mod tests {
             num_sms: 200,
             ..GpuConfig::paper_default()
         });
+    }
+
+    /// The quiescence skip must reproduce every statistic of un-skipped
+    /// execution bit-for-bit; `cycles_skipped` is the one diagnostic field
+    /// allowed to differ. Exercised per-`Gpu` via `GpuConfig::cycle_skip`
+    /// (not the process-wide override, which other tests may share). The
+    /// kernel mixes the wait states the skip reasons about: cold global
+    /// loads (memory), a barrier, a device fence and a final store drain.
+    #[test]
+    fn cycle_skip_reproduces_stats_exactly() {
+        let run = |cycle_skip: bool| {
+            let cfg = GpuConfig {
+                cycle_skip,
+                ..GpuConfig::paper_default()
+            };
+            let mut gpu = Gpu::new(cfg);
+            let buf = gpu.mem_mut().alloc_words(4096);
+            let mut k = KernelBuilder::new("skip_mix", 1);
+            let base = k.ld_param(0);
+            let gtid = k.global_tid();
+            let addr = k.index_addr(base, gtid, 4);
+            let v = k.ld_global(addr, 0);
+            k.bar();
+            k.fence(Scope::Device);
+            let v2 = k.alu(scord_isa::AluOp::Add, v, 1u32);
+            k.st_global(addr, 0, v2);
+            k.exit();
+            let prog = k.finish().unwrap();
+            gpu.launch(&prog, 8, 64, &[buf.addr()])
+                .expect("kernel completes")
+        };
+        let mut skipping = run(true);
+        let ticking = run(false);
+        assert_eq!(ticking.cycles_skipped, 0, "disabled skip must never jump");
+        assert!(
+            skipping.cycles_skipped > 0,
+            "the stall-heavy kernel must exercise the skip"
+        );
+        skipping.cycles_skipped = 0;
+        assert_eq!(
+            skipping, ticking,
+            "skipped execution must reproduce every counter exactly"
+        );
     }
 
     #[test]

@@ -43,6 +43,29 @@ mod warp;
 
 pub use cache::{Cache, CacheOutcome, Victim};
 pub use config::{DetectionMode, DramTiming, GpuConfig, OverheadToggles};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide override for the quiescence skip-ahead (see
+/// [`GpuConfig::cycle_skip`]). On by default; `run-experiments
+/// --no-cycle-skip` clears it for A/B debugging. A `Gpu` samples the
+/// override at [`Gpu::launch`], so flipping it mid-simulation has no
+/// effect on an in-flight launch.
+static CYCLE_SKIP: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables cycle skipping process-wide. Results are
+/// byte-identical either way — skipping only jumps over cycles in which no
+/// component can make progress — so this is purely a debug/verification
+/// knob.
+pub fn set_cycle_skip(enabled: bool) {
+    CYCLE_SKIP.store(enabled, Ordering::Relaxed);
+}
+
+/// The current process-wide cycle-skip setting.
+#[must_use]
+pub fn cycle_skip_enabled() -> bool {
+    CYCLE_SKIP.load(Ordering::Relaxed)
+}
 pub use detector_unit::{DetectorEvent, DetectorUnit};
 pub use dram::{DramChannel, DramRequest};
 pub use gpu::{Gpu, Packet, SimError};

@@ -29,6 +29,11 @@ pub struct Sm {
     pub id: u8,
     /// Hardware warp slots.
     pub warps: Vec<Option<Warp>>,
+    /// Bit `i` set ⇔ `warps[i]` is resident. Maintained by block dispatch
+    /// and retirement so the per-cycle scheduler loops touch only live
+    /// slots instead of scanning every `Option<Warp>` (most workloads leave
+    /// the majority of the 32 slots empty).
+    pub occupied: u64,
     /// Resident-block slots.
     pub blocks: Vec<Option<SmBlock>>,
     /// Loose-round-robin scheduler pointer.
@@ -58,6 +63,7 @@ impl Sm {
     ) -> Self {
         Sm {
             id,
+            occupied: 0,
             warps: (0..warps_per_sm).map(|_| None).collect(),
             blocks: (0..blocks_per_sm).map(|_| None).collect(),
             rr: 0,
@@ -93,6 +99,18 @@ impl Sm {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.blocks.iter().all(Option::is_none)
+    }
+
+    /// Rebuilds [`Sm::occupied`] from the warp slots (used at launch reset,
+    /// where any leftover residency must be reflected rather than assumed
+    /// away).
+    pub fn recompute_occupied(&mut self) {
+        self.occupied = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_some())
+            .fold(0, |m, (i, _)| m | (1u64 << i));
     }
 }
 

@@ -50,10 +50,21 @@ pub struct StallStats {
 }
 
 /// All counters collected during one kernel execution.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Derives `PartialEq` so the determinism tests can assert that the
+/// quiescence skip-ahead reproduces every counter of un-skipped execution
+/// exactly (after zeroing the diagnostic [`SimStats::cycles_skipped`]
+/// field, the only one allowed to differ).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total GPU cycles from launch to the last block's completion.
     pub cycles: u64,
+    /// Of [`SimStats::cycles`], how many were jumped over by the
+    /// quiescence skip-ahead rather than ticked through. Diagnostic only:
+    /// it is the one counter that legitimately differs between skipped and
+    /// un-skipped execution (0 when skipping is disabled), and no
+    /// experiment output includes it.
+    pub cycles_skipped: u64,
     /// Warp instructions executed.
     pub warp_instructions: u64,
     /// Thread instructions (warp instructions × active lanes).
@@ -95,6 +106,7 @@ impl SimStats {
     /// within one `Gpu`).
     pub fn merge(&mut self, other: &SimStats) {
         self.cycles += other.cycles;
+        self.cycles_skipped += other.cycles_skipped;
         self.warp_instructions += other.warp_instructions;
         self.thread_instructions += other.thread_instructions;
         self.l1_hits += other.l1_hits;
