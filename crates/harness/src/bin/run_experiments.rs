@@ -3,6 +3,7 @@
 //! ```text
 //! run-experiments [--quick] [--seed N] [--cases K] [--jobs N]
 //!                 [--iters N] [--label S] [--no-cycle-skip]
+//!                 [--sm-threads N]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
 //!                  fig11|table8|ablations|faults|diff|perf|all]
 //! ```
@@ -30,6 +31,15 @@
 //! `--no-cycle-skip` disables the simulator's quiescence skip-ahead — a
 //! debug flag: results are byte-identical either way (asserted by the
 //! determinism tests), only slower.
+//!
+//! `--sm-threads N` runs every simulation's SM front-end phase on N
+//! threads (default 1 = serial). Like `--jobs`, this cannot change any
+//! result: the parallel phase only generates per-SM request buffers that
+//! are drained in fixed SM order, so all tables and race reports are
+//! byte-identical for any N (asserted by the determinism tests). `--jobs`
+//! shards *across* simulations; `--sm-threads` parallelizes *inside* one —
+//! the latter is what shortens a sweep whose critical path is a single
+//! large workload.
 
 use std::env;
 use std::process::exit;
@@ -57,6 +67,17 @@ fn main() {
         match a.as_str() {
             "--quick" => {}
             "--no-cycle-skip" => scord_sim::set_cycle_skip(false),
+            "--sm-threads" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--sm-threads needs a value");
+                    exit(2);
+                });
+                let n: u32 = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--sm-threads needs a positive integer, got {v:?}");
+                    exit(2);
+                });
+                scord_sim::set_sm_threads(n);
+            }
             "--iters" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("--iters needs a value");

@@ -1,14 +1,14 @@
-//! A dependency-free parallel executor for experiment sweeps.
+//! A parallel executor for experiment sweeps, built on [`scord_pool`].
 //!
 //! Every table/figure reproduction is a matrix of fully independent
 //! simulations (one fresh [`scord_sim::Gpu`] per cell), which is exactly the
 //! embarrassingly-parallel shape GPU-simulator harnesses shard across host
 //! threads. This module supplies the one primitive they all use:
-//! [`run_jobs`] fans a slice of job descriptors out over a
-//! [`std::thread::scope`] worker pool behind a shared atomic cursor, and
-//! workers deposit results into slots indexed by job id — so a parallel
-//! sweep emits **byte-identical** tables to a serial one, regardless of
-//! which worker finishes first.
+//! [`run_jobs`] fans a slice of job descriptors out over a persistent
+//! [`scord_pool::WorkerPool`] (cached process-wide and rebuilt only when
+//! the requested worker count changes), and workers deposit results into
+//! slots indexed by job id — so a parallel sweep emits **byte-identical**
+//! tables to a serial one, regardless of which worker finishes first.
 //!
 //! Determinism argument: job cells never share mutable state (each builds
 //! its own `Gpu`, which is `Send`), the result of cell *i* lands in slot
@@ -21,11 +21,11 @@
 //! binary drains for its timing summary.
 
 use std::num::NonZeroUsize;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
+
+use scord_pool::WorkerPool;
 
 /// Worker-thread budget for a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,16 +91,25 @@ pub fn take_recorded() -> Vec<SweepStats> {
     std::mem::take(&mut RECORDED.lock().expect("timing registry lock"))
 }
 
+/// The process-wide sweep pool, rebuilt only when a sweep asks for a
+/// different worker count than the cached pool has. One pool suffices
+/// because sweeps run one at a time with a fixed `--jobs`; the lock is
+/// `try_lock`ed so a nested or concurrent sweep degrades to a temporary
+/// pool instead of deadlocking.
+static SWEEP_POOL: Mutex<Option<WorkerPool>> = Mutex::new(None);
+
 /// Runs `run(i, &items[i])` for every item, on up to `jobs` worker threads,
 /// returning the results in item order.
 ///
-/// * Workers pull the next job id from a shared atomic cursor, so cells are
-///   load-balanced without any work-stealing machinery.
+/// * Work is fanned out over a persistent [`WorkerPool`]: workers pull the
+///   next job id from a shared atomic cursor, so cells are load-balanced
+///   without any work-stealing machinery, and the threads survive across
+///   sweeps instead of being respawned per call.
 /// * Result `i` always lands in slot `i`: output is independent of worker
 ///   count and scheduling.
 /// * A panicking job aborts the sweep: remaining workers stop picking up
-///   jobs and the panic is re-raised on the calling thread once the pool
-///   has joined.
+///   jobs and the panic is re-raised on the calling thread once the
+///   barrier completes.
 pub fn run_jobs<J, T, F>(jobs: Jobs, items: &[J], run: F) -> Vec<T>
 where
     J: Sync,
@@ -114,44 +123,30 @@ where
         return items.iter().enumerate().map(|(i, j)| run(i, j)).collect();
     }
 
-    let cursor = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
     let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    let mut first_panic = None;
-    thread::scope(|s| {
-        let worker = || {
-            let mut produced: Vec<(usize, T)> = Vec::new();
-            let caught = loop {
-                if abort.load(Ordering::Relaxed) {
-                    break None;
-                }
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break None;
-                }
-                match catch_unwind(AssertUnwindSafe(|| run(i, &items[i]))) {
-                    Ok(v) => produced.push((i, v)),
-                    Err(payload) => {
-                        abort.store(true, Ordering::Relaxed);
-                        break Some(payload);
-                    }
-                }
-            };
-            (produced, caught)
-        };
-        let handles: Vec<_> = (0..workers).map(|_| s.spawn(worker)).collect();
-        for h in handles {
-            let (produced, caught) = h.join().expect("worker panics are caught in-loop");
-            for (i, v) in produced {
-                slots[i] = Some(v);
-            }
-            if first_panic.is_none() {
-                first_panic = caught;
-            }
+    let mut fill = |pool: &WorkerPool| {
+        pool.for_each_mut(&mut slots, |i, slot| *slot = Some(run(i, &items[i])));
+    };
+    let guard = match SWEEP_POOL.try_lock() {
+        Ok(g) => Some(g),
+        // The pool survives panicking sweeps, so a poisoned lock just
+        // means an earlier sweep unwound mid-run; keep using the cache.
+        Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        // A sweep is already running on another thread (or this one,
+        // reentrantly): spin up a short-lived pool rather than block.
+        Err(std::sync::TryLockError::WouldBlock) => None,
+    };
+    match guard {
+        Some(mut cached) => {
+            let pool = cached
+                .take()
+                .filter(|p| p.threads() == workers)
+                .unwrap_or_else(|| WorkerPool::new(workers));
+            // Park the pool in the cache before running so a panicking
+            // sweep (which the pool survives) doesn't tear it down.
+            fill(cached.insert(pool));
         }
-    });
-    if let Some(payload) = first_panic {
-        resume_unwind(payload);
+        None => fill(&WorkerPool::new(workers)),
     }
     slots
         .into_iter()

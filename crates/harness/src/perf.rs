@@ -16,7 +16,14 @@
 //! * one fuzzed-trace replay straight through the detector (no simulator),
 //! * the quick and full Table VI sweeps at `--jobs 1` — the end-to-end
 //!   number the ROADMAP's "as fast as the hardware allows" goal is graded
-//!   on.
+//!   on,
+//! * an intra-sim parallelism A/B: GCON scaled 4× at `sm_threads` 1 vs 4
+//!   (detection off and on), the workload class the parallel SM stage
+//!   exists for.
+//!
+//! Simulator entries run with per-phase timing enabled, so every record
+//! carries the Phase A (parallel SM front end) vs Phase B (serial memory
+//! system + detector) wall-time split alongside the total.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -28,7 +35,7 @@ use scord_core::{Detector, FuzzConfig, ScordDetector};
 use scord_sim::DetectionMode;
 
 use crate::exec::Jobs;
-use crate::{apps, run_app, MemoryVariant};
+use crate::{apps, MemoryVariant};
 
 /// Seed for the fuzz-replay basket entry; fixed so every run replays the
 /// identical trace.
@@ -60,6 +67,12 @@ pub struct Measurement {
     /// Simulated GPU cycles per iteration (0 for sweep/replay entries that
     /// aggregate many simulations).
     pub cycles: u64,
+    /// Wall nanoseconds the last iteration spent in Phase A (the per-SM
+    /// front end; 0 for entries that aggregate many simulations).
+    pub phase_a_ns: u64,
+    /// Wall nanoseconds the last iteration spent in Phase B (serial memory
+    /// system + detector drain; 0 for aggregate entries).
+    pub phase_b_ns: u64,
 }
 
 impl Measurement {
@@ -98,16 +111,46 @@ fn median(mut samples: Vec<Duration>) -> Duration {
 }
 
 /// Times `body` `iters` times, returning the median wall time and the last
-/// iteration's cycle count.
-fn time_entry(iters: usize, mut body: impl FnMut() -> u64) -> (Duration, u64) {
+/// iteration's `(cycles, phase_a_ns, phase_b_ns)` triple.
+fn time_entry(
+    iters: usize,
+    mut body: impl FnMut() -> (u64, u64, u64),
+) -> (Duration, u64, u64, u64) {
     let mut samples = Vec::with_capacity(iters);
-    let mut cycles = 0;
+    let mut last = (0, 0, 0);
     for _ in 0..iters {
         let t0 = Instant::now();
-        cycles = body();
+        last = body();
         samples.push(t0.elapsed());
     }
-    (median(samples), cycles)
+    (median(samples), last.0, last.1, last.2)
+}
+
+/// Builds a GPU for one basket simulation: phase timing on, `sm_threads`
+/// as given (0 keeps the config default of 1).
+fn basket_gpu(mode: DetectionMode, sm_threads: u32) -> scord_sim::Gpu {
+    let mut cfg = MemoryVariant::Default.config().with_detection(mode);
+    if sm_threads > 0 {
+        cfg.sm_threads = sm_threads;
+    }
+    let mut gpu = scord_sim::Gpu::new(cfg);
+    gpu.set_phase_timing(true);
+    gpu
+}
+
+/// Runs `app` on `gpu` and folds the result into the `(cycles, phase_a,
+/// phase_b)` shape [`time_entry`] consumes.
+fn timed_app(app: &dyn scor_suite::Benchmark, gpu: &mut scord_sim::Gpu) -> (u64, u64, u64) {
+    let run = app
+        .run(gpu)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+    assert!(
+        run.output_valid != Some(false),
+        "{} produced wrong output",
+        app.name()
+    );
+    let (pa, pb) = gpu.phase_nanos();
+    (run.stats.cycles, pa, pb)
 }
 
 /// Runs the fixed basket with `iters` iterations per entry (median
@@ -133,13 +176,14 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         .filter(|a| matches!(a.name(), "MM" | "RED" | "GCON"))
     {
         for (mode_name, mode) in modes {
-            let (wall, cycles) = time_entry(iters, || {
-                run_app(app.as_ref(), mode, MemoryVariant::Default).cycles
-            });
+            let (wall, cycles, phase_a_ns, phase_b_ns) =
+                time_entry(iters, || timed_app(app.as_ref(), &mut basket_gpu(mode, 0)));
             workloads.push(Measurement {
                 name: format!("{}/{mode_name}", app.name()),
                 wall,
                 cycles,
+                phase_a_ns,
+                phase_b_ns,
             });
         }
     }
@@ -152,16 +196,43 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
             .find(|m| m.name == name)
             .unwrap_or_else(|| panic!("basket micro {name:?} missing from the suite"));
         for (mode_name, mode) in modes {
-            let (wall, cycles) = time_entry(iters, || {
-                let mut gpu = crate::gpu_for(mode, MemoryVariant::Default);
-                m.run(&mut gpu)
+            let (wall, cycles, phase_a_ns, phase_b_ns) = time_entry(iters, || {
+                let mut gpu = basket_gpu(mode, 0);
+                let cycles = m
+                    .run(&mut gpu)
                     .unwrap_or_else(|e| panic!("{}: {e}", m.name))
-                    .cycles
+                    .cycles;
+                let (pa, pb) = gpu.phase_nanos();
+                (cycles, pa, pb)
             });
             workloads.push(Measurement {
                 name: format!("{name}/{mode_name}"),
                 wall,
                 cycles,
+                phase_a_ns,
+                phase_b_ns,
+            });
+        }
+    }
+
+    // Intra-sim parallelism A/B: GCON scaled 4×, sm_threads 1 vs 4. The
+    // pair of entries per mode is the measured speedup of the parallel SM
+    // stage on a simulation big enough for Phase A to dominate.
+    let big = scor_suite::apps::GraphConnectivity::scaled(4);
+    for (mode_name, mode) in modes {
+        for smt in [1u32, 4] {
+            // Label with the *effective* thread count: the process-wide
+            // `--sm-threads` floor can raise a configured 1 (e.g. the CI
+            // smoke runs the whole basket at `--sm-threads 2`).
+            let eff = basket_gpu(mode, smt).sm_threads();
+            let (wall, cycles, phase_a_ns, phase_b_ns) =
+                time_entry(iters, || timed_app(&big, &mut basket_gpu(mode, smt)));
+            workloads.push(Measurement {
+                name: format!("GCONx4/{mode_name}/smt{eff}"),
+                wall,
+                cycles,
+                phase_a_ns,
+                phase_b_ns,
             });
         }
     }
@@ -172,39 +243,47 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         ..FuzzConfig::default()
     }
     .generate(FUZZ_SEED);
-    let (wall, _) = time_entry(iters, || {
+    let (wall, ..) = time_entry(iters, || {
         let mut det = ScordDetector::new(crate::diff::diff_config());
         trace
             .replay(&mut det)
             .unwrap_or_else(|e| panic!("fuzz basket trace must replay: {e}"));
-        u64::from(det.races().unique_count() as u32)
+        (u64::from(det.races().unique_count() as u32), 0, 0)
     });
     workloads.push(Measurement {
         name: format!("fuzz_replay_{FUZZ_EVENTS}ev"),
         wall,
         cycles: 0,
+        phase_a_ns: 0,
+        phase_b_ns: 0,
     });
 
     // The Table VI sweeps, serial: the end-to-end regression tripwire.
-    let (wall, _) = time_entry(iters, || {
-        crate::table6::run(true, Jobs::serial())
+    let (wall, ..) = time_entry(iters, || {
+        let n = crate::table6::run(true, Jobs::serial())
             .expect("table6 quick sweep")
-            .len() as u64
+            .len() as u64;
+        (n, 0, 0)
     });
     workloads.push(Measurement {
         name: "table6_quick_sweep".into(),
         wall,
         cycles: 0,
+        phase_a_ns: 0,
+        phase_b_ns: 0,
     });
-    let (wall, _) = time_entry(iters, || {
-        crate::table6::run(false, Jobs::serial())
+    let (wall, ..) = time_entry(iters, || {
+        let n = crate::table6::run(false, Jobs::serial())
             .expect("table6 full sweep")
-            .len() as u64
+            .len() as u64;
+        (n, 0, 0)
     });
     workloads.push(Measurement {
         name: "table6_full_sweep".into(),
         wall,
         cycles: 0,
+        phase_a_ns: 0,
+        phase_b_ns: 0,
     });
 
     PerfRun {
@@ -221,10 +300,19 @@ pub fn to_markdown(run: &PerfRun) -> String {
         .workloads
         .iter()
         .map(|m| {
+            let phase = |ns: u64| {
+                if ns == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.3}", ns as f64 / 1e6)
+                }
+            };
             vec![
                 m.name.clone(),
                 format!("{}", m.wall.as_nanos()),
                 format!("{:.3}", m.wall.as_secs_f64() * 1e3),
+                phase(m.phase_a_ns),
+                phase(m.phase_b_ns),
                 if m.cycles == 0 {
                     "-".into()
                 } else {
@@ -238,6 +326,8 @@ pub fn to_markdown(run: &PerfRun) -> String {
             "Workload",
             "median wall (ns)",
             "median wall (ms)",
+            "phase A (ms)",
+            "phase B (ms)",
             "sim cycles/s",
         ],
         &body,
@@ -290,11 +380,14 @@ fn render_run(run: &PerfRun) -> String {
         let _ = writeln!(
             out,
             "        {{\"name\": \"{}\", \"wall_ns\": {}, \"cycles\": {}, \
-             \"cycles_per_sec\": {:.1}}}{comma}",
+             \"cycles_per_sec\": {:.1}, \"phase_a_ns\": {}, \
+             \"phase_b_ns\": {}}}{comma}",
             json_escape(&m.name),
             m.wall.as_nanos(),
             m.cycles,
-            m.cycles_per_sec()
+            m.cycles_per_sec(),
+            m.phase_a_ns,
+            m.phase_b_ns
         );
     }
     out.push_str("      ]\n    }");
@@ -351,8 +444,14 @@ fn existing_runs(text: &str) -> Option<Vec<String>> {
 }
 
 /// Serializes `runs` into the `BENCH_sim.json` document format.
+///
+/// Schema history: 1 = per-workload `wall_ns`/`cycles`/`cycles_per_sec`;
+/// 2 adds `phase_a_ns`/`phase_b_ns` to simulator entries. Runs recorded
+/// under schema 1 are preserved verbatim (the raw-text run extractor does
+/// not care about per-run fields), so a schema-2 document may contain
+/// schema-1 runs without the new keys.
 fn render_document(raw_runs: &[String]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"runs\": [\n");
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"runs\": [\n");
     for (i, r) in raw_runs.iter().enumerate() {
         // Re-indent preserved raw runs to the array's nesting level.
         let indented = if r.starts_with('{') && !r.starts_with("{\n") && !r.contains('\n') {
@@ -399,11 +498,15 @@ mod tests {
                     name: "a/off".into(),
                     wall: Duration::from_nanos(1000),
                     cycles: 500,
+                    phase_a_ns: 300,
+                    phase_b_ns: 600,
                 },
                 Measurement {
                     name: "sweep".into(),
                     wall: Duration::from_nanos(2500),
                     cycles: 0,
+                    phase_a_ns: 0,
+                    phase_b_ns: 0,
                 },
             ],
         }
@@ -416,6 +519,7 @@ mod tests {
         assert_eq!(runs.len(), 1);
         assert!(runs[0].contains("\"label\": \"one\""));
         assert!(runs[0].contains("\"total_wall_ns\": 3500"));
+        assert!(runs[0].contains("\"phase_a_ns\": 300"));
         // Appending preserves the first run verbatim.
         let mut raw = runs;
         raw.push(render_run(&fake_run("two")));
@@ -423,6 +527,23 @@ mod tests {
         let runs2 = existing_runs(&doc2).expect("still parses");
         assert_eq!(runs2.len(), 2);
         assert!(runs2[0].contains("one") && runs2[1].contains("two"));
+    }
+
+    #[test]
+    fn schema1_documents_remain_appendable() {
+        let old = "{\n  \"schema\": 1,\n  \"runs\": [\n    {\"label\": \"legacy\", \
+                   \"iters\": 1, \"total_wall_ns\": 5, \"workloads\": [\n        \
+                   {\"name\": \"x\", \"wall_ns\": 5, \"cycles\": 1, \
+                   \"cycles_per_sec\": 0.2}\n      ]}\n  ]\n}\n";
+        let mut raw = existing_runs(old).expect("schema-1 document parses");
+        assert_eq!(raw.len(), 1);
+        raw.push(render_run(&fake_run("new")));
+        let doc = render_document(&raw);
+        assert!(doc.contains("\"schema\": 2"));
+        let runs = existing_runs(&doc).expect("upgraded document parses");
+        assert_eq!(runs.len(), 2);
+        assert!(runs[0].contains("legacy") && !runs[0].contains("phase_a_ns"));
+        assert!(runs[1].contains("phase_a_ns"));
     }
 
     #[test]
@@ -450,6 +571,8 @@ mod tests {
             name: "x".into(),
             wall: Duration::from_secs(1),
             cycles: 0,
+            phase_a_ns: 0,
+            phase_b_ns: 0,
         };
         assert_eq!(m.cycles_per_sec(), 0.0);
         let m2 = Measurement {

@@ -7,6 +7,12 @@
 //! skipping on (the default) or off, every table renders byte-identically —
 //! the jump replicates exactly the per-cycle bookkeeping of the cycles it
 //! elides.
+//!
+//! And for the intra-simulation SM parallelism: with `sm_threads` 1
+//! (serial front end, the default) or 4, every table and race report is
+//! byte-identical — Phase A only fills per-SM request buffers that Phase B
+//! drains in fixed SM order, so the thread schedule never reaches the
+//! shared memory system or the detector.
 
 use std::sync::Mutex;
 
@@ -40,6 +46,30 @@ fn with_and_without_skip<T>(f: impl Fn() -> T) -> (T, T) {
     scord_sim::set_cycle_skip(false);
     let ticking = f();
     (skipping, ticking)
+}
+
+/// Runs `f` twice — once with the SM front end serial (`sm_threads` 1),
+/// once on 4 threads — and returns both results. Same gating pattern as
+/// [`with_and_without_skip`]: the override is process-wide, a mutex
+/// serializes the A/B sections, and a drop guard clears the override even
+/// if `f` panics.
+fn with_sm_threads<T>(f: impl Fn() -> T) -> (T, T) {
+    static GATE: Mutex<()> = Mutex::new(());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            scord_sim::set_sm_threads(0);
+        }
+    }
+    let _lock = GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _restore = Restore;
+    scord_sim::set_sm_threads(0);
+    let serial = f();
+    scord_sim::set_sm_threads(4);
+    let threaded = f();
+    (serial, threaded)
 }
 
 #[test]
@@ -108,6 +138,68 @@ fn table6_quick_is_identical_with_and_without_cycle_skip() {
     assert_eq!(
         skipping, ticking,
         "table6 must not depend on the quiescence skip"
+    );
+}
+
+#[test]
+fn table1_is_identical_across_sm_threads() {
+    let (serial, threaded) = with_sm_threads(|| {
+        h::table1::to_markdown(&h::table1::run(Jobs::serial()).expect("suite simulates cleanly"))
+    });
+    assert_eq!(
+        serial, threaded,
+        "table1 must not depend on the SM thread count"
+    );
+}
+
+#[test]
+fn table6_quick_is_identical_across_sm_threads() {
+    let (serial, threaded) = with_sm_threads(|| {
+        h::table6::to_markdown(
+            &h::table6::run(true, Jobs::serial()).expect("quick workloads simulate cleanly"),
+        )
+    });
+    assert_eq!(
+        serial, threaded,
+        "table6 (race reports included) must not depend on the SM thread count"
+    );
+}
+
+#[test]
+fn fault_sweep_is_identical_across_sm_threads() {
+    let (serial, threaded) = with_sm_threads(|| {
+        h::faults::to_markdown(
+            &h::faults::sweep(
+                true,
+                7,
+                &[FaultKind::MetadataBitFlip, FaultKind::EventDrop],
+                &[100_000],
+                Jobs::serial(),
+            )
+            .expect("sweep infrastructure is clean"),
+        )
+    });
+    assert_eq!(
+        serial, threaded,
+        "fault audit (injected-fault RNG stream included) must not depend \
+         on the SM thread count"
+    );
+}
+
+#[test]
+fn captured_micro_traces_are_identical_across_sm_threads() {
+    // The differential audit's captured traces record every detector event
+    // a micro's simulation emits, so equality here is the strongest
+    // event-stream check: not just identical race totals but identical
+    // per-event order and content feeding the oracle.
+    let (serial, threaded) = with_sm_threads(|| {
+        let m = h::diff::micros(Jobs::serial()).expect("captured traces replay cleanly");
+        assert!(m.bugs.is_empty(), "unexplained divergence: {:?}", m.bugs);
+        h::diff::micros_to_markdown(&m)
+    });
+    assert_eq!(
+        serial, threaded,
+        "captured micro traces must not depend on the SM thread count"
     );
 }
 

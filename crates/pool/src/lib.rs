@@ -1,0 +1,496 @@
+//! A persistent, barrier-style worker pool.
+//!
+//! The pool exists for one workload shape: a caller that needs to fan the
+//! *same* small closure out over N independent slots, thousands of times a
+//! second, with a hard barrier after every fan-out. The GPU simulator's
+//! parallel SM stage does this once per simulated cycle; the experiment
+//! harness does it once per sweep. Spawning scoped threads per call (what
+//! `scord-harness` did before this crate existed) costs tens of
+//! microseconds per barrier — more than an entire simulated cycle — so the
+//! pool keeps its workers alive across calls and hands them work through a
+//! generation counter.
+//!
+//! Guarantees:
+//!
+//! - [`WorkerPool::run`] returns only after every task index in
+//!   `0..tasks` has been executed exactly once **and** every worker has
+//!   quiesced (no worker still holds a reference to the closure).
+//! - Task indices are claimed through an atomic cursor, so any worker may
+//!   run any index; callers that need determinism must make each task's
+//!   effect a pure function of its index (the simulator writes into
+//!   per-index slots, which is why parallel results are byte-identical to
+//!   serial ones).
+//! - A panic inside a task poisons the current barrier (remaining indices
+//!   may be skipped), is carried across the barrier, and re-raised on the
+//!   caller's thread with the original payload.
+//! - Steady-state barriers allocate nothing (asserted by the
+//!   `alloc_growth` integration test).
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Iterations a thread spins on the generation / done counters before it
+/// parks on a condvar. High enough that back-to-back per-cycle barriers
+/// never park; low enough that an idle pool costs no measurable CPU after
+/// a few microseconds.
+const SPIN_LIMIT: u32 = 4_096;
+
+/// Yield-based backoff budget used instead of [`SPIN_LIMIT`] when the pool
+/// is oversubscribed (more lanes than hardware threads). Spinning there is
+/// actively harmful: the value being polled can only change once the OS
+/// schedules the thread that writes it, so every spin iteration burns the
+/// exact core that thread needs. `yield_now` hands the core over after a
+/// couple of polls; parking follows quickly because long waits on an
+/// oversubscribed host are the common case, not the exception.
+const YIELD_LIMIT: u32 = 64;
+
+/// Type-erased fan-out closure for the current generation. Only valid
+/// between a generation bump and the completion of that generation's
+/// barrier; `run` blocks until all workers quiesce, so the erased lifetime
+/// never actually escapes the borrow it came from.
+type ErasedTask = *const (dyn Fn(usize) + Sync);
+
+struct Job {
+    f: Option<ErasedTask>,
+    tasks: usize,
+}
+
+struct Shared {
+    /// Written by `run` before the generation bump, read by workers after
+    /// observing the bump; the SeqCst generation handshake orders the two.
+    job: UnsafeCell<Job>,
+    generation: AtomicUsize,
+    cursor: AtomicUsize,
+    /// Workers that have exhausted the cursor for the current generation.
+    done: AtomicUsize,
+    /// Set when a task panics: remaining claims return early so the
+    /// barrier completes promptly.
+    poisoned: AtomicBool,
+    /// First panic payload of the generation, re-raised by `run`.
+    panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    shutdown: AtomicBool,
+    /// Workers currently parked on `work_cv` (Dekker-style handshake with
+    /// the generation bump; see `run`).
+    parked: AtomicUsize,
+    /// Set while the caller is parked on `done_cv`.
+    caller_waiting: AtomicBool,
+    /// True when the pool's lane count exceeds the host's available
+    /// parallelism; switches both wait loops from spin-then-park to
+    /// yield-then-park (see [`YIELD_LIMIT`]).
+    oversubscribed: bool,
+    lock: Mutex<()>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+// SAFETY: `job` is only written by the single active caller before a
+// generation bump and only read by workers after observing that bump; the
+// barrier in `run` prevents overlap between a write and any read.
+unsafe impl Sync for Shared {}
+// SAFETY: the erased pointer targets a `Sync` closure; `Send`ing the
+// `Arc<Shared>` to workers moves only the pointer, never the closure.
+unsafe impl Send for Shared {}
+
+impl Shared {
+    /// Claims and runs task indices until the cursor is exhausted or the
+    /// generation is poisoned.
+    fn run_tasks(&self, f: &(dyn Fn(usize) + Sync), tasks: usize) {
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return;
+            }
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                return;
+            }
+            f(i);
+        }
+    }
+
+    /// One step of busy-wait backoff: spin (plenty of cores) or yield
+    /// (oversubscribed). Returns `false` once the budget is exhausted and
+    /// the waiter should park on a condvar instead.
+    fn backoff(&self, spins: &mut u32) -> bool {
+        *spins += 1;
+        if self.oversubscribed {
+            if *spins >= YIELD_LIMIT {
+                return false;
+            }
+            std::thread::yield_now();
+        } else {
+            if *spins >= SPIN_LIMIT {
+                return false;
+            }
+            std::hint::spin_loop();
+        }
+        true
+    }
+
+    /// Records a task panic (first payload wins) and poisons the barrier.
+    fn poison(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self
+            .panic_box
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut seen = 0usize;
+    'generations: loop {
+        // Wait for a new generation (or shutdown): spin first, then park.
+        let mut spins = 0u32;
+        loop {
+            let g = shared.generation.load(Ordering::SeqCst);
+            if g != seen {
+                seen = g;
+                break;
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if !shared.backoff(&mut spins) {
+                let mut guard = shared
+                    .lock
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                shared.parked.fetch_add(1, Ordering::SeqCst);
+                loop {
+                    if shared.generation.load(Ordering::SeqCst) != seen
+                        || shared.shutdown.load(Ordering::SeqCst)
+                    {
+                        break;
+                    }
+                    guard = shared
+                        .work_cv
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                shared.parked.fetch_sub(1, Ordering::SeqCst);
+                spins = 0;
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // SAFETY: the generation bump happens-after the job write (both
+        // SeqCst), and the caller cannot start the next write until this
+        // worker bumps `done` below.
+        let (f, tasks) = unsafe {
+            let job = &*shared.job.get();
+            match job.f {
+                Some(f) => (f, job.tasks),
+                None => continue 'generations, // shutdown wake with no job
+            }
+        };
+        // SAFETY: `run` keeps the closure alive until `done` reaches the
+        // worker count, which happens strictly after this call returns.
+        let f = unsafe { &*f };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| shared.run_tasks(f, tasks))) {
+            shared.poison(payload);
+        }
+        shared.done.fetch_add(1, Ordering::SeqCst);
+        if shared.caller_waiting.load(Ordering::SeqCst) {
+            let _guard = shared
+                .lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// A pool of `threads - 1` persistent workers plus the calling thread.
+///
+/// Construct once, call [`run`](WorkerPool::run) or
+/// [`for_each_mut`](WorkerPool::for_each_mut) as many times as needed;
+/// workers are joined on drop.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Misuse guard: `run` takes `&self` so owners can call it while
+    /// mutably borrowing sibling fields, but overlapping barriers from two
+    /// threads would race on the job slot.
+    active: AtomicBool,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` total lanes of parallelism: the
+    /// calling thread plus `threads - 1` spawned workers. `threads <= 1`
+    /// spawns nothing and every `run` executes inline.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let shared = Arc::new(Shared {
+            job: UnsafeCell::new(Job { f: None, tasks: 0 }),
+            generation: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            panic_box: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            parked: AtomicUsize::new(0),
+            caller_waiting: AtomicBool::new(false),
+            oversubscribed: threads > cores,
+            lock: Mutex::new(()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = threads.saturating_sub(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scord-pool-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            active: AtomicBool::new(false),
+        }
+    }
+
+    /// Total lanes of parallelism (spawned workers + the caller).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `f(i)` for every `i in 0..tasks` across the pool and the
+    /// calling thread, returning once all tasks are done and all workers
+    /// have quiesced. Panics from tasks are re-raised here with their
+    /// original payload.
+    pub fn run(&self, tasks: usize, f: impl Fn(usize) + Sync) {
+        if self.handles.is_empty() || tasks <= 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        assert!(
+            !self.active.swap(true, Ordering::Acquire),
+            "WorkerPool::run reentered: barriers must not overlap"
+        );
+        let s = &*self.shared;
+        // Publish the job, then bump the generation (SeqCst) so workers
+        // that observe the bump also observe the job.
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: lifetime erasure only; the barrier below outlives every
+        // worker's use of the reference.
+        let erased: ErasedTask =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), ErasedTask>(erased) };
+        unsafe {
+            *s.job.get() = Job {
+                f: Some(erased),
+                tasks,
+            };
+        }
+        s.cursor.store(0, Ordering::Relaxed);
+        s.done.store(0, Ordering::Relaxed);
+        s.poisoned.store(false, Ordering::Relaxed);
+        s.generation.fetch_add(1, Ordering::SeqCst);
+        // Dekker handshake: either we see a parked worker here, or the
+        // parking worker re-checks the generation under the lock and sees
+        // the bump.
+        if s.parked.load(Ordering::SeqCst) > 0 {
+            let _guard = s
+                .lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            s.work_cv.notify_all();
+        }
+        // The caller works too; its own panic must still complete the
+        // barrier before unwinding, or workers could outlive the closure.
+        let caller = catch_unwind(AssertUnwindSafe(|| s.run_tasks(&f, tasks)));
+        if caller.is_err() {
+            s.poisoned.store(true, Ordering::Release);
+        }
+        // Barrier: wait for every worker to quiesce.
+        let workers = self.handles.len();
+        let mut spins = 0u32;
+        while s.done.load(Ordering::SeqCst) != workers {
+            if !s.backoff(&mut spins) {
+                s.caller_waiting.store(true, Ordering::SeqCst);
+                let mut guard = s
+                    .lock
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                while s.done.load(Ordering::SeqCst) != workers {
+                    guard = s
+                        .done_cv
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                s.caller_waiting.store(false, Ordering::SeqCst);
+                break;
+            }
+        }
+        unsafe {
+            (*s.job.get()).f = None;
+        }
+        self.active.store(false, Ordering::Release);
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        let stored = s
+            .panic_box
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(payload) = stored {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Fans `f` out over the elements of `items`, giving each invocation
+    /// exclusive `&mut` access to its element. Safe because the cursor
+    /// hands out each index exactly once and the barrier outlives the
+    /// borrow.
+    pub fn for_each_mut<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        struct SlicePtr<T>(*mut T);
+        // SAFETY: each index is claimed exactly once, so no two threads
+        // alias the same element.
+        unsafe impl<T: Send> Sync for SlicePtr<T> {}
+        impl<T> SlicePtr<T> {
+            /// Accessor (rather than direct field use in the closure) so
+            /// 2021-edition precise capture moves the whole `Sync`
+            /// wrapper, not the bare `*mut T` field.
+            unsafe fn element(&self, i: usize) -> *mut T {
+                self.0.add(i)
+            }
+        }
+        let base = SlicePtr(items.as_mut_ptr());
+        let len = items.len();
+        self.run(len, move |i| {
+            debug_assert!(i < len);
+            // SAFETY: i < len and exclusively claimed.
+            let item = unsafe { &mut *base.element(i) };
+            f(i, item);
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self
+                .shared
+                .lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let mut slots = vec![0u32; 257];
+        for round in 0..100u32 {
+            pool.for_each_mut(&mut slots, |i, slot| *slot = round.wrapping_add(i as u32));
+            for (i, slot) in slots.iter().enumerate() {
+                assert_eq!(*slot, round.wrapping_add(i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let sum = AtomicU64::new(0);
+        pool.run(10, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 45);
+    }
+
+    #[test]
+    fn zero_and_one_tasks_are_fine() {
+        let pool = WorkerPool::new(3);
+        pool.run(0, |_| panic!("no tasks to run"));
+        let hits = AtomicU64::new(0);
+        pool.run(1, |i| {
+            assert_eq!(i, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 1);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_barrier() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, |i| {
+                if i == 13 {
+                    panic!("task 13 exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("task 13"), "payload preserved, got {msg:?}");
+        // The pool must still be usable afterwards.
+        let sum = AtomicU64::new(0);
+        pool.run(8, |i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 36);
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_completes_barriers() {
+        // Twice the host's lanes guarantees `oversubscribed` regardless of
+        // the machine running the tests, so the yield-then-park backoff is
+        // exercised everywhere (on a single-core host every pool test
+        // already takes this path).
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let pool = WorkerPool::new(cores * 2 + 1);
+        assert!(pool.shared.oversubscribed);
+        let mut slots = vec![0u32; 64];
+        for round in 1..=50u32 {
+            pool.for_each_mut(&mut slots, |i, slot| *slot += round + i as u32);
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot, (1..=50).sum::<u32>() + 50 * i as u32);
+        }
+    }
+
+    #[test]
+    fn workers_recover_after_parking() {
+        let pool = WorkerPool::new(4);
+        let hits = AtomicU64::new(0);
+        pool.run(16, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        // Long enough for every worker to blow through SPIN_LIMIT and park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        pool.run(16, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 32);
+    }
+}

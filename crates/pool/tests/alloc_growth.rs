@@ -1,0 +1,59 @@
+//! Steady-state barriers must not allocate: the pool exists to be called
+//! once per simulated cycle, so any per-barrier allocation would show up
+//! as millions of allocations per simulated second.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use scord_pool::WorkerPool;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn ten_thousand_barriers_without_allocation_growth() {
+    let pool = WorkerPool::new(4);
+    let work = AtomicU64::new(0);
+    let barrier = |pool: &WorkerPool| {
+        pool.run(8, |i| {
+            work.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+    };
+    // Warm-up: thread spawning, lazy lock/TLS initialisation, and the
+    // first condvar parks are allowed to allocate.
+    for _ in 0..100 {
+        barrier(&pool);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        barrier(&pool);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(work.load(Ordering::Relaxed), 36 * 10_100);
+    assert_eq!(
+        after - before,
+        0,
+        "10k barriers grew the allocation count by {}",
+        after - before
+    );
+}

@@ -196,6 +196,16 @@ pub struct GpuConfig {
     /// debugging. Also gated process-wide by
     /// [`crate::set_cycle_skip`].
     pub cycle_skip: bool,
+    /// Host threads driving the parallel SM front-end phase (Phase A of
+    /// the two-phase tick — see the "Intra-sim parallelism" section of
+    /// DESIGN.md). `1` (the default) runs the front end inline on the
+    /// simulation thread; higher values fan the per-SM front ends out over
+    /// a persistent worker pool, capped at `num_sms`. Results are
+    /// byte-identical for every value: both settings run the same deferred
+    /// commit pipeline, and Phase B applies every shared-state effect
+    /// serially in fixed SM order. Raised process-wide by
+    /// [`crate::set_sm_threads`] (e.g. `run-experiments --sm-threads N`).
+    pub sm_threads: u32,
 }
 
 impl GpuConfig {
@@ -234,6 +244,7 @@ impl GpuConfig {
             detection_header_bytes: 8,
             fault: None,
             cycle_skip: true,
+            sm_threads: 1,
         }
     }
 
@@ -323,6 +334,11 @@ impl GpuConfig {
         }
         if self.channels == 0 {
             return Err(Config("channels must be non-zero".into()));
+        }
+        if self.sm_threads == 0 {
+            return Err(Config(
+                "sm_threads must be at least 1 (1 = inline front end)".into(),
+            ));
         }
         Ok(())
     }

@@ -1,0 +1,804 @@
+//! Phase A of the two-phase tick: the per-SM front end.
+//!
+//! [`Gpu::tick`](crate::Gpu) splits each cycle in two. **Phase A** (this
+//! module) runs every SM's front end — the occupancy-bitmask prepass, the
+//! round-robin issue loop, and warp execution up to the point where
+//! global-memory and detector events are *generated*. It touches only
+//! SM-local state (`&mut Sm`, which owns its warps, blocks, L1 and NoC
+//! injection queue) plus an immutable shared context ([`FrontCtx`]), so
+//! the SMs can run concurrently on a worker pool. Every effect on shared
+//! machine state — functional memory, register writebacks from global
+//! loads, detector events, heap events, statistics, block retirement — is
+//! recorded into the SM's pre-allocated [`FrontBuf`] instead of applied.
+//!
+//! **Phase B** (`Gpu::commit_front`) then drains the buffers serially in
+//! fixed SM order, replaying each SM's events in generation order. Because
+//! the replay order is a pure function of the simulation state (never of
+//! host thread scheduling), results are byte-identical for any
+//! `sm_threads` value — including the detector's fault-injection RNG
+//! stream, which is consumed at enqueue time in Phase B.
+//!
+//! The one front-end input that was cross-SM-coupled in the old
+//! single-phase tick is the L1-hit-detection (LHD) backpressure signal:
+//! it used to read the detector queue's *live* length, which included
+//! events enqueued by lower-numbered SMs earlier in the same cycle. The
+//! two-phase tick latches the signal once per cycle instead
+//! ([`FrontCtx::lhd_open`]) — the hardware-realistic registered
+//! backpressure wire — so every SM observes the same value regardless of
+//! execution order. See DESIGN.md "Intra-sim parallelism".
+
+use scord_core::Accessor;
+use scord_isa::{Instr, Operand, Pc, Program, Reg, Scope, Space, SpecialReg};
+
+use crate::gpu::Packet;
+use crate::{GpuConfig, OverheadToggles, SimError, SimStats, Sm, Warp, WarpState};
+
+/// Reusable per-access coalescing buffers. One warp memory instruction
+/// used to allocate fresh `Vec`s; these persist on the SM's [`FrontBuf`]
+/// and are cleared per access instead.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// Coalesced `(line address, lane mask)` transactions.
+    pub line_lanes: Vec<(u64, u32)>,
+    /// Transactions missing L1 (or bypassing it).
+    pub to_l2: Vec<(u64, u32)>,
+    /// Lines hitting L1.
+    pub l1_hits: Vec<u64>,
+}
+
+/// Statistics a front end accumulates locally during Phase A. All fields
+/// are commutative counters, so merging per-SM deltas into [`SimStats`]
+/// in any order gives the same totals (Phase B merges in SM order
+/// anyway, keeping even a hypothetical non-commutative field exact).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FrontStats {
+    pub warp_instructions: u64,
+    pub thread_instructions: u64,
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    pub stall_memory: u64,
+    pub stall_barrier: u64,
+    pub stall_noc_full: u64,
+    pub stall_lhd: u64,
+}
+
+impl FrontStats {
+    /// Folds this SM's Phase-A deltas into the launch statistics.
+    pub fn apply(&self, stats: &mut SimStats) {
+        stats.warp_instructions += self.warp_instructions;
+        stats.thread_instructions += self.thread_instructions;
+        stats.l1_hits += self.l1_hits;
+        stats.l1_misses += self.l1_misses;
+        stats.stalls.memory += self.stall_memory;
+        stats.stalls.barrier += self.stall_barrier;
+        stats.stalls.noc_full += self.stall_noc_full;
+        stats.stalls.lhd += self.stall_lhd;
+    }
+}
+
+/// A global access issued in Phase A, committed in Phase B: functional
+/// memory, register writebacks, the detector `Access` event, and the
+/// L1-hit response events. Operand *values* are not captured — registers
+/// are stable between phases (a warp issues at most one instruction per
+/// cycle and register files are private per warp), so Phase B reads them
+/// exactly as the single-phase tick did.
+#[derive(Debug)]
+pub(crate) struct PendingAccess {
+    pub warp_slot: u8,
+    pub op: GlobalOp,
+    pub pc: Pc,
+    pub strong: bool,
+    pub who: Accessor,
+    /// `start..end` range into [`FrontBuf::lane_buf`].
+    pub lanes: (u32, u32),
+    /// L1-hit lines: the number of `WarpResponse` heap events Phase B
+    /// schedules at `now + l1_latency`.
+    pub l1_hits: u32,
+}
+
+/// One deferred shared-state effect, in generation order. Phase B replays
+/// the buffer front to back, so the detector observes events (and
+/// consumes fault-injection randomness) in exactly the order the old
+/// single-phase tick produced them.
+#[derive(Debug)]
+pub(crate) enum PendingEvent {
+    /// A warp armed its fence this cycle (prepass).
+    Fence { warp_slot: u8, scope: Scope },
+    /// A block's barrier released this cycle.
+    Barrier { block_slot: u8 },
+    /// A global memory instruction issued this cycle.
+    Access(PendingAccess),
+}
+
+/// Per-SM Phase-A output buffer. Pre-allocated once, cleared per cycle;
+/// steady-state simulation allocates nothing here.
+#[derive(Debug, Default)]
+pub(crate) struct FrontBuf {
+    /// Deferred effects in generation order.
+    pub events: Vec<PendingEvent>,
+    /// Flat `(lane, byte address)` storage; [`PendingAccess::lanes`]
+    /// ranges index into it.
+    pub lane_buf: Vec<(u32, u64)>,
+    /// This SM's Phase-A statistics deltas.
+    pub stats: FrontStats,
+    /// Blocks that finished this cycle (Phase B decrements `blocks_live`).
+    pub blocks_retired: u32,
+    /// A retirement freed resources: Phase B re-arms the dispatch hint.
+    pub dispatch: bool,
+    /// Deferred execution error; Phase B surfaces it after applying this
+    /// SM's earlier (fully-committed) events, matching the single-phase
+    /// abort point.
+    pub error: Option<SimError>,
+    /// Per-access coalescing scratch.
+    pub scratch: Scratch,
+}
+
+impl FrontBuf {
+    /// Clears the per-cycle state (capacity retained).
+    pub fn begin_cycle(&mut self) {
+        self.events.clear();
+        self.lane_buf.clear();
+        self.stats = FrontStats::default();
+        self.blocks_retired = 0;
+        self.dispatch = false;
+        self.error = None;
+    }
+}
+
+/// Immutable shared context for one Phase A pass. Everything a front end
+/// may read that is not owned by its `Sm`; nothing here is written during
+/// Phase A, which is what makes the per-SM fan-out sound.
+pub(crate) struct FrontCtx<'a> {
+    pub cfg: &'a GpuConfig,
+    pub program: &'a Program,
+    pub params: &'a [u32],
+    pub now: u64,
+    /// Device-memory size for bounds checks (the contents are only
+    /// touched in Phase B).
+    pub mem_bytes: u64,
+    pub grid_blocks: u32,
+    pub threads_per_block: u32,
+    /// A detector is attached (events must be generated).
+    pub detect: bool,
+    /// The cycle-latched LHD backpressure signal: `true` when the
+    /// detector queue accepted L1-hit packets at the start of this cycle
+    /// (or no detector is attached).
+    pub lhd_open: bool,
+    pub toggles: OverheadToggles,
+}
+
+pub(crate) enum Outcome {
+    Issued,
+    Stalled,
+    Exited,
+}
+
+/// A warp memory instruction bound for global memory, carried from issue
+/// (Phase A) to commit (Phase B).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GlobalOp {
+    Load {
+        dst: Reg,
+        strong: bool,
+    },
+    Store {
+        src: Operand,
+        strong: bool,
+    },
+    Atomic {
+        op: scord_isa::AtomOp,
+        dst: Option<Reg>,
+        val: Operand,
+        cmp: Operand,
+        scope: Scope,
+    },
+}
+
+/// Iterates the set lane indices of a mask.
+pub(crate) fn lanes(mask: u32) -> impl Iterator<Item = u32> {
+    (0..32).filter(move |i| mask & (1 << i) != 0)
+}
+
+/// Runs one SM's complete front end for this cycle: prepass, then the
+/// dual-issue loop. All shared-state effects land in `sm.front`.
+pub(crate) fn sm_front(ctx: &FrontCtx, sm: &mut Sm) {
+    sm.front.begin_cycle();
+    prepass(ctx, sm);
+    issue(ctx, sm);
+}
+
+/// Cheap per-cycle state progression: fence completion, drained exits,
+/// stall accounting. Iterates the occupancy bitmask rather than every
+/// slot; the snapshot may go stale when a retirement mid-loop clears a
+/// later bit, so each slot is still re-checked for residency.
+fn prepass(ctx: &FrontCtx, sm: &mut Sm) {
+    let mut occ = sm.occupied;
+    while occ != 0 {
+        let idx = occ.trailing_zeros() as usize;
+        occ &= occ - 1;
+        let mut retire_block = None;
+        let Some(w) = sm.warps[idx].as_mut() else {
+            continue;
+        };
+        match w.state {
+            WarpState::WaitFence { end: None, scope }
+                if w.outstanding_stores == 0 && w.pending_loads == 0 =>
+            {
+                let latency = match scope {
+                    Scope::Block => ctx.cfg.fence_block_latency,
+                    Scope::Device => ctx.cfg.fence_device_latency,
+                };
+                let warp_slot = w.warp_slot;
+                w.state = WarpState::WaitFence {
+                    end: Some(ctx.now + u64::from(latency)),
+                    scope,
+                };
+                if ctx.detect {
+                    sm.front
+                        .events
+                        .push(PendingEvent::Fence { warp_slot, scope });
+                }
+            }
+            WarpState::WaitFence {
+                end: Some(t),
+                scope: _,
+            } if ctx.now >= t => {
+                w.state = WarpState::Ready { at: ctx.now };
+            }
+            WarpState::WaitMem => {
+                sm.front.stats.stall_memory += 1;
+                // A draining exited warp: retire once all traffic landed.
+                if w.pending_loads == 0 && w.outstanding_stores == 0 && w.is_done() {
+                    retire_block = Some(w.block_index);
+                    w.state = WarpState::Done;
+                }
+            }
+            WarpState::WaitBarrier => sm.front.stats.stall_barrier += 1,
+            _ => {}
+        }
+        if let Some(bidx) = retire_block {
+            try_retire_warp(ctx, sm, idx, bidx);
+        }
+    }
+}
+
+/// The rotated-occupancy-mask dual-issue loop (issue order and round-robin
+/// evolution identical to the single-phase scheduler).
+fn issue(ctx: &FrontCtx, sm: &mut Sm) {
+    let nw = sm.warps.len();
+    let slot_mask = (1u64 << nw) - 1;
+    let mut issued = 0;
+    let mut probe: u32 = 0;
+    while issued < ctx.cfg.issue_width && probe < nw as u32 {
+        let occ = sm.occupied;
+        if occ == 0 {
+            break;
+        }
+        // Advance `probe` over empty slots in one step: rotate the
+        // occupancy mask so the current probe position is bit 0, then
+        // count the zeros below the next live slot. Each skipped empty
+        // slot still consumes one probe, exactly as a slot-by-slot scan
+        // would, so the issue order and the round-robin pointer evolve
+        // identically.
+        let pos = (sm.rr + probe as usize) % nw;
+        let rot = ((occ >> pos) | (occ << (nw - pos))) & slot_mask;
+        probe += rot.trailing_zeros();
+        if probe >= nw as u32 {
+            break;
+        }
+        let idx = (sm.rr + probe as usize) % nw;
+        probe += 1;
+        let ready = matches!(
+            sm.warps[idx].as_ref().map(|w| &w.state),
+            Some(WarpState::Ready { at }) if *at <= ctx.now
+        );
+        if !ready {
+            continue;
+        }
+        let mut warp = sm.warps[idx].take().expect("ready warp");
+        let outcome = exec_warp(ctx, sm, &mut warp);
+        let block_index = warp.block_index;
+        sm.warps[idx] = Some(warp);
+        match outcome {
+            Ok(Outcome::Issued) => {
+                issued += 1;
+                sm.rr = idx + 1;
+            }
+            Ok(Outcome::Stalled) => {}
+            Ok(Outcome::Exited) => {
+                issued += 1;
+                sm.rr = idx + 1;
+                try_retire_warp(ctx, sm, idx, block_index);
+            }
+            Err(e) => {
+                // Defer: Phase B applies this SM's earlier events, then
+                // aborts the launch — the single-phase abort point.
+                sm.front.error = Some(e);
+                return;
+            }
+        }
+    }
+}
+
+/// Retires a `Done` warp, completing its block when it was the last one.
+/// A warp still draining memory traffic stays resident (as `WaitMem`);
+/// the prepass retries once its responses land.
+fn try_retire_warp(ctx: &FrontCtx, sm: &mut Sm, idx: usize, block_index: usize) {
+    let ready = matches!(
+        sm.warps[idx].as_ref(),
+        Some(w) if matches!(w.state, WarpState::Done)
+            && w.pending_loads == 0
+            && w.outstanding_stores == 0
+    );
+    if !ready {
+        return;
+    }
+    let (live_now, released) = {
+        let block = sm.blocks[block_index]
+            .as_mut()
+            .expect("warp's block resident");
+        block.live_warps -= 1;
+        (block.live_warps, block.barrier_arrived)
+    };
+    if live_now > 0 && released >= live_now {
+        release_barrier(ctx, sm, block_index);
+    }
+    if live_now == 0 {
+        finish_block(ctx, sm, block_index);
+    }
+}
+
+fn release_barrier(ctx: &FrontCtx, sm: &mut Sm, block_index: usize) {
+    let (slots, block_slot_global) = {
+        let block = sm.blocks[block_index].as_mut().expect("resident");
+        block.barrier_arrived = 0;
+        (block.warp_slots.clone(), block.block_slot_global)
+    };
+    for slot in slots {
+        if let Some(w) = sm.warps[slot].as_mut() {
+            if matches!(w.state, WarpState::WaitBarrier) {
+                w.state = WarpState::Ready { at: ctx.now + 5 };
+            }
+        }
+    }
+    if ctx.detect {
+        sm.front.events.push(PendingEvent::Barrier {
+            block_slot: block_slot_global,
+        });
+    }
+}
+
+fn finish_block(ctx: &FrontCtx, sm: &mut Sm, block_index: usize) {
+    let block = sm.blocks[block_index].take().expect("resident");
+    let regs = u32::from(ctx.program.num_regs()) * ctx.threads_per_block;
+    for slot in block.warp_slots {
+        sm.warps[slot] = None;
+        sm.occupied &= !(1u64 << slot);
+    }
+    sm.free_regs += regs;
+    sm.free_shared += ctx.program.shared_bytes();
+    sm.front.blocks_retired += 1;
+    sm.front.dispatch = true;
+}
+
+fn count_issue(stats: &mut FrontStats, mask: u32) {
+    stats.warp_instructions += 1;
+    stats.thread_instructions += u64::from(mask.count_ones());
+}
+
+fn complete_alu(ctx: &FrontCtx, sm: &mut Sm, warp: &mut Warp, mask: u32) {
+    warp.advance();
+    warp.state = WarpState::Ready { at: ctx.now + 1 };
+    count_issue(&mut sm.front.stats, mask);
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_warp(ctx: &FrontCtx, sm: &mut Sm, warp: &mut Warp) -> Result<Outcome, SimError> {
+    let Some((pc, mask)) = warp.fetch() else {
+        warp.state = WarpState::Done;
+        return Ok(Outcome::Exited);
+    };
+    // Copy the instruction out so the `Arc` is borrowed only briefly —
+    // cloning it here put an atomic refcount round-trip on every issued
+    // instruction.
+    let instr = *ctx.program.fetch(pc).unwrap_or(&Instr::Exit);
+
+    match instr {
+        Instr::Mov { dst, src } => {
+            for lane in lanes(mask) {
+                let v = warp.operand(lane, src);
+                warp.set_reg(lane, dst, v);
+            }
+            complete_alu(ctx, sm, warp, mask);
+        }
+        Instr::Alu { op, dst, a, b } => {
+            for lane in lanes(mask) {
+                let va = warp.operand(lane, a);
+                let vb = warp.operand(lane, b);
+                warp.set_reg(lane, dst, op.eval(va, vb));
+            }
+            complete_alu(ctx, sm, warp, mask);
+        }
+        Instr::Special { dst, sreg } => {
+            for lane in lanes(mask) {
+                let v = match sreg {
+                    SpecialReg::Tid => warp.warp_in_block * ctx.cfg.warp_size + lane,
+                    SpecialReg::Ntid => ctx.threads_per_block,
+                    SpecialReg::Ctaid => warp.ctaid,
+                    SpecialReg::Nctaid => ctx.grid_blocks,
+                    SpecialReg::LaneId => lane,
+                    SpecialReg::WarpId => warp.warp_in_block,
+                };
+                warp.set_reg(lane, dst, v);
+            }
+            complete_alu(ctx, sm, warp, mask);
+        }
+        Instr::LdParam { dst, index } => {
+            let v = ctx.params[usize::from(index)];
+            for lane in lanes(mask) {
+                warp.set_reg(lane, dst, v);
+            }
+            complete_alu(ctx, sm, warp, mask);
+        }
+        Instr::Ld {
+            dst,
+            addr,
+            space: Space::Shared,
+            ..
+        } => {
+            let block = sm.blocks[warp.block_index]
+                .as_ref()
+                .expect("resident block");
+            for lane in lanes(mask) {
+                let a = addr.resolve(warp.reg(lane, addr.base));
+                let idx = (a / 4) as usize;
+                let v = *block.shared.get(idx).ok_or(SimError::AddressOutOfBounds {
+                    addr: u64::from(a),
+                    pc,
+                })?;
+                warp.set_reg(lane, dst, v);
+            }
+            warp.advance();
+            warp.state = WarpState::Ready {
+                at: ctx.now + u64::from(ctx.cfg.shared_latency),
+            };
+            count_issue(&mut sm.front.stats, mask);
+        }
+        Instr::St {
+            src,
+            addr,
+            space: Space::Shared,
+            ..
+        } => {
+            for lane in lanes(mask) {
+                let a = addr.resolve(warp.reg(lane, addr.base));
+                let v = warp.operand(lane, src);
+                let block = sm.blocks[warp.block_index]
+                    .as_mut()
+                    .expect("resident block");
+                let idx = (a / 4) as usize;
+                *block
+                    .shared
+                    .get_mut(idx)
+                    .ok_or(SimError::AddressOutOfBounds {
+                        addr: u64::from(a),
+                        pc,
+                    })? = v;
+            }
+            warp.advance();
+            warp.state = WarpState::Ready { at: ctx.now + 1 };
+            count_issue(&mut sm.front.stats, mask);
+        }
+        Instr::Ld {
+            dst,
+            addr,
+            space: Space::Global,
+            strong,
+        } => {
+            return exec_global(
+                ctx,
+                sm,
+                warp,
+                pc,
+                mask,
+                GlobalOp::Load { dst, strong },
+                addr,
+            );
+        }
+        Instr::St {
+            src,
+            addr,
+            space: Space::Global,
+            strong,
+        } => {
+            return exec_global(
+                ctx,
+                sm,
+                warp,
+                pc,
+                mask,
+                GlobalOp::Store { src, strong },
+                addr,
+            );
+        }
+        Instr::Atom {
+            op,
+            dst,
+            addr,
+            val,
+            cmp,
+            scope,
+        } => {
+            return exec_global(
+                ctx,
+                sm,
+                warp,
+                pc,
+                mask,
+                GlobalOp::Atomic {
+                    op,
+                    dst,
+                    val,
+                    cmp,
+                    scope,
+                },
+                addr,
+            );
+        }
+        Instr::Fence { scope } => {
+            warp.advance();
+            warp.state = WarpState::WaitFence { end: None, scope };
+            count_issue(&mut sm.front.stats, mask);
+        }
+        Instr::Bar => {
+            if !warp.converged() {
+                return Err(SimError::BarrierDivergence { pc });
+            }
+            warp.advance();
+            warp.state = WarpState::WaitBarrier;
+            count_issue(&mut sm.front.stats, mask);
+            let (arrived, live) = {
+                let block = sm.blocks[warp.block_index]
+                    .as_mut()
+                    .expect("resident block");
+                block.barrier_arrived += 1;
+                (block.barrier_arrived, block.live_warps)
+            };
+            if arrived >= live {
+                // This warp is currently taken out of its slot: release
+                // it directly, then the rest.
+                warp.state = WarpState::Ready { at: ctx.now + 5 };
+                let block = sm.blocks[warp.block_index]
+                    .as_mut()
+                    .expect("resident block");
+                block.barrier_arrived -= 1; // this warp, handled here
+                release_barrier(ctx, sm, warp.block_index);
+            }
+        }
+        Instr::Branch {
+            cond,
+            if_zero,
+            target,
+            reconv,
+        } => {
+            let mut taken = 0u32;
+            for lane in lanes(mask) {
+                let v = warp.reg(lane, cond);
+                if (v == 0) == if_zero {
+                    taken |= 1 << lane;
+                }
+            }
+            warp.branch(taken, target, pc + 1, reconv);
+            warp.state = WarpState::Ready { at: ctx.now + 1 };
+            count_issue(&mut sm.front.stats, mask);
+        }
+        Instr::Jump { target } => {
+            warp.jump(target);
+            warp.state = WarpState::Ready { at: ctx.now + 1 };
+            count_issue(&mut sm.front.stats, mask);
+        }
+        Instr::Exit => {
+            warp.exit_lanes(mask);
+            count_issue(&mut sm.front.stats, mask);
+            if warp.is_done() {
+                if warp.pending_loads == 0 && warp.outstanding_stores == 0 {
+                    warp.state = WarpState::Done;
+                } else {
+                    warp.state = WarpState::WaitMem; // drain, then retire
+                }
+                return Ok(Outcome::Exited);
+            }
+            warp.state = WarpState::Ready { at: ctx.now + 1 };
+        }
+        Instr::Nop => {
+            warp.advance();
+            warp.state = WarpState::Ready { at: ctx.now + 1 };
+            count_issue(&mut sm.front.stats, mask);
+        }
+    }
+    Ok(Outcome::Issued)
+}
+
+/// Issues one global memory instruction: stall checks, lane gather with
+/// bounds checks, coalescing, L1 classification and all SM-local timing
+/// (L1 LRU/invalidate, NoC queue, pending-load/store counters, warp
+/// state). The shared-state half — functional memory, register
+/// writebacks, the detector event, the L1-hit response events — is
+/// buffered as a [`PendingAccess`] for Phase B.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn exec_global(
+    ctx: &FrontCtx,
+    sm: &mut Sm,
+    warp: &mut Warp,
+    pc: Pc,
+    mask: u32,
+    op: GlobalOp,
+    addr: scord_isa::MemAddr,
+) -> Result<Outcome, SimError> {
+    let (is_store, is_atomic, strong) = match op {
+        GlobalOp::Load { strong, .. } => (false, false, strong),
+        GlobalOp::Store { strong, .. } => (true, false, strong),
+        GlobalOp::Atomic { .. } => (true, true, true),
+    };
+    let use_l1 = !strong && !is_store && !is_atomic;
+
+    // Fast stall check before any address work: an access that bypasses
+    // L1 always generates at least one L2 transaction (the executed
+    // mask is never empty), so when the queue is already over the
+    // high-water mark it will stall no matter what it touches. Under
+    // congestion a warp retries every cycle; without this check each
+    // retry re-gathered and re-coalesced all 32 lane addresses. (An
+    // out-of-bounds address on such a retrying access is reported
+    // when the queue drains rather than during the stall — identical
+    // outcome for every program that does not abort.)
+    if !use_l1 && !sm.out_queue.is_empty() && sm.out_queue.len() + 1 > ctx.cfg.noc_queue {
+        sm.front.stats.stall_noc_full += 1;
+        warp.state = WarpState::Ready { at: ctx.now + 1 };
+        return Ok(Outcome::Stalled);
+    }
+
+    // Gather lane addresses into the deferred-commit lane buffer and
+    // coalesce into lines.
+    let lane_start = sm.front.lane_buf.len();
+    for lane in lanes(mask) {
+        let a = u64::from(addr.resolve(warp.reg(lane, addr.base)));
+        if a % 4 != 0 || a + 4 > ctx.mem_bytes {
+            sm.front.lane_buf.truncate(lane_start);
+            return Err(SimError::AddressOutOfBounds { addr: a, pc });
+        }
+        sm.front.lane_buf.push((lane, a));
+    }
+    let line_mask = u64::from(ctx.cfg.line_bytes - 1);
+    sm.front.scratch.line_lanes.clear();
+    for &(lane, a) in &sm.front.lane_buf[lane_start..] {
+        let line = a & !line_mask;
+        match sm
+            .front
+            .scratch
+            .line_lanes
+            .iter_mut()
+            .find(|(l, _)| *l == line)
+        {
+            Some((_, lm)) => *lm |= 1 << lane,
+            None => sm.front.scratch.line_lanes.push((line, 1 << lane)),
+        }
+    }
+
+    // L1 classification (weak loads only).
+    let mut hit_lines = 0usize;
+    sm.front.scratch.to_l2.clear();
+    sm.front.scratch.l1_hits.clear();
+    for &(line, lm) in &sm.front.scratch.line_lanes {
+        if use_l1 && sm.l1.probe(line) {
+            hit_lines += 1;
+            sm.front.scratch.l1_hits.push(line);
+        } else {
+            sm.front.scratch.to_l2.push((line, lm));
+        }
+    }
+
+    // Stall checks (nothing committed yet). The queue capacity is a
+    // high-water mark: a fully-scattered access (up to 32 lines) may
+    // overflow an *empty* queue, otherwise it could never issue.
+    if !sm.out_queue.is_empty()
+        && sm.out_queue.len() + sm.front.scratch.to_l2.len() > ctx.cfg.noc_queue
+    {
+        sm.front.lane_buf.truncate(lane_start);
+        sm.front.stats.stall_noc_full += 1;
+        warp.state = WarpState::Ready { at: ctx.now + 1 };
+        return Ok(Outcome::Stalled);
+    }
+    if ctx.detect {
+        let pure_l1_hit = use_l1 && sm.front.scratch.to_l2.is_empty() && hit_lines > 0;
+        if pure_l1_hit && ctx.toggles.lhd && !ctx.lhd_open {
+            sm.front.lane_buf.truncate(lane_start);
+            sm.front.stats.stall_lhd += 1;
+            warp.state = WarpState::Ready { at: ctx.now + 1 };
+            return Ok(Outcome::Stalled);
+        }
+    }
+
+    // ---- commit (SM-local half; the rest is deferred) -----------------
+    count_issue(&mut sm.front.stats, mask);
+    let who = Accessor {
+        sm: sm.id,
+        block_slot: sm.blocks[warp.block_index]
+            .as_ref()
+            .expect("resident block")
+            .block_slot_global,
+        warp_slot: warp.warp_slot,
+    };
+
+    let needs_old_value = matches!(
+        op,
+        GlobalOp::Load { .. } | GlobalOp::Atomic { dst: Some(_), .. }
+    );
+    let mut l1_hit_count = 0u32;
+    for i in 0..sm.front.scratch.l1_hits.len() {
+        let line = sm.front.scratch.l1_hits[i];
+        let _ = sm.l1.access(line, false, false);
+        sm.front.stats.l1_hits += 1;
+        warp.pending_loads += 1;
+        l1_hit_count += 1;
+    }
+    let hdr = if ctx.toggles.noc {
+        ctx.cfg.detection_header_bytes
+    } else {
+        0
+    };
+    for i in 0..sm.front.scratch.to_l2.len() {
+        let (line, lm) = sm.front.scratch.to_l2[i];
+        if use_l1 {
+            sm.front.stats.l1_misses += 1;
+        }
+        if is_store && !is_atomic {
+            sm.l1.invalidate(line); // global write-evict
+        }
+        let lanes_here = lm.count_ones();
+        let bytes = 16
+            + hdr
+            + if is_atomic {
+                8 * lanes_here
+            } else if is_store {
+                ctx.cfg.line_bytes
+            } else {
+                0
+            };
+        let flits = bytes.div_ceil(ctx.cfg.flit_bytes);
+        if needs_old_value {
+            warp.pending_loads += 1;
+        } else {
+            warp.outstanding_stores += 1;
+        }
+        sm.out_queue.push_back(Packet {
+            line_addr: line,
+            write: is_store,
+            atomic_lanes: if is_atomic { lanes_here } else { 0 },
+            metadata: false,
+            needs_response: true,
+            is_store_ack: !needs_old_value,
+            sm: sm.id,
+            warp: warp.warp_slot,
+            flits,
+            ready_at: 0,
+            l1_fill: use_l1,
+        });
+    }
+    sm.front.events.push(PendingEvent::Access(PendingAccess {
+        warp_slot: warp.warp_slot,
+        op,
+        pc,
+        strong,
+        who,
+        lanes: (lane_start as u32, sm.front.lane_buf.len() as u32),
+        l1_hits: l1_hit_count,
+    }));
+
+    warp.advance();
+    warp.state = if warp.pending_loads > 0 {
+        WarpState::WaitMem
+    } else {
+        WarpState::Ready { at: ctx.now + 1 }
+    };
+    Ok(Outcome::Issued)
+}

@@ -6,12 +6,13 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
-use scord_core::{
-    AccessKind, Accessor, AtomKind, FlatMap, MemAccess, RaceLog, ScordDetector, Trace,
-};
-use scord_isa::{AtomOp, Instr, Pc, Program, Scope, Space, SpecialReg};
+use scord_core::{AccessKind, AtomKind, FlatMap, MemAccess, RaceLog, ScordDetector, Trace};
+use scord_isa::{AtomOp, Pc, Program};
+use scord_pool::WorkerPool;
 
+use crate::front::{self, FrontCtx, GlobalOp, PendingAccess, PendingEvent};
 use crate::{
     Cache, CacheOutcome, DetectorEvent, DetectorUnit, DeviceMemory, DramChannel, DramRequest,
     GpuConfig, SimStats, Sm, SmBlock, Warp, WarpState,
@@ -99,21 +100,6 @@ struct Partition {
     fill_pool: Vec<Vec<Packet>>,
 }
 
-/// Reusable per-access buffers for [`Gpu::exec_global`]. One warp memory
-/// instruction used to allocate four fresh `Vec`s; these live on the `Gpu`
-/// and are taken/restored around each access instead.
-#[derive(Debug, Default)]
-struct Scratch {
-    /// `(lane, byte address)` per active lane.
-    lane_addrs: Vec<(u32, u64)>,
-    /// Coalesced `(line address, lane mask)` transactions.
-    line_lanes: Vec<(u64, u32)>,
-    /// Transactions missing L1 (or bypassing it).
-    to_l2: Vec<(u64, u32)>,
-    /// Lines hitting L1.
-    l1_hits: Vec<u64>,
-}
-
 /// Simulation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -181,12 +167,6 @@ impl From<scord_core::DetectorError> for SimError {
     }
 }
 
-enum Outcome {
-    Issued,
-    Stalled,
-    Exited,
-}
-
 /// The simulated GPU.
 ///
 /// ```
@@ -229,7 +209,18 @@ pub struct Gpu {
     next_block: u32,
     blocks_live: u32,
     noc_rr: usize,
-    scratch: Scratch,
+    /// Worker pool for the parallel SM front-end phase. `None` when the
+    /// effective `sm_threads` is 1: the front ends then run inline, through
+    /// the identical per-SM code path (see [`crate::front`]).
+    pool: Option<WorkerPool>,
+    /// Reused buffer for the parallel [`Gpu::next_wake`] per-SM reduction.
+    wake_scratch: Vec<u64>,
+    /// Per-cycle Phase A / Phase B wall-time accounting. Off by default —
+    /// two clock reads per cycle are measurable on the hot path — and purely
+    /// diagnostic: simulation results are unaffected.
+    phase_timing: bool,
+    phase_a_nanos: u64,
+    phase_b_nanos: u64,
     /// `true` while next cycle's block dispatch might place a block: set at
     /// launch and whenever a block retires (freeing resources), kept set
     /// while a dispatch pass places anything (the pass is capped at one
@@ -324,6 +315,15 @@ impl Gpu {
                 fill_pool: Vec::new(),
             })
             .collect();
+        // Effective front-end parallelism: the config knob, raised by the
+        // process-wide override, capped at one thread per SM. Sampled here
+        // so flipping the override mid-run cannot affect a live `Gpu`.
+        let threads = cfg
+            .sm_threads
+            .max(crate::sm_threads_override())
+            .min(cfg.num_sms)
+            .max(1);
+        let pool = (threads > 1).then(|| WorkerPool::new(threads as usize));
         Ok(Gpu {
             mem: DeviceMemory::new(cfg.mem_bytes),
             sms,
@@ -343,7 +343,11 @@ impl Gpu {
             next_block: 0,
             blocks_live: 0,
             noc_rr: 0,
-            scratch: Scratch::default(),
+            pool,
+            wake_scratch: Vec::new(),
+            phase_timing: false,
+            phase_a_nanos: 0,
+            phase_b_nanos: 0,
             dispatch_hint: true,
         })
     }
@@ -368,6 +372,27 @@ impl Gpu {
     /// Sets the deadlock watchdog (cycles).
     pub fn set_max_cycles(&mut self, cycles: u64) {
         self.max_cycles = cycles;
+    }
+
+    /// Effective SM front-end thread count (1 = inline serial front ends).
+    #[must_use]
+    pub fn sm_threads(&self) -> u32 {
+        self.pool.as_ref().map_or(1, |p| p.threads() as u32)
+    }
+
+    /// Enables per-cycle Phase A / Phase B wall-time accounting (see
+    /// [`Gpu::phase_nanos`]). Off by default; the perf harness turns it on.
+    pub fn set_phase_timing(&mut self, on: bool) {
+        self.phase_timing = on;
+    }
+
+    /// Accumulated `(phase A, phase B)` wall time in nanoseconds since the
+    /// last launch started — the parallel front-end phase vs the serial
+    /// commit/NoC/L2/DRAM/detector phase. Zeros unless
+    /// [`Gpu::set_phase_timing`] is on.
+    #[must_use]
+    pub fn phase_nanos(&self) -> (u64, u64) {
+        (self.phase_a_nanos, self.phase_b_nanos)
     }
 
     /// The detector's accumulated race log (empty log if detection is off).
@@ -444,11 +469,14 @@ impl Gpu {
         self.dispatch_hint = true;
         self.heap.clear();
         self.stats = SimStats::default();
+        self.phase_a_nanos = 0;
+        self.phase_b_nanos = 0;
         for sm in &mut self.sms {
             sm.rr = 0;
             sm.tx_free_at = 0;
             sm.out_queue.clear();
             sm.recompute_occupied();
+            sm.front.begin_cycle();
         }
         for p in &mut self.parts {
             p.rx_free_at = 0;
@@ -521,7 +549,9 @@ impl Gpu {
     /// * each non-idle DRAM channel: its busy-until horizon;
     /// * the detector whenever its queue is non-empty (it consumes events
     ///   every cycle).
-    fn next_wake(&self) -> u64 {
+    ///
+    /// `&mut self` only for [`Gpu::wake_scratch`]; the scan itself reads.
+    fn next_wake(&mut self) -> u64 {
         let floor = self.now + 1;
         if self.next_block < self.grid_blocks && self.dispatch_hint {
             return floor;
@@ -533,31 +563,30 @@ impl Gpu {
         if let Some(item) = self.heap.peek() {
             t = t.min(item.time.max(floor));
         }
-        for sm in &self.sms {
-            let mut occ = sm.occupied;
-            while occ != 0 {
-                let idx = occ.trailing_zeros() as usize;
-                occ &= occ - 1;
-                let Some(w) = sm.warps[idx].as_ref() else {
-                    continue;
-                };
-                match w.state {
-                    WarpState::Ready { at } => t = t.min(at.max(floor)),
-                    WarpState::WaitFence { end: Some(end), .. } => t = t.min(end.max(floor)),
-                    WarpState::WaitFence { end: None, .. }
-                        if w.outstanding_stores == 0 && w.pending_loads == 0 =>
-                    {
-                        return floor;
-                    }
-                    // WaitMem / WaitBarrier / draining fences wake via the
-                    // event heap or another warp's progress.
-                    _ => {}
-                }
+        if let Some(pool) = &self.pool {
+            // Parallel per-SM scan: a pure min-reduction, so the fold order
+            // (and hence host thread scheduling) cannot affect the result.
+            let mut wakes = std::mem::take(&mut self.wake_scratch);
+            wakes.clear();
+            wakes.resize(self.sms.len(), u64::MAX);
+            let (cfg, sms, parts) = (&self.cfg, &self.sms, &self.parts);
+            pool.for_each_mut(&mut wakes, |s, slot| {
+                *slot = Self::sm_wake(cfg, sms, parts, floor, s);
+            });
+            for &w in &wakes {
+                t = t.min(w);
             }
-            if let Some(front) = sm.out_queue.front() {
-                let part = self.partition_of(front.line_addr);
-                let ready = sm.tx_free_at.max(self.parts[part].rx_free_at);
-                t = t.min(ready.max(floor));
+            self.wake_scratch = wakes;
+            if t == floor {
+                return floor;
+            }
+        } else {
+            for s in 0..self.sms.len() {
+                let w = Self::sm_wake(&self.cfg, &self.sms, &self.parts, floor, s);
+                if w == floor {
+                    return floor;
+                }
+                t = t.min(w);
             }
         }
         for p in &self.parts {
@@ -568,6 +597,42 @@ impl Gpu {
             if !p.dram.idle(self.now) {
                 t = t.min(p.dram.busy_until().max(floor));
             }
+        }
+        t
+    }
+
+    /// One SM's earliest wake time for [`Gpu::next_wake`]: its resident
+    /// warps' wake cycles plus its queued NoC head-of-line packet. An
+    /// associated function over plain borrows so the parallel scan can share
+    /// it across worker threads without requiring `Gpu: Sync`.
+    fn sm_wake(cfg: &GpuConfig, sms: &[Sm], parts: &[Partition], floor: u64, s: usize) -> u64 {
+        let sm = &sms[s];
+        let mut t = u64::MAX;
+        let mut occ = sm.occupied;
+        while occ != 0 {
+            let idx = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let Some(w) = sm.warps[idx].as_ref() else {
+                continue;
+            };
+            match w.state {
+                WarpState::Ready { at } => t = t.min(at.max(floor)),
+                WarpState::WaitFence { end: Some(end), .. } => t = t.min(end.max(floor)),
+                WarpState::WaitFence { end: None, .. }
+                    if w.outstanding_stores == 0 && w.pending_loads == 0 =>
+                {
+                    return floor;
+                }
+                // WaitMem / WaitBarrier / draining fences wake via the
+                // event heap or another warp's progress.
+                _ => {}
+            }
+        }
+        if let Some(head) = sm.out_queue.front() {
+            let part =
+                ((head.line_addr / u64::from(cfg.line_bytes)) % u64::from(cfg.channels)) as usize;
+            let ready = sm.tx_free_at.max(parts[part].rx_free_at);
+            t = t.min(ready.max(floor));
         }
         t
     }
@@ -638,14 +703,25 @@ impl Gpu {
         let next_block0 = self.next_block;
         let drained = self.drain_events();
         self.dispatch_blocks();
+        // Phase A: all SM front ends, possibly fanned out over the worker
+        // pool; every shared-state effect lands in the per-SM buffers.
+        let t0 = self.phase_timing.then(Instant::now);
+        self.front_phase();
+        // Phase B: serial, in fixed order — per-SM commit (ascending SM
+        // index), NoC arbitration, L2/DRAM, detector.
+        let t1 = self.phase_timing.then(Instant::now);
         for s in 0..self.sms.len() {
-            self.sm_tick(s)?;
+            self.commit_front(s)?;
         }
         self.noc_tick();
         for p in 0..self.parts.len() {
             self.part_tick(p);
         }
         self.detector_tick()?;
+        if let (Some(a), Some(b)) = (t0, t1) {
+            self.phase_a_nanos += duration_nanos(b - a);
+            self.phase_b_nanos += duration_nanos(b.elapsed());
+        }
         Ok(drained
             || self.next_block != next_block0
             || self.stats.warp_instructions != insts0
@@ -795,86 +871,57 @@ impl Gpu {
         self.dispatch_hint = dispatched;
     }
 
-    // ---- SM scheduling ----------------------------------------------------
+    // ---- SM front end (Phase A) and commit (Phase B) ----------------------
 
-    fn sm_tick(&mut self, s: usize) -> Result<(), SimError> {
-        self.sm_prepass(s);
-        let nw = self.sms[s].warps.len();
-        let slot_mask = (1u64 << nw) - 1;
-        let mut issued = 0;
-        let mut probe: u32 = 0;
-        while issued < self.cfg.issue_width && probe < nw as u32 {
-            let occ = self.sms[s].occupied;
-            if occ == 0 {
-                break;
-            }
-            // Advance `probe` over empty slots in one step: rotate the
-            // occupancy mask so the current probe position is bit 0, then
-            // count the zeros below the next live slot. Each skipped empty
-            // slot still consumes one probe, exactly as the original
-            // slot-by-slot scan did, so the issue order and the round-robin
-            // pointer evolve identically.
-            let pos = (self.sms[s].rr + probe as usize) % nw;
-            let rot = ((occ >> pos) | (occ << (nw - pos))) & slot_mask;
-            probe += rot.trailing_zeros();
-            if probe >= nw as u32 {
-                break;
-            }
-            let idx = (self.sms[s].rr + probe as usize) % nw;
-            probe += 1;
-            let ready = matches!(
-                self.sms[s].warps[idx].as_ref().map(|w| &w.state),
-                Some(WarpState::Ready { at }) if *at <= self.now
-            );
-            if !ready {
-                continue;
-            }
-            let mut warp = self.sms[s].warps[idx].take().expect("ready warp");
-            let outcome = self.exec_warp(s, &mut warp);
-            let block_index = warp.block_index;
-            self.sms[s].warps[idx] = Some(warp);
-            match outcome? {
-                Outcome::Issued => {
-                    issued += 1;
-                    self.sms[s].rr = idx + 1;
-                }
-                Outcome::Stalled => {}
-                Outcome::Exited => {
-                    issued += 1;
-                    self.sms[s].rr = idx + 1;
-                    self.try_retire_warp(s, idx, block_index);
+    /// Phase A: runs every SM's front end (prepass, issue, execute) with
+    /// all shared-state effects deferred into the per-SM
+    /// [`front::FrontBuf`]s. Fans out over the worker pool when the
+    /// effective `sm_threads` exceeds 1; serial and parallel paths run the
+    /// identical per-SM function, which is what makes results
+    /// byte-identical across thread counts.
+    fn front_phase(&mut self) {
+        // Latch the LHD backpressure signal once per cycle (after block
+        // dispatch, whose WarpAssigned events have already enqueued): the
+        // hardware-realistic registered wire, and the one front-end input
+        // that would otherwise couple SMs within a cycle.
+        let lhd_open = self
+            .detector
+            .as_ref()
+            .is_none_or(DetectorUnit::can_accept_l1_hit);
+        let ctx = FrontCtx {
+            cfg: &self.cfg,
+            program: self.program.as_deref().expect("launch in progress"),
+            params: &self.params,
+            now: self.now,
+            mem_bytes: self.mem.bytes(),
+            grid_blocks: self.grid_blocks,
+            threads_per_block: self.threads_per_block,
+            detect: self.detector.is_some(),
+            lhd_open,
+            toggles: self.cfg.toggles(),
+        };
+        match &self.pool {
+            Some(pool) => pool.for_each_mut(&mut self.sms, |_, sm| front::sm_front(&ctx, sm)),
+            None => {
+                for sm in &mut self.sms {
+                    front::sm_front(&ctx, sm);
                 }
             }
         }
-        Ok(())
     }
 
-    /// Cheap per-cycle state progression: fence completion, drained exits,
-    /// stall accounting. Iterates the occupancy bitmask rather than every
-    /// slot; the snapshot may go stale when a retirement mid-loop clears a
-    /// later bit, so each slot is still re-checked for residency (matching
-    /// the original full scan's behaviour exactly).
-    fn sm_prepass(&mut self, s: usize) {
-        let mut occ = self.sms[s].occupied;
-        while occ != 0 {
-            let idx = occ.trailing_zeros() as usize;
-            occ &= occ - 1;
-            let Some(w) = self.sms[s].warps[idx].as_mut() else {
-                continue;
-            };
-            match w.state {
-                WarpState::WaitFence { end: None, scope }
-                    if w.outstanding_stores == 0 && w.pending_loads == 0 =>
-                {
-                    let latency = match scope {
-                        Scope::Block => self.cfg.fence_block_latency,
-                        Scope::Device => self.cfg.fence_device_latency,
-                    };
-                    let warp_slot = w.warp_slot;
-                    w.state = WarpState::WaitFence {
-                        end: Some(self.now + u64::from(latency)),
-                        scope,
-                    };
+    /// Phase B for one SM (called in ascending SM order): applies the SM's
+    /// buffered effects to shared machine state — functional memory and
+    /// register writebacks, detector events in generation order (preserving
+    /// the fault-injection RNG stream event for event), L1-hit response
+    /// events, statistics and block retirement — then surfaces any deferred
+    /// execution error at the same point the single-phase tick aborted.
+    fn commit_front(&mut self, s: usize) -> Result<(), SimError> {
+        let mut events = std::mem::take(&mut self.sms[s].front.events);
+        let lane_buf = std::mem::take(&mut self.sms[s].front.lane_buf);
+        for ev in events.drain(..) {
+            match ev {
+                PendingEvent::Fence { warp_slot, scope } => {
                     if let Some(det) = &mut self.detector {
                         det.enqueue(DetectorEvent::Fence {
                             sm: s as u8,
@@ -883,428 +930,48 @@ impl Gpu {
                         });
                     }
                 }
-                WarpState::WaitFence {
-                    end: Some(t),
-                    scope: _,
-                } if self.now >= t => {
-                    w.state = WarpState::Ready { at: self.now };
-                }
-                WarpState::WaitMem => {
-                    self.stats.stalls.memory += 1;
-                    // A draining exited warp: retire once all traffic landed.
-                    if w.pending_loads == 0 && w.outstanding_stores == 0 && w.is_done() {
-                        let bidx = w.block_index;
-                        w.state = WarpState::Done;
-                        self.try_retire_warp(s, idx, bidx);
+                PendingEvent::Barrier { block_slot } => {
+                    if let Some(det) = &mut self.detector {
+                        det.enqueue(DetectorEvent::Barrier {
+                            sm: s as u8,
+                            block_slot,
+                        });
                     }
                 }
-                WarpState::WaitBarrier => self.stats.stalls.barrier += 1,
-                _ => {}
+                PendingEvent::Access(acc) => self.commit_access(s, &lane_buf, &acc),
             }
+        }
+        // Hand the buffers back with their capacity intact.
+        self.sms[s].front.events = events;
+        self.sms[s].front.lane_buf = lane_buf;
+        let front = &mut self.sms[s].front;
+        let stats = front.stats;
+        let retired = front.blocks_retired;
+        let dispatch = front.dispatch;
+        let error = front.error.take();
+        stats.apply(&mut self.stats);
+        self.blocks_live -= retired;
+        self.dispatch_hint |= dispatch;
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
-    /// Retires a `Done` warp, completing its block when it was the last one.
-    /// A warp still draining memory traffic stays resident (as `WaitMem`);
-    /// the prepass retries once its responses land.
-    fn try_retire_warp(&mut self, s: usize, idx: usize, block_index: usize) {
-        let ready = matches!(
-            self.sms[s].warps[idx].as_ref(),
-            Some(w) if matches!(w.state, WarpState::Done)
-                && w.pending_loads == 0
-                && w.outstanding_stores == 0
-        );
-        if !ready {
-            return;
-        }
-        let (live_now, released) = {
-            let block = self.sms[s].blocks[block_index]
-                .as_mut()
-                .expect("warp's block resident");
-            block.live_warps -= 1;
-            (block.live_warps, block.barrier_arrived)
-        };
-        if live_now > 0 && released >= live_now {
-            self.release_barrier(s, block_index);
-        }
-        if live_now == 0 {
-            self.finish_block(s, block_index);
-        }
-    }
-
-    fn release_barrier(&mut self, s: usize, block_index: usize) {
-        let (slots, block_slot_global) = {
-            let block = self.sms[s].blocks[block_index].as_mut().expect("resident");
-            block.barrier_arrived = 0;
-            (block.warp_slots.clone(), block.block_slot_global)
-        };
-        for slot in slots {
-            if let Some(w) = self.sms[s].warps[slot].as_mut() {
-                if matches!(w.state, WarpState::WaitBarrier) {
-                    w.state = WarpState::Ready { at: self.now + 5 };
-                }
-            }
-        }
-        if let Some(det) = &mut self.detector {
-            det.enqueue(DetectorEvent::Barrier {
-                sm: s as u8,
-                block_slot: block_slot_global,
-            });
-        }
-    }
-
-    fn finish_block(&mut self, s: usize, block_index: usize) {
-        let block = self.sms[s].blocks[block_index].take().expect("resident");
-        let program = self.program.as_ref().expect("launch in progress");
-        let regs = u32::from(program.num_regs()) * self.threads_per_block;
-        for slot in block.warp_slots {
-            self.sms[s].warps[slot] = None;
-            self.sms[s].occupied &= !(1u64 << slot);
-        }
-        self.sms[s].free_regs += regs;
-        self.sms[s].free_shared += program.shared_bytes();
-        self.blocks_live -= 1;
-        self.dispatch_hint = true;
-    }
-
-    // ---- instruction execution --------------------------------------------
-
-    #[allow(clippy::too_many_lines)]
-    fn exec_warp(&mut self, s: usize, warp: &mut Warp) -> Result<Outcome, SimError> {
-        let Some((pc, mask)) = warp.fetch() else {
-            warp.state = WarpState::Done;
-            return Ok(Outcome::Exited);
-        };
-        // Copy the instruction out so the `Arc` is borrowed only briefly —
-        // cloning it here put an atomic refcount round-trip on every issued
-        // instruction.
-        let instr = {
-            let program = self.program.as_ref().expect("launch in progress");
-            *program.fetch(pc).unwrap_or(&Instr::Exit)
-        };
-
-        match instr {
-            Instr::Mov { dst, src } => {
-                for lane in lanes(mask) {
-                    let v = warp.operand(lane, src);
-                    warp.set_reg(lane, dst, v);
-                }
-                self.complete_alu(warp, mask);
-            }
-            Instr::Alu { op, dst, a, b } => {
-                for lane in lanes(mask) {
-                    let va = warp.operand(lane, a);
-                    let vb = warp.operand(lane, b);
-                    warp.set_reg(lane, dst, op.eval(va, vb));
-                }
-                self.complete_alu(warp, mask);
-            }
-            Instr::Special { dst, sreg } => {
-                for lane in lanes(mask) {
-                    let v = match sreg {
-                        SpecialReg::Tid => warp.warp_in_block * self.cfg.warp_size + lane,
-                        SpecialReg::Ntid => self.threads_per_block,
-                        SpecialReg::Ctaid => warp.ctaid,
-                        SpecialReg::Nctaid => self.grid_blocks,
-                        SpecialReg::LaneId => lane,
-                        SpecialReg::WarpId => warp.warp_in_block,
-                    };
-                    warp.set_reg(lane, dst, v);
-                }
-                self.complete_alu(warp, mask);
-            }
-            Instr::LdParam { dst, index } => {
-                let v = self.params[usize::from(index)];
-                for lane in lanes(mask) {
-                    warp.set_reg(lane, dst, v);
-                }
-                self.complete_alu(warp, mask);
-            }
-            Instr::Ld {
-                dst,
-                addr,
-                space: Space::Shared,
-                ..
-            } => {
-                let block = self.sms[s].blocks[warp.block_index]
-                    .as_ref()
-                    .expect("resident block");
-                for lane in lanes(mask) {
-                    let a = addr.resolve(warp.reg(lane, addr.base));
-                    let idx = (a / 4) as usize;
-                    let v = *block.shared.get(idx).ok_or(SimError::AddressOutOfBounds {
-                        addr: u64::from(a),
-                        pc,
-                    })?;
-                    warp.set_reg(lane, dst, v);
-                }
-                warp.advance();
-                warp.state = WarpState::Ready {
-                    at: self.now + u64::from(self.cfg.shared_latency),
-                };
-                self.count_issue(mask);
-            }
-            Instr::St {
-                src,
-                addr,
-                space: Space::Shared,
-                ..
-            } => {
-                for lane in lanes(mask) {
-                    let a = addr.resolve(warp.reg(lane, addr.base));
-                    let v = warp.operand(lane, src);
-                    let block = self.sms[s].blocks[warp.block_index]
-                        .as_mut()
-                        .expect("resident block");
-                    let idx = (a / 4) as usize;
-                    *block
-                        .shared
-                        .get_mut(idx)
-                        .ok_or(SimError::AddressOutOfBounds {
-                            addr: u64::from(a),
-                            pc,
-                        })? = v;
-                }
-                warp.advance();
-                warp.state = WarpState::Ready { at: self.now + 1 };
-                self.count_issue(mask);
-            }
-            Instr::Ld {
-                dst,
-                addr,
-                space: Space::Global,
-                strong,
-            } => {
-                return self.exec_global(s, warp, pc, mask, GlobalOp::Load { dst, strong }, addr);
-            }
-            Instr::St {
-                src,
-                addr,
-                space: Space::Global,
-                strong,
-            } => {
-                return self.exec_global(s, warp, pc, mask, GlobalOp::Store { src, strong }, addr);
-            }
-            Instr::Atom {
-                op,
-                dst,
-                addr,
-                val,
-                cmp,
-                scope,
-            } => {
-                return self.exec_global(
-                    s,
-                    warp,
-                    pc,
-                    mask,
-                    GlobalOp::Atomic {
-                        op,
-                        dst,
-                        val,
-                        cmp,
-                        scope,
-                    },
-                    addr,
-                );
-            }
-            Instr::Fence { scope } => {
-                warp.advance();
-                warp.state = WarpState::WaitFence { end: None, scope };
-                self.count_issue(mask);
-            }
-            Instr::Bar => {
-                if !warp.converged() {
-                    return Err(SimError::BarrierDivergence { pc });
-                }
-                warp.advance();
-                warp.state = WarpState::WaitBarrier;
-                self.count_issue(mask);
-                let (arrived, live) = {
-                    let block = self.sms[s].blocks[warp.block_index]
-                        .as_mut()
-                        .expect("resident block");
-                    block.barrier_arrived += 1;
-                    (block.barrier_arrived, block.live_warps)
-                };
-                if arrived >= live {
-                    // This warp is currently taken out of its slot: release
-                    // it directly, then the rest.
-                    warp.state = WarpState::Ready { at: self.now + 5 };
-                    let block = self.sms[s].blocks[warp.block_index]
-                        .as_mut()
-                        .expect("resident block");
-                    block.barrier_arrived -= 1; // this warp, handled here
-                    self.release_barrier(s, warp.block_index);
-                }
-            }
-            Instr::Branch {
-                cond,
-                if_zero,
-                target,
-                reconv,
-            } => {
-                let mut taken = 0u32;
-                for lane in lanes(mask) {
-                    let v = warp.reg(lane, cond);
-                    if (v == 0) == if_zero {
-                        taken |= 1 << lane;
-                    }
-                }
-                warp.branch(taken, target, pc + 1, reconv);
-                warp.state = WarpState::Ready { at: self.now + 1 };
-                self.count_issue(mask);
-            }
-            Instr::Jump { target } => {
-                warp.jump(target);
-                warp.state = WarpState::Ready { at: self.now + 1 };
-                self.count_issue(mask);
-            }
-            Instr::Exit => {
-                warp.exit_lanes(mask);
-                self.count_issue(mask);
-                if warp.is_done() {
-                    if warp.pending_loads == 0 && warp.outstanding_stores == 0 {
-                        warp.state = WarpState::Done;
-                    } else {
-                        warp.state = WarpState::WaitMem; // drain, then retire
-                    }
-                    return Ok(Outcome::Exited);
-                }
-                warp.state = WarpState::Ready { at: self.now + 1 };
-            }
-            Instr::Nop => {
-                warp.advance();
-                warp.state = WarpState::Ready { at: self.now + 1 };
-                self.count_issue(mask);
-            }
-        }
-        Ok(Outcome::Issued)
-    }
-
-    fn complete_alu(&mut self, warp: &mut Warp, mask: u32) {
-        warp.advance();
-        warp.state = WarpState::Ready { at: self.now + 1 };
-        self.count_issue(mask);
-    }
-
-    fn count_issue(&mut self, mask: u32) {
-        self.stats.warp_instructions += 1;
-        self.stats.thread_instructions += u64::from(mask.count_ones());
-    }
-
-    /// Takes the reusable scratch buffers off `self` for the duration of
-    /// one global access, so [`Gpu::exec_global_with`] can fill them while
-    /// still borrowing `self` mutably (and early returns restore them).
-    fn exec_global(
-        &mut self,
-        s: usize,
-        warp: &mut Warp,
-        pc: Pc,
-        mask: u32,
-        op: GlobalOp,
-        addr: scord_isa::MemAddr,
-    ) -> Result<Outcome, SimError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let result = self.exec_global_with(s, warp, pc, mask, op, addr, &mut scratch);
-        self.scratch = scratch;
-        result
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn exec_global_with(
-        &mut self,
-        s: usize,
-        warp: &mut Warp,
-        pc: Pc,
-        mask: u32,
-        op: GlobalOp,
-        addr: scord_isa::MemAddr,
-        scratch: &mut Scratch,
-    ) -> Result<Outcome, SimError> {
-        let (is_store, is_atomic, strong) = match op {
-            GlobalOp::Load { strong, .. } => (false, false, strong),
-            GlobalOp::Store { strong, .. } => (true, false, strong),
-            GlobalOp::Atomic { .. } => (true, true, true),
-        };
-        let use_l1 = !strong && !is_store && !is_atomic;
-
-        // Fast stall check before any address work: an access that bypasses
-        // L1 always generates at least one L2 transaction (the executed
-        // mask is never empty), so when the queue is already over the
-        // high-water mark it will stall no matter what it touches. Under
-        // congestion a warp retries every cycle; without this check each
-        // retry re-gathered and re-coalesced all 32 lane addresses. (An
-        // out-of-bounds address on such a retrying access is now reported
-        // when the queue drains rather than during the stall — identical
-        // outcome for every program that does not abort.)
-        if !use_l1
-            && !self.sms[s].out_queue.is_empty()
-            && self.sms[s].out_queue.len() + 1 > self.cfg.noc_queue
-        {
-            self.stats.stalls.noc_full += 1;
-            warp.state = WarpState::Ready { at: self.now + 1 };
-            return Ok(Outcome::Stalled);
-        }
-
-        // Gather lane addresses and coalesce into lines.
-        let lane_addrs = &mut scratch.lane_addrs;
-        lane_addrs.clear();
-        for lane in lanes(mask) {
-            let a = u64::from(addr.resolve(warp.reg(lane, addr.base)));
-            if a % 4 != 0 || a + 4 > self.mem.bytes() {
-                return Err(SimError::AddressOutOfBounds { addr: a, pc });
-            }
-            lane_addrs.push((lane, a));
-        }
-        let line_mask = u64::from(self.cfg.line_bytes - 1);
-        let line_lanes = &mut scratch.line_lanes;
-        line_lanes.clear();
-        for &(lane, a) in lane_addrs.iter() {
-            let line = a & !line_mask;
-            match line_lanes.iter_mut().find(|(l, _)| *l == line) {
-                Some((_, lm)) => *lm |= 1 << lane,
-                None => line_lanes.push((line, 1 << lane)),
-            }
-        }
-
-        // L1 classification (weak loads only).
-        let mut hit_lines = 0usize;
-        let to_l2 = &mut scratch.to_l2;
-        to_l2.clear();
-        let l1_hits = &mut scratch.l1_hits;
-        l1_hits.clear();
-        for &(line, lm) in line_lanes.iter() {
-            if use_l1 && self.sms[s].l1.probe(line) {
-                hit_lines += 1;
-                l1_hits.push(line);
-            } else {
-                to_l2.push((line, lm));
-            }
-        }
-
-        // Stall checks (nothing committed yet). The queue capacity is a
-        // high-water mark: a fully-scattered access (up to 32 lines) may
-        // overflow an *empty* queue, otherwise it could never issue.
-        if !self.sms[s].out_queue.is_empty()
-            && self.sms[s].out_queue.len() + to_l2.len() > self.cfg.noc_queue
-        {
-            self.stats.stalls.noc_full += 1;
-            warp.state = WarpState::Ready { at: self.now + 1 };
-            return Ok(Outcome::Stalled);
-        }
-        let toggles = self.cfg.toggles();
-        if let Some(det) = &self.detector {
-            let pure_l1_hit = use_l1 && to_l2.is_empty() && hit_lines > 0;
-            if pure_l1_hit && toggles.lhd && !det.can_accept_l1_hit() {
-                self.stats.stalls.lhd += 1;
-                warp.state = WarpState::Ready { at: self.now + 1 };
-                return Ok(Outcome::Stalled);
-            }
-        }
-
-        // ---- commit: function first ------------------------------------
-        self.count_issue(mask);
+    /// Applies one buffered global access: functional memory, register
+    /// writebacks, the detector `Access` event, and its L1-hit response
+    /// events. Operand registers are read here, not captured at issue — a
+    /// warp issues at most one instruction per cycle and nothing else
+    /// touches its registers between the phases, so the values observed are
+    /// exactly what the single-phase tick saw (including same-cycle
+    /// cross-SM store→load visibility, which follows SM commit order in
+    /// both designs).
+    fn commit_access(&mut self, s: usize, lane_buf: &[(u32, u64)], acc: &PendingAccess) {
+        let slot = acc.warp_slot as usize;
+        let mut warp = self.sms[s].warps[slot]
+            .take()
+            .expect("issuing warp resident");
+        let lane_addrs = &lane_buf[acc.lanes.0 as usize..acc.lanes.1 as usize];
         // The lane-access list is only materialized when a detector will
         // consume it, and its buffer is recycled through the detector
         // unit's spare pool rather than allocated per instruction.
@@ -1317,16 +984,8 @@ impl Gpu {
             }
             None => Vec::new(),
         };
-        let who = Accessor {
-            sm: s as u8,
-            block_slot: self.sms[s].blocks[warp.block_index]
-                .as_ref()
-                .expect("resident block")
-                .block_slot_global,
-            warp_slot: warp.warp_slot,
-        };
-        for &(lane, a) in lane_addrs.iter() {
-            let kind = match op {
+        for &(lane, a) in lane_addrs {
+            let kind = match acc.op {
                 GlobalOp::Load { dst, .. } => {
                     let v = self.mem.read_word(a);
                     warp.set_reg(lane, dst, v);
@@ -1363,85 +1022,27 @@ impl Gpu {
                 accesses.push(MemAccess {
                     kind,
                     addr: a,
-                    strong,
-                    pc,
-                    who,
+                    strong: acc.strong,
+                    pc: acc.pc,
+                    who: acc.who,
                 });
             }
         }
+        self.sms[s].warps[slot] = Some(warp);
         if let Some(det) = &mut self.detector {
             det.enqueue(DetectorEvent::Access { accesses });
         }
-
-        // ---- timing ------------------------------------------------------
-        let needs_old_value = matches!(
-            op,
-            GlobalOp::Load { .. } | GlobalOp::Atomic { dst: Some(_), .. }
-        );
-        for &line in l1_hits.iter() {
-            let _ = self.sms[s].l1.access(line, false, false);
-            self.stats.l1_hits += 1;
-            warp.pending_loads += 1;
+        for _ in 0..acc.l1_hits {
             self.push_event(
                 self.now + u64::from(self.cfg.l1_latency),
                 Ev::WarpResponse {
                     sm: s,
-                    warp: warp.warp_slot as usize,
+                    warp: slot,
                     is_store_ack: false,
                     l1_fill: None,
                 },
             );
         }
-        let hdr = if toggles.noc {
-            self.cfg.detection_header_bytes
-        } else {
-            0
-        };
-        for &(line, lm) in to_l2.iter() {
-            if use_l1 {
-                self.stats.l1_misses += 1;
-            }
-            if is_store && !is_atomic {
-                self.sms[s].l1.invalidate(line); // global write-evict
-            }
-            let lanes_here = lm.count_ones();
-            let bytes = 16
-                + hdr
-                + if is_atomic {
-                    8 * lanes_here
-                } else if is_store {
-                    self.cfg.line_bytes
-                } else {
-                    0
-                };
-            let flits = bytes.div_ceil(self.cfg.flit_bytes);
-            if needs_old_value {
-                warp.pending_loads += 1;
-            } else {
-                warp.outstanding_stores += 1;
-            }
-            self.sms[s].out_queue.push_back(Packet {
-                line_addr: line,
-                write: is_store,
-                atomic_lanes: if is_atomic { lanes_here } else { 0 },
-                metadata: false,
-                needs_response: true,
-                is_store_ack: !needs_old_value,
-                sm: s as u8,
-                warp: warp.warp_slot,
-                flits,
-                ready_at: 0,
-                l1_fill: use_l1,
-            });
-        }
-
-        warp.advance();
-        warp.state = if warp.pending_loads > 0 {
-            WarpState::WaitMem
-        } else {
-            WarpState::Ready { at: self.now + 1 }
-        };
-        Ok(Outcome::Issued)
     }
 
     // ---- interconnect -----------------------------------------------------
@@ -1576,34 +1177,15 @@ impl Gpu {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum GlobalOp {
-    Load {
-        dst: scord_isa::Reg,
-        strong: bool,
-    },
-    Store {
-        src: scord_isa::Operand,
-        strong: bool,
-    },
-    Atomic {
-        op: AtomOp,
-        dst: Option<scord_isa::Reg>,
-        val: scord_isa::Operand,
-        cmp: scord_isa::Operand,
-        scope: Scope,
-    },
-}
-
-/// Iterates the set lane indices of a mask.
-fn lanes(mask: u32) -> impl Iterator<Item = u32> {
-    (0..32).filter(move |i| mask & (1 << i) != 0)
+/// Saturating `Duration` → `u64` nanoseconds (phase-timing accumulators).
+fn duration_nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scord_isa::KernelBuilder;
+    use scord_isa::{KernelBuilder, Scope};
 
     #[test]
     fn heap_is_a_min_heap_by_time_then_seq() {

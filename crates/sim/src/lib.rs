@@ -35,6 +35,7 @@ mod cache;
 mod config;
 mod detector_unit;
 mod dram;
+mod front;
 mod gpu;
 mod mem;
 mod sm;
@@ -65,6 +66,28 @@ pub fn set_cycle_skip(enabled: bool) {
 #[must_use]
 pub fn cycle_skip_enabled() -> bool {
     CYCLE_SKIP.load(Ordering::Relaxed)
+}
+
+use std::sync::atomic::AtomicU32;
+
+/// Process-wide floor for [`GpuConfig::sm_threads`] (`0` = no override).
+/// Set by `run-experiments --sm-threads N` so every `Gpu` built afterwards
+/// parallelizes its SM front-end phase without each call site plumbing the
+/// knob through. Sampled at [`Gpu::try_new`]; results are byte-identical
+/// for any value (see the `sm_threads` field docs).
+static SM_THREADS: AtomicU32 = AtomicU32::new(0);
+
+/// Raises the process-wide SM front-end thread floor (`0` clears the
+/// override). A `Gpu` samples this at construction: the effective thread
+/// count is `max(cfg.sm_threads, override)`, capped at `num_sms`.
+pub fn set_sm_threads(threads: u32) {
+    SM_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The current process-wide SM front-end thread override (`0` = none).
+#[must_use]
+pub fn sm_threads_override() -> u32 {
+    SM_THREADS.load(Ordering::Relaxed)
 }
 pub use detector_unit::{DetectorEvent, DetectorUnit};
 pub use dram::{DramChannel, DramRequest};

@@ -83,6 +83,27 @@ impl GraphConnectivity {
         }
     }
 
+    /// The correctly-synchronized configuration with the graph (and the
+    /// grid that walks it) scaled up `mult`× — a perf-harness knob for
+    /// demonstrating intra-simulation parallelism on a simulation big
+    /// enough to matter. Not used by any paper table: the unique-race
+    /// budgets are calibrated at the default sizes only.
+    #[must_use]
+    pub fn scaled(mult: u32) -> Self {
+        let mult = mult.max(1);
+        let base = Self::default();
+        GraphConnectivity {
+            vertices: base.vertices * mult,
+            edges: base.edges * mult,
+            // Grow the grid with the graph (capped at a residency that
+            // still fits paper_default's 15 SMs × 8 block slots) so the
+            // extra work spreads over more SMs instead of lengthening
+            // each block's queue.
+            blocks: (base.blocks * mult).min(120),
+            ..base
+        }
+    }
+
     /// Synchronous pull rounds until the labelling reaches its fixpoint.
     #[must_use]
     pub fn reference_rounds(g: &CsrGraph) -> u32 {
@@ -385,6 +406,23 @@ mod tests {
             "{:?}",
             gpu.races().unwrap().records()
         );
+    }
+
+    #[test]
+    fn scaled_grows_graph_and_grid_and_stays_race_free() {
+        let s = GraphConnectivity::scaled(4);
+        let base = GraphConnectivity::default();
+        assert_eq!(s.vertices, base.vertices * 4);
+        assert_eq!(s.edges, base.edges * 4);
+        assert_eq!(s.blocks, base.blocks * 4);
+        assert_eq!(s.races, GraphConnectivityRaces::default());
+        assert_eq!(s.expected_races(), 0);
+        // The grid cap keeps huge multipliers within one wave of residency.
+        assert_eq!(GraphConnectivity::scaled(100).blocks, 120);
+        // A scaled run must still validate: same kernel, bigger instance.
+        let mut gpu = Gpu::new(GpuConfig::paper_default());
+        let run = GraphConnectivity::scaled(2).run(&mut gpu).unwrap();
+        assert_eq!(run.output_valid, Some(true));
     }
 
     #[test]

@@ -10,12 +10,16 @@
 //! default sizes on the deterministic simulator):
 //! * the checksum lock at block scope — the lock word races at its CAS and
 //!   its Exch (2 unique scoped-atomic races);
-//! * the *fast-path* bug: odd K-slices update `C` with a fence but **no
-//!   lock** — the classic lockset violation (missing common lock on the
-//!   locked reader's load and on the unlocked store, 2 unique races).
+//! * the per-element lock at block scope — likewise 2 unique scoped-atomic
+//!   races at its CAS and Exch.
 //!
-//! A third knob narrows the per-element lock to block scope (1 more
-//! scoped-atomic race), exercised by its own tests.
+//! A third knob injects the *fast-path* bug: odd K-slices update `C` with a
+//! fence but **no lock** — the classic lockset violation. The one injected
+//! bug is observed from the unlocked store and from the locked reader's
+//! load and store, each also lacking device-fence ordering (6 unique
+//! races at the default sizes); it is exercised by its own tests rather
+//! than the canonical configuration because the number of instructions
+//! that *observe* it is interleaving-dependent.
 
 use scord_core::SplitMix64;
 
@@ -27,13 +31,12 @@ use crate::{AppRun, Benchmark};
 /// Race-injection knobs for MM.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MatMulRaces {
-    /// Narrow the per-element lock to block scope (1 race at default
-    /// sizes).
+    /// Narrow the per-element lock to block scope (2 races: CAS and Exch).
     pub block_scope_element_lock: bool,
     /// Narrow the checksum lock to block scope (2 races: CAS and Exch).
     pub block_scope_checksum_lock: bool,
-    /// Odd slices skip the element lock (fence-only fast path): 2 lockset
-    /// races.
+    /// Odd slices skip the element lock (fence-only fast path): one
+    /// lockset bug observed as 6 unique races at the default sizes.
     pub unlocked_fast_path: bool,
 }
 
@@ -76,9 +79,9 @@ impl MatMul {
     pub fn racey() -> Self {
         MatMul {
             races: MatMulRaces {
-                block_scope_element_lock: false,
+                block_scope_element_lock: true,
                 block_scope_checksum_lock: true,
-                unlocked_fast_path: true,
+                unlocked_fast_path: false,
             },
             ..Self::default()
         }
@@ -247,10 +250,12 @@ impl Benchmark for MatMul {
     }
 
     fn expected_races(&self) -> usize {
-        // Calibrated at the default sizes (see the knob-sweep tests).
-        usize::from(self.races.block_scope_element_lock)
+        // Calibrated at the default sizes (see the knob-sweep tests). Each
+        // block-scoped lock races at its CAS and its Exch; the fast-path
+        // bug is one missing lock observed from six (pc, kind) pairs.
+        2 * usize::from(self.races.block_scope_element_lock)
             + 2 * usize::from(self.races.block_scope_checksum_lock)
-            + 2 * usize::from(self.races.unlocked_fast_path)
+            + 6 * usize::from(self.races.unlocked_fast_path)
     }
 
     fn run(&self, gpu: &mut Gpu) -> Result<AppRun, SimError> {
@@ -290,7 +295,7 @@ impl Benchmark for MatMul {
             let sum = gpu.mem().read_word(checksum.word_addr(0));
             Some(got == cref && sum == sumref)
         } else {
-            None // unlocked fast path may genuinely lose updates
+            None // racey runs aren't validated (the fast path loses updates)
         };
         Ok(AppRun::new(stats, 1, output_valid))
     }
@@ -348,7 +353,7 @@ mod tests {
                     block_scope_element_lock: true,
                     ..MatMulRaces::default()
                 },
-                1,
+                2,
             ),
             (
                 MatMulRaces {
@@ -362,7 +367,7 @@ mod tests {
                     unlocked_fast_path: true,
                     ..MatMulRaces::default()
                 },
-                2,
+                6,
             ),
         ];
         for (races, expect) in cases {
