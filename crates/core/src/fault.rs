@@ -9,7 +9,10 @@
 //! PRNG) decides, event by event, whether to corrupt detector state —
 //! metadata bit flips and forced evictions, fence-counter corruption,
 //! lock-table invalidation, bloom-bit flips, and dropped / duplicated /
-//! reordered detector events at the simulator's detector queue.
+//! reordered detector events at the simulator's detector queue. The
+//! transport kinds extend the same discipline to the wire: truncated,
+//! bit-flipped, duplicated and reordered frames of the binary trace
+//! encoding (see [`crate::wire`]).
 //!
 //! Everything is deterministic in the plan's seed, so a degradation sweep is
 //! exactly reproducible. A detector built without a plan pays only an
@@ -122,11 +125,22 @@ pub enum FaultKind {
     EventDuplicate,
     /// Swap a detector event with its queue predecessor (local reordering).
     EventReorder,
+    /// Cut a random suffix off an encoded wire frame (a mid-frame
+    /// disconnect or a short read treated as final).
+    FrameTruncate,
+    /// Flip one random bit of an encoded wire frame (link-level
+    /// corruption; the per-frame CRC must catch it).
+    FrameBitFlip,
+    /// Transmit a wire frame twice (a retransmission bug upstream).
+    FrameDuplicate,
+    /// Swap a wire frame with the previously transmitted one (an
+    /// out-of-order delivery path).
+    FrameReorder,
 }
 
 impl FaultKind {
     /// Every kind, in sweep order.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 12] = [
         FaultKind::MetadataBitFlip,
         FaultKind::MetadataEvict,
         FaultKind::FenceCorrupt,
@@ -135,6 +149,10 @@ impl FaultKind {
         FaultKind::EventDrop,
         FaultKind::EventDuplicate,
         FaultKind::EventReorder,
+        FaultKind::FrameTruncate,
+        FaultKind::FrameBitFlip,
+        FaultKind::FrameDuplicate,
+        FaultKind::FrameReorder,
     ];
 
     /// Stable short name (used by the harness's tables and CLI).
@@ -149,6 +167,10 @@ impl FaultKind {
             FaultKind::EventDrop => "event-drop",
             FaultKind::EventDuplicate => "event-dup",
             FaultKind::EventReorder => "event-reorder",
+            FaultKind::FrameTruncate => "frame-truncate",
+            FaultKind::FrameBitFlip => "frame-bitflip",
+            FaultKind::FrameDuplicate => "frame-dup",
+            FaultKind::FrameReorder => "frame-reorder",
         }
     }
 
@@ -162,6 +184,10 @@ impl FaultKind {
             FaultKind::EventDrop => 5,
             FaultKind::EventDuplicate => 6,
             FaultKind::EventReorder => 7,
+            FaultKind::FrameTruncate => 8,
+            FaultKind::FrameBitFlip => 9,
+            FaultKind::FrameDuplicate => 10,
+            FaultKind::FrameReorder => 11,
         }
     }
 
@@ -176,6 +202,20 @@ impl FaultKind {
         matches!(
             self,
             FaultKind::EventDrop | FaultKind::EventDuplicate | FaultKind::EventReorder
+        )
+    }
+
+    /// `true` for the wire-level transport faults (injected by
+    /// [`crate::wire::FrameCorruptor`] on encoded frames, not by the
+    /// detector pipeline).
+    #[must_use]
+    pub fn is_transport_fault(self) -> bool {
+        matches!(
+            self,
+            FaultKind::FrameTruncate
+                | FaultKind::FrameBitFlip
+                | FaultKind::FrameDuplicate
+                | FaultKind::FrameReorder
         )
     }
 }
@@ -200,7 +240,7 @@ impl FaultKindSet {
     /// Every kind.
     #[must_use]
     pub const fn all() -> Self {
-        FaultKindSet((1 << 8) - 1)
+        FaultKindSet((1 << 12) - 1)
     }
 
     /// A singleton set.
@@ -265,7 +305,7 @@ impl FaultPlan {
 /// Per-kind injection counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultStats {
-    injected: [u64; 8],
+    injected: [u64; 12],
 }
 
 impl FaultStats {

@@ -42,6 +42,7 @@ pub mod oracle;
 mod report;
 mod store;
 mod trace;
+pub mod wire;
 
 pub use baselines::{build_detector, DetectorKind};
 pub use config::{DetectorConfig, Geometry, StoreKind};
@@ -63,3 +64,4 @@ pub use store::{
     ReferenceCachedStore, ReferenceFullStore,
 };
 pub use trace::{ParseTraceError, RecordingDetector, ReplayError, Trace, TraceEvent};
+pub use wire::{Frame, FrameAssembler, FrameCorruptor, FrameType, WireError};

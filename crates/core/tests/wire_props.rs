@@ -1,0 +1,204 @@
+//! Property tests for the binary wire codec (`scord_core::wire`): fuzzed
+//! round-trip equivalence against the text trace format, and
+//! corruption-resilience — random byte damage must surface as typed
+//! [`WireError`]s, never a panic and never a silent misparse.
+
+use scord_core::wire::{self, FrameAssembler, FrameType, WireError};
+use scord_core::{FuzzConfig, SplitMix64, Trace, TraceEvent};
+
+/// A spread of fuzz shapes: default mix, provably-clean, and race-heavy.
+fn corpus() -> Vec<Trace> {
+    let mut traces = Vec::new();
+    for seed in 0..6u64 {
+        for race_pct in [FuzzConfig::default().race_pct, 0, 80] {
+            traces.push(
+                FuzzConfig {
+                    events: 700,
+                    race_pct,
+                    ..FuzzConfig::default()
+                }
+                .generate(0xC0DE ^ (seed * 31 + u64::from(race_pct))),
+            );
+        }
+    }
+    traces
+}
+
+/// Reassembles a full chunk stream and decodes every `Events` frame,
+/// requiring the trailing `Finish` frame.
+fn decode_all(chunks: &[Vec<u8>]) -> Result<Vec<TraceEvent>, WireError> {
+    let mut asm = FrameAssembler::new();
+    for c in chunks {
+        asm.push(c);
+    }
+    let mut events = Vec::new();
+    let mut finished = false;
+    while let Some(frame) = asm.next_frame()? {
+        match frame.ftype {
+            FrameType::Events => events.extend(wire::decode_events(&frame.payload)?),
+            FrameType::Finish => {
+                finished = true;
+                break;
+            }
+            other => {
+                return Err(WireError::BadFrameType {
+                    ftype: other.code(),
+                })
+            }
+        }
+    }
+    asm.finish()?;
+    if finished {
+        Ok(events)
+    } else {
+        Err(WireError::Truncated { need: 1, have: 0 })
+    }
+}
+
+/// binary ↔ struct ↔ text three-way equivalence: the packed-word encoding
+/// and the line-oriented text format describe the identical event stream.
+#[test]
+fn binary_text_struct_roundtrips_agree() {
+    for trace in corpus() {
+        // struct → binary payload → struct
+        let payload = wire::encode_events(trace.events());
+        let decoded = wire::decode_events(&payload).expect("canonical encoding decodes");
+        assert_eq!(&decoded, trace.events(), "binary round trip");
+
+        // struct → framed stream → struct
+        for events_per_frame in [1, 7, 64, 4096] {
+            let frames = wire::trace_to_frames(&trace, events_per_frame);
+            let from_frames = decode_all(&frames).expect("framed stream decodes");
+            assert_eq!(&from_frames, trace.events(), "framed round trip");
+        }
+
+        // struct → text → struct, then text-decoded == binary-decoded
+        let text = trace.to_text();
+        let from_text = Trace::from_text(&text).expect("text round trip parses");
+        assert_eq!(&from_text, &trace, "text round trip");
+        assert_eq!(
+            from_text.events(),
+            &decoded[..],
+            "text and binary describe the same events"
+        );
+    }
+}
+
+/// Every single-bit flip anywhere in a framed stream either still decodes
+/// to the *exact* original events (flips in ignored header padding) or
+/// surfaces as a typed error — never a panic, never silently different
+/// events. This is the CRC's whole job.
+#[test]
+fn single_bit_flips_never_misparse() {
+    let trace = FuzzConfig {
+        events: 120,
+        ..FuzzConfig::default()
+    }
+    .generate(0xB17F11B);
+    let frames = wire::trace_to_frames(&trace, 16);
+    let stream: Vec<u8> = frames.concat();
+    let mut rng = SplitMix64::new(0x5EED);
+    // Sample positions (the full cross product is large); always include
+    // the header and the first/last frame bytes.
+    let mut positions: Vec<usize> = vec![0, 5, wire::HEADER_BYTES, stream.len() - 1];
+    for _ in 0..600 {
+        positions.push(rng.below(stream.len() as u64) as usize);
+    }
+    for pos in positions {
+        for bit in 0..8 {
+            let mut damaged = stream.clone();
+            damaged[pos] ^= 1 << bit;
+            // A typed error is the expected outcome; a successful decode
+            // must reproduce the original events exactly.
+            if let Ok(events) = decode_all(&[damaged]) {
+                assert_eq!(
+                    &events,
+                    trace.events(),
+                    "flip at byte {pos} bit {bit} decoded successfully but \
+                     changed the events — silent misparse"
+                );
+            }
+        }
+    }
+}
+
+/// Arbitrary multi-byte mutations (overwrites, truncations, duplications
+/// of random spans) never panic the assembler/decoder; they produce typed
+/// errors or valid prefixes only.
+#[test]
+fn random_mutations_never_panic() {
+    let trace = FuzzConfig {
+        events: 200,
+        ..FuzzConfig::default()
+    }
+    .generate(0xFACE);
+    let stream: Vec<u8> = wire::trace_to_frames(&trace, 24).concat();
+    let mut rng = SplitMix64::new(0xDA_7A);
+    for _ in 0..400 {
+        let mut damaged = stream.clone();
+        match rng.below(4) {
+            // Overwrite a random span with random bytes.
+            0 => {
+                let start = rng.below(damaged.len() as u64) as usize;
+                let len = 1 + rng.below(32) as usize;
+                for b in damaged.iter_mut().skip(start).take(len) {
+                    *b = (rng.next_u32() & 0xFF) as u8;
+                }
+            }
+            // Truncate at a random point.
+            1 => {
+                let keep = rng.below(damaged.len() as u64) as usize;
+                damaged.truncate(keep);
+            }
+            // Duplicate a random span in place.
+            2 => {
+                let start = rng.below(damaged.len() as u64) as usize;
+                let len = (1 + rng.below(64) as usize).min(damaged.len() - start);
+                let span: Vec<u8> = damaged[start..start + len].to_vec();
+                let at = rng.below(damaged.len() as u64) as usize;
+                for (i, b) in span.into_iter().enumerate() {
+                    damaged.insert(at + i, b);
+                }
+            }
+            // Pure garbage of a random length.
+            _ => {
+                let len = rng.below(512) as usize;
+                damaged = (0..len).map(|_| (rng.next_u32() & 0xFF) as u8).collect();
+            }
+        }
+        // Must not panic; any Err is a typed WireError by construction.
+        let _ = decode_all(&[damaged]);
+    }
+}
+
+/// Feeding a canonical stream one byte at a time through the assembler is
+/// identical to feeding it whole — no boundary-condition dependence.
+#[test]
+fn byte_at_a_time_assembly_matches_bulk() {
+    let trace = FuzzConfig {
+        events: 90,
+        ..FuzzConfig::default()
+    }
+    .generate(0x0B17);
+    let stream: Vec<u8> = wire::trace_to_frames(&trace, 8).concat();
+    let bulk = decode_all(std::slice::from_ref(&stream)).expect("bulk decodes");
+
+    let mut asm = FrameAssembler::new();
+    let mut dribbled = Vec::new();
+    let mut finished = false;
+    for &b in &stream {
+        asm.push(&[b]);
+        while let Some(frame) = asm.next_frame().expect("canonical stream") {
+            match frame.ftype {
+                FrameType::Events => {
+                    dribbled.extend(wire::decode_events(&frame.payload).expect("decodes"));
+                }
+                FrameType::Finish => finished = true,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+    asm.finish().expect("nothing pending");
+    assert!(finished, "finish frame seen");
+    assert_eq!(dribbled, bulk, "byte-at-a-time equals bulk");
+}

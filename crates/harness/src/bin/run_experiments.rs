@@ -3,9 +3,10 @@
 //! ```text
 //! run-experiments [--quick] [--seed N] [--cases K] [--jobs N]
 //!                 [--iters N] [--label S] [--no-cycle-skip]
-//!                 [--sm-threads N]
+//!                 [--sm-threads N] [--addr HOST:PORT] [--deadline-ms N]
+//!                 [--streams N] [--concurrency N] [--events N] [--probes]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
-//!                  fig11|table8|ablations|faults|diff|perf|all]
+//!                  fig11|table8|ablations|faults|diff|perf|serve|loadgen|all]
 //! ```
 //!
 //! `faults` runs the fault-injection degradation audit; it is not part of
@@ -40,6 +41,16 @@
 //! shards *across* simulations; `--sm-threads` parallelizes *inside* one —
 //! the latter is what shortens a sweep whose critical path is a single
 //! large workload.
+//!
+//! `serve` (only by name) runs the race-detection service on `--addr`
+//! (default `127.0.0.1:7444`) until SIGTERM/SIGINT, then drains gracefully
+//! and prints the final stats; `--deadline-ms` sets the per-connection
+//! progress deadline (default 5000). `loadgen` (only by name) streams
+//! `--streams` fuzzed traces of `--events` events from `--concurrency`
+//! client threads at a running server, fires the malformed-input and
+//! deadline-reap robustness probes when `--probes` is given, and appends
+//! the run (tagged `--label`) to `BENCH_serve.json` at the repository
+//! root; it exits nonzero if any stream failed or a probe misbehaved.
 
 use std::env;
 use std::process::exit;
@@ -61,11 +72,67 @@ fn main() {
     let mut iters = 3usize;
     let mut label = String::from("dev");
     let mut jobs = Jobs::available();
+    let mut addr = String::from("127.0.0.1:7444");
+    let mut deadline_ms = 5_000u64;
+    let mut streams = 64usize;
+    let mut concurrency = 8usize;
+    let mut events = 2_000u32;
+    let mut probes = false;
     let mut wanted: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => {}
+            "--probes" => probes = true,
+            "--addr" => {
+                addr = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--addr needs a value");
+                        exit(2);
+                    })
+                    .clone();
+            }
+            "--deadline-ms" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--deadline-ms needs a value");
+                    exit(2);
+                });
+                deadline_ms = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--deadline-ms needs a positive integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--streams" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--streams needs a value");
+                    exit(2);
+                });
+                streams = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--streams needs an unsigned integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--concurrency" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--concurrency needs a value");
+                    exit(2);
+                });
+                concurrency = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--concurrency needs a positive integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--events" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--events needs a value");
+                    exit(2);
+                });
+                events = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--events needs an unsigned integer, got {v:?}");
+                    exit(2);
+                });
+            }
             "--no-cycle-skip" => scord_sim::set_cycle_skip(false),
             "--sm-threads" => {
                 let v = it.next().unwrap_or_else(|| {
@@ -134,7 +201,7 @@ fn main() {
             other => wanted.push(other),
         }
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 16] = [
         "table1",
         "table2",
         "table5",
@@ -149,6 +216,8 @@ fn main() {
         "faults",
         "diff",
         "perf",
+        "serve",
+        "loadgen",
     ];
     if let Some(bad) = wanted.iter().find(|w| **w != "all" && !KNOWN.contains(w)) {
         eprintln!(
@@ -158,11 +227,10 @@ fn main() {
         exit(2);
     }
     let all = wanted.is_empty() || wanted.contains(&"all");
-    // The fault sweep and the differential audit only run when asked for
-    // by name.
-    let want = |name: &str| {
-        (all && name != "faults" && name != "diff" && name != "perf") || wanted.contains(&name)
-    };
+    // The fault sweep, the differential audit, the perf basket and the
+    // service subcommands only run when asked for by name.
+    const BY_NAME_ONLY: [&str; 5] = ["faults", "diff", "perf", "serve", "loadgen"];
+    let want = |name: &str| (all && !BY_NAME_ONLY.contains(&name)) || wanted.contains(&name);
     let t0 = Instant::now();
 
     if want("table1") {
@@ -260,8 +328,48 @@ fn main() {
         let path = h::perf::default_bench_path();
         match h::perf::append_to_bench_json(&path, &run) {
             Ok(n) => println!("\nRecorded run {n} in {}.", path.display()),
-            Err(e) => {
-                eprintln!("error: cannot write {}: {e}", path.display());
+            Err(e) => fail(&e),
+        }
+    }
+
+    if want("serve") {
+        let deadline = std::time::Duration::from_millis(deadline_ms);
+        match h::serve_bench::serve(&addr, deadline) {
+            Ok(stats) => println!("drained: {stats:?}"),
+            Err(e) => fail(&e),
+        }
+    }
+
+    if want("loadgen") {
+        println!(
+            "\n## Service load (addr {addr}, {streams} stream(s) × {events} \
+             event(s), {concurrency} client thread(s))\n"
+        );
+        let cfg = scord_serve::LoadConfig {
+            addr: addr.clone(),
+            streams,
+            concurrency,
+            events,
+            ..scord_serve::LoadConfig::default()
+        };
+        let deadline_hint = std::time::Duration::from_millis(deadline_ms.saturating_mul(4));
+        let (report, probe_report) = h::serve_bench::loadgen(&cfg, probes, deadline_hint);
+        println!(
+            "{}",
+            h::serve_bench::to_markdown(&report, probe_report.as_ref())
+        );
+        let path = h::serve_bench::default_bench_path();
+        match h::serve_bench::append_to_bench_json(&path, &label, &report, probe_report.as_ref()) {
+            Ok(n) => println!("\nRecorded run {n} in {}.", path.display()),
+            Err(e) => fail(&e),
+        }
+        if report.failed > 0 {
+            eprintln!("error: {} stream(s) failed", report.failed);
+            exit(1);
+        }
+        if let Some(p) = &probe_report {
+            if !p.all_ok() {
+                eprintln!("error: robustness probe failed");
                 exit(1);
             }
         }

@@ -15,6 +15,15 @@ pub enum HarnessErrorKind {
     /// detection off — a harness wiring bug, reported instead of panicking
     /// so one bad cell cannot abort a whole sweep.
     DetectionOff,
+    /// A filesystem or socket operation failed (read-only checkout, missing
+    /// directory, refused connection). The `io::Error` is flattened to its
+    /// kind plus rendered message so the harness error stays `Clone + Eq`
+    /// for test assertions.
+    Io(std::io::ErrorKind, String),
+    /// A benchmark record existed on disk but did not match the expected
+    /// document shape. Named instead of silently starting a fresh file so a
+    /// truncated `BENCH_*.json` cannot clobber recorded history.
+    BenchMalformed,
 }
 
 /// A workload failed to simulate.
@@ -48,6 +57,25 @@ impl HarnessError {
             kind: HarnessErrorKind::DetectionOff,
         }
     }
+
+    /// Wraps an I/O failure with the path or endpoint it hit (recorded as
+    /// the `workload`).
+    #[must_use]
+    pub fn io(target: impl Into<String>, error: &std::io::Error) -> Self {
+        HarnessError {
+            workload: target.into(),
+            kind: HarnessErrorKind::Io(error.kind(), error.to_string()),
+        }
+    }
+
+    /// The benchmark record at `path` exists but is not the expected shape.
+    #[must_use]
+    pub fn bench_malformed(path: impl Into<String>) -> Self {
+        HarnessError {
+            workload: path.into(),
+            kind: HarnessErrorKind::BenchMalformed,
+        }
+    }
 }
 
 impl fmt::Display for HarnessError {
@@ -60,6 +88,16 @@ impl fmt::Display for HarnessError {
                  needs race reports",
                 self.workload
             ),
+            HarnessErrorKind::Io(kind, msg) => {
+                write!(f, "{}: I/O failed ({kind:?}): {msg}", self.workload)
+            }
+            HarnessErrorKind::BenchMalformed => write!(
+                f,
+                "{}: existing benchmark record does not match the expected \
+                 document shape; refusing to overwrite it (move the file \
+                 aside to start fresh)",
+                self.workload
+            ),
         }
     }
 }
@@ -68,7 +106,9 @@ impl Error for HarnessError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match &self.kind {
             HarnessErrorKind::Sim(e) => Some(e),
-            HarnessErrorKind::DetectionOff => None,
+            HarnessErrorKind::DetectionOff
+            | HarnessErrorKind::Io(..)
+            | HarnessErrorKind::BenchMalformed => None,
         }
     }
 }
@@ -108,5 +148,23 @@ mod tests {
 
         let gpu = Gpu::new(GpuConfig::paper_default().with_detection(DetectionMode::scord()));
         assert_eq!(unique_races(&gpu, "MM").expect("detector attached"), 0);
+    }
+
+    #[test]
+    fn io_and_bench_variants_name_the_target() {
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "read-only fs");
+        let e = HarnessError::io("/tmp/BENCH_sim.json", &io);
+        assert_eq!(
+            e.kind,
+            HarnessErrorKind::Io(std::io::ErrorKind::PermissionDenied, "read-only fs".into())
+        );
+        let text = e.to_string();
+        assert!(text.contains("BENCH_sim.json"), "{text}");
+        assert!(text.contains("PermissionDenied"), "{text}");
+
+        let e = HarnessError::bench_malformed("BENCH_serve.json");
+        assert_eq!(e.kind, HarnessErrorKind::BenchMalformed);
+        assert!(e.to_string().contains("refusing to overwrite"), "{}", e);
+        assert!(e.source().is_none());
     }
 }

@@ -16,12 +16,27 @@
 //! must reproduce [`crate::table6`]'s ScoRD column — the audit's baseline
 //! is the paper's result, not a separate code path.
 //!
+//! The four wire-transport kinds (`frame-truncate`, `frame-bitflip`,
+//! `frame-dup`, `frame-reorder`) are audited through the detection
+//! service's ingest pipeline instead: fuzzed traces are encoded with
+//! `scord_core::wire`, corrupted by [`FrameCorruptor`], reassembled and
+//! replayed, and scored against the exact race set of an uncorrupted
+//! replay. A stream that fails to decode is a *quarantine* (counted like a
+//! sim error); duplicated or reordered frames pass the CRC, so their rows
+//! measure how much semantic damage the encoding lets through.
+//!
 //! Everything is deterministic in the sweep seed: the same seed yields the
 //! same injected faults and therefore the same table, byte for byte.
 
+use std::collections::HashSet;
+
 use scor_suite::micro::{all_micros, Micro};
 use scor_suite::Benchmark;
-use scord_core::{FaultKind, FaultPlan};
+use scord_core::wire::{self, FrameCorruptor};
+use scord_core::{
+    Detector, DetectorError, FaultInjector, FaultKind, FaultPlan, FuzzConfig, RaceKind,
+    ScordDetector, Trace, TraceEvent,
+};
 use scord_sim::{DetectionMode, Gpu, GpuConfig};
 
 use crate::exec::{self, Jobs};
@@ -189,8 +204,138 @@ fn audit(quick: bool, plans: &[Option<FaultPlan>], jobs: Jobs) -> Result<Vec<Row
     Ok(rows)
 }
 
-/// Sweeps the given fault kinds × rates (no baseline row) on up to `jobs`
-/// worker threads.
+// ---- Wire-transport cells ------------------------------------------------
+//
+// The four `Frame*` kinds do not perturb detector state; they corrupt the
+// binary trace encoding (`scord_core::wire`) between a producer and the
+// detection service. Their cells therefore run the transport pipeline the
+// server runs — encode → corrupt → reassemble/decode → replay — against a
+// fuzzed corpus whose true race sets are known exactly from an
+// uncorrupted replay.
+
+/// Events per wire frame in the transport cells: small enough that the
+/// corpus spans many frames, so per-frame faults get real coverage.
+const WIRE_EVENTS_PER_FRAME: usize = 24;
+
+/// One corpus stream: the trace plus its true (uncorrupted) race set.
+struct WireCase {
+    trace: Trace,
+    baseline: HashSet<(u32, RaceKind)>,
+}
+
+/// Replays every event through a fresh detector, returning its unique-race
+/// set, or `Err` if the detector rejects an event mid-stream (the service's
+/// quarantine analog).
+fn replay_events(events: &[TraceEvent]) -> Result<HashSet<(u32, RaceKind)>, DetectorError> {
+    let mut det = ScordDetector::new(crate::diff::diff_config());
+    for ev in events {
+        match *ev {
+            TraceEvent::Access(ref a) => det.on_access(a).map(|_| ())?,
+            TraceEvent::Fence {
+                sm,
+                warp_slot,
+                scope,
+            } => det.on_fence(sm, warp_slot, scope)?,
+            TraceEvent::Barrier { sm, block_slot } => det.on_barrier(sm, block_slot)?,
+            TraceEvent::WarpAssigned { sm, warp_slot } => det.on_warp_assigned(sm, warp_slot)?,
+            TraceEvent::KernelBoundary => det.on_kernel_boundary(),
+        }
+    }
+    Ok(det.races().unique_races().collect())
+}
+
+/// The fixed transport corpus: racey and provably-clean fuzzed traces in
+/// alternation, with their exact baseline race sets.
+fn wire_corpus(quick: bool) -> Vec<WireCase> {
+    let pairs = if quick { 5 } else { 10 };
+    let events = if quick { 1_200 } else { 4_000 };
+    let mut corpus = Vec::with_capacity(pairs * 2);
+    for i in 0..pairs as u64 {
+        for race_pct in [FuzzConfig::default().race_pct, 0] {
+            let trace = FuzzConfig {
+                events,
+                race_pct,
+                ..FuzzConfig::default()
+            }
+            .generate(0x57EA_D00D ^ (i * 2 + u64::from(race_pct == 0)));
+            let baseline = replay_events(trace.events())
+                .expect("fuzzed traces replay cleanly without corruption");
+            corpus.push(WireCase { trace, baseline });
+        }
+    }
+    corpus
+}
+
+/// Decodes a corrupted chunk stream exactly the way the server ingests it:
+/// header-checked reassembly, strict event decoding, and a `Finish` frame
+/// required for the stream to count as complete.
+fn decode_stream(chunks: &[Vec<u8>]) -> Result<Vec<TraceEvent>, wire::WireError> {
+    let mut asm = wire::FrameAssembler::new();
+    for c in chunks {
+        asm.push(c);
+    }
+    let mut events = Vec::new();
+    while let Some(frame) = asm.next_frame()? {
+        match frame.ftype {
+            wire::FrameType::Events => events.extend(wire::decode_events(&frame.payload)?),
+            wire::FrameType::Finish => return Ok(events),
+            other => {
+                return Err(wire::WireError::BadFrameType {
+                    ftype: other.code(),
+                })
+            }
+        }
+    }
+    // The stream ended without `Finish`: a truncated tail.
+    asm.finish()?;
+    Err(wire::WireError::Truncated { need: 1, have: 0 })
+}
+
+/// One transport cell: `kind` at `rate_ppm` over the whole corpus.
+///
+/// Accounting mirrors the service's behavior: a stream whose frames fail to
+/// reassemble/decode — or whose decoded events the detector rejects — is
+/// *quarantined* (counted in `sim_errors`, its races lost); a stream that
+/// survives is scored exactly against its baseline race set (`detected` =
+/// true races still reported, `false_positives` = streams reporting a race
+/// not in their baseline).
+fn wire_cell(corpus: &[WireCase], seed: u64, kind: FaultKind, rate_ppm: u32) -> Row {
+    let mut row = Row {
+        fault: Some(kind),
+        rate_ppm,
+        detected: 0,
+        present: 0,
+        false_positives: 0,
+        sim_errors: 0,
+        faults_injected: 0,
+    };
+    for (i, case) in corpus.iter().enumerate() {
+        row.present += case.baseline.len();
+        let frames = wire::trace_to_frames(&case.trace, WIRE_EVENTS_PER_FRAME);
+        let plan = FaultPlan::single(kind, rate_ppm, seed ^ ((i as u64 + 1) * 0x9E37_79B9));
+        let mut corruptor = FrameCorruptor::new(FaultInjector::new(plan));
+        let sent = corruptor.corrupt(&frames);
+        row.faults_injected += corruptor.stats().total();
+        match decode_stream(&sent)
+            .map_err(drop)
+            .and_then(|events| replay_events(&events).map_err(drop))
+        {
+            Ok(got) => {
+                row.detected += got.intersection(&case.baseline).count();
+                if !got.is_subset(&case.baseline) {
+                    row.false_positives += 1;
+                }
+            }
+            Err(()) => row.sim_errors += 1,
+        }
+    }
+    row
+}
+
+/// Sweeps the given fault kinds × rates (no baseline row). Detector-side
+/// kinds run the full workload set on up to `jobs` worker threads;
+/// transport kinds run the wire pipeline over the fuzzed corpus. Rows come
+/// out in `kinds` × `rates` order either way.
 ///
 /// # Errors
 ///
@@ -203,35 +348,47 @@ pub fn sweep(
     rates: &[u32],
     jobs: Jobs,
 ) -> Result<Vec<Row>, HarnessError> {
-    let plans: Vec<Option<FaultPlan>> = kinds
+    let gpu_plans: Vec<Option<FaultPlan>> = kinds
         .iter()
+        .filter(|k| !k.is_transport_fault())
         .flat_map(|&kind| {
             rates
                 .iter()
                 .map(move |&rate| Some(FaultPlan::single(kind, rate, seed)))
         })
         .collect();
-    audit(quick, &plans, jobs)
+    let mut gpu_rows = audit(quick, &gpu_plans, jobs)?.into_iter();
+    let corpus = if kinds.iter().any(|k| k.is_transport_fault()) {
+        wire_corpus(quick)
+    } else {
+        Vec::new()
+    };
+    let mut rows = Vec::with_capacity(kinds.len() * rates.len());
+    for &kind in kinds {
+        for &rate in rates {
+            rows.push(if kind.is_transport_fault() {
+                wire_cell(&corpus, seed, kind, rate)
+            } else {
+                gpu_rows.next().expect("one GPU row per kind and rate")
+            });
+        }
+    }
+    Ok(rows)
 }
 
 /// The full degradation audit: the fault-free baseline row followed by
-/// every fault kind at every rate in `rates`, on up to `jobs` worker
-/// threads.
+/// every fault kind at every rate in `rates` — detector-side kinds over
+/// the workload set on up to `jobs` worker threads, transport kinds over
+/// the wire corpus.
 ///
 /// # Errors
 ///
 /// Returns a [`HarnessError`] naming the workload that failed in the
 /// fault-free baseline (which must be clean); faulty cells never error.
 pub fn run(quick: bool, seed: u64, rates: &[u32], jobs: Jobs) -> Result<Vec<Row>, HarnessError> {
-    let mut plans: Vec<Option<FaultPlan>> = vec![None];
-    for &kind in &FaultKind::ALL {
-        plans.extend(
-            rates
-                .iter()
-                .map(|&rate| Some(FaultPlan::single(kind, rate, seed))),
-        );
-    }
-    audit(quick, &plans, jobs)
+    let mut rows = audit(quick, &[None], jobs)?;
+    rows.extend(sweep(quick, seed, &FaultKind::ALL, rates, jobs)?);
+    Ok(rows)
 }
 
 /// Renders the audit as a markdown table.
@@ -312,5 +469,51 @@ mod tests {
             a.iter().any(|r| r.detected < r.present),
             "metadata corruption/drops at 10% should lose some races: {a:?}"
         );
+    }
+
+    /// The transport cells run the wire pipeline: deterministic in the
+    /// seed, quarantining CRC-detectable damage, and never panicking.
+    #[test]
+    fn transport_rows_quarantine_damage_deterministically() {
+        let kinds = [
+            FaultKind::FrameTruncate,
+            FaultKind::FrameBitFlip,
+            FaultKind::FrameDuplicate,
+            FaultKind::FrameReorder,
+        ];
+        let cell = |jobs: Jobs| {
+            sweep(true, 0xF1A7, &kinds, &[100_000], jobs).expect("transport sweep is clean")
+        };
+        let a = cell(Jobs::serial());
+        let b = cell(Jobs::new(4).expect("nonzero"));
+        assert_eq!(a, b, "same seed, same transport table");
+        assert_eq!(a.len(), kinds.len());
+        for row in &a {
+            assert!(
+                row.faults_injected > 0,
+                "10% per frame must inject: {row:?}"
+            );
+            assert!(row.present > 0, "corpus has racey streams: {row:?}");
+        }
+        // Truncation and bit flips are CRC/framing-detectable, so their
+        // cells must quarantine streams (and with them lose recall).
+        for kind in [FaultKind::FrameTruncate, FaultKind::FrameBitFlip] {
+            let row = a.iter().find(|r| r.fault == Some(kind)).expect("row");
+            assert!(row.sim_errors > 0, "{kind} must quarantine: {row:?}");
+            assert!(row.detected < row.present, "{kind} loses races: {row:?}");
+        }
+    }
+
+    /// With no faults armed at the transport level the wire pipeline is an
+    /// exact carbon copy of the in-process replay.
+    #[test]
+    fn transport_cell_at_rate_zero_is_lossless() {
+        let rows = sweep(true, 7, &[FaultKind::FrameDuplicate], &[0], Jobs::serial())
+            .expect("zero-rate sweep");
+        let row = &rows[0];
+        assert_eq!(row.faults_injected, 0);
+        assert_eq!(row.sim_errors, 0);
+        assert_eq!(row.false_positives, 0);
+        assert_eq!(row.detected, row.present, "no corruption, no loss");
     }
 }

@@ -19,6 +19,7 @@
 //! | [`faults`] | Degradation audit under fault injection (robustness, beyond the paper) |
 //! | [`diff`] | Differential race-oracle audit: fuzzed + captured traces vs the exact detector |
 //! | [`perf`] | In-tree perf basket; appends each run to `BENCH_sim.json` at the repo root |
+//! | [`serve_bench`] | Race-detection service: long-lived server, load generator + robustness probes, `BENCH_serve.json` |
 //!
 //! Every module exposes `run(quick, jobs) -> Vec<Row>` plus a `to_markdown`
 //! renderer; the `run-experiments` binary drives them. `quick = true`
@@ -40,6 +41,7 @@ pub mod fig8;
 pub mod fig9;
 mod markdown;
 pub mod perf;
+pub mod serve_bench;
 pub mod table1;
 pub mod table2;
 pub mod table5;

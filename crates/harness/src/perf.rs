@@ -35,7 +35,7 @@ use scord_core::{Detector, FuzzConfig, ScordDetector};
 use scord_sim::DetectionMode;
 
 use crate::exec::Jobs;
-use crate::{apps, MemoryVariant};
+use crate::{apps, HarnessError, MemoryVariant};
 
 /// Seed for the fuzz-replay basket entry; fixed so every run replays the
 /// identical trace.
@@ -350,7 +350,7 @@ pub fn default_bench_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json")
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -395,10 +395,12 @@ fn render_run(run: &PerfRun) -> String {
 }
 
 /// Extracts the raw text of each element of the top-level `"runs": [...]`
-/// array from an existing `BENCH_sim.json`, so appending a run preserves
-/// history verbatim without a full JSON parser. Returns `None` (start
-/// fresh) when the file does not match the expected shape.
-fn existing_runs(text: &str) -> Option<Vec<String>> {
+/// array from an existing benchmark record, so appending a run preserves
+/// history verbatim without a full JSON parser. Returns `None` when the
+/// file does not match the expected shape — the caller reports that as a
+/// [`HarnessErrorKind::BenchMalformed`](crate::HarnessErrorKind) rather
+/// than clobbering the record.
+pub(crate) fn existing_runs(text: &str) -> Option<Vec<String>> {
     let key = text.find("\"runs\"")?;
     let open = key + text[key..].find('[')?;
     // Bracket/string-aware scan of the array body.
@@ -468,20 +470,42 @@ fn render_document(raw_runs: &[String]) -> String {
     out
 }
 
-/// Appends `run` to the `BENCH_sim.json` at `path` (creating it if absent
-/// or malformed) and returns the number of runs now recorded.
+/// Reads the raw runs already recorded at `path` (empty when the file does
+/// not exist yet).
+///
+/// Shared by the `BENCH_sim.json` and `BENCH_serve.json` writers: both use
+/// the same `{"schema": N, "runs": [...]}` envelope.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors from reading or writing the record.
-pub fn append_to_bench_json(path: &Path, run: &PerfRun) -> std::io::Result<usize> {
-    let mut raw: Vec<String> = match fs::read_to_string(path) {
-        Ok(text) => existing_runs(&text).unwrap_or_default(),
-        Err(_) => Vec::new(),
-    };
+/// [`HarnessErrorKind::Io`](crate::HarnessErrorKind) when the file exists
+/// but cannot be read (permissions, not-a-file);
+/// [`HarnessErrorKind::BenchMalformed`](crate::HarnessErrorKind) when it
+/// reads but is truncated or otherwise not the expected document shape —
+/// named so a damaged record is never silently clobbered.
+pub(crate) fn read_recorded_runs(path: &Path) -> Result<Vec<String>, HarnessError> {
+    match fs::read_to_string(path) {
+        Ok(text) => existing_runs(&text)
+            .ok_or_else(|| HarnessError::bench_malformed(path.display().to_string())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(HarnessError::io(path.display().to_string(), &e)),
+    }
+}
+
+/// Appends `run` to the `BENCH_sim.json` at `path` (creating it if absent)
+/// and returns the number of runs now recorded.
+///
+/// # Errors
+///
+/// Typed [`HarnessError`]s: `Io` for filesystem failures (e.g. a read-only
+/// checkout), `BenchMalformed` when an existing record does not parse —
+/// the run is *not* written over it.
+pub fn append_to_bench_json(path: &Path, run: &PerfRun) -> Result<usize, HarnessError> {
+    let mut raw = read_recorded_runs(path)?;
     raw.push(render_run(run));
     let n = raw.len();
-    fs::write(path, render_document(&raw))?;
+    fs::write(path, render_document(&raw))
+        .map_err(|e| HarnessError::io(path.display().to_string(), &e))?;
     Ok(n)
 }
 
@@ -547,9 +571,48 @@ mod tests {
     }
 
     #[test]
-    fn malformed_file_starts_fresh() {
+    fn malformed_record_is_a_named_error_not_a_clobber() {
         assert!(existing_runs("not json at all").is_none());
         assert!(existing_runs("{\"schema\": 1}").is_none());
+
+        // A truncated record on disk surfaces as BenchMalformed and the
+        // file is left untouched.
+        let dir = std::env::temp_dir().join("scord-perf-bench-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_truncated.json");
+        let truncated = "{\n  \"schema\": 2,\n  \"runs\": [\n    {\"label\": \"cut";
+        fs::write(&path, truncated).expect("write fixture");
+        let err = append_to_bench_json(&path, &fake_run("new")).expect_err("must not clobber");
+        assert_eq!(err.kind, crate::HarnessErrorKind::BenchMalformed);
+        assert_eq!(
+            fs::read_to_string(&path).expect("still readable"),
+            truncated,
+            "damaged record must be preserved verbatim"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_starts_fresh_and_unreadable_path_is_io_error() {
+        let dir = std::env::temp_dir().join("scord-perf-bench-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_fresh.json");
+        fs::remove_file(&path).ok();
+        assert!(read_recorded_runs(&path)
+            .expect("absent file is fine")
+            .is_empty());
+        let n = append_to_bench_json(&path, &fake_run("first")).expect("creates the record");
+        assert_eq!(n, 1);
+        let n = append_to_bench_json(&path, &fake_run("second")).expect("appends");
+        assert_eq!(n, 2);
+        fs::remove_file(&path).ok();
+
+        // A directory in place of the record is an I/O error, not a panic.
+        let err = read_recorded_runs(&dir).expect_err("directories do not read as text");
+        assert!(
+            matches!(err.kind, crate::HarnessErrorKind::Io(..)),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //!   caller's thread with the original payload.
 //! - Steady-state barriers allocate nothing (asserted by the
 //!   `alloc_growth` integration test).
+//!
+//! The crate also hosts [`BoundedQueue`], the blocking bounded hand-off
+//! queue `scord-serve` uses between connection readers and detector shard
+//! workers (a different workload shape: long-lived streams rather than
+//! per-cycle barriers).
+
+mod queue;
+
+pub use queue::{BoundedQueue, Pop};
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -1,0 +1,288 @@
+//! A blocking bounded MPMC queue — the connection-to-worker hand-off
+//! primitive for `scord-serve`.
+//!
+//! The service's backpressure contract is "block the socket, never the
+//! detector": connection reader threads [`BoundedQueue::push`] decoded
+//! event batches and *block* when the detector shard is behind, which
+//! stops the reader from reading, which fills the kernel socket buffer,
+//! which stalls the client's `write()` — TCP flow control does the rest.
+//! The detector side uses [`BoundedQueue::pop_timeout`] so shard workers
+//! wake periodically to notice shutdown and connection deadlines even
+//! when idle.
+//!
+//! Closing the queue ([`BoundedQueue::close`]) releases every blocked
+//! producer and consumer; producers get their item back so nothing is
+//! silently dropped during drain.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Result of a [`BoundedQueue::pop_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue empty (and still open).
+    TimedOut,
+    /// The queue is closed and fully drained; no more items will ever
+    /// arrive.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Mutex + two-Condvar bounded queue. `push` blocks at capacity (the
+/// backpressure edge); `pop_timeout` bounds consumer waits so workers can
+/// poll for shutdown.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity queue would deadlock
+    /// its first producer.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BoundedQueue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// `true` when no items are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns
+    /// `Err(item)` if the queue is (or becomes, while blocked) closed —
+    /// the caller keeps the item and knows the consumer is gone.
+    ///
+    /// # Errors
+    ///
+    /// The rejected item, when the queue is closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Dequeues an item, waiting up to `timeout` for one to arrive.
+    ///
+    /// A closed queue still yields its remaining items; [`Pop::Closed`]
+    /// means closed *and* drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let (guard, res) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .expect("queue lock poisoned");
+            inner = guard;
+            if res.timed_out() {
+                return if let Some(item) = inner.items.pop_front() {
+                    drop(inner);
+                    self.not_full.notify_one();
+                    Pop::Item(item)
+                } else if inner.closed {
+                    Pop::Closed
+                } else {
+                    Pop::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: blocked producers fail with their item returned,
+    /// and consumers see [`Pop::Closed`] once the backlog drains.
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// `true` once [`close`](Self::close) has been called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock poisoned").closed
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).expect("open queue");
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(i));
+        }
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::TimedOut);
+    }
+
+    #[test]
+    fn push_blocks_until_a_consumer_frees_a_slot() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).expect("open queue");
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            q2.push(1).expect("open queue");
+            t0.elapsed()
+        });
+        // Give the producer time to block, then free the slot.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(0));
+        let blocked_for = producer.join().expect("producer thread");
+        assert!(
+            blocked_for >= Duration::from_millis(25),
+            "producer must have blocked, blocked for {blocked_for:?}"
+        );
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(1));
+    }
+
+    #[test]
+    fn close_releases_blocked_producer_with_its_item() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(7u32).expect("open queue");
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(8));
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert_eq!(producer.join().expect("producer thread"), Err(8));
+        // The backlog is still served after close…
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(7));
+        // …then Closed, forever.
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::<u32>::Closed);
+        assert!(q.push(9).is_err());
+    }
+
+    #[test]
+    fn close_wakes_idle_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert_eq!(consumer.join().expect("consumer thread"), Pop::Closed);
+    }
+
+    #[test]
+    fn many_producers_one_consumer_loses_nothing() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let producers: Vec<_> = (0..4u32)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        q.push(p * 1000 + i).expect("open queue");
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        while got.len() < 200 {
+            match q.pop_timeout(Duration::from_millis(200)) {
+                Pop::Item(v) => got.push(v),
+                Pop::TimedOut => {}
+                Pop::Closed => panic!("queue closed early"),
+            }
+        }
+        for p in producers {
+            p.join().expect("producer thread");
+        }
+        got.sort_unstable();
+        let want: Vec<u32> = (0..4u32)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,230 @@
+//! Client side of the race-detection service.
+//!
+//! [`Client`] speaks the `scord_core::wire` stream format over TCP and
+//! decodes the typed responses of [`crate::proto`]. It is deliberately
+//! low-level (send events, send raw bytes, read an outcome) so the
+//! adversarial suite can drive half-open, malformed and slow streams
+//! with the same type the load generator uses for healthy ones.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use scord_core::wire::{self, FrameAssembler, FrameType, WireError};
+use scord_core::{Trace, TraceEvent};
+
+use crate::proto::{self, Done, ErrorInfo, Report};
+
+/// How the server ended a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The stream was detected to completion (or flushed partially on
+    /// drain — check [`Done::partial`]).
+    Done(Done),
+    /// The server is over its overload watermark; retry later.
+    Busy,
+    /// The server quarantined the connection with a typed error.
+    ServerError(ErrorInfo),
+}
+
+/// A client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket I/O failed (kind + rendered message; `std::io::Error` is
+    /// kept out so the error stays `Clone + Eq` for test assertions).
+    Io(std::io::ErrorKind, String),
+    /// The server's response stream violated the wire format.
+    Wire(WireError),
+    /// The server closed the connection without a final frame.
+    ConnectionClosed,
+    /// The server sent a frame type that makes no sense client-side.
+    UnexpectedFrame(FrameType),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(kind, msg) => write!(f, "socket error ({kind:?}): {msg}"),
+            ClientError::Wire(err) => write!(f, "response stream violated the wire format: {err}"),
+            ClientError::ConnectionClosed => {
+                f.write_str("server closed the connection without a final frame")
+            }
+            ClientError::UnexpectedFrame(t) => write!(f, "unexpected frame from server: {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.kind(), e.to_string())
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A connection to the service. The stream header is sent on connect.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    reports: Vec<Report>,
+}
+
+impl Client {
+    /// Connects and sends the versioned stream header.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from connect or the header write.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            stream,
+            asm: FrameAssembler::headerless(),
+            reports: Vec::new(),
+        };
+        let mut header = Vec::with_capacity(wire::HEADER_BYTES);
+        wire::encode_header(&mut header);
+        client.stream.write_all(&header)?;
+        Ok(client)
+    }
+
+    /// Bounds how long [`finish`](Self::finish) waits for each response
+    /// read (so a wedged server fails a test instead of hanging it).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from setting the timeout.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Sends one `Events` frame.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from the write.
+    pub fn send_events(&mut self, events: &[TraceEvent]) -> Result<(), ClientError> {
+        let mut frame = Vec::new();
+        wire::encode_frame(FrameType::Events, &wire::encode_events(events), &mut frame);
+        self.stream.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Sends a whole trace as `Events` frames of `events_per_frame`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from the writes.
+    pub fn send_trace(
+        &mut self,
+        trace: &Trace,
+        events_per_frame: usize,
+    ) -> Result<(), ClientError> {
+        for batch in trace.events().chunks(events_per_frame.max(1)) {
+            self.send_events(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Sends raw bytes — the adversarial hook for malformed streams.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from the write.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Incremental reports received so far (populated by
+    /// [`finish`](Self::finish) / [`read_outcome`](Self::read_outcome)).
+    #[must_use]
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// Sends `Finish` and reads responses until the stream's outcome.
+    /// Incremental reports remain available via [`reports`](Self::reports).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn finish(&mut self) -> Result<Outcome, ClientError> {
+        let mut frame = Vec::new();
+        wire::encode_frame(FrameType::Finish, &[], &mut frame);
+        self.stream.write_all(&frame)?;
+        self.read_outcome()
+    }
+
+    /// Reads responses until a terminal frame (`Done`, `Error` or `Busy`)
+    /// without sending anything — used after raw/adversarial writes.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn read_outcome(&mut self) -> Result<Outcome, ClientError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            while let Some(frame) = self.asm.next_frame()? {
+                match frame.ftype {
+                    FrameType::Report => self.reports.push(proto::decode_report(&frame.payload)?),
+                    FrameType::Done => {
+                        return Ok(Outcome::Done(proto::decode_done(&frame.payload)?));
+                    }
+                    FrameType::Error => {
+                        return Ok(Outcome::ServerError(proto::decode_error(&frame.payload)?));
+                    }
+                    FrameType::Busy => return Ok(Outcome::Busy),
+                    other => return Err(ClientError::UnexpectedFrame(other)),
+                }
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::ConnectionClosed);
+            }
+            self.asm.push(&buf[..n]);
+        }
+    }
+}
+
+/// Convenience: stream `trace` to `addr` and return the outcome.
+///
+/// # Errors
+///
+/// See [`ClientError`].
+pub fn detect_remote<A: ToSocketAddrs>(
+    addr: A,
+    trace: &Trace,
+    events_per_frame: usize,
+) -> Result<Outcome, ClientError> {
+    let mut client = Client::connect(addr)?;
+    client.set_read_timeout(Duration::from_secs(30))?;
+    client.send_trace(trace, events_per_frame)?;
+    client.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_error_display_is_informative() {
+        let e = ClientError::Io(std::io::ErrorKind::BrokenPipe, "pipe".into());
+        assert!(e.to_string().contains("BrokenPipe"));
+        assert!(ClientError::ConnectionClosed
+            .to_string()
+            .contains("final frame"));
+        let w: ClientError = WireError::BadFrameType { ftype: 9 }.into();
+        assert!(w.to_string().contains("wire format"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # scord-serve
+//!
+//! Race-detection-as-a-service: a dependency-free TCP server that ingests
+//! streaming GPU memory traces in the `scord_core::wire` binary encoding,
+//! shards them across per-core `ScordDetector` instances, and returns
+//! incremental race reports — built around a robustness envelope rather
+//! than a happy path:
+//!
+//! - **backpressure**, not buffering: bounded per-connection ingest
+//!   queues block the socket, never the detector;
+//! - **deadlines**: slowloris and stalled clients are reaped with typed
+//!   errors;
+//! - **shedding**: past the overload watermark new clients get a typed
+//!   `Busy`, not a hung connection;
+//! - **quarantine**: malformed, truncated or version-skewed streams close
+//!   one connection with a typed error and leave the process untouched;
+//! - **graceful drain**: SIGTERM/SIGINT (or [`Server::shutdown`]) flushes
+//!   partial reports for every in-flight stream before exit.
+//!
+//! See DESIGN.md § "Race-detection-as-a-service" for the wire format and
+//! the full contract; the adversarial integration suite in
+//! `tests/adversarial.rs` is the envelope's executable specification.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+mod server;
+pub mod signal;
+
+pub use client::{detect_remote, Client, ClientError, Outcome};
+pub use loadgen::{LoadConfig, LoadReport};
+pub use proto::{Done, ErrorCode, ErrorInfo, Report};
+pub use server::{ServeConfig, Server, StatsSnapshot};

@@ -1,0 +1,180 @@
+//! Load generator: many concurrent healthy clients, measured.
+//!
+//! Drives fuzzed traces (`scord_core::fuzz`) through the service from
+//! several client threads and reports throughput (traces/sec, events/sec)
+//! and per-trace latency percentiles (connect → `Done`). The harness's
+//! `loadgen` subcommand serializes the report into `BENCH_serve.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use scord_core::FuzzConfig;
+
+use crate::client::{detect_remote, Outcome};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: String,
+    /// Total traces to stream.
+    pub streams: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Events per fuzzed trace.
+    pub events: u32,
+    /// Events per wire frame.
+    pub events_per_frame: usize,
+    /// Base seed; stream `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7444".to_string(),
+            streams: 64,
+            concurrency: 8,
+            events: 2_000,
+            events_per_frame: 256,
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// Aggregate measurements from one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Traces that completed with a full `Done`.
+    pub completed: u64,
+    /// Traces answered `Busy` (shed).
+    pub busy: u64,
+    /// Traces that failed (server error, socket error, partial report).
+    pub failed: u64,
+    /// Total events streamed by completed traces.
+    pub events: u64,
+    /// Total unique races reported across completed traces.
+    pub races: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// Completed traces per second.
+    pub traces_per_sec: f64,
+    /// Events per second across completed traces.
+    pub events_per_sec: f64,
+    /// Median per-trace latency (connect → `Done`), milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile per-trace latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Worst per-trace latency, milliseconds.
+    pub max_latency_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Runs the load profile and gathers the report.
+///
+/// # Panics
+///
+/// Panics if a client thread panics (nothing in the client path should).
+#[must_use]
+pub fn run(cfg: &LoadConfig) -> LoadReport {
+    let completed = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let events_total = Arc::new(AtomicU64::new(0));
+    let races_total = Arc::new(AtomicU64::new(0));
+    let concurrency = cfg.concurrency.max(1);
+    let t0 = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|worker| {
+                let cfg = cfg.clone();
+                let completed = Arc::clone(&completed);
+                let busy = Arc::clone(&busy);
+                let failed = Arc::clone(&failed);
+                let events_total = Arc::clone(&events_total);
+                let races_total = Arc::clone(&races_total);
+                scope.spawn(move || {
+                    let mut lats = Vec::new();
+                    let mut i = worker;
+                    while i < cfg.streams {
+                        let trace = FuzzConfig {
+                            events: cfg.events,
+                            ..FuzzConfig::default()
+                        }
+                        .generate(cfg.seed.wrapping_add(i as u64));
+                        let start = Instant::now();
+                        match detect_remote(&cfg.addr, &trace, cfg.events_per_frame) {
+                            Ok(Outcome::Done(done)) if !done.partial => {
+                                lats.push(start.elapsed().as_secs_f64() * 1e3);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                                events_total.fetch_add(trace.len() as u64, Ordering::Relaxed);
+                                races_total.fetch_add(done.races.len() as u64, Ordering::Relaxed);
+                            }
+                            Ok(Outcome::Busy) => {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(_) | Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        i += concurrency;
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load client thread panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut sorted = latencies;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let completed = completed.load(Ordering::Relaxed);
+    let events = events_total.load(Ordering::Relaxed);
+    LoadReport {
+        completed,
+        busy: busy.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        events,
+        races: races_total.load(Ordering::Relaxed),
+        wall_seconds: wall,
+        traces_per_sec: if wall > 0.0 {
+            completed as f64 / wall
+        } else {
+            0.0
+        },
+        events_per_sec: if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        },
+        p50_latency_ms: percentile(&sorted, 0.50),
+        p99_latency_ms: percentile(&sorted, 0.99),
+        max_latency_ms: sorted.last().copied().unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert!((percentile(&xs, 0.5) - 50.0).abs() <= 1.0);
+        assert!((percentile(&xs, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

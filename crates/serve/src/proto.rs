@@ -1,0 +1,325 @@
+//! Server-to-client response payloads.
+//!
+//! `scord_core::wire` defines framing and the client-to-server event
+//! encoding; this module defines what travels *back*: incremental
+//! [`Report`]s, the final [`Done`] summary, typed [`ErrorInfo`] responses,
+//! and the empty `Busy` payload. Kept in `scord-serve` because only the
+//! service and its clients speak these payloads — the core codec stays a
+//! pure trace transport.
+
+use scord_core::{RaceKind, WireError};
+
+/// Typed protocol error codes carried in `Error` frames. Every way a
+/// connection can be quarantined has a distinct code, so clients (and the
+/// adversarial suite) can assert on the *reason*, not just the closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The stream violated the wire format (bad magic/version/CRC/frame).
+    Malformed,
+    /// An event payload decoded but named an impossible event (reserved
+    /// bits, unknown tag) or the detector rejected it (e.g. SM out of
+    /// range for the service's geometry).
+    BadEvent,
+    /// The connection made no progress within its deadline and was reaped.
+    DeadlineExceeded,
+    /// The client disconnected mid-frame (truncated stream).
+    Truncated,
+    /// The server is draining and will not accept further events.
+    Draining,
+}
+
+impl ErrorCode {
+    /// The on-wire code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::BadEvent => 2,
+            ErrorCode::DeadlineExceeded => 3,
+            ErrorCode::Truncated => 4,
+            ErrorCode::Draining => 5,
+        }
+    }
+
+    /// Decodes an on-wire code.
+    #[must_use]
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::BadEvent,
+            3 => ErrorCode::DeadlineExceeded,
+            4 => ErrorCode::Truncated,
+            5 => ErrorCode::Draining,
+            _ => return None,
+        })
+    }
+
+    /// Stable short name for logs and tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::BadEvent => "bad-event",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Truncated => "truncated",
+            ErrorCode::Draining => "draining",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An incremental race report: counters only (the full unique list rides
+/// in the final [`Done`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Unique `(pc, kind)` races so far.
+    pub unique: u32,
+    /// Total race records so far.
+    pub total: u64,
+}
+
+/// The final (or drain-time partial) summary for a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Done {
+    /// `true` when the server drained before the client finished; the
+    /// report covers only the events ingested so far.
+    pub partial: bool,
+    /// Total race records.
+    pub total: u64,
+    /// Every unique `(pc, kind)` race.
+    pub races: Vec<(u32, RaceKind)>,
+}
+
+/// A decoded `Error` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorInfo {
+    /// The typed reason, when this build knows the code.
+    pub code: Option<ErrorCode>,
+    /// The raw on-wire code (kept so skew between builds stays debuggable).
+    pub raw_code: u16,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn kind_code(kind: RaceKind) -> u8 {
+    RaceKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("RaceKind::ALL is exhaustive") as u8
+}
+
+fn kind_from_code(code: u8) -> Result<RaceKind, WireError> {
+    RaceKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or(WireError::BadEvent {
+            word: 0,
+            reason: "unassigned race-kind code",
+        })
+}
+
+fn need(payload: &[u8], n: usize) -> Result<(), WireError> {
+    if payload.len() < n {
+        return Err(WireError::Truncated {
+            need: n,
+            have: payload.len(),
+        });
+    }
+    Ok(())
+}
+
+fn u32_at(payload: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(payload[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn u64_at(payload: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(payload[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Encodes a [`Report`] payload.
+#[must_use]
+pub fn encode_report(r: &Report) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&r.unique.to_le_bytes());
+    out.extend_from_slice(&r.total.to_le_bytes());
+    out
+}
+
+/// Decodes a [`Report`] payload.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on a short payload.
+pub fn decode_report(payload: &[u8]) -> Result<Report, WireError> {
+    need(payload, 12)?;
+    Ok(Report {
+        unique: u32_at(payload, 0),
+        total: u64_at(payload, 4),
+    })
+}
+
+/// Encodes a [`Done`] payload.
+#[must_use]
+pub fn encode_done(d: &Done) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + d.races.len() * 5);
+    out.push(u8::from(d.partial));
+    out.extend_from_slice(&d.total.to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(d.races.len())
+            .expect("unique race count fits u32")
+            .to_le_bytes(),
+    );
+    for &(pc, kind) in &d.races {
+        out.extend_from_slice(&pc.to_le_bytes());
+        out.push(kind_code(kind));
+    }
+    out
+}
+
+/// Decodes a [`Done`] payload.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on a short payload, [`WireError::BadEvent`]
+/// for an unassigned race-kind code or a non-boolean partial flag.
+pub fn decode_done(payload: &[u8]) -> Result<Done, WireError> {
+    need(payload, 13)?;
+    if payload[0] > 1 {
+        return Err(WireError::BadEvent {
+            word: 0,
+            reason: "partial flag is not 0 or 1",
+        });
+    }
+    let total = u64_at(payload, 1);
+    let n = u32_at(payload, 9) as usize;
+    need(payload, 13 + n * 5)?;
+    let mut races = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = 13 + i * 5;
+        races.push((u32_at(payload, at), kind_from_code(payload[at + 4])?));
+    }
+    Ok(Done {
+        partial: payload[0] == 1,
+        total,
+        races,
+    })
+}
+
+/// Encodes an `Error` payload.
+#[must_use]
+pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + message.len());
+    out.extend_from_slice(&code.code().to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decodes an `Error` payload.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when even the code is missing.
+pub fn decode_error(payload: &[u8]) -> Result<ErrorInfo, WireError> {
+    need(payload, 2)?;
+    let raw = u16::from_le_bytes(payload[..2].try_into().expect("bounds checked"));
+    Ok(ErrorInfo {
+        code: ErrorCode::from_code(raw),
+        raw_code: raw,
+        message: String::from_utf8_lossy(&payload[2..]).into_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrip() {
+        let r = Report {
+            unique: 17,
+            total: 123_456_789_000,
+        };
+        assert_eq!(decode_report(&encode_report(&r)).expect("roundtrip"), r);
+        assert!(decode_report(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn done_roundtrip_with_every_race_kind() {
+        let d = Done {
+            partial: true,
+            total: 42,
+            races: RaceKind::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (i as u32 * 10, *k))
+                .collect(),
+        };
+        assert_eq!(decode_done(&encode_done(&d)).expect("roundtrip"), d);
+    }
+
+    #[test]
+    fn done_rejects_bad_payloads() {
+        let mut good = encode_done(&Done {
+            partial: false,
+            total: 1,
+            races: vec![(5, RaceKind::NotStrong)],
+        });
+        good[0] = 2; // bad partial flag
+        assert!(decode_done(&good).is_err());
+        let mut bad_kind = encode_done(&Done {
+            partial: false,
+            total: 1,
+            races: vec![(5, RaceKind::NotStrong)],
+        });
+        *bad_kind.last_mut().expect("non-empty") = 99;
+        assert!(decode_done(&bad_kind).is_err());
+        // Advertised count larger than the payload.
+        let mut short = encode_done(&Done {
+            partial: false,
+            total: 1,
+            races: vec![],
+        });
+        short[9] = 200;
+        assert!(matches!(
+            decode_done(&short),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn error_roundtrip_and_unknown_codes() {
+        let e = decode_error(&encode_error(
+            ErrorCode::DeadlineExceeded,
+            "no progress in 2s",
+        ))
+        .expect("roundtrip");
+        assert_eq!(e.code, Some(ErrorCode::DeadlineExceeded));
+        assert_eq!(e.message, "no progress in 2s");
+        let unknown = decode_error(&[0xFF, 0x7F]).expect("unknown code still decodes");
+        assert_eq!(unknown.code, None);
+        assert_eq!(unknown.raw_code, 0x7FFF);
+        assert!(decode_error(&[1]).is_err());
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_are_unique() {
+        let all = [
+            ErrorCode::Malformed,
+            ErrorCode::BadEvent,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Truncated,
+            ErrorCode::Draining,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in all {
+            assert!(seen.insert(c.code()));
+            assert_eq!(ErrorCode::from_code(c.code()), Some(c));
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+    }
+}

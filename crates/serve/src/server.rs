@@ -1,0 +1,709 @@
+//! The race-detection service: TCP ingest with backpressure, deadlines,
+//! overload shedding, quarantine, and graceful drain.
+//!
+//! ## Thread model
+//!
+//! One **acceptor** owns the listener. Each accepted connection gets a
+//! cheap blocking **reader** thread (it spends its life in `read(2)` or
+//! blocked on its ingest queue — the backpressure edge) and is assigned
+//! round-robin to one of N **shard workers** (N ≈ cores), each of which
+//! owns the `ScordDetector` instances for its connections. Detectors are
+//! single-threaded by construction — a connection's events are only ever
+//! applied by its shard — so the hot detection path takes no locks.
+//!
+//! ## Robustness contract
+//!
+//! - **Backpressure**: readers push decoded batches into a bounded
+//!   per-connection queue ([`scord_pool::BoundedQueue`]) and *block* when
+//!   it is full; the socket stops being read, the kernel buffer fills and
+//!   TCP flow control stalls the client. The detector is never blocked on
+//!   a socket and never sees an unbounded backlog.
+//! - **Deadlines**: a connection that completes no frame within
+//!   [`ServeConfig::progress_deadline`] is reaped with a typed
+//!   `deadline-exceeded` error — a slowloris dribbling bytes never pins a
+//!   reader forever.
+//! - **Shedding**: past [`ServeConfig::max_connections`] live streams the
+//!   acceptor answers with a `Busy` frame and closes — a typed "try
+//!   later", not a hung or reset connection.
+//! - **Quarantine**: any wire-format violation (bad magic, version skew,
+//!   CRC mismatch, bad event encoding) or detector rejection draws a
+//!   typed `Error` frame and closes *that* connection; nothing is shared
+//!   between streams, so the process and other clients are unaffected.
+//! - **Drain**: [`Server::shutdown`] (or SIGTERM via [`crate::signal`])
+//!   stops accepting, stops reading, flushes a partial `Done` report for
+//!   every in-flight stream, and joins every thread before returning.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scord_core::wire::{self, FrameAssembler, FrameType};
+use scord_core::{Detector, DetectorConfig, DetectorError, ScordDetector, TraceEvent};
+use scord_pool::{BoundedQueue, Pop};
+
+use crate::proto::{self, Done, ErrorCode, Report};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Detector shard workers. Defaults to available parallelism, capped
+    /// at 8 — detection is memory-bound well before that.
+    pub shards: usize,
+    /// Per-connection ingest queue capacity, in event batches. The
+    /// backpressure bound: a connection can have at most this many decoded
+    /// batches in flight.
+    pub queue_capacity: usize,
+    /// Socket read timeout slice — how often an idle reader wakes to check
+    /// deadlines and shutdown.
+    pub read_slice: Duration,
+    /// A connection that completes no frame for this long is reaped.
+    pub progress_deadline: Duration,
+    /// Ceiling on response writes; a client that stops draining its
+    /// responses for this long is dropped (the detector never blocks on a
+    /// slow consumer).
+    pub write_timeout: Duration,
+    /// Overload watermark: live connections beyond this are shed with a
+    /// typed `Busy` response.
+    pub max_connections: usize,
+    /// Per-frame payload ceiling passed to the wire decoder.
+    pub max_frame: u32,
+    /// Global-memory size handed to [`DetectorConfig::paper_default`] for
+    /// each per-stream detector.
+    pub detector_mem_bytes: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            queue_capacity: 32,
+            read_slice: Duration::from_millis(50),
+            progress_deadline: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(2),
+            max_connections: 64,
+            max_frame: wire::DEFAULT_MAX_FRAME,
+            detector_mem_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Monotonic counters describing everything the server has done — the
+/// adversarial suite asserts on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Connections accepted into service.
+    pub accepted: u64,
+    /// Connections shed with `Busy` at the overload watermark.
+    pub shed_busy: u64,
+    /// Connections reaped by the progress deadline.
+    pub reaped_deadline: u64,
+    /// Connections quarantined for protocol violations or bad events.
+    pub quarantined: u64,
+    /// Connections that disconnected mid-stream (EOF before `Finish`).
+    pub disconnected: u64,
+    /// Streams completed normally (full `Done` sent).
+    pub completed: u64,
+    /// Streams flushed with a partial `Done` during drain.
+    pub drained_partial: u64,
+}
+
+#[derive(Debug, Default)]
+struct ServerStats {
+    accepted: AtomicU64,
+    shed_busy: AtomicU64,
+    reaped_deadline: AtomicU64,
+    quarantined: AtomicU64,
+    disconnected: AtomicU64,
+    completed: AtomicU64,
+    drained_partial: AtomicU64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed_busy: self.shed_busy.load(Ordering::Relaxed),
+            reaped_deadline: self.reaped_deadline.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            disconnected: self.disconnected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            drained_partial: self.drained_partial.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Work handed from a connection reader to its detector shard.
+enum WorkItem {
+    /// A decoded batch of events.
+    Events(Vec<TraceEvent>),
+    /// Client finished cleanly; emit the full report.
+    Finish,
+    /// Server is draining; emit a partial report for whatever arrived.
+    Drain,
+}
+
+/// State shared between a connection's reader thread and its shard
+/// worker. The connection counts against the overload watermark until
+/// *both* sides are done with it (the [`Drop`] impl decrements).
+struct ConnShared {
+    queue: BoundedQueue<WorkItem>,
+    /// Set by whichever side kills the connection; the other side backs
+    /// off instead of writing to a quarantined stream.
+    dead: AtomicBool,
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnShared {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Registration message to a shard worker.
+struct NewConn {
+    shared: Arc<ConnShared>,
+    /// The worker's write half of the socket.
+    stream: TcpStream,
+}
+
+fn apply_event(det: &mut ScordDetector, ev: &TraceEvent) -> Result<(), DetectorError> {
+    match *ev {
+        TraceEvent::Access(ref a) => det.on_access(a).map(|_| ()),
+        TraceEvent::Fence {
+            sm,
+            warp_slot,
+            scope,
+        } => det.on_fence(sm, warp_slot, scope),
+        TraceEvent::Barrier { sm, block_slot } => det.on_barrier(sm, block_slot),
+        TraceEvent::WarpAssigned { sm, warp_slot } => det.on_warp_assigned(sm, warp_slot),
+        TraceEvent::KernelBoundary => {
+            det.on_kernel_boundary();
+            Ok(())
+        }
+    }
+}
+
+/// Best-effort framed write; returns `false` on any error (the caller
+/// drops the connection — a response write must never wedge a thread
+/// beyond the socket's write timeout).
+fn write_frame(stream: &mut TcpStream, ftype: FrameType, payload: &[u8]) -> bool {
+    let mut bytes = Vec::with_capacity(payload.len() + wire::FRAME_OVERHEAD);
+    wire::encode_frame(ftype, payload, &mut bytes);
+    stream
+        .write_all(&bytes)
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn write_error(stream: &mut TcpStream, code: ErrorCode, message: &str) -> bool {
+    write_frame(
+        stream,
+        FrameType::Error,
+        &proto::encode_error(code, message),
+    )
+}
+
+/// Closes a connection without losing the response we just wrote.
+///
+/// Closing a socket with unread received bytes makes the kernel send RST,
+/// which discards the peer's receive buffer — including the typed `Error`
+/// or `Busy` frame the whole quarantine contract hinges on. So: half-close
+/// the write side (FIN after our frame), then briefly drain whatever the
+/// client had in flight so the final close is clean. Bounded at half a
+/// second; a client that keeps flooding past that gets the RST it earned.
+fn drain_then_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 8 * 1024];
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < deadline {
+        match stream.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// A running race-detection server. Dropping it performs a graceful
+/// drain, so tests cannot leak threads.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    inboxes: Vec<Arc<BoundedQueue<NewConn>>>,
+}
+
+impl Server {
+    /// Binds and starts the acceptor and shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from binding the listener.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let shards = cfg.shards.max(1);
+        let inboxes: Vec<Arc<BoundedQueue<NewConn>>> = (0..shards)
+            .map(|_| Arc::new(BoundedQueue::new(cfg.max_connections.max(1))))
+            .collect();
+
+        let workers = inboxes
+            .iter()
+            .map(|inbox| {
+                let inbox = Arc::clone(inbox);
+                let stats = Arc::clone(&stats);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || shard_loop(&inbox, &stats, &cfg))
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let readers = Arc::clone(&readers);
+            let inboxes = inboxes.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                accept_loop(&listener, &shutdown, &stats, &readers, &inboxes, &cfg);
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            stats,
+            acceptor: Some(acceptor),
+            workers,
+            readers,
+            inboxes,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `addr` used 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The drain flag; store `true` (e.g. from a signal watcher) to start
+    /// a graceful shutdown without holding the server.
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Graceful drain: stop accepting, stop reading, flush a partial
+    /// `Done` for every in-flight stream, join every thread. Returns the
+    /// final counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked (the adversarial suite's
+    /// "zero panics" assertion rides on this propagating).
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.drain();
+        self.stats.snapshot()
+    }
+
+    fn drain(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            h.join().expect("acceptor thread panicked");
+        }
+        // Readers observe the flag within one read slice, push `Drain`,
+        // and exit. New handles cannot appear: the acceptor is gone.
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.readers.lock().expect("reader registry poisoned"));
+        for h in handles {
+            h.join().expect("reader thread panicked");
+        }
+        // With readers gone, closing the inboxes tells workers to finish
+        // their backlog (including the Drain markers) and exit.
+        for inbox in &self.inboxes {
+            inbox.close();
+        }
+        for h in self.workers.drain(..) {
+            h.join().expect("shard worker panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.drain();
+        }
+    }
+}
+
+#[allow(clippy::needless_pass_by_value)] // threads want owned Arcs
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<ServerStats>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    inboxes: &[Arc<BoundedQueue<NewConn>>],
+    cfg: &ServeConfig,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut next_id: u64 = 0;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                if active.load(Ordering::SeqCst) >= cfg.max_connections {
+                    stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                    if write_frame(&mut stream, FrameType::Busy, &[]) {
+                        drain_then_close(&mut stream);
+                    }
+                    continue; // drop: shed
+                }
+                let id = next_id;
+                next_id += 1;
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                if stream.set_read_timeout(Some(cfg.read_slice)).is_err()
+                    || write_half
+                        .set_write_timeout(Some(cfg.write_timeout))
+                        .is_err()
+                {
+                    continue;
+                }
+                // Counted active from here; ConnShared::drop decrements.
+                active.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::new(ConnShared {
+                    queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
+                    dead: AtomicBool::new(false),
+                    active: Arc::clone(&active),
+                });
+                let inbox = &inboxes[(id % inboxes.len() as u64) as usize];
+                if inbox
+                    .push(NewConn {
+                        shared: Arc::clone(&shared),
+                        stream: write_half,
+                    })
+                    .is_err()
+                {
+                    continue; // shard already shut down; drop the socket
+                }
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let handle = {
+                    let shutdown = Arc::clone(shutdown);
+                    let stats = Arc::clone(stats);
+                    let cfg = cfg.clone();
+                    std::thread::spawn(move || {
+                        reader_loop(stream, &shared, &shutdown, &stats, &cfg);
+                    })
+                };
+                readers
+                    .lock()
+                    .expect("reader registry poisoned")
+                    .push(handle);
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Classifies a wire error into the protocol error code sent back.
+fn quarantine_code(err: &wire::WireError) -> ErrorCode {
+    match err {
+        wire::WireError::BadEvent { .. } => ErrorCode::BadEvent,
+        wire::WireError::Truncated { .. } => ErrorCode::Truncated,
+        _ => ErrorCode::Malformed,
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: &Arc<ConnShared>,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+) {
+    let mut asm = FrameAssembler::new().with_max_frame(cfg.max_frame);
+    let mut last_progress = Instant::now();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        if shared.dead.load(Ordering::SeqCst) {
+            return; // the worker already killed this connection
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            // Drain: stop reading; ask the worker to flush a partial
+            // report. If the queue is full this blocks until the worker
+            // catches up, which is exactly the drain semantics we want.
+            let _ = shared.queue.push(WorkItem::Drain);
+            return;
+        }
+        if last_progress.elapsed() > cfg.progress_deadline {
+            shared.dead.store(true, Ordering::SeqCst);
+            stats.reaped_deadline.fetch_add(1, Ordering::Relaxed);
+            if write_error(
+                &mut stream,
+                ErrorCode::DeadlineExceeded,
+                &format!("no complete frame within {:?}", cfg.progress_deadline),
+            ) {
+                drain_then_close(&mut stream);
+            }
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // EOF. Clean only if it arrives exactly on a frame
+                // boundary after `Finish` (in which case we already
+                // returned); here it is a mid-stream disconnect.
+                shared.dead.store(true, Ordering::SeqCst);
+                stats.disconnected.fetch_add(1, Ordering::Relaxed);
+                let _ = write_error(
+                    &mut stream,
+                    ErrorCode::Truncated,
+                    "connection closed before Finish",
+                );
+                return;
+            }
+            Ok(n) => {
+                asm.push(&buf[..n]);
+                loop {
+                    match asm.next_frame() {
+                        Ok(Some(frame)) => {
+                            last_progress = Instant::now();
+                            match frame.ftype {
+                                FrameType::Events => match wire::decode_events(&frame.payload) {
+                                    Ok(events) => {
+                                        if shared.queue.push(WorkItem::Events(events)).is_err() {
+                                            return; // worker is gone
+                                        }
+                                    }
+                                    Err(err) => {
+                                        shared.dead.store(true, Ordering::SeqCst);
+                                        stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                                        if write_error(
+                                            &mut stream,
+                                            quarantine_code(&err),
+                                            &err.to_string(),
+                                        ) {
+                                            drain_then_close(&mut stream);
+                                        }
+                                        return;
+                                    }
+                                },
+                                FrameType::Finish => {
+                                    let _ = shared.queue.push(WorkItem::Finish);
+                                    return;
+                                }
+                                other => {
+                                    shared.dead.store(true, Ordering::SeqCst);
+                                    stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                                    if write_error(
+                                        &mut stream,
+                                        ErrorCode::Malformed,
+                                        &format!("client sent server-side frame {other:?}"),
+                                    ) {
+                                        drain_then_close(&mut stream);
+                                    }
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(err) => {
+                            shared.dead.store(true, Ordering::SeqCst);
+                            stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                            if write_error(&mut stream, quarantine_code(&err), &err.to_string()) {
+                                drain_then_close(&mut stream);
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle slice: loop around to re-check deadline/shutdown.
+            }
+            Err(_) => {
+                shared.dead.store(true, Ordering::SeqCst);
+                stats.disconnected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// Per-connection state owned by a shard worker.
+struct ConnState {
+    shared: Arc<ConnShared>,
+    stream: TcpStream,
+    detector: ScordDetector,
+    reported_unique: usize,
+}
+
+impl ConnState {
+    fn current_done(&self, partial: bool) -> Done {
+        let log = self.detector.races();
+        Done {
+            partial,
+            total: log.total_count(),
+            races: log.unique_races().collect(),
+        }
+    }
+}
+
+/// What the worker decided about one connection after a queue poll.
+enum ConnFate {
+    Keep { worked: bool },
+    Remove,
+}
+
+fn shard_loop(inbox: &BoundedQueue<NewConn>, stats: &ServerStats, cfg: &ServeConfig) {
+    let mut conns: Vec<ConnState> = Vec::new();
+    let mut inbox_closed = false;
+    loop {
+        // Admit new connections without blocking the detection loop.
+        loop {
+            match inbox.pop_timeout(Duration::ZERO) {
+                Pop::Item(nc) => conns.push(ConnState {
+                    shared: nc.shared,
+                    stream: nc.stream,
+                    detector: ScordDetector::new(DetectorConfig::paper_default(
+                        cfg.detector_mem_bytes,
+                    )),
+                    reported_unique: 0,
+                }),
+                Pop::TimedOut => break,
+                Pop::Closed => {
+                    inbox_closed = true;
+                    break;
+                }
+            }
+        }
+        if inbox_closed && conns.is_empty() {
+            return;
+        }
+        let mut worked = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match service_conn(&mut conns[i], stats) {
+                ConnFate::Keep { worked: w } => {
+                    worked |= w;
+                    i += 1;
+                }
+                ConnFate::Remove => {
+                    let conn = conns.swap_remove(i);
+                    // Unblock a reader stuck in push(), then drop state.
+                    conn.shared.queue.close();
+                }
+            }
+        }
+        if !worked {
+            // Idle: nap briefly. Readers wake us implicitly by filling
+            // queues; the nap just bounds the polling rate.
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+/// Polls one connection's queue and applies at most one work item.
+fn service_conn(conn: &mut ConnState, stats: &ServerStats) -> ConnFate {
+    if conn.shared.dead.load(Ordering::SeqCst) {
+        return ConnFate::Remove;
+    }
+    match conn.shared.queue.pop_timeout(Duration::ZERO) {
+        Pop::Item(WorkItem::Events(events)) => {
+            for ev in &events {
+                if let Err(err) = apply_event(&mut conn.detector, ev) {
+                    conn.shared.dead.store(true, Ordering::SeqCst);
+                    stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_error(
+                        &mut conn.stream,
+                        ErrorCode::BadEvent,
+                        &format!("detector rejected event: {err}"),
+                    );
+                    return ConnFate::Remove;
+                }
+            }
+            // Incremental report whenever the unique count moves.
+            let log = conn.detector.races();
+            let unique = log.unique_count();
+            if unique > conn.reported_unique {
+                let report = Report {
+                    unique: unique as u32,
+                    total: log.total_count(),
+                };
+                conn.reported_unique = unique;
+                if !conn.shared.dead.load(Ordering::SeqCst)
+                    && !write_frame(
+                        &mut conn.stream,
+                        FrameType::Report,
+                        &proto::encode_report(&report),
+                    )
+                {
+                    conn.shared.dead.store(true, Ordering::SeqCst);
+                    stats.disconnected.fetch_add(1, Ordering::Relaxed);
+                    return ConnFate::Remove;
+                }
+            }
+            ConnFate::Keep { worked: true }
+        }
+        Pop::Item(WorkItem::Finish) => {
+            let done = conn.current_done(false);
+            if conn.shared.dead.load(Ordering::SeqCst)
+                || write_frame(
+                    &mut conn.stream,
+                    FrameType::Done,
+                    &proto::encode_done(&done),
+                )
+            {
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                stats.disconnected.fetch_add(1, Ordering::Relaxed);
+            }
+            conn.shared.dead.store(true, Ordering::SeqCst);
+            ConnFate::Remove
+        }
+        Pop::Item(WorkItem::Drain) => {
+            let done = conn.current_done(true);
+            if !conn.shared.dead.load(Ordering::SeqCst) {
+                let _ = write_frame(
+                    &mut conn.stream,
+                    FrameType::Done,
+                    &proto::encode_done(&done),
+                );
+            }
+            stats.drained_partial.fetch_add(1, Ordering::Relaxed);
+            conn.shared.dead.store(true, Ordering::SeqCst);
+            ConnFate::Remove
+        }
+        Pop::TimedOut => ConnFate::Keep { worked: false },
+        Pop::Closed => ConnFate::Remove,
+    }
+}

@@ -1,0 +1,78 @@
+//! Minimal SIGTERM/SIGINT watcher, dependency-free.
+//!
+//! The server's graceful drain is driven by an `AtomicBool`
+//! ([`crate::Server::shutdown_flag`]); this module flips a process-wide
+//! flag from a signal handler so the `serve` subcommand can translate
+//! SIGTERM/SIGINT into a drain. The handler body is a single atomic
+//! store — async-signal-safe by construction.
+//!
+//! On non-Unix targets [`install`] is a no-op and the flag only ever
+//! changes through [`request_shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, SHUTDOWN_REQUESTED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that only performs an atomic
+        // store; both registrations are infallible for these signums on
+        // Linux (the return value is the previous handler).
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a shutdown (Unix) or
+/// does nothing (elsewhere). Idempotent.
+pub fn install() {
+    imp::install();
+}
+
+/// `true` once a shutdown has been requested by signal or by
+/// [`request_shutdown`].
+#[must_use]
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of receiving SIGTERM (used by tests and by
+/// in-process embedders).
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_the_flag() {
+        install();
+        // Other tests in the process may already have set the flag, so only
+        // the post-request state is asserted.
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -1,0 +1,450 @@
+//! Adversarial integration suite for the race-detection service.
+//!
+//! Every scenario from the robustness envelope, against a real server on
+//! a real socket: fuzzed-malformed frames, a slowloris client, mid-stream
+//! disconnects, overload, flood-under-backpressure, and graceful drain —
+//! asserting typed errors, load shedding, deadline reaping, unaffected
+//! healthy clients, and report equivalence with in-process replay. A
+//! panic in any server thread fails the test through
+//! `Server::shutdown`'s joins.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use scord_core::wire::{self, FrameType};
+use scord_core::{
+    Detector, DetectorConfig, FaultInjector, FaultKind, FaultPlan, FuzzConfig, RaceKind,
+    ScordDetector, Trace,
+};
+use scord_serve::{detect_remote, Client, ErrorCode, Outcome, ServeConfig, Server};
+
+const DETECTOR_MEM: u64 = 1 << 20;
+
+fn quick_cfg() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        queue_capacity: 4,
+        read_slice: Duration::from_millis(20),
+        progress_deadline: Duration::from_millis(700),
+        write_timeout: Duration::from_secs(2),
+        max_connections: 32,
+        detector_mem_bytes: DETECTOR_MEM,
+        ..ServeConfig::default()
+    }
+}
+
+fn fuzzed(seed: u64, events: u32) -> Trace {
+    FuzzConfig {
+        events,
+        ..FuzzConfig::default()
+    }
+    .generate(seed)
+}
+
+/// The reference result: in-process replay on an identical detector.
+fn replay_races(trace: &Trace) -> Vec<(u32, RaceKind)> {
+    let mut det = ScordDetector::new(DetectorConfig::paper_default(DETECTOR_MEM));
+    trace
+        .replay(&mut det)
+        .expect("fuzzed traces replay cleanly");
+    sorted(det.races().unique_races().collect())
+}
+
+fn sorted(mut races: Vec<(u32, RaceKind)>) -> Vec<(u32, RaceKind)> {
+    races.sort_by_key(|&(pc, kind)| (pc, kind as u8));
+    races
+}
+
+fn wait_for<F: Fn() -> bool>(what: &str, timeout: Duration, cond: F) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn server_reports_match_in_process_replay() {
+    let server = Server::start(quick_cfg()).expect("bind");
+    let addr = server.local_addr();
+    for seed in 0..8u64 {
+        let trace = fuzzed(seed, 600);
+        let outcome = detect_remote(addr, &trace, 64).expect("healthy stream");
+        let Outcome::Done(done) = outcome else {
+            panic!("expected Done, got {outcome:?}");
+        };
+        assert!(!done.partial);
+        assert_eq!(
+            sorted(done.races),
+            replay_races(&trace),
+            "server-side detection must equal in-process replay for seed {seed}"
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.quarantined, 0);
+}
+
+#[test]
+fn clean_traces_report_nothing_and_racey_ones_report_incrementally() {
+    let server = Server::start(quick_cfg()).expect("bind");
+    let addr = server.local_addr();
+    let clean = FuzzConfig {
+        events: 500,
+        race_pct: 0,
+        ..FuzzConfig::default()
+    }
+    .generate(77);
+    let Outcome::Done(done) = detect_remote(addr, &clean, 64).expect("clean stream") else {
+        panic!("expected Done");
+    };
+    assert!(
+        done.races.is_empty(),
+        "race_pct=0 traces are provably clean"
+    );
+
+    // A racey stream must yield at least one incremental Report frame
+    // before its Done (the "incremental race reports" contract).
+    let racey = fuzzed(3, 800);
+    assert!(
+        !replay_races(&racey).is_empty(),
+        "seed 3 must contain races for this scenario"
+    );
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Duration::from_secs(30))
+        .expect("timeout");
+    client.send_trace(&racey, 32).expect("send");
+    let outcome = client.finish().expect("racey stream");
+    let Outcome::Done(done) = outcome else {
+        panic!("expected Done");
+    };
+    assert_eq!(sorted(done.races), replay_races(&racey));
+    assert!(
+        !client.reports().is_empty(),
+        "incremental reports must precede Done on a racey stream"
+    );
+    let _ = server.shutdown();
+}
+
+#[test]
+fn malformed_streams_get_typed_errors_and_healthy_clients_keep_working() {
+    let server = Server::start(quick_cfg()).expect("bind");
+    let addr = server.local_addr();
+
+    // 1. Garbage magic.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(b"GOODBYE!").expect("write");
+    let outcome = read_outcome_of(raw).expect("typed response");
+    assert_server_error(&outcome, ErrorCode::Malformed);
+
+    // 2. Version skew.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    let mut header = Vec::new();
+    header.extend_from_slice(&wire::MAGIC);
+    header.extend_from_slice(&9u16.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes());
+    raw.write_all(&header).expect("write");
+    let outcome = read_outcome_of(raw).expect("typed response");
+    assert_server_error(&outcome, ErrorCode::Malformed);
+
+    // 3. CRC corruption on an otherwise valid stream.
+    let trace = fuzzed(11, 300);
+    let mut chunks = wire::trace_to_frames(&trace, 50);
+    let target = chunks.len() / 2;
+    let mid = chunks[target].len() / 2;
+    chunks[target][mid] ^= 0x40;
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Duration::from_secs(10))
+        .expect("timeout");
+    for chunk in &chunks[1..] {
+        // skip the header; Client::connect sent one
+        if client.send_bytes(chunk).is_err() {
+            break; // server may quarantine before we finish writing
+        }
+    }
+    match client.read_outcome().expect("typed outcome") {
+        Outcome::ServerError(info) => {
+            assert!(
+                matches!(info.code, Some(ErrorCode::Malformed | ErrorCode::BadEvent)),
+                "CRC/encoding corruption must be typed, got {info:?}"
+            );
+        }
+        other => panic!("corrupted stream must be quarantined, got {other:?}"),
+    }
+
+    // 4. Valid framing, impossible event (reserved bits set).
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Duration::from_secs(10))
+        .expect("timeout");
+    let bad_word = (6u64 | (1 << 60)).to_le_bytes(); // KernelBoundary + junk
+    let mut frame = Vec::new();
+    wire::encode_frame(FrameType::Events, &bad_word, &mut frame);
+    client.send_bytes(&frame).expect("send");
+    let outcome = client.read_outcome().expect("typed outcome");
+    match &outcome {
+        Outcome::ServerError(info) => assert_eq!(info.code, Some(ErrorCode::BadEvent), "{info:?}"),
+        other => panic!("expected bad-event error, got {other:?}"),
+    }
+
+    // Throughout all of that, a healthy client is unaffected.
+    let healthy = fuzzed(1, 400);
+    let Outcome::Done(done) = detect_remote(addr, &healthy, 64).expect("healthy") else {
+        panic!("expected Done");
+    };
+    assert_eq!(sorted(done.races), replay_races(&healthy));
+
+    let stats = server.shutdown();
+    assert!(stats.quarantined >= 4, "stats: {stats:?}");
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn fuzzed_transport_faults_never_panic_and_always_resolve_typed() {
+    let server = Server::start(quick_cfg()).expect("bind");
+    let addr = server.local_addr();
+    for (i, kind) in [
+        FaultKind::FrameTruncate,
+        FaultKind::FrameBitFlip,
+        FaultKind::FrameDuplicate,
+        FaultKind::FrameReorder,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for seed in 0..4u64 {
+            let trace = fuzzed(100 + seed, 300);
+            let chunks = wire::trace_to_frames(&trace, 32);
+            let plan = FaultPlan::single(kind, 250_000, seed * 31 + i as u64);
+            let mut corruptor = wire::FrameCorruptor::new(FaultInjector::new(plan));
+            // Corrupt only the frames; header corruption is covered by
+            // the malformed-stream scenarios.
+            let sent = corruptor.corrupt(&chunks[1..]);
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .set_read_timeout(Duration::from_secs(10))
+                .expect("timeout");
+            let mut write_failed = false;
+            for chunk in &sent {
+                if client.send_bytes(chunk).is_err() {
+                    write_failed = true;
+                    break;
+                }
+            }
+            if write_failed {
+                continue; // quarantined mid-write: already a typed close
+            }
+            let mut fin = Vec::new();
+            wire::encode_frame(FrameType::Finish, &[], &mut fin);
+            let _ = client.send_bytes(&fin);
+            match client.read_outcome() {
+                Ok(Outcome::Done(_) | Outcome::ServerError(_)) => {}
+                Ok(Outcome::Busy) => panic!("no overload in this scenario"),
+                // Socket errors mean the server closed on us mid-write —
+                // a legal quarantine outcome for a corrupted stream.
+                Err(_) => {}
+            }
+        }
+    }
+    // Server is still alive and exact for a healthy client.
+    let healthy = fuzzed(2, 400);
+    let Outcome::Done(done) = detect_remote(addr, &healthy, 64).expect("healthy") else {
+        panic!("expected Done");
+    };
+    assert_eq!(sorted(done.races), replay_races(&healthy));
+    let _ = server.shutdown(); // joins assert zero panics
+}
+
+#[test]
+fn slowloris_is_reaped_with_deadline_error() {
+    let mut cfg = quick_cfg();
+    cfg.progress_deadline = Duration::from_millis(300);
+    let server = Server::start(cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Duration::from_secs(10))
+        .expect("timeout");
+    // A few bytes of a frame, then silence: never a complete frame.
+    let mut frame = Vec::new();
+    wire::encode_frame(
+        FrameType::Events,
+        &wire::encode_events(fuzzed(0, 50).events()),
+        &mut frame,
+    );
+    client.send_bytes(&frame[..6]).expect("partial frame");
+    match client.read_outcome().expect("reap must be typed") {
+        Outcome::ServerError(info) => {
+            assert_eq!(info.code, Some(ErrorCode::DeadlineExceeded), "{info:?}");
+        }
+        other => panic!("slowloris must be reaped with a typed error, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert!(stats.reaped_deadline >= 1, "stats: {stats:?}");
+}
+
+#[test]
+fn mid_stream_disconnect_is_counted_and_harmless() {
+    let server = Server::start(quick_cfg()).expect("bind");
+    let addr = server.local_addr();
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .send_events(fuzzed(5, 200).events())
+            .expect("partial stream");
+        // Drop without Finish: mid-stream disconnect.
+    }
+    wait_for("disconnect to be noticed", Duration::from_secs(5), || {
+        server.stats().disconnected >= 1
+    });
+    // The process keeps serving.
+    let healthy = fuzzed(6, 300);
+    let Outcome::Done(done) = detect_remote(addr, &healthy, 64).expect("healthy") else {
+        panic!("expected Done");
+    };
+    assert_eq!(sorted(done.races), replay_races(&healthy));
+    let _ = server.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_busy_and_recovers() {
+    let mut cfg = quick_cfg();
+    cfg.max_connections = 2;
+    cfg.progress_deadline = Duration::from_secs(30); // idle holders stay live
+    let server = Server::start(cfg).expect("bind");
+    let addr = server.local_addr();
+    // Two idle holders pin the watermark.
+    let hold_a = Client::connect(addr).expect("connect");
+    let hold_b = Client::connect(addr).expect("connect");
+    wait_for("holders accepted", Duration::from_secs(5), || {
+        server.stats().accepted >= 2
+    });
+    // Sustained overload: every further client gets a typed Busy.
+    for _ in 0..5 {
+        let mut probe = Client::connect(addr).expect("connect");
+        probe
+            .set_read_timeout(Duration::from_secs(5))
+            .expect("timeout");
+        match probe.read_outcome().expect("busy frame") {
+            Outcome::Busy => {}
+            other => panic!("expected Busy during overload, got {other:?}"),
+        }
+    }
+    assert!(server.stats().shed_busy >= 5);
+    // Release the watermark; the server recovers and serves again.
+    drop(hold_a);
+    drop(hold_b);
+    wait_for("holders released", Duration::from_secs(5), || {
+        server.stats().disconnected >= 2
+    });
+    let healthy = fuzzed(7, 300);
+    let Outcome::Done(done) = detect_remote(addr, &healthy, 64).expect("recovered") else {
+        panic!("expected Done");
+    };
+    assert_eq!(sorted(done.races), replay_races(&healthy));
+    let _ = server.shutdown();
+}
+
+#[test]
+fn flood_through_tiny_queues_is_correct_under_backpressure() {
+    let mut cfg = quick_cfg();
+    cfg.queue_capacity = 1; // worst-case backpressure
+    let server = Server::start(cfg).expect("bind");
+    let addr = server.local_addr();
+    let trace = fuzzed(9, 4_000);
+    // Tiny frames maximize queue churn: 4000 events = 500 pushes through
+    // a capacity-1 queue.
+    let Outcome::Done(done) = detect_remote(addr, &trace, 8).expect("flood") else {
+        panic!("expected Done");
+    };
+    assert_eq!(
+        sorted(done.races),
+        replay_races(&trace),
+        "backpressure must never drop or reorder events"
+    );
+    let _ = server.shutdown();
+}
+
+#[test]
+fn graceful_drain_flushes_partial_reports() {
+    let server = Server::start(quick_cfg()).expect("bind");
+    let addr = server.local_addr();
+    let trace = fuzzed(4, 1_000);
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Duration::from_secs(30))
+        .expect("timeout");
+    client.send_trace(&trace, 64).expect("send");
+    // No Finish: the stream is in flight when the drain starts. Wait for
+    // the server to have seen it, then shut down from another thread —
+    // storing the flag is exactly what a SIGTERM watcher does.
+    wait_for("stream accepted", Duration::from_secs(5), || {
+        server.stats().accepted >= 1
+    });
+    std::thread::sleep(Duration::from_millis(150)); // let events flow
+    let flag = server.shutdown_flag();
+    let shutter = std::thread::spawn(move || server.shutdown());
+    flag.store(true, Ordering::SeqCst);
+    let outcome = client
+        .read_outcome()
+        .expect("drain must answer in-flight streams");
+    let Outcome::Done(done) = outcome else {
+        panic!("expected partial Done on drain, got {outcome:?}");
+    };
+    assert!(done.partial, "drain reports must be marked partial");
+    // The partial result is a prefix-truth: every race it reports exists
+    // in the full in-process replay.
+    let full: std::collections::HashSet<_> = replay_races(&trace).into_iter().collect();
+    for race in &done.races {
+        assert!(
+            full.contains(race),
+            "drain reported a race replay never finds: {race:?}"
+        );
+    }
+    let stats = shutter.join().expect("shutdown thread");
+    assert!(stats.drained_partial >= 1, "stats: {stats:?}");
+}
+
+// ---- helpers -------------------------------------------------------------
+
+fn read_outcome_of(stream: TcpStream) -> Result<Outcome, String> {
+    use std::io::Read;
+    let mut stream = stream;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut asm = wire::FrameAssembler::headerless();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(frame) = asm.next_frame().map_err(|e| e.to_string())? {
+            return Ok(match frame.ftype {
+                FrameType::Busy => Outcome::Busy,
+                FrameType::Error => Outcome::ServerError(
+                    scord_serve::proto::decode_error(&frame.payload).map_err(|e| e.to_string())?,
+                ),
+                FrameType::Done => Outcome::Done(
+                    scord_serve::proto::decode_done(&frame.payload).map_err(|e| e.to_string())?,
+                ),
+                other => return Err(format!("unexpected frame {other:?}")),
+            });
+        }
+        let n = stream.read(&mut buf).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("closed without a final frame".to_string());
+        }
+        asm.push(&buf[..n]);
+    }
+}
+
+fn assert_server_error(outcome: &Outcome, want: ErrorCode) {
+    match outcome {
+        Outcome::ServerError(info) => {
+            assert_eq!(info.code, Some(want), "got {info:?}");
+        }
+        other => panic!("expected typed {want} error, got {other:?}"),
+    }
+}
