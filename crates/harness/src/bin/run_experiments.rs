@@ -3,7 +3,8 @@
 //! ```text
 //! run-experiments [--quick] [--seed N] [--cases K] [--jobs N]
 //!                 [--iters N] [--label S] [--no-cycle-skip]
-//!                 [--sm-threads N] [--addr HOST:PORT] [--deadline-ms N]
+//!                 [--sm-threads N] [--mem-threads N]
+//!                 [--addr HOST:PORT] [--deadline-ms N]
 //!                 [--streams N] [--concurrency N] [--events N] [--probes]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
 //!                  fig11|table8|ablations|faults|diff|perf|serve|loadgen|all]
@@ -41,6 +42,13 @@
 //! shards *across* simulations; `--sm-threads` parallelizes *inside* one —
 //! the latter is what shortens a sweep whose critical path is a single
 //! large workload.
+//!
+//! `--mem-threads N` does the same for the memory side of Phase B: the L2
+//! partitions and their DRAM channels tick as independent shards on N
+//! threads (default 1 = serial), with buffered effects merged in fixed
+//! partition order — byte-identical for any N, also asserted by the
+//! determinism tests. Combine with `--sm-threads` to parallelize both
+//! phases on one worker pool.
 //!
 //! `serve` (only by name) runs the race-detection service on `--addr`
 //! (default `127.0.0.1:7444`) until SIGTERM/SIGINT, then drains gracefully
@@ -144,6 +152,17 @@ fn main() {
                     exit(2);
                 });
                 scord_sim::set_sm_threads(n);
+            }
+            "--mem-threads" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--mem-threads needs a value");
+                    exit(2);
+                });
+                let n: u32 = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--mem-threads needs a positive integer, got {v:?}");
+                    exit(2);
+                });
+                scord_sim::set_mem_threads(n);
             }
             "--iters" => {
                 let v = it.next().unwrap_or_else(|| {

@@ -17,13 +17,16 @@
 //! * the quick and full Table VI sweeps at `--jobs 1` — the end-to-end
 //!   number the ROADMAP's "as fast as the hardware allows" goal is graded
 //!   on,
-//! * an intra-sim parallelism A/B: GCON scaled 4× at `sm_threads` 1 vs 4
-//!   (detection off and on), the workload class the parallel SM stage
-//!   exists for.
+//! * an intra-sim parallelism A/B: GCON scaled 4× at `(sm_threads,
+//!   mem_threads)` (1,1), (4,1) and (4,4) (detection off and on) — the
+//!   workload class the parallel SM stage and the sharded memory-side
+//!   drain exist for.
 //!
 //! Simulator entries run with per-phase timing enabled, so every record
-//! carries the Phase A (parallel SM front end) vs Phase B (serial memory
-//! system + detector) wall-time split alongside the total.
+//! carries the Phase A (parallel SM front end) vs Phase B (memory system +
+//! detector) wall-time split alongside the total; the GCONx4 A/B entries
+//! additionally record the per-shard (per L2 partition / DRAM channel)
+//! Phase B split.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -70,9 +73,14 @@ pub struct Measurement {
     /// Wall nanoseconds the last iteration spent in Phase A (the per-SM
     /// front end; 0 for entries that aggregate many simulations).
     pub phase_a_ns: u64,
-    /// Wall nanoseconds the last iteration spent in Phase B (serial memory
+    /// Wall nanoseconds the last iteration spent in Phase B (memory
     /// system + detector drain; 0 for aggregate entries).
     pub phase_b_ns: u64,
+    /// Per-shard (per L2 partition / DRAM channel) wall nanoseconds of the
+    /// last iteration's sharded memory tick — a subset of `phase_b_ns`.
+    /// Recorded only for the GCONx4 A/B entries; empty elsewhere so the
+    /// record stays compact.
+    pub phase_b_shard_ns: Vec<u64>,
 }
 
 impl Measurement {
@@ -110,37 +118,58 @@ fn median(mut samples: Vec<Duration>) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// One iteration's simulation-side numbers, captured alongside the wall
+/// time [`time_entry`] measures.
+#[derive(Debug, Clone, Default)]
+struct Sample {
+    cycles: u64,
+    phase_a_ns: u64,
+    phase_b_ns: u64,
+    /// Per-shard Phase B wall time; empty for aggregate entries.
+    shard_b_ns: Vec<u64>,
+}
+
+impl Sample {
+    /// A sweep/replay entry's sample: `n` results, no phase split.
+    fn aggregate(n: u64) -> Self {
+        Sample {
+            cycles: n,
+            ..Sample::default()
+        }
+    }
+}
+
 /// Times `body` `iters` times, returning the median wall time and the last
-/// iteration's `(cycles, phase_a_ns, phase_b_ns)` triple.
-fn time_entry(
-    iters: usize,
-    mut body: impl FnMut() -> (u64, u64, u64),
-) -> (Duration, u64, u64, u64) {
+/// iteration's [`Sample`].
+fn time_entry(iters: usize, mut body: impl FnMut() -> Sample) -> (Duration, Sample) {
     let mut samples = Vec::with_capacity(iters);
-    let mut last = (0, 0, 0);
+    let mut last = Sample::default();
     for _ in 0..iters {
         let t0 = Instant::now();
         last = body();
         samples.push(t0.elapsed());
     }
-    (median(samples), last.0, last.1, last.2)
+    (median(samples), last)
 }
 
-/// Builds a GPU for one basket simulation: phase timing on, `sm_threads`
-/// as given (0 keeps the config default of 1).
-fn basket_gpu(mode: DetectionMode, sm_threads: u32) -> scord_sim::Gpu {
+/// Builds a GPU for one basket simulation: phase timing on, `sm_threads` /
+/// `mem_threads` as given (0 keeps the config default of 1).
+fn basket_gpu(mode: DetectionMode, sm_threads: u32, mem_threads: u32) -> scord_sim::Gpu {
     let mut cfg = MemoryVariant::Default.config().with_detection(mode);
     if sm_threads > 0 {
         cfg.sm_threads = sm_threads;
+    }
+    if mem_threads > 0 {
+        cfg.mem_threads = mem_threads;
     }
     let mut gpu = scord_sim::Gpu::new(cfg);
     gpu.set_phase_timing(true);
     gpu
 }
 
-/// Runs `app` on `gpu` and folds the result into the `(cycles, phase_a,
-/// phase_b)` shape [`time_entry`] consumes.
-fn timed_app(app: &dyn scor_suite::Benchmark, gpu: &mut scord_sim::Gpu) -> (u64, u64, u64) {
+/// Runs `app` on `gpu` and folds the result into the [`Sample`] shape
+/// [`time_entry`] consumes.
+fn timed_app(app: &dyn scor_suite::Benchmark, gpu: &mut scord_sim::Gpu) -> Sample {
     let run = app
         .run(gpu)
         .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
@@ -150,7 +179,12 @@ fn timed_app(app: &dyn scor_suite::Benchmark, gpu: &mut scord_sim::Gpu) -> (u64,
         app.name()
     );
     let (pa, pb) = gpu.phase_nanos();
-    (run.stats.cycles, pa, pb)
+    Sample {
+        cycles: run.stats.cycles,
+        phase_a_ns: pa,
+        phase_b_ns: pb,
+        shard_b_ns: gpu.shard_phase_b_nanos().to_vec(),
+    }
 }
 
 /// Runs the fixed basket with `iters` iterations per entry (median
@@ -176,14 +210,16 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         .filter(|a| matches!(a.name(), "MM" | "RED" | "GCON"))
     {
         for (mode_name, mode) in modes {
-            let (wall, cycles, phase_a_ns, phase_b_ns) =
-                time_entry(iters, || timed_app(app.as_ref(), &mut basket_gpu(mode, 0)));
+            let (wall, s) = time_entry(iters, || {
+                timed_app(app.as_ref(), &mut basket_gpu(mode, 0, 0))
+            });
             workloads.push(Measurement {
                 name: format!("{}/{mode_name}", app.name()),
                 wall,
-                cycles,
-                phase_a_ns,
-                phase_b_ns,
+                cycles: s.cycles,
+                phase_a_ns: s.phase_a_ns,
+                phase_b_ns: s.phase_b_ns,
+                phase_b_shard_ns: Vec::new(),
             });
         }
     }
@@ -196,43 +232,53 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
             .find(|m| m.name == name)
             .unwrap_or_else(|| panic!("basket micro {name:?} missing from the suite"));
         for (mode_name, mode) in modes {
-            let (wall, cycles, phase_a_ns, phase_b_ns) = time_entry(iters, || {
-                let mut gpu = basket_gpu(mode, 0);
+            let (wall, s) = time_entry(iters, || {
+                let mut gpu = basket_gpu(mode, 0, 0);
                 let cycles = m
                     .run(&mut gpu)
                     .unwrap_or_else(|e| panic!("{}: {e}", m.name))
                     .cycles;
                 let (pa, pb) = gpu.phase_nanos();
-                (cycles, pa, pb)
+                Sample {
+                    cycles,
+                    phase_a_ns: pa,
+                    phase_b_ns: pb,
+                    shard_b_ns: Vec::new(),
+                }
             });
             workloads.push(Measurement {
                 name: format!("{name}/{mode_name}"),
                 wall,
-                cycles,
-                phase_a_ns,
-                phase_b_ns,
+                cycles: s.cycles,
+                phase_a_ns: s.phase_a_ns,
+                phase_b_ns: s.phase_b_ns,
+                phase_b_shard_ns: Vec::new(),
             });
         }
     }
 
-    // Intra-sim parallelism A/B: GCON scaled 4×, sm_threads 1 vs 4. The
-    // pair of entries per mode is the measured speedup of the parallel SM
-    // stage on a simulation big enough for Phase A to dominate.
+    // Intra-sim parallelism A/B: GCON scaled 4× at (sm_threads,
+    // mem_threads) (1,1), (4,1) and (4,4). The entries per mode measure
+    // the parallel SM stage alone and then both phases together, on a
+    // simulation big enough for the phases to dominate. These are the only
+    // entries that record the per-shard Phase B split.
     let big = scor_suite::apps::GraphConnectivity::scaled(4);
     for (mode_name, mode) in modes {
-        for smt in [1u32, 4] {
-            // Label with the *effective* thread count: the process-wide
-            // `--sm-threads` floor can raise a configured 1 (e.g. the CI
-            // smoke runs the whole basket at `--sm-threads 2`).
-            let eff = basket_gpu(mode, smt).sm_threads();
-            let (wall, cycles, phase_a_ns, phase_b_ns) =
-                time_entry(iters, || timed_app(&big, &mut basket_gpu(mode, smt)));
+        for (smt, memt) in [(1u32, 1u32), (4, 1), (4, 4)] {
+            // Label with the *effective* thread counts: the process-wide
+            // `--sm-threads` / `--mem-threads` floors can raise a
+            // configured 1 (e.g. the CI smoke runs the whole basket at 2).
+            let probe = basket_gpu(mode, smt, memt);
+            let (eff_s, eff_m) = (probe.sm_threads(), probe.mem_threads());
+            drop(probe);
+            let (wall, s) = time_entry(iters, || timed_app(&big, &mut basket_gpu(mode, smt, memt)));
             workloads.push(Measurement {
-                name: format!("GCONx4/{mode_name}/smt{eff}"),
+                name: format!("GCONx4/{mode_name}/smt{eff_s}/memt{eff_m}"),
                 wall,
-                cycles,
-                phase_a_ns,
-                phase_b_ns,
+                cycles: s.cycles,
+                phase_a_ns: s.phase_a_ns,
+                phase_b_ns: s.phase_b_ns,
+                phase_b_shard_ns: s.shard_b_ns,
             });
         }
     }
@@ -248,7 +294,7 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         trace
             .replay(&mut det)
             .unwrap_or_else(|e| panic!("fuzz basket trace must replay: {e}"));
-        (u64::from(det.races().unique_count() as u32), 0, 0)
+        Sample::aggregate(u64::from(det.races().unique_count() as u32))
     });
     workloads.push(Measurement {
         name: format!("fuzz_replay_{FUZZ_EVENTS}ev"),
@@ -256,6 +302,7 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         cycles: 0,
         phase_a_ns: 0,
         phase_b_ns: 0,
+        phase_b_shard_ns: Vec::new(),
     });
 
     // The Table VI sweeps, serial: the end-to-end regression tripwire.
@@ -263,7 +310,7 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         let n = crate::table6::run(true, Jobs::serial())
             .expect("table6 quick sweep")
             .len() as u64;
-        (n, 0, 0)
+        Sample::aggregate(n)
     });
     workloads.push(Measurement {
         name: "table6_quick_sweep".into(),
@@ -271,12 +318,13 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         cycles: 0,
         phase_a_ns: 0,
         phase_b_ns: 0,
+        phase_b_shard_ns: Vec::new(),
     });
     let (wall, ..) = time_entry(iters, || {
         let n = crate::table6::run(false, Jobs::serial())
             .expect("table6 full sweep")
             .len() as u64;
-        (n, 0, 0)
+        Sample::aggregate(n)
     });
     workloads.push(Measurement {
         name: "table6_full_sweep".into(),
@@ -284,6 +332,7 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         cycles: 0,
         phase_a_ns: 0,
         phase_b_ns: 0,
+        phase_b_shard_ns: Vec::new(),
     });
 
     PerfRun {
@@ -377,11 +426,17 @@ fn render_run(run: &PerfRun) -> String {
     );
     for (i, m) in run.workloads.iter().enumerate() {
         let comma = if i + 1 < run.workloads.len() { "," } else { "" };
+        let shards = if m.phase_b_shard_ns.is_empty() {
+            String::new()
+        } else {
+            let joined: Vec<String> = m.phase_b_shard_ns.iter().map(u64::to_string).collect();
+            format!(", \"phase_b_shard_ns\": [{}]", joined.join(", "))
+        };
         let _ = writeln!(
             out,
             "        {{\"name\": \"{}\", \"wall_ns\": {}, \"cycles\": {}, \
              \"cycles_per_sec\": {:.1}, \"phase_a_ns\": {}, \
-             \"phase_b_ns\": {}}}{comma}",
+             \"phase_b_ns\": {}{shards}}}{comma}",
             json_escape(&m.name),
             m.wall.as_nanos(),
             m.cycles,
@@ -448,12 +503,13 @@ pub(crate) fn existing_runs(text: &str) -> Option<Vec<String>> {
 /// Serializes `runs` into the `BENCH_sim.json` document format.
 ///
 /// Schema history: 1 = per-workload `wall_ns`/`cycles`/`cycles_per_sec`;
-/// 2 adds `phase_a_ns`/`phase_b_ns` to simulator entries. Runs recorded
-/// under schema 1 are preserved verbatim (the raw-text run extractor does
-/// not care about per-run fields), so a schema-2 document may contain
-/// schema-1 runs without the new keys.
+/// 2 adds `phase_a_ns`/`phase_b_ns` to simulator entries; 3 adds per-shard
+/// `phase_b_shard_ns` arrays to the sharded-memory (GCONx4) entries. Runs
+/// recorded under older schemas are preserved verbatim (the raw-text run
+/// extractor does not care about per-run fields), so a schema-3 document
+/// may contain runs without the newer keys.
 fn render_document(raw_runs: &[String]) -> String {
-    let mut out = String::from("{\n  \"schema\": 2,\n  \"runs\": [\n");
+    let mut out = String::from("{\n  \"schema\": 3,\n  \"runs\": [\n");
     for (i, r) in raw_runs.iter().enumerate() {
         // Re-indent preserved raw runs to the array's nesting level.
         let indented = if r.starts_with('{') && !r.starts_with("{\n") && !r.contains('\n') {
@@ -524,6 +580,15 @@ mod tests {
                     cycles: 500,
                     phase_a_ns: 300,
                     phase_b_ns: 600,
+                    phase_b_shard_ns: Vec::new(),
+                },
+                Measurement {
+                    name: "GCONx4/off/smt4/memt2".into(),
+                    wall: Duration::from_nanos(1500),
+                    cycles: 800,
+                    phase_a_ns: 400,
+                    phase_b_ns: 900,
+                    phase_b_shard_ns: vec![120, 0, 340],
                 },
                 Measurement {
                     name: "sweep".into(),
@@ -531,6 +596,7 @@ mod tests {
                     cycles: 0,
                     phase_a_ns: 0,
                     phase_b_ns: 0,
+                    phase_b_shard_ns: Vec::new(),
                 },
             ],
         }
@@ -542,8 +608,12 @@ mod tests {
         let runs = existing_runs(&doc).expect("document parses");
         assert_eq!(runs.len(), 1);
         assert!(runs[0].contains("\"label\": \"one\""));
-        assert!(runs[0].contains("\"total_wall_ns\": 3500"));
+        assert!(runs[0].contains("\"total_wall_ns\": 5000"));
         assert!(runs[0].contains("\"phase_a_ns\": 300"));
+        // The shard split is emitted only for the entry that has one; the
+        // nested array must survive the bracket-aware re-extraction.
+        assert!(runs[0].contains("\"phase_b_shard_ns\": [120, 0, 340]"));
+        assert_eq!(runs[0].matches("phase_b_shard_ns").count(), 1);
         // Appending preserves the first run verbatim.
         let mut raw = runs;
         raw.push(render_run(&fake_run("two")));
@@ -551,6 +621,7 @@ mod tests {
         let runs2 = existing_runs(&doc2).expect("still parses");
         assert_eq!(runs2.len(), 2);
         assert!(runs2[0].contains("one") && runs2[1].contains("two"));
+        assert!(runs2[1].contains("\"phase_b_shard_ns\": [120, 0, 340]"));
     }
 
     #[test]
@@ -563,7 +634,7 @@ mod tests {
         assert_eq!(raw.len(), 1);
         raw.push(render_run(&fake_run("new")));
         let doc = render_document(&raw);
-        assert!(doc.contains("\"schema\": 2"));
+        assert!(doc.contains("\"schema\": 3"));
         let runs = existing_runs(&doc).expect("upgraded document parses");
         assert_eq!(runs.len(), 2);
         assert!(runs[0].contains("legacy") && !runs[0].contains("phase_a_ns"));
@@ -636,6 +707,7 @@ mod tests {
             cycles: 0,
             phase_a_ns: 0,
             phase_b_ns: 0,
+            phase_b_shard_ns: Vec::new(),
         };
         assert_eq!(m.cycles_per_sec(), 0.0);
         let m2 = Measurement {

@@ -70,12 +70,17 @@ pub struct LoadReport {
     pub max_latency_ms: f64,
 }
 
+/// Ceiling-based nearest-rank percentile: the smallest sample such that at
+/// least `p` of the distribution is at or below it (`rank = ⌈p·N⌉`,
+/// 1-indexed). The previous `round(p·(N-1))` interpolation could pick the
+/// sample *below* the true rank — e.g. p99 of 67 samples returned the
+/// 66th, under-reporting tail latency by one whole sample.
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
-    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
-    sorted_ms[rank.min(sorted_ms.len() - 1)]
+    let rank = (p * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.saturating_sub(1).min(sorted_ms.len() - 1)]
 }
 
 /// Runs the load profile and gathers the report.
@@ -170,11 +175,43 @@ mod tests {
 
     #[test]
     fn percentile_picks_expected_ranks() {
+        // Nearest-rank is exact on round sizes: p50 of 1..=100 is the 50th
+        // sample, not the 51st the old round() formula produced.
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
         assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
         assert_eq!(percentile(&xs, 1.0), 100.0);
-        assert!((percentile(&xs, 0.5) - 50.0).abs() <= 1.0);
-        assert!((percentile(&xs, 0.99) - 99.0).abs() <= 1.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_tail_is_never_under_reported() {
+        // Regression for the round()-based rank: with 67 samples, p99 must
+        // be the maximum (⌈0.99·67⌉ = 67) — round(0.99·66) picked the 66th.
+        let xs: Vec<f64> = (1..=67).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.99), 67.0);
+        // p99 covers the max for every N below 100: fewer than 100 samples
+        // means the top sample alone is more than 1% of the distribution.
+        for n in 1..100usize {
+            let xs: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            assert_eq!(percentile(&xs, 0.99), n as f64, "N={n}");
+        }
+    }
+
+    #[test]
+    fn percentile_degenerate_sizes() {
+        // One sample answers every percentile.
+        assert_eq!(percentile(&[7.5], 0.5), 7.5);
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+        assert_eq!(percentile(&[7.5], 1.0), 7.5);
+        // Two samples: nearest-rank p50 is the lower one (⌈0.5·2⌉ = 1),
+        // p99 and max are the upper.
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.5), 1.0);
+        assert_eq!(percentile(&xs, 0.99), 2.0);
+        assert_eq!(percentile(&xs, 1.0), 2.0);
+        // p = 0 clamps to the first sample rather than underflowing.
+        assert_eq!(percentile(&xs, 0.0), 1.0);
     }
 }

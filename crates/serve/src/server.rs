@@ -359,6 +359,13 @@ impl Drop for Server {
     }
 }
 
+/// Shortest and longest idle-poll sleeps for the nonblocking acceptor.
+/// The backoff doubles from MIN to MAX while no connection arrives and
+/// resets to MIN on any accept, so a quiet listener costs a 5 ms poll but
+/// a newly busy one is re-polled within 500 µs.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_micros(500);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(5);
+
 #[allow(clippy::needless_pass_by_value)] // threads want owned Arcs
 fn accept_loop(
     listener: &TcpListener,
@@ -370,66 +377,99 @@ fn accept_loop(
 ) {
     let active = Arc::new(AtomicUsize::new(0));
     let mut next_id: u64 = 0;
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((mut stream, _peer)) => {
-                if active.load(Ordering::SeqCst) >= cfg.max_connections {
-                    stats.shed_busy.fetch_add(1, Ordering::Relaxed);
-                    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-                    if write_frame(&mut stream, FrameType::Busy, &[]) {
-                        drain_then_close(&mut stream);
-                    }
-                    continue; // drop: shed
-                }
-                let id = next_id;
-                next_id += 1;
-                let Ok(write_half) = stream.try_clone() else {
-                    continue;
-                };
-                if stream.set_read_timeout(Some(cfg.read_slice)).is_err()
-                    || write_half
-                        .set_write_timeout(Some(cfg.write_timeout))
-                        .is_err()
-                {
-                    continue;
-                }
-                // Counted active from here; ConnShared::drop decrements.
-                active.fetch_add(1, Ordering::SeqCst);
-                let shared = Arc::new(ConnShared {
-                    queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
-                    dead: AtomicBool::new(false),
-                    active: Arc::clone(&active),
-                });
-                let inbox = &inboxes[(id % inboxes.len() as u64) as usize];
-                if inbox
-                    .push(NewConn {
-                        shared: Arc::clone(&shared),
-                        stream: write_half,
-                    })
-                    .is_err()
-                {
-                    continue; // shard already shut down; drop the socket
-                }
-                stats.accepted.fetch_add(1, Ordering::Relaxed);
-                let handle = {
-                    let shutdown = Arc::clone(shutdown);
-                    let stats = Arc::clone(stats);
-                    let cfg = cfg.clone();
-                    std::thread::spawn(move || {
-                        reader_loop(stream, &shared, &shutdown, &stats, &cfg);
-                    })
-                };
-                readers
-                    .lock()
-                    .expect("reader registry poisoned")
-                    .push(handle);
+        // Drain the kernel's accept backlog before considering a sleep: a
+        // burst of N simultaneous connects must cost N `accept` calls, not
+        // N backoff periods. Only back off when an iteration admitted
+        // nothing.
+        let mut accepted_any = false;
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
             }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    accepted_any = true;
+                    let id = next_id;
+                    next_id += 1;
+                    admit(stream, id, &active, shutdown, stats, readers, inboxes, cfg);
+                }
+                // WouldBlock: backlog empty. Other errors (e.g. transient
+                // EMFILE) also yield to the backoff rather than spinning.
+                Err(_) => break,
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        if accepted_any {
+            backoff = ACCEPT_BACKOFF_MIN;
+        } else {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
         }
     }
+}
+
+/// Admits one accepted connection: shed if over the watermark, otherwise
+/// wire it to a detector shard and spawn its reader thread.
+#[allow(clippy::too_many_arguments)] // plumbing shared acceptor state
+fn admit(
+    mut stream: TcpStream,
+    id: u64,
+    active: &Arc<AtomicUsize>,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<ServerStats>,
+    readers: &Mutex<Vec<JoinHandle<()>>>,
+    inboxes: &[Arc<BoundedQueue<NewConn>>],
+    cfg: &ServeConfig,
+) {
+    if active.load(Ordering::SeqCst) >= cfg.max_connections {
+        stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+        if write_frame(&mut stream, FrameType::Busy, &[]) {
+            drain_then_close(&mut stream);
+        }
+        return; // drop: shed
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    if stream.set_read_timeout(Some(cfg.read_slice)).is_err()
+        || write_half
+            .set_write_timeout(Some(cfg.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    // Counted active from here; ConnShared::drop decrements.
+    active.fetch_add(1, Ordering::SeqCst);
+    let shared = Arc::new(ConnShared {
+        queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
+        dead: AtomicBool::new(false),
+        active: Arc::clone(active),
+    });
+    let inbox = &inboxes[(id % inboxes.len() as u64) as usize];
+    if inbox
+        .push(NewConn {
+            shared: Arc::clone(&shared),
+            stream: write_half,
+        })
+        .is_err()
+    {
+        return; // shard already shut down; drop the socket
+    }
+    stats.accepted.fetch_add(1, Ordering::Relaxed);
+    let handle = {
+        let shutdown = Arc::clone(shutdown);
+        let stats = Arc::clone(stats);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || {
+            reader_loop(stream, &shared, &shutdown, &stats, &cfg);
+        })
+    };
+    readers
+        .lock()
+        .expect("reader registry poisoned")
+        .push(handle);
 }
 
 /// Classifies a wire error into the protocol error code sent back.

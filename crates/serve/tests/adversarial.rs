@@ -350,6 +350,42 @@ fn overload_is_shed_with_busy_and_recovers() {
 }
 
 #[test]
+fn connect_burst_is_admitted_without_per_accept_backoff() {
+    // A burst of simultaneous connects must be drained from the kernel's
+    // accept backlog in one acceptor wakeup, not one connection per
+    // backoff period: an acceptor that slept its 5 ms idle backoff once
+    // per accept would need >= 100 * 5 ms = 500 ms to admit this burst,
+    // so the 1 s ceiling (generous for CI noise) still rules out most of
+    // that regression and the accepted-count assertion rules out drops.
+    let mut cfg = quick_cfg();
+    cfg.max_connections = 128; // whole burst admitted, nothing shed
+    cfg.progress_deadline = Duration::from_secs(30); // holders stay live
+    let server = Server::start(cfg).expect("bind");
+    let addr = server.local_addr();
+    // Let the acceptor go idle so its adaptive backoff reaches the cap —
+    // the worst starting point for a burst.
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = Instant::now();
+    let holders: Vec<TcpStream> = (0..100)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    wait_for("burst admitted", Duration::from_secs(5), || {
+        server.stats().accepted >= 100
+    });
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "burst admission took {elapsed:?} — the acceptor is backing off \
+         between accepts instead of draining the backlog"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 100, "stats: {stats:?}");
+    assert_eq!(stats.shed_busy, 0, "nothing shed under the watermark");
+    drop(holders);
+    let _ = server.shutdown();
+}
+
+#[test]
 fn flood_through_tiny_queues_is_correct_under_backpressure() {
     let mut cfg = quick_cfg();
     cfg.queue_capacity = 1; // worst-case backpressure

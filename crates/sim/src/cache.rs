@@ -245,6 +245,40 @@ mod tests {
         assert!(!c.probe(0));
     }
 
+    /// An L2 slice's capacity is `l2_bytes / channels`, which for
+    /// non-power-of-two channel counts (the paper default is 12; the
+    /// sharded-drain tests also use 7) yields an odd byte count and a
+    /// non-power-of-two set count. Set indexing is modulo, not masking, so
+    /// the tag/set round trip must stay lossless — a dirty victim's
+    /// reconstructed writeback address has to be the line that was filled.
+    #[test]
+    fn odd_slice_geometry_round_trips_victim_addresses() {
+        // 1.5 MB / 7 channels = 224_694 B → 1755 lines → 219 sets × 8 ways.
+        let slice_bytes = ((3u32 << 19) / 7) / 128 * 128;
+        let mut c = Cache::new(slice_bytes, 8, 128);
+        // Fill one set to capacity with dirty lines, then overflow it: the
+        // victim must report the exact line address written.
+        let sets = 219u64;
+        let set_stride = sets * 128; // same set, successive tags
+        for way in 0..8u64 {
+            let addr = way * set_stride;
+            assert!(matches!(
+                c.access(addr, true, false),
+                CacheOutcome::Miss { writeback: None }
+            ));
+        }
+        match c.access(8 * set_stride, false, false) {
+            CacheOutcome::Miss {
+                writeback: Some(v), ..
+            } => assert_eq!(v.line_addr, 0, "LRU victim is the first fill"),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        // Every resident line still hits after the round trip.
+        for way in 1..8u64 {
+            assert_eq!(c.access(way * set_stride, false, false), CacheOutcome::Hit);
+        }
+    }
+
     #[test]
     fn write_hit_marks_dirty() {
         let mut c = Cache::new(256, 1, 128);

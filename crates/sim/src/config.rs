@@ -206,6 +206,17 @@ pub struct GpuConfig {
     /// serially in fixed SM order. Raised process-wide by
     /// [`crate::set_sm_threads`] (e.g. `run-experiments --sm-threads N`).
     pub sm_threads: u32,
+    /// Host threads driving the sharded memory-side stage of Phase B (one
+    /// shard per L2 partition + DRAM channel — see the "Intra-sim
+    /// parallelism" section of DESIGN.md). `1` (the default) ticks the
+    /// partitions inline in ascending order; higher values fan the shards
+    /// out over the same worker pool as `sm_threads`, capped at
+    /// `channels`. Results are byte-identical for every value: each shard
+    /// only touches its own partition and buffers externally visible
+    /// effects, which a fixed-order merge applies exactly as the serial
+    /// drain would. Raised process-wide by [`crate::set_mem_threads`]
+    /// (e.g. `run-experiments --mem-threads N`).
+    pub mem_threads: u32,
 }
 
 impl GpuConfig {
@@ -245,6 +256,7 @@ impl GpuConfig {
             fault: None,
             cycle_skip: true,
             sm_threads: 1,
+            mem_threads: 1,
         }
     }
 
@@ -338,6 +350,11 @@ impl GpuConfig {
         if self.sm_threads == 0 {
             return Err(Config(
                 "sm_threads must be at least 1 (1 = inline front end)".into(),
+            ));
+        }
+        if self.mem_threads == 0 {
+            return Err(Config(
+                "mem_threads must be at least 1 (1 = inline memory-side drain)".into(),
             ));
         }
         Ok(())

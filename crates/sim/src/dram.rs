@@ -69,6 +69,21 @@ impl DramChannel {
         self.busy_until
     }
 
+    /// The earliest future cycle at which this channel could make progress,
+    /// or `None` when it is idle at `now` (nothing queued or in flight).
+    /// While non-idle no queued request can start before the in-flight one
+    /// completes, so `busy_until` is the horizon; callers clamp it to their
+    /// own floor since it may already have passed when requests are queued
+    /// behind a long-finished burst.
+    #[must_use]
+    pub fn wake_at(&self, now: u64) -> Option<u64> {
+        if self.idle(now) {
+            None
+        } else {
+            Some(self.busy_until)
+        }
+    }
+
     /// Total requests serviced so far.
     #[must_use]
     pub fn serviced(&self) -> u64 {
@@ -157,6 +172,19 @@ mod tests {
         assert!(!c.idle(0), "in flight");
         assert!(c.idle(t));
         assert_eq!(c.serviced(), 1);
+    }
+
+    #[test]
+    fn wake_at_tracks_the_busy_horizon() {
+        let mut c = chan();
+        assert_eq!(c.wake_at(0), None, "idle channel never wakes");
+        c.push(req(0));
+        // Queued but not started: busy_until is stale (0), so the horizon
+        // is in the past — callers clamp to their floor.
+        assert_eq!(c.wake_at(0), Some(0));
+        let (_, t) = c.tick(0).unwrap();
+        assert_eq!(c.wake_at(0), Some(t), "in flight until completion");
+        assert_eq!(c.wake_at(t), None, "idle again once complete");
     }
 
     #[test]

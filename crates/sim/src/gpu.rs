@@ -2,20 +2,21 @@
 //! scheduling and SIMT execution, the coalescer, L1/L2 caches, the crossbar
 //! NoC, GDDR5 channels, and the race-detector attachment.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use scord_core::{AccessKind, AtomKind, FlatMap, MemAccess, RaceLog, ScordDetector, Trace};
+use scord_core::{AccessKind, AtomKind, MemAccess, RaceLog, ScordDetector, Trace};
 use scord_isa::{AtomOp, Pc, Program};
 use scord_pool::WorkerPool;
 
 use crate::front::{self, FrontCtx, GlobalOp, PendingAccess, PendingEvent};
+use crate::memside::{MemCtx, Partition};
 use crate::{
-    Cache, CacheOutcome, DetectorEvent, DetectorUnit, DeviceMemory, DramChannel, DramRequest,
-    GpuConfig, SimStats, Sm, SmBlock, Warp, WarpState,
+    Cache, DetectorEvent, DetectorUnit, DeviceMemory, DramRequest, GpuConfig, SimStats, Sm,
+    SmBlock, Warp, WarpState,
 };
 
 /// A request packet travelling from an SM (or the race detector) to a memory
@@ -85,19 +86,14 @@ impl Ord for HeapItem {
     }
 }
 
-#[derive(Debug)]
-struct Partition {
-    l2: Cache,
-    in_queue: VecDeque<Packet>,
-    rx_free_at: u64,
-    l2_free_at: u64,
-    dram: DramChannel,
-    /// Packets waiting on an in-flight DRAM read, keyed by line address.
-    /// Flat table + waiter-`Vec` pool: miss handling and fill wakeup sit on
-    /// the per-access hot path, so neither should allocate in steady state.
-    pending_fills: FlatMap<Vec<Packet>>,
-    /// Spare waiter lists recycled by fill wakeups (capacity retained).
-    fill_pool: Vec<Vec<Packet>>,
+/// Line-address → L2 partition / DRAM channel mapping: addresses are
+/// striped across partitions by 128-byte line. The single source of truth —
+/// the NoC router, the detector's metadata writeback path, and the
+/// quiescence scan's head-of-line probe must all agree, or a packet could
+/// be routed to one shard while the skip logic watches another and sleeps
+/// through its arrival.
+pub(crate) fn partition_of(cfg: &GpuConfig, line_addr: u64) -> usize {
+    ((line_addr / u64::from(cfg.line_bytes)) % u64::from(cfg.channels)) as usize
 }
 
 /// Simulation failures.
@@ -209,11 +205,17 @@ pub struct Gpu {
     next_block: u32,
     blocks_live: u32,
     noc_rr: usize,
-    /// Worker pool for the parallel SM front-end phase. `None` when the
-    /// effective `sm_threads` is 1: the front ends then run inline, through
-    /// the identical per-SM code path (see [`crate::front`]).
+    /// Worker pool shared by the parallel SM front-end phase and the
+    /// sharded memory-side stage. `None` when both effective thread counts
+    /// are 1: everything then runs inline, through the identical per-SM /
+    /// per-shard code paths (see [`crate::front`] and [`crate::memside`]).
     pool: Option<WorkerPool>,
-    /// Reused buffer for the parallel [`Gpu::next_wake`] per-SM reduction.
+    /// Effective `sm_threads` (1 = inline serial front ends).
+    sm_eff: u32,
+    /// Effective `mem_threads` (1 = inline serial memory-side drain).
+    mem_eff: u32,
+    /// Reused buffer for the parallel [`Gpu::next_wake`] reduction (one
+    /// slot per SM followed by one per partition).
     wake_scratch: Vec<u64>,
     /// Per-cycle Phase A / Phase B wall-time accounting. Off by default —
     /// two clock reads per cycle are measurable on the hot path — and purely
@@ -221,6 +223,9 @@ pub struct Gpu {
     phase_timing: bool,
     phase_a_nanos: u64,
     phase_b_nanos: u64,
+    /// Per-shard memory-side wall time (one slot per partition), a subset
+    /// of `phase_b_nanos`. Zeros unless phase timing is on.
+    shard_b_nanos: Vec<u64>,
     /// `true` while next cycle's block dispatch might place a block: set at
     /// launch and whenever a block retires (freeing resources), kept set
     /// while a dispatch pass places anything (the pass is capped at one
@@ -304,26 +309,26 @@ impl Gpu {
                 )
             })
             .collect();
-        let parts = (0..cfg.channels)
-            .map(|_| Partition {
-                l2: Cache::new(cfg.l2_slice_bytes(), cfg.l2_ways, cfg.line_bytes),
-                in_queue: VecDeque::new(),
-                rx_free_at: 0,
-                l2_free_at: 0,
-                dram: DramChannel::new(cfg.dram, cfg.banks_per_channel, cfg.row_bytes),
-                pending_fills: FlatMap::new(),
-                fill_pool: Vec::new(),
-            })
-            .collect();
-        // Effective front-end parallelism: the config knob, raised by the
-        // process-wide override, capped at one thread per SM. Sampled here
-        // so flipping the override mid-run cannot affect a live `Gpu`.
-        let threads = cfg
+        let parts: Vec<Partition> = (0..cfg.channels).map(|_| Partition::new(&cfg)).collect();
+        // Effective parallelism: each config knob, raised by its
+        // process-wide override, capped at one thread per SM (front ends)
+        // or per partition (memory shards). Sampled here so flipping an
+        // override mid-run cannot affect a live `Gpu`. One pool serves both
+        // phases — they never overlap within a cycle — sized for the wider
+        // fan-out.
+        let sm_eff = cfg
             .sm_threads
             .max(crate::sm_threads_override())
             .min(cfg.num_sms)
             .max(1);
+        let mem_eff = cfg
+            .mem_threads
+            .max(crate::mem_threads_override())
+            .min(cfg.channels)
+            .max(1);
+        let threads = sm_eff.max(mem_eff);
         let pool = (threads > 1).then(|| WorkerPool::new(threads as usize));
+        let shard_b_nanos = vec![0; parts.len()];
         Ok(Gpu {
             mem: DeviceMemory::new(cfg.mem_bytes),
             sms,
@@ -344,10 +349,13 @@ impl Gpu {
             blocks_live: 0,
             noc_rr: 0,
             pool,
+            sm_eff,
+            mem_eff,
             wake_scratch: Vec::new(),
             phase_timing: false,
             phase_a_nanos: 0,
             phase_b_nanos: 0,
+            shard_b_nanos,
             dispatch_hint: true,
         })
     }
@@ -377,7 +385,14 @@ impl Gpu {
     /// Effective SM front-end thread count (1 = inline serial front ends).
     #[must_use]
     pub fn sm_threads(&self) -> u32 {
-        self.pool.as_ref().map_or(1, |p| p.threads() as u32)
+        self.sm_eff
+    }
+
+    /// Effective memory-side shard thread count (1 = inline serial drain in
+    /// ascending partition order).
+    #[must_use]
+    pub fn mem_threads(&self) -> u32 {
+        self.mem_eff
     }
 
     /// Enables per-cycle Phase A / Phase B wall-time accounting (see
@@ -387,12 +402,22 @@ impl Gpu {
     }
 
     /// Accumulated `(phase A, phase B)` wall time in nanoseconds since the
-    /// last launch started — the parallel front-end phase vs the serial
+    /// last launch started — the parallel front-end phase vs the
     /// commit/NoC/L2/DRAM/detector phase. Zeros unless
     /// [`Gpu::set_phase_timing`] is on.
     #[must_use]
     pub fn phase_nanos(&self) -> (u64, u64) {
         (self.phase_a_nanos, self.phase_b_nanos)
+    }
+
+    /// Per-shard memory-side wall time in nanoseconds since the last launch
+    /// started, one slot per L2 partition / DRAM channel. Covers only the
+    /// sharded L2+DRAM tick — a subset of [`Gpu::phase_nanos`]'s Phase B
+    /// total, which also spans SM commit, NoC routing, the merge and the
+    /// detector drain. Zeros unless [`Gpu::set_phase_timing`] is on.
+    #[must_use]
+    pub fn shard_phase_b_nanos(&self) -> &[u64] {
+        &self.shard_b_nanos
     }
 
     /// The detector's accumulated race log (empty log if detection is off).
@@ -471,6 +496,7 @@ impl Gpu {
         self.stats = SimStats::default();
         self.phase_a_nanos = 0;
         self.phase_b_nanos = 0;
+        self.shard_b_nanos.fill(0);
         for sm in &mut self.sms {
             sm.rr = 0;
             sm.tx_free_at = 0;
@@ -484,6 +510,7 @@ impl Gpu {
             p.in_queue.clear();
             p.pending_fills.clear();
             p.dram.reset();
+            p.buf = Default::default();
         }
         if let Some(det) = &mut self.detector {
             det.detector_mut().on_kernel_boundary();
@@ -563,15 +590,22 @@ impl Gpu {
         if let Some(item) = self.heap.peek() {
             t = t.min(item.time.max(floor));
         }
+        let now = self.now;
         if let Some(pool) = &self.pool {
-            // Parallel per-SM scan: a pure min-reduction, so the fold order
-            // (and hence host thread scheduling) cannot affect the result.
+            // Parallel scan, one slot per SM followed by one per memory
+            // shard: a pure min-reduction, so the fold order (and hence
+            // host thread scheduling) cannot affect the result.
+            let nsms = self.sms.len();
             let mut wakes = std::mem::take(&mut self.wake_scratch);
             wakes.clear();
-            wakes.resize(self.sms.len(), u64::MAX);
+            wakes.resize(nsms + self.parts.len(), u64::MAX);
             let (cfg, sms, parts) = (&self.cfg, &self.sms, &self.parts);
-            pool.for_each_mut(&mut wakes, |s, slot| {
-                *slot = Self::sm_wake(cfg, sms, parts, floor, s);
+            pool.for_each_mut(&mut wakes, |i, slot| {
+                *slot = if i < nsms {
+                    Self::sm_wake(cfg, sms, parts, floor, i)
+                } else {
+                    parts[i - nsms].wake(now, floor)
+                };
             });
             for &w in &wakes {
                 t = t.min(w);
@@ -588,14 +622,8 @@ impl Gpu {
                 }
                 t = t.min(w);
             }
-        }
-        for p in &self.parts {
-            if let Some(front) = p.in_queue.front() {
-                let ready = p.l2_free_at.max(front.ready_at);
-                t = t.min(ready.max(floor));
-            }
-            if !p.dram.idle(self.now) {
-                t = t.min(p.dram.busy_until().max(floor));
+            for p in &self.parts {
+                t = t.min(p.wake(now, floor));
             }
         }
         t
@@ -629,8 +657,7 @@ impl Gpu {
             }
         }
         if let Some(head) = sm.out_queue.front() {
-            let part =
-                ((head.line_addr / u64::from(cfg.line_bytes)) % u64::from(cfg.channels)) as usize;
+            let part = partition_of(cfg, head.line_addr);
             let ready = sm.tx_free_at.max(parts[part].rx_free_at);
             t = t.min(ready.max(floor));
         }
@@ -707,16 +734,19 @@ impl Gpu {
         // pool; every shared-state effect lands in the per-SM buffers.
         let t0 = self.phase_timing.then(Instant::now);
         self.front_phase();
-        // Phase B: serial, in fixed order — per-SM commit (ascending SM
-        // index), NoC arbitration, L2/DRAM, detector.
+        // Phase B, in fixed order: per-SM commit (ascending SM index) and
+        // NoC arbitration run serially — the NoC is the deterministic
+        // routing step that fills the per-shard queues — then the memory
+        // shards tick (possibly fanned out over the pool) with effects
+        // buffered per shard, and a fixed-order merge applies them exactly
+        // as the serial drain would. Detector last, as before.
         let t1 = self.phase_timing.then(Instant::now);
         for s in 0..self.sms.len() {
             self.commit_front(s)?;
         }
         self.noc_tick();
-        for p in 0..self.parts.len() {
-            self.part_tick(p);
-        }
+        self.mem_phase();
+        self.merge_mem();
         self.detector_tick()?;
         if let (Some(a), Some(b)) = (t0, t1) {
             self.phase_a_nanos += duration_nanos(b - a);
@@ -901,8 +931,10 @@ impl Gpu {
             toggles: self.cfg.toggles(),
         };
         match &self.pool {
-            Some(pool) => pool.for_each_mut(&mut self.sms, |_, sm| front::sm_front(&ctx, sm)),
-            None => {
+            Some(pool) if self.sm_eff > 1 => {
+                pool.for_each_mut(&mut self.sms, |_, sm| front::sm_front(&ctx, sm));
+            }
+            _ => {
                 for sm in &mut self.sms {
                     front::sm_front(&ctx, sm);
                 }
@@ -1047,10 +1079,6 @@ impl Gpu {
 
     // ---- interconnect -----------------------------------------------------
 
-    fn partition_of(&self, line_addr: u64) -> usize {
-        ((line_addr / u64::from(self.cfg.line_bytes)) % u64::from(self.cfg.channels)) as usize
-    }
-
     fn noc_tick(&mut self) {
         let n = self.sms.len();
         for i in 0..n {
@@ -1060,7 +1088,7 @@ impl Gpu {
             }
             let part = {
                 let pkt = self.sms[s].out_queue.front().expect("non-empty");
-                self.partition_of(pkt.line_addr)
+                partition_of(&self.cfg, pkt.line_addr)
             };
             if self.parts[part].rx_free_at > self.now {
                 continue; // head-of-line blocking at a congested partition
@@ -1076,75 +1104,48 @@ impl Gpu {
         self.noc_rr = self.noc_rr.wrapping_add(1);
     }
 
-    fn part_tick(&mut self, p: usize) {
-        // L2 service: one packet per cycle (plus atomic serialization).
-        if self.parts[p].l2_free_at <= self.now {
-            let ready = matches!(
-                self.parts[p].in_queue.front(),
-                Some(pkt) if pkt.ready_at <= self.now
-            );
-            if ready {
-                let pkt = self.parts[p].in_queue.pop_front().expect("non-empty");
-                let write = pkt.write || pkt.atomic_lanes > 0;
-                let outcome = self.parts[p].l2.access(pkt.line_addr, write, pkt.metadata);
-                let busy = 1 + u64::from(pkt.atomic_lanes / 2);
-                self.parts[p].l2_free_at = self.now + busy;
-                match outcome {
-                    CacheOutcome::Hit => {
-                        if pkt.metadata {
-                            self.stats.l2_md_hits += 1;
-                        } else {
-                            self.stats.l2_data_hits += 1;
-                        }
-                        self.respond(&pkt, self.now + u64::from(self.cfg.l2_latency));
-                    }
-                    CacheOutcome::Miss { writeback } => {
-                        if pkt.metadata {
-                            self.stats.l2_md_misses += 1;
-                            self.stats.dram.metadata_reads += 1;
-                        } else {
-                            self.stats.l2_data_misses += 1;
-                            self.stats.dram.data_reads += 1;
-                        }
-                        if let Some(v) = writeback {
-                            if v.metadata {
-                                self.stats.dram.metadata_writebacks += 1;
-                            } else {
-                                self.stats.dram.data_writebacks += 1;
-                            }
-                            self.parts[p].dram.push(DramRequest {
-                                line_addr: v.line_addr,
-                                write: true,
-                                metadata: v.metadata,
-                            });
-                        }
-                        self.parts[p].dram.push(DramRequest {
-                            line_addr: pkt.line_addr,
-                            write: false,
-                            metadata: pkt.metadata,
-                        });
-                        let Partition {
-                            pending_fills,
-                            fill_pool,
-                            ..
-                        } = &mut self.parts[p];
-                        pending_fills
-                            .get_or_insert_with(pkt.line_addr, || {
-                                // Recycled lists keep their capacity; fresh
-                                // ones reserve for the common few-waiter
-                                // case up front.
-                                fill_pool.pop().unwrap_or_else(|| Vec::with_capacity(8))
-                            })
-                            .push(pkt);
-                    }
+    /// Ticks every memory shard (L2 partition + DRAM channel), fanned out
+    /// over the worker pool when the effective `mem_threads` exceeds 1 and
+    /// inline in ascending partition order otherwise. Each shard touches
+    /// only its own [`Partition`] and buffers externally visible effects in
+    /// its [`crate::memside::MemBuf`]; serial and parallel paths run the
+    /// identical per-shard function.
+    fn mem_phase(&mut self) {
+        let ctx = MemCtx {
+            cfg: &self.cfg,
+            now: self.now,
+            timing: self.phase_timing,
+        };
+        match &self.pool {
+            Some(pool) if self.mem_eff > 1 => {
+                pool.for_each_mut(&mut self.parts, |_, part| part.tick(&ctx));
+            }
+            _ => {
+                for part in &mut self.parts {
+                    part.tick(&ctx);
                 }
             }
         }
-        // DRAM service.
-        if let Some((req, done)) = self.parts[p].dram.tick(self.now) {
-            if !req.write {
+    }
+
+    /// Drains the shards' buffered effects into shared state in the fixed
+    /// cross-shard order: ascending partition id, and within a shard the
+    /// generation order (L2 response before DRAM completion). This is
+    /// exactly the order the serial drain produced them, so the event
+    /// heap's `(time, seq)` tiebreak — and every effect downstream of it,
+    /// including L1 LRU evolution via fill responses — is byte-identical at
+    /// any `mem_threads`.
+    fn merge_mem(&mut self) {
+        for p in 0..self.parts.len() {
+            let buf = std::mem::take(&mut self.parts[p].buf);
+            buf.stats.apply(&mut self.stats);
+            if let Some((pkt, time)) = buf.response {
+                self.respond(&pkt, time);
+            }
+            if let Some((req, done)) = buf.dram_done {
                 self.push_event(done, Ev::DramDone { part: p, req });
             }
+            self.shard_b_nanos[p] += buf.nanos;
         }
     }
 
@@ -1157,7 +1158,7 @@ impl Gpu {
         det.tick(self.cfg.detector_throughput, &mut md_lines, &mut self.stats)?;
         if toggles.md {
             for line in md_lines {
-                let p = self.partition_of(line);
+                let p = partition_of(&self.cfg, line);
                 self.parts[p].in_queue.push_back(Packet {
                     line_addr: line,
                     write: true, // metadata entries are read-modify-written
@@ -1178,7 +1179,7 @@ impl Gpu {
 }
 
 /// Saturating `Duration` → `u64` nanoseconds (phase-timing accumulators).
-fn duration_nanos(d: std::time::Duration) -> u64 {
+pub(crate) fn duration_nanos(d: std::time::Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -1322,6 +1323,76 @@ mod tests {
             skipping, ticking,
             "skipped execution must reproduce every counter exactly"
         );
+    }
+
+    /// Pins the line→partition striping so the router, the detector
+    /// metadata path, and the quiescence scan (which all go through
+    /// [`partition_of`] — the bug this guards against was `sm_wake`
+    /// recomputing the mapping inline) can never silently diverge.
+    #[test]
+    fn partition_mapping_is_pinned() {
+        let cfg = GpuConfig::paper_default(); // 12 channels, 128 B lines
+        assert_eq!(partition_of(&cfg, 0), 0);
+        assert_eq!(partition_of(&cfg, 128), 1);
+        assert_eq!(partition_of(&cfg, 130), 1, "keys on the line, not the byte");
+        assert_eq!(partition_of(&cfg, 11 * 128), 11);
+        assert_eq!(partition_of(&cfg, 12 * 128), 0, "wraps at channel count");
+        // Non-power-of-two channel counts stripe by modulo, not masking.
+        let odd = GpuConfig { channels: 7, ..cfg };
+        for line in 0..64u64 {
+            assert_eq!(partition_of(&odd, line * 128), (line % 7) as usize);
+        }
+    }
+
+    /// The sharded memory-side drain must reproduce serial results
+    /// bit-for-bit, including on a non-power-of-two channel count and with
+    /// detection (metadata traffic) on. Exercised per-`Gpu` via
+    /// `GpuConfig::mem_threads` (not the process-wide override, which other
+    /// tests may share); the kernel mixes L2 hits, misses with writebacks,
+    /// atomics and a racy scope so every buffered-effect path fires.
+    #[test]
+    fn sharded_mem_drain_reproduces_stats_exactly() {
+        let run = |mem_threads: u32| {
+            let cfg = GpuConfig {
+                channels: 7,
+                mem_threads,
+                detection: crate::DetectionMode::scord(),
+                ..GpuConfig::paper_default()
+            };
+            let mut gpu = Gpu::new(cfg);
+            let buf = gpu.mem_mut().alloc_words(4096);
+            let mut k = KernelBuilder::new("shard_mix", 1);
+            let base = k.ld_param(0);
+            let gtid = k.global_tid();
+            let addr = k.index_addr(base, gtid, 4);
+            let v = k.ld_global(addr, 0);
+            // Block-scoped atomic shared across blocks: races the detector
+            // reports.
+            k.atom_add_noret(base, 0, 1u32, Scope::Block);
+            k.fence(Scope::Device);
+            let v2 = k.alu(scord_isa::AluOp::Add, v, 1u32);
+            k.st_global(addr, 0, v2);
+            k.exit();
+            let prog = k.finish().unwrap();
+            let stats = gpu
+                .launch(&prog, 8, 64, &[buf.addr()])
+                .expect("kernel completes");
+            // Sorted: the race *set* is deterministic, but its insertion
+            // order within one event can follow detector-internal hash
+            // iteration (varies per detector instance, independent of
+            // thread counts).
+            let mut races: Vec<_> = gpu.races().expect("detection on").unique_races().collect();
+            races.sort_unstable_by_key(|&(pc, kind)| (pc, format!("{kind:?}")));
+            (stats, races)
+        };
+        let serial = run(1);
+        for mem_threads in [2, 4] {
+            assert_eq!(
+                serial,
+                run(mem_threads),
+                "mem_threads={mem_threads} must be byte-identical to serial"
+            );
+        }
     }
 
     #[test]
