@@ -16,7 +16,7 @@
 use crate::{DetectorConfig, ScordDetector};
 
 /// Which detector model to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DetectorKind {
     /// Full ScoRD: scope-aware happens-before + scoped lockset.
     Scord,

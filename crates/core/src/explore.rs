@@ -1,0 +1,719 @@
+//! Bounded exploration of a trace's warp-schedule space.
+//!
+//! A captured [`Trace`] is one interleaving of per-warp-slot event
+//! sequences — the schedule the simulator's warp scheduler happened to
+//! pick. Following GPUMC's stateless model checking of GPU interleavings,
+//! this module treats the trace as a *partial* order and replays it under
+//! systematically varied schedules, using the exact scoped-HB oracle
+//! ([`crate::OracleDetector`]) as the per-interleaving judge: every race
+//! the explorer reports comes with a concrete witness schedule that is a
+//! valid reordering of the captured execution.
+//!
+//! ## The schedule model
+//!
+//! [`ScheduleSpace`] decomposes a trace into mandatory-order constraints;
+//! any topological order of the resulting DAG is a *valid schedule*:
+//!
+//! * **slot chains** — events of one hardware warp slot (accesses, fences
+//!   and `WarpAssigned` reassignments, across incarnations) stay in
+//!   program order: a hardware slot is sequential;
+//! * **barrier cuts** — a `Barrier` event for block *b* is blocking
+//!   synchronization: no slot currently mapped to *b* (or not yet mapped
+//!   to any block — it may still join *b*, exactly the oracle's
+//!   block-legacy rule) may move an event across it in either direction;
+//! * **kernel cuts** — a `KernelBoundary` is a device-wide cut: no event
+//!   of any slot crosses it.
+//!
+//! Everything else — in particular the order between *different* slots'
+//! events, including fence release/acquire and same-location atomic
+//! orders — is a schedule artifact the explorer is free to vary. That is
+//! deliberately value-blind: the trace records no loaded values, so a
+//! flag poll scheduled before its producer's publication is a valid
+//! schedule here even though the real consumer would have spun longer.
+//! The predictive backend ([`crate::predict`]) names the cases where that
+//! blindness matters (e.g. lock-mutual-exclusion) and the harness audit
+//! requires every reported race to carry a concrete witness schedule, so
+//! the model's reach and its limits are both measured rather than
+//! assumed.
+//!
+//! ## Determinism
+//!
+//! Schedule generation draws only from a caller-seeded [`SplitMix64`];
+//! the ready set is kept in ascending event order, so `(trace, seed,
+//! bound)` reproduces the identical schedule sequence — and therefore the
+//! identical race verdicts — on any host.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::fault::SplitMix64;
+use crate::{Geometry, OracleDetector, ReplayError, Trace, TraceEvent};
+
+/// Race identity used across schedules: `(addr, pc, block_slot,
+/// warp_slot)` of the access that exposed the race — the same key the
+/// differential audit uses, so explorer findings line up with the diff
+/// taxonomy.
+pub type RaceKey = (u64, u32, u8, u8);
+
+/// A valid reordering of a trace: position `k` of the schedule runs the
+/// original trace's event `order[k]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    order: Vec<u32>,
+}
+
+impl Schedule {
+    /// The identity schedule over `n` events (the captured interleaving).
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Schedule {
+            order: (0..n as u32).collect(),
+        }
+    }
+
+    /// Original event index executed at each schedule position.
+    #[must_use]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Schedule length (equals the trace length).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for the empty schedule.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Position of original event `idx` within this schedule.
+    #[must_use]
+    pub fn position_of(&self, idx: usize) -> usize {
+        self.order
+            .iter()
+            .position(|&e| e as usize == idx)
+            .expect("event index within schedule")
+    }
+
+    /// A 64-bit fingerprint of the event order, for deduplication: two
+    /// schedules that execute events in the same sequence hash equal.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for &e in &self.order {
+            h ^= u64::from(e).wrapping_add(0x2545_F491_4F6C_DD1D);
+            h = h.rotate_left(23).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        h
+    }
+
+    /// The trace this schedule executes: `trace`'s events, permuted.
+    #[must_use]
+    pub fn apply(&self, trace: &Trace) -> Trace {
+        self.order
+            .iter()
+            .map(|&e| trace.events()[e as usize])
+            .collect()
+    }
+}
+
+/// The mandatory-order DAG of one trace (see the module docs for the
+/// constraint model). Shared by the bounded explorer and the predictive
+/// detector's witness construction.
+#[derive(Debug)]
+pub struct ScheduleSpace {
+    /// Mandatory predecessors per event.
+    preds: Vec<Vec<u32>>,
+    /// Mandatory successors per event (the transpose of `preds`).
+    succs: Vec<Vec<u32>>,
+}
+
+impl ScheduleSpace {
+    /// Builds the mandatory-order DAG for `trace`.
+    #[must_use]
+    pub fn new(trace: &Trace) -> Self {
+        let n = trace.events().len();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Last emitted constraint node per slot `(sm, warp_slot)`.
+        let mut slot_last: HashMap<(u8, u8), u32> = HashMap::new();
+        // Block each slot is currently mapped to (learned from accesses,
+        // like the oracle's per-thread block field).
+        let mut slot_block: HashMap<(u8, u8), u8> = HashMap::new();
+        let link = |preds: &mut Vec<Vec<u32>>,
+                    slot_last: &mut HashMap<(u8, u8), u32>,
+                    slot: (u8, u8),
+                    idx: u32| {
+            if let Some(&p) = slot_last.get(&slot) {
+                preds[idx as usize].push(p);
+            }
+            slot_last.insert(slot, idx);
+        };
+        for (i, ev) in trace.events().iter().enumerate() {
+            let i = i as u32;
+            match *ev {
+                TraceEvent::Access(a) => {
+                    let slot = (a.who.sm, a.who.warp_slot);
+                    link(&mut preds, &mut slot_last, slot, i);
+                    slot_block.insert(slot, a.who.block_slot);
+                }
+                TraceEvent::Fence { sm, warp_slot, .. }
+                | TraceEvent::WarpAssigned { sm, warp_slot } => {
+                    link(&mut preds, &mut slot_last, (sm, warp_slot), i);
+                    if matches!(ev, TraceEvent::WarpAssigned { .. }) {
+                        // A fresh incarnation has no block yet; it may
+                        // still join any block of its SM.
+                        slot_block.remove(&(sm, warp_slot));
+                    }
+                }
+                TraceEvent::Barrier { sm, block_slot } => {
+                    // Cut every slot that is (or may still become) a
+                    // member of this block: mapped slots by their learned
+                    // block, unmapped slots of the same SM by the
+                    // oracle's block-legacy rule.
+                    let cut: Vec<(u8, u8)> = slot_last
+                        .keys()
+                        .copied()
+                        .filter(|slot| match slot_block.get(slot) {
+                            Some(&b) => b == block_slot,
+                            None => slot.0 == sm,
+                        })
+                        .collect();
+                    for slot in cut {
+                        link(&mut preds, &mut slot_last, slot, i);
+                    }
+                    // The barrier itself anchors the block's slot chains:
+                    // future events of member slots order after it.
+                    slot_last.insert((sm, 0xFF), i);
+                    // Re-route: every member slot's chain now passes
+                    // through the barrier node.
+                    let members: Vec<(u8, u8)> = slot_block
+                        .iter()
+                        .filter(|(_, &b)| b == block_slot)
+                        .map(|(&s, _)| s)
+                        .collect();
+                    for slot in members {
+                        slot_last.insert(slot, i);
+                    }
+                    // Unmapped same-SM slots also resume after the cut.
+                    let unmapped: Vec<(u8, u8)> = slot_last
+                        .keys()
+                        .copied()
+                        .filter(|s| s.0 == sm && s.1 != 0xFF && !slot_block.contains_key(s))
+                        .collect();
+                    for slot in unmapped {
+                        slot_last.insert(slot, i);
+                    }
+                }
+                TraceEvent::KernelBoundary => {
+                    // Global cut: everything so far precedes it, and every
+                    // slot resumes after it.
+                    let all: Vec<(u8, u8)> = slot_last.keys().copied().collect();
+                    for slot in all {
+                        link(&mut preds, &mut slot_last, slot, i);
+                    }
+                    slot_last.clear();
+                    slot_last.insert((0xFF, 0xFF), i);
+                    slot_block.clear();
+                }
+            }
+            // Events with no slot history yet still order after the last
+            // global cut, if any.
+            if preds[i as usize].is_empty() {
+                if let Some(&k) = slot_last.get(&(0xFF, 0xFF)) {
+                    if k != i {
+                        preds[i as usize].push(k);
+                    }
+                }
+            }
+            preds[i as usize].sort_unstable();
+            preds[i as usize].dedup();
+        }
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succs[p as usize].push(i as u32);
+            }
+        }
+        ScheduleSpace { preds, succs }
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// `true` for an empty trace.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Mandatory predecessors of event `i`.
+    #[must_use]
+    pub fn preds(&self, i: usize) -> &[u32] {
+        &self.preds[i]
+    }
+
+    /// Whether `order` is a permutation of all events that respects every
+    /// mandatory edge.
+    #[must_use]
+    pub fn is_valid(&self, schedule: &Schedule) -> bool {
+        let n = self.len();
+        if schedule.order.len() != n {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; n];
+        for (k, &e) in schedule.order.iter().enumerate() {
+            let e = e as usize;
+            if e >= n || pos[e] != usize::MAX {
+                return false;
+            }
+            pos[e] = k;
+        }
+        self.preds
+            .iter()
+            .enumerate()
+            .all(|(i, ps)| ps.iter().all(|&p| pos[p as usize] < pos[i]))
+    }
+
+    /// `true` when event `from` mandatorily precedes event `to` in every
+    /// valid schedule (DAG reachability).
+    #[must_use]
+    pub fn forces(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        // Events only point forward in original-trace order, so a simple
+        // worklist over successors terminates.
+        let mut seen = vec![false; self.len()];
+        let mut work = vec![from as u32];
+        while let Some(e) = work.pop() {
+            for &s in &self.succs[e as usize] {
+                let s = s as usize;
+                if s == to {
+                    return true;
+                }
+                if !seen[s] && s < to {
+                    seen[s] = true;
+                    work.push(s as u32);
+                }
+            }
+        }
+        false
+    }
+
+    /// A seeded random valid schedule: Kahn's algorithm picking uniformly
+    /// among ready events. Deterministic in the RNG state.
+    #[must_use]
+    pub fn random(&self, rng: &mut SplitMix64) -> Schedule {
+        self.schedule_by(
+            |ready, rng| ready[rng.below(ready.len() as u64) as usize],
+            rng,
+        )
+    }
+
+    /// A schedule built by repeatedly asking `pick` to choose among the
+    /// ready events (ascending original order). `pick` may consult the
+    /// RNG; passing a closure that ignores it gives a deterministic
+    /// targeted schedule.
+    #[must_use]
+    pub fn schedule_by(
+        &self,
+        mut pick: impl FnMut(&[u32], &mut SplitMix64) -> u32,
+        rng: &mut SplitMix64,
+    ) -> Schedule {
+        let n = self.len();
+        let mut missing: Vec<u32> = self.preds.iter().map(|p| p.len() as u32).collect();
+        let mut ready: Vec<u32> = (0..n as u32)
+            .filter(|&i| missing[i as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while !ready.is_empty() {
+            let e = pick(&ready, rng);
+            let at = ready.iter().position(|&r| r == e).expect("picked ready");
+            ready.remove(at);
+            order.push(e);
+            for &s in &self.succs[e as usize] {
+                missing[s as usize] -= 1;
+                if missing[s as usize] == 0 {
+                    let at = ready.partition_point(|&r| r < s);
+                    ready.insert(at, s);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "mandatory-order DAG must be acyclic");
+        Schedule { order }
+    }
+}
+
+/// How many interleavings to explore and from which seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Schedule bound: how many interleavings (beyond the captured one)
+    /// to generate. Duplicates — by fingerprint — are skipped, so small
+    /// schedule spaces cost less than the bound suggests.
+    pub bound: u32,
+    /// Root seed for schedule generation.
+    pub seed: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig { bound: 64, seed: 1 }
+    }
+}
+
+/// Where a race key was first witnessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Witness {
+    /// Index of the witnessing schedule (0 = the captured interleaving).
+    pub schedule: usize,
+    /// Fingerprint of the witnessing schedule.
+    pub fingerprint: u64,
+}
+
+/// Result of a bounded exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Events per interleaving (the trace length).
+    pub events: usize,
+    /// Interleavings actually replayed (after fingerprint dedup),
+    /// including the captured one.
+    pub schedules_run: usize,
+    /// Distinct schedule fingerprints seen (equals `schedules_run`).
+    pub distinct: usize,
+    /// Oracle race keys of the captured interleaving.
+    pub baseline: BTreeSet<RaceKey>,
+    /// Every race key found across all interleavings, with its first
+    /// witness schedule.
+    pub found: BTreeMap<RaceKey, Witness>,
+}
+
+impl ExploreOutcome {
+    /// Keys found only under a reordered schedule — what exploration adds
+    /// over judging the captured interleaving alone.
+    #[must_use]
+    pub fn beyond_baseline(&self) -> BTreeSet<RaceKey> {
+        self.found
+            .keys()
+            .filter(|k| !self.baseline.contains(k))
+            .copied()
+            .collect()
+    }
+}
+
+/// Oracle race keys of one trace (later access of each detailed race).
+///
+/// # Errors
+///
+/// Returns the [`ReplayError`] if the trace does not replay under
+/// `geometry`.
+pub fn oracle_keys(trace: &Trace, geometry: Geometry) -> Result<BTreeSet<RaceKey>, ReplayError> {
+    let mut oracle = OracleDetector::new(geometry);
+    trace.replay(&mut oracle)?;
+    let acc = oracle.accesses();
+    Ok(oracle
+        .detailed_races()
+        .iter()
+        .map(|r| {
+            let y = &acc[r.later];
+            (
+                y.access.addr,
+                y.access.pc,
+                y.access.who.block_slot,
+                y.access.who.warp_slot,
+            )
+        })
+        .collect())
+}
+
+/// Replays `trace` under up to `cfg.bound` seeded schedule perturbations
+/// (plus the captured interleaving), judging each with a fresh oracle.
+///
+/// Deterministic in `(trace, geometry, cfg)`.
+///
+/// # Errors
+///
+/// Returns the first [`ReplayError`] — a reordered valid schedule replays
+/// iff the original does, so an error here means the captured trace
+/// itself is malformed for `geometry`.
+pub fn explore(
+    trace: &Trace,
+    geometry: Geometry,
+    cfg: &ExploreConfig,
+) -> Result<ExploreOutcome, ReplayError> {
+    let space = ScheduleSpace::new(trace);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut seen = BTreeSet::new();
+    let mut found: BTreeMap<RaceKey, Witness> = BTreeMap::new();
+    let mut schedules_run = 0;
+
+    let identity = Schedule::identity(trace.len());
+    let baseline = oracle_keys(trace, geometry)?;
+    let fp0 = identity.fingerprint();
+    seen.insert(fp0);
+    schedules_run += 1;
+    for &k in &baseline {
+        found.insert(
+            k,
+            Witness {
+                schedule: 0,
+                fingerprint: fp0,
+            },
+        );
+    }
+
+    for i in 0..cfg.bound {
+        let schedule = space.random(&mut rng);
+        let fp = schedule.fingerprint();
+        if !seen.insert(fp) {
+            continue;
+        }
+        let permuted = schedule.apply(trace);
+        let keys = oracle_keys(&permuted, geometry)?;
+        schedules_run += 1;
+        for k in keys {
+            found.entry(k).or_insert(Witness {
+                schedule: i as usize + 1,
+                fingerprint: fp,
+            });
+        }
+    }
+
+    Ok(ExploreOutcome {
+        events: trace.len(),
+        schedules_run,
+        distinct: seen.len(),
+        baseline,
+        found,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, Accessor, AtomKind, MemAccess};
+    use scord_isa::Scope;
+
+    fn acc(block: u8, warp: u8) -> Accessor {
+        Accessor {
+            sm: block / 8,
+            block_slot: block,
+            warp_slot: warp,
+        }
+    }
+
+    fn store(addr: u64, pc: u32, who: Accessor) -> TraceEvent {
+        TraceEvent::Access(MemAccess {
+            kind: AccessKind::Store,
+            addr,
+            strong: true,
+            pc,
+            who,
+        })
+    }
+
+    fn load(addr: u64, pc: u32, who: Accessor) -> TraceEvent {
+        TraceEvent::Access(MemAccess {
+            kind: AccessKind::Load,
+            addr,
+            strong: true,
+            pc,
+            who,
+        })
+    }
+
+    fn geometry() -> Geometry {
+        Geometry::paper_default()
+    }
+
+    /// Producer publishes with a device fence and an atomic flag; the
+    /// consumer polls the flag and reads the payload. Race-free as
+    /// captured, but the fence edge is a schedule artifact.
+    fn publication_trace() -> Trace {
+        let p = acc(0, 0);
+        let c = acc(8, 0);
+        vec![
+            store(0x100, 1, p),
+            TraceEvent::Fence {
+                sm: 0,
+                warp_slot: 0,
+                scope: Scope::Device,
+            },
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Atomic {
+                    kind: AtomKind::Exch,
+                    scope: Scope::Device,
+                },
+                addr: 0x200,
+                strong: true,
+                pc: 2,
+                who: p,
+            }),
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Atomic {
+                    kind: AtomKind::Other,
+                    scope: Scope::Device,
+                },
+                addr: 0x200,
+                strong: true,
+                pc: 3,
+                who: c,
+            }),
+            load(0x100, 4, c),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn identity_schedule_is_valid() {
+        let t = publication_trace();
+        let space = ScheduleSpace::new(&t);
+        assert!(space.is_valid(&Schedule::identity(t.len())));
+    }
+
+    #[test]
+    fn random_schedules_are_valid_and_deterministic() {
+        let t = crate::FuzzConfig::default().generate(5);
+        let space = ScheduleSpace::new(&t);
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..16 {
+            let sa = space.random(&mut a);
+            let sb = space.random(&mut b);
+            assert!(space.is_valid(&sa));
+            assert_eq!(sa, sb, "same seed, same schedule");
+        }
+        let mut c = SplitMix64::new(10);
+        let first_a = space.random(&mut SplitMix64::new(9));
+        let first_c = space.random(&mut c);
+        assert_ne!(first_a, first_c, "different seeds diverge");
+    }
+
+    #[test]
+    fn barrier_cuts_pin_participants() {
+        // store by (0,0); barrier of block 0; load by (0,1). The load can
+        // never be scheduled before the barrier, nor the store after it.
+        let t: Trace = vec![
+            store(0x100, 1, acc(0, 0)),
+            load(0x40, 2, acc(0, 1)),
+            TraceEvent::Barrier {
+                sm: 0,
+                block_slot: 0,
+            },
+            load(0x100, 3, acc(0, 1)),
+        ]
+        .into_iter()
+        .collect();
+        let space = ScheduleSpace::new(&t);
+        assert!(space.forces(0, 2), "store precedes the barrier");
+        assert!(space.forces(2, 3), "post-barrier load follows it");
+        assert!(space.forces(0, 3), "transitively ordered through the cut");
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..32 {
+            let s = space.random(&mut rng);
+            let pos_b = s.position_of(2);
+            assert!(s.position_of(0) < pos_b && pos_b < s.position_of(3));
+        }
+    }
+
+    #[test]
+    fn kernel_cut_is_global() {
+        let t: Trace = vec![
+            store(0x100, 1, acc(0, 0)),
+            TraceEvent::KernelBoundary,
+            load(0x100, 2, acc(8, 0)),
+        ]
+        .into_iter()
+        .collect();
+        let space = ScheduleSpace::new(&t);
+        assert!(space.forces(0, 1) && space.forces(1, 2));
+    }
+
+    #[test]
+    fn cross_slot_events_are_reorderable() {
+        let t = publication_trace();
+        let space = ScheduleSpace::new(&t);
+        // The consumer's poll (event 3) is not forced after the
+        // producer's fence (event 1) — that order was a schedule
+        // artifact.
+        assert!(!space.forces(1, 3));
+        assert!(!space.forces(3, 1));
+        // But program order within each slot is mandatory.
+        assert!(space.forces(0, 1) && space.forces(3, 4));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_orders() {
+        let t = publication_trace();
+        let space = ScheduleSpace::new(&t);
+        let id = Schedule::identity(t.len());
+        let mut rng = SplitMix64::new(1);
+        let mut fps = BTreeSet::new();
+        fps.insert(id.fingerprint());
+        let mut distinct_orders = BTreeSet::new();
+        distinct_orders.insert(id.order().to_vec());
+        for _ in 0..64 {
+            let s = space.random(&mut rng);
+            distinct_orders.insert(s.order().to_vec());
+            fps.insert(s.fingerprint());
+        }
+        assert_eq!(fps.len(), distinct_orders.len(), "fingerprint = order");
+        assert!(fps.len() > 1, "the space has more than one schedule");
+    }
+
+    #[test]
+    fn explorer_finds_the_publication_race() {
+        // As captured, the publication idiom is race-free (fence +
+        // atomic hand-off); under a reordered schedule the payload pair
+        // races. The explorer must surface it with a witness.
+        let t = publication_trace();
+        let out = explore(
+            &t,
+            geometry(),
+            &ExploreConfig {
+                bound: 64,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        assert!(out.baseline.is_empty(), "captured interleaving is clean");
+        let beyond = out.beyond_baseline();
+        assert!(
+            beyond.iter().any(|k| k.0 == 0x100),
+            "payload race found under a reordered schedule: {beyond:?}"
+        );
+        let w = out.found[beyond.iter().find(|k| k.0 == 0x100).unwrap()];
+        assert!(w.schedule > 0, "witness is a non-captured schedule");
+    }
+
+    #[test]
+    fn exploration_is_deterministic_per_seed() {
+        let t = crate::FuzzConfig::default().generate(21);
+        let cfg = ExploreConfig { bound: 24, seed: 7 };
+        let a = explore(&t, geometry(), &cfg).unwrap();
+        let b = explore(&t, geometry(), &cfg).unwrap();
+        assert_eq!(a.found, b.found);
+        assert_eq!(a.schedules_run, b.schedules_run);
+        assert_eq!(a.distinct, b.distinct);
+    }
+
+    #[test]
+    fn fuzzed_schedules_replay_cleanly() {
+        // Reordering must never break replayability: same events, same
+        // geometry.
+        let t = crate::FuzzConfig::default().generate(33);
+        let space = ScheduleSpace::new(&t);
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..8 {
+            let s = space.random(&mut rng);
+            assert!(space.is_valid(&s));
+            let mut oracle = OracleDetector::new(geometry());
+            s.apply(&t).replay(&mut oracle).expect("valid reordering");
+        }
+    }
+}

@@ -32,6 +32,7 @@ mod config;
 mod detector;
 mod error;
 mod event;
+pub mod explore;
 pub mod fault;
 mod fence_file;
 mod flat;
@@ -39,6 +40,7 @@ pub mod fuzz;
 mod lock_table;
 mod metadata;
 pub mod oracle;
+pub mod predict;
 mod report;
 mod store;
 mod trace;
@@ -49,6 +51,7 @@ pub use config::{DetectorConfig, Geometry, StoreKind};
 pub use detector::{AccessEffects, Detector, ScordDetector};
 pub use error::DetectorError;
 pub use event::{AccessKind, Accessor, AtomKind, ItsAccess, MemAccess};
+pub use explore::{ExploreConfig, ExploreOutcome, RaceKey, Schedule, ScheduleSpace};
 pub use fault::{
     EventAction, FaultInjector, FaultKind, FaultKindSet, FaultPlan, FaultStats, SplitMix64,
 };
@@ -58,6 +61,7 @@ pub use fuzz::FuzzConfig;
 pub use lock_table::{bloom_bit, lock_hash, LockTable, LockTables};
 pub use metadata::{MetadataEntry, BLOCK_ID_BITS, WARP_ID_BITS};
 pub use oracle::{OracleAccess, OracleDetector, OracleRace, OrderReason, VectorClock};
+pub use predict::{PredictConfig, PredictOutcome, PredictWitness, Prediction, PredictionClass};
 pub use report::{RaceKind, RaceLog, RaceReport};
 pub use store::{
     build_reference_store, build_store, CachedStore, FullStore, MetadataLookup, MetadataStore,

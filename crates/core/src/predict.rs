@@ -1,0 +1,632 @@
+//! Predictive race detection over one captured trace.
+//!
+//! A dynamic detector judges the one schedule it observed. Following
+//! "Predictive Data Race Detection for GPUs" (arXiv:2111.12478), this
+//! module asks a stronger question of the same trace: *could* a
+//! conflicting pair have raced under a different warp schedule?
+//!
+//! ## Segments and candidate pairs
+//!
+//! Each thread's access sequence is partitioned into **reorderable
+//! segments**, cut at the points where the thread synchronizes: barriers
+//! and kernel boundaries (blocking — every schedule replays them in the
+//! same relative position), scoped fences and atomic operations
+//! (release/acquire points — they order other threads only if the
+//! schedule happens to interleave them favourably). Two conflicting
+//! accesses from different threads are a **candidate** when the captured
+//! schedule ordered them *only* through such a non-blocking edge —
+//! [`OracleDetector::ordered_pair`] returning [`OrderReason::Fence`] or
+//! [`OrderReason::AtomicScope`]. Pairs ordered by [`OrderReason::Barrier`]
+//! or program order live in mandatorily-ordered segments and are never
+//! predicted: no valid schedule reorders them (see
+//! [`crate::explore::ScheduleSpace`]).
+//!
+//! ## Prediction pipeline
+//!
+//! The trace itself is value-blind: it records no loaded values, so pure
+//! reordering over-approximates feasibility. Every candidate therefore
+//! passes through a confirmation pipeline and lands in exactly one
+//! [`PredictionClass`]:
+//!
+//! 1. **`LockMutex`** — the accesses hold a common lock. Mutual exclusion
+//!    makes some order real in every feasible execution (the spinning CAS
+//!    would not have succeeded earlier); a schedule-only witness would be
+//!    infeasible, so the candidate is a named false prediction.
+//! 2. **`AtomicCommute`** — the later access is itself an atomic whose
+//!    scope covers the pair. Same-location adequately-scoped atomics
+//!    order at the point of coherence in *either* direction, so every
+//!    schedule orders the pair and it can never race.
+//! 3. **`Confirmed`** — a concrete witness reordering was found: a valid
+//!    schedule (first a targeted hoist of the later access ahead of the
+//!    earlier one, then seeded random schedules) under which a fresh
+//!    oracle replay judges the pair unordered. The witness schedule is
+//!    attached to the prediction.
+//! 4. **`SyncForced`** — the mandatory-order DAG forces the pair after
+//!    all (defensive: candidates are fence-ordered, and a barrier path
+//!    would have produced `OrderReason::Barrier` instead).
+//! 5. **`Unconfirmed`** — no witness within budget and no named excuse.
+//!    The harness audit treats this as a bug in the schedule model and
+//!    fails loudly with a minimized reproducer.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::explore::{Schedule, ScheduleSpace};
+use crate::fault::SplitMix64;
+use crate::{
+    AccessKind, Accessor, Geometry, OracleDetector, OrderReason, ReplayError, Trace, TraceEvent,
+};
+use scord_isa::Scope;
+
+/// Tuning knobs for the predictive pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictConfig {
+    /// Seed for the random fallback witness schedules.
+    pub seed: u64,
+    /// Random schedules tried per candidate after the targeted hoist
+    /// schedule fails to produce a witness.
+    pub fallback_schedules: u32,
+}
+
+impl Default for PredictConfig {
+    fn default() -> Self {
+        PredictConfig {
+            seed: 1,
+            fallback_schedules: 16,
+        }
+    }
+}
+
+/// Verdict for one candidate pair. See the module docs for the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PredictionClass {
+    /// Witness schedule found: the pair races under a valid reordering.
+    Confirmed,
+    /// Common lock held — reordering is value-infeasible (false
+    /// prediction, named).
+    LockMutex,
+    /// Adequately-scoped same-location atomic pair — ordered under every
+    /// schedule (false prediction, named).
+    AtomicCommute,
+    /// Mandatory-order DAG forces the pair (defensive class).
+    SyncForced,
+    /// No witness found and no named excuse — schedule-model bug.
+    Unconfirmed,
+}
+
+impl PredictionClass {
+    /// Every class, in display order.
+    pub const ALL: [PredictionClass; 5] = [
+        PredictionClass::Confirmed,
+        PredictionClass::LockMutex,
+        PredictionClass::AtomicCommute,
+        PredictionClass::SyncForced,
+        PredictionClass::Unconfirmed,
+    ];
+
+    /// Short machine-stable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictionClass::Confirmed => "confirmed",
+            PredictionClass::LockMutex => "pred-lock-mutex",
+            PredictionClass::AtomicCommute => "pred-atomic-commute",
+            PredictionClass::SyncForced => "pred-sync-forced",
+            PredictionClass::Unconfirmed => "PRED-UNCONFIRMED",
+        }
+    }
+}
+
+/// One candidate pair with its verdict.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Conflicting address.
+    pub addr: u64,
+    /// PC of the earlier (captured order) access.
+    pub earlier_pc: u32,
+    /// PC of the later access.
+    pub later_pc: u32,
+    /// Earlier accessor.
+    pub earlier_who: Accessor,
+    /// Later accessor.
+    pub later_who: Accessor,
+    /// Original stream index of the earlier access's event.
+    pub earlier_event: usize,
+    /// Original stream index of the later access's event.
+    pub later_event: usize,
+    /// Reorderable segment of the earlier access.
+    pub earlier_segment: usize,
+    /// Reorderable segment of the later access.
+    pub later_segment: usize,
+    /// Why the captured schedule ordered the pair (always `Fence` or
+    /// `AtomicScope`).
+    pub reason: OrderReason,
+    /// Pipeline verdict.
+    pub class: PredictionClass,
+    /// The witness reordering, for `Confirmed` predictions.
+    pub witness: Option<PredictWitness>,
+}
+
+/// A concrete reordering under which the oracle judges the pair unordered.
+#[derive(Debug, Clone)]
+pub struct PredictWitness {
+    /// The witness schedule over the original trace.
+    pub schedule: Schedule,
+    /// Its fingerprint (dedup key, shared with the explorer).
+    pub fingerprint: u64,
+}
+
+/// Result of running the predictive pipeline over one trace.
+#[derive(Debug, Clone)]
+pub struct PredictOutcome {
+    /// Every deduplicated candidate pair with its verdict.
+    pub predictions: Vec<Prediction>,
+    /// Reorderable segments the trace partitioned into.
+    pub segments: usize,
+    /// Candidate pairs before deduplication by `(addr, pc, accessor)`
+    /// signature.
+    pub raw_candidates: usize,
+}
+
+impl PredictOutcome {
+    /// Number of predictions in `class`.
+    #[must_use]
+    pub fn count(&self, class: PredictionClass) -> usize {
+        self.predictions.iter().filter(|p| p.class == class).count()
+    }
+
+    /// Predictions that failed loudly (schedule-model bugs).
+    #[must_use]
+    pub fn unconfirmed(&self) -> Vec<&Prediction> {
+        self.predictions
+            .iter()
+            .filter(|p| p.class == PredictionClass::Unconfirmed)
+            .collect()
+    }
+}
+
+/// Assigns each access event its reorderable-segment id. A thread's
+/// segment is cut at barriers and kernel boundaries (blocking sync),
+/// warp reassignment (new incarnation), fences, and atomic accesses
+/// (release/acquire points).
+fn segment_ids(trace: &Trace) -> (Vec<usize>, usize) {
+    let mut next = 0usize;
+    // Current segment per slot, and the block each slot last accessed.
+    let mut current: HashMap<(u8, u8), usize> = HashMap::new();
+    let mut slot_block: HashMap<(u8, u8), u8> = HashMap::new();
+    let mut ids = vec![usize::MAX; trace.len()];
+    let fresh = |next: &mut usize| {
+        let id = *next;
+        *next += 1;
+        id
+    };
+    for (i, ev) in trace.events().iter().enumerate() {
+        match *ev {
+            TraceEvent::Access(a) => {
+                let slot = (a.who.sm, a.who.warp_slot);
+                let id = *current.entry(slot).or_insert_with(|| fresh(&mut next));
+                ids[i] = id;
+                slot_block.insert(slot, a.who.block_slot);
+                if a.kind.is_atomic() {
+                    // An atomic is a release/acquire point: the next
+                    // access starts a new segment.
+                    current.remove(&slot);
+                }
+            }
+            TraceEvent::Fence { sm, warp_slot, .. }
+            | TraceEvent::WarpAssigned { sm, warp_slot } => {
+                current.remove(&(sm, warp_slot));
+            }
+            TraceEvent::Barrier { sm, block_slot } => {
+                let cut: Vec<(u8, u8)> = current
+                    .keys()
+                    .copied()
+                    .filter(|slot| match slot_block.get(slot) {
+                        Some(&b) => b == block_slot,
+                        None => slot.0 == sm,
+                    })
+                    .collect();
+                for slot in cut {
+                    current.remove(&slot);
+                }
+            }
+            TraceEvent::KernelBoundary => {
+                current.clear();
+                slot_block.clear();
+            }
+        }
+    }
+    (ids, next)
+}
+
+/// A deterministic schedule that runs event `target` as early as its
+/// mandatory ancestors allow, leaving everything else in captured order.
+fn hoist_schedule(space: &ScheduleSpace, target: usize) -> Schedule {
+    // Ancestors of `target` in the mandatory-order DAG (downward closed).
+    let mut anc = vec![false; space.len()];
+    anc[target] = true;
+    let mut work = vec![target as u32];
+    while let Some(e) = work.pop() {
+        for &p in space.preds(e as usize) {
+            if !anc[p as usize] {
+                anc[p as usize] = true;
+                work.push(p);
+            }
+        }
+    }
+    let mut done = false;
+    let mut rng = SplitMix64::new(0);
+    space.schedule_by(
+        |ready, _| {
+            if !done {
+                if let Some(&e) = ready.iter().find(|&&e| anc[e as usize]) {
+                    if e as usize == target {
+                        done = true;
+                    }
+                    return e;
+                }
+                // Ancestors are downward closed, so one is always ready
+                // until the target runs; defensive fallback only.
+                done = true;
+            }
+            ready[0]
+        },
+        &mut rng,
+    )
+}
+
+/// Replays `schedule.apply(trace)` and re-judges the pair at original
+/// stream indices `(ex, ey)`: `Some(true)` means the witness replay left
+/// the pair unordered (race confirmed).
+fn pair_unordered_under(
+    trace: &Trace,
+    geometry: Geometry,
+    schedule: &Schedule,
+    ex: usize,
+    ey: usize,
+) -> Result<bool, ReplayError> {
+    let permuted = schedule.apply(trace);
+    let mut oracle = OracleDetector::new(geometry);
+    permuted.replay(&mut oracle)?;
+    let (px, py) = (schedule.position_of(ex), schedule.position_of(ey));
+    let (first, second) = if px < py { (px, py) } else { (py, px) };
+    let acc = oracle.accesses();
+    let a = acc
+        .iter()
+        .find(|a| a.event == first)
+        .expect("access survives reordering");
+    let b = acc
+        .iter()
+        .find(|a| a.event == second)
+        .expect("access survives reordering");
+    Ok(OracleDetector::ordered_pair(a, b).is_none())
+}
+
+/// Runs the predictive pipeline over `trace`. Deterministic in
+/// `(trace, geometry, cfg)`.
+///
+/// # Errors
+///
+/// Returns the [`ReplayError`] if the captured trace does not replay
+/// under `geometry` (reordered valid schedules replay iff the original
+/// does).
+pub fn predict(
+    trace: &Trace,
+    geometry: Geometry,
+    cfg: &PredictConfig,
+) -> Result<PredictOutcome, ReplayError> {
+    let mut oracle = OracleDetector::new(geometry);
+    trace.replay(&mut oracle)?;
+    let accesses = oracle.accesses();
+    let (seg_ids, segments) = segment_ids(trace);
+
+    // Candidate pairs: conflicting, cross-thread, ordered only by a
+    // non-blocking edge. Deduplicated by code-level signature so a loop
+    // body contributes one candidate, not one per iteration.
+    /// Code-level candidate signature: address, both PCs, both accessor
+    /// coordinates.
+    type CandidateSig = (u64, u32, u32, (u8, u8, u8), (u8, u8, u8));
+    let mut raw_candidates = 0usize;
+    let mut seen: BTreeSet<CandidateSig> = BTreeSet::new();
+    let mut candidates: Vec<(usize, usize, OrderReason)> = Vec::new();
+    let mut by_addr: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, a) in accesses.iter().enumerate() {
+        by_addr.entry(a.access.addr).or_default().push(i);
+    }
+    let mut addrs: Vec<&u64> = by_addr.keys().collect();
+    addrs.sort_unstable();
+    for addr in addrs {
+        let idxs = &by_addr[addr];
+        for (k, &xi) in idxs.iter().enumerate() {
+            for &yi in &idxs[k + 1..] {
+                let (x, y) = (&accesses[xi], &accesses[yi]);
+                if x.thread == y.thread || x.epoch != y.epoch {
+                    continue;
+                }
+                if !(x.access.kind.is_write() || y.access.kind.is_write()) {
+                    continue;
+                }
+                let reason = match OracleDetector::ordered_pair(x, y) {
+                    Some(r @ (OrderReason::Fence | OrderReason::AtomicScope)) => r,
+                    _ => continue,
+                };
+                raw_candidates += 1;
+                let sig = |a: &crate::OracleAccess| {
+                    (
+                        a.access.who.sm,
+                        a.access.who.block_slot,
+                        a.access.who.warp_slot,
+                    )
+                };
+                if seen.insert((*addr, x.access.pc, y.access.pc, sig(x), sig(y))) {
+                    candidates.push((xi, yi, reason));
+                }
+            }
+        }
+    }
+
+    let space = ScheduleSpace::new(trace);
+    let mut predictions = Vec::with_capacity(candidates.len());
+    for (ci, (xi, yi, reason)) in candidates.into_iter().enumerate() {
+        let (x, y) = (&accesses[xi], &accesses[yi]);
+        let (ex, ey) = (x.event, y.event);
+        let mut witness = None;
+        let class = if x.locks.iter().any(|l| y.locks.contains(l)) {
+            PredictionClass::LockMutex
+        } else if match y.access.kind {
+            AccessKind::Atomic { scope, .. } => {
+                scope == Scope::Device || y.access.who.block_slot == x.access.who.block_slot
+            }
+            _ => false,
+        } {
+            // Reversed order would be AtomicScope-ordered too: the pair
+            // is ordered under every schedule.
+            PredictionClass::AtomicCommute
+        } else {
+            // Witness search: targeted hoist of y ahead of x, then
+            // seeded random schedules.
+            let targeted = hoist_schedule(&space, ey);
+            let mut found = if pair_unordered_under(trace, geometry, &targeted, ex, ey)? {
+                Some(targeted)
+            } else {
+                None
+            };
+            if found.is_none() {
+                let mut rng = SplitMix64::new(
+                    cfg.seed
+                        .wrapping_add((ci as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                for _ in 0..cfg.fallback_schedules {
+                    let s = space.random(&mut rng);
+                    if pair_unordered_under(trace, geometry, &s, ex, ey)? {
+                        found = Some(s);
+                        break;
+                    }
+                }
+            }
+            match found {
+                Some(schedule) => {
+                    let fingerprint = schedule.fingerprint();
+                    witness = Some(PredictWitness {
+                        schedule,
+                        fingerprint,
+                    });
+                    PredictionClass::Confirmed
+                }
+                None if space.forces(ex, ey) => PredictionClass::SyncForced,
+                None => PredictionClass::Unconfirmed,
+            }
+        };
+        predictions.push(Prediction {
+            addr: x.access.addr,
+            earlier_pc: x.access.pc,
+            later_pc: y.access.pc,
+            earlier_who: x.access.who,
+            later_who: y.access.who,
+            earlier_event: ex,
+            later_event: ey,
+            earlier_segment: seg_ids[ex],
+            later_segment: seg_ids[ey],
+            reason,
+            class,
+            witness,
+        });
+    }
+
+    Ok(PredictOutcome {
+        predictions,
+        segments,
+        raw_candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomKind, FuzzConfig, MemAccess};
+
+    fn acc(block: u8, warp: u8) -> Accessor {
+        Accessor {
+            sm: block / 8,
+            block_slot: block,
+            warp_slot: warp,
+        }
+    }
+
+    fn store(addr: u64, pc: u32, who: Accessor) -> TraceEvent {
+        TraceEvent::Access(MemAccess {
+            kind: AccessKind::Store,
+            addr,
+            strong: true,
+            pc,
+            who,
+        })
+    }
+
+    fn load(addr: u64, pc: u32, who: Accessor) -> TraceEvent {
+        TraceEvent::Access(MemAccess {
+            kind: AccessKind::Load,
+            addr,
+            strong: true,
+            pc,
+            who,
+        })
+    }
+
+    fn atomic(addr: u64, pc: u32, who: Accessor, kind: AtomKind, scope: Scope) -> TraceEvent {
+        TraceEvent::Access(MemAccess {
+            kind: AccessKind::Atomic { kind, scope },
+            addr,
+            strong: true,
+            pc,
+            who,
+        })
+    }
+
+    fn fence(who: Accessor, scope: Scope) -> TraceEvent {
+        TraceEvent::Fence {
+            sm: who.sm,
+            warp_slot: who.warp_slot,
+            scope,
+        }
+    }
+
+    fn geometry() -> Geometry {
+        Geometry::paper_default()
+    }
+
+    fn run(events: Vec<TraceEvent>) -> PredictOutcome {
+        let t: Trace = events.into_iter().collect();
+        predict(&t, geometry(), &PredictConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn fence_published_pair_is_confirmed() {
+        // Device-fence publication: race-free as captured, but only by
+        // schedule luck — the predictor must confirm it with a witness.
+        let p = acc(0, 0);
+        let c = acc(8, 0);
+        let out = run(vec![
+            store(0x100, 1, p),
+            fence(p, Scope::Device),
+            atomic(0x200, 2, p, AtomKind::Exch, Scope::Device),
+            atomic(0x200, 3, c, AtomKind::Other, Scope::Device),
+            load(0x100, 4, c),
+        ]);
+        let payload: Vec<_> = out.predictions.iter().filter(|p| p.addr == 0x100).collect();
+        assert_eq!(payload.len(), 1, "one payload candidate: {out:?}");
+        assert_eq!(payload[0].class, PredictionClass::Confirmed);
+        assert_eq!(payload[0].reason, OrderReason::Fence);
+        let w = payload[0].witness.as_ref().expect("witness attached");
+        // The witness really is a valid reordering that the oracle judges
+        // racy for this pair.
+        let t: Trace = vec![
+            store(0x100, 1, p),
+            fence(p, Scope::Device),
+            atomic(0x200, 2, p, AtomKind::Exch, Scope::Device),
+            atomic(0x200, 3, c, AtomKind::Other, Scope::Device),
+            load(0x100, 4, c),
+        ]
+        .into_iter()
+        .collect();
+        let space = ScheduleSpace::new(&t);
+        assert!(space.is_valid(&w.schedule));
+    }
+
+    #[test]
+    fn barrier_separated_pair_is_not_a_candidate() {
+        let a = acc(0, 0);
+        let b = acc(0, 1);
+        let out = run(vec![
+            store(0x100, 1, a),
+            load(0x40, 2, b),
+            TraceEvent::Barrier {
+                sm: 0,
+                block_slot: 0,
+            },
+            load(0x100, 3, b),
+        ]);
+        assert!(
+            out.predictions.is_empty(),
+            "barrier-ordered pairs are never predicted: {out:?}"
+        );
+    }
+
+    #[test]
+    fn adequately_scoped_atomics_commute() {
+        let a = acc(0, 0);
+        let b = acc(8, 0);
+        let out = run(vec![
+            atomic(0x200, 1, a, AtomKind::Other, Scope::Device),
+            atomic(0x200, 2, b, AtomKind::Other, Scope::Device),
+        ]);
+        assert_eq!(out.predictions.len(), 1);
+        assert_eq!(out.predictions[0].class, PredictionClass::AtomicCommute);
+    }
+
+    #[test]
+    fn common_lock_names_the_false_prediction() {
+        // Two threads guard the data word with the same device-scoped
+        // lock (CAS + fence acquire, fence + Exch release). The data
+        // accesses are fence-ordered in the captured schedule; reordering
+        // them ignores the spin-loop values, so the pair must land in
+        // LockMutex, not Confirmed.
+        let a = acc(0, 0);
+        let b = acc(8, 0);
+        let lock = 0x2000;
+        let out = run(vec![
+            atomic(lock, 1, a, AtomKind::Cas, Scope::Device),
+            fence(a, Scope::Device),
+            store(0x100, 2, a),
+            fence(a, Scope::Device),
+            atomic(lock, 3, a, AtomKind::Exch, Scope::Device),
+            atomic(lock, 1, b, AtomKind::Cas, Scope::Device),
+            fence(b, Scope::Device),
+            store(0x100, 2, b),
+            fence(b, Scope::Device),
+            atomic(lock, 3, b, AtomKind::Exch, Scope::Device),
+        ]);
+        let data: Vec<_> = out.predictions.iter().filter(|p| p.addr == 0x100).collect();
+        assert_eq!(data.len(), 1, "one data candidate: {out:?}");
+        assert_eq!(data[0].class, PredictionClass::LockMutex);
+    }
+
+    #[test]
+    fn segments_cut_at_sync_points() {
+        let a = acc(0, 0);
+        let out = run(vec![
+            store(0x100, 1, a),
+            fence(a, Scope::Block),
+            store(0x104, 2, a),
+            TraceEvent::Barrier {
+                sm: 0,
+                block_slot: 0,
+            },
+            store(0x108, 3, a),
+        ]);
+        assert_eq!(out.segments, 3, "fence and barrier each cut: {out:?}");
+    }
+
+    #[test]
+    fn predictions_deterministic_and_never_unconfirmed_on_fuzz() {
+        let cfg = PredictConfig::default();
+        for seed in 0..12 {
+            let t = FuzzConfig::default().generate(seed);
+            let a = predict(&t, geometry(), &cfg).unwrap();
+            let b = predict(&t, geometry(), &cfg).unwrap();
+            assert_eq!(a.predictions.len(), b.predictions.len());
+            for (pa, pb) in a.predictions.iter().zip(&b.predictions) {
+                assert_eq!(pa.class, pb.class);
+                assert_eq!(
+                    pa.witness.as_ref().map(|w| w.fingerprint),
+                    pb.witness.as_ref().map(|w| w.fingerprint)
+                );
+            }
+            assert_eq!(
+                a.count(PredictionClass::Unconfirmed),
+                0,
+                "seed {seed}: every prediction confirmed or excused: {:?}",
+                a.unconfirmed()
+            );
+        }
+    }
+}

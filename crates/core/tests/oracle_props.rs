@@ -1,0 +1,396 @@
+//! Brute-force property tests for the oracle's ordering relation and its
+//! race report — the contract the schedule-space backends lean on.
+//!
+//! [`OracleDetector::ordered_pair`] re-derives ordering verdicts from the
+//! vector-clock snapshots taken at access time; the predictive detector
+//! ([`scord_core::predict`]) uses it to cut segments and the interleaving
+//! explorer ([`scord_core::explore`]) uses it as the per-schedule judge.
+//! These tests check the relation against its algebraic contract on fuzzed
+//! traces, pair by pair and triple by triple:
+//!
+//! * **Antisymmetry** of the clock-derived verdicts: within an epoch the
+//!   relation never claims the *later* access happens-before the earlier
+//!   one via `Barrier` or `Fence`. (`AtomicScope` is deliberately
+//!   direction-agnostic — an adequately scoped atomic orders at the point
+//!   of coherence whichever side runs first — and `ProgramOrder` only
+//!   fires for same-thread pairs, which are ordered by definition.)
+//! * **Transitivity** on the fragments where the model promises it:
+//!   barrier/program order composes at any strength, and the full verdict
+//!   set composes on all-strong chains headed by a non-atomic access.
+//!   The excluded fragments are *non-transitive by design* and each test
+//!   names the counterexample idiom (weak accesses do not ride fences;
+//!   inadequately scoped atomics are not repaired by later fences;
+//!   atomic coherence edges carry no release history).
+//! * **Exactness** of [`OracleDetector::detailed_races`]: an independent
+//!   reimplementation of the documented checking discipline — each access
+//!   against the last write, a write against every read since that write,
+//!   the scoped-lockset rule against the last accessor — reproduces the
+//!   oracle's report byte for byte, with [`ordered_pair`] as the only
+//!   ordering test. This pins the race report to the snapshot-based
+//!   relation: whatever `detailed_races` flags, a schedule backend can
+//!   re-derive from `accesses()` alone.
+//!
+//! Driven by the in-tree deterministic generator ([`FuzzConfig`] +
+//! [`SplitMix64`] seeds), so the suite builds offline and every run
+//! explores exactly the same inputs; failures name the seed.
+//!
+//! [`OracleDetector::ordered_pair`]: scord_core::OracleDetector::ordered_pair
+//! [`OracleDetector::detailed_races`]: scord_core::OracleDetector::detailed_races
+//! [`ordered_pair`]: scord_core::OracleDetector::ordered_pair
+
+use std::collections::HashMap;
+
+use scord_core::{
+    AccessKind, FuzzConfig, Geometry, OracleAccess, OracleDetector, OrderReason, RaceKind, Trace,
+};
+use scord_isa::Scope;
+
+/// Seeds per property. Each seed gets its own mischief level, so the
+/// corpus spans well-synchronised, mildly racy and chaotic traces.
+const SEEDS: u64 = 24;
+
+/// Generates the fuzzed trace for `seed` and replays it through a fresh
+/// oracle, returning the oracle with its full access history.
+fn replayed(seed: u64, events: u32) -> (Trace, OracleDetector) {
+    let cfg = FuzzConfig {
+        events,
+        race_pct: ((seed * 17) % 101) as u32,
+        ..FuzzConfig::default()
+    };
+    let trace = cfg.generate(seed);
+    let mut oracle = OracleDetector::new(Geometry::paper_default());
+    trace.replay(&mut oracle).expect("fuzzed trace replays");
+    (trace, oracle)
+}
+
+fn is_clock_verdict(reason: Option<OrderReason>) -> bool {
+    matches!(reason, Some(OrderReason::Barrier | OrderReason::Fence))
+}
+
+fn is_sync_verdict(reason: Option<OrderReason>) -> bool {
+    matches!(
+        reason,
+        Some(OrderReason::ProgramOrder | OrderReason::Barrier)
+    )
+}
+
+// -----------------------------------------------------------------------
+// Antisymmetry
+// -----------------------------------------------------------------------
+
+/// Within one epoch, the clock-derived verdicts agree with stream order:
+/// calling `ordered_pair` with the arguments swapped never yields `Barrier`
+/// or `Fence`. The later access's clock is strictly newer than anything
+/// the earlier access's snapshots can have recorded about that thread.
+#[test]
+fn ordered_pair_is_antisymmetric_on_clock_verdicts() {
+    let mut cross_thread_pairs = 0usize;
+    for seed in 0..SEEDS {
+        let (_, oracle) = replayed(seed, 160);
+        let accesses = oracle.accesses();
+        for j in 1..accesses.len() {
+            for i in 0..j {
+                let (x, y) = (&accesses[i], &accesses[j]);
+                if x.epoch != y.epoch || x.thread == y.thread {
+                    continue;
+                }
+                cross_thread_pairs += 1;
+                let swapped = OracleDetector::ordered_pair(y, x);
+                assert!(
+                    !is_clock_verdict(swapped),
+                    "seed {seed}: events {} -> {} claim a backwards {swapped:?} order",
+                    x.event,
+                    y.event,
+                );
+            }
+        }
+    }
+    assert!(
+        cross_thread_pairs > 10_000,
+        "corpus too small to mean anything: {cross_thread_pairs} pairs"
+    );
+}
+
+// -----------------------------------------------------------------------
+// Transitivity
+// -----------------------------------------------------------------------
+
+/// Barrier/program order composes at any strength: if `x -> y` and
+/// `y -> z` both hold by `ProgramOrder` or `Barrier`, so does `x -> z`.
+/// Barriers join full vector clocks (and the block legacy re-joins them
+/// for late-mapping warps), so sync coverage is carried transitively.
+#[test]
+fn barrier_order_is_transitive_at_any_strength() {
+    let mut chains = 0usize;
+    for seed in 0..SEEDS {
+        let (_, oracle) = replayed(seed, 96);
+        let accesses = oracle.accesses();
+        let n = accesses.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !is_sync_verdict(OracleDetector::ordered_pair(&accesses[i], &accesses[j])) {
+                    continue;
+                }
+                for k in (j + 1)..n {
+                    if !is_sync_verdict(OracleDetector::ordered_pair(&accesses[j], &accesses[k])) {
+                        continue;
+                    }
+                    chains += 1;
+                    let closure = OracleDetector::ordered_pair(&accesses[i], &accesses[k]);
+                    assert!(
+                        is_sync_verdict(closure),
+                        "seed {seed}: barrier chain {} -> {} -> {} closes as {closure:?}",
+                        accesses[i].event,
+                        accesses[j].event,
+                        accesses[k].event,
+                    );
+                }
+            }
+        }
+    }
+    assert!(chains > 10_000, "corpus too small: {chains} chains");
+}
+
+/// On the strong fragment the full verdict set composes, provided the
+/// chain is headed by a non-atomic access and both edges are clock-derived
+/// (`ProgramOrder` / `Barrier` / `Fence`): every mechanism that propagates
+/// sync coverage (barriers, legacy inheritance, first-map joins) carries
+/// the fence-derived clock alongside, so the closure is always ordered.
+///
+/// The three restrictions are load-bearing, each with a by-design
+/// counterexample the oracle's own unit tests pin:
+///
+/// * a *weak* endpoint breaks the chain (weak accesses do not ride
+///   fences — Table IV (c)): weak-store, barrier, strong-store, fence,
+///   strong-load composes two edges but leaves the weak store racing;
+/// * an *atomic head* of inadequate scope is not repaired by later
+///   fences (Table IV (d)), so `Barrier`+`Fence` chains from a
+///   block-scoped atomic do not close cross-block;
+/// * an `AtomicScope` *edge* orders only the same-location pair — it is
+///   a coherence edge, not a release, and carries no prior history.
+#[test]
+fn strong_nonatomic_order_is_transitive() {
+    let strong_edge = |x: &OracleAccess, y: &OracleAccess| {
+        matches!(
+            OracleDetector::ordered_pair(x, y),
+            Some(OrderReason::ProgramOrder | OrderReason::Barrier | OrderReason::Fence)
+        )
+    };
+    let mut chains = 0usize;
+    for seed in 0..SEEDS {
+        let (_, oracle) = replayed(seed, 96);
+        let strong: Vec<&OracleAccess> = oracle.accesses().iter().filter(|a| a.strong).collect();
+        let n = strong.len();
+        for i in 0..n {
+            if strong[i].access.kind.is_atomic() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !strong_edge(strong[i], strong[j]) {
+                    continue;
+                }
+                for k in (j + 1)..n {
+                    if !strong_edge(strong[j], strong[k]) {
+                        continue;
+                    }
+                    chains += 1;
+                    assert!(
+                        OracleDetector::ordered_pair(strong[i], strong[k]).is_some(),
+                        "seed {seed}: strong chain {} -> {} -> {} does not close",
+                        strong[i].event,
+                        strong[j].event,
+                        strong[k].event,
+                    );
+                }
+            }
+        }
+    }
+    assert!(chains > 10_000, "corpus too small: {chains} chains");
+}
+
+/// The documented counterexample for the weak fragment, pinned as a
+/// concrete trace so the restriction in
+/// [`strong_nonatomic_order_is_transitive`] is visibly necessary rather
+/// than defensive: `ordered_pair` composes two edges yet leaves the
+/// endpoints unordered when the head is weak.
+#[test]
+fn transitivity_fails_by_design_for_weak_heads() {
+    use scord_core::{Accessor, MemAccess, TraceEvent};
+    let who = |block: u8, warp: u8| Accessor {
+        sm: block / 8,
+        block_slot: block,
+        warp_slot: warp,
+    };
+    let mem = |kind, addr, strong, pc, who| {
+        TraceEvent::Access(MemAccess {
+            kind,
+            addr,
+            strong,
+            pc,
+            who,
+        })
+    };
+    // Weak store by (0,0); barrier orders it with (0,1); (0,1) strong-stores
+    // and device-fences; (8,0) strong-loads. Both edges hold, the closure
+    // does not: the weak store never rode the fence.
+    let mut trace = Trace::new();
+    for ev in [
+        mem(AccessKind::Store, 0x100, false, 1, who(0, 0)),
+        mem(AccessKind::Load, 0x40, false, 2, who(0, 1)),
+        TraceEvent::Barrier {
+            sm: 0,
+            block_slot: 0,
+        },
+        mem(AccessKind::Store, 0x200, true, 3, who(0, 1)),
+        TraceEvent::Fence {
+            sm: 0,
+            warp_slot: 1,
+            scope: Scope::Device,
+        },
+        mem(AccessKind::Load, 0x200, true, 4, who(8, 0)),
+    ] {
+        trace.push(ev);
+    }
+    let mut oracle = OracleDetector::new(Geometry::paper_default());
+    trace.replay(&mut oracle).unwrap();
+    let a = oracle.accesses();
+    let (x, y, z) = (&a[0], &a[2], &a[3]);
+    assert_eq!(
+        OracleDetector::ordered_pair(x, y),
+        Some(OrderReason::Barrier)
+    );
+    assert_eq!(OracleDetector::ordered_pair(y, z), Some(OrderReason::Fence));
+    assert_eq!(
+        OracleDetector::ordered_pair(x, z),
+        None,
+        "the weak head must not close through the fence chain"
+    );
+}
+
+// -----------------------------------------------------------------------
+// detailed_races exactness
+// -----------------------------------------------------------------------
+
+/// The race kind the oracle assigns to an unordered conflicting pair,
+/// reimplemented from the documented rules.
+fn expected_kind(x: &OracleAccess, y: &OracleAccess) -> RaceKind {
+    if let AccessKind::Atomic { scope, .. } = x.access.kind {
+        if scope == Scope::Block && x.access.who.block_slot != y.access.who.block_slot {
+            return RaceKind::ScopedAtomic;
+        }
+    }
+    if !(x.strong && y.strong) {
+        return RaceKind::NotStrong;
+    }
+    if x.access.who.block_slot == y.access.who.block_slot {
+        RaceKind::MissingBlockFence
+    } else {
+        RaceKind::MissingDeviceFence
+    }
+}
+
+/// Per-address checking window, per epoch (a kernel boundary drops all
+/// pair history).
+#[derive(Default)]
+struct Window {
+    last_write: Option<usize>,
+    readers: Vec<usize>,
+    last_access: Option<usize>,
+}
+
+/// Replays the oracle's documented checking discipline over `accesses`
+/// using only [`OracleDetector::ordered_pair`] on the recorded snapshots,
+/// producing `(earlier, later, kind)` triples in report order.
+fn expected_races(accesses: &[OracleAccess]) -> Vec<(usize, usize, RaceKind)> {
+    let mut windows: HashMap<(usize, u64), Window> = HashMap::new();
+    let mut expected = Vec::new();
+    for (y_idx, y) in accesses.iter().enumerate() {
+        let w = windows.entry((y.epoch, y.access.addr)).or_default();
+        let is_write = y.access.kind.is_write();
+        let is_atomic = y.access.kind.is_atomic();
+
+        // Happens-before family: the last write, plus every read since
+        // that write when y itself writes.
+        let mut partners: Vec<usize> = Vec::new();
+        partners.extend(w.last_write);
+        if is_write {
+            partners.extend(w.readers.iter().copied());
+        }
+        for x_idx in partners {
+            let x = &accesses[x_idx];
+            if OracleDetector::ordered_pair(x, y).is_none() {
+                expected.push((x_idx, y_idx, expected_kind(x, y)));
+            }
+        }
+
+        // Scoped-lockset family on the last accessor (Table IV e/f).
+        if let Some(z_idx) = w.last_access {
+            let z = &accesses[z_idx];
+            let conflicting = is_write || z.access.kind.is_write();
+            if conflicting && !is_atomic && !z.access.kind.is_atomic() {
+                let joint_nonempty = !z.locks.is_empty() || !y.locks.is_empty();
+                let disjoint = !z.locks.iter().any(|l| y.locks.contains(l));
+                if joint_nonempty
+                    && disjoint
+                    && !is_sync_verdict(OracleDetector::ordered_pair(z, y))
+                {
+                    let kind = if is_write {
+                        RaceKind::MissingLockStore
+                    } else {
+                        RaceKind::MissingLockLoad
+                    };
+                    expected.push((z_idx, y_idx, kind));
+                }
+            }
+        }
+
+        if is_write {
+            w.last_write = Some(y_idx);
+            w.readers.clear();
+        } else {
+            w.readers.push(y_idx);
+        }
+        w.last_access = Some(y_idx);
+    }
+    expected
+}
+
+/// `detailed_races` is exactly the set of checked conflicting pairs with
+/// no order either way, in report order — reproduced here from
+/// `accesses()` and `ordered_pair` alone, kinds included. Racy and
+/// well-synchronised corpora both participate (the latter pin the "no
+/// expected races, none reported" half).
+#[test]
+fn detailed_races_match_the_documented_discipline_exactly() {
+    let mut total = 0usize;
+    let mut racy_traces = 0usize;
+    for seed in 0..SEEDS {
+        let (_, oracle) = replayed(seed, 240);
+        let actual: Vec<(usize, usize, RaceKind)> = oracle
+            .detailed_races()
+            .iter()
+            .map(|r| (r.earlier, r.later, r.kind))
+            .collect();
+        let expected = expected_races(oracle.accesses());
+        assert_eq!(
+            actual, expected,
+            "seed {seed}: oracle report diverges from the documented discipline"
+        );
+        total += actual.len();
+        racy_traces += usize::from(!actual.is_empty());
+        // Every reported pair must itself be unordered and conflicting —
+        // the property the schedule backends rely on.
+        for (e, l, _) in &actual {
+            let (x, y) = (&oracle.accesses()[*e], &oracle.accesses()[*l]);
+            assert_eq!(x.access.addr, y.access.addr, "seed {seed}: pair addresses");
+            assert!(
+                x.access.kind.is_write() || y.access.kind.is_write(),
+                "seed {seed}: reported pair does not conflict"
+            );
+        }
+    }
+    assert!(
+        total > 100 && racy_traces > SEEDS as usize / 2,
+        "corpus too tame: {total} races over {racy_traces} racy traces"
+    );
+}

@@ -3,11 +3,13 @@
 //! ```text
 //! run-experiments [--quick] [--seed N] [--cases K] [--jobs N]
 //!                 [--iters N] [--label S] [--no-cycle-skip]
+//!                 [--schedule-bound B]
 //!                 [--sm-threads N] [--mem-threads N]
 //!                 [--addr HOST:PORT] [--deadline-ms N]
 //!                 [--streams N] [--concurrency N] [--events N] [--probes]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
-//!                  fig11|table8|ablations|faults|diff|perf|serve|loadgen|all]
+//!                  fig11|table8|ablations|faults|diff|explore|perf|serve|
+//!                  loadgen|all]
 //! ```
 //!
 //! `faults` runs the fault-injection degradation audit; it is not part of
@@ -19,6 +21,15 @@
 //! microbenchmark's captured trace, are replayed through the exact oracle
 //! and all detector models; any unexplained divergence fails the run with
 //! a minimized reproducer trace.
+//!
+//! `explore` runs the schedule-space audit (also only by name): the same
+//! fuzzed corpus plus the captured microbenchmark traces are replayed
+//! under `--schedule-bound B` (default 64) seeded schedule perturbations
+//! per trace with the oracle as the per-interleaving judge, and the
+//! predictive detector's reports are checked against concrete witness
+//! schedules; any unconfirmed prediction fails the run with a minimized
+//! reproducer trace. Tables are deterministic in `(--seed, --cases,
+//! --schedule-bound)`; wall-clock cost per interleaving goes to stderr.
 //!
 //! `--jobs N` shards each sweep's independent simulations over N worker
 //! threads (default: one per available hardware thread; `--jobs 1` runs
@@ -85,6 +96,7 @@ fn main() {
     let mut streams = 64usize;
     let mut concurrency = 8usize;
     let mut events = 2_000u32;
+    let mut schedule_bound = 64u32;
     let mut probes = false;
     let mut wanted: Vec<&str> = Vec::new();
     let mut it = args.iter();
@@ -138,6 +150,16 @@ fn main() {
                 });
                 events = v.parse().unwrap_or_else(|_| {
                     eprintln!("--events needs an unsigned integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--schedule-bound" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--schedule-bound needs a value");
+                    exit(2);
+                });
+                schedule_bound = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--schedule-bound needs a positive integer, got {v:?}");
                     exit(2);
                 });
             }
@@ -220,7 +242,7 @@ fn main() {
             other => wanted.push(other),
         }
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "table1",
         "table2",
         "table5",
@@ -234,6 +256,7 @@ fn main() {
         "ablations",
         "faults",
         "diff",
+        "explore",
         "perf",
         "serve",
         "loadgen",
@@ -248,7 +271,7 @@ fn main() {
     let all = wanted.is_empty() || wanted.contains(&"all");
     // The fault sweep, the differential audit, the perf basket and the
     // service subcommands only run when asked for by name.
-    const BY_NAME_ONLY: [&str; 5] = ["faults", "diff", "perf", "serve", "loadgen"];
+    const BY_NAME_ONLY: [&str; 6] = ["faults", "diff", "explore", "perf", "serve", "loadgen"];
     let want = |name: &str| (all && !BY_NAME_ONLY.contains(&name)) || wanted.contains(&name);
     let t0 = Instant::now();
 
@@ -336,6 +359,45 @@ fn main() {
                 eprintln!("\n{b}");
             }
             eprintln!("\nerror: {} unexplained divergence(s)", bugs.len());
+            exit(1);
+        }
+    }
+
+    if want("explore") {
+        println!(
+            "\n## Schedule-space audit (seed {seed}, {cases} fuzz cases, \
+             bound {schedule_bound})\n"
+        );
+        let te = Instant::now();
+        let summary = h::explore::run(seed, cases, schedule_bound, jobs);
+        let fuzz_elapsed = te.elapsed();
+        println!("{}", h::explore::to_markdown(&summary));
+        println!("\n### Captured microbenchmark traces, schedule space\n");
+        let tm = Instant::now();
+        let micros = h::explore::micros(seed, schedule_bound, jobs).unwrap_or_else(|e| fail(&e));
+        let micro_elapsed = tm.elapsed();
+        println!("{}", h::explore::to_markdown(&micros));
+        let interleavings = summary.interleavings + micros.interleavings;
+        eprintln!(
+            "[explore cost: {} interleaving(s) in {:.2?}, {:.1} µs each]",
+            interleavings,
+            fuzz_elapsed + micro_elapsed,
+            (fuzz_elapsed + micro_elapsed).as_secs_f64() * 1e6 / interleavings.max(1) as f64,
+        );
+        let bugs: Vec<_> = summary.bugs.iter().chain(micros.bugs.iter()).collect();
+        if bugs.is_empty() {
+            println!(
+                "All predictions confirmed by witness schedules or classified \
+                 as named false predictions; {} race(s) found beyond the \
+                 captured schedules ({} missed by the dynamic detector).",
+                summary.schedule_only_total() + micros.schedule_only_total(),
+                summary.beyond_dynamic_total() + micros.beyond_dynamic_total(),
+            );
+        } else {
+            for b in &bugs {
+                eprintln!("\n{b}");
+            }
+            eprintln!("\nerror: {} unconfirmed prediction(s)", bugs.len());
             exit(1);
         }
     }

@@ -82,6 +82,26 @@ pub enum Divergence {
     /// or ordering kinds (program order / barrier) the metadata no longer
     /// proves after an owner change.
     FpMetaArtifact,
+    /// Predicted race (schedule-space backends): confirmed by a concrete
+    /// explorer witness schedule under which the oracle judges the pair
+    /// unordered.
+    PredConfirmed,
+    /// Predicted-false, named: the pair holds a common lock, so mutual
+    /// exclusion orders it in every feasible execution — a schedule-only
+    /// witness would ignore the spin-loop values.
+    PredLockMutex,
+    /// Predicted-false, named: same-location adequately-scoped atomics
+    /// order at the point of coherence in either direction.
+    PredAtomicCommute,
+    /// Predicted-false, named: the mandatory-order DAG forces the pair
+    /// (defensive — such pairs should never become candidates).
+    PredSyncForced,
+    /// A prediction with no witness schedule and no named excuse — a
+    /// schedule-model defect. The audit fails loudly with a minimized
+    /// reproducer, exactly like [`Bug`].
+    ///
+    /// [`Bug`]: Divergence::Bug
+    PredUnconfirmed,
     /// Unexplained — a real defect in the detector, the oracle, or the
     /// fuzzer. The audit fails loudly with a minimized reproducer.
     Bug,
@@ -89,7 +109,7 @@ pub enum Divergence {
 
 impl Divergence {
     /// All classes, in table-column order.
-    pub const ALL: [Divergence; 11] = [
+    pub const ALL: [Divergence; 16] = [
         Divergence::FnCacheAlias,
         Divergence::FnSingleOwner,
         Divergence::FnSlotReuse,
@@ -100,7 +120,21 @@ impl Divergence {
         Divergence::FpCounterWrap,
         Divergence::FpChain,
         Divergence::FpMetaArtifact,
+        Divergence::PredConfirmed,
+        Divergence::PredLockMutex,
+        Divergence::PredAtomicCommute,
+        Divergence::PredSyncForced,
+        Divergence::PredUnconfirmed,
         Divergence::Bug,
+    ];
+
+    /// The subset produced by the schedule-space (predictive) backends.
+    pub const PREDICTED: [Divergence; 5] = [
+        Divergence::PredConfirmed,
+        Divergence::PredLockMutex,
+        Divergence::PredAtomicCommute,
+        Divergence::PredSyncForced,
+        Divergence::PredUnconfirmed,
     ];
 
     /// Short column label.
@@ -117,6 +151,11 @@ impl Divergence {
             Divergence::FpCounterWrap => "fp-ctr-wrap",
             Divergence::FpChain => "fp-hb-chain",
             Divergence::FpMetaArtifact => "fp-md-artifact",
+            Divergence::PredConfirmed => "pred-confirmed",
+            Divergence::PredLockMutex => "pred-lock-mutex",
+            Divergence::PredAtomicCommute => "pred-atomic-commute",
+            Divergence::PredSyncForced => "pred-sync-forced",
+            Divergence::PredUnconfirmed => "PRED-UNCONFIRMED",
             Divergence::Bug => "BUG",
         }
     }
@@ -163,6 +202,9 @@ impl std::fmt::Display for BugReport {
 /// One detector's aggregate row.
 #[derive(Debug, Clone)]
 pub struct DetRow {
+    /// Detector model this row belongs to — rows are keyed by kind, not
+    /// by position in [`DetectorKind::ALL`].
+    pub kind: DetectorKind,
     /// Detector model name.
     pub name: &'static str,
     /// Divergence keys shared with the oracle.
@@ -235,13 +277,19 @@ fn is_write(a: &OracleAccess) -> bool {
     !matches!(a.access.kind, AccessKind::Load)
 }
 
+/// One hardware model's verdicts on a trace.
+struct DetOutcome {
+    keys: BTreeSet<Key>,
+    reports: Vec<RaceReport>,
+}
+
 /// Everything one trace yields: the oracle's exact verdicts plus the key
-/// sets of every hardware model (and the full-store aide used to confirm
-/// cache-alias FNs empirically).
+/// sets of every hardware model — keyed by [`DetectorKind`], never by
+/// position, so adding backends cannot misattribute a row — and the
+/// full-store aide used to confirm cache-alias FNs empirically.
 struct Analysis {
     oracle: OracleDetector,
-    det_keys: Vec<BTreeSet<Key>>,
-    det_reports: Vec<Vec<RaceReport>>,
+    dets: BTreeMap<DetectorKind, DetOutcome>,
     full_keys: BTreeSet<Key>,
 }
 
@@ -254,25 +302,32 @@ impl Analysis {
             .map(|r| oracle_key(acc, r))
             .collect()
     }
+
+    fn det(&self, kind: DetectorKind) -> &DetOutcome {
+        self.dets.get(&kind).expect("every model analyzed")
+    }
 }
 
 fn analyze(trace: &Trace, base: DetectorConfig) -> Result<Analysis, ReplayError> {
     let mut oracle = OracleDetector::new(base.geometry);
     trace.replay(&mut oracle)?;
-    let mut det_keys = Vec::new();
-    let mut det_reports = Vec::new();
+    let mut dets = BTreeMap::new();
     for kind in DetectorKind::ALL {
         let mut det = build_detector(kind, base);
         trace.replay(&mut det)?;
-        det_keys.push(keys_of(det.races()));
-        det_reports.push(det.races().records().to_vec());
+        dets.insert(
+            kind,
+            DetOutcome {
+                keys: keys_of(det.races()),
+                reports: det.races().records().to_vec(),
+            },
+        );
     }
     let mut full = ScordDetector::new(full_store_variant(base));
     trace.replay(&mut full)?;
     Ok(Analysis {
         oracle,
-        det_keys,
-        det_reports,
+        dets,
         full_keys: keys_of(full.races()),
     })
 }
@@ -359,12 +414,11 @@ fn classify_fn_pair(a: &Analysis, trace: &Trace, r: &OracleRace) -> Divergence {
     Divergence::Bug
 }
 
-/// Classifies a missed oracle key for detector `det` (index into
-/// [`DetectorKind::ALL`]).
-fn classify_fn_key(a: &Analysis, trace: &Trace, det: usize, key: Key) -> Divergence {
+/// Classifies a missed oracle key for detector model `kind`.
+fn classify_fn_key(a: &Analysis, trace: &Trace, kind: DetectorKind, key: Key) -> Divergence {
     // A baseline missing a key full ScoRD catches (same metadata store) is
     // scope erasure by construction.
-    if det > 0 && a.det_keys[0].contains(&key) {
+    if kind != DetectorKind::Scord && a.det(DetectorKind::Scord).keys.contains(&key) {
         return Divergence::FnScopeErased;
     }
     // The full-store detector catching it pins the miss on the metadata
@@ -447,25 +501,26 @@ fn classify_fp(a: &Analysis, trace: &Trace, rep: &RaceReport) -> Divergence {
     }
 }
 
-/// Classifies every divergence of detector `det`; returns
+/// Classifies every divergence of detector model `kind`; returns
 /// `(matched, per-key classes)`.
 fn classify_detector(
     a: &Analysis,
     trace: &Trace,
-    det: usize,
+    kind: DetectorKind,
 ) -> (usize, Vec<(Key, bool, Divergence)>) {
     let oracle_keys = a.oracle_keys();
+    let det = a.det(kind);
     let mut out = Vec::new();
     let mut matched = 0;
     for &key in &oracle_keys {
-        if a.det_keys[det].contains(&key) {
+        if det.keys.contains(&key) {
             matched += 1;
         } else {
-            out.push((key, true, classify_fn_key(a, trace, det, key)));
+            out.push((key, true, classify_fn_key(a, trace, kind, key)));
         }
     }
     let mut fp_seen = BTreeSet::new();
-    for rep in &a.det_reports[det] {
+    for rep in &det.reports {
         let key = report_key(rep);
         if !oracle_keys.contains(&key) && fp_seen.insert(key) {
             out.push((key, false, classify_fp(a, trace, rep)));
@@ -479,17 +534,19 @@ fn classify_detector(
 fn key_divergence(
     trace: &Trace,
     base: DetectorConfig,
-    det: usize,
+    kind: DetectorKind,
     key: Key,
     missed: bool,
 ) -> Option<Divergence> {
     let a = analyze(trace, base).ok()?;
     let oracle_has = a.oracle_keys().contains(&key);
-    let det_has = a.det_keys[det].contains(&key);
+    let det_has = a.det(kind).keys.contains(&key);
     if missed && oracle_has && !det_has {
-        Some(classify_fn_key(&a, trace, det, key))
+        Some(classify_fn_key(&a, trace, kind, key))
     } else if !missed && det_has && !oracle_has {
-        let rep = a.det_reports[det]
+        let rep = a
+            .det(kind)
+            .reports
             .iter()
             .find(|r| report_key(r) == key)
             .copied()?;
@@ -499,8 +556,10 @@ fn key_divergence(
     }
 }
 
-/// Greedy one-event-at-a-time shrink to a fixpoint of `persists`.
-fn minimize(trace: &Trace, persists: impl Fn(&Trace) -> bool) -> Trace {
+/// Greedy one-event-at-a-time shrink to a fixpoint of `persists`. Shared
+/// with the schedule-space audit ([`crate::explore`]), which minimizes
+/// unconfirmed-prediction reproducers through the same machinery.
+pub(crate) fn minimize(trace: &Trace, persists: impl Fn(&Trace) -> bool) -> Trace {
     let mut cur = trace.clone();
     loop {
         let mut shrunk = false;
@@ -527,12 +586,12 @@ fn minimize(trace: &Trace, persists: impl Fn(&Trace) -> bool) -> Trace {
 
 /// Traces longer than this are reported unminimized (the greedy shrink is
 /// quadratic in trace length).
-const MINIMIZE_CAP: usize = 600;
+pub(crate) const MINIMIZE_CAP: usize = 600;
 
 fn minimized_reproducer(
     trace: &Trace,
     base: DetectorConfig,
-    det: usize,
+    kind: DetectorKind,
     key: Key,
     missed: bool,
 ) -> String {
@@ -540,19 +599,21 @@ fn minimized_reproducer(
         return trace.to_text();
     }
     minimize(trace, |cand| {
-        key_divergence(cand, base, det, key, missed) == Some(Divergence::Bug)
+        key_divergence(cand, base, kind, key, missed) == Some(Divergence::Bug)
     })
     .to_text()
 }
 
+/// One fuzz case of the rotated corpus. Shared with the schedule-space
+/// audit ([`crate::explore`]) so both audits cover identical traces.
 #[derive(Debug)]
-struct CaseSpec {
-    index: usize,
-    seed: u64,
-    cfg: FuzzConfig,
+pub(crate) struct CaseSpec {
+    pub(crate) index: usize,
+    pub(crate) seed: u64,
+    pub(crate) cfg: FuzzConfig,
 }
 
-fn case_specs(seed: u64, cases: usize) -> Vec<CaseSpec> {
+pub(crate) fn case_specs(seed: u64, cases: usize) -> Vec<CaseSpec> {
     // Rotate race-injection rate and machine shape so one run covers clean,
     // lightly- and heavily-racey traces on several geometries.
     const RACE_PCT: [u32; 4] = [0, 10, 30, 60];
@@ -578,7 +639,7 @@ fn case_specs(seed: u64, cases: usize) -> Vec<CaseSpec> {
 
 struct CaseOutcome {
     oracle_keys: usize,
-    per_det: Vec<(usize, usize, BTreeMap<Divergence, usize>)>,
+    per_det: BTreeMap<DetectorKind, (usize, usize, BTreeMap<Divergence, usize>)>,
     bugs: Vec<BugReport>,
 }
 
@@ -594,10 +655,10 @@ fn run_case(spec: &CaseSpec) -> CaseOutcome {
         )
     });
     let oracle_keys = a.oracle_keys().len();
-    let mut per_det = Vec::new();
+    let mut per_det = BTreeMap::new();
     let mut bugs = Vec::new();
-    for (det, kind) in DetectorKind::ALL.iter().enumerate() {
-        let (matched, classes) = classify_detector(&a, &trace, det);
+    for kind in DetectorKind::ALL {
+        let (matched, classes) = classify_detector(&a, &trace, kind);
         let mut counts: BTreeMap<Divergence, usize> = BTreeMap::new();
         for &(key, missed, class) in &classes {
             *counts.entry(class).or_default() += 1;
@@ -608,7 +669,7 @@ fn run_case(spec: &CaseSpec) -> CaseOutcome {
                     detector: kind.name(),
                     missed,
                     key,
-                    reproducer: minimized_reproducer(&trace, base, det, key, missed),
+                    reproducer: minimized_reproducer(&trace, base, kind, key, missed),
                 });
             }
         }
@@ -621,7 +682,7 @@ fn run_case(spec: &CaseSpec) -> CaseOutcome {
             "case {}: key accounting",
             spec.index
         );
-        per_det.push((matched, a.det_keys[det].len(), counts));
+        per_det.insert(kind, (matched, a.det(kind).keys.len(), counts));
     }
     CaseOutcome {
         oracle_keys,
@@ -640,7 +701,8 @@ pub fn run(seed: u64, cases: usize, jobs: Jobs) -> DiffSummary {
     let outcomes = sweep("diff", jobs, &specs, |_, spec| run_case(spec));
     let mut rows: Vec<DetRow> = DetectorKind::ALL
         .iter()
-        .map(|k| DetRow {
+        .map(|&k| DetRow {
+            kind: k,
             name: k.name(),
             matched: 0,
             reported: 0,
@@ -651,10 +713,12 @@ pub fn run(seed: u64, cases: usize, jobs: Jobs) -> DiffSummary {
     let mut bugs = Vec::new();
     for o in outcomes {
         oracle_keys += o.oracle_keys;
-        for (row, (matched, reported, counts)) in rows.iter_mut().zip(o.per_det) {
+        for row in &mut rows {
+            let (matched, reported, counts) =
+                o.per_det.get(&row.kind).expect("every model per case");
             row.matched += matched;
             row.reported += reported;
-            for (class, n) in counts {
+            for (&class, &n) in counts {
                 *row.counts.entry(class).or_default() += n;
             }
         }
@@ -726,6 +790,71 @@ pub struct MicroSummary {
     pub bugs: Vec<BugReport>,
 }
 
+/// A microbenchmark's captured trace plus the live run's verdicts, with
+/// capture fidelity already verified (`replayed == live`). Shared with the
+/// schedule-space audit ([`crate::explore`]).
+pub(crate) struct CapturedMicro {
+    /// Microbenchmark name.
+    pub name: &'static str,
+    /// The captured event stream.
+    pub trace: Trace,
+    /// The live detector's configuration, with the race-record cap lifted
+    /// for replay audits.
+    pub config: DetectorConfig,
+    /// Unique races in the live simulated run.
+    pub live: usize,
+    /// Unique races when the captured trace is replayed into an identical
+    /// fresh detector (asserted equal to `live`).
+    pub replayed: usize,
+}
+
+/// Captures one microbenchmark's trace from a live [`Gpu`] run through a
+/// [`RecordingDetector`] and verifies capture fidelity.
+///
+/// # Panics
+///
+/// Panics if the captured trace fails to replay or replays to a different
+/// race count than the live run — the record/replay pipeline is broken.
+pub(crate) fn capture_micro(m: &scor_suite::micro::Micro) -> Result<CapturedMicro, HarnessError> {
+    let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
+    let mut captured_dc = None;
+    let mut gpu = Gpu::try_with_detector_factory(cfg, |dc| {
+        captured_dc = Some(dc);
+        Box::new(RecordingDetector::new(ScordDetector::new(dc)))
+    })
+    .map_err(|e| HarnessError::new(m.name, e))?;
+    m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
+    let live = gpu.races().expect("detection is on").unique_count();
+    let trace = gpu
+        .recorded_trace()
+        .expect("recording detector attached")
+        .clone();
+    let dc = captured_dc.expect("factory ran");
+
+    // Capture fidelity: the recorded stream must reproduce the live
+    // verdicts in an identical fresh detector.
+    let mut fresh = ScordDetector::new(dc);
+    trace
+        .replay(&mut fresh)
+        .unwrap_or_else(|e| panic!("{}: captured trace does not replay: {e}", m.name));
+    let replayed = fresh.races().unique_count();
+    assert_eq!(
+        replayed, live,
+        "{}: replayed race count diverges from the live run",
+        m.name
+    );
+    Ok(CapturedMicro {
+        name: m.name,
+        trace,
+        config: DetectorConfig {
+            max_race_records: 1 << 20,
+            ..dc
+        },
+        live,
+        replayed,
+    })
+}
+
 /// Captures a trace from a live [`Gpu`] run of every microbenchmark
 /// (through a [`RecordingDetector`]), checks capture fidelity, then audits
 /// the trace against the oracle exactly like a fuzz case.
@@ -743,41 +872,17 @@ pub struct MicroSummary {
 pub fn micros(jobs: Jobs) -> Result<MicroSummary, HarnessError> {
     let ms = all_micros();
     let audited: Vec<(MicroRow, Vec<BugReport>)> = sweep("diff-micros", jobs, &ms, |_, m| {
-        let cfg = GpuConfig::paper_default().with_detection(DetectionMode::scord());
-        let mut captured_dc = None;
-        let mut gpu = Gpu::try_with_detector_factory(cfg, |dc| {
-            captured_dc = Some(dc);
-            Box::new(RecordingDetector::new(ScordDetector::new(dc)))
-        })
-        .map_err(|e| HarnessError::new(m.name, e))?;
-        m.run(&mut gpu).map_err(|e| HarnessError::new(m.name, e))?;
-        let live = gpu.races().expect("detection is on").unique_count();
-        let trace = gpu
-            .recorded_trace()
-            .expect("recording detector attached")
-            .clone();
-        let dc = captured_dc.expect("factory ran");
-
-        // Capture fidelity: the recorded stream must reproduce the live
-        // verdicts in an identical fresh detector.
-        let mut fresh = ScordDetector::new(dc);
-        trace
-            .replay(&mut fresh)
-            .unwrap_or_else(|e| panic!("{}: captured trace does not replay: {e}", m.name));
-        let replayed = fresh.races().unique_count();
-        assert_eq!(
-            replayed, live,
-            "{}: replayed race count diverges from the live run",
-            m.name
-        );
-
-        let base = DetectorConfig {
-            max_race_records: 1 << 20,
-            ..dc
-        };
+        let cap = capture_micro(m)?;
+        let CapturedMicro {
+            trace,
+            live,
+            replayed,
+            config: base,
+            ..
+        } = cap;
         let a = analyze(&trace, base)
             .unwrap_or_else(|e| panic!("{}: captured trace does not replay: {e}", m.name));
-        let (matched, classes) = classify_detector(&a, &trace, 0);
+        let (matched, classes) = classify_detector(&a, &trace, DetectorKind::Scord);
         let mut bugs = Vec::new();
         for &(key, missed, class) in &classes {
             if class == Divergence::Bug {
@@ -787,7 +892,13 @@ pub fn micros(jobs: Jobs) -> Result<MicroSummary, HarnessError> {
                     detector: m.name,
                     missed,
                     key,
-                    reproducer: minimized_reproducer(&trace, base, 0, key, missed),
+                    reproducer: minimized_reproducer(
+                        &trace,
+                        base,
+                        DetectorKind::Scord,
+                        key,
+                        missed,
+                    ),
                 });
             }
         }
@@ -876,6 +987,88 @@ mod tests {
         let a = to_markdown(&run(11, 8, Jobs::serial()));
         let b = to_markdown(&run(11, 8, Jobs::new(4).unwrap()));
         assert_eq!(a, b);
+    }
+
+    /// Satellite: detector rows must be keyed by [`DetectorKind`], never
+    /// by position — each model's key set must match a freshly built
+    /// detector of that exact kind, and summary rows must carry the kind
+    /// they aggregate.
+    #[test]
+    fn detector_rows_keyed_by_kind_not_position() {
+        let base = diff_config();
+        let trace = FuzzConfig {
+            race_pct: 60,
+            ..FuzzConfig::default()
+        }
+        .generate(17);
+        let a = analyze(&trace, base).unwrap();
+        for kind in DetectorKind::ALL {
+            let mut det = build_detector(kind, base);
+            trace.replay(&mut det).unwrap();
+            assert_eq!(
+                a.det(kind).keys,
+                keys_of(det.races()),
+                "{} keys attributed to the wrong row",
+                kind.name()
+            );
+        }
+        // The models genuinely differ on this trace, so a positional mixup
+        // could not pass the per-kind equality above silently.
+        assert!(
+            DetectorKind::ALL
+                .iter()
+                .any(|&k| a.det(k).keys != a.det(DetectorKind::Scord).keys),
+            "corpus must distinguish the models for this regression test"
+        );
+        let s = run(5, 8, Jobs::serial());
+        for (row, kind) in s.rows.iter().zip(DetectorKind::ALL) {
+            assert_eq!(row.kind, kind);
+            assert_eq!(row.name, kind.name());
+        }
+    }
+
+    /// Satellite: `minimize` is idempotent, and a reproducer shrunk under
+    /// a class-exact predicate still exhibits the *original* divergence
+    /// class, not just some divergence.
+    #[test]
+    fn minimize_is_idempotent_and_class_preserving() {
+        let base = diff_config();
+        // Small traces keep the quadratic shrink fast; high race_pct makes
+        // divergences common.
+        let cfg = FuzzConfig {
+            events: 80,
+            race_pct: 60,
+            ..FuzzConfig::default()
+        };
+        let mut found = None;
+        'outer: for seed in 0..64u64 {
+            let trace = cfg.generate(seed);
+            let a = analyze(&trace, base).unwrap();
+            for kind in DetectorKind::ALL {
+                let (_, classes) = classify_detector(&a, &trace, kind);
+                if let Some(&(key, missed, class)) =
+                    classes.iter().find(|(_, _, c)| *c != Divergence::Bug)
+                {
+                    found = Some((trace, kind, key, missed, class));
+                    break 'outer;
+                }
+            }
+        }
+        let (trace, kind, key, missed, class) =
+            found.expect("racey corpus yields at least one explained divergence");
+        let persists = |c: &Trace| key_divergence(c, base, kind, key, missed) == Some(class);
+        let min1 = minimize(&trace, persists);
+        assert!(
+            persists(&min1),
+            "minimized reproducer must still exhibit {class:?}"
+        );
+        assert!(min1.len() <= trace.len());
+        let min2 = minimize(&min1, persists);
+        assert_eq!(
+            min1.to_text(),
+            min2.to_text(),
+            "minimizing a minimized trace must be a no-op"
+        );
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Schedule-space audit: the predictive detector and the bounded
+//! interleaving explorer as harness backends.
+//!
+//! The differential audit ([`crate::diff`]) judges the one schedule each
+//! trace captured. This module multiplies what every trace proves:
+//!
+//! 1. [`scord_core::explore`] replays the trace under a bounded set of
+//!    seeded schedule perturbations (deduplicated by fingerprint), using
+//!    the exact oracle as the per-interleaving judge — races found only
+//!    under a reordered schedule are counted against the single-schedule
+//!    dynamic detector's haul;
+//! 2. [`scord_core::predict`] reports conflicting pairs ordered only by
+//!    non-blocking synchronization as predicted races; every prediction
+//!    must come back *confirmed* by a concrete witness schedule or land
+//!    in a named false-prediction class of the extended [`Divergence`]
+//!    taxonomy. An unconfirmed prediction is a schedule-model defect: the
+//!    audit fails loudly with a reproducer minimized through the same
+//!    machinery as the diff audit.
+//!
+//! [`run`] covers the identical fuzzed corpus as `diff` (same seed
+//! rotation), [`micros`] the 32 captured microbenchmark traces. Both are
+//! deterministic in their seeds for any job count.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scor_suite::micro::all_micros;
+use scord_core::explore::{explore, ExploreConfig};
+use scord_core::predict::{predict, PredictConfig, PredictionClass};
+use scord_core::{build_detector, Detector, DetectorConfig, DetectorKind, Trace};
+
+use crate::diff::{self, diff_config, BugReport, Divergence, Key};
+use crate::exec::{sweep, Jobs};
+use crate::{render_table, HarnessError};
+
+/// One trace's schedule-space audit row.
+#[derive(Debug, Clone)]
+pub struct ExploreRow {
+    /// Trace name (`fuzz-NNN` or the microbenchmark name).
+    pub name: String,
+    /// Events per interleaving (the trace length).
+    pub events: usize,
+    /// Reorderable segments the predictor partitioned the trace into.
+    pub segments: usize,
+    /// Distinct interleavings replayed (captured schedule included).
+    pub schedules: usize,
+    /// Keys the dynamic (hardware-model) ScoRD detector reported on the
+    /// captured schedule.
+    pub dynamic_keys: usize,
+    /// Oracle keys on the captured schedule (the single-schedule exact
+    /// baseline).
+    pub baseline_keys: usize,
+    /// Oracle keys found across all explored interleavings.
+    pub explored_keys: usize,
+    /// Explored keys absent from the captured schedule's oracle baseline
+    /// — what exploration adds over any single-schedule judge.
+    pub schedule_only: usize,
+    /// Explored keys the dynamic detector did not report — what the
+    /// single-schedule hardware model misses in the schedule space.
+    pub beyond_dynamic: usize,
+    /// Prediction classes ([`Divergence::PREDICTED`] counts).
+    pub counts: BTreeMap<Divergence, usize>,
+}
+
+/// Result of a schedule-space audit sweep.
+#[derive(Debug, Clone)]
+pub struct ExploreSummary {
+    /// Root seed.
+    pub seed: u64,
+    /// Schedule bound per trace.
+    pub schedule_bound: u32,
+    /// One row per trace.
+    pub rows: Vec<ExploreRow>,
+    /// Total interleavings replayed by the explorer.
+    pub interleavings: usize,
+    /// Total events replayed across those interleavings — the
+    /// deterministic cost measure (wall-clock per interleaving is printed
+    /// by the binary, outside the byte-stable tables).
+    pub events_replayed: usize,
+    /// Unconfirmed predictions with minimized reproducers (empty on a
+    /// passing audit).
+    pub bugs: Vec<BugReport>,
+}
+
+impl ExploreSummary {
+    /// Explored races the captured-schedule oracle baseline missed,
+    /// summed over all traces.
+    #[must_use]
+    pub fn schedule_only_total(&self) -> usize {
+        self.rows.iter().map(|r| r.schedule_only).sum()
+    }
+
+    /// Explored races the dynamic detector missed, summed over all
+    /// traces.
+    #[must_use]
+    pub fn beyond_dynamic_total(&self) -> usize {
+        self.rows.iter().map(|r| r.beyond_dynamic).sum()
+    }
+}
+
+fn class_divergence(c: PredictionClass) -> Divergence {
+    match c {
+        PredictionClass::Confirmed => Divergence::PredConfirmed,
+        PredictionClass::LockMutex => Divergence::PredLockMutex,
+        PredictionClass::AtomicCommute => Divergence::PredAtomicCommute,
+        PredictionClass::SyncForced => Divergence::PredSyncForced,
+        PredictionClass::Unconfirmed => Divergence::PredUnconfirmed,
+    }
+}
+
+/// Shrinks a trace that produced an unconfirmed prediction to a minimal
+/// one that still produces an unconfirmed prediction for the same
+/// `(addr, earlier pc, later pc)` signature.
+fn minimized_unconfirmed(
+    trace: &Trace,
+    base: DetectorConfig,
+    seed: u64,
+    sig: (u64, u32, u32),
+) -> String {
+    if trace.len() > diff::MINIMIZE_CAP {
+        return trace.to_text();
+    }
+    let cfg = PredictConfig {
+        seed,
+        ..PredictConfig::default()
+    };
+    diff::minimize(trace, |cand| {
+        predict(cand, base.geometry, &cfg).is_ok_and(|out| {
+            out.predictions.iter().any(|p| {
+                p.class == PredictionClass::Unconfirmed && (p.addr, p.earlier_pc, p.later_pc) == sig
+            })
+        })
+    })
+    .to_text()
+}
+
+/// Audits one trace through both schedule-space backends.
+fn audit_one(
+    name: String,
+    case_index: usize,
+    case_seed: u64,
+    trace: &Trace,
+    base: DetectorConfig,
+    bound: u32,
+) -> (ExploreRow, Vec<BugReport>) {
+    let mut dynamic = build_detector(DetectorKind::Scord, base);
+    trace
+        .replay(&mut dynamic)
+        .unwrap_or_else(|e| panic!("{name}: trace does not replay: {e}"));
+    let dynamic_keys: BTreeSet<Key> = dynamic
+        .races()
+        .records()
+        .iter()
+        .map(|r| (r.addr, r.pc, r.who.block_slot, r.who.warp_slot))
+        .collect();
+
+    let out = explore(
+        trace,
+        base.geometry,
+        &ExploreConfig {
+            bound,
+            seed: case_seed,
+        },
+    )
+    .unwrap_or_else(|e| panic!("{name}: trace does not replay: {e}"));
+    let pred = predict(
+        trace,
+        base.geometry,
+        &PredictConfig {
+            seed: case_seed,
+            ..PredictConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{name}: trace does not replay: {e}"));
+
+    let mut counts: BTreeMap<Divergence, usize> = BTreeMap::new();
+    let mut bugs = Vec::new();
+    for p in &pred.predictions {
+        *counts.entry(class_divergence(p.class)).or_default() += 1;
+        if p.class == PredictionClass::Unconfirmed {
+            bugs.push(BugReport {
+                case_index,
+                case_seed,
+                detector: "predictive",
+                missed: true,
+                key: (
+                    p.addr,
+                    p.later_pc,
+                    p.later_who.block_slot,
+                    p.later_who.warp_slot,
+                ),
+                reproducer: minimized_unconfirmed(
+                    trace,
+                    base,
+                    case_seed,
+                    (p.addr, p.earlier_pc, p.later_pc),
+                ),
+            });
+        }
+    }
+
+    let row = ExploreRow {
+        name,
+        events: trace.len(),
+        segments: pred.segments,
+        schedules: out.schedules_run,
+        dynamic_keys: dynamic_keys.len(),
+        baseline_keys: out.baseline.len(),
+        explored_keys: out.found.len(),
+        schedule_only: out.beyond_baseline().len(),
+        beyond_dynamic: out
+            .found
+            .keys()
+            .filter(|k| !dynamic_keys.contains(k))
+            .count(),
+        counts,
+    };
+    (row, bugs)
+}
+
+fn summarize(
+    seed: u64,
+    schedule_bound: u32,
+    audited: Vec<(ExploreRow, Vec<BugReport>)>,
+) -> ExploreSummary {
+    let mut rows = Vec::new();
+    let mut bugs = Vec::new();
+    let mut interleavings = 0;
+    let mut events_replayed = 0;
+    for (row, b) in audited {
+        interleavings += row.schedules;
+        events_replayed += row.schedules * row.events;
+        rows.push(row);
+        bugs.extend(b);
+    }
+    ExploreSummary {
+        seed,
+        schedule_bound,
+        rows,
+        interleavings,
+        events_replayed,
+        bugs,
+    }
+}
+
+/// Audits `cases` fuzzed traces — the identical corpus [`crate::diff`]
+/// uses for `(seed, cases)` — through both schedule-space backends.
+///
+/// Deterministic in `(seed, cases, schedule_bound)` for any job count.
+#[must_use]
+pub fn run(seed: u64, cases: usize, schedule_bound: u32, jobs: Jobs) -> ExploreSummary {
+    let specs = diff::case_specs(seed, cases);
+    let audited = sweep("explore", jobs, &specs, |_, spec| {
+        let trace = spec.cfg.generate(spec.seed);
+        audit_one(
+            format!("fuzz-{:03}", spec.index),
+            spec.index,
+            spec.seed,
+            &trace,
+            diff_config(),
+            schedule_bound,
+        )
+    });
+    summarize(seed, schedule_bound, audited)
+}
+
+/// Audits every captured microbenchmark trace through both
+/// schedule-space backends (capture fidelity verified by the shared
+/// [`crate::diff`] capture path).
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the microbenchmark whose simulation
+/// failed.
+pub fn micros(seed: u64, schedule_bound: u32, jobs: Jobs) -> Result<ExploreSummary, HarnessError> {
+    let ms = all_micros();
+    let audited: Vec<(ExploreRow, Vec<BugReport>)> = sweep("explore-micros", jobs, &ms, |_, m| {
+        let cap = diff::capture_micro(m)?;
+        Ok(audit_one(
+            cap.name.to_string(),
+            usize::MAX,
+            seed,
+            &cap.trace,
+            cap.config,
+            schedule_bound,
+        ))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    Ok(summarize(seed, schedule_bound, audited))
+}
+
+/// Renders a schedule-space audit as a markdown table. Byte-identical
+/// for any job count.
+#[must_use]
+pub fn to_markdown(summary: &ExploreSummary) -> String {
+    let mut header = vec![
+        "trace",
+        "events",
+        "segs",
+        "scheds",
+        "dyn",
+        "oracle",
+        "explored",
+        "sched-only",
+        "miss-dyn",
+    ];
+    header.extend(Divergence::PREDICTED.iter().map(|d| d.name()));
+    let rows: Vec<Vec<String>> = summary
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.name.clone(),
+                r.events.to_string(),
+                r.segments.to_string(),
+                r.schedules.to_string(),
+                r.dynamic_keys.to_string(),
+                r.baseline_keys.to_string(),
+                r.explored_keys.to_string(),
+                r.schedule_only.to_string(),
+                r.beyond_dynamic.to_string(),
+            ];
+            row.extend(
+                Divergence::PREDICTED
+                    .iter()
+                    .map(|d| r.counts.get(d).copied().unwrap_or(0).to_string()),
+            );
+            row
+        })
+        .collect();
+    let mut out = render_table(&header, &rows);
+    out.push_str(&format!(
+        "\ninterleavings: {} (bound {} per trace), events replayed: {}, \
+         events per interleaving: {:.1}\n",
+        summary.interleavings,
+        summary.schedule_bound,
+        summary.events_replayed,
+        summary.events_replayed as f64 / summary.interleavings.max(1) as f64,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scord_core::{AccessKind, Accessor, AtomKind, MemAccess, TraceEvent};
+    use scord_isa::Scope;
+
+    #[test]
+    fn fuzz_audit_confirms_every_prediction() {
+        let s = run(7, 12, 24, Jobs::serial());
+        assert_eq!(s.rows.len(), 12);
+        assert!(
+            s.bugs.is_empty(),
+            "unconfirmed predictions:\n{}",
+            s.bugs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        for r in &s.rows {
+            assert_eq!(
+                r.counts.get(&Divergence::PredUnconfirmed),
+                None,
+                "{}",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn explorer_beats_the_single_schedule_detector_on_the_corpus() {
+        let s = run(7, 12, 24, Jobs::serial());
+        assert!(
+            s.schedule_only_total() > 0,
+            "exploration must surface at least one race no single-schedule \
+             judge saw: {s:?}"
+        );
+        assert!(
+            s.beyond_dynamic_total() > 0,
+            "exploration must surface at least one race the dynamic detector \
+             missed: {s:?}"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic_across_job_counts() {
+        let a = to_markdown(&run(11, 8, 16, Jobs::serial()));
+        let b = to_markdown(&run(11, 8, 16, Jobs::new(4).unwrap()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn publication_idiom_is_audited_as_schedule_sensitive() {
+        // Clean as captured, racy in the schedule space: the explorer must
+        // find the payload race and the predictor must confirm it.
+        let p = Accessor {
+            sm: 0,
+            block_slot: 0,
+            warp_slot: 0,
+        };
+        let c = Accessor {
+            sm: 1,
+            block_slot: 8,
+            warp_slot: 0,
+        };
+        let trace: Trace = vec![
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Store,
+                addr: 0x100,
+                strong: true,
+                pc: 1,
+                who: p,
+            }),
+            TraceEvent::Fence {
+                sm: 0,
+                warp_slot: 0,
+                scope: Scope::Device,
+            },
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Atomic {
+                    kind: AtomKind::Exch,
+                    scope: Scope::Device,
+                },
+                addr: 0x200,
+                strong: true,
+                pc: 2,
+                who: p,
+            }),
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Atomic {
+                    kind: AtomKind::Other,
+                    scope: Scope::Device,
+                },
+                addr: 0x200,
+                strong: true,
+                pc: 3,
+                who: c,
+            }),
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Load,
+                addr: 0x100,
+                strong: true,
+                pc: 4,
+                who: c,
+            }),
+        ]
+        .into_iter()
+        .collect();
+        let (row, bugs) = audit_one("publication".into(), 0, 5, &trace, diff_config(), 64);
+        assert!(bugs.is_empty(), "{bugs:?}");
+        assert_eq!(row.dynamic_keys, 0, "dynamic detector sees a clean run");
+        assert_eq!(row.baseline_keys, 0, "oracle agrees on the captured order");
+        assert!(
+            row.schedule_only > 0,
+            "explorer finds the latent race: {row:?}"
+        );
+        assert!(row.beyond_dynamic > 0);
+        assert_eq!(
+            row.counts.get(&Divergence::PredConfirmed),
+            Some(&1),
+            "the payload prediction is witness-confirmed: {row:?}"
+        );
+    }
+}

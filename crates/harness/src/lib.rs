@@ -18,6 +18,7 @@
 //! | [`ablations`] | Design-choice ablations (lock-table size, cache ratio, detector throughput) |
 //! | [`faults`] | Degradation audit under fault injection (robustness, beyond the paper) |
 //! | [`diff`] | Differential race-oracle audit: fuzzed + captured traces vs the exact detector |
+//! | [`explore`] | Schedule-space audit: predictive detector + bounded interleaving explorer, oracle-judged |
 //! | [`perf`] | In-tree perf basket; appends each run to `BENCH_sim.json` at the repo root |
 //! | [`serve_bench`] | Race-detection service: long-lived server, load generator + robustness probes, `BENCH_serve.json` |
 //!
@@ -34,6 +35,7 @@ pub mod ablations;
 pub mod diff;
 mod error;
 pub mod exec;
+pub mod explore;
 pub mod faults;
 pub mod fig10;
 pub mod fig11;
