@@ -717,3 +717,26 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use crate::{AccessKind, Accessor, MemAccess};
+
+    #[test]
+    fn probe_unseen_slot_barrier_cut() {
+        let t: Trace = vec![
+            TraceEvent::Access(MemAccess { kind: AccessKind::Store, addr: 0x100, strong: true, pc: 1,
+                who: Accessor { sm: 0, block_slot: 0, warp_slot: 0 } }),
+            TraceEvent::Barrier { sm: 0, block_slot: 0 },
+            TraceEvent::Access(MemAccess { kind: AccessKind::Load, addr: 0x100, strong: true, pc: 2,
+                who: Accessor { sm: 0, block_slot: 0, warp_slot: 1 } }),
+        ].into_iter().collect();
+        let space = ScheduleSpace::new(&t);
+        eprintln!("forces(barrier=1, load=2) = {}", space.forces(1, 2));
+        let out = explore(&t, Geometry::paper_default(), &ExploreConfig { bound: 64, seed: 3 }).unwrap();
+        eprintln!("baseline: {:?}", out.baseline);
+        eprintln!("beyond_baseline: {:?}", out.beyond_baseline());
+        panic!("show output");
+    }
+}
