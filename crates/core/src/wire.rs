@@ -55,6 +55,14 @@ pub enum FrameType {
     Events,
     /// Client → server: end of stream; requests the final report.
     Finish,
+    /// Client → server (session protocol): a batch of packed trace events
+    /// for one stream of a persistent session; the payload starts with a
+    /// little-endian `u32` stream id.
+    StreamEvents,
+    /// Client → server (session protocol): end of one stream; the payload
+    /// is the little-endian `u32` stream id. The connection stays open for
+    /// further streams.
+    StreamFinish,
     /// Server → client: incremental race report.
     Report,
     /// Server → client: final summary (possibly partial, on drain).
@@ -64,6 +72,13 @@ pub enum FrameType {
     Error,
     /// Server → client: over the overload watermark; try again later.
     Busy,
+    /// Server → client (session protocol): incremental race report for one
+    /// stream; the payload starts with the `u32` stream id.
+    StreamReport,
+    /// Server → client (session protocol): final summary for one stream;
+    /// the payload starts with the `u32` stream id. The connection stays
+    /// open.
+    StreamDone,
 }
 
 impl FrameType {
@@ -73,10 +88,14 @@ impl FrameType {
         match self {
             FrameType::Events => 0x01,
             FrameType::Finish => 0x02,
+            FrameType::StreamEvents => 0x03,
+            FrameType::StreamFinish => 0x04,
             FrameType::Report => 0x81,
             FrameType::Done => 0x82,
             FrameType::Error => 0x83,
             FrameType::Busy => 0x84,
+            FrameType::StreamReport => 0x85,
+            FrameType::StreamDone => 0x86,
         }
     }
 
@@ -89,10 +108,14 @@ impl FrameType {
         Ok(match code {
             0x01 => FrameType::Events,
             0x02 => FrameType::Finish,
+            0x03 => FrameType::StreamEvents,
+            0x04 => FrameType::StreamFinish,
             0x81 => FrameType::Report,
             0x82 => FrameType::Done,
             0x83 => FrameType::Error,
             0x84 => FrameType::Busy,
+            0x85 => FrameType::StreamReport,
+            0x86 => FrameType::StreamDone,
             other => return Err(WireError::BadFrameType { ftype: other }),
         })
     }
@@ -704,6 +727,36 @@ mod tests {
 
     fn sample_trace() -> Trace {
         FuzzConfig::default().generate(0xC0FFEE)
+    }
+
+    #[test]
+    fn frame_type_codes_roundtrip_and_are_unique() {
+        let all = [
+            FrameType::Events,
+            FrameType::Finish,
+            FrameType::StreamEvents,
+            FrameType::StreamFinish,
+            FrameType::Report,
+            FrameType::Done,
+            FrameType::Error,
+            FrameType::Busy,
+            FrameType::StreamReport,
+            FrameType::StreamDone,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in all {
+            assert!(seen.insert(t.code()), "duplicate code for {t:?}");
+            assert_eq!(FrameType::from_code(t.code()).expect("assigned"), t);
+            // Client→server tags stay below 0x80, server→client at or above.
+            match t {
+                FrameType::Events
+                | FrameType::Finish
+                | FrameType::StreamEvents
+                | FrameType::StreamFinish => assert!(t.code() < 0x80),
+                _ => assert!(t.code() >= 0x80),
+            }
+        }
+        assert!(FrameType::from_code(0x7F).is_err());
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //!                 [--iters N] [--label S] [--no-cycle-skip]
 //!                 [--schedule-bound B]
 //!                 [--sm-threads N] [--mem-threads N]
-//!                 [--addr HOST:PORT] [--deadline-ms N]
+//!                 [--addr HOST:PORT] [--deadline-ms N] [--max-conns N]
 //!                 [--streams N] [--concurrency N] [--events N] [--probes]
+//!                 [--idle N] [--traces-per-conn N]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
 //!                  fig11|table8|ablations|faults|diff|explore|perf|serve|
-//!                  loadgen|all]
+//!                  loadgen|connsweep|all]
 //! ```
 //!
 //! `faults` runs the fault-injection degradation audit; it is not part of
@@ -64,12 +65,23 @@
 //! `serve` (only by name) runs the race-detection service on `--addr`
 //! (default `127.0.0.1:7444`) until SIGTERM/SIGINT, then drains gracefully
 //! and prints the final stats; `--deadline-ms` sets the per-connection
-//! progress deadline (default 5000). `loadgen` (only by name) streams
+//! progress deadline (default 5000) and `--max-conns` the overload
+//! watermark (default 64). `loadgen` (only by name) streams
 //! `--streams` fuzzed traces of `--events` events from `--concurrency`
 //! client threads at a running server, fires the malformed-input and
 //! deadline-reap robustness probes when `--probes` is given, and appends
 //! the run (tagged `--label`) to `BENCH_serve.json` at the repository
 //! root; it exits nonzero if any stream failed or a probe misbehaved.
+//! `--idle N` additionally parks N idle sessions on the server for the
+//! duration of the run (the mostly-idle fleet shape the reactor is built
+//! for) and `--traces-per-conn K` streams K traces per connection over
+//! the persistent session protocol instead of one connection per trace.
+//!
+//! `connsweep` (only by name) runs the mostly-idle connection-count sweep
+//! — in-process servers at 256/1024/4096/10000 parked sessions (clamped
+//! to the fd budget) with the active workload riding along — and appends
+//! one schema-2 row per tier to `BENCH_serve.json`; the `threads` column
+//! staying flat while `open_fds` scales is the reactor's signature.
 
 use std::env;
 use std::process::exit;
@@ -96,6 +108,9 @@ fn main() {
     let mut streams = 64usize;
     let mut concurrency = 8usize;
     let mut events = 2_000u32;
+    let mut idle = 0usize;
+    let mut traces_per_conn = 1usize;
+    let mut max_conns = 64usize;
     let mut schedule_bound = 64u32;
     let mut probes = false;
     let mut wanted: Vec<&str> = Vec::new();
@@ -150,6 +165,36 @@ fn main() {
                 });
                 events = v.parse().unwrap_or_else(|_| {
                     eprintln!("--events needs an unsigned integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--idle" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--idle needs a value");
+                    exit(2);
+                });
+                idle = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--idle needs an unsigned integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--traces-per-conn" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--traces-per-conn needs a value");
+                    exit(2);
+                });
+                traces_per_conn = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--traces-per-conn needs a positive integer, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--max-conns" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--max-conns needs a value");
+                    exit(2);
+                });
+                max_conns = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--max-conns needs a positive integer, got {v:?}");
                     exit(2);
                 });
             }
@@ -242,7 +287,7 @@ fn main() {
             other => wanted.push(other),
         }
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "table1",
         "table2",
         "table5",
@@ -260,6 +305,7 @@ fn main() {
         "perf",
         "serve",
         "loadgen",
+        "connsweep",
     ];
     if let Some(bad) = wanted.iter().find(|w| **w != "all" && !KNOWN.contains(w)) {
         eprintln!(
@@ -271,7 +317,15 @@ fn main() {
     let all = wanted.is_empty() || wanted.contains(&"all");
     // The fault sweep, the differential audit, the perf basket and the
     // service subcommands only run when asked for by name.
-    const BY_NAME_ONLY: [&str; 6] = ["faults", "diff", "explore", "perf", "serve", "loadgen"];
+    const BY_NAME_ONLY: [&str; 7] = [
+        "faults",
+        "diff",
+        "explore",
+        "perf",
+        "serve",
+        "loadgen",
+        "connsweep",
+    ];
     let want = |name: &str| (all && !BY_NAME_ONLY.contains(&name)) || wanted.contains(&name);
     let t0 = Instant::now();
 
@@ -415,7 +469,7 @@ fn main() {
 
     if want("serve") {
         let deadline = std::time::Duration::from_millis(deadline_ms);
-        match h::serve_bench::serve(&addr, deadline) {
+        match h::serve_bench::serve(&addr, deadline, max_conns) {
             Ok(stats) => println!("drained: {stats:?}"),
             Err(e) => fail(&e),
         }
@@ -424,13 +478,16 @@ fn main() {
     if want("loadgen") {
         println!(
             "\n## Service load (addr {addr}, {streams} stream(s) × {events} \
-             event(s), {concurrency} client thread(s))\n"
+             event(s), {concurrency} client thread(s), {idle} idle, \
+             {traces_per_conn} trace(s)/conn)\n"
         );
         let cfg = scord_serve::LoadConfig {
             addr: addr.clone(),
             streams,
             concurrency,
             events,
+            idle_connections: idle,
+            traces_per_conn,
             ..scord_serve::LoadConfig::default()
         };
         let deadline_hint = std::time::Duration::from_millis(deadline_ms.saturating_mul(4));
@@ -453,6 +510,43 @@ fn main() {
                 eprintln!("error: robustness probe failed");
                 exit(1);
             }
+        }
+    }
+
+    if want("connsweep") {
+        // Mostly-idle connection sweep against in-process servers. The
+        // 10_000 tier is clamped to the process's fd budget (each
+        // in-process connection costs two fds).
+        let targets: Vec<usize> = [256usize, 1024, 4096, 10_000]
+            .iter()
+            .map(|&t| h::serve_bench::clamp_to_fd_budget(t))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        println!(
+            "\n## Connection sweep (targets {targets:?}, {streams} active \
+             stream(s) × {events} event(s), {concurrency} client thread(s))\n"
+        );
+        let rows = h::serve_bench::connection_sweep(&targets, streams, concurrency, events)
+            .unwrap_or_else(|e| fail(&e));
+        println!("{}", h::serve_bench::sweep_to_markdown(&rows));
+        let path = h::serve_bench::default_bench_path();
+        for row in &rows {
+            let row_label = format!("{label}-idle{}", row.report.idle_connections);
+            match h::serve_bench::append_to_bench_json(&path, &row_label, &row.report, None) {
+                Ok(n) => println!("Recorded run {n} ({row_label}) in {}.", path.display()),
+                Err(e) => fail(&e),
+            }
+        }
+        if let Some(bad) = rows
+            .iter()
+            .find(|r| r.report.failed > 0 || r.report.completed == 0)
+        {
+            eprintln!(
+                "error: sweep row (target {}) failed {} stream(s)",
+                bad.target, bad.report.failed
+            );
+            exit(1);
         }
     }
 

@@ -54,15 +54,21 @@ impl ProbeReport {
 ///
 /// `progress_deadline` bounds how long a connection may sit without
 /// completing a frame before it is reaped — the CI smoke job shortens it so
-/// the deadline probe finishes quickly.
+/// the deadline probe finishes quickly. `max_connections` sets the overload
+/// watermark; the smoke job raises it above its idle-swarm size.
 ///
 /// # Errors
 ///
 /// [`HarnessError`] with an `Io` kind when the listener cannot bind.
-pub fn serve(addr: &str, progress_deadline: Duration) -> Result<StatsSnapshot, HarnessError> {
+pub fn serve(
+    addr: &str,
+    progress_deadline: Duration,
+    max_connections: usize,
+) -> Result<StatsSnapshot, HarnessError> {
     let cfg = ServeConfig {
         addr: addr.to_string(),
         progress_deadline,
+        max_connections,
         ..ServeConfig::default()
     };
     let server = Server::start(cfg).map_err(|e| HarnessError::io(addr.to_string(), &e))?;
@@ -186,12 +192,14 @@ fn render_run(label: &str, report: &LoadReport, probes: Option<&ProbeReport>) ->
         )
     });
     format!(
-        "    {{\n      \"label\": \"{}\",\n      \"completed\": {},\n      \
+        "    {{\n      \"label\": \"{}\",\n      \"thread_model\": \"reactor\",\n      \
+         \"completed\": {},\n      \
          \"busy\": {},\n      \"failed\": {},\n      \"events\": {},\n      \
          \"races\": {},\n      \"wall_seconds\": {:.6},\n      \
          \"traces_per_sec\": {:.3},\n      \"events_per_sec\": {:.1},\n      \
          \"p50_latency_ms\": {:.3},\n      \"p99_latency_ms\": {:.3},\n      \
-         \"max_latency_ms\": {:.3},\n      \"probes\": {}\n    }}",
+         \"max_latency_ms\": {:.3},\n      \"idle_connections\": {},\n      \
+         \"threads\": {},\n      \"open_fds\": {},\n      \"probes\": {}\n    }}",
         crate::perf::json_escape(label),
         report.completed,
         report.busy,
@@ -204,12 +212,18 @@ fn render_run(label: &str, report: &LoadReport, probes: Option<&ProbeReport>) ->
         report.p50_latency_ms,
         report.p99_latency_ms,
         report.max_latency_ms,
+        report.idle_connections,
+        report.threads,
+        report.open_fds,
         probes_field,
     )
 }
 
 fn render_document(raw_runs: &[String]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"runs\": [\n");
+    // Schema 2: runs carry `thread_model`, `idle_connections`, `threads`
+    // and `open_fds`. Schema-1 runs (thread-per-connection era) are
+    // preserved verbatim — the raw-run extractor is field-agnostic.
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"runs\": [\n");
     for (i, r) in raw_runs.iter().enumerate() {
         let indented = if r.starts_with("    ") {
             r.clone()
@@ -244,6 +258,105 @@ pub fn append_to_bench_json(
     Ok(n)
 }
 
+// ---- connection-count sweep ----------------------------------------------
+
+/// One row of the mostly-idle connection sweep.
+#[derive(Debug)]
+pub struct SweepRow {
+    /// Idle connections requested for this row (before fd clamping).
+    pub target: usize,
+    /// The measured run; `report.idle_connections` is what was actually
+    /// held open, `report.threads`/`report.open_fds` the footprint.
+    pub report: LoadReport,
+}
+
+/// Caps a sweep target to what the process's fd budget can hold: each
+/// in-process connection costs two fds (client end + server end), and a
+/// fixed headroom covers the listener, selector, waker, shard plumbing
+/// and whatever the test runner already has open.
+#[must_use]
+pub fn clamp_to_fd_budget(target: usize) -> usize {
+    const HEADROOM: u64 = 128;
+    match scord_serve::reactor::fd_limit() {
+        Some(limit) => {
+            let usable = limit.saturating_sub(HEADROOM) / 2;
+            target.min(usable as usize)
+        }
+        None => target,
+    }
+}
+
+/// Runs the mostly-idle sweep: for each target, an in-process server gets
+/// `target` parked sessions (clamped to the fd budget) while `streams`
+/// traces of `events` events run through `concurrency` active clients.
+/// The interesting columns are `threads` (flat across rows for a reactor)
+/// and `open_fds` (linear in connections) — the footprint signature that
+/// separates event-driven from thread-per-connection.
+///
+/// # Errors
+///
+/// [`HarnessError`] with an `Io` kind when a server cannot bind.
+pub fn connection_sweep(
+    targets: &[usize],
+    streams: usize,
+    concurrency: usize,
+    events: u32,
+) -> Result<Vec<SweepRow>, HarnessError> {
+    let mut rows = Vec::with_capacity(targets.len());
+    for &target in targets {
+        let idle = clamp_to_fd_budget(target);
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: idle + concurrency + 8,
+            ..ServeConfig::default()
+        })
+        .map_err(|e| HarnessError::io("127.0.0.1:0".to_string(), &e))?;
+        let cfg = LoadConfig {
+            addr: server.local_addr().to_string(),
+            streams,
+            concurrency,
+            events,
+            idle_connections: idle,
+            ..LoadConfig::default()
+        };
+        let report = scord_serve::loadgen::run(&cfg);
+        server.shutdown();
+        rows.push(SweepRow { target, report });
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep as a markdown table.
+#[must_use]
+pub fn sweep_to_markdown(rows: &[SweepRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.target.to_string(),
+                row.report.idle_connections.to_string(),
+                row.report.threads.to_string(),
+                row.report.open_fds.to_string(),
+                row.report.completed.to_string(),
+                format!("{:.1}", row.report.traces_per_sec),
+                format!("{:.3}", row.report.p99_latency_ms),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "target",
+            "idle held",
+            "threads",
+            "open fds",
+            "completed",
+            "traces/sec",
+            "p99 (ms)",
+        ],
+        &body,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +374,9 @@ mod tests {
             p50_latency_ms: 3.25,
             p99_latency_ms: 9.5,
             max_latency_ms: 12.0,
+            idle_connections: 256,
+            threads: 4,
+            open_fds: 530,
         }
     }
 
@@ -271,10 +387,15 @@ mod tests {
             deadline: Err("still waiting".into()),
         };
         let doc = render_document(&[render_run("smoke", &fake_report(), Some(&probes))]);
+        assert!(doc.contains("\"schema\": 2"));
         let runs = crate::perf::existing_runs(&doc).expect("document parses");
         assert_eq!(runs.len(), 1);
         assert!(runs[0].contains("\"traces_per_sec\": 20.000"));
         assert!(runs[0].contains("\"p99_latency_ms\": 9.500"));
+        assert!(runs[0].contains("\"thread_model\": \"reactor\""));
+        assert!(runs[0].contains("\"idle_connections\": 256"));
+        assert!(runs[0].contains("\"threads\": 4"));
+        assert!(runs[0].contains("\"open_fds\": 530"));
         assert!(runs[0].contains("\"malformed\": \"ok\""));
         assert!(runs[0].contains("failed: still waiting"));
 
@@ -284,6 +405,52 @@ mod tests {
         let runs2 = crate::perf::existing_runs(&doc2).expect("still parses");
         assert_eq!(runs2.len(), 2);
         assert!(runs2[1].contains("\"probes\": null"));
+    }
+
+    #[test]
+    fn schema1_runs_survive_a_schema2_append_verbatim() {
+        let legacy = "{\"label\": \"pr6-serve\", \"completed\": 128, \
+                      \"traces_per_sec\": 559.852}";
+        let old_doc = format!("{{\n  \"schema\": 1,\n  \"runs\": [\n    {legacy}\n  ]\n}}\n");
+        let mut raw = crate::perf::existing_runs(&old_doc).expect("schema-1 parses");
+        raw.push(render_run("reactor-row", &fake_report(), None));
+        let doc = render_document(&raw);
+        assert!(doc.contains("\"schema\": 2"));
+        let runs = crate::perf::existing_runs(&doc).expect("schema-2 parses");
+        assert_eq!(runs.len(), 2);
+        assert!(
+            runs[0].contains("\"traces_per_sec\": 559.852"),
+            "the thread-per-connection era row must be byte-preserved"
+        );
+        assert!(runs[1].contains("\"thread_model\": \"reactor\""));
+    }
+
+    #[test]
+    fn small_connection_sweep_has_flat_thread_count() {
+        let rows = connection_sweep(&[8, 64], 8, 4, 200).expect("sweep runs");
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.report.completed, 8, "active minority completes");
+            assert_eq!(
+                row.report.idle_connections, row.target as u64,
+                "small targets must not be fd-clamped"
+            );
+        }
+        // The reactor's signature: 8x the idle connections, same threads.
+        if rows[0].report.threads > 0 {
+            assert_eq!(
+                rows[0].report.threads, rows[1].report.threads,
+                "thread count must be independent of connection count"
+            );
+            assert!(
+                rows[1].report.open_fds >= rows[0].report.open_fds + 100,
+                "fd count tracks connections ({} vs {})",
+                rows[0].report.open_fds,
+                rows[1].report.open_fds
+            );
+        }
+        let md = sweep_to_markdown(&rows);
+        assert!(md.contains("traces/sec"));
     }
 
     #[test]

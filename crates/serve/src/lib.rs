@@ -26,10 +26,11 @@
 pub mod client;
 pub mod loadgen;
 pub mod proto;
+pub mod reactor;
 mod server;
 pub mod signal;
 
-pub use client::{detect_remote, Client, ClientError, Outcome};
+pub use client::{detect_remote, detect_session, Client, ClientError, Outcome, SessionEnd};
 pub use loadgen::{LoadConfig, LoadReport};
 pub use proto::{Done, ErrorCode, ErrorInfo, Report};
 pub use server::{ServeConfig, Server, StatsSnapshot};

@@ -4,6 +4,14 @@
 //! several client threads and reports throughput (traces/sec, events/sec)
 //! and per-trace latency percentiles (connect → `Done`). The harness's
 //! `loadgen` subcommand serializes the report into `BENCH_serve.json`.
+//!
+//! Two knobs target the reactor specifically: `idle_connections` opens a
+//! swarm of parked sessions the active minority must coexist with (the
+//! mostly-idle shape real fleets have), and `traces_per_conn` amortizes
+//! connections over the persistent session protocol. The report carries
+//! process-wide thread and fd counts sampled at peak — the footprint
+//! proxies that distinguish a reactor (threads independent of
+//! connections) from thread-per-connection.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -11,7 +19,7 @@ use std::time::Instant;
 
 use scord_core::FuzzConfig;
 
-use crate::client::{detect_remote, Outcome};
+use crate::client::{detect_remote, Client, Outcome};
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -28,6 +36,15 @@ pub struct LoadConfig {
     pub events_per_frame: usize,
     /// Base seed; stream `i` uses `seed + i`.
     pub seed: u64,
+    /// Idle sessions opened before the clock starts and held parked (no
+    /// frames after the header) for the whole run while the active
+    /// minority does the work above. Exercises the mostly-idle fleet
+    /// shape; 0 restores the pure active workload.
+    pub idle_connections: usize,
+    /// Traces carried per connection. 1 = one legacy connection per
+    /// trace (the PR 6 workload); >1 = persistent sessions, each
+    /// connection streaming this many traces as session streams.
+    pub traces_per_conn: usize,
 }
 
 impl Default for LoadConfig {
@@ -39,6 +56,8 @@ impl Default for LoadConfig {
             events: 2_000,
             events_per_frame: 256,
             seed: 0x10AD,
+            idle_connections: 0,
+            traces_per_conn: 1,
         }
     }
 }
@@ -68,6 +87,37 @@ pub struct LoadReport {
     pub p99_latency_ms: f64,
     /// Worst per-trace latency, milliseconds.
     pub max_latency_ms: f64,
+    /// Idle sessions actually opened and held for the run (may be less
+    /// than requested if connects failed).
+    pub idle_connections: u64,
+    /// Process-wide thread count sampled at peak load — the footprint
+    /// proxy that separates a reactor from thread-per-connection. 0 when
+    /// `/proc` is unavailable.
+    pub threads: u64,
+    /// Process-wide open-fd count sampled at peak load (server + client
+    /// sockets when colocated). 0 when `/proc` is unavailable.
+    pub open_fds: u64,
+}
+
+/// Process-wide `(threads, open_fds)` from `/proc/self`, the
+/// cheap-but-honest RSS proxies the bench records: a reactor's thread
+/// count stays flat as connections grow, its fd count tracks them
+/// linearly. Both are 0 where `/proc` doesn't exist (non-Linux).
+#[must_use]
+pub fn process_stats() -> (u64, u64) {
+    let threads = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|line| {
+                line.strip_prefix("Threads:")
+                    .and_then(|rest| rest.trim().parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0);
+    let fds = std::fs::read_dir("/proc/self/fd")
+        .map(|entries| entries.count() as u64)
+        .unwrap_or(0);
+    (threads, fds)
 }
 
 /// Ceiling-based nearest-rank percentile: the smallest sample such that at
@@ -83,6 +133,95 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.saturating_sub(1).min(sorted_ms.len() - 1)]
 }
 
+/// One worker's share of the workload: trace indices `worker`,
+/// `worker + concurrency`, …, grouped into sessions of
+/// `traces_per_conn` when the session protocol is in use.
+struct Tally {
+    lats: Vec<f64>,
+    completed: u64,
+    busy: u64,
+    failed: u64,
+    events: u64,
+    races: u64,
+}
+
+fn run_worker(cfg: &LoadConfig, worker: usize, concurrency: usize) -> Tally {
+    let mut tally = Tally {
+        lats: Vec::new(),
+        completed: 0,
+        busy: 0,
+        failed: 0,
+        events: 0,
+        races: 0,
+    };
+    let per_conn = cfg.traces_per_conn.max(1);
+    let indices: Vec<usize> = (worker..cfg.streams).step_by(concurrency).collect();
+    for group in indices.chunks(per_conn) {
+        if per_conn == 1 {
+            let i = group[0];
+            let trace = FuzzConfig {
+                events: cfg.events,
+                ..FuzzConfig::default()
+            }
+            .generate(cfg.seed.wrapping_add(i as u64));
+            let start = Instant::now();
+            match detect_remote(&cfg.addr, &trace, cfg.events_per_frame) {
+                Ok(Outcome::Done(done)) if !done.partial => {
+                    tally.lats.push(start.elapsed().as_secs_f64() * 1e3);
+                    tally.completed += 1;
+                    tally.events += trace.len() as u64;
+                    tally.races += done.races.len() as u64;
+                }
+                Ok(Outcome::Busy) => tally.busy += 1,
+                Ok(_) | Err(_) => tally.failed += 1,
+            }
+            continue;
+        }
+        // Session mode: one connection per group, one stream per trace.
+        let Ok(mut client) = Client::connect(&cfg.addr) else {
+            tally.failed += group.len() as u64;
+            continue;
+        };
+        let _ = client.set_read_timeout(std::time::Duration::from_secs(30));
+        let mut dead = false;
+        for (stream, &i) in group.iter().enumerate() {
+            if dead {
+                tally.failed += 1;
+                continue;
+            }
+            let trace = FuzzConfig {
+                events: cfg.events,
+                ..FuzzConfig::default()
+            }
+            .generate(cfg.seed.wrapping_add(i as u64));
+            let start = Instant::now();
+            let outcome = client
+                .send_stream_trace(stream as u32, &trace, cfg.events_per_frame)
+                .and_then(|()| client.finish_stream(stream as u32));
+            match outcome {
+                Ok(Outcome::Done(done)) if !done.partial => {
+                    tally.lats.push(start.elapsed().as_secs_f64() * 1e3);
+                    tally.completed += 1;
+                    tally.events += trace.len() as u64;
+                    tally.races += done.races.len() as u64;
+                }
+                Ok(Outcome::Busy) => {
+                    tally.busy += 1;
+                    dead = true;
+                }
+                Ok(_) | Err(_) => {
+                    tally.failed += 1;
+                    dead = true;
+                }
+            }
+        }
+        if !dead {
+            let _ = client.end_session();
+        }
+    }
+    tally
+}
+
 /// Runs the load profile and gathers the report.
 ///
 /// # Panics
@@ -90,68 +229,60 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 /// Panics if a client thread panics (nothing in the client path should).
 #[must_use]
 pub fn run(cfg: &LoadConfig) -> LoadReport {
-    let completed = Arc::new(AtomicU64::new(0));
-    let busy = Arc::new(AtomicU64::new(0));
-    let failed = Arc::new(AtomicU64::new(0));
-    let events_total = Arc::new(AtomicU64::new(0));
-    let races_total = Arc::new(AtomicU64::new(0));
     let concurrency = cfg.concurrency.max(1);
+
+    // Park the idle swarm first: sessions that send nothing after the
+    // header and simply coexist with the active minority. Opened before
+    // the clock starts so throughput stays comparable across idle
+    // counts.
+    let idle: Vec<Client> = (0..cfg.idle_connections)
+        .filter_map(|_| Client::connect(&cfg.addr).ok())
+        .collect();
+    let idle_held = idle.len() as u64;
+
+    let peak_threads = Arc::new(AtomicU64::new(0));
+    let peak_fds = Arc::new(AtomicU64::new(0));
     let t0 = Instant::now();
-    let latencies: Vec<f64> = std::thread::scope(|scope| {
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..concurrency)
             .map(|worker| {
                 let cfg = cfg.clone();
-                let completed = Arc::clone(&completed);
-                let busy = Arc::clone(&busy);
-                let failed = Arc::clone(&failed);
-                let events_total = Arc::clone(&events_total);
-                let races_total = Arc::clone(&races_total);
-                scope.spawn(move || {
-                    let mut lats = Vec::new();
-                    let mut i = worker;
-                    while i < cfg.streams {
-                        let trace = FuzzConfig {
-                            events: cfg.events,
-                            ..FuzzConfig::default()
-                        }
-                        .generate(cfg.seed.wrapping_add(i as u64));
-                        let start = Instant::now();
-                        match detect_remote(&cfg.addr, &trace, cfg.events_per_frame) {
-                            Ok(Outcome::Done(done)) if !done.partial => {
-                                lats.push(start.elapsed().as_secs_f64() * 1e3);
-                                completed.fetch_add(1, Ordering::Relaxed);
-                                events_total.fetch_add(trace.len() as u64, Ordering::Relaxed);
-                                races_total.fetch_add(done.races.len() as u64, Ordering::Relaxed);
-                            }
-                            Ok(Outcome::Busy) => {
-                                busy.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Ok(_) | Err(_) => {
-                                failed.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        i += concurrency;
-                    }
-                    lats
-                })
+                scope.spawn(move || run_worker(&cfg, worker, concurrency))
             })
             .collect();
+        // Sample footprint while every worker thread is alive and the
+        // idle swarm is still parked.
+        let (threads, fds) = process_stats();
+        peak_threads.store(threads, Ordering::Relaxed);
+        peak_fds.store(fds, Ordering::Relaxed);
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("load client thread panicked"))
+            .map(|h| h.join().expect("load client thread panicked"))
             .collect()
     });
     let wall = t0.elapsed().as_secs_f64();
+    drop(idle);
+
+    let mut latencies = Vec::new();
+    let (mut completed, mut busy, mut failed) = (0u64, 0u64, 0u64);
+    let (mut events_total, mut races_total) = (0u64, 0u64);
+    for tally in tallies {
+        latencies.extend(tally.lats);
+        completed += tally.completed;
+        busy += tally.busy;
+        failed += tally.failed;
+        events_total += tally.events;
+        races_total += tally.races;
+    }
     let mut sorted = latencies;
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let completed = completed.load(Ordering::Relaxed);
-    let events = events_total.load(Ordering::Relaxed);
+    let events = events_total;
     LoadReport {
         completed,
-        busy: busy.load(Ordering::Relaxed),
-        failed: failed.load(Ordering::Relaxed),
+        busy,
+        failed,
         events,
-        races: races_total.load(Ordering::Relaxed),
+        races: races_total,
         wall_seconds: wall,
         traces_per_sec: if wall > 0.0 {
             completed as f64 / wall
@@ -166,6 +297,9 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
         p50_latency_ms: percentile(&sorted, 0.50),
         p99_latency_ms: percentile(&sorted, 0.99),
         max_latency_ms: sorted.last().copied().unwrap_or(0.0),
+        idle_connections: idle_held,
+        threads: peak_threads.load(Ordering::Relaxed),
+        open_fds: peak_fds.load(Ordering::Relaxed),
     }
 }
 

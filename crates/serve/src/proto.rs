@@ -1,13 +1,33 @@
-//! Server-to-client response payloads.
+//! Service payloads: responses and the persistent-session envelope.
 //!
 //! `scord_core::wire` defines framing and the client-to-server event
 //! encoding; this module defines what travels *back*: incremental
 //! [`Report`]s, the final [`Done`] summary, typed [`ErrorInfo`] responses,
-//! and the empty `Busy` payload. Kept in `scord-serve` because only the
-//! service and its clients speak these payloads — the core codec stays a
-//! pure trace transport.
+//! and the empty `Busy` payload — plus the *session* payloads that carry a
+//! `u32` stream id so one connection can multiplex many traces
+//! (`StreamEvents`/`StreamFinish` inbound, `StreamReport`/`StreamDone`
+//! outbound). Kept in `scord-serve` because only the service and its
+//! clients speak these payloads — the core codec stays a pure trace
+//! transport.
+//!
+//! ## Session protocol rules
+//!
+//! A connection is *legacy* (one implicit trace, `Events`…`Finish`, exactly
+//! the PR 6 protocol) or a *session* (stream-scoped frames), decided by its
+//! first frame; mixing the two is a protocol violation. Within a session:
+//!
+//! - a stream is opened by the first `StreamEvents`/`StreamFinish` naming
+//!   its id, and ids must be **strictly increasing** in order of opening
+//!   (so a finished id can never be silently resurrected);
+//! - events for open streams may interleave arbitrarily;
+//! - `StreamFinish` closes one stream and draws its `StreamDone`; the
+//!   connection persists;
+//! - a connection-level `Finish` ends the session: any still-open streams
+//!   are finalized (each drawing a `StreamDone`), then the server closes.
+//!   Ending a session with `Finish` is what makes the close *clean* — an
+//!   EOF without it is counted as a mid-stream disconnect.
 
-use scord_core::{RaceKind, WireError};
+use scord_core::{wire, RaceKind, TraceEvent, WireError};
 
 /// Typed protocol error codes carried in `Error` frames. Every way a
 /// connection can be quarantined has a distinct code, so clients (and the
@@ -210,6 +230,90 @@ pub fn decode_done(payload: &[u8]) -> Result<Done, WireError> {
     })
 }
 
+// ---- session payloads ----------------------------------------------------
+
+/// Encodes a `StreamEvents` payload: the stream id followed by the packed
+/// event words.
+#[must_use]
+pub fn encode_stream_events(stream: u32, events: &[TraceEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + events.len() * 8);
+    out.extend_from_slice(&stream.to_le_bytes());
+    out.extend_from_slice(&wire::encode_events(events));
+    out
+}
+
+/// Splits a stream-scoped payload into its id and the remainder.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when even the id is missing.
+pub fn split_stream_payload(payload: &[u8]) -> Result<(u32, &[u8]), WireError> {
+    need(payload, 4)?;
+    Ok((u32_at(payload, 0), &payload[4..]))
+}
+
+/// Encodes a `StreamFinish` payload.
+#[must_use]
+pub fn encode_stream_finish(stream: u32) -> Vec<u8> {
+    stream.to_le_bytes().to_vec()
+}
+
+/// Decodes a `StreamFinish` payload.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on a short payload, [`WireError::BadEvent`] on
+/// trailing bytes (the payload is exactly the id).
+pub fn decode_stream_finish(payload: &[u8]) -> Result<u32, WireError> {
+    need(payload, 4)?;
+    if payload.len() > 4 {
+        return Err(WireError::BadEvent {
+            word: 0,
+            reason: "StreamFinish payload is larger than its stream id",
+        });
+    }
+    Ok(u32_at(payload, 0))
+}
+
+/// Encodes a `StreamReport` payload.
+#[must_use]
+pub fn encode_stream_report(stream: u32, r: &Report) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&stream.to_le_bytes());
+    out.extend_from_slice(&encode_report(r));
+    out
+}
+
+/// Decodes a `StreamReport` payload.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on a short payload.
+pub fn decode_stream_report(payload: &[u8]) -> Result<(u32, Report), WireError> {
+    let (stream, rest) = split_stream_payload(payload)?;
+    Ok((stream, decode_report(rest)?))
+}
+
+/// Encodes a `StreamDone` payload.
+#[must_use]
+pub fn encode_stream_done(stream: u32, d: &Done) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + d.races.len() * 5);
+    out.extend_from_slice(&stream.to_le_bytes());
+    out.extend_from_slice(&encode_done(d));
+    out
+}
+
+/// Decodes a `StreamDone` payload.
+///
+/// # Errors
+///
+/// See [`decode_done`]; additionally [`WireError::Truncated`] when the id
+/// is missing.
+pub fn decode_stream_done(payload: &[u8]) -> Result<(u32, Done), WireError> {
+    let (stream, rest) = split_stream_payload(payload)?;
+    Ok((stream, decode_done(rest)?))
+}
+
 /// Encodes an `Error` payload.
 #[must_use]
 pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
@@ -304,6 +408,54 @@ mod tests {
         assert_eq!(unknown.code, None);
         assert_eq!(unknown.raw_code, 0x7FFF);
         assert!(decode_error(&[1]).is_err());
+    }
+
+    #[test]
+    fn stream_payloads_roundtrip() {
+        let events = vec![TraceEvent::KernelBoundary, TraceEvent::KernelBoundary];
+        let payload = encode_stream_events(7, &events);
+        let (stream, rest) = split_stream_payload(&payload).expect("split");
+        assert_eq!(stream, 7);
+        assert_eq!(wire::decode_events(rest).expect("events"), events);
+
+        assert_eq!(
+            decode_stream_finish(&encode_stream_finish(u32::MAX)).expect("finish"),
+            u32::MAX
+        );
+        let r = Report {
+            unique: 3,
+            total: 99,
+        };
+        assert_eq!(
+            decode_stream_report(&encode_stream_report(11, &r)).expect("report"),
+            (11, r)
+        );
+        let d = Done {
+            partial: false,
+            total: 5,
+            races: vec![(0xBEEF, RaceKind::NotStrong)],
+        };
+        assert_eq!(
+            decode_stream_done(&encode_stream_done(12, &d)).expect("done"),
+            (12, d)
+        );
+    }
+
+    #[test]
+    fn stream_payloads_reject_malformed() {
+        assert!(matches!(
+            split_stream_payload(&[1, 2, 3]),
+            Err(WireError::Truncated { .. })
+        ));
+        // Trailing junk after a StreamFinish id is a protocol violation,
+        // not ignorable padding.
+        assert!(decode_stream_finish(&[1, 0, 0, 0, 9]).is_err());
+        // A stream report that is only an id has no Report inside.
+        assert!(matches!(
+            decode_stream_report(&4u32.to_le_bytes()),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(decode_stream_done(&4u32.to_le_bytes()).is_err());
     }
 
     #[test]

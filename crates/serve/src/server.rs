@@ -1,50 +1,77 @@
 //! The race-detection service: TCP ingest with backpressure, deadlines,
-//! overload shedding, quarantine, and graceful drain.
+//! overload shedding, quarantine, and graceful drain — on a
+//! readiness-based reactor.
 //!
 //! ## Thread model
 //!
-//! One **acceptor** owns the listener. Each accepted connection gets a
-//! cheap blocking **reader** thread (it spends its life in `read(2)` or
-//! blocked on its ingest queue — the backpressure edge) and is assigned
-//! round-robin to one of N **shard workers** (N ≈ cores), each of which
-//! owns the `ScordDetector` instances for its connections. Detectors are
-//! single-threaded by construction — a connection's events are only ever
-//! applied by its shard — so the hot detection path takes no locks.
+//! One **event loop** thread owns the listener, every connection socket
+//! (nonblocking), the [`crate::reactor::Selector`], and a
+//! [`crate::reactor::TimerWheel`] for progress deadlines, write stalls
+//! and close-linger timers. It accepts, reads, frames, enforces the
+//! session protocol, and writes responses; it never blocks on a socket
+//! and never decodes an event. N **shard workers** (N ≈ cores) own the
+//! `ScordDetector` instances; each connection is pinned to one shard, so
+//! the hot detection path takes no locks. Thread count is `1 + shards`,
+//! independent of connection count — ten thousand idle sessions cost fds
+//! and a few hundred bytes each, not stacks and context switches.
 //!
-//! ## Robustness contract
+//! Loop → shard is a condvar-blocking mailbox (idle shards *block*, they
+//! do not poll); shard → loop is a mutex inbox plus a
+//! [`crate::reactor::Waker`]. Both directions are push-nonblocking, so
+//! the two sides can never deadlock; boundedness comes from the
+//! per-connection in-flight cap, not from queue capacity.
 //!
-//! - **Backpressure**: readers push decoded batches into a bounded
-//!   per-connection queue ([`scord_pool::BoundedQueue`]) and *block* when
-//!   it is full; the socket stops being read, the kernel buffer fills and
-//!   TCP flow control stalls the client. The detector is never blocked on
-//!   a socket and never sees an unbounded backlog.
-//! - **Deadlines**: a connection that completes no frame within
-//!   [`ServeConfig::progress_deadline`] is reaped with a typed
-//!   `deadline-exceeded` error — a slowloris dribbling bytes never pins a
-//!   reader forever.
-//! - **Shedding**: past [`ServeConfig::max_connections`] live streams the
-//!   acceptor answers with a `Busy` frame and closes — a typed "try
-//!   later", not a hung or reset connection.
-//! - **Quarantine**: any wire-format violation (bad magic, version skew,
-//!   CRC mismatch, bad event encoding) or detector rejection draws a
-//!   typed `Error` frame and closes *that* connection; nothing is shared
-//!   between streams, so the process and other clients are unaffected.
+//! ## Backpressure
+//!
+//! Each connection may have at most [`ServeConfig::queue_capacity`]
+//! event batches in flight to its shard. At the cap the loop stops
+//! decoding frames *and* drops read interest: the socket stops being
+//! read, the kernel buffer fills, and TCP flow control stalls the
+//! client. Shard acks decrement the count and resume ingest. Responses
+//! queue in a per-connection outbox flushed under `EPOLLOUT` interest; a
+//! client that stops draining responses for
+//! [`ServeConfig::write_timeout`] is dropped.
+//!
+//! ## Sessions
+//!
+//! A connection is *legacy* (one implicit trace, `Events`…`Finish`) or a
+//! *session* (stream-scoped frames, multiple traces per connection),
+//! decided by its first frame — see [`crate::proto`] for the rules. Only
+//! connections with an unfinished trace are subject to the progress
+//! deadline: an idle session (or a connection that has sent nothing but
+//! its header) parks for free, which is what makes a mostly-idle swarm
+//! cheap, while a half-sent frame is still reaped on schedule.
+//!
+//! ## Robustness contract (unchanged from the thread-per-connection
+//! server; the adversarial suite is the spec)
+//!
+//! - **Deadlines**: a connection with an unfinished trace that completes
+//!   no frame within [`ServeConfig::progress_deadline`] is reaped with a
+//!   typed `deadline-exceeded` error, found via the timer wheel in
+//!   O(expired), not O(connections).
+//! - **Shedding**: past [`ServeConfig::max_connections`] live streams
+//!   new clients get a typed `Busy` frame and a clean close.
+//! - **Quarantine**: any wire violation or detector rejection draws a
+//!   typed `Error` and closes *that* connection (with a short lingering
+//!   half-close so the error outruns the RST); other streams share
+//!   nothing with it and are unaffected.
 //! - **Drain**: [`Server::shutdown`] (or SIGTERM via [`crate::signal`])
-//!   stops accepting, stops reading, flushes a partial `Done` report for
-//!   every in-flight stream, and joins every thread before returning.
+//!   stops accepting, stops reading, flushes a partial `Done` for every
+//!   in-flight stream, and joins every thread before returning.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use scord_core::wire::{self, FrameAssembler, FrameType};
 use scord_core::{Detector, DetectorConfig, DetectorError, ScordDetector, TraceEvent};
-use scord_pool::{BoundedQueue, Pop};
 
 use crate::proto::{self, Done, ErrorCode, Report};
+use crate::reactor::{listener_fd, stream_fd, Interest, RawFd, Selector, TimerWheel, Waker};
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -54,26 +81,27 @@ pub struct ServeConfig {
     /// Detector shard workers. Defaults to available parallelism, capped
     /// at 8 — detection is memory-bound well before that.
     pub shards: usize,
-    /// Per-connection ingest queue capacity, in event batches. The
-    /// backpressure bound: a connection can have at most this many decoded
-    /// batches in flight.
+    /// Per-connection in-flight cap, in event batches: how many decoded
+    /// batches may sit between the loop and the shard before the
+    /// connection's socket stops being read.
     pub queue_capacity: usize,
-    /// Socket read timeout slice — how often an idle reader wakes to check
-    /// deadlines and shutdown.
+    /// Upper bound on the event loop's sleep — how often it re-checks
+    /// the shutdown flag even with no I/O and no armed timers.
     pub read_slice: Duration,
-    /// A connection that completes no frame for this long is reaped.
+    /// A connection with an unfinished trace that completes no frame for
+    /// this long is reaped. Idle sessions are exempt.
     pub progress_deadline: Duration,
-    /// Ceiling on response writes; a client that stops draining its
-    /// responses for this long is dropped (the detector never blocks on a
-    /// slow consumer).
+    /// Ceiling on response-write stalls; a client that stops draining
+    /// its responses for this long is dropped (the detector never blocks
+    /// on a slow consumer).
     pub write_timeout: Duration,
     /// Overload watermark: live connections beyond this are shed with a
     /// typed `Busy` response.
     pub max_connections: usize,
     /// Per-frame payload ceiling passed to the wire decoder.
     pub max_frame: u32,
-    /// Global-memory size handed to [`DetectorConfig::paper_default`] for
-    /// each per-stream detector.
+    /// Global-memory size handed to [`DetectorConfig::paper_default`]
+    /// for each per-stream detector.
     pub detector_mem_bytes: u64,
 }
 
@@ -138,39 +166,134 @@ impl ServerStats {
     }
 }
 
-/// Work handed from a connection reader to its detector shard.
-enum WorkItem {
-    /// A decoded batch of events.
-    Events(Vec<TraceEvent>),
-    /// Client finished cleanly; emit the full report.
-    Finish,
-    /// Server is draining; emit a partial report for whatever arrived.
-    Drain,
+// ---- loop ↔ shard plumbing -----------------------------------------------
+
+/// Condvar-blocking unbounded mailbox (loop → shard). Unbounded is safe
+/// because the loop enforces the per-connection in-flight cap before
+/// pushing; blocking pop is the satellite fix for the old 500µs sleep
+/// poll — an idle shard costs zero CPU.
+struct Mailbox<T> {
+    inner: Mutex<(VecDeque<T>, bool)>,
+    cv: Condvar,
 }
 
-/// State shared between a connection's reader thread and its shard
-/// worker. The connection counts against the overload watermark until
-/// *both* sides are done with it (the [`Drop`] impl decrements).
-struct ConnShared {
-    queue: BoundedQueue<WorkItem>,
-    /// Set by whichever side kills the connection; the other side backs
-    /// off instead of writing to a quarantined stream.
-    dead: AtomicBool,
-    active: Arc<AtomicUsize>,
-}
+impl<T> Mailbox<T> {
+    fn new() -> Mailbox<T> {
+        Mailbox {
+            inner: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
 
-impl Drop for ConnShared {
-    fn drop(&mut self) {
-        self.active.fetch_sub(1, Ordering::SeqCst);
+    fn push(&self, item: T) {
+        let mut g = self.inner.lock().expect("mailbox poisoned");
+        if g.1 {
+            return; // closed: drop
+        }
+        g.0.push_back(item);
+        drop(g);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next item; `None` once closed *and* empty (the
+    /// backlog is always drained first, so queued `Drain` markers are
+    /// honored).
+    fn pop_blocking(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("mailbox poisoned");
+        loop {
+            if let Some(item) = g.0.pop_front() {
+                return Some(item);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.cv.wait(g).expect("mailbox poisoned");
+        }
+    }
+
+    /// Non-blocking drain of up to `max` more items (ack batching).
+    fn drain_into(&self, out: &mut Vec<T>, max: usize) {
+        let mut g = self.inner.lock().expect("mailbox poisoned");
+        for _ in 0..max {
+            match g.0.pop_front() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut g = self.inner.lock().expect("mailbox poisoned");
+        g.1 = true;
+        drop(g);
+        self.cv.notify_all();
     }
 }
 
-/// Registration message to a shard worker.
-struct NewConn {
-    shared: Arc<ConnShared>,
-    /// The worker's write half of the socket.
-    stream: TcpStream,
+/// Work handed from the event loop to a detector shard. Event payloads
+/// travel undecoded — the loop never spends its cycles in
+/// `decode_events`.
+enum ShardItem {
+    /// An `Events` payload for a legacy (implicit-stream) connection.
+    LegacyEvents(Vec<u8>),
+    /// Legacy `Finish`: emit the full report and close.
+    LegacyFinish,
+    /// A `StreamEvents` payload (id already stripped) for a session.
+    StreamEvents { stream: u32, bytes: Vec<u8> },
+    /// `StreamFinish`: emit this stream's full report; session persists.
+    StreamFinish { stream: u32 },
+    /// Session-level `Finish` ("bye"): finalize remaining open streams,
+    /// then close.
+    Bye,
+    /// Server drain: flush partial report(s) for whatever is open, then
+    /// close.
+    Drain,
+    /// The loop closed the socket; forget all state, emit nothing.
+    Close,
 }
+
+struct ShardMsg {
+    conn: u64,
+    item: ShardItem,
+}
+
+/// Message from a shard back to the event loop.
+enum LoopMsg {
+    /// Append response bytes to the connection's outbox.
+    Append { conn: u64, bytes: Vec<u8> },
+    /// Final response bytes: flush, then close (optionally via a
+    /// lingering half-close so the bytes outrun any RST).
+    FinishConn {
+        conn: u64,
+        bytes: Vec<u8>,
+        linger: bool,
+    },
+    /// In-flight batch acknowledgements `(conn, batches)`.
+    Acks(Vec<(u64, u32)>),
+}
+
+/// Shard → loop inbox: a mutex'd vector plus the loop's waker. Pushes
+/// never block, so a shard can never deadlock against a busy loop.
+struct LoopInbox {
+    msgs: Mutex<Vec<LoopMsg>>,
+    waker: Waker,
+}
+
+impl LoopInbox {
+    fn send(&self, batch: Vec<LoopMsg>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.msgs.lock().expect("inbox poisoned").extend(batch);
+        self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<LoopMsg> {
+        std::mem::take(&mut *self.msgs.lock().expect("inbox poisoned"))
+    }
+}
+
+// ---- detection shards ----------------------------------------------------
 
 fn apply_event(det: &mut ScordDetector, ev: &TraceEvent) -> Result<(), DetectorError> {
     match *ev {
@@ -189,50 +312,1165 @@ fn apply_event(det: &mut ScordDetector, ev: &TraceEvent) -> Result<(), DetectorE
     }
 }
 
-/// Best-effort framed write; returns `false` on any error (the caller
-/// drops the connection — a response write must never wedge a thread
-/// beyond the socket's write timeout).
-fn write_frame(stream: &mut TcpStream, ftype: FrameType, payload: &[u8]) -> bool {
+fn frame_bytes(ftype: FrameType, payload: &[u8]) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(payload.len() + wire::FRAME_OVERHEAD);
     wire::encode_frame(ftype, payload, &mut bytes);
-    stream
-        .write_all(&bytes)
-        .and_then(|()| stream.flush())
-        .is_ok()
+    bytes
 }
 
-fn write_error(stream: &mut TcpStream, code: ErrorCode, message: &str) -> bool {
-    write_frame(
-        stream,
-        FrameType::Error,
-        &proto::encode_error(code, message),
-    )
+fn error_frame(code: ErrorCode, message: &str) -> Vec<u8> {
+    frame_bytes(FrameType::Error, &proto::encode_error(code, message))
 }
 
-/// Closes a connection without losing the response we just wrote.
-///
-/// Closing a socket with unread received bytes makes the kernel send RST,
-/// which discards the peer's receive buffer — including the typed `Error`
-/// or `Busy` frame the whole quarantine contract hinges on. So: half-close
-/// the write side (FIN after our frame), then briefly drain whatever the
-/// client had in flight so the final close is clean. Bounded at half a
-/// second; a client that keeps flooding past that gets the RST it earned.
-fn drain_then_close(stream: &mut TcpStream) {
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut scratch = [0u8; 8 * 1024];
-    let deadline = Instant::now() + Duration::from_millis(500);
-    while Instant::now() < deadline {
-        match stream.read(&mut scratch) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(ref e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => break,
+/// Classifies a wire error into the protocol error code sent back.
+fn quarantine_code(err: &wire::WireError) -> ErrorCode {
+    match err {
+        wire::WireError::BadEvent { .. } => ErrorCode::BadEvent,
+        wire::WireError::Truncated { .. } => ErrorCode::Truncated,
+        _ => ErrorCode::Malformed,
+    }
+}
+
+/// One detector plus its incremental-report watermark.
+struct StreamDet {
+    det: ScordDetector,
+    reported_unique: usize,
+}
+
+impl StreamDet {
+    fn new(mem_bytes: u64) -> StreamDet {
+        StreamDet {
+            det: ScordDetector::new(DetectorConfig::paper_default(mem_bytes)),
+            reported_unique: 0,
+        }
+    }
+
+    fn apply_all(&mut self, events: &[TraceEvent]) -> Result<(), DetectorError> {
+        for ev in events {
+            apply_event(&mut self.det, ev)?;
+        }
+        Ok(())
+    }
+
+    /// A [`Report`] whenever the unique-race count moved since the last.
+    fn report_if_grown(&mut self) -> Option<Report> {
+        let log = self.det.races();
+        let unique = log.unique_count();
+        if unique > self.reported_unique {
+            self.reported_unique = unique;
+            return Some(Report {
+                unique: unique as u32,
+                total: log.total_count(),
+            });
+        }
+        None
+    }
+
+    fn done(&self, partial: bool) -> Done {
+        let log = self.det.races();
+        Done {
+            partial,
+            total: log.total_count(),
+            races: log.unique_races().collect(),
         }
     }
 }
+
+/// Shard-side per-connection state. `Killed` tombstones a quarantined
+/// connection so work already in the mailbox is discarded instead of
+/// resurrecting it; the loop's final `Close` removes the tombstone.
+enum ShardConn {
+    Legacy(Box<StreamDet>),
+    Session(Vec<(u32, StreamDet)>),
+    Killed,
+}
+
+struct ShardCtx<'a> {
+    stats: &'a ServerStats,
+    mem_bytes: u64,
+    out: Vec<LoopMsg>,
+    acks: Vec<(u64, u32)>,
+}
+
+impl ShardCtx<'_> {
+    fn kill(&mut self, conns: &mut HashMap<u64, ShardConn>, conn: u64, code: ErrorCode, msg: &str) {
+        conns.insert(conn, ShardConn::Killed);
+        self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.out.push(LoopMsg::FinishConn {
+            conn,
+            bytes: error_frame(code, msg),
+            linger: true,
+        });
+    }
+}
+
+fn shard_loop(
+    mailbox: &Mailbox<ShardMsg>,
+    inbox: &LoopInbox,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+) {
+    let mut conns: HashMap<u64, ShardConn> = HashMap::new();
+    let mut batch: Vec<ShardMsg> = Vec::new();
+    loop {
+        let Some(first) = mailbox.pop_blocking() else {
+            return;
+        };
+        batch.push(first);
+        mailbox.drain_into(&mut batch, 255);
+        let mut ctx = ShardCtx {
+            stats,
+            mem_bytes: cfg.detector_mem_bytes,
+            out: Vec::new(),
+            acks: Vec::new(),
+        };
+        for msg in batch.drain(..) {
+            shard_handle(&mut conns, msg, &mut ctx);
+        }
+        if !ctx.acks.is_empty() {
+            let acks = std::mem::take(&mut ctx.acks);
+            ctx.out.push(LoopMsg::Acks(acks));
+        }
+        inbox.send(ctx.out);
+    }
+}
+
+fn shard_handle(conns: &mut HashMap<u64, ShardConn>, msg: ShardMsg, ctx: &mut ShardCtx<'_>) {
+    let ShardMsg { conn, item } = msg;
+    if let ShardItem::Close = item {
+        conns.remove(&conn);
+        return;
+    }
+    if matches!(conns.get(&conn), Some(ShardConn::Killed)) {
+        return; // quarantined: discard queued work until the loop closes
+    }
+    match item {
+        ShardItem::LegacyEvents(bytes) => {
+            ctx.acks.push((conn, 1));
+            let ShardConn::Legacy(sd) = conns
+                .entry(conn)
+                .or_insert_with(|| ShardConn::Legacy(Box::new(StreamDet::new(ctx.mem_bytes))))
+            else {
+                return; // protocol mixing is quarantined at the loop
+            };
+            match wire::decode_events(&bytes) {
+                Ok(events) => {
+                    if let Err(err) = sd.apply_all(&events) {
+                        ctx.kill(
+                            conns,
+                            conn,
+                            ErrorCode::BadEvent,
+                            &format!("detector rejected event: {err}"),
+                        );
+                        return;
+                    }
+                    if let Some(report) = sd.report_if_grown() {
+                        ctx.out.push(LoopMsg::Append {
+                            conn,
+                            bytes: frame_bytes(FrameType::Report, &proto::encode_report(&report)),
+                        });
+                    }
+                }
+                Err(err) => ctx.kill(conns, conn, quarantine_code(&err), &err.to_string()),
+            }
+        }
+        ShardItem::LegacyFinish => {
+            let sd = match conns.remove(&conn) {
+                Some(ShardConn::Legacy(sd)) => sd,
+                // Finish with no prior events: an empty trace is a valid
+                // (raceless) stream.
+                _ => Box::new(StreamDet::new(ctx.mem_bytes)),
+            };
+            ctx.stats.completed.fetch_add(1, Ordering::Relaxed);
+            ctx.out.push(LoopMsg::FinishConn {
+                conn,
+                bytes: frame_bytes(FrameType::Done, &proto::encode_done(&sd.done(false))),
+                linger: false,
+            });
+        }
+        ShardItem::StreamEvents { stream, bytes } => {
+            ctx.acks.push((conn, 1));
+            let ShardConn::Session(streams) = conns
+                .entry(conn)
+                .or_insert_with(|| ShardConn::Session(Vec::new()))
+            else {
+                return;
+            };
+            let sd = match streams.iter_mut().position(|(id, _)| *id == stream) {
+                Some(at) => &mut streams[at].1,
+                None => {
+                    streams.push((stream, StreamDet::new(ctx.mem_bytes)));
+                    &mut streams.last_mut().expect("just pushed").1
+                }
+            };
+            match wire::decode_events(&bytes) {
+                Ok(events) => {
+                    if let Err(err) = sd.apply_all(&events) {
+                        ctx.kill(
+                            conns,
+                            conn,
+                            ErrorCode::BadEvent,
+                            &format!("detector rejected event: {err}"),
+                        );
+                        return;
+                    }
+                    if let Some(report) = sd.report_if_grown() {
+                        ctx.out.push(LoopMsg::Append {
+                            conn,
+                            bytes: frame_bytes(
+                                FrameType::StreamReport,
+                                &proto::encode_stream_report(stream, &report),
+                            ),
+                        });
+                    }
+                }
+                Err(err) => ctx.kill(conns, conn, quarantine_code(&err), &err.to_string()),
+            }
+        }
+        ShardItem::StreamFinish { stream } => {
+            let entry = conns
+                .entry(conn)
+                .or_insert_with(|| ShardConn::Session(Vec::new()));
+            let ShardConn::Session(streams) = entry else {
+                return;
+            };
+            let sd = match streams.iter().position(|(id, _)| *id == stream) {
+                Some(at) => streams.swap_remove(at).1,
+                // Opened and finished with no events: an empty stream.
+                None => StreamDet::new(ctx.mem_bytes),
+            };
+            ctx.stats.completed.fetch_add(1, Ordering::Relaxed);
+            ctx.out.push(LoopMsg::Append {
+                conn,
+                bytes: frame_bytes(
+                    FrameType::StreamDone,
+                    &proto::encode_stream_done(stream, &sd.done(false)),
+                ),
+            });
+        }
+        ShardItem::Bye => {
+            let mut streams = match conns.remove(&conn) {
+                Some(ShardConn::Session(streams)) => streams,
+                _ => Vec::new(),
+            };
+            streams.sort_by_key(|(id, _)| *id);
+            let mut bytes = Vec::new();
+            for (stream, sd) in &streams {
+                ctx.stats.completed.fetch_add(1, Ordering::Relaxed);
+                bytes.extend_from_slice(&frame_bytes(
+                    FrameType::StreamDone,
+                    &proto::encode_stream_done(*stream, &sd.done(false)),
+                ));
+            }
+            ctx.out.push(LoopMsg::FinishConn {
+                conn,
+                bytes,
+                linger: false,
+            });
+        }
+        ShardItem::Drain => match conns.remove(&conn) {
+            Some(ShardConn::Killed) => {}
+            Some(ShardConn::Session(mut streams)) => {
+                streams.sort_by_key(|(id, _)| *id);
+                let mut bytes = Vec::new();
+                for (stream, sd) in &streams {
+                    ctx.stats.drained_partial.fetch_add(1, Ordering::Relaxed);
+                    bytes.extend_from_slice(&frame_bytes(
+                        FrameType::StreamDone,
+                        &proto::encode_stream_done(*stream, &sd.done(true)),
+                    ));
+                }
+                ctx.out.push(LoopMsg::FinishConn {
+                    conn,
+                    bytes,
+                    linger: false,
+                });
+            }
+            removed => {
+                let sd = match removed {
+                    Some(ShardConn::Legacy(sd)) => sd,
+                    _ => Box::new(StreamDet::new(ctx.mem_bytes)),
+                };
+                ctx.stats.drained_partial.fetch_add(1, Ordering::Relaxed);
+                ctx.out.push(LoopMsg::FinishConn {
+                    conn,
+                    bytes: frame_bytes(FrameType::Done, &proto::encode_done(&sd.done(true))),
+                    linger: false,
+                });
+            }
+        },
+        ShardItem::Close => unreachable!("handled above"),
+    }
+}
+
+// ---- event loop ----------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+/// How long a quarantined/shed connection lingers half-closed so its
+/// final frame outruns the RST a hard close would send.
+const LINGER: Duration = Duration::from_millis(500);
+/// How long the loop stops accepting after a non-`WouldBlock` accept
+/// error (e.g. transient `EMFILE`) instead of spinning on a
+/// level-triggered listener.
+const ACCEPT_PAUSE: Duration = Duration::from_millis(5);
+const READ_CHUNK: usize = 64 * 1024;
+
+fn token_of(slot: usize, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | slot as u64
+}
+
+/// Connection lifecycle at the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Reading and forwarding frames.
+    Streaming,
+    /// Client's part is done (`Finish` seen) or the server is draining;
+    /// reads stop, the shard's final bytes are on their way.
+    AwaitFinal,
+    /// Final bytes queued: close (or linger) once the outbox flushes.
+    Flush { linger: bool },
+    /// Write side shut; discard reads until EOF or the timer fires.
+    Linger { until: Instant },
+}
+
+/// Which protocol dialect the connection speaks (fixed by its first
+/// frame; mixing is quarantined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Unknown,
+    Legacy { open: bool },
+    Session,
+}
+
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    gen: u32,
+    asm: FrameAssembler,
+    outbox: Vec<u8>,
+    outbox_pos: usize,
+    interest: Interest,
+    registered: bool,
+    inflight: usize,
+    shard: usize,
+    shard_known: bool,
+    phase: Phase,
+    mode: Mode,
+    open_ids: Vec<u32>,
+    next_stream_min: u32,
+    last_progress: Instant,
+    write_blocked_since: Option<Instant>,
+    armed: bool,
+    counts_active: bool,
+    read_open: bool,
+}
+
+impl Conn {
+    fn token(&self, slot: usize) -> u64 {
+        token_of(slot, self.gen)
+    }
+
+    /// Subject to the progress deadline? Only connections the client has
+    /// left mid-trace: a half-received frame, an unfinished legacy
+    /// stream, or open session streams. Idle sessions and header-only
+    /// connections park for free — that exemption is what lets a 10k
+    /// idle swarm coexist with a sub-second deadline.
+    fn reapable(&self) -> bool {
+        if self.phase != Phase::Streaming {
+            return false;
+        }
+        self.asm.pending_bytes() > 0
+            || match self.mode {
+                Mode::Legacy { open } => open,
+                Mode::Session => !self.open_ids.is_empty(),
+                Mode::Unknown => false,
+            }
+    }
+
+    fn has_unflushed(&self) -> bool {
+        self.outbox_pos < self.outbox.len()
+    }
+
+    /// The interest set this connection's state wants right now.
+    fn desired_interest(&self, queue_capacity: usize) -> Interest {
+        let readable = self.read_open
+            && match self.phase {
+                // Backpressure edge: at the in-flight cap the socket
+                // stops being read entirely.
+                Phase::Streaming => self.inflight < queue_capacity,
+                Phase::AwaitFinal | Phase::Flush { .. } => false,
+                Phase::Linger { .. } => true,
+            };
+        Interest {
+            readable,
+            writable: self.has_unflushed(),
+        }
+    }
+
+    /// Earliest pending deadline, for the timer wheel.
+    fn next_deadline(&self, cfg: &ServeConfig) -> Option<Instant> {
+        let mut dl: Option<Instant> = None;
+        let mut consider = |t: Instant| match dl {
+            Some(cur) if cur <= t => {}
+            _ => dl = Some(t),
+        };
+        if let Phase::Linger { until } = self.phase {
+            consider(until);
+        }
+        if let Some(t) = self.write_blocked_since {
+            consider(t + cfg.write_timeout);
+        }
+        if self.reapable() {
+            consider(self.last_progress + cfg.progress_deadline);
+        }
+        dl
+    }
+}
+
+/// What `decide` wants done with one client frame.
+enum Action {
+    /// Hand the item to the shard; `true` counts against the in-flight
+    /// cap.
+    Forward(ShardItem, bool),
+    /// Hand the item to the shard and stop reading — the shard's reply
+    /// ends the connection.
+    Final(ShardItem),
+    /// Protocol violation: quarantine with this code and message.
+    Quarantine(ErrorCode, String),
+}
+
+/// Enforces the protocol state machine for one frame, updating the
+/// connection's mode/stream bookkeeping. Pure with respect to the loop —
+/// all I/O consequences are in the returned [`Action`].
+fn decide(conn: &mut Conn, ftype: FrameType, payload: Vec<u8>) -> Action {
+    match ftype {
+        FrameType::Events => {
+            if conn.mode == Mode::Session {
+                return Action::Quarantine(
+                    ErrorCode::Malformed,
+                    "legacy Events frame on a session connection".to_string(),
+                );
+            }
+            conn.mode = Mode::Legacy { open: true };
+            Action::Forward(ShardItem::LegacyEvents(payload), true)
+        }
+        FrameType::Finish => {
+            if conn.mode == Mode::Session {
+                conn.open_ids.clear();
+                Action::Final(ShardItem::Bye)
+            } else {
+                Action::Final(ShardItem::LegacyFinish)
+            }
+        }
+        FrameType::StreamEvents => {
+            if matches!(conn.mode, Mode::Legacy { .. }) {
+                return Action::Quarantine(
+                    ErrorCode::Malformed,
+                    "session frame on a legacy connection".to_string(),
+                );
+            }
+            conn.mode = Mode::Session;
+            match proto::split_stream_payload(&payload) {
+                Ok((stream, rest)) => {
+                    let bytes = rest.to_vec();
+                    if conn.open_ids.contains(&stream) {
+                        Action::Forward(ShardItem::StreamEvents { stream, bytes }, true)
+                    } else if stream >= conn.next_stream_min {
+                        conn.open_ids.push(stream);
+                        conn.next_stream_min = stream.saturating_add(1);
+                        Action::Forward(ShardItem::StreamEvents { stream, bytes }, true)
+                    } else {
+                        Action::Quarantine(
+                            ErrorCode::Malformed,
+                            format!("stream id {stream} reused (ids must be strictly increasing)"),
+                        )
+                    }
+                }
+                Err(err) => Action::Quarantine(quarantine_code(&err), err.to_string()),
+            }
+        }
+        FrameType::StreamFinish => {
+            if matches!(conn.mode, Mode::Legacy { .. }) {
+                return Action::Quarantine(
+                    ErrorCode::Malformed,
+                    "session frame on a legacy connection".to_string(),
+                );
+            }
+            conn.mode = Mode::Session;
+            match proto::decode_stream_finish(&payload) {
+                Ok(stream) => {
+                    if let Some(at) = conn.open_ids.iter().position(|id| *id == stream) {
+                        conn.open_ids.swap_remove(at);
+                        Action::Forward(ShardItem::StreamFinish { stream }, false)
+                    } else if stream >= conn.next_stream_min {
+                        // Open-and-finish with no events: an empty stream.
+                        conn.next_stream_min = stream.saturating_add(1);
+                        Action::Forward(ShardItem::StreamFinish { stream }, false)
+                    } else {
+                        Action::Quarantine(
+                            ErrorCode::Malformed,
+                            format!("stream id {stream} reused (ids must be strictly increasing)"),
+                        )
+                    }
+                }
+                Err(err) => Action::Quarantine(quarantine_code(&err), err.to_string()),
+            }
+        }
+        other => Action::Quarantine(
+            ErrorCode::Malformed,
+            format!("client sent server-side frame {other:?}"),
+        ),
+    }
+}
+
+struct EventLoop {
+    cfg: ServeConfig,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    listener: Option<TcpListener>,
+    lfd: RawFd,
+    listener_registered: bool,
+    listener_pause_until: Option<Instant>,
+    selector: Selector,
+    wheel: TimerWheel,
+    inbox: Arc<LoopInbox>,
+    mailboxes: Vec<Arc<Mailbox<ShardMsg>>>,
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+    active: usize,
+    next_shard: usize,
+    draining: bool,
+    scratch: Vec<u8>,
+}
+
+impl EventLoop {
+    fn queue_cap(&self) -> usize {
+        self.cfg.queue_capacity.max(1)
+    }
+
+    fn lookup(&self, token: u64) -> Option<usize> {
+        let slot = (token & 0xFFFF_FFFF) as usize;
+        let gen = (token >> 32) as u32;
+        match self.conns.get(slot) {
+            Some(Some(conn)) if conn.gen == gen => Some(slot),
+            _ => None,
+        }
+    }
+
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        let mut fired: Vec<u64> = Vec::new();
+        loop {
+            let now = Instant::now();
+            if let Some(until) = self.listener_pause_until {
+                if now >= until {
+                    self.listener_pause_until = None;
+                    self.register_listener();
+                }
+            }
+            let mut timeout = self.cfg.read_slice;
+            if let Some(tick) = self.wheel.next_tick(now) {
+                timeout = timeout.min(tick.max(Duration::from_millis(1)));
+            }
+            if let Some(until) = self.listener_pause_until {
+                timeout = timeout.min(until.saturating_duration_since(now));
+            }
+            self.selector
+                .wait(&mut events, timeout)
+                .expect("selector wait failed");
+            let now = Instant::now();
+
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOKEN_WAKER => {} // drained in process_inbox
+                    TOKEN_LISTENER => {
+                        if ev.readable {
+                            self.accept_ready(now);
+                        }
+                    }
+                    token => {
+                        if let Some(slot) = self.lookup(token) {
+                            if ev.writable {
+                                self.flush_outbox(slot, now);
+                            }
+                        }
+                        if let Some(slot) = self.lookup(token) {
+                            if ev.readable || ev.error {
+                                self.on_readable(slot, now);
+                            }
+                        }
+                    }
+                }
+            }
+            events = batch;
+
+            self.process_inbox(now);
+
+            self.wheel.advance(now, &mut fired);
+            if !fired.is_empty() {
+                let batch = std::mem::take(&mut fired);
+                for token in &batch {
+                    self.on_timer(*token, now);
+                }
+                fired = batch;
+                fired.clear();
+            }
+
+            if !self.draining && self.shutdown.load(Ordering::SeqCst) {
+                self.begin_drain(now);
+            }
+            if self.draining && self.live == 0 {
+                return;
+            }
+        }
+    }
+
+    fn register_listener(&mut self) {
+        if self.listener.is_some()
+            && !self.listener_registered
+            && self
+                .selector
+                .register(self.lfd, TOKEN_LISTENER, Interest::READABLE)
+                .is_ok()
+        {
+            self.listener_registered = true;
+        }
+    }
+
+    fn deregister_listener(&mut self) {
+        if self.listener_registered {
+            let _ = self.selector.deregister(self.lfd);
+            self.listener_registered = false;
+        }
+    }
+
+    // -- accept path -------------------------------------------------------
+
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            if self.draining {
+                return;
+            }
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream, now),
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE). The listener
+                    // is level-triggered, so back off explicitly instead
+                    // of spinning.
+                    self.deregister_listener();
+                    self.listener_pause_until = Some(now + ACCEPT_PAUSE);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream, now: Instant) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let fd = stream_fd(&stream);
+        let shed = self.active >= self.cfg.max_connections;
+        let (outbox, phase, counts_active) = if shed {
+            self.stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+            (
+                frame_bytes(FrameType::Busy, &[]),
+                Phase::Flush { linger: true },
+                false,
+            )
+        } else {
+            (Vec::new(), Phase::Streaming, true)
+        };
+
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        };
+        let gen = self.gens[slot];
+        let shard = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.mailboxes.len();
+        let conn = Conn {
+            stream,
+            fd,
+            gen,
+            asm: FrameAssembler::new().with_max_frame(self.cfg.max_frame),
+            outbox,
+            outbox_pos: 0,
+            interest: Interest::READABLE,
+            registered: false,
+            inflight: 0,
+            shard,
+            shard_known: false,
+            phase,
+            mode: Mode::Unknown,
+            open_ids: Vec::new(),
+            next_stream_min: 0,
+            last_progress: now,
+            write_blocked_since: None,
+            armed: false,
+            counts_active,
+            read_open: true,
+        };
+        let interest = conn.desired_interest(self.queue_cap());
+        let token = conn.token(slot);
+        self.conns[slot] = Some(conn);
+        if self.selector.register(fd, token, interest).is_err() {
+            // Registration failed: give the slot back and drop the socket.
+            self.conns[slot] = None;
+            self.gens[slot] = self.gens[slot].wrapping_add(1);
+            self.free.push(slot);
+            return;
+        }
+        {
+            let conn = self.conns[slot].as_mut().expect("just inserted");
+            conn.registered = true;
+            conn.interest = interest;
+        }
+        self.live += 1;
+        if counts_active {
+            self.active += 1;
+            self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        if shed {
+            // Try to get the Busy frame out immediately.
+            self.flush_outbox(slot, now);
+        }
+    }
+
+    // -- read path ---------------------------------------------------------
+
+    fn on_readable(&mut self, slot: usize, now: Instant) {
+        loop {
+            let cap = self.queue_cap();
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            let phase = conn.phase;
+            match phase {
+                Phase::Streaming => {
+                    if conn.inflight >= cap || !conn.read_open {
+                        break;
+                    }
+                    match conn.stream.read(&mut self.scratch) {
+                        Ok(0) => {
+                            self.disconnect(slot, now);
+                            return;
+                        }
+                        Ok(n) => {
+                            let chunk: Vec<u8> = self.scratch[..n].to_vec();
+                            let conn = self.conns[slot].as_mut().expect("live slot");
+                            conn.asm.push(&chunk);
+                            self.pump(slot, now);
+                            if self.conns[slot].is_none() {
+                                return;
+                            }
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            self.stats.disconnected.fetch_add(1, Ordering::Relaxed);
+                            self.close_conn(slot);
+                            return;
+                        }
+                    }
+                }
+                Phase::AwaitFinal | Phase::Flush { .. } => {
+                    // Reads are ignored but EOF is still tracked so a
+                    // lingering close knows the peer is gone.
+                    match conn.stream.read(&mut self.scratch) {
+                        Ok(0) => {
+                            conn.read_open = false;
+                            self.set_interest(slot);
+                            return;
+                        }
+                        Ok(_) => {}
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            conn.read_open = false;
+                            self.set_interest(slot);
+                            return;
+                        }
+                    }
+                }
+                Phase::Linger { .. } => match conn.stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        self.close_conn(slot);
+                        return;
+                    }
+                    Ok(_) => {}
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.close_conn(slot);
+                        return;
+                    }
+                },
+            }
+        }
+        self.set_interest(slot);
+        self.arm(slot, now);
+    }
+
+    /// Decodes and dispatches every complete frame the assembler holds,
+    /// stopping at the in-flight cap (backpressure) or a phase change.
+    fn pump(&mut self, slot: usize, now: Instant) {
+        loop {
+            let cap = self.queue_cap();
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            if conn.phase != Phase::Streaming || conn.inflight >= cap {
+                break;
+            }
+            match conn.asm.next_frame() {
+                Ok(Some(frame)) => {
+                    conn.last_progress = now;
+                    match decide(conn, frame.ftype, frame.payload) {
+                        Action::Forward(item, counted) => {
+                            if counted {
+                                conn.inflight += 1;
+                            }
+                            self.forward(slot, item);
+                        }
+                        Action::Final(item) => {
+                            conn.phase = Phase::AwaitFinal;
+                            self.forward(slot, item);
+                        }
+                        Action::Quarantine(code, msg) => {
+                            self.quarantine(slot, code, &msg, now);
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    let code = quarantine_code(&err);
+                    let msg = err.to_string();
+                    self.quarantine(slot, code, &msg, now);
+                    return;
+                }
+            }
+        }
+        self.set_interest(slot);
+        self.arm(slot, now);
+    }
+
+    fn forward(&mut self, slot: usize, item: ShardItem) {
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        conn.shard_known = true;
+        let msg = ShardMsg {
+            conn: conn.token(slot),
+            item,
+        };
+        self.mailboxes[conn.shard].push(msg);
+    }
+
+    fn quarantine(&mut self, slot: usize, code: ErrorCode, msg: &str, now: Instant) {
+        self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.begin_close_frame(slot, error_frame(code, msg), true, now);
+    }
+
+    /// Mid-stream EOF or read error: typed `Truncated` best-effort, then
+    /// close.
+    fn disconnect(&mut self, slot: usize, now: Instant) {
+        self.stats.disconnected.fetch_add(1, Ordering::Relaxed);
+        {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            conn.read_open = false;
+        }
+        self.begin_close_frame(
+            slot,
+            error_frame(ErrorCode::Truncated, "connection closed before Finish"),
+            false,
+            now,
+        );
+    }
+
+    /// Queues final bytes and moves the connection to `Flush`.
+    fn begin_close_frame(&mut self, slot: usize, bytes: Vec<u8>, linger: bool, now: Instant) {
+        {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            conn.outbox.extend_from_slice(&bytes);
+            conn.phase = Phase::Flush { linger };
+        }
+        self.flush_outbox(slot, now);
+    }
+
+    // -- write path --------------------------------------------------------
+
+    fn flush_outbox(&mut self, slot: usize, now: Instant) {
+        loop {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            if !conn.has_unflushed() {
+                break;
+            }
+            match conn.stream.write(&conn.outbox[conn.outbox_pos..]) {
+                Ok(0) => {
+                    self.on_write_failure(slot);
+                    return;
+                }
+                Ok(n) => {
+                    conn.outbox_pos += n;
+                    conn.write_blocked_since = None;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    conn.write_blocked_since.get_or_insert(now);
+                    break;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.on_write_failure(slot);
+                    return;
+                }
+            }
+        }
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        if !conn.has_unflushed() {
+            conn.outbox.clear();
+            conn.outbox_pos = 0;
+            conn.write_blocked_since = None;
+            if let Phase::Flush { linger } = conn.phase {
+                if linger && conn.read_open {
+                    // Half-close so the final frame is delivered, then
+                    // discard whatever the client still had in flight.
+                    let _ = conn.stream.shutdown(Shutdown::Write);
+                    conn.phase = Phase::Linger {
+                        until: now + LINGER,
+                    };
+                } else {
+                    self.close_conn(slot);
+                    return;
+                }
+            }
+        }
+        self.set_interest(slot);
+        self.arm(slot, now);
+    }
+
+    fn on_write_failure(&mut self, slot: usize) {
+        let streaming = {
+            let conn = self.conns[slot].as_ref().expect("live slot");
+            matches!(conn.phase, Phase::Streaming | Phase::AwaitFinal)
+        };
+        if streaming {
+            // The client stopped taking responses mid-stream: that is a
+            // disconnect, same as the reader-side EOF.
+            self.stats.disconnected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.close_conn(slot);
+    }
+
+    // -- inbox / timers ----------------------------------------------------
+
+    fn process_inbox(&mut self, now: Instant) {
+        self.inbox.waker.drain();
+        let msgs = self.inbox.take();
+        if msgs.is_empty() {
+            return;
+        }
+        let mut touched: Vec<usize> = Vec::new();
+        let mut resumed: Vec<usize> = Vec::new();
+        for msg in msgs {
+            match msg {
+                LoopMsg::Append { conn, bytes } => {
+                    if let Some(slot) = self.lookup(conn) {
+                        let c = self.conns[slot].as_mut().expect("live slot");
+                        if matches!(c.phase, Phase::Streaming | Phase::AwaitFinal) {
+                            c.outbox.extend_from_slice(&bytes);
+                            touched.push(slot);
+                        }
+                    }
+                }
+                LoopMsg::FinishConn {
+                    conn,
+                    bytes,
+                    linger,
+                } => {
+                    if let Some(slot) = self.lookup(conn) {
+                        let c = self.conns[slot].as_mut().expect("live slot");
+                        if matches!(c.phase, Phase::Streaming | Phase::AwaitFinal) {
+                            c.outbox.extend_from_slice(&bytes);
+                            c.phase = Phase::Flush { linger };
+                            touched.push(slot);
+                        }
+                    }
+                }
+                LoopMsg::Acks(acks) => {
+                    for (conn, n) in acks {
+                        if let Some(slot) = self.lookup(conn) {
+                            let c = self.conns[slot].as_mut().expect("live slot");
+                            let was_paused = c.inflight >= self.cfg.queue_capacity.max(1);
+                            c.inflight = c.inflight.saturating_sub(n as usize);
+                            if was_paused && c.phase == Phase::Streaming {
+                                resumed.push(slot);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for slot in resumed {
+            if self.conns[slot].is_some() {
+                // Frames may be waiting in the assembler: decode them
+                // before (and regardless of) any new socket readiness.
+                self.pump(slot, now);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for slot in touched {
+            if self.conns[slot].is_some() {
+                self.flush_outbox(slot, now);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, now: Instant) {
+        let Some(slot) = self.lookup(token) else {
+            return;
+        };
+        {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            conn.armed = false;
+        }
+        let conn = self.conns[slot].as_ref().expect("live slot");
+        if let Phase::Linger { until } = conn.phase {
+            if now >= until {
+                self.close_conn(slot);
+                return;
+            }
+        }
+        if let Some(t) = conn.write_blocked_since {
+            if now >= t + self.cfg.write_timeout {
+                self.on_write_failure(slot);
+                return;
+            }
+        }
+        if conn.reapable()
+            && now.saturating_duration_since(conn.last_progress) > self.cfg.progress_deadline
+        {
+            self.stats.reaped_deadline.fetch_add(1, Ordering::Relaxed);
+            let msg = format!("no complete frame within {:?}", self.cfg.progress_deadline);
+            self.quarantine_reap(slot, &msg, now);
+            return;
+        }
+        self.arm(slot, now);
+    }
+
+    /// Deadline reap: typed error, lingering close. (Not counted as a
+    /// quarantine — it has its own counter.)
+    fn quarantine_reap(&mut self, slot: usize, msg: &str, now: Instant) {
+        self.begin_close_frame(
+            slot,
+            error_frame(ErrorCode::DeadlineExceeded, msg),
+            true,
+            now,
+        );
+    }
+
+    fn set_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if !conn.registered {
+            return;
+        }
+        let want = conn.desired_interest(self.cfg.queue_capacity.max(1));
+        if want != conn.interest {
+            let token = conn.token(slot);
+            let fd = conn.fd;
+            conn.interest = want;
+            let _ = self.selector.reregister(fd, token, want);
+        }
+    }
+
+    fn arm(&mut self, slot: usize, now: Instant) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.armed {
+            return;
+        }
+        if let Some(deadline) = conn.next_deadline(&self.cfg) {
+            let token = conn.token(slot);
+            conn.armed = true;
+            let _ = now; // deadlines are absolute; the wheel handles lateness
+            self.wheel.insert(token, deadline);
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        if conn.registered {
+            let _ = self.selector.deregister(conn.fd);
+        }
+        if conn.counts_active {
+            self.active -= 1;
+        }
+        if conn.shard_known {
+            self.mailboxes[conn.shard].push(ShardMsg {
+                conn: token_of(slot, conn.gen),
+                item: ShardItem::Close,
+            });
+        }
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        // `conn.stream` drops here, closing the fd.
+    }
+
+    // -- drain -------------------------------------------------------------
+
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.deregister_listener();
+        self.listener = None;
+        let slots: Vec<usize> = (0..self.conns.len())
+            .filter(|&s| self.conns[s].is_some())
+            .collect();
+        for slot in slots {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            if conn.phase != Phase::Streaming {
+                continue;
+            }
+            if conn.mode == Mode::Unknown {
+                // Never sent a frame: the loop can answer it directly
+                // with an empty partial report — no shard round-trip for
+                // an idle swarm.
+                self.stats.drained_partial.fetch_add(1, Ordering::Relaxed);
+                let done = Done {
+                    partial: true,
+                    total: 0,
+                    races: Vec::new(),
+                };
+                self.begin_close_frame(
+                    slot,
+                    frame_bytes(FrameType::Done, &proto::encode_done(&done)),
+                    false,
+                    now,
+                );
+            } else {
+                conn.phase = Phase::AwaitFinal;
+                self.forward(slot, ShardItem::Drain);
+                self.set_interest(slot);
+            }
+        }
+    }
+}
+
+// ---- server handle -------------------------------------------------------
 
 /// A running race-detection server. Dropping it performs a graceful
 /// drain, so tests cannot leak threads.
@@ -240,59 +1478,85 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
-    acceptor: Option<JoinHandle<()>>,
+    inbox: Arc<LoopInbox>,
+    loop_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    inboxes: Vec<Arc<BoundedQueue<NewConn>>>,
+    mailboxes: Vec<Arc<Mailbox<ShardMsg>>>,
 }
 
 impl Server {
-    /// Binds and starts the acceptor and shard workers.
+    /// Binds, builds the reactor, and starts the event loop and shard
+    /// workers.
     ///
     /// # Errors
     ///
-    /// Any `io::Error` from binding the listener.
+    /// Any `io::Error` from binding the listener or creating the
+    /// selector/waker (`Unsupported` on non-Unix platforms).
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let mut selector = Selector::new()?;
+        let waker = Waker::new()?;
+        let inbox = Arc::new(LoopInbox {
+            msgs: Mutex::new(Vec::new()),
+            waker,
+        });
+        let lfd = listener_fd(&listener);
+        selector.register(lfd, TOKEN_LISTENER, Interest::READABLE)?;
+        selector.register(inbox.waker.fd(), TOKEN_WAKER, Interest::READABLE)?;
+
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let shards = cfg.shards.max(1);
-        let inboxes: Vec<Arc<BoundedQueue<NewConn>>> = (0..shards)
-            .map(|_| Arc::new(BoundedQueue::new(cfg.max_connections.max(1))))
-            .collect();
+        let mailboxes: Vec<Arc<Mailbox<ShardMsg>>> =
+            (0..shards).map(|_| Arc::new(Mailbox::new())).collect();
 
-        let workers = inboxes
+        let workers = mailboxes
             .iter()
-            .map(|inbox| {
-                let inbox = Arc::clone(inbox);
+            .map(|mailbox| {
+                let mailbox = Arc::clone(mailbox);
+                let inbox = Arc::clone(&inbox);
                 let stats = Arc::clone(&stats);
                 let cfg = cfg.clone();
-                std::thread::spawn(move || shard_loop(&inbox, &stats, &cfg))
+                std::thread::spawn(move || shard_loop(&mailbox, &inbox, &stats, &cfg))
             })
             .collect();
 
-        let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            let stats = Arc::clone(&stats);
-            let readers = Arc::clone(&readers);
-            let inboxes = inboxes.clone();
-            let cfg = cfg.clone();
-            std::thread::spawn(move || {
-                accept_loop(&listener, &shutdown, &stats, &readers, &inboxes, &cfg);
-            })
+        let loop_thread = {
+            let wheel = TimerWheel::for_deadline(cfg.progress_deadline, Instant::now());
+            let mut event_loop = EventLoop {
+                cfg,
+                stats: Arc::clone(&stats),
+                shutdown: Arc::clone(&shutdown),
+                listener: Some(listener),
+                lfd,
+                listener_registered: true,
+                listener_pause_until: None,
+                selector,
+                wheel,
+                inbox: Arc::clone(&inbox),
+                mailboxes: mailboxes.clone(),
+                conns: Vec::new(),
+                gens: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                active: 0,
+                next_shard: 0,
+                draining: false,
+                scratch: vec![0u8; READ_CHUNK],
+            };
+            std::thread::spawn(move || event_loop.run())
         };
 
         Ok(Server {
             addr,
             shutdown,
             stats,
-            acceptor: Some(acceptor),
+            inbox,
+            loop_thread: Some(loop_thread),
             workers,
-            readers,
-            inboxes,
+            mailboxes,
         })
     }
 
@@ -309,7 +1573,9 @@ impl Server {
     }
 
     /// The drain flag; store `true` (e.g. from a signal watcher) to start
-    /// a graceful shutdown without holding the server.
+    /// a graceful shutdown without holding the server. The loop also
+    /// polls it every [`ServeConfig::read_slice`], so a bare store (no
+    /// waker) is still honored promptly.
     #[must_use]
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
@@ -330,20 +1596,14 @@ impl Server {
 
     fn drain(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            h.join().expect("acceptor thread panicked");
+        self.inbox.waker.wake();
+        if let Some(h) = self.loop_thread.take() {
+            h.join().expect("event loop panicked");
         }
-        // Readers observe the flag within one read slice, push `Drain`,
-        // and exit. New handles cannot appear: the acceptor is gone.
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.readers.lock().expect("reader registry poisoned"));
-        for h in handles {
-            h.join().expect("reader thread panicked");
-        }
-        // With readers gone, closing the inboxes tells workers to finish
-        // their backlog (including the Drain markers) and exit.
-        for inbox in &self.inboxes {
-            inbox.close();
+        // The loop exits only after every connection resolved; closing
+        // the mailboxes now lets workers finish their backlog and exit.
+        for mailbox in &self.mailboxes {
+            mailbox.close();
         }
         for h in self.workers.drain(..) {
             h.join().expect("shard worker panicked");
@@ -353,397 +1613,8 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.loop_thread.is_some() || !self.workers.is_empty() {
             self.drain();
         }
-    }
-}
-
-/// Shortest and longest idle-poll sleeps for the nonblocking acceptor.
-/// The backoff doubles from MIN to MAX while no connection arrives and
-/// resets to MIN on any accept, so a quiet listener costs a 5 ms poll but
-/// a newly busy one is re-polled within 500 µs.
-const ACCEPT_BACKOFF_MIN: Duration = Duration::from_micros(500);
-const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(5);
-
-#[allow(clippy::needless_pass_by_value)] // threads want owned Arcs
-fn accept_loop(
-    listener: &TcpListener,
-    shutdown: &Arc<AtomicBool>,
-    stats: &Arc<ServerStats>,
-    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    inboxes: &[Arc<BoundedQueue<NewConn>>],
-    cfg: &ServeConfig,
-) {
-    let active = Arc::new(AtomicUsize::new(0));
-    let mut next_id: u64 = 0;
-    let mut backoff = ACCEPT_BACKOFF_MIN;
-    while !shutdown.load(Ordering::SeqCst) {
-        // Drain the kernel's accept backlog before considering a sleep: a
-        // burst of N simultaneous connects must cost N `accept` calls, not
-        // N backoff periods. Only back off when an iteration admitted
-        // nothing.
-        let mut accepted_any = false;
-        loop {
-            if shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    accepted_any = true;
-                    let id = next_id;
-                    next_id += 1;
-                    admit(stream, id, &active, shutdown, stats, readers, inboxes, cfg);
-                }
-                // WouldBlock: backlog empty. Other errors (e.g. transient
-                // EMFILE) also yield to the backoff rather than spinning.
-                Err(_) => break,
-            }
-        }
-        if accepted_any {
-            backoff = ACCEPT_BACKOFF_MIN;
-        } else {
-            std::thread::sleep(backoff);
-            backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
-        }
-    }
-}
-
-/// Admits one accepted connection: shed if over the watermark, otherwise
-/// wire it to a detector shard and spawn its reader thread.
-#[allow(clippy::too_many_arguments)] // plumbing shared acceptor state
-fn admit(
-    mut stream: TcpStream,
-    id: u64,
-    active: &Arc<AtomicUsize>,
-    shutdown: &Arc<AtomicBool>,
-    stats: &Arc<ServerStats>,
-    readers: &Mutex<Vec<JoinHandle<()>>>,
-    inboxes: &[Arc<BoundedQueue<NewConn>>],
-    cfg: &ServeConfig,
-) {
-    if active.load(Ordering::SeqCst) >= cfg.max_connections {
-        stats.shed_busy.fetch_add(1, Ordering::Relaxed);
-        let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-        if write_frame(&mut stream, FrameType::Busy, &[]) {
-            drain_then_close(&mut stream);
-        }
-        return; // drop: shed
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    if stream.set_read_timeout(Some(cfg.read_slice)).is_err()
-        || write_half
-            .set_write_timeout(Some(cfg.write_timeout))
-            .is_err()
-    {
-        return;
-    }
-    // Counted active from here; ConnShared::drop decrements.
-    active.fetch_add(1, Ordering::SeqCst);
-    let shared = Arc::new(ConnShared {
-        queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
-        dead: AtomicBool::new(false),
-        active: Arc::clone(active),
-    });
-    let inbox = &inboxes[(id % inboxes.len() as u64) as usize];
-    if inbox
-        .push(NewConn {
-            shared: Arc::clone(&shared),
-            stream: write_half,
-        })
-        .is_err()
-    {
-        return; // shard already shut down; drop the socket
-    }
-    stats.accepted.fetch_add(1, Ordering::Relaxed);
-    let handle = {
-        let shutdown = Arc::clone(shutdown);
-        let stats = Arc::clone(stats);
-        let cfg = cfg.clone();
-        std::thread::spawn(move || {
-            reader_loop(stream, &shared, &shutdown, &stats, &cfg);
-        })
-    };
-    readers
-        .lock()
-        .expect("reader registry poisoned")
-        .push(handle);
-}
-
-/// Classifies a wire error into the protocol error code sent back.
-fn quarantine_code(err: &wire::WireError) -> ErrorCode {
-    match err {
-        wire::WireError::BadEvent { .. } => ErrorCode::BadEvent,
-        wire::WireError::Truncated { .. } => ErrorCode::Truncated,
-        _ => ErrorCode::Malformed,
-    }
-}
-
-fn reader_loop(
-    mut stream: TcpStream,
-    shared: &Arc<ConnShared>,
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
-    cfg: &ServeConfig,
-) {
-    let mut asm = FrameAssembler::new().with_max_frame(cfg.max_frame);
-    let mut last_progress = Instant::now();
-    let mut buf = vec![0u8; 64 * 1024];
-    loop {
-        if shared.dead.load(Ordering::SeqCst) {
-            return; // the worker already killed this connection
-        }
-        if shutdown.load(Ordering::SeqCst) {
-            // Drain: stop reading; ask the worker to flush a partial
-            // report. If the queue is full this blocks until the worker
-            // catches up, which is exactly the drain semantics we want.
-            let _ = shared.queue.push(WorkItem::Drain);
-            return;
-        }
-        if last_progress.elapsed() > cfg.progress_deadline {
-            shared.dead.store(true, Ordering::SeqCst);
-            stats.reaped_deadline.fetch_add(1, Ordering::Relaxed);
-            if write_error(
-                &mut stream,
-                ErrorCode::DeadlineExceeded,
-                &format!("no complete frame within {:?}", cfg.progress_deadline),
-            ) {
-                drain_then_close(&mut stream);
-            }
-            return;
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => {
-                // EOF. Clean only if it arrives exactly on a frame
-                // boundary after `Finish` (in which case we already
-                // returned); here it is a mid-stream disconnect.
-                shared.dead.store(true, Ordering::SeqCst);
-                stats.disconnected.fetch_add(1, Ordering::Relaxed);
-                let _ = write_error(
-                    &mut stream,
-                    ErrorCode::Truncated,
-                    "connection closed before Finish",
-                );
-                return;
-            }
-            Ok(n) => {
-                asm.push(&buf[..n]);
-                loop {
-                    match asm.next_frame() {
-                        Ok(Some(frame)) => {
-                            last_progress = Instant::now();
-                            match frame.ftype {
-                                FrameType::Events => match wire::decode_events(&frame.payload) {
-                                    Ok(events) => {
-                                        if shared.queue.push(WorkItem::Events(events)).is_err() {
-                                            return; // worker is gone
-                                        }
-                                    }
-                                    Err(err) => {
-                                        shared.dead.store(true, Ordering::SeqCst);
-                                        stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                                        if write_error(
-                                            &mut stream,
-                                            quarantine_code(&err),
-                                            &err.to_string(),
-                                        ) {
-                                            drain_then_close(&mut stream);
-                                        }
-                                        return;
-                                    }
-                                },
-                                FrameType::Finish => {
-                                    let _ = shared.queue.push(WorkItem::Finish);
-                                    return;
-                                }
-                                other => {
-                                    shared.dead.store(true, Ordering::SeqCst);
-                                    stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                                    if write_error(
-                                        &mut stream,
-                                        ErrorCode::Malformed,
-                                        &format!("client sent server-side frame {other:?}"),
-                                    ) {
-                                        drain_then_close(&mut stream);
-                                    }
-                                    return;
-                                }
-                            }
-                        }
-                        Ok(None) => break,
-                        Err(err) => {
-                            shared.dead.store(true, Ordering::SeqCst);
-                            stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                            if write_error(&mut stream, quarantine_code(&err), &err.to_string()) {
-                                drain_then_close(&mut stream);
-                            }
-                            return;
-                        }
-                    }
-                }
-            }
-            Err(ref e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle slice: loop around to re-check deadline/shutdown.
-            }
-            Err(_) => {
-                shared.dead.store(true, Ordering::SeqCst);
-                stats.disconnected.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        }
-    }
-}
-
-/// Per-connection state owned by a shard worker.
-struct ConnState {
-    shared: Arc<ConnShared>,
-    stream: TcpStream,
-    detector: ScordDetector,
-    reported_unique: usize,
-}
-
-impl ConnState {
-    fn current_done(&self, partial: bool) -> Done {
-        let log = self.detector.races();
-        Done {
-            partial,
-            total: log.total_count(),
-            races: log.unique_races().collect(),
-        }
-    }
-}
-
-/// What the worker decided about one connection after a queue poll.
-enum ConnFate {
-    Keep { worked: bool },
-    Remove,
-}
-
-fn shard_loop(inbox: &BoundedQueue<NewConn>, stats: &ServerStats, cfg: &ServeConfig) {
-    let mut conns: Vec<ConnState> = Vec::new();
-    let mut inbox_closed = false;
-    loop {
-        // Admit new connections without blocking the detection loop.
-        loop {
-            match inbox.pop_timeout(Duration::ZERO) {
-                Pop::Item(nc) => conns.push(ConnState {
-                    shared: nc.shared,
-                    stream: nc.stream,
-                    detector: ScordDetector::new(DetectorConfig::paper_default(
-                        cfg.detector_mem_bytes,
-                    )),
-                    reported_unique: 0,
-                }),
-                Pop::TimedOut => break,
-                Pop::Closed => {
-                    inbox_closed = true;
-                    break;
-                }
-            }
-        }
-        if inbox_closed && conns.is_empty() {
-            return;
-        }
-        let mut worked = false;
-        let mut i = 0;
-        while i < conns.len() {
-            match service_conn(&mut conns[i], stats) {
-                ConnFate::Keep { worked: w } => {
-                    worked |= w;
-                    i += 1;
-                }
-                ConnFate::Remove => {
-                    let conn = conns.swap_remove(i);
-                    // Unblock a reader stuck in push(), then drop state.
-                    conn.shared.queue.close();
-                }
-            }
-        }
-        if !worked {
-            // Idle: nap briefly. Readers wake us implicitly by filling
-            // queues; the nap just bounds the polling rate.
-            std::thread::sleep(Duration::from_micros(500));
-        }
-    }
-}
-
-/// Polls one connection's queue and applies at most one work item.
-fn service_conn(conn: &mut ConnState, stats: &ServerStats) -> ConnFate {
-    if conn.shared.dead.load(Ordering::SeqCst) {
-        return ConnFate::Remove;
-    }
-    match conn.shared.queue.pop_timeout(Duration::ZERO) {
-        Pop::Item(WorkItem::Events(events)) => {
-            for ev in &events {
-                if let Err(err) = apply_event(&mut conn.detector, ev) {
-                    conn.shared.dead.store(true, Ordering::SeqCst);
-                    stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_error(
-                        &mut conn.stream,
-                        ErrorCode::BadEvent,
-                        &format!("detector rejected event: {err}"),
-                    );
-                    return ConnFate::Remove;
-                }
-            }
-            // Incremental report whenever the unique count moves.
-            let log = conn.detector.races();
-            let unique = log.unique_count();
-            if unique > conn.reported_unique {
-                let report = Report {
-                    unique: unique as u32,
-                    total: log.total_count(),
-                };
-                conn.reported_unique = unique;
-                if !conn.shared.dead.load(Ordering::SeqCst)
-                    && !write_frame(
-                        &mut conn.stream,
-                        FrameType::Report,
-                        &proto::encode_report(&report),
-                    )
-                {
-                    conn.shared.dead.store(true, Ordering::SeqCst);
-                    stats.disconnected.fetch_add(1, Ordering::Relaxed);
-                    return ConnFate::Remove;
-                }
-            }
-            ConnFate::Keep { worked: true }
-        }
-        Pop::Item(WorkItem::Finish) => {
-            let done = conn.current_done(false);
-            if conn.shared.dead.load(Ordering::SeqCst)
-                || write_frame(
-                    &mut conn.stream,
-                    FrameType::Done,
-                    &proto::encode_done(&done),
-                )
-            {
-                stats.completed.fetch_add(1, Ordering::Relaxed);
-            } else {
-                stats.disconnected.fetch_add(1, Ordering::Relaxed);
-            }
-            conn.shared.dead.store(true, Ordering::SeqCst);
-            ConnFate::Remove
-        }
-        Pop::Item(WorkItem::Drain) => {
-            let done = conn.current_done(true);
-            if !conn.shared.dead.load(Ordering::SeqCst) {
-                let _ = write_frame(
-                    &mut conn.stream,
-                    FrameType::Done,
-                    &proto::encode_done(&done),
-                );
-            }
-            stats.drained_partial.fetch_add(1, Ordering::Relaxed);
-            conn.shared.dead.store(true, Ordering::SeqCst);
-            ConnFate::Remove
-        }
-        Pop::TimedOut => ConnFate::Keep { worked: false },
-        Pop::Closed => ConnFate::Remove,
     }
 }

@@ -484,3 +484,85 @@ fn assert_server_error(outcome: &Outcome, want: ErrorCode) {
         other => panic!("expected typed {want} error, got {other:?}"),
     }
 }
+
+#[test]
+fn slowloris_at_scale_reaps_only_the_stalled_few() {
+    // Deadline reaping must be O(expired), not O(connections): with 512
+    // idle sessions parked (header only — no unfinished trace, so exempt
+    // from the deadline), four mid-frame slowloris connections must be
+    // reaped on schedule, the idle swarm must survive untouched and stay
+    // serviceable. A per-connection scan (or a deadline that ignores the
+    // idle exemption) fails this by reaping the swarm or by drowning the
+    // timer path.
+    let cfg = ServeConfig {
+        max_connections: 600,
+        progress_deadline: Duration::from_millis(500),
+        ..quick_cfg()
+    };
+    let server = Server::start(cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let mut idle: Vec<Client> = (0..512)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("idle connect {i}: {e}")))
+        .collect();
+    wait_for(
+        "the idle swarm to be admitted",
+        Duration::from_secs(10),
+        || server.stats().accepted >= 512,
+    );
+
+    let mut stalled: Vec<Client> = (0..4)
+        .map(|i| {
+            let mut c = Client::connect(addr).unwrap_or_else(|e| panic!("slowloris {i}: {e}"));
+            c.set_read_timeout(Duration::from_secs(10))
+                .expect("timeout");
+            // Six bytes of a frame header, then silence: an unfinished
+            // frame, so the progress deadline applies.
+            c.send_bytes(&[0x40, 0x00, 0x00, 0x00, 0x01, 0x00])
+                .expect("partial frame");
+            c
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    for c in &mut stalled {
+        match c.read_outcome().expect("typed reap") {
+            Outcome::ServerError(info) => {
+                assert_eq!(info.code, Some(ErrorCode::DeadlineExceeded), "got {info:?}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    let reap_wall = t0.elapsed();
+    assert!(
+        reap_wall < Duration::from_secs(3),
+        "reaps must arrive on deadline schedule despite 512 parked \
+         connections, took {reap_wall:?}"
+    );
+    assert_eq!(
+        server.stats().reaped_deadline,
+        4,
+        "exactly the four stalled connections are reaped"
+    );
+
+    // The swarm is not just alive — it is still serviceable: a parked
+    // session can start and complete a trace after the reaping.
+    let survivor = idle.last_mut().expect("swarm non-empty");
+    survivor
+        .set_read_timeout(Duration::from_secs(30))
+        .expect("timeout");
+    let trace = fuzzed(9, 300);
+    survivor.send_trace(&trace, 32).expect("send on survivor");
+    let Outcome::Done(done) = survivor.finish().expect("survivor completes") else {
+        panic!("survivor must complete");
+    };
+    assert!(!done.partial);
+    assert_eq!(sorted(done.races), replay_races(&trace));
+
+    drop(idle);
+    drop(stalled);
+    let stats = server.shutdown();
+    assert_eq!(stats.reaped_deadline, 4);
+    assert_eq!(stats.quarantined, 0, "idle is not an offense");
+    assert!(stats.accepted >= 516);
+}
