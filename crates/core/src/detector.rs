@@ -94,6 +94,14 @@ pub trait Detector: std::fmt::Debug + Send {
     fn trace(&self) -> Option<&Trace> {
         None
     }
+
+    /// `(host-heap bytes, live entries)` of the metadata store backing
+    /// this detector, for the paper-scale footprint tracker. `None` for
+    /// detectors whose store does not account for itself (the Table VIII
+    /// scope-erasing baselines inherit [`ScordDetector`]'s accounting).
+    fn store_usage(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// The ScoRD detector.
@@ -339,6 +347,10 @@ impl Detector for ScordDetector {
 
     fn fault_stats(&self) -> Option<&FaultStats> {
         self.injector.as_ref().map(FaultInjector::stats)
+    }
+
+    fn store_usage(&self) -> Option<(u64, u64)> {
+        Some((self.store.resident_bytes(), self.store.resident_entries()))
     }
 }
 

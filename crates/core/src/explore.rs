@@ -723,20 +723,65 @@ mod probe_tests {
     use super::*;
     use crate::{AccessKind, Accessor, MemAccess};
 
+    /// A warp slot that first appears *after* a barrier is not ordered by
+    /// it: the mandatory-order DAG only ties a barrier to warps seen
+    /// before it, so the explorer may legally schedule the late warp's
+    /// access ahead of the pre-barrier store and surface the race the
+    /// baseline schedule hides. Pins that behaviour (the "unseen-slot
+    /// barrier cut") so a future DAG change that silently starts forcing
+    /// the edge — and stops finding these races — fails loudly.
     #[test]
     fn probe_unseen_slot_barrier_cut() {
         let t: Trace = vec![
-            TraceEvent::Access(MemAccess { kind: AccessKind::Store, addr: 0x100, strong: true, pc: 1,
-                who: Accessor { sm: 0, block_slot: 0, warp_slot: 0 } }),
-            TraceEvent::Barrier { sm: 0, block_slot: 0 },
-            TraceEvent::Access(MemAccess { kind: AccessKind::Load, addr: 0x100, strong: true, pc: 2,
-                who: Accessor { sm: 0, block_slot: 0, warp_slot: 1 } }),
-        ].into_iter().collect();
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Store,
+                addr: 0x100,
+                strong: true,
+                pc: 1,
+                who: Accessor {
+                    sm: 0,
+                    block_slot: 0,
+                    warp_slot: 0,
+                },
+            }),
+            TraceEvent::Barrier {
+                sm: 0,
+                block_slot: 0,
+            },
+            TraceEvent::Access(MemAccess {
+                kind: AccessKind::Load,
+                addr: 0x100,
+                strong: true,
+                pc: 2,
+                who: Accessor {
+                    sm: 0,
+                    block_slot: 0,
+                    warp_slot: 1,
+                },
+            }),
+        ]
+        .into_iter()
+        .collect();
         let space = ScheduleSpace::new(&t);
-        eprintln!("forces(barrier=1, load=2) = {}", space.forces(1, 2));
-        let out = explore(&t, Geometry::paper_default(), &ExploreConfig { bound: 64, seed: 3 }).unwrap();
-        eprintln!("baseline: {:?}", out.baseline);
-        eprintln!("beyond_baseline: {:?}", out.beyond_baseline());
-        panic!("show output");
+        assert!(
+            !space.forces(1, 2),
+            "a barrier must not order a warp slot it never saw"
+        );
+        let out = explore(
+            &t,
+            Geometry::paper_default(),
+            &ExploreConfig { bound: 64, seed: 3 },
+        )
+        .unwrap();
+        assert!(
+            out.baseline.is_empty(),
+            "the as-recorded schedule orders store before load"
+        );
+        assert_eq!(
+            out.beyond_baseline().len(),
+            2,
+            "reordering across the uncut barrier exposes both directions \
+             of the store/load conflict"
+        );
     }
 }

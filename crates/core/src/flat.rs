@@ -103,6 +103,16 @@ impl<V> FlatMap<V> {
         self.keys.len()
     }
 
+    /// Bytes of heap the table itself occupies: the parallel key and
+    /// value arrays, sized by *capacity* (open addressing allocates every
+    /// slot up front). Heap owned by individual values (e.g. `Vec`
+    /// payloads) is not included — the footprint tracker uses this for
+    /// inline-entry stores, where there is none.
+    #[must_use]
+    pub fn heap_bytes(&self) -> u64 {
+        (self.keys.len() as u64) * (8 + mem::size_of::<V>() as u64)
+    }
+
     fn mask(&self) -> usize {
         self.keys.len() - 1
     }

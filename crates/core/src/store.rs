@@ -62,6 +62,22 @@ pub trait MetadataStore: fmt::Debug + Send {
 
     /// `true` if two data addresses share a metadata entry.
     fn aliases(&self, a: u64, b: u64) -> bool;
+
+    /// Host-heap bytes the store's container actually occupies right now
+    /// — as opposed to [`footprint_bytes`](MetadataStore::footprint_bytes),
+    /// which is the *hardware* region the layout would reserve. This is
+    /// what the paper-scale footprint tracker records so full-vs-cached
+    /// scaling is measured, not assumed. Defaults to 0 for stores that do
+    /// not account for themselves.
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Number of metadata entries currently materialized (0 for stores
+    /// that do not account for themselves).
+    fn resident_entries(&self) -> u64 {
+        0
+    }
 }
 
 /// Builds the store described by `kind`, placing the metadata region at
@@ -154,6 +170,14 @@ impl MetadataStore for FullStore {
     fn aliases(&self, a: u64, b: u64) -> bool {
         self.slot(a) == self.slot(b)
     }
+
+    fn resident_bytes(&self) -> u64 {
+        self.entries.heap_bytes()
+    }
+
+    fn resident_entries(&self) -> u64 {
+        self.entries.len() as u64
+    }
 }
 
 /// The paper's software cache of metadata: direct-mapped, one entry per
@@ -239,6 +263,14 @@ impl MetadataStore for CachedStore {
 
     fn aliases(&self, a: u64, b: u64) -> bool {
         self.slot_and_tag(a).0 == self.slot_and_tag(b).0
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.entries.heap_bytes()
+    }
+
+    fn resident_entries(&self) -> u64 {
+        self.entries.len() as u64
     }
 }
 
@@ -531,6 +563,26 @@ mod tests {
     #[should_panic(expected = "ratio")]
     fn cached_store_rejects_bad_ratio() {
         let _ = CachedStore::new(17, 0);
+    }
+
+    #[test]
+    fn resident_accounting_tracks_materialized_entries() {
+        let mut s = FullStore::new(4, 0);
+        assert_eq!(s.resident_entries(), 0);
+        assert_eq!(s.resident_bytes(), 0, "no heap before the first touch");
+        for i in 0..100u64 {
+            touched(&mut s, i * 4);
+        }
+        assert_eq!(s.resident_entries(), 100);
+        let bytes = s.resident_bytes();
+        assert!(bytes > 0);
+        // Capacity-based: clearing keeps the allocation, so bytes hold.
+        s.reset();
+        assert_eq!(s.resident_entries(), 0);
+        assert_eq!(s.resident_bytes(), bytes, "reset retains capacity");
+        // The reference twins don't account for themselves (default 0).
+        let r = build_reference_store(StoreKind::Full { granularity: 4 }, 0);
+        assert_eq!(r.resident_bytes(), 0);
     }
 
     #[test]

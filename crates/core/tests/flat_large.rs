@@ -1,0 +1,79 @@
+//! Paper-scale capacity test for `FlatMap`: the full-store metadata map
+//! for a 25.6M-element reduction materializes tens of millions of
+//! entries, so correctness (and `clear()`'s no-realloc contract) must be
+//! proven at that size, not extrapolated from the 10k-entry unit tests.
+//!
+//! The 16M-key growth loop is ~10× slower unoptimized, so the test is
+//! ignored in debug builds; CI's `paper-scale-smoke` job runs it under
+//! `--release` (where `#[ignore]` does not apply), and `cargo test
+//! --release -p scord-core` runs it locally.
+
+use scord_core::FlatMap;
+
+/// Deterministic key stream: SplitMix64 over a sparse range so probe
+/// chains cross slot boundaries the dense unit tests never reach.
+fn key(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    // Stay clear of the u64::MAX sentinel.
+    (z ^ (z >> 31)) & (u64::MAX >> 1)
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "16M-key growth is ~10x slower in debug; run with --release (CI paper-scale-smoke does)"
+)]
+fn sixteen_million_keys_grow_lookup_delete_and_clear() {
+    const N: u64 = 16 * 1024 * 1024 + 7; // ≥16M, off a power of two
+
+    let mut m: FlatMap<u32> = FlatMap::new();
+    for i in 0..N {
+        assert_eq!(m.insert(key(i), i as u32), None, "key collision at {i}");
+    }
+    assert_eq!(m.len(), N as usize);
+    assert!(m.capacity().is_power_of_two());
+    assert!(m.len() * 8 <= m.capacity() * 7, "load bound holds at scale");
+    assert_eq!(
+        m.heap_bytes(),
+        m.capacity() as u64 * (8 + std::mem::size_of::<u32>() as u64)
+    );
+
+    // Spot-check lookups across the whole range (every 4096th key plus
+    // the boundaries).
+    for i in (0..N).step_by(4096).chain([0, N / 2, N - 1]) {
+        assert_eq!(m.get(key(i)), Some(&(i as u32)), "lookup of key {i}");
+    }
+    assert_eq!(m.get(key(N + 1)), None, "absent key stays absent at scale");
+
+    // Delete a stride; survivors must remain reachable (backward-shift
+    // deletion re-compacts probe chains that are now millions long).
+    let mut removed = 0usize;
+    for i in (0..N).step_by(16) {
+        assert_eq!(m.remove(key(i)), Some(i as u32), "delete of key {i}");
+        removed += 1;
+    }
+    assert_eq!(m.len(), N as usize - removed);
+    for i in (0..N).step_by(4096) {
+        let want = if i % 16 == 0 { None } else { Some(i as u32) };
+        assert_eq!(m.get(key(i)).copied(), want, "post-delete key {i}");
+    }
+
+    // clear() must retain capacity: paper-scale runs reset the store at
+    // every kernel boundary, and re-growing a 16M-entry table each time
+    // would dominate the run.
+    let cap = m.capacity();
+    let bytes = m.heap_bytes();
+    m.clear();
+    assert!(m.is_empty());
+    assert_eq!(m.capacity(), cap, "clear() must not shrink");
+    assert_eq!(m.heap_bytes(), bytes);
+
+    // Refill a slice without any growth (capacity was retained).
+    for i in 0..1_000_000u64 {
+        m.insert(key(i), (i as u32) ^ 1);
+    }
+    assert_eq!(m.capacity(), cap, "refill within capacity must not grow");
+    assert_eq!(m.get(key(123_456)), Some(&(123_456u32 ^ 1)));
+}

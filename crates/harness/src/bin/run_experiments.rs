@@ -5,12 +5,13 @@
 //!                 [--iters N] [--label S] [--no-cycle-skip]
 //!                 [--schedule-bound B]
 //!                 [--sm-threads N] [--mem-threads N]
+//!                 [--sample-sms K] [--pin]
 //!                 [--addr HOST:PORT] [--deadline-ms N] [--max-conns N]
 //!                 [--streams N] [--concurrency N] [--events N] [--probes]
 //!                 [--idle N] [--traces-per-conn N]
 //!                 [table1|table2|table5|table6|table7|fig8|fig9|fig10|
-//!                  fig11|table8|ablations|faults|diff|explore|perf|serve|
-//!                  loadgen|connsweep|all]
+//!                  fig11|table8|ablations|faults|diff|explore|perf|
+//!                  paper-scale|serve|loadgen|connsweep|all]
 //! ```
 //!
 //! `faults` runs the fault-injection degradation audit; it is not part of
@@ -41,6 +42,18 @@
 //! `perf` (also only by name) times the fixed perf basket `--iters` times
 //! per entry (default 3, median reported) and appends the run, tagged
 //! `--label` (default "dev"), to `BENCH_sim.json` at the repository root.
+//!
+//! `paper-scale` (also only by name) runs the applications at the paper's
+//! input sizes — the 25.6M-element reduction, the 800×500×30 matrix
+//! multiply, R-MAT graphs at 10×/30× — recording memory footprint,
+//! metadata-store bytes, a worker-pinning A/B, and a sampled-SM
+//! extrapolation entry whose realized error is judged against the
+//! full-detail baseline. `--sample-sms K` sets the detailed-SM count
+//! (default 5; 0 skips the sampled entries), `--pin` pins workers for the
+//! whole tier, and `--quick` shrinks inputs ~16× for CI. Both flags are
+//! only meaningful with `paper-scale`; passing them without it is an
+//! error. Extrapolated cycle counts appear only in this tier's output,
+//! always with an error bound — never in paper tables.
 //!
 //! `--no-cycle-skip` disables the simulator's quiescence skip-ahead — a
 //! debug flag: results are byte-identical either way (asserted by the
@@ -113,6 +126,8 @@ fn main() {
     let mut max_conns = 64usize;
     let mut schedule_bound = 64u32;
     let mut probes = false;
+    let mut sample_sms: Option<u32> = None;
+    let mut pin = false;
     let mut wanted: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -209,6 +224,17 @@ fn main() {
                 });
             }
             "--no-cycle-skip" => scord_sim::set_cycle_skip(false),
+            "--pin" => pin = true,
+            "--sample-sms" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--sample-sms needs a value");
+                    exit(2);
+                });
+                sample_sms = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--sample-sms needs an unsigned integer, got {v:?}");
+                    exit(2);
+                }));
+            }
             "--sm-threads" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("--sm-threads needs a value");
@@ -287,7 +313,7 @@ fn main() {
             other => wanted.push(other),
         }
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "table1",
         "table2",
         "table5",
@@ -303,6 +329,7 @@ fn main() {
         "diff",
         "explore",
         "perf",
+        "paper-scale",
         "serve",
         "loadgen",
         "connsweep",
@@ -317,16 +344,24 @@ fn main() {
     let all = wanted.is_empty() || wanted.contains(&"all");
     // The fault sweep, the differential audit, the perf basket and the
     // service subcommands only run when asked for by name.
-    const BY_NAME_ONLY: [&str; 7] = [
+    const BY_NAME_ONLY: [&str; 8] = [
         "faults",
         "diff",
         "explore",
         "perf",
+        "paper-scale",
         "serve",
         "loadgen",
         "connsweep",
     ];
     let want = |name: &str| (all && !BY_NAME_ONLY.contains(&name)) || wanted.contains(&name);
+    // Sampled-SM extrapolation and worker pinning only make sense for the
+    // paper-scale tier; a stray flag elsewhere would silently do nothing,
+    // so reject it loudly.
+    if (sample_sms.is_some() || pin) && !wanted.contains(&"paper-scale") {
+        eprintln!("--sample-sms / --pin require the paper-scale experiment");
+        exit(2);
+    }
     let t0 = Instant::now();
 
     if want("table1") {
@@ -460,6 +495,27 @@ fn main() {
         println!("\n## Perf basket (label {label:?}, {iters} iteration(s) per entry)\n");
         let run = h::perf::run(iters, &label);
         println!("{}", h::perf::to_markdown(&run));
+        let path = h::perf::default_bench_path();
+        match h::perf::append_to_bench_json(&path, &run) {
+            Ok(n) => println!("\nRecorded run {n} in {}.", path.display()),
+            Err(e) => fail(&e),
+        }
+    }
+
+    if want("paper-scale") {
+        let opts = h::paper_scale::PaperScaleOptions {
+            quick,
+            sample_sms: sample_sms.unwrap_or(5),
+            pin,
+            label: label.clone(),
+        };
+        println!(
+            "\n## Paper-scale tier (label {label:?}, {} inputs, {} detailed SM(s))\n",
+            if quick { "quick" } else { "full" },
+            opts.sample_sms
+        );
+        let run = h::paper_scale::run(&opts);
+        println!("{}", h::paper_scale::to_markdown(&run));
         let path = h::perf::default_bench_path();
         match h::perf::append_to_bench_json(&path, &run) {
             Ok(n) => println!("\nRecorded run {n} in {}.", path.display()),

@@ -1,0 +1,86 @@
+//! Host memory-footprint accounting for paper-scale runs.
+//!
+//! Paper-scale inputs (25.6M-element reductions, 100× R-MAT graphs) are
+//! exactly where the metadata store's full-vs-cached scaling stops being a
+//! back-of-envelope number and starts mattering, so the harness *measures*
+//! it: the process peak RSS from `/proc/self/status` (`VmHWM`) next to the
+//! simulated workload, and the detector store's own byte accounting
+//! (`Gpu::detector_store_usage`) next to that. No dependencies: the proc
+//! file is plain text, and hosts without procfs (or non-Linux) degrade to
+//! `None` rather than failing the sweep.
+
+use std::fs;
+
+/// A snapshot of the process's resident-set sizes, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Peak resident set (`VmHWM`) — the high-water mark since process
+    /// start, which for a sweep means "the largest workload so far".
+    pub peak_rss_bytes: u64,
+    /// Current resident set (`VmRSS`).
+    pub rss_bytes: u64,
+}
+
+/// Reads the current process footprint from `/proc/self/status`, or `None`
+/// when the file is missing or does not carry the expected fields (non-Linux
+/// hosts, restricted procfs).
+#[must_use]
+pub fn read() -> Option<Footprint> {
+    parse_status(&fs::read_to_string("/proc/self/status").ok()?)
+}
+
+/// Parses the `VmHWM` / `VmRSS` lines of a `/proc/<pid>/status` document.
+/// The kernel emits these in kB; values are returned in bytes.
+fn parse_status(text: &str) -> Option<Footprint> {
+    let mut peak = None;
+    let mut rss = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            peak = parse_kb(rest);
+        } else if let Some(rest) = line.strip_prefix("VmRSS:") {
+            rss = parse_kb(rest);
+        }
+    }
+    Some(Footprint {
+        peak_rss_bytes: peak?,
+        rss_bytes: rss?,
+    })
+}
+
+/// Parses a `   123456 kB` field into bytes.
+fn parse_kb(field: &str) -> Option<u64> {
+    let field = field.trim();
+    let digits = field.strip_suffix("kB")?.trim();
+    digits.parse::<u64>().ok()?.checked_mul(1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_kernel_format() {
+        let doc = "Name:\trun-experiments\nVmPeak:\t  500000 kB\n\
+                   VmHWM:\t  123456 kB\nVmRSS:\t   98304 kB\nThreads:\t4\n";
+        let f = parse_status(doc).expect("both fields present");
+        assert_eq!(f.peak_rss_bytes, 123_456 * 1024);
+        assert_eq!(f.rss_bytes, 98_304 * 1024);
+    }
+
+    #[test]
+    fn missing_fields_or_garbage_degrade_to_none() {
+        assert_eq!(parse_status(""), None);
+        assert_eq!(parse_status("VmHWM:\t 12 kB\n"), None, "needs VmRSS too");
+        assert_eq!(parse_status("VmHWM:\t twelve kB\nVmRSS:\t 1 kB\n"), None);
+        assert_eq!(parse_status("VmHWM:\t 12 MB\nVmRSS:\t 1 kB\n"), None);
+    }
+
+    #[test]
+    fn linux_hosts_read_a_live_footprint() {
+        // This repo's CI and dev hosts are Linux; peak ≥ current always.
+        if let Some(f) = read() {
+            assert!(f.peak_rss_bytes >= f.rss_bytes);
+            assert!(f.rss_bytes > 0);
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //! | [`diff`] | Differential race-oracle audit: fuzzed + captured traces vs the exact detector |
 //! | [`explore`] | Schedule-space audit: predictive detector + bounded interleaving explorer, oracle-judged |
 //! | [`perf`] | In-tree perf basket; appends each run to `BENCH_sim.json` at the repo root |
+//! | [`paper_scale`] | Paper-scale tier: full-size inputs, sampled-SM extrapolation, footprint accounting |
+//! | [`footprint`] | Host memory-footprint snapshots (`/proc/self/status` peak RSS) |
 //! | [`serve_bench`] | Race-detection service: long-lived server, load generator + robustness probes, `BENCH_serve.json` |
 //!
 //! Every module exposes `run(quick, jobs) -> Vec<Row>` plus a `to_markdown`
@@ -41,7 +43,9 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig8;
 pub mod fig9;
+pub mod footprint;
 mod markdown;
+pub mod paper_scale;
 pub mod perf;
 pub mod serve_bench;
 pub mod table1;

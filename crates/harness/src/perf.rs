@@ -18,9 +18,11 @@
 //!   number the ROADMAP's "as fast as the hardware allows" goal is graded
 //!   on,
 //! * an intra-sim parallelism A/B: GCON scaled 4× at `(sm_threads,
-//!   mem_threads)` (1,1), (4,1) and (4,4) (detection off and on) — the
-//!   workload class the parallel SM stage and the sharded memory-side
-//!   drain exist for.
+//!   mem_threads)` (1,1), (4,1), (4,4), and (4,4) with topology-aware
+//!   worker pinning (detection off and on) — the workload class the
+//!   parallel SM stage, the sharded memory-side drain, and the
+//!   physical-core-first pinning policy exist for. The pinned entries
+//!   carry a `pinned` extra field so the A/B pair is machine-readable.
 //!
 //! Simulator entries run with per-phase timing enabled, so every record
 //! carries the Phase A (parallel SM front end) vs Phase B (memory system +
@@ -60,6 +62,25 @@ const BASKET_MICROS: [&str; 8] = [
     "atom-racey-dev-then-weak-load-diff-block",
 ];
 
+/// A typed value in a [`Measurement`]'s schema-4 `extra` fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExtraValue {
+    /// An integer field (byte counts, cycle counts, 0/1 flags).
+    U64(u64),
+    /// A fractional field (error percentages).
+    F64(f64),
+}
+
+impl ExtraValue {
+    /// JSON rendering of the value.
+    fn render(self) -> String {
+        match self {
+            ExtraValue::U64(v) => v.to_string(),
+            ExtraValue::F64(v) => format!("{v:.3}"),
+        }
+    }
+}
+
 /// One timed basket entry.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -81,6 +102,11 @@ pub struct Measurement {
     /// Recorded only for the GCONx4 A/B entries; empty elsewhere so the
     /// record stays compact.
     pub phase_b_shard_ns: Vec<u64>,
+    /// Schema-4 extension: entry-specific key/value fields appended to the
+    /// JSON record verbatim (footprint bytes, sampled-extrapolation cycles
+    /// and error bounds, pinning flags). Empty for classic entries, so the
+    /// record shape of schema ≤3 entries is unchanged.
+    pub extra: Vec<(&'static str, ExtraValue)>,
 }
 
 impl Measurement {
@@ -220,6 +246,7 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
                 phase_a_ns: s.phase_a_ns,
                 phase_b_ns: s.phase_b_ns,
                 phase_b_shard_ns: Vec::new(),
+                extra: Vec::new(),
             });
         }
     }
@@ -253,32 +280,50 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
                 phase_a_ns: s.phase_a_ns,
                 phase_b_ns: s.phase_b_ns,
                 phase_b_shard_ns: Vec::new(),
+                extra: Vec::new(),
             });
         }
     }
 
     // Intra-sim parallelism A/B: GCON scaled 4× at (sm_threads,
-    // mem_threads) (1,1), (4,1) and (4,4). The entries per mode measure
-    // the parallel SM stage alone and then both phases together, on a
+    // mem_threads) (1,1), (4,1) and (4,4), plus (4,4) with topology-aware
+    // worker pinning — the pinned-vs-unpinned A/B rides on the combo where
+    // both parallel phases are active. The entries per mode measure the
+    // parallel SM stage alone and then both phases together, on a
     // simulation big enough for the phases to dominate. These are the only
     // entries that record the per-shard Phase B split.
     let big = scor_suite::apps::GraphConnectivity::scaled(4);
     for (mode_name, mode) in modes {
-        for (smt, memt) in [(1u32, 1u32), (4, 1), (4, 4)] {
+        for (smt, memt, pinned) in [
+            (1u32, 1u32, false),
+            (4, 1, false),
+            (4, 4, false),
+            (4, 4, true),
+        ] {
             // Label with the *effective* thread counts: the process-wide
             // `--sm-threads` / `--mem-threads` floors can raise a
             // configured 1 (e.g. the CI smoke runs the whole basket at 2).
             let probe = basket_gpu(mode, smt, memt);
             let (eff_s, eff_m) = (probe.sm_threads(), probe.mem_threads());
             drop(probe);
+            // The pool samples the pinning toggle at construction, so each
+            // iteration's fresh `basket_gpu` pool picks the A/B side up.
+            scord_pool::set_pin_workers(pinned);
             let (wall, s) = time_entry(iters, || timed_app(&big, &mut basket_gpu(mode, smt, memt)));
+            scord_pool::set_pin_workers(false);
+            let suffix = if pinned { "/pinned" } else { "" };
             workloads.push(Measurement {
-                name: format!("GCONx4/{mode_name}/smt{eff_s}/memt{eff_m}"),
+                name: format!("GCONx4/{mode_name}/smt{eff_s}/memt{eff_m}{suffix}"),
                 wall,
                 cycles: s.cycles,
                 phase_a_ns: s.phase_a_ns,
                 phase_b_ns: s.phase_b_ns,
                 phase_b_shard_ns: s.shard_b_ns,
+                extra: if smt == 4 && memt == 4 {
+                    vec![("pinned", ExtraValue::U64(u64::from(pinned)))]
+                } else {
+                    Vec::new()
+                },
             });
         }
     }
@@ -303,6 +348,7 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         phase_a_ns: 0,
         phase_b_ns: 0,
         phase_b_shard_ns: Vec::new(),
+        extra: Vec::new(),
     });
 
     // The Table VI sweeps, serial: the end-to-end regression tripwire.
@@ -319,6 +365,7 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         phase_a_ns: 0,
         phase_b_ns: 0,
         phase_b_shard_ns: Vec::new(),
+        extra: Vec::new(),
     });
     let (wall, ..) = time_entry(iters, || {
         let n = crate::table6::run(false, Jobs::serial())
@@ -333,6 +380,7 @@ pub fn run(iters: usize, label: &str) -> PerfRun {
         phase_a_ns: 0,
         phase_b_ns: 0,
         phase_b_shard_ns: Vec::new(),
+        extra: Vec::new(),
     });
 
     PerfRun {
@@ -432,11 +480,16 @@ fn render_run(run: &PerfRun) -> String {
             let joined: Vec<String> = m.phase_b_shard_ns.iter().map(u64::to_string).collect();
             format!(", \"phase_b_shard_ns\": [{}]", joined.join(", "))
         };
+        let extras: String = m
+            .extra
+            .iter()
+            .map(|(k, v)| format!(", \"{k}\": {}", v.render()))
+            .collect();
         let _ = writeln!(
             out,
             "        {{\"name\": \"{}\", \"wall_ns\": {}, \"cycles\": {}, \
              \"cycles_per_sec\": {:.1}, \"phase_a_ns\": {}, \
-             \"phase_b_ns\": {}{shards}}}{comma}",
+             \"phase_b_ns\": {}{shards}{extras}}}{comma}",
             json_escape(&m.name),
             m.wall.as_nanos(),
             m.cycles,
@@ -504,12 +557,15 @@ pub(crate) fn existing_runs(text: &str) -> Option<Vec<String>> {
 ///
 /// Schema history: 1 = per-workload `wall_ns`/`cycles`/`cycles_per_sec`;
 /// 2 adds `phase_a_ns`/`phase_b_ns` to simulator entries; 3 adds per-shard
-/// `phase_b_shard_ns` arrays to the sharded-memory (GCONx4) entries. Runs
+/// `phase_b_shard_ns` arrays to the sharded-memory (GCONx4) entries; 4 adds
+/// per-entry `extra` key/values — memory-footprint bytes, sampled-SM
+/// extrapolation cycles with their error bounds, and pinning A/B flags —
+/// emitted by the paper-scale tier and the pinned basket entries. Runs
 /// recorded under older schemas are preserved verbatim (the raw-text run
-/// extractor does not care about per-run fields), so a schema-3 document
+/// extractor does not care about per-run fields), so a schema-4 document
 /// may contain runs without the newer keys.
 fn render_document(raw_runs: &[String]) -> String {
-    let mut out = String::from("{\n  \"schema\": 3,\n  \"runs\": [\n");
+    let mut out = String::from("{\n  \"schema\": 4,\n  \"runs\": [\n");
     for (i, r) in raw_runs.iter().enumerate() {
         // Re-indent preserved raw runs to the array's nesting level.
         let indented = if r.starts_with('{') && !r.starts_with("{\n") && !r.contains('\n') {
@@ -581,6 +637,7 @@ mod tests {
                     phase_a_ns: 300,
                     phase_b_ns: 600,
                     phase_b_shard_ns: Vec::new(),
+                    extra: Vec::new(),
                 },
                 Measurement {
                     name: "GCONx4/off/smt4/memt2".into(),
@@ -589,6 +646,10 @@ mod tests {
                     phase_a_ns: 400,
                     phase_b_ns: 900,
                     phase_b_shard_ns: vec![120, 0, 340],
+                    extra: vec![
+                        ("pinned", ExtraValue::U64(1)),
+                        ("error_bound_pct", ExtraValue::F64(4.25)),
+                    ],
                 },
                 Measurement {
                     name: "sweep".into(),
@@ -597,6 +658,7 @@ mod tests {
                     phase_a_ns: 0,
                     phase_b_ns: 0,
                     phase_b_shard_ns: Vec::new(),
+                    extra: Vec::new(),
                 },
             ],
         }
@@ -614,6 +676,9 @@ mod tests {
         // nested array must survive the bracket-aware re-extraction.
         assert!(runs[0].contains("\"phase_b_shard_ns\": [120, 0, 340]"));
         assert_eq!(runs[0].matches("phase_b_shard_ns").count(), 1);
+        // Schema-4 extras ride on the same entry, typed per value.
+        assert!(runs[0].contains("\"pinned\": 1, \"error_bound_pct\": 4.250"));
+        assert_eq!(runs[0].matches("pinned").count(), 1);
         // Appending preserves the first run verbatim.
         let mut raw = runs;
         raw.push(render_run(&fake_run("two")));
@@ -634,7 +699,7 @@ mod tests {
         assert_eq!(raw.len(), 1);
         raw.push(render_run(&fake_run("new")));
         let doc = render_document(&raw);
-        assert!(doc.contains("\"schema\": 3"));
+        assert!(doc.contains("\"schema\": 4"));
         let runs = existing_runs(&doc).expect("upgraded document parses");
         assert_eq!(runs.len(), 2);
         assert!(runs[0].contains("legacy") && !runs[0].contains("phase_a_ns"));
@@ -708,6 +773,7 @@ mod tests {
             phase_a_ns: 0,
             phase_b_ns: 0,
             phase_b_shard_ns: Vec::new(),
+            extra: Vec::new(),
         };
         assert_eq!(m.cycles_per_sec(), 0.0);
         let m2 = Measurement {

@@ -32,14 +32,35 @@
 //! per-cycle barriers).
 
 mod queue;
+pub mod topology;
 
 pub use queue::{BoundedQueue, Pop};
+pub use topology::{parse_cpu_list, pin_current_thread, CpuDesc, CpuTopology};
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Process-wide toggle for topology-aware worker pinning, sampled once by
+/// every [`WorkerPool::new`]. Off by default: pinning helps long-lived
+/// simulation pools but is wrong for short-lived or oversubscribed pools,
+/// so callers opt in (the harness's `--pin` flag and the perf basket's
+/// pinned-vs-unpinned A/B do).
+static PIN_WORKERS: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables topology-aware pinning for pools created *after*
+/// this call. Existing pools are unaffected.
+pub fn set_pin_workers(enabled: bool) {
+    PIN_WORKERS.store(enabled, Ordering::SeqCst);
+}
+
+/// Current state of the process-wide pinning toggle.
+#[must_use]
+pub fn pin_workers_enabled() -> bool {
+    PIN_WORKERS.load(Ordering::SeqCst)
+}
 
 /// Iterations a thread spins on the generation / done counters before it
 /// parks on a condvar. High enough that back-to-back per-cycle barriers
@@ -228,6 +249,9 @@ pub struct WorkerPool {
     /// mutably borrowing sibling fields, but overlapping barriers from two
     /// threads would race on the job slot.
     active: AtomicBool,
+    /// Logical CPUs the spawned workers were asked to pin to (empty when
+    /// pinning was off or no topology was available at construction).
+    pinned: Vec<usize>,
 }
 
 impl WorkerPool {
@@ -253,12 +277,36 @@ impl WorkerPool {
             done_cv: Condvar::new(),
         });
         let workers = threads.saturating_sub(1);
+        // Physical-core-first pin targets, when the process-wide toggle is
+        // on and sysfs topology exists. Slot 0 of the order is left to the
+        // caller thread (which is never pinned — it outlives the pool);
+        // spawned workers take distinct physical cores before any SMT
+        // sibling. Oversubscribed pools skip pinning: forcing more lanes
+        // than cores onto fixed CPUs only serializes them.
+        let pin_order = (pin_workers_enabled() && threads <= cores)
+            .then(CpuTopology::detect)
+            .flatten()
+            .map(|t| t.physical_first_order());
+        let mut pinned = Vec::new();
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let cpu = pin_order
+                    .as_deref()
+                    .and_then(|order| topology::worker_cpu(order, i));
+                if let Some(c) = cpu {
+                    pinned.push(c);
+                }
                 std::thread::Builder::new()
                     .name(format!("scord-pool-{i}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || {
+                        if let Some(c) = cpu {
+                            // Best effort: a cpuset that excludes `c`
+                            // leaves the worker unpinned, not broken.
+                            let _ = topology::pin_current_thread(c);
+                        }
+                        worker_loop(shared);
+                    })
                     .expect("spawn pool worker")
             })
             .collect();
@@ -266,7 +314,15 @@ impl WorkerPool {
             shared,
             handles,
             active: AtomicBool::new(false),
+            pinned,
         }
+    }
+
+    /// Logical CPUs the spawned workers were pinned to, physical-core
+    /// first; empty when pinning was disabled or no topology was found.
+    #[must_use]
+    pub fn pinned_cpus(&self) -> &[usize] {
+        &self.pinned
     }
 
     /// Total lanes of parallelism (spawned workers + the caller).

@@ -1,0 +1,269 @@
+//! CPU topology discovery and worker pinning.
+//!
+//! On hosts with SMT, two pool workers landing on sibling hyperthreads of
+//! one physical core share execution ports and L1/L2, so the pool scales
+//! as if it had half its lanes. This module parses the kernel's sysfs
+//! topology tree (`/sys/devices/system/cpu/cpu*/topology/`) and orders
+//! CPUs *physical-core-first*: one CPU per (package, core) pair before any
+//! SMT sibling is handed out. [`WorkerPool::new`](crate::WorkerPool::new)
+//! uses that order to pin spawned workers when
+//! [`set_pin_workers`](crate::set_pin_workers) is enabled.
+//!
+//! Everything degrades gracefully: no sysfs (non-Linux, sandboxes,
+//! stripped containers) means no topology and no pinning; a CPU whose
+//! topology files are missing is conservatively treated as its own
+//! physical core, which still spreads workers out.
+//!
+//! The actual pinning call is a dependency-free `sched_setaffinity` shim
+//! in the same hand-rolled `extern "C"` idiom as `scord_serve`'s
+//! `signal`/`reactor` modules: declared against the platform C library,
+//! no libc crate.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One logical CPU and the physical core/package it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuDesc {
+    /// Logical CPU index (the `N` of `cpuN`).
+    pub cpu: usize,
+    /// `topology/package_id`, or a synthetic value on fallback.
+    pub package_id: i64,
+    /// `topology/core_id`, or a synthetic unique value on fallback.
+    pub core_id: i64,
+}
+
+/// The host's logical-CPU → physical-core mapping.
+#[derive(Debug, Clone, Default)]
+pub struct CpuTopology {
+    cpus: Vec<CpuDesc>,
+}
+
+impl CpuTopology {
+    /// Reads the topology of the running host. `None` when sysfs is
+    /// unavailable or exposes no CPUs (non-Linux, restricted containers).
+    #[must_use]
+    pub fn detect() -> Option<CpuTopology> {
+        CpuTopology::from_sysfs_root(Path::new("/sys/devices/system/cpu"))
+    }
+
+    /// Parses a sysfs-shaped tree rooted at `root` (the directory holding
+    /// `cpu0`, `cpu1`, …). Split out from [`detect`](CpuTopology::detect)
+    /// so tests can run against fixture trees.
+    ///
+    /// Per-CPU fallback chain when `topology/` files are missing or
+    /// unparseable: `core_id`+`package_id` → `thread_siblings_list` (the
+    /// smallest sibling becomes the core key) → the CPU is its own
+    /// physical core. Returns `None` only when no `cpuN` directories
+    /// exist at all.
+    #[must_use]
+    pub fn from_sysfs_root(root: &Path) -> Option<CpuTopology> {
+        let entries = std::fs::read_dir(root).ok()?;
+        let mut cpus = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(idx) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("cpu"))
+                .and_then(|n| n.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let topo = entry.path().join("topology");
+            let read_id = |file: &str| -> Option<i64> {
+                std::fs::read_to_string(topo.join(file))
+                    .ok()?
+                    .trim()
+                    .parse()
+                    .ok()
+            };
+            let package_id = read_id("package_id");
+            let core_id = read_id("core_id");
+            let desc = match (package_id, core_id) {
+                (Some(p), Some(c)) => CpuDesc {
+                    cpu: idx,
+                    package_id: p,
+                    core_id: c,
+                },
+                _ => {
+                    let siblings = std::fs::read_to_string(topo.join("thread_siblings_list"))
+                        .ok()
+                        .map(|s| parse_cpu_list(&s))
+                        .filter(|l| !l.is_empty());
+                    match siblings {
+                        // No core_id, but the sibling set still identifies
+                        // the physical core: key it by its smallest member.
+                        Some(sib) => CpuDesc {
+                            cpu: idx,
+                            package_id: package_id.unwrap_or(0),
+                            core_id: sib[0] as i64,
+                        },
+                        // Nothing at all: assume the CPU is its own core
+                        // (pinning then still spreads workers out).
+                        None => CpuDesc {
+                            cpu: idx,
+                            package_id: i64::MAX,
+                            core_id: idx as i64,
+                        },
+                    }
+                }
+            };
+            cpus.push(desc);
+        }
+        if cpus.is_empty() {
+            return None;
+        }
+        cpus.sort_by_key(|d| d.cpu);
+        Some(CpuTopology { cpus })
+    }
+
+    /// Number of logical CPUs seen.
+    #[must_use]
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Number of distinct physical cores seen.
+    #[must_use]
+    pub fn num_physical_cores(&self) -> usize {
+        let mut keys: Vec<(i64, i64)> = self
+            .cpus
+            .iter()
+            .map(|d| (d.package_id, d.core_id))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Logical CPUs ordered physical-core-first: the first (lowest-index)
+    /// sibling of every (package, core) pair, in (package, core) order,
+    /// then the second siblings, and so on. Pinning worker `i` to
+    /// `order[i % len]` therefore fills distinct physical cores before
+    /// doubling up on SMT siblings — on a hybrid P/E part the
+    /// single-thread E-cores are simply one-sibling groups and interleave
+    /// naturally.
+    #[must_use]
+    pub fn physical_first_order(&self) -> Vec<usize> {
+        let mut groups: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+        for d in &self.cpus {
+            groups
+                .entry((d.package_id, d.core_id))
+                .or_default()
+                .push(d.cpu);
+        }
+        for cpus in groups.values_mut() {
+            cpus.sort_unstable();
+        }
+        let mut order = Vec::with_capacity(self.cpus.len());
+        let mut rank = 0;
+        loop {
+            let before = order.len();
+            for cpus in groups.values() {
+                if let Some(&cpu) = cpus.get(rank) {
+                    order.push(cpu);
+                }
+            }
+            if order.len() == before {
+                break;
+            }
+            rank += 1;
+        }
+        order
+    }
+}
+
+/// Parses a kernel CPU-list string (`"0-3,8,10-11"`) into CPU indices.
+/// Malformed fragments are skipped rather than failing the whole list.
+#[must_use]
+pub fn parse_cpu_list(s: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for part in s.trim().split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = part.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                if lo <= hi && hi - lo < 4096 {
+                    cpus.extend(lo..=hi);
+                }
+            }
+        } else if let Ok(cpu) = part.parse::<usize>() {
+            cpus.push(cpu);
+        }
+    }
+    cpus
+}
+
+/// The CPU spawned worker `i` should pin to, given a physical-first
+/// order. Slot 0 of the order is reserved for the (unpinned) caller
+/// thread — the pool's lane 0 — so worker 0 takes `order[1]` and workers
+/// wrap around past the end.
+#[must_use]
+pub fn worker_cpu(order: &[usize], worker: usize) -> Option<usize> {
+    if order.len() < 2 {
+        return None;
+    }
+    Some(order[(worker + 1) % order.len()])
+}
+
+#[cfg(target_os = "linux")]
+mod affinity {
+    // Hand-rolled declaration against the platform C library (the
+    // `scord_serve::signal` idiom): glibc/musl's `sched_setaffinity`
+    // with pid 0 applies to the *calling thread*, which is exactly the
+    // per-worker pinning primitive needed here.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    /// Pins the calling thread to a single logical CPU. Returns `false`
+    /// (without side effects) if the CPU index is out of the supported
+    /// range or the kernel refuses (e.g. cgroup cpuset excludes it).
+    pub fn pin_current_thread(cpu: usize) -> bool {
+        let mut mask = [0u64; 16]; // 1024 CPUs
+        let Some(word) = mask.get_mut(cpu / 64) else {
+            return false;
+        };
+        *word = 1u64 << (cpu % 64);
+        // SAFETY: the mask buffer outlives the call and its size is
+        // passed explicitly; the kernel only reads it.
+        unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod affinity {
+    /// No-op off Linux: pinning is an optimization, never a requirement.
+    pub fn pin_current_thread(_cpu: usize) -> bool {
+        false
+    }
+}
+
+pub use affinity::pin_current_thread;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_cpu_list_handles_ranges_and_singletons() {
+        assert_eq!(parse_cpu_list("0-3,8"), vec![0, 1, 2, 3, 8]);
+        assert_eq!(parse_cpu_list(" 5 \n"), vec![5]);
+        assert_eq!(parse_cpu_list("2-2"), vec![2]);
+        assert_eq!(parse_cpu_list(""), Vec::<usize>::new());
+        assert_eq!(parse_cpu_list("x,3,bad-4,1-0"), vec![3]);
+    }
+
+    #[test]
+    fn worker_cpu_reserves_slot_zero_for_caller() {
+        let order = [0, 2, 1, 3];
+        assert_eq!(worker_cpu(&order, 0), Some(2));
+        assert_eq!(worker_cpu(&order, 1), Some(1));
+        assert_eq!(worker_cpu(&order, 2), Some(3));
+        assert_eq!(worker_cpu(&order, 3), Some(0)); // wraps onto caller's slot
+        assert_eq!(worker_cpu(&[7], 0), None, "one CPU: nothing to spread");
+        assert_eq!(worker_cpu(&[], 0), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! Fixture-tree tests for `scord_pool::topology`: builds fake sysfs
+//! layouts on disk and asserts the physical-core-first ordering and every
+//! fallback path, without depending on the host's real topology.
+
+use std::path::{Path, PathBuf};
+
+use scord_pool::{set_pin_workers, CpuTopology, WorkerPool};
+
+/// A throwaway fixture directory, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!("scord-topo-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        Fixture { root }
+    }
+
+    /// Adds `cpuN` with the given topology files (`None` = omit the file).
+    fn cpu(&self, n: usize, package: Option<i64>, core: Option<i64>, siblings: Option<&str>) {
+        let topo = self.root.join(format!("cpu{n}")).join("topology");
+        std::fs::create_dir_all(&topo).expect("create topology dir");
+        let write = |file: &str, val: String| {
+            std::fs::write(topo.join(file), val).expect("write fixture file");
+        };
+        if let Some(p) = package {
+            write("package_id", format!("{p}\n"));
+        }
+        if let Some(c) = core {
+            write("core_id", format!("{c}\n"));
+        }
+        if let Some(s) = siblings {
+            write("thread_siblings_list", format!("{s}\n"));
+        }
+    }
+
+    /// Adds a bare `cpuN` directory with no `topology/` subtree at all.
+    fn bare_cpu(&self, n: usize) {
+        std::fs::create_dir_all(self.root.join(format!("cpu{n}"))).expect("create bare cpu dir");
+    }
+
+    fn path(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn smt_pairs_order_physical_cores_first() {
+    // Classic 2-core/4-thread SMT layout with adjacent sibling numbering:
+    // cpus 0,1 share core 0; cpus 2,3 share core 1.
+    let fx = Fixture::new("smt-pairs");
+    fx.cpu(0, Some(0), Some(0), Some("0-1"));
+    fx.cpu(1, Some(0), Some(0), Some("0-1"));
+    fx.cpu(2, Some(0), Some(1), Some("2-3"));
+    fx.cpu(3, Some(0), Some(1), Some("2-3"));
+    let topo = CpuTopology::from_sysfs_root(fx.path()).expect("fixture parses");
+    assert_eq!(topo.num_cpus(), 4);
+    assert_eq!(topo.num_physical_cores(), 2);
+    assert_eq!(topo.physical_first_order(), vec![0, 2, 1, 3]);
+}
+
+#[test]
+fn smt_with_split_numbering_orders_physical_cores_first() {
+    // The other common SMT numbering: siblings are (0,4), (1,5), ... —
+    // low CPUs are already one-per-core, siblings come after.
+    let fx = Fixture::new("smt-split");
+    for core in 0..4usize {
+        fx.cpu(
+            core,
+            Some(0),
+            Some(core as i64),
+            Some(&format!("{core},{}", core + 4)),
+        );
+        fx.cpu(
+            core + 4,
+            Some(0),
+            Some(core as i64),
+            Some(&format!("{core},{}", core + 4)),
+        );
+    }
+    let topo = CpuTopology::from_sysfs_root(fx.path()).expect("fixture parses");
+    assert_eq!(topo.num_physical_cores(), 4);
+    assert_eq!(topo.physical_first_order(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+}
+
+#[test]
+fn multi_package_groups_by_package_then_core() {
+    // Two packages, two single-thread cores each; core_ids repeat across
+    // packages (they do on real two-socket hosts).
+    let fx = Fixture::new("multi-package");
+    fx.cpu(0, Some(0), Some(0), Some("0"));
+    fx.cpu(1, Some(0), Some(1), Some("1"));
+    fx.cpu(2, Some(1), Some(0), Some("2"));
+    fx.cpu(3, Some(1), Some(1), Some("3"));
+    let topo = CpuTopology::from_sysfs_root(fx.path()).expect("fixture parses");
+    assert_eq!(topo.num_physical_cores(), 4, "core ids are per-package");
+    assert_eq!(topo.physical_first_order(), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn hybrid_p_and_e_cores_interleave_naturally() {
+    // Hybrid client part: two SMT P-cores (cpus 0-3) plus two
+    // single-thread E-cores (cpus 4,5). Physical-first order hands out
+    // one CPU per core — P and E alike — before any SMT sibling.
+    let fx = Fixture::new("hybrid");
+    fx.cpu(0, Some(0), Some(0), Some("0-1"));
+    fx.cpu(1, Some(0), Some(0), Some("0-1"));
+    fx.cpu(2, Some(0), Some(4), Some("2-3"));
+    fx.cpu(3, Some(0), Some(4), Some("2-3"));
+    fx.cpu(4, Some(0), Some(8), Some("4"));
+    fx.cpu(5, Some(0), Some(9), Some("5"));
+    let topo = CpuTopology::from_sysfs_root(fx.path()).expect("fixture parses");
+    assert_eq!(topo.num_cpus(), 6);
+    assert_eq!(topo.num_physical_cores(), 4);
+    assert_eq!(topo.physical_first_order(), vec![0, 2, 4, 5, 1, 3]);
+}
+
+#[test]
+fn missing_core_id_falls_back_to_sibling_list() {
+    // core_id absent but thread_siblings_list present: the sibling set
+    // still identifies the physical core (keyed by its smallest member).
+    let fx = Fixture::new("no-core-id");
+    fx.cpu(0, Some(0), None, Some("0-1"));
+    fx.cpu(1, Some(0), None, Some("0-1"));
+    fx.cpu(2, Some(0), None, Some("2-3"));
+    fx.cpu(3, Some(0), None, Some("2-3"));
+    let topo = CpuTopology::from_sysfs_root(fx.path()).expect("fixture parses");
+    assert_eq!(topo.num_physical_cores(), 2);
+    assert_eq!(topo.physical_first_order(), vec![0, 2, 1, 3]);
+}
+
+#[test]
+fn missing_topology_files_treat_each_cpu_as_its_own_core() {
+    // No topology/ subtree at all: each CPU is conservatively its own
+    // physical core, so pinning still spreads workers out.
+    let fx = Fixture::new("bare");
+    for n in 0..3 {
+        fx.bare_cpu(n);
+    }
+    let topo = CpuTopology::from_sysfs_root(fx.path()).expect("bare cpus still parse");
+    assert_eq!(topo.num_cpus(), 3);
+    assert_eq!(topo.num_physical_cores(), 3);
+    assert_eq!(topo.physical_first_order(), vec![0, 1, 2]);
+}
+
+#[test]
+fn mixed_known_and_unknown_cpus_keep_known_grouping() {
+    let fx = Fixture::new("mixed");
+    fx.cpu(0, Some(0), Some(0), Some("0-1"));
+    fx.cpu(1, Some(0), Some(0), Some("0-1"));
+    fx.bare_cpu(2);
+    let topo = CpuTopology::from_sysfs_root(fx.path()).expect("fixture parses");
+    assert_eq!(topo.num_physical_cores(), 2);
+    // Unknown-topology CPUs sort after real packages (synthetic key).
+    assert_eq!(topo.physical_first_order(), vec![0, 2, 1]);
+}
+
+#[test]
+fn no_cpu_dirs_means_no_topology() {
+    let fx = Fixture::new("empty");
+    std::fs::write(fx.path().join("online"), "0-7\n").expect("write stray file");
+    assert!(
+        CpuTopology::from_sysfs_root(fx.path()).is_none(),
+        "a root without cpuN dirs must report no topology"
+    );
+    assert!(
+        CpuTopology::from_sysfs_root(&fx.path().join("does-not-exist")).is_none(),
+        "a missing root must report no topology"
+    );
+}
+
+#[test]
+fn pool_pins_only_when_enabled_and_stays_correct() {
+    // The pinning toggle must not change pool semantics: every index runs
+    // exactly once either way, and disabling restores unpinned pools.
+    // (Runs against the real host topology; on hosts without sysfs the
+    // pinned list is simply empty, which is the documented fallback.)
+    set_pin_workers(true);
+    let pinned_pool = WorkerPool::new(2);
+    set_pin_workers(false);
+    let plain_pool = WorkerPool::new(2);
+    assert!(
+        plain_pool.pinned_cpus().is_empty(),
+        "toggle off ⇒ no pin targets"
+    );
+    for pool in [&pinned_pool, &plain_pool] {
+        let mut slots = vec![0u32; 64];
+        pool.for_each_mut(&mut slots, |i, s| *s = i as u32 + 1);
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(*s, i as u32 + 1);
+        }
+    }
+    if let Some(order) = CpuTopology::detect().map(|t| t.physical_first_order()) {
+        if order.len() >= 2 {
+            assert_eq!(pinned_pool.pinned_cpus(), &[order[1]]);
+        }
+    }
+}

@@ -217,6 +217,18 @@ pub struct GpuConfig {
     /// drain would. Raised process-wide by [`crate::set_mem_threads`]
     /// (e.g. `run-experiments --mem-threads N`).
     pub mem_threads: u32,
+    /// Sampled-SM mode: build only this many detailed SMs and model the
+    /// remaining `num_sms − sample_sms` SMs' memory traffic statistically
+    /// (ghost packets calibrated from the sampled set — see the
+    /// "Paper-scale" section of DESIGN.md and [`crate::SampleReport`]).
+    /// `0` (the default) disables sampling; the full machine is simulated
+    /// and results honour the byte-identical determinism contract.
+    /// Non-zero values are an opt-in *approximation*: the full grid still
+    /// executes (functional results are exact), but cycle counts are
+    /// extrapolated and every extrapolated number carries an error bound.
+    /// Sampled runs are gated out of all paper tables — only the
+    /// `paper-scale` harness tier sets this.
+    pub sample_sms: u32,
 }
 
 impl GpuConfig {
@@ -257,6 +269,7 @@ impl GpuConfig {
             cycle_skip: true,
             sm_threads: 1,
             mem_threads: 1,
+            sample_sms: 0,
         }
     }
 
@@ -293,6 +306,13 @@ impl GpuConfig {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Returns a copy with sampled-SM mode set (`0` disables it).
+    #[must_use]
+    pub fn with_sample_sms(mut self, sample_sms: u32) -> Self {
+        self.sample_sms = sample_sms;
         self
     }
 
@@ -356,6 +376,12 @@ impl GpuConfig {
             return Err(Config(
                 "mem_threads must be at least 1 (1 = inline memory-side drain)".into(),
             ));
+        }
+        if self.sample_sms > 0 && self.sample_sms >= self.num_sms {
+            return Err(Config(format!(
+                "sample_sms = {} must be smaller than num_sms = {} (0 disables sampling)",
+                self.sample_sms, self.num_sms
+            )));
         }
         Ok(())
     }
@@ -470,6 +496,17 @@ mod tests {
         assert!(t.lhd && t.noc && t.md);
         let off = GpuConfig::paper_default().toggles();
         assert!(!off.lhd && !off.noc && !off.md);
+    }
+
+    #[test]
+    fn sample_sms_must_stay_below_num_sms() {
+        let c = GpuConfig::paper_default();
+        assert_eq!(c.sample_sms, 0, "sampling is opt-in");
+        assert!(c.validate().is_ok());
+        assert!(c.with_sample_sms(5).validate().is_ok());
+        assert!(c.with_sample_sms(c.num_sms - 1).validate().is_ok());
+        assert!(c.with_sample_sms(c.num_sms).validate().is_err());
+        assert!(c.with_sample_sms(c.num_sms + 1).validate().is_err());
     }
 
     #[test]

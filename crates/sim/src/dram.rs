@@ -15,6 +15,10 @@ pub struct DramRequest {
     pub write: bool,
     /// `true` for detector-metadata traffic.
     pub metadata: bool,
+    /// `true` for sampled-SM ghost traffic (see `GpuConfig::sample_sms`):
+    /// serviced like any request but excluded from the real-busy
+    /// accounting the extrapolation reads.
+    pub ghost: bool,
 }
 
 /// One GDDR5 channel with open-row bank state.
@@ -134,6 +138,7 @@ mod tests {
             line_addr: line,
             write: false,
             metadata: false,
+            ghost: false,
         }
     }
 

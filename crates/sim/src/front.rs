@@ -782,6 +782,7 @@ fn exec_global(
             flits,
             ready_at: 0,
             l1_fill: use_l1,
+            ghost: false,
         });
     }
     sm.front.events.push(PendingEvent::Access(PendingAccess {

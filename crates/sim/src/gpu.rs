@@ -14,6 +14,7 @@ use scord_pool::WorkerPool;
 
 use crate::front::{self, FrontCtx, GlobalOp, PendingAccess, PendingEvent};
 use crate::memside::{MemCtx, Partition};
+use crate::sample::{SampleModel, SampleReport};
 use crate::{
     Cache, DetectorEvent, DetectorUnit, DeviceMemory, DramRequest, GpuConfig, SimStats, Sm,
     SmBlock, Warp, WarpState,
@@ -46,6 +47,12 @@ pub struct Packet {
     pub ready_at: u64,
     /// Fill the origin SM's L1 with this line when the response arrives.
     pub l1_fill: bool,
+    /// Sampled-SM mode only: `true` for statistically generated ghost
+    /// traffic standing in for un-simulated SMs (see
+    /// [`GpuConfig::sample_sms`]). Ghosts occupy links, queues and
+    /// service slots like real packets but are excluded from the
+    /// real-busy accounting the extrapolation reads.
+    pub ghost: bool,
 }
 
 #[derive(Debug)]
@@ -232,6 +239,11 @@ pub struct Gpu {
     /// block per SM per cycle). When clear, dispatch cannot progress until
     /// a block finishes — which lets the quiescence skip ignore it.
     dispatch_hint: bool,
+    /// Sampled-SM traffic model, present only when
+    /// [`GpuConfig::sample_sms`] > 0 (see [`crate::sample`] module docs):
+    /// only `sample_sms` detailed SMs are built and this injects the
+    /// un-simulated SMs' ghost traffic in the serial NoC step.
+    sample: Option<SampleModel>,
 }
 
 impl fmt::Debug for Gpu {
@@ -297,7 +309,17 @@ impl Gpu {
         let detector = cfg
             .detector_config()
             .map(|dc| DetectorUnit::with_faults(factory(dc), cfg.detector_queue, cfg.fault));
-        let sms = (0..cfg.num_sms)
+        // Sampled mode builds only the detailed SMs; the config keeps
+        // `num_sms` for geometry (BlockID packing, detector identity
+        // spaces) and the memory system stays full-size — the missing
+        // SMs exist only as ghost traffic (see `crate::sample`).
+        let detailed_sms = if cfg.sample_sms > 0 {
+            cfg.sample_sms
+        } else {
+            cfg.num_sms
+        };
+        let sample = (cfg.sample_sms > 0).then(|| SampleModel::new(cfg.num_sms, cfg.sample_sms));
+        let sms = (0..detailed_sms)
             .map(|i| {
                 Sm::new(
                     i as u8,
@@ -319,7 +341,7 @@ impl Gpu {
         let sm_eff = cfg
             .sm_threads
             .max(crate::sm_threads_override())
-            .min(cfg.num_sms)
+            .min(detailed_sms)
             .max(1);
         let mem_eff = cfg
             .mem_threads
@@ -357,6 +379,7 @@ impl Gpu {
             phase_b_nanos: 0,
             shard_b_nanos,
             dispatch_hint: true,
+            sample,
         })
     }
 
@@ -424,6 +447,37 @@ impl Gpu {
     #[must_use]
     pub fn races(&self) -> Option<&RaceLog> {
         self.detector.as_ref().map(|d| d.detector().races())
+    }
+
+    /// Host-heap usage of the detector's metadata store as
+    /// `(resident_bytes, resident_entries)` — the simulation-side memory
+    /// footprint, distinct from the modelled hardware metadata region.
+    /// `None` when detection is off or the detector keeps no store.
+    #[must_use]
+    pub fn detector_store_usage(&self) -> Option<(u64, u64)> {
+        self.detector
+            .as_ref()
+            .and_then(|d| d.detector().store_usage())
+    }
+
+    /// The sampled-SM extrapolation report for the last completed launch,
+    /// or `None` when [`GpuConfig::sample_sms`] is 0 (full-detail run).
+    /// See [`SampleReport`] for the obligation to display the error bound
+    /// next to every extrapolated number.
+    #[must_use]
+    pub fn sample_report(&self) -> Option<SampleReport> {
+        // The memory-bound floor: the busiest shard's real (non-ghost)
+        // service demand. The full grid executed, so this is the full
+        // machine's demand already — it does not scale with SM count.
+        let memory_term = self
+            .parts
+            .iter()
+            .map(|p| p.real_l2_busy.max(p.real_dram_busy))
+            .max()
+            .unwrap_or(0);
+        self.sample
+            .as_ref()
+            .map(|s| s.report(&self.cfg, self.stats.cycles, self.grid_blocks, memory_term))
     }
 
     /// The event trace captured by the attached detector, when it records
@@ -510,10 +564,15 @@ impl Gpu {
             p.in_queue.clear();
             p.pending_fills.clear();
             p.dram.reset();
+            p.real_l2_busy = 0;
+            p.real_dram_busy = 0;
             p.buf = Default::default();
         }
         if let Some(det) = &mut self.detector {
             det.detector_mut().on_kernel_boundary();
+        }
+        if let Some(samp) = &mut self.sample {
+            samp.reset();
         }
 
         // Sampled once per launch so flipping the process-wide override
@@ -584,6 +643,12 @@ impl Gpu {
             return floor;
         }
         if self.detector.as_ref().is_some_and(|d| !d.is_idle()) {
+            return floor;
+        }
+        // A ghost backlog injects into some partition every cycle a link
+        // is free; jumping over those cycles would delay the injections
+        // and change sampled timing, so hold the skip while it drains.
+        if self.sample.as_ref().is_some_and(SampleModel::has_backlog) {
             return floor;
         }
         let mut t = u64::MAX;
@@ -982,6 +1047,9 @@ impl Gpu {
         let dispatch = front.dispatch;
         let error = front.error.take();
         stats.apply(&mut self.stats);
+        if let Some(samp) = &mut self.sample {
+            samp.record_sm_insts(s, stats.warp_instructions);
+        }
         self.blocks_live -= retired;
         self.dispatch_hint |= dispatch;
         match error {
@@ -1080,6 +1148,13 @@ impl Gpu {
     // ---- interconnect -----------------------------------------------------
 
     fn noc_tick(&mut self) {
+        // Sampled mode: drain the ghost backlog first. The un-simulated
+        // SMs are the majority of the modelled machine, so when their
+        // (backlogged) traffic and a detailed SM's packet compete for a
+        // partition link, round-robin arbitration would usually favour
+        // them; injecting ghosts first reproduces that pressure on the
+        // detailed SMs.
+        self.inject_ghosts();
         let n = self.sms.len();
         for i in 0..n {
             let s = (self.noc_rr + i) % n;
@@ -1098,10 +1173,48 @@ impl Gpu {
             self.sms[s].tx_free_at = self.now + flits;
             self.parts[part].rx_free_at = self.now + flits;
             pkt.ready_at = self.now + 8 + flits;
+            if let Some(samp) = &mut self.sample {
+                let line_bytes = u64::from(self.cfg.line_bytes);
+                samp.observe(&pkt, self.cfg.mem_bytes / line_bytes, line_bytes);
+            }
             self.parts[part].in_queue.push_back(pkt);
             self.stats.noc_flits += flits;
         }
         self.noc_rr = self.noc_rr.wrapping_add(1);
+    }
+
+    /// Sampled-SM mode only: injects the ghost packets the un-simulated
+    /// SMs would have routed (see [`crate::sample`]'s module docs for the
+    /// model). Ghosts compete for the same per-partition ingest link as
+    /// real packets — a partition that already accepted a packet this
+    /// cycle makes the ghost wait in the backlog, exactly the
+    /// head-of-line blocking a real SM's out-queue exhibits — and count
+    /// toward `noc_flits`, which keeps the tick's busy-detection aware of
+    /// them. Runs in the serial NoC step with deterministic round-robin
+    /// replica assignment, so sampled runs stay byte-identical across
+    /// host thread counts.
+    fn inject_ghosts(&mut self) {
+        let Some(samp) = &mut self.sample else {
+            return;
+        };
+        // One pass over the current backlog: inject where the link is
+        // free, requeue the rest for next cycle.
+        for _ in 0..samp.stash.len() {
+            let Some(mut ghost) = samp.stash.pop_front() else {
+                break;
+            };
+            let part = partition_of(&self.cfg, ghost.line_addr);
+            let p = &mut self.parts[part];
+            if p.rx_free_at > self.now {
+                samp.stash.push_back(ghost);
+                continue;
+            }
+            let flits = u64::from(ghost.flits);
+            p.rx_free_at = self.now + flits;
+            ghost.ready_at = self.now + 8 + flits;
+            p.in_queue.push_back(ghost);
+            self.stats.noc_flits += flits;
+        }
     }
 
     /// Ticks every memory shard (L2 partition + DRAM channel), fanned out
@@ -1171,6 +1284,7 @@ impl Gpu {
                     flits: 1,
                     ready_at: self.now + 4,
                     l1_fill: false,
+                    ghost: false,
                 });
             }
         }
@@ -1200,6 +1314,7 @@ mod tests {
                     line_addr: 0,
                     write: false,
                     metadata: false,
+                    ghost: false,
                 },
             },
         });
@@ -1212,6 +1327,7 @@ mod tests {
                     line_addr: 0,
                     write: false,
                     metadata: false,
+                    ghost: false,
                 },
             },
         });

@@ -39,6 +39,7 @@ mod front;
 mod gpu;
 mod mem;
 mod memside;
+mod sample;
 mod sm;
 mod stats;
 mod warp;
@@ -114,6 +115,7 @@ pub use detector_unit::{DetectorEvent, DetectorUnit};
 pub use dram::{DramChannel, DramRequest};
 pub use gpu::{Gpu, Packet, SimError};
 pub use mem::{DeviceBuffer, DeviceMemory};
+pub use sample::SampleReport;
 pub use sm::{Sm, SmBlock};
 pub use stats::{DramStats, SimStats, StallStats};
 pub use warp::{Frame, Warp, WarpState, RPC_NONE};

@@ -93,6 +93,13 @@ pub(crate) struct Partition {
     pub pending_fills: FlatMap<Vec<Packet>>,
     /// Spare waiter lists recycled by fill wakeups (capacity retained).
     pub fill_pool: Vec<Vec<Packet>>,
+    /// L2 service cycles consumed by real (non-ghost) packets. Under
+    /// sampled-SM mode this is the memory system's irreducible service
+    /// demand — it does not shrink when SMs are added — and feeds the
+    /// memory-bound term of the cycle extrapolation.
+    pub real_l2_busy: u64,
+    /// DRAM channel busy cycles consumed by real (non-ghost) requests.
+    pub real_dram_busy: u64,
     /// This cycle's buffered effects, drained by `Gpu::merge_mem`.
     pub buf: MemBuf,
 }
@@ -115,6 +122,8 @@ impl Partition {
             dram: DramChannel::new(cfg.dram, cfg.banks_per_channel, cfg.row_bytes),
             pending_fills: FlatMap::new(),
             fill_pool: Vec::new(),
+            real_l2_busy: 0,
+            real_dram_busy: 0,
             buf: MemBuf::default(),
         }
     }
@@ -141,6 +150,9 @@ impl Partition {
                 let outcome = self.l2.access(pkt.line_addr, write, pkt.metadata);
                 let busy = 1 + u64::from(pkt.atomic_lanes / 2);
                 self.l2_free_at = ctx.now + busy;
+                if !pkt.ghost {
+                    self.real_l2_busy += busy;
+                }
                 match outcome {
                     CacheOutcome::Hit => {
                         if pkt.metadata {
@@ -168,12 +180,16 @@ impl Partition {
                                 line_addr: v.line_addr,
                                 write: true,
                                 metadata: v.metadata,
+                                // A victim dirtied by real traffic is real
+                                // demand even when a ghost evicts it.
+                                ghost: false,
                             });
                         }
                         self.dram.push(DramRequest {
                             line_addr: pkt.line_addr,
                             write: false,
                             metadata: pkt.metadata,
+                            ghost: pkt.ghost,
                         });
                         self.pending_fills
                             .get_or_insert_with(pkt.line_addr, || {
@@ -191,6 +207,9 @@ impl Partition {
         }
         // DRAM service: at most one request starts per channel per cycle.
         if let Some((req, done)) = self.dram.tick(ctx.now) {
+            if !req.ghost {
+                self.real_dram_busy += done - ctx.now;
+            }
             if !req.write {
                 self.buf.dram_done = Some((req, done));
             }

@@ -80,6 +80,7 @@ fn dram_service_bounds() {
                 line_addr: rng.below(1 << 24) & !127,
                 write: false,
                 metadata: false,
+                ghost: false,
             });
         }
         let mut now = 0u64;

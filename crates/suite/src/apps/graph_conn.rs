@@ -95,11 +95,15 @@ impl GraphConnectivity {
         GraphConnectivity {
             vertices: base.vertices * mult,
             edges: base.edges * mult,
-            // Grow the grid with the graph (capped at a residency that
-            // still fits paper_default's 15 SMs × 8 block slots) so the
-            // extra work spreads over more SMs instead of lengthening
-            // each block's queue.
-            blocks: (base.blocks * mult).min(120),
+            // Grow the grid with the graph so the extra work spreads over
+            // more SMs instead of lengthening each block's queue — but cap
+            // it at the grid size that stays *fully resident* on
+            // paper_default hardware. The kernel's inter-block sync spins
+            // on flags other blocks publish, so a block that never becomes
+            // resident wedges every resident one; on paper_default the
+            // kernel's occupancy is 6 blocks/SM × 15 SMs (measured: 90
+            // blocks converges, 91 spins until the watchdog).
+            blocks: (base.blocks * mult).min(90),
             ..base
         }
     }
@@ -417,8 +421,9 @@ mod tests {
         assert_eq!(s.blocks, base.blocks * 4);
         assert_eq!(s.races, GraphConnectivityRaces::default());
         assert_eq!(s.expected_races(), 0);
-        // The grid cap keeps huge multipliers within one wave of residency.
-        assert_eq!(GraphConnectivity::scaled(100).blocks, 120);
+        // The grid cap keeps huge multipliers fully resident: the kernel's
+        // inter-block sync wedges if any block waits for a free slot.
+        assert_eq!(GraphConnectivity::scaled(100).blocks, 90);
         // A scaled run must still validate: same kernel, bigger instance.
         let mut gpu = Gpu::new(GpuConfig::paper_default());
         let run = GraphConnectivity::scaled(2).run(&mut gpu).unwrap();
